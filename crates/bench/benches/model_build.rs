@@ -1,0 +1,42 @@
+//! Criterion bench: ILP model construction cost (variables + constraints)
+//! for the paper graphs — the `Var`/`Const` columns of Tables 1–4 come from
+//! these builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempart_bench::{date98_device, date98_instance};
+use tempart_core::{IlpModel, ModelConfig};
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_build");
+    for (graph, n, l) in [(1usize, 3u32, 1u32), (2, 4, 1), (3, 3, 1), (6, 3, 0)] {
+        let instance = date98_instance(graph, 2, 2, 2, date98_device()).expect("instance");
+        group.bench_with_input(
+            BenchmarkId::new("tightened", format!("g{graph}-N{n}-L{l}")),
+            &(instance.clone(), n, l),
+            |b, (inst, n, l)| {
+                b.iter(|| {
+                    IlpModel::build(inst.clone(), ModelConfig::tightened(*n, *l))
+                        .expect("build")
+                        .stats()
+                        .num_constraints
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("basic", format!("g{graph}-N{n}-L{l}")),
+            &(instance, n, l),
+            |b, (inst, n, l)| {
+                b.iter(|| {
+                    IlpModel::build(inst.clone(), ModelConfig::basic(*n, *l))
+                        .expect("build")
+                        .stats()
+                        .num_constraints
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_build);
+criterion_main!(benches);

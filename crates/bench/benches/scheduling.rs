@@ -1,0 +1,67 @@
+//! Criterion bench: the HLS preprocessing kernels of Figure 2 — ASAP/ALAP
+//! mobility and resource-constrained list scheduling on the paper graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempart_bench::paper_graph;
+use tempart_graph::ComponentLibrary;
+use tempart_hls::{estimate_partitions, list_schedule, Mobility};
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobility");
+    for graph in [1usize, 3, 6] {
+        let g = paper_graph(graph);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("g{graph}")), &g, |b, g| {
+            b.iter(|| Mobility::compute(g).critical_path_len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_schedule");
+    let lib = ComponentLibrary::date98_default();
+    for graph in [1usize, 3, 6] {
+        let g = paper_graph(graph);
+        let fus = lib
+            .exploration_set(&[("add16", 2), ("mul8", 2), ("sub16", 2)])
+            .expect("library covers ops");
+        let ops: Vec<_> = g.ops().iter().map(|o| o.id()).collect();
+        let edges = g.combined_op_edges();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("g{graph}")),
+            &(g, ops, edges, fus),
+            |b, (g, ops, edges, fus)| {
+                b.iter(|| {
+                    list_schedule(g, ops, edges, fus, None)
+                        .expect("schedulable")
+                        .makespan()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let lib = ComponentLibrary::date98_default();
+    let device = tempart_bench::date98_device();
+    let mut group = c.benchmark_group("estimate_partitions");
+    for graph in [1usize, 6] {
+        let g = paper_graph(graph);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("g{graph}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    estimate_partitions(g, &lib, &device)
+                        .expect("estimable")
+                        .num_partitions
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mobility, bench_list_schedule, bench_estimate);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: LP-relaxation (root) solves of the table models — the
+//! kernel the branch-and-bound re-runs at every node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempart_bench::{date98_device, date98_instance};
+use tempart_core::{IlpModel, ModelConfig};
+use tempart_lp::{solve_lp, LpOptions};
+
+fn bench_root_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("root_lp");
+    group.sample_size(20);
+    for (graph, n, l) in [(1usize, 3u32, 1u32), (2, 4, 1), (3, 3, 1)] {
+        let instance = date98_instance(graph, 2, 2, 2, date98_device()).expect("instance");
+        let model =
+            IlpModel::build(instance, ModelConfig::tightened(n, l)).expect("build");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "g{graph}-N{n}-L{l}-{}x{}",
+                model.stats().num_vars,
+                model.stats().num_constraints
+            )),
+            model.problem(),
+            |b, problem| {
+                b.iter(|| {
+                    let out = solve_lp(problem, &LpOptions::default()).expect("lp");
+                    out.iterations
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    use tempart_core::heuristic::heuristic_solution;
+    let mut group = c.benchmark_group("heuristic_incumbent");
+    for (graph, n, l) in [(1usize, 3u32, 1u32), (2, 4, 5), (6, 2, 13)] {
+        let instance = date98_instance(graph, 2, 2, 2, date98_device()).expect("instance");
+        let config = ModelConfig::tightened(n, l);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("g{graph}-N{n}-L{l}")),
+            &(instance, config),
+            |b, (inst, cfg)| b.iter(|| heuristic_solution(inst, cfg).map(|s| s.communication_cost())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_root_lp, bench_heuristic);
+criterion_main!(benches);

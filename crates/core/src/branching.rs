@@ -1,0 +1,124 @@
+//! The paper's §8 branch-and-bound variable-selection heuristic, expressed
+//! as a [`PriorityRule`] for `tempart-lp`.
+//!
+//! 1. While any `y_tp` is fractional, branch on the one whose task is
+//!    earliest in the topological order (lowest `t`), lowest `p` first, and
+//!    always explore the `= 1` branch first.
+//! 2. Once all `y` are integral, branch on fractional `u_pk` (this prunes
+//!    area-infeasible unit subsets before descending into scheduling).
+//! 3. Only then fall through to the remaining binaries (`x`, then the
+//!    bookkeeping variables), which the paper notes are rarely fractional
+//!    thanks to the tight scheduling linearization.
+
+use tempart_lp::{BranchDirection, PriorityRule, Problem};
+
+use crate::vars::VarMap;
+
+/// Priority bands; lower wins.
+const BAND_Y: u32 = 0;
+const BAND_U: u32 = 1 << 20;
+const BAND_X: u32 = 1 << 21;
+const BAND_REST: u32 = 1 << 24;
+
+/// Builds the guided rule for one model build.
+pub(crate) fn paper_rule(vars: &VarMap, problem: &Problem) -> PriorityRule {
+    let mut prefs = vec![(BAND_REST, BranchDirection::Down); problem.num_vars()];
+    // y: topological task order × partition index, branch up first.
+    let n = vars.n_parts;
+    for (rank, &t) in vars.task_order.iter().enumerate() {
+        for p in 0..n {
+            let v = vars.y[t.index()][p as usize];
+            prefs[v.index()] = (BAND_Y + rank as u32 * n + p, BranchDirection::Up);
+        }
+    }
+    // u: after all y, in (p, k) order, branch up first (commit to using the
+    // unit, testing area feasibility early).
+    for (p, row) in vars.u.iter().enumerate() {
+        for (k, &v) in row.iter().enumerate() {
+            prefs[v.index()] = (
+                BAND_U + (p * row.len() + k) as u32,
+                BranchDirection::Up,
+            );
+        }
+    }
+    // x: creation order (op id, then window, then unit), branch up first so
+    // depth-first dives produce complete schedules quickly.
+    let mut xi = 0u32;
+    for ops in &vars.x_of_op {
+        for &(_, _, v) in ops {
+            prefs[v.index()] = (BAND_X + xi, BranchDirection::Up);
+            xi += 1;
+        }
+    }
+    PriorityRule::new("paper-s8", prefs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::test_support::{tiny_instance, tiny_model_parts};
+    use tempart_lp::{BranchingRule, VarKind};
+
+    #[test]
+    fn selects_lowest_topo_y_first() {
+        let inst = tiny_instance();
+        let (vars, p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 0));
+        let rule = paper_rule(&vars, &p);
+        // Make everything fractional.
+        let x = vec![0.5; p.num_vars()];
+        let (v, dir) = rule.select(&p, &x, 1e-6).expect("fractional solution");
+        assert_eq!(v, vars.y[0][0], "y[t0][p0] has the highest priority");
+        assert_eq!(dir, BranchDirection::Up);
+    }
+
+    #[test]
+    fn falls_to_u_when_y_integral() {
+        let inst = tiny_instance();
+        let (vars, p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 0));
+        let rule = paper_rule(&vars, &p);
+        let mut x = vec![0.5; p.num_vars()];
+        for row in &vars.y {
+            for &v in row {
+                x[v.index()] = 1.0;
+            }
+        }
+        let (v, dir) = rule.select(&p, &x, 1e-6).expect("u fractional");
+        assert_eq!(v, vars.u[0][0]);
+        assert_eq!(dir, BranchDirection::Up);
+    }
+
+    #[test]
+    fn falls_to_x_when_y_and_u_integral() {
+        let inst = tiny_instance();
+        let (vars, p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 0));
+        let rule = paper_rule(&vars, &p);
+        let mut x = vec![0.5; p.num_vars()];
+        for row in &vars.y {
+            for &v in row {
+                x[v.index()] = 0.0;
+            }
+        }
+        for row in &vars.u {
+            for &v in row {
+                x[v.index()] = 1.0;
+            }
+        }
+        let (v, _) = rule.select(&p, &x, 1e-6).expect("x fractional");
+        // Must be one of the x variables (binary), not w/c/z bookkeeping.
+        assert!(
+            vars.x_of_op.iter().flatten().any(|&(_, _, xv)| xv == v),
+            "selected {v} is not an x variable"
+        );
+        assert_eq!(p.var_kind(v), VarKind::Binary);
+    }
+
+    #[test]
+    fn integral_solution_selects_nothing() {
+        let inst = tiny_instance();
+        let (_vars, p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 0));
+        let rule = paper_rule(&_vars, &p);
+        let x = vec![0.0; p.num_vars()];
+        assert!(rule.select(&p, &x, 1e-6).is_none());
+    }
+}

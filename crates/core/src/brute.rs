@@ -1,0 +1,335 @@
+//! Exhaustive reference solver for small instances.
+//!
+//! Enumerates every task→partition assignment, checks temporal order and
+//! scratch-memory capacity directly, and decides scheduling feasibility
+//! exactly (minimum-makespan DP over operation subsets, minimized over all
+//! area-feasible functional-unit subsets). Used by integration and property
+//! tests to certify that the ILP returns true optima.
+//!
+//! The equivalence with the ILP rests on a normal form: any feasible ILP
+//! schedule can be re-ordered so each partition occupies a contiguous block
+//! of control steps (sorting steps by the partition that owns them preserves
+//! every dependency because temporal order (2) makes all cross-partition
+//! dependencies point forward). An assignment is therefore ILP-feasible iff
+//! the sum of per-segment minimum makespans fits in the global horizon
+//! `critical path + L`.
+
+use std::collections::HashMap;
+
+use tempart_graph::{FuId, OpId, PartitionIndex, TaskId};
+use tempart_hls::Mobility;
+
+use crate::config::ModelConfig;
+use crate::instance::Instance;
+
+/// Exhaustive optimum: the minimum communication cost over all feasible
+/// assignments, with one witnessing assignment. `None` if no assignment is
+/// feasible.
+///
+/// # Panics
+///
+/// Panics if the search space is unreasonably large
+/// (`N^T > 4⁹`) or a segment has more than 16 operations — this is a test
+/// oracle, not a production solver.
+pub fn brute_force_optimum(
+    instance: &Instance,
+    config: &ModelConfig,
+) -> Option<(Vec<PartitionIndex>, u64)> {
+    let graph = instance.graph();
+    assert!(
+        instance.fus().all_unit_latency(),
+        "the exhaustive oracle covers the paper's base model (unit latency)"
+    );
+    let t = graph.num_tasks();
+    let n = config.num_partitions as usize;
+    let space = (n as f64).powi(t as i32);
+    assert!(space <= 262_144.0, "brute force space too large: {space}");
+    let mobility = Mobility::compute(graph);
+    let horizon = mobility.horizon(config.latency_relaxation);
+    let ms = instance.device().scratch_memory().units();
+
+    let mut best: Option<(Vec<PartitionIndex>, u64)> = None;
+    let mut assignment = vec![0usize; t];
+    let mut makespan_cache: HashMap<Vec<TaskId>, Option<u32>> = HashMap::new();
+    'outer: loop {
+        let parts: Vec<PartitionIndex> = assignment
+            .iter()
+            .map(|&p| PartitionIndex::new(p as u32))
+            .collect();
+        if check_assignment(
+            instance,
+            config,
+            &parts,
+            horizon,
+            ms,
+            &mut makespan_cache,
+        ) {
+            let cost = assignment_cost(instance, config, &parts);
+            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                best = Some((parts, cost));
+            }
+        }
+        // Next assignment (odometer).
+        for slot in assignment.iter_mut() {
+            *slot += 1;
+            if *slot < n {
+                continue 'outer;
+            }
+            *slot = 0;
+        }
+        break;
+    }
+    best
+}
+
+/// Communication cost (14) of an assignment.
+pub fn assignment_cost(
+    instance: &Instance,
+    config: &ModelConfig,
+    parts: &[PartitionIndex],
+) -> u64 {
+    let mut cost = 0u64;
+    for edge in instance.graph().task_edges() {
+        let p1 = parts[edge.from.index()].0;
+        let p2 = parts[edge.to.index()].0;
+        for b in 1..config.num_partitions {
+            if p1 < b && p2 >= b {
+                cost += edge.bandwidth.units();
+            }
+        }
+    }
+    cost
+}
+
+fn check_assignment(
+    instance: &Instance,
+    config: &ModelConfig,
+    parts: &[PartitionIndex],
+    horizon: u32,
+    ms: u64,
+    cache: &mut HashMap<Vec<TaskId>, Option<u32>>,
+) -> bool {
+    let graph = instance.graph();
+    // Temporal order (2).
+    for edge in graph.task_edges() {
+        if parts[edge.from.index()] > parts[edge.to.index()] {
+            return false;
+        }
+    }
+    // Memory (3).
+    for b in 1..config.num_partitions {
+        let traffic: u64 = graph
+            .task_edges()
+            .iter()
+            .filter(|e| parts[e.from.index()].0 < b && parts[e.to.index()].0 >= b)
+            .map(|e| e.bandwidth.units())
+            .sum();
+        if traffic > ms {
+            return false;
+        }
+    }
+    // Scheduling: sum of exact per-segment makespans within the horizon.
+    let mut total = 0u32;
+    for p in 0..config.num_partitions {
+        let tasks: Vec<TaskId> = graph
+            .tasks()
+            .iter()
+            .map(|t| t.id())
+            .filter(|&t| parts[t.index()].0 == p)
+            .collect();
+        if tasks.is_empty() {
+            continue;
+        }
+        let mk = *cache
+            .entry(tasks.clone())
+            .or_insert_with(|| segment_min_makespan(instance, &tasks));
+        match mk {
+            Some(mk) => total += mk,
+            None => return false,
+        }
+        if total > horizon {
+            return false;
+        }
+    }
+    total <= horizon
+}
+
+/// Exact minimum makespan of the segment holding `tasks`, minimized over all
+/// area-feasible functional-unit subsets. `None` if no subset both covers
+/// the segment's operation kinds and fits the device.
+pub fn segment_min_makespan(instance: &Instance, tasks: &[TaskId]) -> Option<u32> {
+    let graph = instance.graph();
+    let fus = instance.fus();
+    let device = instance.device();
+    let ops: Vec<OpId> = tasks
+        .iter()
+        .flat_map(|&t| graph.task(t).ops().iter().copied())
+        .collect();
+    assert!(ops.len() <= 16, "segment too large for the DP oracle");
+    let op_pos: HashMap<OpId, usize> = ops.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+    // Local dependency structure.
+    let mut preds_mask = vec![0u32; ops.len()];
+    for (a, b) in graph.combined_op_edges() {
+        if let (Some(&ia), Some(&ib)) = (op_pos.get(&a), op_pos.get(&b)) {
+            preds_mask[ib] |= 1 << ia;
+        }
+    }
+    let kinds: Vec<_> = ops.iter().map(|&o| graph.op(o).kind()).collect();
+    let k = fus.num_instances();
+    assert!(k <= 16, "too many functional units for subset enumeration");
+    let mut best: Option<u32> = None;
+    'subset: for s in 1u32..(1 << k) {
+        // Area check with derating.
+        let area: u32 = (0..k)
+            .filter(|&i| s >> i & 1 == 1)
+            .map(|i| fus.cost(FuId::new(i as u32)).count())
+            .sum();
+        if !device.fits(tempart_graph::FunctionGenerators::new(area)) {
+            continue;
+        }
+        // Coverage check.
+        for &kind in &kinds {
+            if !(0..k).any(|i| s >> i & 1 == 1 && fus.can_execute(FuId::new(i as u32), kind)) {
+                continue 'subset;
+            }
+        }
+        if let Some(mk) = min_makespan_with(&kinds, &preds_mask, fus, s) {
+            if best.is_none_or(|b| mk < b) {
+                best = Some(mk);
+            }
+        }
+    }
+    best
+}
+
+/// BFS over completed-operation bitmasks: exact minimum makespan with the
+/// functional-unit subset `s`.
+fn min_makespan_with(
+    kinds: &[tempart_graph::OpKind],
+    preds_mask: &[u32],
+    fus: &tempart_graph::ExplorationSet,
+    s: u32,
+) -> Option<u32> {
+    let n = kinds.len();
+    let full = (1u32 << n) - 1;
+    let mut dist: HashMap<u32, u32> = HashMap::from([(0, 0)]);
+    let mut frontier = vec![0u32];
+    let mut steps = 0u32;
+    while !frontier.is_empty() {
+        if dist.contains_key(&full) {
+            return Some(steps);
+        }
+        steps += 1;
+        let mut next = Vec::new();
+        for &mask in &frontier {
+            let ready: Vec<usize> = (0..n)
+                .filter(|&i| mask >> i & 1 == 0 && preds_mask[i] & !mask == 0)
+                .collect();
+            // Enumerate nonempty subsets of ready that can be matched to
+            // distinct units of `s`.
+            let rn = ready.len();
+            for pick in 1u32..(1 << rn) {
+                let chosen: Vec<usize> = (0..rn).filter(|&b| pick >> b & 1 == 1).map(|b| ready[b]).collect();
+                if !assignable(&chosen, kinds, fus, s) {
+                    continue;
+                }
+                let nm = mask | chosen.iter().fold(0u32, |m, &i| m | 1 << i);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(nm) {
+                    e.insert(steps);
+                    next.push(nm);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist.get(&full).copied()
+}
+
+/// Backtracking bipartite matching: can `chosen` ops be bound to distinct
+/// units within subset `s`?
+fn assignable(
+    chosen: &[usize],
+    kinds: &[tempart_graph::OpKind],
+    fus: &tempart_graph::ExplorationSet,
+    s: u32,
+) -> bool {
+    fn go(
+        idx: usize,
+        chosen: &[usize],
+        kinds: &[tempart_graph::OpKind],
+        fus: &tempart_graph::ExplorationSet,
+        s: u32,
+        used: &mut u32,
+    ) -> bool {
+        if idx == chosen.len() {
+            return true;
+        }
+        let kind = kinds[chosen[idx]];
+        for k in 0..fus.num_instances() {
+            let bit = 1u32 << k;
+            if s & bit != 0 && *used & bit == 0 && fus.can_execute(FuId::new(k as u32), kind) {
+                *used |= bit;
+                if go(idx + 1, chosen, kinds, fus, s, used) {
+                    return true;
+                }
+                *used &= !bit;
+            }
+        }
+        false
+    }
+    let mut used = 0u32;
+    go(0, chosen, kinds, fus, s, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{tiny_instance, tiny_instance_with_memory};
+
+    #[test]
+    fn tiny_instance_brute_optimum() {
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 1);
+        let (parts, cost) = brute_force_optimum(&inst, &cfg).unwrap();
+        assert_eq!(cost, 0, "single partition is optimal: {parts:?}");
+    }
+
+    #[test]
+    fn infeasible_without_relaxation_for_split() {
+        // With L = 0 the chain exactly fills the horizon; both partitions in
+        // use would need more steps, but a single partition is feasible.
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 0);
+        let (_, cost) = brute_force_optimum(&inst, &cfg).unwrap();
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn memory_limits_exclude_splits() {
+        // Memory 3 < bandwidth 4: only co-located assignments remain.
+        let inst = tiny_instance_with_memory(3);
+        let cfg = ModelConfig::tightened(2, 1);
+        let (parts, cost) = brute_force_optimum(&inst, &cfg).unwrap();
+        assert_eq!(cost, 0);
+        assert_eq!(parts[0], parts[1]);
+    }
+
+    #[test]
+    fn segment_makespan_exact() {
+        let inst = tiny_instance();
+        // Both tasks together: chain add->mul then sub = 3 steps.
+        let mk = segment_min_makespan(&inst, &[TaskId::new(0), TaskId::new(1)]).unwrap();
+        assert_eq!(mk, 3);
+        // Task 1 alone: single op.
+        let mk = segment_min_makespan(&inst, &[TaskId::new(1)]).unwrap();
+        assert_eq!(mk, 1);
+    }
+
+    #[test]
+    fn matcher_respects_capacity() {
+        let inst = crate::test_support::two_adds_one_adder();
+        // Both adds with a single adder: 2 steps.
+        let mk = segment_min_makespan(&inst, &[TaskId::new(0)]).unwrap();
+        assert_eq!(mk, 2);
+    }
+}

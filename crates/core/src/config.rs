@@ -1,0 +1,215 @@
+//! Model configuration: formulation variants and solver-facing knobs.
+//!
+//! The paper develops the model in two stages:
+//!
+//! 1. the **basic** formulation (§3–§4, evaluated in Table 1): Glover
+//!    linearization of the usage products (19)–(23), per-product definition
+//!    of the crossing variables `w` (4)–(5), no extra cuts;
+//! 2. the **tightened** formulation (§6, evaluated in Tables 2–4): the
+//!    aggregated `w` linearization (31) plus the cutting constraints
+//!    (28)–(30) and (32).
+//!
+//! Both stages, and the older Fortet linearization the paper compares
+//! against, are selectable here so the benchmark harness can regenerate the
+//! paper's before/after experiments and ablations.
+
+/// Linearization method for 0-1 products (`z = y·o` and, in per-product `w`
+/// form, `v = y·y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Linearization {
+    /// Fortet's method \[8\]: the product variable is binary with
+    /// constraints (15)–(16).
+    Fortet,
+    /// Glover & Woolsey's method \[9\]: the product variable is continuous
+    /// in `[0, 1]` with constraints (15), (17), (18) — tighter LP
+    /// relaxation. Used by the paper's final model (19)–(23).
+    Glover,
+}
+
+/// How the crossing variables `w_{p,t1,t2}` are linearized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WForm {
+    /// One product variable per `y_{t1,p1}·y_{t2,p2}` pair with the exact
+    /// coupling (5) — the basic model of §3.2.
+    PerProduct,
+    /// The aggregated lower bound (31); exact at integral points only in
+    /// combination with the cuts (28)–(30) (§6).
+    Aggregated,
+}
+
+/// Encoding of the control-step ↔ partition consistency rule (12)–(13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CstepEncoding {
+    /// The paper's pairwise form (13): one row per task pair, step and
+    /// ordered partition pair — `O(T²·J·N²)` rows. Kept for fidelity and for
+    /// the encoding ablation.
+    Pairwise,
+    /// A compact reformulation with step-ownership binaries `g[j][p]`
+    /// (`g ≥ c + y − 1`, `Σ_p g[j][p] ≤ 1`) — `O(T·J·N)` rows with the same
+    /// integer feasible set; the default, since the pairwise form dominates
+    /// model size on 10-task graphs.
+    Compact,
+}
+
+/// The individual tightening cut families of §6, separately toggleable for
+/// ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CutSet {
+    /// Eq. (28): a producer placed at or after boundary `p` cannot cross `p`.
+    pub producer_after: bool,
+    /// Eq. (29): a consumer placed before boundary `p` cannot cross `p`.
+    pub consumer_before: bool,
+    /// Eq. (30): co-located endpoint tasks cross no boundary.
+    pub same_partition: bool,
+    /// Eq. (32): `o_tk + y_tp − u_pk ≤ 1` usage link.
+    pub usage_link: bool,
+}
+
+impl CutSet {
+    /// All cuts on (the paper's final model).
+    pub const ALL: CutSet = CutSet {
+        producer_after: true,
+        consumer_before: true,
+        same_partition: true,
+        usage_link: true,
+    };
+
+    /// No cuts (the basic model).
+    pub const NONE: CutSet = CutSet {
+        producer_after: false,
+        consumer_before: false,
+        same_partition: false,
+        usage_link: false,
+    };
+
+    /// Whether any `w`-related cut is enabled.
+    pub fn any_w_cut(&self) -> bool {
+        self.producer_after || self.consumer_before || self.same_partition
+    }
+}
+
+/// Full configuration of one ILP build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Upper bound `N` on the number of temporal partitions. The optimum may
+    /// use fewer.
+    pub num_partitions: u32,
+    /// Latency relaxation `L`: extra control steps past each operation's
+    /// ALAP (and past the global critical path).
+    pub latency_relaxation: u32,
+    /// Product linearization method.
+    pub linearization: Linearization,
+    /// `w` variable construction.
+    pub w_form: WForm,
+    /// Tightening cuts.
+    pub cuts: CutSet,
+    /// Break permutation symmetry between identical functional-unit
+    /// instances by ordering their total loads (an extension beyond the
+    /// paper; applied to every variant by default since identical instances
+    /// otherwise multiply the search space factorially).
+    pub symmetry_breaking: bool,
+    /// Control-step consistency encoding.
+    pub cstep_encoding: CstepEncoding,
+}
+
+impl ModelConfig {
+    /// The basic §3–§4 model evaluated in Table 1: Glover products,
+    /// per-product `w`, no cuts.
+    pub fn basic(num_partitions: u32, latency_relaxation: u32) -> Self {
+        Self {
+            num_partitions,
+            latency_relaxation,
+            linearization: Linearization::Glover,
+            w_form: WForm::PerProduct,
+            cuts: CutSet::NONE,
+            symmetry_breaking: true,
+            cstep_encoding: CstepEncoding::Compact,
+        }
+    }
+
+    /// The tightened §6 model evaluated in Tables 2–4: aggregated `w` (31)
+    /// plus all cuts (28)–(30), (32).
+    pub fn tightened(num_partitions: u32, latency_relaxation: u32) -> Self {
+        Self {
+            num_partitions,
+            latency_relaxation,
+            linearization: Linearization::Glover,
+            w_form: WForm::Aggregated,
+            cuts: CutSet::ALL,
+            symmetry_breaking: true,
+            cstep_encoding: CstepEncoding::Compact,
+        }
+    }
+
+    /// Switches the product linearization (for the Fortet-vs-Glover
+    /// ablation).
+    #[must_use]
+    pub fn with_linearization(mut self, lin: Linearization) -> Self {
+        self.linearization = lin;
+        self
+    }
+
+    /// Replaces the cut set (for per-cut ablations).
+    #[must_use]
+    pub fn with_cuts(mut self, cuts: CutSet) -> Self {
+        self.cuts = cuts;
+        self
+    }
+
+    /// Validates the configuration.
+    pub(crate) fn check(&self) -> Result<(), crate::CoreError> {
+        if self.num_partitions == 0 {
+            return Err(crate::CoreError::InvalidConfig(
+                "at least one partition is required",
+            ));
+        }
+        if self.w_form == WForm::Aggregated && !self.cuts.any_w_cut() {
+            // (31) alone admits spurious w = 1 at fractional points and the
+            // search may return w=1 solutions that only the cost function
+            // penalizes; the paper pairs (31) with (28)-(30). We allow it but
+            // it is usually a mistake; still valid because w appears only in
+            // the minimized objective and the memory constraint (see §6).
+        }
+        Ok(())
+    }
+}
+
+impl Default for ModelConfig {
+    /// Tightened model with `N = 2`, `L = 0`.
+    fn default() -> Self {
+        Self::tightened(2, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let b = ModelConfig::basic(3, 1);
+        assert_eq!(b.w_form, WForm::PerProduct);
+        assert_eq!(b.cuts, CutSet::NONE);
+        assert_eq!(b.linearization, Linearization::Glover);
+        let t = ModelConfig::tightened(3, 1);
+        assert_eq!(t.w_form, WForm::Aggregated);
+        assert_eq!(t.cuts, CutSet::ALL);
+        assert!(t.cuts.any_w_cut());
+        assert!(!b.cuts.any_w_cut());
+    }
+
+    #[test]
+    fn builders() {
+        let c = ModelConfig::tightened(2, 0)
+            .with_linearization(Linearization::Fortet)
+            .with_cuts(CutSet::NONE);
+        assert_eq!(c.linearization, Linearization::Fortet);
+        assert!(!c.cuts.usage_link);
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        assert!(ModelConfig::basic(0, 0).check().is_err());
+        assert!(ModelConfig::basic(1, 0).check().is_ok());
+    }
+}

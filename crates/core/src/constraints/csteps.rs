@@ -1,0 +1,255 @@
+//! Control-step ↔ partition consistency: eqs. (12)–(13).
+//!
+//! Control steps are a single global resource shared by all partitions: each
+//! step may be occupied by tasks of at most one partition. This is what
+//! makes the latency bound `L` global — splitting a design over more
+//! partitions consumes more of the shared horizon, which is why Table 3's
+//! `(N = 3, L = 0)` row is infeasible.
+
+use tempart_lp::{LpError, Problem, Sense};
+
+use crate::instance::Instance;
+use crate::vars::VarMap;
+
+/// Eq. (12): `c[t][j] ≥ Σ_k x[i][j][k]` for every operation `i` of task `t`
+/// whose mobility window contains `j` — task `t` occupies step `j` whenever
+/// one of its operations is scheduled there.
+pub(crate) fn add_cstep_occupancy(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let fus = instance.fus();
+    let mut count = 0;
+    for task in instance.graph().tasks() {
+        let t = task.id();
+        for &i in task.ops() {
+            // An operation started at j on unit k keeps its task resident on
+            // the fabric for the unit's full latency (in-flight results of
+            // pipelined units included): c[t][j'] ≥ x for j' ∈ [j, j+lat).
+            for j_occ in 0..vars.horizon {
+                let c = vars.c[t.index()][j_occ as usize];
+                let mut coeffs: Vec<_> = vars.x_of_op[i.index()]
+                    .iter()
+                    .filter(|&&(j_start, k, _)| {
+                        j_start <= j_occ && j_occ < j_start + fus.latency(k)
+                    })
+                    .map(|&(_, _, v)| (v, 1.0))
+                    .collect();
+                if coeffs.is_empty() {
+                    continue;
+                }
+                // Each term individually implies occupancy: per-var rows are
+                // tighter than the aggregate when several starts map here.
+                for (v, _) in coeffs.drain(..) {
+                    problem.add_constraint(
+                        format!("occ[{t},{i},cs{j_occ}]"),
+                        [(v, 1.0), (c, -1.0)],
+                        Sense::Le,
+                        0.0,
+                    )?;
+                    count += 1;
+                }
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Eq. (13): if two distinct tasks occupy the same control step they must be
+/// in the same partition:
+/// `c[t1][j] + y[t1][p1] + c[t2][j] + y[t2][p2] ≤ 3` for all `t1 < t2`, all
+/// steps `j`, and all ordered partition pairs `p1 ≠ p2`.
+pub(crate) fn add_cstep_uniqueness(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let n_tasks = instance.graph().num_tasks();
+    let n = vars.n_parts;
+    let mut count = 0;
+    for t1 in 0..n_tasks {
+        for t2 in (t1 + 1)..n_tasks {
+            for j in 0..vars.horizon as usize {
+                for p1 in 0..n as usize {
+                    for p2 in 0..n as usize {
+                        if p1 == p2 {
+                            continue;
+                        }
+                        problem.add_constraint(
+                            format!("csuniq[t{t1},t{t2},cs{j},p{p1},p{p2}]"),
+                            [
+                                (vars.c[t1][j], 1.0),
+                                (vars.y[t1][p1], 1.0),
+                                (vars.c[t2][j], 1.0),
+                                (vars.y[t2][p2], 1.0),
+                            ],
+                            Sense::Le,
+                            3.0,
+                        )?;
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Compact equivalent of (13) using step-ownership binaries `g[j][p]`:
+///
+/// * `g[j][p] ≥ c[t][j] + y[t][p] − 1` for every task, step and partition —
+///   a task occupying step `j` from partition `p` claims the step;
+/// * `Σ_p g[j][p] ≤ 1` — a step belongs to at most one partition.
+///
+/// `O(T·J·N)` rows instead of `O(T²·J·N²)`, with the same integer feasible
+/// set (two tasks in different partitions sharing a step would claim two
+/// owners for it).
+pub(crate) fn add_cstep_uniqueness_compact(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let n_tasks = instance.graph().num_tasks();
+    let n = vars.n_parts as usize;
+    let mut count = 0;
+    for j in 0..vars.horizon as usize {
+        for t in 0..n_tasks {
+            for p in 0..n {
+                problem.add_constraint(
+                    format!("own[t{t},cs{j},p{p}]"),
+                    [
+                        (vars.g[j][p], 1.0),
+                        (vars.c[t][j], -1.0),
+                        (vars.y[t][p], -1.0),
+                    ],
+                    Sense::Ge,
+                    -1.0,
+                )?;
+                count += 1;
+            }
+        }
+        let coeffs: Vec<_> = (0..n).map(|p| (vars.g[j][p], 1.0)).collect();
+        problem.add_constraint(format!("one-owner[cs{j}]"), coeffs, Sense::Le, 1.0)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CstepEncoding, ModelConfig};
+    use crate::constraints::{partitioning, synthesis};
+    use crate::test_support::{lp_relaxation_feasible, tiny_instance, tiny_model_parts};
+
+    fn full_cstep_model(
+        cfg: &ModelConfig,
+    ) -> (crate::vars::VarMap, tempart_lp::Problem, Instance) {
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, cfg);
+        partitioning::add_uniqueness(&inst, &vars, &mut p).unwrap();
+        partitioning::add_temporal_order(&inst, &vars, &mut p).unwrap();
+        synthesis::add_unique_assignment(&inst, &vars, &mut p).unwrap();
+        synthesis::add_fu_exclusivity(&inst, &vars, &mut p).unwrap();
+        synthesis::add_dependencies(&inst, &vars, &mut p).unwrap();
+        add_cstep_occupancy(&inst, &vars, &mut p).unwrap();
+        match cfg.cstep_encoding {
+            CstepEncoding::Pairwise => add_cstep_uniqueness(&inst, &vars, &mut p).unwrap(),
+            CstepEncoding::Compact => {
+                add_cstep_uniqueness_compact(&inst, &vars, &mut p).unwrap()
+            }
+        };
+        (vars, p, inst)
+    }
+
+    fn pairwise_cfg() -> ModelConfig {
+        let mut cfg = ModelConfig::tightened(2, 1);
+        cfg.cstep_encoding = CstepEncoding::Pairwise;
+        cfg
+    }
+
+    #[test]
+    fn compact_encoding_forbids_sharing_too() {
+        let cfg = ModelConfig::tightened(2, 1); // Compact is the default
+        assert_eq!(cfg.cstep_encoding, CstepEncoding::Compact);
+        let (vars, mut p, _) = full_cstep_model(&cfg);
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][1], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.c[0][2], 1.0, 1.0).unwrap();
+        let sub = tempart_graph::OpId::new(2);
+        let coeffs: Vec<_> = vars.x_of_op[sub.index()]
+            .iter()
+            .filter(|&&(j, _, _)| j == 2)
+            .map(|&(_, _, v)| (v, 1.0))
+            .collect();
+        p.add_constraint("pin-sub", coeffs, Sense::Eq, 1.0).unwrap();
+        assert!(!lp_relaxation_feasible(&p));
+    }
+
+    #[test]
+    fn compact_encoding_allows_disjoint_steps() {
+        let cfg = ModelConfig::tightened(2, 1);
+        let (vars, mut p, _) = full_cstep_model(&cfg);
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][1], 1.0, 1.0).unwrap();
+        assert!(lp_relaxation_feasible(&p));
+    }
+
+    #[test]
+    fn sharing_step_across_partitions_forbidden() {
+        // tiny_instance: t0 = {add -> mul}, t1 = {sub}, horizon(L=1) = 4.
+        // Put t0 in p0, t1 in p1, and force t1's sub onto step 1, which t0's
+        // mul must also use if the add is pinned to step 0 and the mul to 1.
+        let cfg = pairwise_cfg();
+        let (vars, mut p, _) = full_cstep_model(&cfg);
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][1], 1.0, 1.0).unwrap();
+        // Pin c variables directly: t0 claims step 2, and force t1's sub to
+        // step 2 (which its L-relaxed window [2,3] allows) via its x vars.
+        p.set_bounds(vars.c[0][2], 1.0, 1.0).unwrap();
+        let sub = tempart_graph::OpId::new(2);
+        let coeffs: Vec<_> = vars.x_of_op[sub.index()]
+            .iter()
+            .filter(|&&(j, _, _)| j == 2)
+            .map(|&(_, _, v)| (v, 1.0))
+            .collect();
+        assert!(!coeffs.is_empty());
+        p.add_constraint("pin-sub", coeffs, Sense::Eq, 1.0).unwrap();
+        assert!(!lp_relaxation_feasible(&p));
+    }
+
+    #[test]
+    fn disjoint_steps_allowed() {
+        let cfg = pairwise_cfg();
+        let (vars, mut p, _) = full_cstep_model(&cfg);
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][1], 1.0, 1.0).unwrap();
+        assert!(lp_relaxation_feasible(&p));
+    }
+
+    #[test]
+    fn same_partition_sharing_allowed() {
+        // Both tasks in partition 0 may interleave steps freely.
+        let cfg = pairwise_cfg();
+        let (vars, mut p, _) = full_cstep_model(&cfg);
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][0], 1.0, 1.0).unwrap();
+        assert!(lp_relaxation_feasible(&p));
+    }
+
+    #[test]
+    fn occupancy_rows_match_windows() {
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 0);
+        let (vars, mut p) = tiny_model_parts(&inst, &cfg);
+        let rows = add_cstep_occupancy(&inst, &vars, &mut p).unwrap();
+        let expect: usize = inst
+            .graph()
+            .ops()
+            .iter()
+            .map(|op| vars.cs[op.id().index()].len())
+            .sum();
+        assert_eq!(rows, expect);
+    }
+}

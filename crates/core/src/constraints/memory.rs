@@ -1,0 +1,245 @@
+//! Scratch-memory constraints and the definition of the crossing variables
+//! `w`: eqs. (3), (4)–(5) (per-product form) and (31) (aggregated form).
+
+use tempart_lp::{LpError, Problem, Sense};
+
+use crate::config::{Linearization, ModelConfig, WForm};
+use crate::instance::Instance;
+use crate::vars::VarMap;
+
+/// Eq. (3): for every boundary `b` (between partitions `b−1` and `b`), the
+/// total bandwidth of crossing edges fits in the scratch memory `M_s`.
+pub(crate) fn add_memory_capacity(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let ms = instance.device().scratch_memory().units() as f64;
+    let edges = instance.graph().task_edges();
+    let mut count = 0;
+    for b in 1..vars.n_parts {
+        let coeffs: Vec<_> = edges
+            .iter()
+            .enumerate()
+            .map(|(e, edge)| (vars.w_at(b, e), edge.bandwidth.units() as f64))
+            .collect();
+        if coeffs.is_empty() {
+            continue;
+        }
+        problem.add_constraint(format!("mem[b{b}]"), coeffs, Sense::Le, ms)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Defines `w` from the placement variables, per [`ModelConfig::w_form`].
+///
+/// * [`WForm::PerProduct`] — eqs. (4)–(5): one product variable
+///   `v = y[t1][p1]·y[t2][p2]` per crossing pair (linearized by Fortet or
+///   Glover), with the exact coupling `w[b][e] = Σ_{p1 < b ≤ p2} v`.
+/// * [`WForm::Aggregated`] — eq. (31):
+///   `w[b][e] ≥ Σ_{p1 < b} y[t1][p1] + Σ_{p2 ≥ b} y[t2][p2] − 1`.
+pub(crate) fn add_w_definition(
+    instance: &Instance,
+    config: &ModelConfig,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let n = vars.n_parts;
+    let edges = instance.graph().task_edges();
+    let mut count = 0;
+    match config.w_form {
+        WForm::PerProduct => {
+            for (e, edge) in edges.iter().enumerate() {
+                let (t1, t2) = (edge.from, edge.to);
+                // Product linearizations.
+                for p1 in 0..n {
+                    for p2 in (p1 + 1)..n {
+                        let v = vars.v[&(e, p1, p2)];
+                        let y1 = vars.y[t1.index()][p1 as usize];
+                        let y2 = vars.y[t2.index()][p2 as usize];
+                        // (15): y1 + y2 − v ≤ 1 (forces v = 1 when both 1).
+                        problem.add_constraint(
+                            format!("vlin1[e{e},p{p1},p{p2}]"),
+                            [(y1, 1.0), (y2, 1.0), (v, -1.0)],
+                            Sense::Le,
+                            1.0,
+                        )?;
+                        count += 1;
+                        match config.linearization {
+                            Linearization::Fortet => {
+                                // (16): −y1 − y2 + 2v ≤ 0.
+                                problem.add_constraint(
+                                    format!("vlin2[e{e},p{p1},p{p2}]"),
+                                    [(y1, -1.0), (y2, -1.0), (v, 2.0)],
+                                    Sense::Le,
+                                    0.0,
+                                )?;
+                                count += 1;
+                            }
+                            Linearization::Glover => {
+                                // (17)–(18): v ≤ y1, v ≤ y2.
+                                problem.add_constraint(
+                                    format!("vle1[e{e},p{p1},p{p2}]"),
+                                    [(v, 1.0), (y1, -1.0)],
+                                    Sense::Le,
+                                    0.0,
+                                )?;
+                                problem.add_constraint(
+                                    format!("vle2[e{e},p{p1},p{p2}]"),
+                                    [(v, 1.0), (y2, -1.0)],
+                                    Sense::Le,
+                                    0.0,
+                                )?;
+                                count += 2;
+                            }
+                        }
+                    }
+                }
+                // (5): exact coupling per boundary.
+                for b in 1..n {
+                    let mut coeffs: Vec<_> = Vec::new();
+                    for p1 in 0..b {
+                        for p2 in b..n {
+                            coeffs.push((vars.v[&(e, p1, p2)], 1.0));
+                        }
+                    }
+                    coeffs.push((vars.w_at(b, e), -1.0));
+                    problem.add_constraint(
+                        format!("wdef[e{e},b{b}]"),
+                        coeffs,
+                        Sense::Eq,
+                        0.0,
+                    )?;
+                    count += 1;
+                }
+            }
+        }
+        WForm::Aggregated => {
+            for (e, edge) in edges.iter().enumerate() {
+                let (t1, t2) = (edge.from, edge.to);
+                for b in 1..n {
+                    // (31): w ≥ Σ_{p1<b} y1 + Σ_{p2≥b} y2 − 1.
+                    let mut coeffs: Vec<_> = Vec::new();
+                    for p1 in 0..b {
+                        coeffs.push((vars.y[t1.index()][p1 as usize], 1.0));
+                    }
+                    for p2 in b..n {
+                        coeffs.push((vars.y[t2.index()][p2 as usize], 1.0));
+                    }
+                    coeffs.push((vars.w_at(b, e), -1.0));
+                    problem.add_constraint(
+                        format!("wagg[e{e},b{b}]"),
+                        coeffs,
+                        Sense::Le,
+                        1.0,
+                    )?;
+                    count += 1;
+                }
+            }
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::constraints::partitioning;
+    use crate::test_support::{lp_optimum, tiny_instance, tiny_model_parts};
+    use tempart_lp::VarKind;
+
+    /// Fixing a crossing placement must force `w = 1` (both forms).
+    fn crossing_forces_w(config: ModelConfig) {
+        let inst = tiny_instance(); // t0 -> t1, bandwidth 4
+        let (vars, mut p) = tiny_model_parts(&inst, &config);
+        partitioning::add_uniqueness(&inst, &vars, &mut p).unwrap();
+        add_w_definition(&inst, &config, &vars, &mut p).unwrap();
+        // Place t0 in partition 0 and t1 in partition 1: edge crosses b=1.
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][1], 1.0, 1.0).unwrap();
+        // Minimize w: it must still be 1.
+        p.set_objective(vars.w_at(1, 0), 1.0).unwrap();
+        let (feasible, obj) = lp_optimum(&p);
+        assert!(feasible);
+        assert!((obj - 1.0).abs() < 1e-6, "w forced to {obj}, want 1");
+    }
+
+    /// Co-located placement must allow `w = 0` (both forms).
+    fn colocated_allows_zero(config: ModelConfig) {
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, &config);
+        partitioning::add_uniqueness(&inst, &vars, &mut p).unwrap();
+        add_w_definition(&inst, &config, &vars, &mut p).unwrap();
+        p.set_bounds(vars.y[0][1], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][1], 1.0, 1.0).unwrap();
+        p.set_objective(vars.w_at(1, 0), 1.0).unwrap();
+        let (feasible, obj) = lp_optimum(&p);
+        assert!(feasible);
+        assert!(obj.abs() < 1e-6, "w should relax to 0, got {obj}");
+    }
+
+    #[test]
+    fn per_product_w_semantics() {
+        crossing_forces_w(ModelConfig::basic(2, 1));
+        colocated_allows_zero(ModelConfig::basic(2, 1));
+    }
+
+    #[test]
+    fn per_product_fortet_w_semantics() {
+        let cfg = ModelConfig::basic(2, 1)
+            .with_linearization(crate::config::Linearization::Fortet);
+        crossing_forces_w(cfg.clone());
+        colocated_allows_zero(cfg);
+    }
+
+    #[test]
+    fn aggregated_w_semantics() {
+        crossing_forces_w(ModelConfig::tightened(2, 1));
+        colocated_allows_zero(ModelConfig::tightened(2, 1));
+    }
+
+    #[test]
+    fn non_adjacent_crossing_charges_both_boundaries() {
+        // 3 partitions, t0 at p0, t1 at p2: w must be 1 at boundaries 1 and 2
+        // (Figure 3's non-adjacent staging).
+        let config = ModelConfig::tightened(3, 1);
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, &config);
+        partitioning::add_uniqueness(&inst, &vars, &mut p).unwrap();
+        add_w_definition(&inst, &config, &vars, &mut p).unwrap();
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][2], 1.0, 1.0).unwrap();
+        p.set_objective(vars.w_at(1, 0), 1.0).unwrap();
+        p.set_objective(vars.w_at(2, 0), 1.0).unwrap();
+        let (feasible, obj) = lp_optimum(&p);
+        assert!(feasible);
+        assert!((obj - 2.0).abs() < 1e-6, "both boundaries charged, got {obj}");
+    }
+
+    #[test]
+    fn memory_capacity_counts_bandwidth() {
+        // Bandwidth 4 > tiny memory 3 ⇒ crossing placement infeasible.
+        let config = ModelConfig::tightened(2, 1);
+        let inst = crate::test_support::tiny_instance_with_memory(3);
+        let (vars, mut p) = tiny_model_parts(&inst, &config);
+        partitioning::add_uniqueness(&inst, &vars, &mut p).unwrap();
+        add_w_definition(&inst, &config, &vars, &mut p).unwrap();
+        let rows = add_memory_capacity(&inst, &vars, &mut p).unwrap();
+        assert_eq!(rows, 1);
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][1], 1.0, 1.0).unwrap();
+        let (feasible, _) = lp_optimum(&p);
+        assert!(!feasible, "crossing 4 units through 3-unit memory must fail");
+    }
+
+    #[test]
+    fn glover_products_are_continuous_fortet_binary() {
+        let inst = tiny_instance();
+        let (vars, p) = tiny_model_parts(&inst, &ModelConfig::basic(2, 1));
+        for &v in vars.v.values() {
+            assert_eq!(p.var_kind(v), VarKind::Continuous);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Constraint families of the formulation, one module per group of paper
+//! equations. Each `add` function returns the number of rows it appended so
+//! the model can report per-family statistics.
+//!
+//! | Module | Paper equations |
+//! |--------|-----------------|
+//! | [`partitioning`] | (1) uniqueness, (2) temporal order |
+//! | [`memory`] | (3) scratch capacity, (4)–(5) per-product `w`, (31) aggregated `w` |
+//! | [`synthesis`] | (6) unique assignment, (7) FU exclusivity, (8) dependencies |
+//! | [`usage`] | (19)–(23) usage products, (26)–(27) `o` definition |
+//! | [`resource`] | (11) FPGA capacity |
+//! | [`csteps`] | (12)–(13) control-step ↔ partition consistency |
+//! | [`tighten`] | (28)–(30), (32) cutting constraints |
+//! | [`symmetry`] | identical-unit load ordering (extension) |
+
+pub(crate) mod csteps;
+pub(crate) mod memory;
+pub(crate) mod partitioning;
+pub(crate) mod resource;
+pub(crate) mod symmetry;
+pub(crate) mod synthesis;
+pub(crate) mod tighten;
+pub(crate) mod usage;

@@ -1,0 +1,99 @@
+//! Temporal-partitioning constraints: uniqueness (1) and temporal order (2).
+
+use tempart_lp::{LpError, Problem, Sense};
+
+use crate::instance::Instance;
+use crate::vars::VarMap;
+
+/// Eq. (1): every task is placed in exactly one partition.
+pub(crate) fn add_uniqueness(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let mut count = 0;
+    for task in instance.graph().tasks() {
+        let t = task.id();
+        let coeffs: Vec<_> = vars.y[t.index()].iter().map(|&v| (v, 1.0)).collect();
+        problem.add_constraint(format!("uniq[{t}]"), coeffs, Sense::Eq, 1.0)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Eq. (2): a producer task may not land in a *later* partition than any of
+/// its consumers: for every edge `t1 → t2` and every partition `p2 < N−1`,
+/// `Σ_{p1 > p2} y[t1][p1] + y[t2][p2] ≤ 1`.
+pub(crate) fn add_temporal_order(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let n = vars.n_parts;
+    let mut count = 0;
+    for edge in instance.graph().task_edges() {
+        let (t1, t2) = (edge.from, edge.to);
+        for p2 in 0..n.saturating_sub(1) {
+            let mut coeffs: Vec<_> = ((p2 + 1)..n)
+                .map(|p1| (vars.y[t1.index()][p1 as usize], 1.0))
+                .collect();
+            coeffs.push((vars.y[t2.index()][p2 as usize], 1.0));
+            problem.add_constraint(
+                format!("order[{t1}->{t2},p{p2}]"),
+                coeffs,
+                Sense::Le,
+                1.0,
+            )?;
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::test_support::{lp_relaxation_feasible, tiny_instance, tiny_model_parts};
+
+    #[test]
+    fn uniqueness_row_per_task() {
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 1));
+        let added = add_uniqueness(&inst, &vars, &mut p).unwrap();
+        assert_eq!(added, inst.graph().num_tasks());
+    }
+
+    #[test]
+    fn order_rows_per_edge() {
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(3, 1));
+        let added = add_temporal_order(&inst, &vars, &mut p).unwrap();
+        // (N−1) rows per edge.
+        assert_eq!(added, inst.graph().task_edges().len() * 2);
+    }
+
+    #[test]
+    fn order_forbids_backward_placement() {
+        // With t0 -> t1: fixing y[t0][1] = 1 and y[t1][0] = 1 must be LP
+        // infeasible together with the uniqueness and order rows.
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 1));
+        add_uniqueness(&inst, &vars, &mut p).unwrap();
+        add_temporal_order(&inst, &vars, &mut p).unwrap();
+        p.set_bounds(vars.y[0][1], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][0], 1.0, 1.0).unwrap();
+        assert!(!lp_relaxation_feasible(&p));
+    }
+
+    #[test]
+    fn order_allows_same_partition() {
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 1));
+        add_uniqueness(&inst, &vars, &mut p).unwrap();
+        add_temporal_order(&inst, &vars, &mut p).unwrap();
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][0], 1.0, 1.0).unwrap();
+        assert!(lp_relaxation_feasible(&p));
+    }
+}

@@ -1,0 +1,91 @@
+//! FPGA resource-capacity constraint (11).
+
+use tempart_lp::{LpError, Problem, Sense};
+
+use crate::instance::Instance;
+use crate::vars::VarMap;
+
+/// Eq. (11): for every partition `p`,
+/// `α · Σ_k u[p][k] · FG(k) ≤ C`.
+pub(crate) fn add_resource_capacity(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let alpha = instance.device().alpha().value();
+    let capacity = f64::from(instance.device().capacity().count());
+    let fus = instance.fus();
+    let mut count = 0;
+    for p in 0..vars.n_parts as usize {
+        let coeffs: Vec<_> = (0..fus.num_instances())
+            .map(|k| {
+                let fg = f64::from(fus.cost(tempart_graph::FuId::new(k as u32)).count());
+                (vars.u[p][k], alpha * fg)
+            })
+            .collect();
+        problem.add_constraint(format!("cap[p{p}]"), coeffs, Sense::Le, capacity)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::test_support::{lp_relaxation_feasible, tiny_instance_with_device, tiny_model_parts};
+    use tempart_graph::{Bandwidth, FpgaDevice, FunctionGenerators};
+
+    #[test]
+    fn capacity_row_per_partition() {
+        let dev = FpgaDevice::builder("d")
+            .capacity(FunctionGenerators::new(1000))
+            .scratch_memory(Bandwidth::new(100))
+            .alpha(1.0)
+            .build()
+            .unwrap();
+        let inst = tiny_instance_with_device(dev);
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(3, 1));
+        let rows = add_resource_capacity(&inst, &vars, &mut p).unwrap();
+        assert_eq!(rows, 3);
+    }
+
+    #[test]
+    fn overfull_partition_infeasible() {
+        // Capacity below a single multiplier (96 FG at alpha=1.0): forcing
+        // u[0][mul] = 1 violates (11).
+        let dev = FpgaDevice::builder("small")
+            .capacity(FunctionGenerators::new(50))
+            .scratch_memory(Bandwidth::new(100))
+            .alpha(1.0)
+            .build()
+            .unwrap();
+        let inst = tiny_instance_with_device(dev);
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 1));
+        add_resource_capacity(&inst, &vars, &mut p).unwrap();
+        // Unit 1 is the multiplier in the tiny instance's exploration set.
+        p.set_bounds(vars.u[0][1], 1.0, 1.0).unwrap();
+        assert!(!lp_relaxation_feasible(&p));
+        // The adder (18 FG) alone fits.
+        let (vars2, mut p2) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 1));
+        add_resource_capacity(&inst, &vars2, &mut p2).unwrap();
+        p2.set_bounds(vars2.u[0][0], 1.0, 1.0).unwrap();
+        assert!(lp_relaxation_feasible(&p2));
+    }
+
+    #[test]
+    fn alpha_derates_cost() {
+        // 96-FG multiplier at alpha 0.5 needs only 48 ≤ 50.
+        let dev = FpgaDevice::builder("derated")
+            .capacity(FunctionGenerators::new(50))
+            .scratch_memory(Bandwidth::new(100))
+            .alpha(0.5)
+            .build()
+            .unwrap();
+        let inst = tiny_instance_with_device(dev);
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 1));
+        add_resource_capacity(&inst, &vars, &mut p).unwrap();
+        p.set_bounds(vars.u[0][1], 1.0, 1.0).unwrap();
+        assert!(lp_relaxation_feasible(&p));
+    }
+}

@@ -1,0 +1,217 @@
+//! Synthesis constraints: unique operation assignment (6), functional-unit
+//! exclusivity (7), and dependency ordering (8).
+
+use tempart_lp::{LpError, Problem, Sense};
+
+use crate::instance::Instance;
+use crate::vars::VarMap;
+
+/// Eq. (6): each operation is scheduled at exactly one `(step, unit)` pair.
+pub(crate) fn add_unique_assignment(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let mut count = 0;
+    for op in instance.graph().ops() {
+        let i = op.id();
+        let coeffs: Vec<_> = vars.x_of_op[i.index()]
+            .iter()
+            .map(|&(_, _, v)| (v, 1.0))
+            .collect();
+        problem.add_constraint(format!("assign[{i}]"), coeffs, Sense::Eq, 1.0)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Eq. (7): at most one operation per functional unit per control step.
+///
+/// The paper prints (7) with a single `∀j` quantifier, which as written
+/// would allow only one operation *in total* per step; the prose ("prevents
+/// more than one operation from being scheduled at the same control step on
+/// the same functional unit") makes the intent `∀j, ∀k` clear, and that is
+/// what we generate.
+pub(crate) fn add_fu_exclusivity(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let mut count = 0;
+    let fus = instance.fus();
+    let n_fus = fus.num_instances();
+    for j in 0..vars.horizon {
+        for k in 0..n_fus {
+            let k = tempart_graph::FuId::new(k as u32);
+            // A non-pipelined multicycle unit started at j' is still busy at
+            // every step in [j', j' + occupancy); pipelined units free up
+            // after one step.
+            let occ = fus.occupancy(k);
+            let lo = j.saturating_sub(occ - 1);
+            let coeffs: Vec<_> = instance
+                .graph()
+                .ops()
+                .iter()
+                .flat_map(|op| {
+                    (lo..=j).filter_map(move |j2| vars.x.get(&(op.id(), j2, k)))
+                })
+                .map(|&v| (v, 1.0))
+                .collect();
+            if coeffs.len() > 1 {
+                problem.add_constraint(format!("excl[cs{j},{k}]"), coeffs, Sense::Le, 1.0)?;
+                count += 1;
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Eq. (8): for every dependency `i1 → i2` of the *combined* operation graph
+/// (intra-task edges plus the sink→source edges induced by task edges) and
+/// every step pair `j2 ≤ j1`, at most one of "`i1` at `j1`" and "`i2` at
+/// `j2`" may hold — under unit latency the consumer must start strictly
+/// after the producer.
+pub(crate) fn add_dependencies(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let fus = instance.fus();
+    let mut count = 0;
+    for (i1, i2) in instance.graph().combined_op_edges() {
+        // Group the producer's start choices by result latency so the
+        // forbidden window `j2 < j1 + d` stays exact per latency class
+        // (units of different speed may implement the same operation —
+        // the exploration the paper highlights in §2).
+        let mut latency_classes: Vec<u32> = vars.x_of_op[i1.index()]
+            .iter()
+            .map(|&(_, k, _)| fus.latency(k))
+            .collect();
+        latency_classes.sort_unstable();
+        latency_classes.dedup();
+        for &d in &latency_classes {
+            for &j1 in &vars.cs[i1.index()] {
+                let producers: Vec<_> = vars.x_of_op[i1.index()]
+                    .iter()
+                    .filter(|&&(j, k, _)| j == j1.0 && fus.latency(k) == d)
+                    .map(|&(_, _, v)| (v, 1.0))
+                    .collect();
+                if producers.is_empty() {
+                    continue;
+                }
+                for &j2 in &vars.cs[i2.index()] {
+                    if j2.0 >= j1.0 + d {
+                        continue;
+                    }
+                    let mut coeffs = producers.clone();
+                    coeffs.extend(
+                        vars.x_of_op[i2.index()]
+                            .iter()
+                            .filter(|&&(j, _, _)| j == j2.0)
+                            .map(|&(_, _, v)| (v, 1.0)),
+                    );
+                    if coeffs.len() == producers.len() {
+                        continue; // consumer has no start vars at j2
+                    }
+                    problem.add_constraint(
+                        format!("dep[{i1}@{j1}d{d},{i2}@{j2}]"),
+                        coeffs,
+                        Sense::Le,
+                        1.0,
+                    )?;
+                    count += 1;
+                }
+            }
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::test_support::{lp_relaxation_feasible, tiny_instance, tiny_model_parts};
+
+    #[test]
+    fn assignment_rows_per_op() {
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(2, 1));
+        let rows = add_unique_assignment(&inst, &vars, &mut p).unwrap();
+        assert_eq!(rows, inst.graph().num_ops());
+    }
+
+    #[test]
+    fn dependency_forbids_equal_steps() {
+        let inst = tiny_instance(); // op0 (add) -> op1 (mul) in t0; op2 (sub) in t1
+        let cfg = ModelConfig::tightened(2, 1);
+        let (vars, mut p) = tiny_model_parts(&inst, &cfg);
+        add_unique_assignment(&inst, &vars, &mut p).unwrap();
+        add_fu_exclusivity(&inst, &vars, &mut p).unwrap();
+        add_dependencies(&inst, &vars, &mut p).unwrap();
+        // Force op0 and op1 on the same step (their windows overlap at 1
+        // with L=1): op0 at cs1, op1 at cs1.
+        let op0 = tempart_graph::OpId::new(0);
+        let op1 = tempart_graph::OpId::new(1);
+        // Find x vars at step 1 and pin their step-sums to 1.
+        let pin = |p: &mut tempart_lp::Problem, op: tempart_graph::OpId, step: u32| {
+            let coeffs: Vec<_> = vars.x_of_op[op.index()]
+                .iter()
+                .filter(|&&(j, _, _)| j == step)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            assert!(!coeffs.is_empty(), "{op} has no x at step {step}");
+            p.add_constraint(format!("pin[{op}@{step}]"), coeffs, tempart_lp::Sense::Eq, 1.0)
+                .unwrap();
+        };
+        pin(&mut p, op0, 1);
+        pin(&mut p, op1, 1);
+        assert!(!lp_relaxation_feasible(&p), "same-step dependency must fail");
+    }
+
+    #[test]
+    fn dependency_allows_proper_order() {
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 1);
+        let (vars, mut p) = tiny_model_parts(&inst, &cfg);
+        add_unique_assignment(&inst, &vars, &mut p).unwrap();
+        add_fu_exclusivity(&inst, &vars, &mut p).unwrap();
+        add_dependencies(&inst, &vars, &mut p).unwrap();
+        let op0 = tempart_graph::OpId::new(0);
+        let op1 = tempart_graph::OpId::new(1);
+        let pin = |p: &mut tempart_lp::Problem, op: tempart_graph::OpId, step: u32| {
+            let coeffs: Vec<_> = vars.x_of_op[op.index()]
+                .iter()
+                .filter(|&&(j, _, _)| j == step)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            p.add_constraint(format!("pin[{op}@{step}]"), coeffs, tempart_lp::Sense::Eq, 1.0)
+                .unwrap();
+        };
+        pin(&mut p, op0, 0);
+        pin(&mut p, op1, 1);
+        assert!(lp_relaxation_feasible(&p));
+    }
+
+    #[test]
+    fn exclusivity_blocks_fu_sharing() {
+        // Two independent adds, one adder: both at step 0 is infeasible.
+        let inst = crate::test_support::two_adds_one_adder();
+        let cfg = ModelConfig::tightened(1, 1);
+        let (vars, mut p) = tiny_model_parts(&inst, &cfg);
+        add_unique_assignment(&inst, &vars, &mut p).unwrap();
+        let rows = add_fu_exclusivity(&inst, &vars, &mut p).unwrap();
+        assert!(rows > 0);
+        for op in 0..2u32 {
+            let op = tempart_graph::OpId::new(op);
+            let coeffs: Vec<_> = vars.x_of_op[op.index()]
+                .iter()
+                .filter(|&&(j, _, _)| j == 0)
+                .map(|&(_, _, v)| (v, 1.0))
+                .collect();
+            p.add_constraint(format!("pin[{op}]"), coeffs, tempart_lp::Sense::Eq, 1.0)
+                .unwrap();
+        }
+        assert!(!lp_relaxation_feasible(&p));
+    }
+}

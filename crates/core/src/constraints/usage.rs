@@ -1,0 +1,250 @@
+//! Functional-unit usage coupling: the `o_tk` definition (26)–(27) and the
+//! usage products `z_ptk = y_tp · o_tk` with their links to `u_pk`
+//! ((19)–(23), or the Fortet variant (15)–(16)).
+
+use tempart_lp::{LpError, Problem, Sense};
+
+use crate::config::{Linearization, ModelConfig};
+use crate::instance::Instance;
+use crate::vars::VarMap;
+
+/// Eqs. (26)–(27): `o[t][k] = 1` iff some operation of task `t` is bound to
+/// unit `k`:
+///
+/// * (26) `o[t][k] ≥ x[i][j][k]` for every compatible `(i, j)`;
+/// * (27) `Σ_{i,j} x[i][j][k] − o[t][k] ≥ 0` (so `o = 0` when unused).
+pub(crate) fn add_o_definition(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let mut count = 0;
+    let n_fus = instance.fus().num_instances();
+    for task in instance.graph().tasks() {
+        let t = task.id();
+        for k in 0..n_fus {
+            let k_id = tempart_graph::FuId::new(k as u32);
+            let o = vars.o[t.index()][k];
+            let mut all: Vec<_> = Vec::new();
+            for &i in task.ops() {
+                for &(j, xk, v) in &vars.x_of_op[i.index()] {
+                    if xk == k_id {
+                        // (26)
+                        problem.add_constraint(
+                            format!("odef[{t},k{k},{i}@{j}]"),
+                            [(o, 1.0), (v, -1.0)],
+                            Sense::Ge,
+                            0.0,
+                        )?;
+                        count += 1;
+                        all.push((v, 1.0));
+                    }
+                }
+            }
+            if all.is_empty() {
+                // Task cannot use this unit at all: force o = 0.
+                problem.add_constraint(
+                    format!("onull[{t},k{k}]"),
+                    [(o, 1.0)],
+                    Sense::Eq,
+                    0.0,
+                )?;
+                count += 1;
+            } else {
+                // (27)
+                all.push((o, -1.0));
+                problem.add_constraint(format!("osum[{t},k{k}]"), all, Sense::Ge, 0.0)?;
+                count += 1;
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Usage products and `u` links.
+///
+/// Glover form ((19)–(23)): `z` continuous in `[0, 1]` with
+/// `y + o − z ≤ 1`, `z ≤ o`, `z ≤ y`, `u ≥ z`, and `Σ_t z − u ≥ 0`.
+///
+/// Fortet form ((15)–(16) applied to the same products): `z` binary with
+/// `y + o − z ≤ 1`, `−y − o + 2z ≤ 0`, plus the same `u` links.
+///
+/// Note: the paper prints (23) as `Σ_t z_ptk − u_pk ≤ 0`, which contradicts
+/// the direction of its own eq. (10) (`u` must be *at most* the number of
+/// using tasks so an unused unit frees capacity) and is infeasible whenever
+/// two co-located tasks share a unit; we generate the evident intent
+/// `Σ_t z_ptk − u_pk ≥ 0`.
+pub(crate) fn add_usage_products(
+    instance: &Instance,
+    config: &ModelConfig,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<usize, LpError> {
+    let mut count = 0;
+    let n_fus = instance.fus().num_instances();
+    let n_tasks = instance.graph().num_tasks();
+    for p in 0..vars.n_parts as usize {
+        for k in 0..n_fus {
+            let u = vars.u[p][k];
+            for t in 0..n_tasks {
+                let y = vars.y[t][p];
+                let o = vars.o[t][k];
+                let z = vars.z[p][t][k];
+                // (19) / (15): y + o − z ≤ 1.
+                problem.add_constraint(
+                    format!("zlin[p{p},t{t},k{k}]"),
+                    [(y, 1.0), (o, 1.0), (z, -1.0)],
+                    Sense::Le,
+                    1.0,
+                )?;
+                count += 1;
+                match config.linearization {
+                    Linearization::Glover => {
+                        // (20)–(21): z ≤ o, z ≤ y.
+                        problem.add_constraint(
+                            format!("zleo[p{p},t{t},k{k}]"),
+                            [(z, 1.0), (o, -1.0)],
+                            Sense::Le,
+                            0.0,
+                        )?;
+                        problem.add_constraint(
+                            format!("zley[p{p},t{t},k{k}]"),
+                            [(z, 1.0), (y, -1.0)],
+                            Sense::Le,
+                            0.0,
+                        )?;
+                        count += 2;
+                    }
+                    Linearization::Fortet => {
+                        // (16): −y − o + 2z ≤ 0.
+                        problem.add_constraint(
+                            format!("zfor[p{p},t{t},k{k}]"),
+                            [(y, -1.0), (o, -1.0), (z, 2.0)],
+                            Sense::Le,
+                            0.0,
+                        )?;
+                        count += 1;
+                    }
+                }
+                // (22) / (9): u ≥ z.
+                problem.add_constraint(
+                    format!("ugez[p{p},t{t},k{k}]"),
+                    [(u, 1.0), (z, -1.0)],
+                    Sense::Ge,
+                    0.0,
+                )?;
+                count += 1;
+            }
+            // (23, sign-corrected) / (10): u ≤ Σ_t z.
+            let mut coeffs: Vec<_> = (0..n_tasks).map(|t| (vars.z[p][t][k], 1.0)).collect();
+            coeffs.push((u, -1.0));
+            problem.add_constraint(format!("usum[p{p},k{k}]"), coeffs, Sense::Ge, 0.0)?;
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::constraints::{partitioning, synthesis};
+    use crate::test_support::{lp_optimum, tiny_instance, tiny_model_parts};
+
+    fn build_usage(cfg: &ModelConfig) -> (crate::vars::VarMap, tempart_lp::Problem, Instance) {
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, cfg);
+        partitioning::add_uniqueness(&inst, &vars, &mut p).unwrap();
+        synthesis::add_unique_assignment(&inst, &vars, &mut p).unwrap();
+        add_o_definition(&inst, &vars, &mut p).unwrap();
+        add_usage_products(&inst, cfg, &vars, &mut p).unwrap();
+        (vars, p, inst)
+    }
+
+    #[test]
+    fn binding_forces_o_and_u() {
+        let cfg = ModelConfig::tightened(2, 1);
+        let (vars, mut p, _inst) = build_usage(&cfg);
+        // Task 0's op 0 (add) can only run on unit 0 (the adder); pin it to
+        // one concrete (step, unit) so its x cannot split fractionally, and
+        // place task 0 in partition 0. Then o[0][0] = 1 and u[0][0] = 1 even
+        // at the LP relaxation.
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        let &(_, _, x00) = vars.x_of_op[0].first().expect("add has x vars");
+        p.set_bounds(x00, 1.0, 1.0).unwrap();
+        // Minimizing u still forces it to 1.
+        p.set_objective(vars.u[0][0], 1.0).unwrap();
+        let (feasible, obj) = lp_optimum(&p);
+        assert!(feasible);
+        assert!((obj - 1.0).abs() < 1e-6, "u forced to {obj}");
+    }
+
+    #[test]
+    fn fractional_binding_gives_partial_lp_bound() {
+        // Without pinning, the adder op can split 50/50 over its two window
+        // steps, so the LP floor on u is 0.5 — exactly the looseness the
+        // branch-and-bound integrality resolves.
+        let cfg = ModelConfig::tightened(2, 1);
+        let (vars, mut p, _inst) = build_usage(&cfg);
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_objective(vars.u[0][0], 1.0).unwrap();
+        let (feasible, obj) = lp_optimum(&p);
+        assert!(feasible);
+        assert!((obj - 0.5).abs() < 1e-6, "lp bound should be 0.5, got {obj}");
+    }
+
+    #[test]
+    fn unused_unit_can_be_zero() {
+        let cfg = ModelConfig::tightened(2, 1);
+        let (vars, mut p, _inst) = build_usage(&cfg);
+        // Partition 1 left empty: u[1][*] relax to 0 even if something (here
+        // nothing) pushed them up; also u is *capped* by Σ z (corrected (23)),
+        // so maximizing u over an empty partition yields 0.
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_bounds(vars.y[1][0], 1.0, 1.0).unwrap();
+        p.set_objective(vars.u[1][0], -1.0).unwrap(); // maximize u[1][adder]
+        let (feasible, obj) = lp_optimum(&p);
+        assert!(feasible);
+        assert!(obj.abs() < 1e-6, "empty partition's u must cap at 0, got {obj}");
+    }
+
+    #[test]
+    fn fortet_variant_same_semantics() {
+        let cfg = ModelConfig::tightened(2, 1)
+            .with_linearization(crate::config::Linearization::Fortet);
+        let (vars, mut p, _inst) = build_usage(&cfg);
+        p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+        p.set_objective(vars.u[0][0], 1.0).unwrap();
+        let (feasible, obj) = lp_optimum(&p);
+        assert!(feasible);
+        // Fortet's LP relaxation is weaker: u can sit at 1/2 fractionally.
+        assert!(obj > 0.4 && obj <= 1.0 + 1e-9, "fortet u bound {obj}");
+    }
+
+    #[test]
+    fn glover_relaxation_tighter_than_fortet() {
+        // The defining property the paper exploits: at the LP relaxation,
+        // minimizing u under a forced binding gives a *higher* (tighter)
+        // bound with Glover than with Fortet.
+        let glover = {
+            let cfg = ModelConfig::tightened(2, 1);
+            let (vars, mut p, _) = build_usage(&cfg);
+            p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+            p.set_objective(vars.u[0][0], 1.0).unwrap();
+            lp_optimum(&p).1
+        };
+        let fortet = {
+            let cfg = ModelConfig::tightened(2, 1)
+                .with_linearization(crate::config::Linearization::Fortet);
+            let (vars, mut p, _) = build_usage(&cfg);
+            p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
+            p.set_objective(vars.u[0][0], 1.0).unwrap();
+            lp_optimum(&p).1
+        };
+        assert!(
+            glover >= fortet - 1e-9,
+            "glover {glover} must dominate fortet {fortet}"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for model construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+use tempart_graph::GraphError;
+use tempart_hls::HlsError;
+use tempart_lp::LpError;
+
+/// Errors raised by the temporal-partitioning pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Specification error (invalid task graph, missing library coverage…).
+    Graph(GraphError),
+    /// Scheduling substrate error.
+    Hls(HlsError),
+    /// LP/MIP solver error.
+    Lp(LpError),
+    /// The model configuration is unusable (e.g. zero partitions).
+    InvalidConfig(&'static str),
+    /// An ILP solution failed semantic validation — indicates a formulation
+    /// or solver bug; the message names the violated rule.
+    InvalidSolution(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "specification error: {e}"),
+            CoreError::Hls(e) => write!(f, "scheduling error: {e}"),
+            CoreError::Lp(e) => write!(f, "solver error: {e}"),
+            CoreError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            CoreError::InvalidSolution(what) => {
+                write!(f, "solution failed semantic validation: {what}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Hls(e) => Some(e),
+            CoreError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<HlsError> for CoreError {
+    fn from(e: HlsError) -> Self {
+        CoreError::Hls(e)
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(LpError::IterationLimit);
+        assert!(e.to_string().contains("solver error"));
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidConfig("zero partitions");
+        assert!(e.to_string().contains("zero partitions"));
+        assert!(e.source().is_none());
+    }
+}

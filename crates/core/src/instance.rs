@@ -1,0 +1,67 @@
+//! A problem instance: specification + exploration set + target device.
+
+use tempart_graph::{ExplorationSet, FpgaDevice, GraphError, TaskGraph};
+
+/// Everything the formulation needs about one partitioning problem.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    graph: TaskGraph,
+    fus: ExplorationSet,
+    device: FpgaDevice,
+}
+
+impl Instance {
+    /// Bundles a specification with its functional-unit exploration set and
+    /// target device, checking that every operation kind is executable.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NoFuForKind`] if some operation kind in `graph` has no
+    /// capable functional unit in `fus`.
+    pub fn new(
+        graph: TaskGraph,
+        fus: ExplorationSet,
+        device: FpgaDevice,
+    ) -> Result<Self, GraphError> {
+        fus.check_covers(graph.ops().iter().map(|o| o.kind()))?;
+        Ok(Self { graph, fus, device })
+    }
+
+    /// The behavioral specification.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The exploration set `F`.
+    pub fn fus(&self) -> &ExplorationSet {
+        &self.fus
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_graph::{ComponentLibrary, OpKind, TaskGraphBuilder};
+
+    #[test]
+    fn coverage_checked() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("t");
+        b.op(t, OpKind::Mul).unwrap();
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let dev = FpgaDevice::xc4010_board();
+        let adders_only = lib.exploration_set(&[("add16", 1)]).unwrap();
+        assert!(Instance::new(g.clone(), adders_only, dev.clone()).is_err());
+        let with_mul = lib.exploration_set(&[("mul8", 1)]).unwrap();
+        let inst = Instance::new(g, with_mul, dev).unwrap();
+        assert_eq!(inst.graph().num_ops(), 1);
+        assert_eq!(inst.fus().num_instances(), 1);
+        assert_eq!(inst.device().name(), "xc4010");
+    }
+}

@@ -1,0 +1,169 @@
+//! # tempart-core
+//!
+//! The primary contribution of *Kaul & Vemuri, "Optimal Temporal
+//! Partitioning and Synthesis for Reconfigurable Architectures" (DATE
+//! 1998)*: a 0-1 (originally non-linear) programming model that performs
+//! **temporal partitioning, scheduling, functional-unit allocation and
+//! binding simultaneously**, minimizing the data transferred between the
+//! temporal segments of a reconfigurable processor.
+//!
+//! * [`Instance`] bundles a behavioral specification with a functional-unit
+//!   exploration set and a target [`FpgaDevice`](tempart_graph::FpgaDevice).
+//! * [`ModelConfig`] selects the formulation variant: the basic model of
+//!   §3–§4 ([`ModelConfig::basic`]) or the tightened model of §6
+//!   ([`ModelConfig::tightened`]), with Fortet/Glover linearizations and
+//!   individually toggleable cuts for ablation studies.
+//! * [`IlpModel`] builds the mixed 0-1 linear program and solves it with
+//!   `tempart-lp`'s branch and bound; [`RuleKind::Paper`] activates the §8
+//!   variable-selection heuristic.
+//! * [`TemporalPartitioner`] is the end-to-end Figure-2 pipeline: estimate
+//!   `N`, compute ASAP/ALAP mobility, formulate, solve, validate.
+//! * [`brute::brute_force_optimum`] is an independent exhaustive oracle used
+//!   by the test suite to certify optimality on small instances.
+//!
+//! ## Example
+//!
+//! ```
+//! use tempart_core::{Instance, IlpModel, ModelConfig, SolveOptions, RuleKind};
+//! use tempart_graph::{TaskGraphBuilder, OpKind, Bandwidth, ComponentLibrary, FpgaDevice};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = TaskGraphBuilder::new("spec");
+//! let t0 = b.task("producer");
+//! let a = b.op(t0, OpKind::Add)?;
+//! let m = b.op(t0, OpKind::Mul)?;
+//! b.op_edge(a, m)?;
+//! let t1 = b.task("consumer");
+//! b.op(t1, OpKind::Sub)?;
+//! b.task_edge(t0, t1, Bandwidth::new(8))?;
+//!
+//! let lib = ComponentLibrary::date98_default();
+//! let fus = lib.exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])?;
+//! let instance = Instance::new(b.build()?, fus, FpgaDevice::xc4010_board())?;
+//!
+//! let model = IlpModel::build(instance, ModelConfig::tightened(2, 1))?;
+//! let out = model.solve(&SolveOptions { rule: RuleKind::Paper, ..Default::default() })?;
+//! assert_eq!(out.solution.expect("feasible").communication_cost(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod branching;
+pub mod brute;
+mod config;
+pub mod heuristic;
+pub mod registers;
+mod constraints;
+mod error;
+mod instance;
+mod model;
+mod objective;
+mod solution;
+mod solve;
+mod vars;
+
+pub use config::{CstepEncoding, CutSet, Linearization, ModelConfig, WForm};
+pub use error::CoreError;
+pub use instance::Instance;
+pub use model::{IlpModel, ModelStats, RuleKind, SolveOptions, SolveOutcome};
+pub use solution::TemporalSolution;
+pub use solve::{PartitionerOptions, PartitionerResult, TemporalPartitioner};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for the unit tests of this crate.
+
+    use tempart_graph::{Bandwidth, ComponentLibrary, FpgaDevice, OpKind, TaskGraphBuilder};
+    use tempart_hls::Mobility;
+    use tempart_lp::{solve_lp, LpOptions, LpStatus, Problem};
+
+    use crate::config::ModelConfig;
+    use crate::instance::Instance;
+    use crate::vars::VarMap;
+
+    /// Two tasks: `t0 = {add → mul}`, `t1 = {sub}`, edge `t0 → t1` with
+    /// bandwidth 4. Exploration set: one adder (unit 0), one multiplier
+    /// (unit 1), one subtracter (unit 2). Device: XC4010 board.
+    pub fn tiny_instance() -> Instance {
+        tiny_instance_with_device(FpgaDevice::xc4010_board())
+    }
+
+    /// [`tiny_instance`] with a custom scratch-memory size.
+    pub fn tiny_instance_with_memory(ms: u64) -> Instance {
+        tiny_instance_with_device(
+            FpgaDevice::xc4010_board().with_scratch_memory(Bandwidth::new(ms)),
+        )
+    }
+
+    /// [`tiny_instance`] with a custom device.
+    pub fn tiny_instance_with_device(device: FpgaDevice) -> Instance {
+        let mut b = TaskGraphBuilder::new("tiny");
+        let t0 = b.task("t0");
+        let a = b.op(t0, OpKind::Add).unwrap();
+        let m = b.op(t0, OpKind::Mul).unwrap();
+        b.op_edge(a, m).unwrap();
+        let t1 = b.task("t1");
+        b.op(t1, OpKind::Sub).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(4)).unwrap();
+        let graph = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib
+            .exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])
+            .unwrap();
+        Instance::new(graph, fus, device).unwrap()
+    }
+
+    /// One task with two independent adds; exploration set has one adder.
+    pub fn two_adds_one_adder() -> Instance {
+        let mut b = TaskGraphBuilder::new("2add");
+        let t = b.task("t");
+        b.op(t, OpKind::Add).unwrap();
+        b.op(t, OpKind::Add).unwrap();
+        let graph = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 1)]).unwrap();
+        Instance::new(graph, fus, FpgaDevice::xc4010_board()).unwrap()
+    }
+
+    /// Two single-op tasks with no edge between them; units: adder,
+    /// multiplier, subtracter (so ids match [`tiny_instance`]).
+    pub fn two_independent_tasks() -> Instance {
+        let mut b = TaskGraphBuilder::new("indep");
+        let t0 = b.task("t0");
+        b.op(t0, OpKind::Add).unwrap();
+        let t1 = b.task("t1");
+        b.op(t1, OpKind::Sub).unwrap();
+        let graph = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib
+            .exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])
+            .unwrap();
+        Instance::new(graph, fus, FpgaDevice::xc4010_board()).unwrap()
+    }
+
+    /// Builds just the variables (no constraints) for constraint-module
+    /// tests.
+    pub fn tiny_model_parts(instance: &Instance, config: &ModelConfig) -> (VarMap, Problem) {
+        let mobility = Mobility::compute(instance.graph());
+        let mut problem = Problem::new("test");
+        let vars = VarMap::build(instance, config, &mobility, &mut problem).unwrap();
+        (vars, problem)
+    }
+
+    /// Whether the LP relaxation of `p` is feasible.
+    pub fn lp_relaxation_feasible(p: &Problem) -> bool {
+        matches!(
+            solve_lp(p, &LpOptions::default()).map(|o| o.status),
+            Ok(LpStatus::Optimal) | Ok(LpStatus::Unbounded)
+        )
+    }
+
+    /// `(feasible, objective)` of the LP relaxation.
+    pub fn lp_optimum(p: &Problem) -> (bool, f64) {
+        match solve_lp(p, &LpOptions::default()) {
+            Ok(o) if o.status == LpStatus::Optimal => (true, o.objective),
+            Ok(o) if o.status == LpStatus::Unbounded => (true, f64::NEG_INFINITY),
+            _ => (false, f64::INFINITY),
+        }
+    }
+}

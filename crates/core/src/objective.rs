@@ -1,0 +1,51 @@
+//! Cost function (14): total inter-partition data transfer.
+
+use tempart_lp::{LpError, Problem};
+
+use crate::instance::Instance;
+use crate::vars::VarMap;
+
+/// Eq. (14): minimize `Σ_e Σ_b w[b][e] · Bandwidth(e)`.
+///
+/// An edge whose endpoints are `d` partitions apart is charged at each of
+/// the `d` crossed boundaries — its data occupies scratch memory across
+/// every intervening reconfiguration (Figure 3). Minimizing this cost also
+/// minimizes the number of partitions actually used, since any crossing at
+/// all costs at least one bandwidth unit.
+pub(crate) fn set_objective(
+    instance: &Instance,
+    vars: &VarMap,
+    problem: &mut Problem,
+) -> Result<(), LpError> {
+    for (e, edge) in instance.graph().task_edges().iter().enumerate() {
+        let bw = edge.bandwidth.units() as f64;
+        for b in 1..vars.n_parts {
+            problem.set_objective(vars.w_at(b, e), bw)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::test_support::{tiny_instance, tiny_model_parts};
+
+    #[test]
+    fn objective_on_w_only() {
+        let inst = tiny_instance();
+        let (vars, mut p) = tiny_model_parts(&inst, &ModelConfig::tightened(3, 0));
+        set_objective(&inst, &vars, &mut p).unwrap();
+        // Objective value with every w = 1 equals bandwidth × boundaries.
+        let mut x = vec![0.0; p.num_vars()];
+        for b in 1..3 {
+            x[vars.w_at(b, 0).index()] = 1.0;
+        }
+        let bw = inst.graph().task_edges()[0].bandwidth.units() as f64;
+        assert_eq!(p.objective_value(&x), bw * 2.0);
+        // All-zero w costs nothing.
+        let zero = vec![0.0; p.num_vars()];
+        assert_eq!(p.objective_value(&zero), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Register-demand estimation for solved designs.
+//!
+//! The paper's conclusion names register (and bus) modeling as the natural
+//! next constraint family, citing Gebotys' register-optimal formulations
+//! \[6\]. This module implements the *analysis* half: given a solved
+//! [`TemporalSolution`], it computes the per-partition register demand — the
+//! maximum number of simultaneously live values in any control step — which
+//! is exactly the quantity such a constraint would bound.
+//!
+//! A value is live from the step its producer finishes (start + latency of
+//! the bound unit) through the step its last same-partition consumer starts.
+//! Data consumed in a *different* partition is not register-resident: it
+//! travels through the scratch memory and is already accounted for by the
+//! objective (14) and constraint (3).
+
+use std::collections::HashMap;
+
+use tempart_graph::{OpId, PartitionIndex};
+
+use crate::instance::Instance;
+use crate::solution::TemporalSolution;
+
+/// Per-partition register demand of a solved design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterReport {
+    /// `demand[p]` = maximum simultaneously live values in partition `p`
+    /// (indexed by partition; trailing unused partitions report 0).
+    pub demand: Vec<u32>,
+}
+
+impl RegisterReport {
+    /// The largest per-partition demand — what a register-file constraint
+    /// would have to accommodate.
+    pub fn peak(&self) -> u32 {
+        self.demand.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the register demand of `solution` on `instance`.
+///
+/// # Panics
+///
+/// Panics if the solution does not schedule every operation (validated
+/// solutions always do).
+pub fn register_demand(instance: &Instance, solution: &TemporalSolution) -> RegisterReport {
+    let graph = instance.graph();
+    let fus = instance.fus();
+    let n = solution
+        .assignment()
+        .iter()
+        .map(|p| p.0 + 1)
+        .max()
+        .unwrap_or(1) as usize;
+
+    // Live interval per produced value, grouped by producer: a producer's
+    // value stays in a register until its *last* same-partition consumer
+    // starts.
+    let finish = |op: OpId| {
+        let a = solution.schedule().get(op).expect("scheduled");
+        a.step.0 + fus.latency(a.fu)
+    };
+    let start = |op: OpId| solution.schedule().get(op).expect("scheduled").step.0;
+
+    let mut last_use: HashMap<(OpId, PartitionIndex), u32> = HashMap::new();
+    for (i1, i2) in graph.combined_op_edges() {
+        let p1 = solution.partition_of(graph.op(i1).task());
+        let p2 = solution.partition_of(graph.op(i2).task());
+        if p1 != p2 {
+            continue; // staged through scratch memory, not a register
+        }
+        let e = last_use.entry((i1, p1)).or_insert(0);
+        *e = (*e).max(start(i2));
+    }
+
+    let mut demand = vec![0u32; n];
+    // Per-step counting: each value contributes to every step of its live
+    // interval `[finish(producer), start(last consumer)]`.
+    let mut per_step: HashMap<(PartitionIndex, u32), u32> = HashMap::new();
+    for ((producer, p), &until) in &last_use {
+        let from = finish(*producer);
+        for j in from..=until {
+            *per_step.entry((*p, j)).or_insert(0) += 1;
+        }
+    }
+    for ((p, _), &count) in &per_step {
+        let slot = &mut demand[p.index()];
+        *slot = (*slot).max(count);
+    }
+    RegisterReport { demand }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::{IlpModel, SolveOptions};
+    use crate::test_support::tiny_instance;
+    use tempart_graph::{Bandwidth, ComponentLibrary, FpgaDevice, OpKind, TaskGraphBuilder};
+
+    #[test]
+    fn chain_needs_one_register() {
+        // add -> mul -> sub in one partition: exactly one value live at a
+        // time (each result consumed in the next step).
+        let inst = tiny_instance();
+        let model = IlpModel::build(inst.clone(), ModelConfig::tightened(2, 1)).unwrap();
+        let sol = model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        let report = register_demand(&inst, &sol);
+        assert_eq!(report.peak(), 1, "chain keeps one value live: {report:?}");
+    }
+
+    #[test]
+    fn fan_in_accumulates_registers() {
+        // Four parallel muls feeding one add, a single multiplier: products
+        // pile up in registers while the rest are computed.
+        let mut b = TaskGraphBuilder::new("fanin");
+        let t = b.task("t");
+        let ms: Vec<_> = (0..4).map(|_| b.op(t, OpKind::Mul).unwrap()).collect();
+        let a = b.op(t, OpKind::Add).unwrap();
+        for &m in &ms {
+            b.op_edge(m, a).unwrap();
+        }
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("mul8", 1), ("add16", 1)]).unwrap();
+        let inst = crate::Instance::new(g, fus, FpgaDevice::xc4010_board()).unwrap();
+        let model = IlpModel::build(inst.clone(), ModelConfig::tightened(1, 3)).unwrap();
+        let sol = model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        let report = register_demand(&inst, &sol);
+        // All four products are live the step the adder consumes them.
+        assert!(report.peak() >= 4, "fan-in must hold 4 values: {report:?}");
+    }
+
+    #[test]
+    fn cross_partition_values_use_memory_not_registers() {
+        // Producer and consumer in different partitions: no register demand
+        // from that edge (it is scratch-memory traffic).
+        let mut b = TaskGraphBuilder::new("xp");
+        let t0 = b.task("t0");
+        b.op(t0, OpKind::Mul).unwrap();
+        let t1 = b.task("t1");
+        b.op(t1, OpKind::Add).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(4)).unwrap();
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("mul8", 1), ("add16", 1)]).unwrap();
+        // Force a split: the mul and add cannot share the fabric.
+        let dev = FpgaDevice::builder("small")
+            .capacity(tempart_graph::FunctionGenerators::new(70))
+            .scratch_memory(Bandwidth::new(64))
+            .alpha(0.7)
+            .build()
+            .unwrap();
+        let inst = crate::Instance::new(g, fus, dev).unwrap();
+        let model = IlpModel::build(inst.clone(), ModelConfig::tightened(2, 0)).unwrap();
+        let sol = model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        assert_eq!(sol.partitions_used(), 2);
+        let report = register_demand(&inst, &sol);
+        assert_eq!(report.peak(), 0, "no same-partition liveness: {report:?}");
+    }
+}

@@ -1,0 +1,390 @@
+//! Extracted solutions and their semantic validation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tempart_graph::{ControlStep, FuId, PartitionIndex, TaskId};
+use tempart_hls::Schedule;
+
+use crate::config::ModelConfig;
+use crate::instance::Instance;
+use crate::CoreError;
+
+/// A complete temporal partitioning + synthesis result: the task→partition
+/// assignment, the global schedule-and-binding, and the communication cost.
+#[derive(Debug, Clone)]
+pub struct TemporalSolution {
+    assignment: Vec<PartitionIndex>,
+    schedule: Schedule,
+    communication_cost: u64,
+}
+
+impl TemporalSolution {
+    /// Assembles a solution from its parts (used by the model extractor and
+    /// the brute-force reference solver).
+    pub fn new(
+        assignment: Vec<PartitionIndex>,
+        schedule: Schedule,
+        communication_cost: u64,
+    ) -> Self {
+        Self {
+            assignment,
+            schedule,
+            communication_cost,
+        }
+    }
+
+    /// The partition of task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range for the solved instance.
+    pub fn partition_of(&self, t: TaskId) -> PartitionIndex {
+        self.assignment[t.index()]
+    }
+
+    /// The full task→partition assignment, indexed by task id.
+    pub fn assignment(&self) -> &[PartitionIndex] {
+        &self.assignment
+    }
+
+    /// The global schedule-and-binding (control steps are the shared global
+    /// horizon; each step belongs to exactly one partition).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Objective value (14): total data units staged across all boundaries.
+    pub fn communication_cost(&self) -> u64 {
+        self.communication_cost
+    }
+
+    /// Number of distinct partitions actually holding tasks (the optimum
+    /// may use fewer than the configured `N`).
+    pub fn partitions_used(&self) -> u32 {
+        let mut seen: Vec<PartitionIndex> = self.assignment.to_vec();
+        seen.sort();
+        seen.dedup();
+        seen.len() as u32
+    }
+
+    /// Tasks in partition `p`, in id order.
+    pub fn tasks_in(&self, p: PartitionIndex) -> Vec<TaskId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &q)| q == p)
+            .map(|(t, _)| TaskId::new(t as u32))
+            .collect()
+    }
+
+    /// The bandwidth stored in scratch memory across boundary `b`
+    /// (`1 ≤ b < N`): edges from a partition `< b` to a partition `≥ b`.
+    pub fn boundary_traffic(&self, instance: &Instance, b: u32) -> u64 {
+        instance
+            .graph()
+            .task_edges()
+            .iter()
+            .filter(|e| {
+                self.partition_of(e.from).0 < b && self.partition_of(e.to).0 >= b
+            })
+            .map(|e| e.bandwidth.units())
+            .sum()
+    }
+
+    /// Semantic validation against every rule of the formulation, performed
+    /// directly on the instance (not through the LP): task uniqueness and
+    /// temporal order, scratch-memory capacity at every boundary, schedule
+    /// legality (dependencies, FU compatibility and exclusivity, mobility
+    /// windows, horizon), control-step/partition consistency, and the
+    /// α-derated resource capacity per partition.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSolution`] naming the violated rule.
+    pub fn validate(&self, instance: &Instance, config: &ModelConfig) -> Result<(), CoreError> {
+        let graph = instance.graph();
+        let fus = instance.fus();
+        let n = config.num_partitions;
+        let bad = |msg: String| Err(CoreError::InvalidSolution(msg));
+
+        if self.assignment.len() != graph.num_tasks() {
+            return bad("assignment length mismatch".into());
+        }
+        for (t, p) in self.assignment.iter().enumerate() {
+            if p.0 >= n {
+                return bad(format!("task t{t} assigned to nonexistent partition {p}"));
+            }
+        }
+        // Temporal order (2).
+        for e in graph.task_edges() {
+            if self.partition_of(e.from) > self.partition_of(e.to) {
+                return bad(format!(
+                    "temporal order violated: {} (in {}) feeds {} (in {})",
+                    e.from,
+                    self.partition_of(e.from),
+                    e.to,
+                    self.partition_of(e.to)
+                ));
+            }
+        }
+        // Memory (3) + cost (14).
+        let ms = instance.device().scratch_memory().units();
+        let mut total_cost = 0u64;
+        for b in 1..n {
+            let traffic = self.boundary_traffic(instance, b);
+            if traffic > ms {
+                return bad(format!(
+                    "scratch memory exceeded at boundary {b}: {traffic} > {ms}"
+                ));
+            }
+            total_cost += traffic;
+        }
+        if total_cost != self.communication_cost {
+            return bad(format!(
+                "claimed communication cost {} differs from actual {total_cost}",
+                self.communication_cost
+            ));
+        }
+        // Schedule legality (6)-(8) + mobility windows + horizon, with
+        // multicycle/pipelined unit timing.
+        let mobility = tempart_hls::Mobility::compute_with(graph, fus);
+        let horizon = mobility.horizon(config.latency_relaxation);
+        for op in graph.ops() {
+            let i = op.id();
+            let Some(a) = self.schedule.get(i) else {
+                return bad(format!("operation {i} unscheduled"));
+            };
+            if !fus.can_execute(a.fu, op.kind()) {
+                return bad(format!("operation {i} bound to incompatible unit {}", a.fu));
+            }
+            let r = mobility.range(i);
+            let lo = r.asap.0;
+            let hi = r.alap.0 + config.latency_relaxation;
+            if a.step.0 < lo || a.step.0 > hi {
+                return bad(format!(
+                    "operation {i} at {} outside its window [cs{lo}, cs{hi}]",
+                    a.step
+                ));
+            }
+            if a.step.0 + fus.latency(a.fu) > horizon {
+                return bad(format!("operation {i} completes beyond the horizon {horizon}"));
+            }
+        }
+        // FU exclusivity (7): occupancy intervals per unit must not overlap
+        // (pipelined units only forbid identical start steps).
+        for op1 in graph.ops() {
+            for op2 in graph.ops() {
+                if op1.id() >= op2.id() {
+                    continue;
+                }
+                let a1 = self.schedule.get(op1.id()).expect("checked above");
+                let a2 = self.schedule.get(op2.id()).expect("checked above");
+                if a1.fu != a2.fu {
+                    continue;
+                }
+                let occ = fus.occupancy(a1.fu);
+                let (s1, s2) = (a1.step.0, a2.step.0);
+                if s1 < s2 + occ && s2 < s1 + occ {
+                    return bad(format!(
+                        "operations {} and {} overlap on {} (starts {} and {}, occupancy {occ})",
+                        op1.id(),
+                        op2.id(),
+                        a1.fu,
+                        a1.step,
+                        a2.step
+                    ));
+                }
+            }
+        }
+        // Dependencies (8): the consumer starts after the producer's result.
+        for (i1, i2) in graph.combined_op_edges() {
+            let a1 = self.schedule.get(i1).expect("checked above");
+            let a2 = self.schedule.get(i2).expect("checked above");
+            if a2.step.0 < a1.step.0 + fus.latency(a1.fu) {
+                return bad(format!(
+                    "dependency {i1} -> {i2} violated ({} starts before {} + latency {})",
+                    a2.step,
+                    a1.step,
+                    fus.latency(a1.fu)
+                ));
+            }
+        }
+        // Control-step uniqueness (12)-(13): every step an operation is
+        // resident (its full latency span) belongs to one partition.
+        let mut step_partition: HashMap<ControlStep, PartitionIndex> = HashMap::new();
+        for op in graph.ops() {
+            let a = self.schedule.get(op.id()).expect("checked above");
+            let p = self.partition_of(op.task());
+            for j in a.step.0..a.step.0 + fus.latency(a.fu) {
+                let j = ControlStep(j);
+                if let Some(&q) = step_partition.get(&j) {
+                    if q != p {
+                        return bad(format!(
+                            "control step {j} shared by partitions {q} and {p}"
+                        ));
+                    }
+                }
+                step_partition.insert(j, p);
+            }
+        }
+        // Resource capacity (11): units actually used per partition.
+        for p in PartitionIndex::all(n) {
+            let mut used: Vec<FuId> = graph
+                .ops()
+                .iter()
+                .filter(|op| self.partition_of(op.task()) == p)
+                .map(|op| self.schedule.get(op.id()).expect("checked above").fu)
+                .collect();
+            used.sort();
+            used.dedup();
+            let area: u32 = used.iter().map(|&k| fus.cost(k).count()).sum();
+            if !instance
+                .device()
+                .fits(tempart_graph::FunctionGenerators::new(area))
+            {
+                return bad(format!(
+                    "partition {p} area {area} FG exceeds device capacity after derating"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TemporalSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "temporal partitioning: {} partitions used, communication cost {}",
+            self.partitions_used(),
+            self.communication_cost
+        )?;
+        for (t, p) in self.assignment.iter().enumerate() {
+            writeln!(f, "  t{t} -> {p}")?;
+        }
+        write!(f, "{}", self.schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_instance;
+    use tempart_graph::OpId;
+
+    fn good_solution() -> TemporalSolution {
+        // tiny instance: t0 = {add(0) -> mul(1)}, t1 = {sub(2)}, edge bw 4.
+        // One partition, chain schedule 0,1,2 on units add=0, mul=1, sub=2.
+        let mut s = Schedule::new();
+        s.assign(OpId::new(0), ControlStep(0), FuId::new(0));
+        s.assign(OpId::new(1), ControlStep(1), FuId::new(1));
+        s.assign(OpId::new(2), ControlStep(2), FuId::new(2));
+        TemporalSolution::new(
+            vec![PartitionIndex::new(0), PartitionIndex::new(0)],
+            s,
+            0,
+        )
+    }
+
+    #[test]
+    fn valid_solution_passes() {
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 0);
+        let sol = good_solution();
+        sol.validate(&inst, &cfg).unwrap();
+        assert_eq!(sol.partitions_used(), 1);
+        assert_eq!(sol.communication_cost(), 0);
+        assert_eq!(sol.tasks_in(PartitionIndex::new(0)).len(), 2);
+        assert!(sol.to_string().contains("communication cost 0"));
+    }
+
+    #[test]
+    fn split_solution_counts_cost() {
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 0);
+        let mut s = Schedule::new();
+        s.assign(OpId::new(0), ControlStep(0), FuId::new(0));
+        s.assign(OpId::new(1), ControlStep(1), FuId::new(1));
+        s.assign(OpId::new(2), ControlStep(2), FuId::new(2));
+        let sol = TemporalSolution::new(
+            vec![PartitionIndex::new(0), PartitionIndex::new(1)],
+            s,
+            4,
+        );
+        sol.validate(&inst, &cfg).unwrap();
+        assert_eq!(sol.boundary_traffic(&inst, 1), 4);
+        assert_eq!(sol.partitions_used(), 2);
+    }
+
+    #[test]
+    fn detects_wrong_cost_claim() {
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 0);
+        let mut sol = good_solution();
+        sol.communication_cost = 99;
+        let err = sol.validate(&inst, &cfg).unwrap_err();
+        assert!(err.to_string().contains("communication cost"));
+    }
+
+    #[test]
+    fn detects_temporal_order_violation() {
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 0);
+        let mut sol = good_solution();
+        sol.assignment = vec![PartitionIndex::new(1), PartitionIndex::new(0)];
+        let err = sol.validate(&inst, &cfg).unwrap_err();
+        assert!(err.to_string().contains("temporal order"));
+    }
+
+    #[test]
+    fn detects_dependency_violation() {
+        let inst = tiny_instance();
+        // L = 1 so every op stays inside its window and only the add→mul
+        // same-step violation trips.
+        let cfg = ModelConfig::tightened(2, 1);
+        let mut sol = good_solution();
+        let mut s = Schedule::new();
+        s.assign(OpId::new(0), ControlStep(1), FuId::new(0));
+        s.assign(OpId::new(1), ControlStep(1), FuId::new(1)); // same step as pred
+        s.assign(OpId::new(2), ControlStep(2), FuId::new(2));
+        sol.schedule = s;
+        let err = sol.validate(&inst, &cfg).unwrap_err();
+        assert!(err.to_string().contains("dependency"), "{err}");
+    }
+
+    #[test]
+    fn detects_cross_partition_step_sharing() {
+        // Two *independent* tasks so only the step-sharing rule can trip.
+        let inst = crate::test_support::two_independent_tasks();
+        let cfg = ModelConfig::tightened(2, 1);
+        let mut s = Schedule::new();
+        s.assign(OpId::new(0), ControlStep(0), FuId::new(0)); // t0's add
+        s.assign(OpId::new(1), ControlStep(0), FuId::new(2)); // t1's sub, same step
+        let bad = TemporalSolution::new(
+            vec![PartitionIndex::new(0), PartitionIndex::new(1)],
+            s,
+            0,
+        );
+        let err = bad.validate(&inst, &cfg).unwrap_err();
+        assert!(err.to_string().contains("shared by partitions"), "{err}");
+    }
+
+    #[test]
+    fn detects_window_violation() {
+        let inst = tiny_instance();
+        let cfg = ModelConfig::tightened(2, 0);
+        let mut s = Schedule::new();
+        // add has window [0,0] with L=0; placing it at 1 is illegal.
+        s.assign(OpId::new(0), ControlStep(1), FuId::new(0));
+        s.assign(OpId::new(1), ControlStep(2), FuId::new(1));
+        s.assign(OpId::new(2), ControlStep(2), FuId::new(2));
+        let sol = TemporalSolution::new(
+            vec![PartitionIndex::new(0), PartitionIndex::new(0)],
+            s,
+            0,
+        );
+        let err = sol.validate(&inst, &cfg).unwrap_err();
+        assert!(err.to_string().contains("window") || err.to_string().contains("horizon"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Decision-variable map: creates and indexes every ILP variable of the
+//! formulation (§3.1, §3.4, §4).
+
+use std::collections::HashMap;
+
+use tempart_graph::{ControlStep, FuId, OpId, TaskEdge, TaskId};
+use tempart_hls::Mobility;
+use tempart_lp::{LpError, Problem, VarId, VarKind};
+
+use crate::config::{CstepEncoding, Linearization, ModelConfig, WForm};
+use crate::instance::Instance;
+
+/// All decision variables of one model build, with dense index maps.
+///
+/// Creation order (which doubles as the unguided `FirstIndexRule` branching
+/// order) is: `y` (tasks in topological order × partitions), `x`, `w`,
+/// per-product `v` (if any), `u`, `o`, `c`, `z`.
+#[derive(Debug)]
+pub(crate) struct VarMap {
+    /// Number of partitions `N`.
+    pub n_parts: u32,
+    /// Number of control steps in the horizon (`critical path + L`).
+    pub horizon: u32,
+    /// Topological order of tasks (positions give the §8 priorities).
+    pub task_order: Vec<TaskId>,
+    /// `y[t][p]` — task `t` in partition `p`.
+    pub y: Vec<Vec<VarId>>,
+    /// Mobility window `CS(i)` of each operation (already `L`-relaxed).
+    pub cs: Vec<Vec<ControlStep>>,
+    /// Compatible functional units `Fu(i)` of each operation (kept for
+    /// diagnostics and exercised by the variable-map tests).
+    #[allow(dead_code)]
+    pub fu_of_op: Vec<Vec<FuId>>,
+    /// `x[(i, j, k)]` — op `i` at step `j` on unit `k`.
+    pub x: HashMap<(OpId, u32, FuId), VarId>,
+    /// Per-op list of `(j, k, var)` triples for iteration.
+    pub x_of_op: Vec<Vec<(u32, FuId, VarId)>>,
+    /// `w[b][e]` — edge `e` crosses boundary `b` (boundaries `1..N`, stored
+    /// at index `b − 1`).
+    pub w: Vec<Vec<VarId>>,
+    /// Per-product crossing variables `v[(e, p1, p2)]`, `p1 < p2`
+    /// (only in [`WForm::PerProduct`]).
+    pub v: HashMap<(usize, u32, u32), VarId>,
+    /// `u[p][k]` — unit `k` used in partition `p`.
+    pub u: Vec<Vec<VarId>>,
+    /// `o[t][k]` — task `t` uses unit `k`.
+    pub o: Vec<Vec<VarId>>,
+    /// `c[t][j]` — task `t` occupies control step `j`.
+    pub c: Vec<Vec<VarId>>,
+    /// Glover/Fortet product variables `z[p][t][k] = y[t][p]·o[t][k]`.
+    pub z: Vec<Vec<Vec<VarId>>>,
+    /// Step-ownership binaries `g[j][p]` (compact (13) encoding only).
+    pub g: Vec<Vec<VarId>>,
+}
+
+impl VarMap {
+    /// Creates every variable in `problem`.
+    pub fn build(
+        instance: &Instance,
+        config: &ModelConfig,
+        mobility: &Mobility,
+        problem: &mut Problem,
+    ) -> Result<Self, LpError> {
+        let graph = instance.graph();
+        let fus = instance.fus();
+        let n_tasks = graph.num_tasks();
+        let n_ops = graph.num_ops();
+        let n_fus = fus.num_instances();
+        let n = config.num_partitions;
+        let l = config.latency_relaxation;
+        let horizon = mobility.horizon(l);
+        let task_order = graph.task_topo_order();
+
+        // y — created in topological task order so that creation index
+        // correlates with the paper's priority even for the unguided rules.
+        let mut y = vec![Vec::new(); n_tasks];
+        for &t in &task_order {
+            let mut row = Vec::with_capacity(n as usize);
+            for p in 0..n {
+                row.push(problem.add_var(format!("y[{t},p{p}]"), VarKind::Binary, 0.0)?);
+            }
+            y[t.index()] = row;
+        }
+
+        // x with mobility windows and compatible units.
+        let mut cs = Vec::with_capacity(n_ops);
+        let mut fu_of_op = Vec::with_capacity(n_ops);
+        let mut x = HashMap::new();
+        let mut x_of_op = vec![Vec::new(); n_ops];
+        for op in graph.ops() {
+            let i = op.id();
+            let window: Vec<ControlStep> = mobility
+                .range(i)
+                .steps_with_relaxation(l)
+                .collect();
+            let compat: Vec<FuId> = fus.instances_for_kind(op.kind()).collect();
+            for &j in &window {
+                for &k in &compat {
+                    // A start at `j` on unit `k` must complete within the
+                    // horizon (multicycle units shrink their own windows).
+                    if j.0 + fus.latency(k) > horizon {
+                        continue;
+                    }
+                    let v = problem.add_var(
+                        format!("x[{i},{j},{k}]"),
+                        VarKind::Binary,
+                        0.0,
+                    )?;
+                    x.insert((i, j.0, k), v);
+                    x_of_op[i.index()].push((j.0, k, v));
+                }
+            }
+            cs.push(window);
+            fu_of_op.push(compat);
+        }
+
+        // w — one per boundary (1..N) and task edge.
+        let n_edges = graph.task_edges().len();
+        let mut w = Vec::with_capacity(n.saturating_sub(1) as usize);
+        for b in 1..n {
+            let mut row = Vec::with_capacity(n_edges);
+            for (e, edge) in graph.task_edges().iter().enumerate() {
+                let TaskEdge { from, to, .. } = *edge;
+                row.push(problem.add_var(
+                    format!("w[b{b},e{e}:{from}->{to}]"),
+                    VarKind::Binary,
+                    0.0,
+                )?);
+            }
+            w.push(row);
+        }
+
+        // v — per-product crossing variables (basic model only).
+        let mut v = HashMap::new();
+        if config.w_form == WForm::PerProduct {
+            let kind = match config.linearization {
+                Linearization::Fortet => VarKind::Binary,
+                Linearization::Glover => VarKind::Continuous,
+            };
+            for (e, _) in graph.task_edges().iter().enumerate() {
+                for p1 in 0..n {
+                    for p2 in (p1 + 1)..n {
+                        let var = problem.add_var(
+                            format!("v[e{e},p{p1},p{p2}]"),
+                            kind,
+                            0.0,
+                        )?;
+                        if kind == VarKind::Continuous {
+                            problem.set_bounds(var, 0.0, 1.0)?;
+                        }
+                        v.insert((e, p1, p2), var);
+                    }
+                }
+            }
+        }
+
+        // u, o.
+        let mut u = Vec::with_capacity(n as usize);
+        for p in 0..n {
+            let mut row = Vec::with_capacity(n_fus);
+            for k in 0..n_fus {
+                row.push(problem.add_var(format!("u[p{p},k{k}]"), VarKind::Binary, 0.0)?);
+            }
+            u.push(row);
+        }
+        let mut o = Vec::with_capacity(n_tasks);
+        for t in 0..n_tasks {
+            let mut row = Vec::with_capacity(n_fus);
+            for k in 0..n_fus {
+                row.push(problem.add_var(format!("o[t{t},k{k}]"), VarKind::Binary, 0.0)?);
+            }
+            o.push(row);
+        }
+
+        // c — task occupies control step.
+        let mut c = Vec::with_capacity(n_tasks);
+        for t in 0..n_tasks {
+            let mut row = Vec::with_capacity(horizon as usize);
+            for j in 0..horizon {
+                row.push(problem.add_var(format!("c[t{t},cs{j}]"), VarKind::Binary, 0.0)?);
+            }
+            c.push(row);
+        }
+
+        // z — usage products, Glover (continuous) or Fortet (binary).
+        let z_kind = match config.linearization {
+            Linearization::Fortet => VarKind::Binary,
+            Linearization::Glover => VarKind::Continuous,
+        };
+        let mut z = Vec::with_capacity(n as usize);
+        for p in 0..n {
+            let mut plane = Vec::with_capacity(n_tasks);
+            for t in 0..n_tasks {
+                let mut row = Vec::with_capacity(n_fus);
+                for k in 0..n_fus {
+                    let var = problem.add_var(
+                        format!("z[p{p},t{t},k{k}]"),
+                        z_kind,
+                        0.0,
+                    )?;
+                    if z_kind == VarKind::Continuous {
+                        problem.set_bounds(var, 0.0, 1.0)?;
+                    }
+                    row.push(var);
+                }
+                plane.push(row);
+            }
+            z.push(plane);
+        }
+
+        // g — step-ownership binaries for the compact (13) encoding.
+        let mut g = Vec::new();
+        if config.cstep_encoding == CstepEncoding::Compact {
+            for j in 0..horizon {
+                let mut row = Vec::with_capacity(n as usize);
+                for p in 0..n {
+                    row.push(problem.add_var(format!("g[cs{j},p{p}]"), VarKind::Binary, 0.0)?);
+                }
+                g.push(row);
+            }
+        }
+
+        Ok(Self {
+            n_parts: n,
+            horizon,
+            task_order,
+            y,
+            cs,
+            fu_of_op,
+            x,
+            x_of_op,
+            w,
+            v,
+            u,
+            o,
+            c,
+            z,
+            g,
+        })
+    }
+
+    /// The `w` variable for boundary `b` (`1 ≤ b < N`) and edge index `e`.
+    pub fn w_at(&self, b: u32, e: usize) -> VarId {
+        self.w[(b - 1) as usize][e]
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_instance;
+
+    #[test]
+    fn variable_counts() {
+        let inst = tiny_instance();
+        let config = ModelConfig::tightened(2, 1);
+        let mob = Mobility::compute(inst.graph());
+        let mut p = Problem::new("m");
+        let vars = VarMap::build(&inst, &config, &mob, &mut p).unwrap();
+        let t = inst.graph().num_tasks();
+        let k = inst.fus().num_instances();
+        let n = 2usize;
+        assert_eq!(vars.y.len(), t);
+        assert_eq!(vars.y[0].len(), n);
+        assert_eq!(vars.u.len(), n);
+        assert_eq!(vars.u[0].len(), k);
+        assert_eq!(vars.o.len(), t);
+        assert_eq!(vars.w.len(), n - 1);
+        assert_eq!(vars.w[0].len(), inst.graph().task_edges().len());
+        assert_eq!(vars.z.len(), n);
+        // Aggregated mode: no v variables.
+        assert!(vars.v.is_empty());
+        // x variables respect mobility windows.
+        for op in inst.graph().ops() {
+            let i = op.id();
+            assert!(!vars.x_of_op[i.index()].is_empty());
+            for &(j, k, _) in &vars.x_of_op[i.index()] {
+                assert!(vars.cs[i.index()].iter().any(|s| s.0 == j));
+                assert!(vars.fu_of_op[i.index()].contains(&k));
+            }
+        }
+        // Horizon covers critical path + L.
+        assert_eq!(vars.horizon, mob.horizon(1));
+        assert_eq!(p.num_vars(), count_all(&vars));
+    }
+
+    #[test]
+    fn per_product_mode_creates_v() {
+        let inst = tiny_instance();
+        let config = ModelConfig::basic(3, 0);
+        let mob = Mobility::compute(inst.graph());
+        let mut p = Problem::new("m");
+        let vars = VarMap::build(&inst, &config, &mob, &mut p).unwrap();
+        // For each edge: pairs (p1,p2) with p1<p2 out of 3 partitions = 3.
+        assert_eq!(
+            vars.v.len(),
+            3 * inst.graph().task_edges().len()
+        );
+        // Glover linearization ⇒ v continuous in [0,1].
+        for &var in vars.v.values() {
+            assert_eq!(p.var_kind(var), VarKind::Continuous);
+            assert_eq!(p.var_bounds(var), (0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn fortet_products_are_binary() {
+        let inst = tiny_instance();
+        let config = ModelConfig::basic(2, 0).with_linearization(Linearization::Fortet);
+        let mob = Mobility::compute(inst.graph());
+        let mut p = Problem::new("m");
+        let vars = VarMap::build(&inst, &config, &mob, &mut p).unwrap();
+        for &var in vars.v.values() {
+            assert_eq!(p.var_kind(var), VarKind::Binary);
+        }
+        assert_eq!(p.var_kind(vars.z[0][0][0]), VarKind::Binary);
+    }
+
+    fn count_all(v: &VarMap) -> usize {
+        v.y.iter().map(Vec::len).sum::<usize>()
+            + v.x.len()
+            + v.w.iter().map(Vec::len).sum::<usize>()
+            + v.v.len()
+            + v.u.iter().map(Vec::len).sum::<usize>()
+            + v.o.iter().map(Vec::len).sum::<usize>()
+            + v.c.iter().map(Vec::len).sum::<usize>()
+            + v.z.iter().flatten().map(Vec::len).sum::<usize>()
+            + v.g.iter().map(Vec::len).sum::<usize>()
+    }
+}

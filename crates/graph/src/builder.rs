@@ -1,0 +1,318 @@
+//! Incremental, validated construction of [`TaskGraph`]s.
+
+use std::collections::HashSet;
+
+use crate::op_graph::topo_sort;
+use crate::{Bandwidth, GraphError, OpId, OpKind, Operation, Task, TaskEdge, TaskGraph, TaskId};
+
+/// Builder for [`TaskGraph`].
+///
+/// Ids are handed out densely in creation order; create tasks in a
+/// topological order of their intended dependencies so that the paper's §8
+/// branching heuristic (which uses task ids as topological priorities) is
+/// maximally effective — [`build`](Self::build) verifies acyclicity either
+/// way, and `tempart-core` re-derives true topological priorities itself.
+///
+/// # Examples
+///
+/// ```
+/// use tempart_graph::{TaskGraphBuilder, OpKind, Bandwidth};
+///
+/// # fn main() -> Result<(), tempart_graph::GraphError> {
+/// let mut b = TaskGraphBuilder::new("demo");
+/// let t0 = b.task("producer");
+/// let x = b.op(t0, OpKind::Mul)?;
+/// let y = b.op(t0, OpKind::Add)?;
+/// b.op_edge(x, y)?;
+/// let t1 = b.task("consumer");
+/// b.op(t1, OpKind::Sub)?;
+/// b.task_edge(t0, t1, Bandwidth::new(16))?;
+/// let graph = b.build()?;
+/// assert_eq!(graph.num_tasks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGraphBuilder {
+    name: String,
+    tasks: Vec<Task>,
+    ops: Vec<Operation>,
+    task_edges: Vec<TaskEdge>,
+}
+
+impl TaskGraphBuilder {
+    /// Starts a new specification.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tasks: Vec::new(),
+            ops: Vec::new(),
+            task_edges: Vec::new(),
+        }
+    }
+
+    /// Adds a task and returns its id.
+    pub fn task(&mut self, name: impl Into<String>) -> TaskId {
+        let id = TaskId::new(self.tasks.len() as u32);
+        self.tasks.push(Task::new(id, name));
+        id
+    }
+
+    /// Adds an operation of `kind` to `task`, auto-naming it
+    /// `"<mnemonic><n>"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTask`] if `task` was not created by this
+    /// builder.
+    pub fn op(&mut self, task: TaskId, kind: OpKind) -> Result<OpId, GraphError> {
+        let n = self.ops.len();
+        self.named_op(task, kind, format!("{}{}", kind.mnemonic(), n))
+    }
+
+    /// Adds a named operation of `kind` to `task`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTask`] if `task` is unknown.
+    pub fn named_op(
+        &mut self,
+        task: TaskId,
+        kind: OpKind,
+        name: impl Into<String>,
+    ) -> Result<OpId, GraphError> {
+        if task.index() >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(task));
+        }
+        let id = OpId::new(self.ops.len() as u32);
+        self.ops.push(Operation::new(id, task, kind, name));
+        self.tasks[task.index()].op_graph_mut().push_op(id);
+        Ok(id)
+    }
+
+    /// Adds an intra-task dependency edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownOp`] — either endpoint unknown.
+    /// * [`GraphError::SelfEdge`] — `from == to`.
+    /// * [`GraphError::CrossTaskOpEdge`] — endpoints in different tasks
+    ///   (cross-task flow must be a [`task_edge`](Self::task_edge)).
+    /// * [`GraphError::DuplicateOpEdge`] — edge already present.
+    pub fn op_edge(&mut self, from: OpId, to: OpId) -> Result<(), GraphError> {
+        if from == to {
+            return Err(GraphError::SelfEdge);
+        }
+        if from.index() >= self.ops.len() {
+            return Err(GraphError::UnknownOp(from));
+        }
+        if to.index() >= self.ops.len() {
+            return Err(GraphError::UnknownOp(to));
+        }
+        let tf = self.ops[from.index()].task();
+        let tt = self.ops[to.index()].task();
+        if tf != tt {
+            return Err(GraphError::CrossTaskOpEdge { from, to });
+        }
+        if self.tasks[tf.index()]
+            .op_graph()
+            .edges()
+            .contains(&(from, to))
+        {
+            return Err(GraphError::DuplicateOpEdge { from, to });
+        }
+        self.tasks[tf.index()].op_graph_mut().push_edge(from, to);
+        Ok(())
+    }
+
+    /// Adds a bandwidth-labelled inter-task dependency `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownTask`] — either endpoint unknown.
+    /// * [`GraphError::SelfEdge`] — `from == to`.
+    /// * [`GraphError::DuplicateTaskEdge`] — edge already present (merge the
+    ///   bandwidths yourself if two logical channels exist).
+    pub fn task_edge(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        bandwidth: Bandwidth,
+    ) -> Result<(), GraphError> {
+        if from == to {
+            return Err(GraphError::SelfEdge);
+        }
+        if from.index() >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(from));
+        }
+        if to.index() >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(to));
+        }
+        if self
+            .task_edges
+            .iter()
+            .any(|e| e.from == from && e.to == to)
+        {
+            return Err(GraphError::DuplicateTaskEdge { from, to });
+        }
+        self.task_edges.push(TaskEdge {
+            from,
+            to,
+            bandwidth,
+        });
+        Ok(())
+    }
+
+    /// Finishes the specification, validating every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::EmptyTask`] — a task has no operations.
+    /// * [`GraphError::TaskCycle`] — the task DAG has a cycle.
+    /// * [`GraphError::OpCycle`] — an operation DAG (or the combined
+    ///   operation graph) has a cycle.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        for task in &self.tasks {
+            if task.num_ops() == 0 {
+                return Err(GraphError::EmptyTask(task.id()));
+            }
+        }
+        // Task-level acyclicity.
+        let nodes: Vec<TaskId> = self.tasks.iter().map(Task::id).collect();
+        let tedges: Vec<(TaskId, TaskId)> =
+            self.task_edges.iter().map(|e| (e.from, e.to)).collect();
+        topo_sort(&nodes, &tedges).map_err(GraphError::TaskCycle)?;
+        // Op-level acyclicity per task (the combined graph is then acyclic
+        // because induced edges follow the already-acyclic task order).
+        for task in &self.tasks {
+            task.op_graph().topo_order()?;
+        }
+        let graph = TaskGraph::from_parts(self.name, self.tasks, self.ops, self.task_edges);
+        debug_assert!(graph.validate().is_ok());
+        Ok(graph)
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of operations added so far.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Distinct operation kinds used so far — handy for
+    /// [`ExplorationSet::check_covers`](crate::library::ExplorationSet::check_covers).
+    pub fn used_kinds(&self) -> HashSet<OpKind> {
+        self.ops.iter().map(Operation::kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_task() {
+        let mut b = TaskGraphBuilder::new("g");
+        let _t = b.task("empty");
+        assert_eq!(b.build().unwrap_err(), GraphError::EmptyTask(TaskId::new(0)));
+    }
+
+    #[test]
+    fn rejects_task_cycle() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("a");
+        b.op(t0, OpKind::Add).unwrap();
+        let t1 = b.task("b");
+        b.op(t1, OpKind::Add).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(1)).unwrap();
+        b.task_edge(t1, t0, Bandwidth::new(1)).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::TaskCycle(_))));
+    }
+
+    #[test]
+    fn rejects_cross_task_op_edge() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("a");
+        let x = b.op(t0, OpKind::Add).unwrap();
+        let t1 = b.task("b");
+        let y = b.op(t1, OpKind::Add).unwrap();
+        assert_eq!(
+            b.op_edge(x, y).unwrap_err(),
+            GraphError::CrossTaskOpEdge { from: x, to: y }
+        );
+    }
+
+    #[test]
+    fn rejects_self_and_duplicate_edges() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("a");
+        let x = b.op(t0, OpKind::Add).unwrap();
+        let y = b.op(t0, OpKind::Sub).unwrap();
+        assert_eq!(b.op_edge(x, x).unwrap_err(), GraphError::SelfEdge);
+        b.op_edge(x, y).unwrap();
+        assert_eq!(
+            b.op_edge(x, y).unwrap_err(),
+            GraphError::DuplicateOpEdge { from: x, to: y }
+        );
+        let t1 = b.task("b");
+        b.op(t1, OpKind::Add).unwrap();
+        assert_eq!(
+            b.task_edge(t0, t0, Bandwidth::new(1)).unwrap_err(),
+            GraphError::SelfEdge
+        );
+        b.task_edge(t0, t1, Bandwidth::new(1)).unwrap();
+        assert_eq!(
+            b.task_edge(t0, t1, Bandwidth::new(2)).unwrap_err(),
+            GraphError::DuplicateTaskEdge { from: t0, to: t1 }
+        );
+    }
+
+    #[test]
+    fn rejects_op_cycle() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("a");
+        let x = b.op(t0, OpKind::Add).unwrap();
+        let y = b.op(t0, OpKind::Sub).unwrap();
+        let z = b.op(t0, OpKind::Mul).unwrap();
+        b.op_edge(x, y).unwrap();
+        b.op_edge(y, z).unwrap();
+        b.op_edge(z, x).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::OpCycle(_))));
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut b = TaskGraphBuilder::new("g");
+        assert!(matches!(
+            b.op(TaskId::new(0), OpKind::Add),
+            Err(GraphError::UnknownTask(_))
+        ));
+        let t = b.task("a");
+        let x = b.op(t, OpKind::Add).unwrap();
+        assert!(matches!(
+            b.op_edge(x, OpId::new(9)),
+            Err(GraphError::UnknownOp(_))
+        ));
+        assert!(matches!(
+            b.task_edge(t, TaskId::new(9), Bandwidth::new(1)),
+            Err(GraphError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn used_kinds_and_counts() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("a");
+        b.op(t, OpKind::Add).unwrap();
+        b.op(t, OpKind::Add).unwrap();
+        b.op(t, OpKind::Mul).unwrap();
+        assert_eq!(b.num_tasks(), 1);
+        assert_eq!(b.num_ops(), 3);
+        let kinds = b.used_kinds();
+        assert!(kinds.contains(&OpKind::Add) && kinds.contains(&OpKind::Mul));
+        assert_eq!(kinds.len(), 2);
+    }
+}

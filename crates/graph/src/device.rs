@@ -1,0 +1,300 @@
+//! Target reconfigurable-device model.
+//!
+//! The paper characterizes the target by three numbers: the FPGA resource
+//! capacity `C` (function generators), the on-board scratch memory `M_s`
+//! available for staging inter-partition data, and the logic-optimization
+//! factor `α ∈ (0, 1]` that derates library cost estimates to account for
+//! post-synthesis optimization (typical Synopsys values 0.6–0.8, §3.4).
+
+use std::fmt;
+
+use crate::{Bandwidth, FunctionGenerators, GraphError};
+
+/// The logic-optimization factor `α`.
+///
+/// Multiplies the summed `FG(k)` cost of the functional units used in a
+/// partition before comparison against the capacity `C` (constraint (11)).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LogicOptimizationFactor(f64);
+
+impl LogicOptimizationFactor {
+    /// Creates a factor, validating `0 < α ≤ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidDeviceParameter`] when out of range or
+    /// non-finite.
+    pub fn new(alpha: f64) -> Result<Self, GraphError> {
+        if alpha.is_finite() && alpha > 0.0 && alpha <= 1.0 {
+            Ok(Self(alpha))
+        } else {
+            Err(GraphError::InvalidDeviceParameter(
+                "logic-optimization factor must satisfy 0 < alpha <= 1",
+            ))
+        }
+    }
+
+    /// The raw factor.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for LogicOptimizationFactor {
+    /// The paper's mid-range value, `α = 0.7`.
+    fn default() -> Self {
+        Self(0.7)
+    }
+}
+
+impl fmt::Display for LogicOptimizationFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alpha={}", self.0)
+    }
+}
+
+/// A reconfigurable FPGA processor board: capacity, scratch memory, α, and
+/// (for the execution simulator) reconfiguration timing.
+///
+/// # Examples
+///
+/// ```
+/// use tempart_graph::FpgaDevice;
+///
+/// let dev = FpgaDevice::xc4010_board();
+/// assert!(dev.capacity().count() > 0);
+/// assert!(dev.scratch_memory().units() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    name: String,
+    capacity: FunctionGenerators,
+    scratch_memory: Bandwidth,
+    alpha: LogicOptimizationFactor,
+    reconfig_cycles: u64,
+    memory_word_cycles: u64,
+}
+
+impl FpgaDevice {
+    /// Starts building a device.
+    pub fn builder(name: impl Into<String>) -> DeviceBuilder {
+        DeviceBuilder::new(name)
+    }
+
+    /// An XC4010-class board: 800 function generators (400 CLBs), 2 KWords of
+    /// scratch SRAM, α = 0.7, full-device reconfiguration ≈ 164 k cycles (a
+    /// few ms at 16 MHz), single-cycle-per-word scratch access.
+    ///
+    /// Used as the default device of the table harnesses.
+    pub fn xc4010_board() -> Self {
+        Self::builder("xc4010")
+            .capacity(FunctionGenerators::new(800))
+            .scratch_memory(Bandwidth::new(2048))
+            .reconfig_cycles(164_000)
+            .memory_word_cycles(1)
+            .build()
+            .expect("built-in device parameters are valid")
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resource capacity `C` in function generators.
+    pub fn capacity(&self) -> FunctionGenerators {
+        self.capacity
+    }
+
+    /// Scratch memory `M_s` in data units.
+    pub fn scratch_memory(&self) -> Bandwidth {
+        self.scratch_memory
+    }
+
+    /// Logic-optimization factor `α`.
+    pub fn alpha(&self) -> LogicOptimizationFactor {
+        self.alpha
+    }
+
+    /// Cycles needed to reconfigure the device between temporal segments
+    /// (used by `tempart-sim`; not part of the ILP).
+    pub fn reconfig_cycles(&self) -> u64 {
+        self.reconfig_cycles
+    }
+
+    /// Cycles to save or restore one data unit through scratch memory
+    /// (used by `tempart-sim`).
+    pub fn memory_word_cycles(&self) -> u64 {
+        self.memory_word_cycles
+    }
+
+    /// Returns a copy with a different scratch-memory size. Handy for
+    /// memory-pressure sweeps.
+    #[must_use]
+    pub fn with_scratch_memory(mut self, m: Bandwidth) -> Self {
+        self.scratch_memory = m;
+        self
+    }
+
+    /// Returns a copy with a different capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, c: FunctionGenerators) -> Self {
+        self.capacity = c;
+        self
+    }
+
+    /// Effective capacity test for a summed cost: `α · cost ≤ C`.
+    pub fn fits(&self, total_cost: FunctionGenerators) -> bool {
+        self.alpha.value() * f64::from(total_cost.count()) <= f64::from(self.capacity.count()) + 1e-9
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (C={}, Ms={}, {})",
+            self.name, self.capacity, self.scratch_memory, self.alpha
+        )
+    }
+}
+
+/// Builder for [`FpgaDevice`].
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    name: String,
+    capacity: FunctionGenerators,
+    scratch_memory: Bandwidth,
+    alpha: f64,
+    reconfig_cycles: u64,
+    memory_word_cycles: u64,
+}
+
+impl DeviceBuilder {
+    /// Creates a builder with zero capacity/memory and α = 0.7.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            capacity: FunctionGenerators::new(0),
+            scratch_memory: Bandwidth::ZERO,
+            alpha: 0.7,
+            reconfig_cycles: 0,
+            memory_word_cycles: 1,
+        }
+    }
+
+    /// Sets the resource capacity `C`.
+    #[must_use]
+    pub fn capacity(mut self, c: FunctionGenerators) -> Self {
+        self.capacity = c;
+        self
+    }
+
+    /// Sets the scratch memory `M_s`.
+    #[must_use]
+    pub fn scratch_memory(mut self, m: Bandwidth) -> Self {
+        self.scratch_memory = m;
+        self
+    }
+
+    /// Sets the logic-optimization factor `α` (validated at `build`).
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the reconfiguration latency in cycles.
+    #[must_use]
+    pub fn reconfig_cycles(mut self, cycles: u64) -> Self {
+        self.reconfig_cycles = cycles;
+        self
+    }
+
+    /// Sets the per-word scratch-memory access latency in cycles.
+    #[must_use]
+    pub fn memory_word_cycles(mut self, cycles: u64) -> Self {
+        self.memory_word_cycles = cycles;
+        self
+    }
+
+    /// Builds the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidDeviceParameter`] if the capacity is zero
+    /// or `α` is out of range.
+    pub fn build(self) -> Result<FpgaDevice, GraphError> {
+        if self.capacity.count() == 0 {
+            return Err(GraphError::InvalidDeviceParameter(
+                "capacity must be positive",
+            ));
+        }
+        let alpha = LogicOptimizationFactor::new(self.alpha)?;
+        Ok(FpgaDevice {
+            name: self.name,
+            capacity: self.capacity,
+            scratch_memory: self.scratch_memory,
+            alpha,
+            reconfig_cycles: self.reconfig_cycles,
+            memory_word_cycles: self.memory_word_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_validation() {
+        assert!(LogicOptimizationFactor::new(0.7).is_ok());
+        assert!(LogicOptimizationFactor::new(1.0).is_ok());
+        assert!(LogicOptimizationFactor::new(0.0).is_err());
+        assert!(LogicOptimizationFactor::new(1.5).is_err());
+        assert!(LogicOptimizationFactor::new(f64::NAN).is_err());
+        assert_eq!(LogicOptimizationFactor::default().value(), 0.7);
+    }
+
+    #[test]
+    fn builder_validates_capacity() {
+        let err = FpgaDevice::builder("x").build();
+        assert_eq!(
+            err,
+            Err(GraphError::InvalidDeviceParameter("capacity must be positive"))
+        );
+    }
+
+    #[test]
+    fn default_board() {
+        let dev = FpgaDevice::xc4010_board();
+        assert_eq!(dev.name(), "xc4010");
+        assert_eq!(dev.capacity().count(), 800);
+        assert_eq!(dev.scratch_memory().units(), 2048);
+        assert_eq!(dev.reconfig_cycles(), 164_000);
+        assert_eq!(dev.memory_word_cycles(), 1);
+        assert!(dev.to_string().contains("xc4010"));
+    }
+
+    #[test]
+    fn fits_applies_alpha() {
+        let dev = FpgaDevice::builder("d")
+            .capacity(FunctionGenerators::new(70))
+            .alpha(0.7)
+            .build()
+            .unwrap();
+        // 0.7 * 100 = 70 <= 70 — fits exactly.
+        assert!(dev.fits(FunctionGenerators::new(100)));
+        // 0.7 * 101 = 70.7 > 70 — does not fit.
+        assert!(!dev.fits(FunctionGenerators::new(101)));
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let dev = FpgaDevice::xc4010_board()
+            .with_capacity(FunctionGenerators::new(100))
+            .with_scratch_memory(Bandwidth::new(64));
+        assert_eq!(dev.capacity().count(), 100);
+        assert_eq!(dev.scratch_memory().units(), 64);
+    }
+}

@@ -1,0 +1,104 @@
+//! Graphviz (DOT) export for task graphs — regenerates Figure-1-style
+//! pictures of behavioral specifications.
+
+use std::fmt::Write as _;
+
+use crate::TaskGraph;
+
+/// Renders a task graph as Graphviz DOT, one cluster per task with the
+/// task's operation DAG inside, and bandwidth-labelled inter-task edges.
+///
+/// # Examples
+///
+/// ```
+/// use tempart_graph::{TaskGraphBuilder, OpKind, Bandwidth, task_graph_to_dot};
+///
+/// # fn main() -> Result<(), tempart_graph::GraphError> {
+/// let mut b = TaskGraphBuilder::new("fig");
+/// let t0 = b.task("t0");
+/// b.op(t0, OpKind::Add)?;
+/// let t1 = b.task("t1");
+/// b.op(t1, OpKind::Mul)?;
+/// b.task_edge(t0, t1, Bandwidth::new(3))?;
+/// let dot = task_graph_to_dot(&b.build()?);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("label=\"3\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn task_graph_to_dot(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=10];");
+    for task in graph.tasks() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", task.id().index());
+        let _ = writeln!(out, "    label=\"{} ({})\";", task.name(), task.id());
+        let _ = writeln!(out, "    style=rounded;");
+        for &op in task.ops() {
+            let o = graph.op(op);
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{} {}\"];",
+                op.index(),
+                o.kind(),
+                o.name()
+            );
+        }
+        for &(from, to) in task.op_graph().edges() {
+            let _ = writeln!(out, "    n{} -> n{};", from.index(), to.index());
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for e in graph.task_edges() {
+        // Connect representative ops (first sink to first source) so the
+        // inter-task edge is visible, labelled with the bandwidth.
+        let from_op = graph
+            .op_sinks(e.from)
+            .first()
+            .copied()
+            .expect("tasks are non-empty");
+        let to_op = graph
+            .op_sources(e.to)
+            .first()
+            .copied()
+            .expect("tasks are non-empty");
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\", style=bold, color=blue, ltail=cluster_{}, lhead=cluster_{}];",
+            from_op.index(),
+            to_op.index(),
+            e.bandwidth.units(),
+            e.from.index(),
+            e.to.index()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bandwidth, OpKind, TaskGraphBuilder};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("a");
+        let x = b.op(t0, OpKind::Add).unwrap();
+        let y = b.op(t0, OpKind::Mul).unwrap();
+        b.op_edge(x, y).unwrap();
+        let t1 = b.task("b");
+        b.op(t1, OpKind::Sub).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(5)).unwrap();
+        let g = b.build().unwrap();
+        let dot = task_graph_to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("label=\"5\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for IR construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{FuTypeId, OpId, OpKind, TaskId};
+
+/// Errors raised while constructing or validating a behavioral specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A task id referenced an unknown task.
+    UnknownTask(TaskId),
+    /// An operation id referenced an unknown operation.
+    UnknownOp(OpId),
+    /// An operation-level edge connected operations in different tasks.
+    ///
+    /// Task boundaries are honored during partitioning (§3); cross-task data
+    /// flow must be expressed as a task edge with a bandwidth instead.
+    CrossTaskOpEdge { from: OpId, to: OpId },
+    /// An edge would connect a node to itself.
+    SelfEdge,
+    /// The task graph contains a dependency cycle through the given task.
+    TaskCycle(TaskId),
+    /// A task's operation graph contains a cycle through the given operation.
+    OpCycle(OpId),
+    /// A task has no operations; every task must perform work.
+    EmptyTask(TaskId),
+    /// Duplicate task edge between the same pair of tasks.
+    DuplicateTaskEdge { from: TaskId, to: TaskId },
+    /// Duplicate operation edge between the same pair of operations.
+    DuplicateOpEdge { from: OpId, to: OpId },
+    /// No functional-unit type in the library can execute this operation kind.
+    NoFuForKind(OpKind),
+    /// The library referenced an unknown functional-unit type.
+    UnknownFuType(FuTypeId),
+    /// A device parameter was out of range (e.g. α outside `(0, 1]`).
+    InvalidDeviceParameter(&'static str),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            GraphError::UnknownOp(i) => write!(f, "unknown operation {i}"),
+            GraphError::CrossTaskOpEdge { from, to } => write!(
+                f,
+                "operation edge {from} -> {to} crosses a task boundary; use a task edge with a bandwidth"
+            ),
+            GraphError::SelfEdge => write!(f, "self edges are not allowed"),
+            GraphError::TaskCycle(t) => write!(f, "task graph has a cycle through {t}"),
+            GraphError::OpCycle(i) => write!(f, "operation graph has a cycle through {i}"),
+            GraphError::EmptyTask(t) => write!(f, "task {t} has no operations"),
+            GraphError::DuplicateTaskEdge { from, to } => {
+                write!(f, "duplicate task edge {from} -> {to}")
+            }
+            GraphError::DuplicateOpEdge { from, to } => {
+                write!(f, "duplicate operation edge {from} -> {to}")
+            }
+            GraphError::NoFuForKind(k) => {
+                write!(f, "no functional-unit type in the library executes `{k}`")
+            }
+            GraphError::UnknownFuType(k) => write!(f, "unknown functional-unit type ft{}", k.0),
+            GraphError::InvalidDeviceParameter(what) => {
+                write!(f, "invalid device parameter: {what}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::UnknownTask(TaskId::new(2)).to_string(),
+            "unknown task t2"
+        );
+        assert!(GraphError::CrossTaskOpEdge {
+            from: OpId::new(0),
+            to: OpId::new(1)
+        }
+        .to_string()
+        .contains("task boundary"));
+        assert!(GraphError::NoFuForKind(OpKind::Mul).to_string().contains("mul"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,235 @@
+//! Strongly-typed identifiers used throughout the system.
+//!
+//! Newtypes keep task indices, operation indices, functional-unit instance
+//! indices, control steps and partition indices from being mixed up — the
+//! ILP formulation in `tempart-core` indexes decision variables by all five.
+
+use std::fmt;
+
+macro_rules! index_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+index_newtype!(
+    /// Identifier of a [`Task`](crate::Task) within a [`TaskGraph`](crate::TaskGraph).
+    ///
+    /// Task ids double as the topological priorities used by the paper's
+    /// branch-and-bound variable-selection heuristic (§8): builders and
+    /// generators hand out ids in a topological order of the task DAG.
+    TaskId, "t"
+);
+index_newtype!(
+    /// Identifier of an [`Operation`](crate::Operation), unique across the
+    /// whole task graph (not per task).
+    OpId, "i"
+);
+index_newtype!(
+    /// Identifier of a concrete functional-unit *instance* from the set `F`
+    /// used for design exploration (e.g. "adder #1", "multiplier #0").
+    FuId, "k"
+);
+
+/// A control step (clock cycle index within a schedule), `0`-based.
+///
+/// The paper numbers control steps from 1; we use `0`-based indices
+/// internally and only shift when printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ControlStep(pub u32);
+
+impl ControlStep {
+    /// Creates a control step from a raw cycle index.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw cycle index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next control step.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// Iterator over the inclusive range `self..=last`.
+    pub fn range_to(self, last: ControlStep) -> impl Iterator<Item = ControlStep> {
+        (self.0..=last.0).map(ControlStep)
+    }
+}
+
+impl fmt::Display for ControlStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cs{}", self.0)
+    }
+}
+
+/// A temporal-partition index, `0`-based (`0..N`).
+///
+/// Partitions execute in index order; the paper numbers them `1..=N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartitionIndex(pub u32);
+
+impl PartitionIndex {
+    /// Creates a partition index.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all partitions `0..n`.
+    pub fn all(n: u32) -> impl Iterator<Item = PartitionIndex> {
+        (0..n).map(PartitionIndex)
+    }
+}
+
+impl fmt::Display for PartitionIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An inter-task communication volume in data units (`Bandwidth(t1, t2)` in
+/// the paper). The unit is abstract; the scratch-memory capacity `M_s` of the
+/// [`FpgaDevice`](crate::FpgaDevice) is expressed in the same unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bandwidth(pub u64);
+
+impl Bandwidth {
+    /// Zero communication.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// Creates a bandwidth of `units` data units.
+    pub const fn new(units: u64) -> Self {
+        Self(units)
+    }
+
+    /// Returns the number of data units.
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating sum of two bandwidths.
+    #[must_use]
+    pub const fn saturating_add(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_add(other.0))
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u", self.0)
+    }
+}
+
+impl std::ops::Add for Bandwidth {
+    type Output = Bandwidth;
+
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let t = TaskId::new(3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(t.to_string(), "t3");
+        assert_eq!(TaskId::from(3u32), t);
+        assert_eq!(usize::from(t), 3);
+
+        assert_eq!(OpId::new(7).to_string(), "i7");
+        assert_eq!(FuId::new(1).to_string(), "k1");
+        assert_eq!(ControlStep::new(2).to_string(), "cs2");
+        assert_eq!(PartitionIndex::new(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn control_step_range() {
+        let steps: Vec<_> = ControlStep::new(1).range_to(ControlStep::new(3)).collect();
+        assert_eq!(
+            steps,
+            vec![ControlStep::new(1), ControlStep::new(2), ControlStep::new(3)]
+        );
+        assert_eq!(ControlStep::new(0).next(), ControlStep::new(1));
+        // Empty range when first > last.
+        assert_eq!(ControlStep::new(4).range_to(ControlStep::new(3)).count(), 0);
+    }
+
+    #[test]
+    fn partition_all() {
+        let ps: Vec<_> = PartitionIndex::all(3).collect();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[2], PartitionIndex::new(2));
+    }
+
+    #[test]
+    fn bandwidth_arithmetic() {
+        let a = Bandwidth::new(3);
+        let b = Bandwidth::new(4);
+        assert_eq!(a + b, Bandwidth::new(7));
+        assert_eq!(vec![a, b].into_iter().sum::<Bandwidth>(), Bandwidth::new(7));
+        assert_eq!(
+            Bandwidth::new(u64::MAX).saturating_add(b),
+            Bandwidth::new(u64::MAX)
+        );
+        assert_eq!(Bandwidth::ZERO.units(), 0);
+        assert_eq!(a.to_string(), "3u");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert!(ControlStep::new(0) < ControlStep::new(5));
+        assert!(Bandwidth::new(1) < Bandwidth::new(2));
+    }
+}

@@ -1,0 +1,65 @@
+//! # tempart-graph
+//!
+//! Behavioral-specification intermediate representation for the `tempart`
+//! temporal-partitioning system (Kaul & Vemuri, DATE 1998).
+//!
+//! A specification is a [`TaskGraph`]: a DAG of [`Task`]s whose edges carry the
+//! [`Bandwidth`] (number of data units) that must be staged through scratch
+//! memory if the two endpoint tasks land in different temporal partitions.
+//! Each task owns an [`OpGraph`], a DAG of fine-grained [`Operation`]s; the
+//! operations of all tasks placed in the same temporal segment share control
+//! steps and functional units.
+//!
+//! The target platform is described by an [`FpgaDevice`] (resource capacity
+//! `C`, scratch memory `M_s`, logic-optimization factor `α`) together with a
+//! [`ComponentLibrary`] of characterized functional-unit types (`FG(k)` costs,
+//! executable operation kinds).
+//!
+//! # Examples
+//!
+//! Build a two-task fragment in the style of the paper's Figure 1 and query it:
+//!
+//! ```
+//! use tempart_graph::{TaskGraphBuilder, OpKind, Bandwidth};
+//!
+//! # fn main() -> Result<(), tempart_graph::GraphError> {
+//! let mut b = TaskGraphBuilder::new("fig1-fragment");
+//! let t0 = b.task("t0");
+//! let a = b.op(t0, OpKind::Add)?;
+//! let m = b.op(t0, OpKind::Mul)?;
+//! b.op_edge(a, m)?;
+//! let t1 = b.task("t1");
+//! let s = b.op(t1, OpKind::Sub)?;
+//! # let _ = s;
+//! b.task_edge(t0, t1, Bandwidth::new(8))?;
+//! let g = b.build()?;
+//! assert_eq!(g.num_tasks(), 2);
+//! assert_eq!(g.num_ops(), 3);
+//! assert_eq!(g.total_edge_bandwidth(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod device;
+mod dot;
+mod error;
+mod ids;
+mod library;
+mod op;
+mod op_graph;
+mod task;
+mod task_graph;
+
+pub use builder::TaskGraphBuilder;
+pub use device::{DeviceBuilder, FpgaDevice, LogicOptimizationFactor};
+pub use dot::task_graph_to_dot;
+pub use error::GraphError;
+pub use ids::{Bandwidth, ControlStep, FuId, OpId, PartitionIndex, TaskId};
+pub use library::{
+    ComponentLibrary, ExplorationSet, FuInstance, FuType, FuTypeId, FunctionGenerators,
+};
+pub use op::{OpKind, Operation};
+pub use op_graph::OpGraph;
+pub use task::Task;
+pub use task_graph::{GraphStats, TaskEdge, TaskGraph};

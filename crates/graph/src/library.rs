@@ -1,0 +1,566 @@
+//! Characterized component library and the functional-unit exploration set `F`.
+//!
+//! A [`FuType`] describes a class of hardware component (e.g. a 16-bit ripple
+//! adder) by the operation kinds it can execute and its FPGA resource cost in
+//! [`FunctionGenerators`] (`FG(k)` in the paper). The design exploration works
+//! over a multiset of *instances* of these types — the set `F` — modeled by
+//! [`FuInstance`] values indexed by [`FuId`](crate::FuId).
+
+use std::fmt;
+
+use crate::{FuId, GraphError, OpKind};
+
+/// FPGA resource cost in function generators (XC4000-style; one CLB contains
+/// two four-input function generators). `FG(k)` in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FunctionGenerators(pub u32);
+
+impl FunctionGenerators {
+    /// Creates a cost of `n` function generators.
+    pub const fn new(n: u32) -> Self {
+        Self(n)
+    }
+
+    /// Raw count.
+    pub const fn count(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FunctionGenerators {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}FG", self.0)
+    }
+}
+
+/// Identifier of a [`FuType`] within a [`ComponentLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FuTypeId(pub u32);
+
+impl FuTypeId {
+    /// Creates a type id from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ft{}", self.0)
+    }
+}
+
+/// A characterized functional-unit type from the component library.
+///
+/// The paper's model assumes unit latency (one control step per operation,
+/// result available at the end of the step, §3.3); [`FuType::latency`] is kept
+/// for forward compatibility with the multicycle/pipelined extension the paper
+/// cites (\[6\], \[7\]) and is `1` for every built-in type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuType {
+    name: String,
+    executes: Vec<OpKind>,
+    cost: FunctionGenerators,
+    latency: u32,
+    pipelined: bool,
+}
+
+impl FuType {
+    /// Creates a functional-unit type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `executes` is empty or `latency` is zero — a unit that can
+    /// run nothing, or runs in zero time, is meaningless.
+    pub fn new(
+        name: impl Into<String>,
+        executes: impl IntoIterator<Item = OpKind>,
+        cost: FunctionGenerators,
+        latency: u32,
+    ) -> Self {
+        let executes: Vec<OpKind> = executes.into_iter().collect();
+        assert!(!executes.is_empty(), "FuType must execute at least one OpKind");
+        assert!(latency > 0, "FuType latency must be at least one control step");
+        Self {
+            name: name.into(),
+            executes,
+            cost,
+            latency,
+            pipelined: false,
+        }
+    }
+
+    /// Creates a *pipelined* multicycle functional-unit type: results take
+    /// `latency` control steps but a new operation may be issued every step
+    /// (initiation interval 1). This is the design-exploration case the
+    /// paper highlights against \[1, 2\]: a pipelined and a non-pipelined
+    /// implementation of the same operation can coexist in one exploration
+    /// set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `executes` is empty or `latency` is zero.
+    pub fn new_pipelined(
+        name: impl Into<String>,
+        executes: impl IntoIterator<Item = OpKind>,
+        cost: FunctionGenerators,
+        latency: u32,
+    ) -> Self {
+        let mut t = Self::new(name, executes, cost, latency);
+        t.pipelined = true;
+        t
+    }
+
+    /// Human-readable type name, e.g. `"add16"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operation kinds this unit can execute (`Fu⁻¹` restricted to kinds).
+    pub fn executes(&self) -> &[OpKind] {
+        &self.executes
+    }
+
+    /// Whether this unit can execute `kind`.
+    pub fn can_execute(&self, kind: OpKind) -> bool {
+        self.executes.contains(&kind)
+    }
+
+    /// FPGA resource cost `FG(k)`.
+    pub fn cost(&self) -> FunctionGenerators {
+        self.cost
+    }
+
+    /// Latency in control steps (1 for every unit in the paper's base
+    /// model, §3.3; larger for the multicycle extension).
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Whether the unit is pipelined (initiation interval 1): it *occupies*
+    /// the unit for one step while results still take [`latency`] steps.
+    ///
+    /// [`latency`]: Self::latency
+    pub fn pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Steps during which the unit is busy per operation: `1` when
+    /// pipelined, [`latency`](Self::latency) otherwise.
+    pub fn occupancy(&self) -> u32 {
+        if self.pipelined {
+            1
+        } else {
+            self.latency
+        }
+    }
+}
+
+/// A concrete functional-unit instance in the exploration set `F`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuInstance {
+    id: FuId,
+    ty: FuTypeId,
+}
+
+impl FuInstance {
+    /// Instance id (`k` in the paper's `x_ijk`, `u_pk`, `o_tk`).
+    pub fn id(&self) -> FuId {
+        self.id
+    }
+
+    /// The library type of this instance.
+    pub fn ty(&self) -> FuTypeId {
+        self.ty
+    }
+}
+
+/// A component library plus the multiset of functional-unit instances used
+/// for design exploration (the set `F`).
+///
+/// # Examples
+///
+/// The paper's `2+2+1` exploration (2 adders, 2 multipliers, 1 subtracter):
+///
+/// ```
+/// use tempart_graph::{ComponentLibrary, OpKind};
+///
+/// let lib = ComponentLibrary::date98_default();
+/// let f = lib.exploration_set(&[("add16", 2), ("mul8", 2), ("sub16", 1)]).unwrap();
+/// assert_eq!(f.num_instances(), 5);
+/// assert_eq!(f.instances_for_kind(OpKind::Add).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLibrary {
+    types: Vec<FuType>,
+}
+
+impl ComponentLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self { types: Vec::new() }
+    }
+
+    /// A library with XC4000-era characterizations matching the paper's
+    /// experimental setup: 16-bit adder/subtracter, 8-bit array multiplier,
+    /// 16-bit comparator and ALU-style logic unit.
+    ///
+    /// Costs are in function generators; a Synopsys-mapped XC4000 16-bit
+    /// adder occupies ~9 CLBs ≈ 18 FGs, an 8×8 array multiplier ~48 CLBs ≈
+    /// 96 FGs. Exact numbers only shift the resource constraint (11)
+    /// proportionally.
+    pub fn date98_default() -> Self {
+        let mut lib = Self::new();
+        lib.add_type(FuType::new(
+            "add16",
+            [OpKind::Add],
+            FunctionGenerators::new(18),
+            1,
+        ));
+        lib.add_type(FuType::new(
+            "sub16",
+            [OpKind::Sub],
+            FunctionGenerators::new(18),
+            1,
+        ));
+        lib.add_type(FuType::new(
+            "mul8",
+            [OpKind::Mul],
+            FunctionGenerators::new(96),
+            1,
+        ));
+        lib.add_type(FuType::new(
+            "cmp16",
+            [OpKind::Cmp],
+            FunctionGenerators::new(12),
+            1,
+        ));
+        lib.add_type(FuType::new(
+            "alu16",
+            [OpKind::Logic, OpKind::Add, OpKind::Sub],
+            FunctionGenerators::new(24),
+            1,
+        ));
+        lib
+    }
+
+    /// The DATE-98 library extended with multicycle multiplier variants for
+    /// the paper's §2 exploration scenario:
+    ///
+    /// * `mul8s` — a sequential (non-pipelined) 8-bit multiplier, latency 2,
+    ///   roughly half the area of the combinational `mul8`;
+    /// * `mul8p` — a pipelined 8-bit multiplier, latency 2, initiation
+    ///   interval 1, slightly larger than `mul8`.
+    pub fn date98_extended() -> Self {
+        let mut lib = Self::date98_default();
+        lib.add_type(FuType::new(
+            "mul8s",
+            [OpKind::Mul],
+            FunctionGenerators::new(52),
+            2,
+        ));
+        lib.add_type(FuType::new_pipelined(
+            "mul8p",
+            [OpKind::Mul],
+            FunctionGenerators::new(108),
+            2,
+        ));
+        lib
+    }
+
+    /// Adds a type and returns its id.
+    pub fn add_type(&mut self, ty: FuType) -> FuTypeId {
+        let id = FuTypeId::new(self.types.len() as u32);
+        self.types.push(ty);
+        id
+    }
+
+    /// Looks up a type by id.
+    pub fn ty(&self, id: FuTypeId) -> Option<&FuType> {
+        self.types.get(id.index())
+    }
+
+    /// Looks up a type id by name.
+    pub fn type_by_name(&self, name: &str) -> Option<FuTypeId> {
+        self.types
+            .iter()
+            .position(|t| t.name() == name)
+            .map(|i| FuTypeId::new(i as u32))
+    }
+
+    /// Iterates over `(id, type)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuTypeId, &FuType)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (FuTypeId::new(i as u32), t))
+    }
+
+    /// Number of types in the library.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Builds an [`ExplorationSet`] from `(type name, instance count)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownFuType`] if a name is not in the library.
+    pub fn exploration_set(
+        &self,
+        counts: &[(&str, u32)],
+    ) -> Result<ExplorationSet, GraphError> {
+        let mut instances = Vec::new();
+        for &(name, count) in counts {
+            let ty = self
+                .type_by_name(name)
+                .ok_or(GraphError::UnknownFuType(FuTypeId::new(u32::MAX)))?;
+            for _ in 0..count {
+                instances.push(ty);
+            }
+        }
+        Ok(ExplorationSet::new(self.clone(), instances))
+    }
+}
+
+impl Default for ComponentLibrary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The set `F` of functional-unit instances available for design exploration,
+/// together with the library that characterizes them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplorationSet {
+    library: ComponentLibrary,
+    instances: Vec<FuInstance>,
+}
+
+impl ExplorationSet {
+    /// Creates an exploration set from instance types.
+    pub fn new(library: ComponentLibrary, instance_types: Vec<FuTypeId>) -> Self {
+        let instances = instance_types
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| FuInstance {
+                id: FuId::new(i as u32),
+                ty,
+            })
+            .collect();
+        Self { library, instances }
+    }
+
+    /// The characterizing library.
+    pub fn library(&self) -> &ComponentLibrary {
+        &self.library
+    }
+
+    /// Number of instances `|F|`.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// All instances in id order.
+    pub fn instances(&self) -> &[FuInstance] {
+        &self.instances
+    }
+
+    /// The type record of instance `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range for this set.
+    pub fn fu_type(&self, k: FuId) -> &FuType {
+        let inst = &self.instances[k.index()];
+        self.library
+            .ty(inst.ty)
+            .expect("instance type must exist in library")
+    }
+
+    /// Resource cost `FG(k)` of instance `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn cost(&self, k: FuId) -> FunctionGenerators {
+        self.fu_type(k).cost()
+    }
+
+    /// Latency of instance `k` in control steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn latency(&self, k: FuId) -> u32 {
+        self.fu_type(k).latency()
+    }
+
+    /// Busy steps per operation on instance `k` (1 when pipelined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn occupancy(&self, k: FuId) -> u32 {
+        self.fu_type(k).occupancy()
+    }
+
+    /// The minimum latency over units able to execute `kind` — the
+    /// optimistic estimate mobility analysis uses. `None` when nothing
+    /// executes `kind`.
+    pub fn min_latency_for_kind(&self, kind: OpKind) -> Option<u32> {
+        self.instances_for_kind(kind)
+            .map(|k| self.latency(k))
+            .min()
+    }
+
+    /// Whether every instance has unit latency (the paper's base model).
+    pub fn all_unit_latency(&self) -> bool {
+        self.instances
+            .iter()
+            .all(|i| self.library.ty(i.ty()).is_some_and(|t| t.latency() == 1))
+    }
+
+    /// Instances able to execute operations of `kind` — `Fu(i)` in the paper.
+    pub fn instances_for_kind(&self, kind: OpKind) -> impl Iterator<Item = FuId> + '_ {
+        self.instances
+            .iter()
+            .filter(move |inst| {
+                self.library
+                    .ty(inst.ty)
+                    .map(|t| t.can_execute(kind))
+                    .unwrap_or(false)
+            })
+            .map(|inst| inst.id)
+    }
+
+    /// Whether instance `k` can execute `kind` (membership in `Fu⁻¹(k)`).
+    pub fn can_execute(&self, k: FuId, kind: OpKind) -> bool {
+        self.fu_type(k).can_execute(kind)
+    }
+
+    /// Checks that every operation kind in `kinds` has at least one capable
+    /// instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NoFuForKind`] naming the first uncovered kind.
+    pub fn check_covers(&self, kinds: impl IntoIterator<Item = OpKind>) -> Result<(), GraphError> {
+        for kind in kinds {
+            if self.instances_for_kind(kind).next().is_none() {
+                return Err(GraphError::NoFuForKind(kind));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_library_covers_core_kinds() {
+        let lib = ComponentLibrary::date98_default();
+        assert_eq!(lib.num_types(), 5);
+        for kind in [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Cmp, OpKind::Logic] {
+            assert!(
+                lib.iter().any(|(_, t)| t.can_execute(kind)),
+                "no type executes {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn exploration_set_instances() {
+        let lib = ComponentLibrary::date98_default();
+        let f = lib
+            .exploration_set(&[("add16", 2), ("mul8", 2), ("sub16", 1)])
+            .unwrap();
+        assert_eq!(f.num_instances(), 5);
+        // Adders are instances 0 and 1.
+        let adders: Vec<_> = f.instances_for_kind(OpKind::Add).collect();
+        assert_eq!(adders, vec![FuId::new(0), FuId::new(1)]);
+        let muls: Vec<_> = f.instances_for_kind(OpKind::Mul).collect();
+        assert_eq!(muls, vec![FuId::new(2), FuId::new(3)]);
+        assert!(f.can_execute(FuId::new(4), OpKind::Sub));
+        assert!(!f.can_execute(FuId::new(4), OpKind::Mul));
+        assert_eq!(f.cost(FuId::new(2)).count(), 96);
+    }
+
+    #[test]
+    fn exploration_set_coverage_check() {
+        let lib = ComponentLibrary::date98_default();
+        let f = lib.exploration_set(&[("add16", 1)]).unwrap();
+        assert!(f.check_covers([OpKind::Add]).is_ok());
+        assert_eq!(
+            f.check_covers([OpKind::Mul]),
+            Err(GraphError::NoFuForKind(OpKind::Mul))
+        );
+    }
+
+    #[test]
+    fn unknown_type_name_errors() {
+        let lib = ComponentLibrary::date98_default();
+        assert!(lib.exploration_set(&[("nope", 1)]).is_err());
+        assert!(lib.type_by_name("add16").is_some());
+        assert!(lib.type_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn alu_executes_multiple_kinds() {
+        let lib = ComponentLibrary::date98_default();
+        let alu = lib.type_by_name("alu16").unwrap();
+        let t = lib.ty(alu).unwrap();
+        assert!(t.can_execute(OpKind::Add));
+        assert!(t.can_execute(OpKind::Logic));
+        assert!(!t.can_execute(OpKind::Mul));
+        assert_eq!(t.latency(), 1);
+        assert_eq!(t.cost().to_string(), "24FG");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one OpKind")]
+    fn empty_executes_panics() {
+        let _ = FuType::new("bad", [], FunctionGenerators::new(1), 1);
+    }
+
+    #[test]
+    fn extended_library_multiplier_variants() {
+        let lib = ComponentLibrary::date98_extended();
+        let seq = lib.ty(lib.type_by_name("mul8s").unwrap()).unwrap();
+        assert_eq!(seq.latency(), 2);
+        assert!(!seq.pipelined());
+        assert_eq!(seq.occupancy(), 2);
+        let pip = lib.ty(lib.type_by_name("mul8p").unwrap()).unwrap();
+        assert_eq!(pip.latency(), 2);
+        assert!(pip.pipelined());
+        assert_eq!(pip.occupancy(), 1);
+        // The combinational multiplier is unchanged.
+        let comb = lib.ty(lib.type_by_name("mul8").unwrap()).unwrap();
+        assert_eq!(comb.latency(), 1);
+        assert_eq!(comb.occupancy(), 1);
+    }
+
+    #[test]
+    fn exploration_set_latency_queries() {
+        let lib = ComponentLibrary::date98_extended();
+        let f = lib
+            .exploration_set(&[("mul8s", 1), ("mul8p", 1), ("add16", 1)])
+            .unwrap();
+        assert!(!f.all_unit_latency());
+        assert_eq!(f.min_latency_for_kind(OpKind::Mul), Some(2));
+        assert_eq!(f.min_latency_for_kind(OpKind::Add), Some(1));
+        assert_eq!(f.min_latency_for_kind(OpKind::Cmp), None);
+        assert_eq!(f.latency(FuId::new(0)), 2);
+        assert_eq!(f.occupancy(FuId::new(0)), 2);
+        assert_eq!(f.occupancy(FuId::new(1)), 1);
+        let unit = lib.exploration_set(&[("add16", 2)]).unwrap();
+        assert!(unit.all_unit_latency());
+    }
+}

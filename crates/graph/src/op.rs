@@ -1,0 +1,129 @@
+//! Fine-grained operations and their kinds.
+
+use std::fmt;
+
+use crate::{OpId, TaskId};
+
+/// The kind of a behavioral-level operation.
+///
+/// The paper's experiments use adders, multipliers and subtracters
+/// (`A+M+S` columns of Tables 1–4); we additionally support comparison and
+/// ALU-style logic operations so richer specifications can be expressed.
+/// Which functional-unit types can execute which kind is configured in the
+/// [`ComponentLibrary`](crate::ComponentLibrary) (`Fu(i)` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Magnitude comparison.
+    Cmp,
+    /// Bitwise logic (and/or/xor/not collapsed into one ALU class).
+    Logic,
+}
+
+impl OpKind {
+    /// All operation kinds, in a fixed order.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Cmp,
+        OpKind::Logic,
+    ];
+
+    /// Short mnemonic used in DOT output and debug tables.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Cmp => "cmp",
+            OpKind::Logic => "log",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single behavioral operation: a node of a task's [`OpGraph`](crate::OpGraph).
+///
+/// The paper assumes unit latency for every functional unit (§3.3); the
+/// latency therefore lives on the library's [`FuType`](crate::FuType), not on
+/// the operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    id: OpId,
+    task: TaskId,
+    kind: OpKind,
+    name: String,
+}
+
+impl Operation {
+    /// Creates an operation. Normally called through
+    /// [`TaskGraphBuilder::op`](crate::TaskGraphBuilder::op).
+    pub fn new(id: OpId, task: TaskId, kind: OpKind, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            task,
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// Globally unique identifier of this operation.
+    pub fn id(&self) -> OpId {
+        self.id
+    }
+
+    /// The task this operation belongs to (`Op(t)` membership).
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// The operation kind, used to look up compatible functional units.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Human-readable name (used in DOT output and diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}({})", self.id, self.kind, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in OpKind::ALL {
+            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic for {k:?}");
+        }
+    }
+
+    #[test]
+    fn operation_accessors() {
+        let op = Operation::new(OpId::new(5), TaskId::new(1), OpKind::Mul, "m0");
+        assert_eq!(op.id(), OpId::new(5));
+        assert_eq!(op.task(), TaskId::new(1));
+        assert_eq!(op.kind(), OpKind::Mul);
+        assert_eq!(op.name(), "m0");
+        assert_eq!(op.to_string(), "i5:mul(m0)");
+    }
+}

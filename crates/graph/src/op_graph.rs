@@ -1,0 +1,197 @@
+//! Per-task operation DAGs (`i_i → i_j` edges in the paper).
+
+use std::collections::HashSet;
+
+use crate::{GraphError, OpId};
+
+/// The dependency DAG over a task's operations.
+///
+/// Edges are stored per task but operation ids are global, so a task graph
+/// can present a single *combined operation graph* (used for the ASAP/ALAP
+/// preprocessing step of the paper's Figure 2) by unioning the per-task edge
+/// sets with the implicit cross-task edges derived from task edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpGraph {
+    ops: Vec<OpId>,
+    edges: Vec<(OpId, OpId)>,
+}
+
+impl OpGraph {
+    /// Creates an empty operation graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operation node.
+    pub(crate) fn push_op(&mut self, op: OpId) {
+        self.ops.push(op);
+    }
+
+    /// Adds a dependency edge `from → to`.
+    pub(crate) fn push_edge(&mut self, from: OpId, to: OpId) {
+        self.edges.push((from, to));
+    }
+
+    /// Operations in insertion order.
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Dependency edges `(from, to)`.
+    pub fn edges(&self) -> &[(OpId, OpId)] {
+        &self.edges
+    }
+
+    /// Direct predecessors of `op` within this task.
+    pub fn preds(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(_, to)| to == op)
+            .map(|&(from, _)| from)
+    }
+
+    /// Direct successors of `op` within this task.
+    pub fn succs(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(from, _)| from == op)
+            .map(|&(_, to)| to)
+    }
+
+    /// Returns the operations in a topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::OpCycle`] naming an operation on a cycle.
+    pub fn topo_order(&self) -> Result<Vec<OpId>, GraphError> {
+        topo_sort(&self.ops, &self.edges).map_err(GraphError::OpCycle)
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_ok()
+    }
+}
+
+/// Kahn's algorithm over arbitrary node/edge slices; shared by op graphs and
+/// (via a mapped id space) task graphs. On a cycle, returns one node that is
+/// part of it.
+pub(crate) fn topo_sort<T: Copy + Eq + std::hash::Hash + Ord>(
+    nodes: &[T],
+    edges: &[(T, T)],
+) -> Result<Vec<T>, T> {
+    let node_set: HashSet<T> = nodes.iter().copied().collect();
+    let mut indegree: std::collections::HashMap<T, usize> =
+        nodes.iter().map(|&n| (n, 0)).collect();
+    for &(from, to) in edges {
+        debug_assert!(node_set.contains(&from) && node_set.contains(&to));
+        *indegree.entry(to).or_insert(0) += 1;
+    }
+    // Deterministic order: seed queue with sources in sorted order.
+    let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<T>> = indegree
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&n, _)| std::cmp::Reverse(n))
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(std::cmp::Reverse(n)) = queue.pop() {
+        order.push(n);
+        for &(from, to) in edges {
+            if from == n {
+                let d = indegree.get_mut(&to).expect("edge target exists");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(std::cmp::Reverse(to));
+                }
+            }
+        }
+    }
+    if order.len() == nodes.len() {
+        Ok(order)
+    } else {
+        // Some node still has positive indegree — it is on or downstream of a
+        // cycle; report the smallest for determinism.
+        let stuck = indegree
+            .iter()
+            .filter(|&(_, &d)| d > 0)
+            .map(|(&n, _)| n)
+            .min()
+            .expect("cycle implies a stuck node");
+        Err(stuck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> OpGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = OpGraph::new();
+        for i in 0..4 {
+            g.push_op(OpId::new(i));
+        }
+        g.push_edge(OpId::new(0), OpId::new(1));
+        g.push_edge(OpId::new(0), OpId::new(2));
+        g.push_edge(OpId::new(1), OpId::new(3));
+        g.push_edge(OpId::new(2), OpId::new(3));
+        g
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let g = diamond();
+        let p: Vec<_> = g.preds(OpId::new(3)).collect();
+        assert_eq!(p, vec![OpId::new(1), OpId::new(2)]);
+        let s: Vec<_> = g.succs(OpId::new(0)).collect();
+        assert_eq!(s, vec![OpId::new(1), OpId::new(2)]);
+        assert_eq!(g.preds(OpId::new(0)).count(), 0);
+        assert_eq!(g.succs(OpId::new(3)).count(), 0);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        assert_eq!(order.len(), 4);
+        let pos = |op: OpId| order.iter().position(|&o| o == op).unwrap();
+        for &(from, to) in g.edges() {
+            assert!(pos(from) < pos(to), "{from} must precede {to}");
+        }
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = diamond();
+        g.push_edge(OpId::new(3), OpId::new(0));
+        assert!(!g.is_acyclic());
+        match g.topo_order() {
+            Err(GraphError::OpCycle(_)) => {}
+            other => panic!("expected OpCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_graph_topo() {
+        let g = OpGraph::new();
+        assert_eq!(g.topo_order().unwrap(), vec![]);
+        assert_eq!(g.num_ops(), 0);
+    }
+
+    #[test]
+    fn topo_is_deterministic() {
+        let g = diamond();
+        let a = g.topo_order().unwrap();
+        let b = g.topo_order().unwrap();
+        assert_eq!(a, b);
+        // Sources popped in sorted order → 0 first, then 1 before 2.
+        assert_eq!(a[0], OpId::new(0));
+        assert_eq!(a[1], OpId::new(1));
+    }
+}

@@ -1,0 +1,81 @@
+//! Tasks: atomic units of temporal partitioning.
+
+use std::fmt;
+
+use crate::{OpGraph, OpId, TaskId};
+
+/// A task — a set of operations that must stay together in one temporal
+/// partition (§3: "a task cannot be split across two temporal segments").
+///
+/// To allow splitting, model each operation as its own single-op task; the
+/// formulation works unchanged (§3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    id: TaskId,
+    name: String,
+    op_graph: OpGraph,
+}
+
+impl Task {
+    /// Creates an empty task. Normally called through
+    /// [`TaskGraphBuilder::task`](crate::TaskGraphBuilder::task).
+    pub fn new(id: TaskId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            op_graph: OpGraph::new(),
+        }
+    }
+
+    /// This task's identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task's operation DAG.
+    pub fn op_graph(&self) -> &OpGraph {
+        &self.op_graph
+    }
+
+    /// Mutable access for builders within this crate.
+    pub(crate) fn op_graph_mut(&mut self) -> &mut OpGraph {
+        &mut self.op_graph
+    }
+
+    /// The set `Op(t)`: ids of this task's operations.
+    pub fn ops(&self) -> &[OpId] {
+        self.op_graph.ops()
+    }
+
+    /// Number of operations in the task.
+    pub fn num_ops(&self) -> usize {
+        self.op_graph.num_ops()
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}({} ops)", self.id, self.name, self.num_ops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut t = Task::new(TaskId::new(2), "fir");
+        t.op_graph_mut().push_op(OpId::new(0));
+        assert_eq!(t.id(), TaskId::new(2));
+        assert_eq!(t.name(), "fir");
+        assert_eq!(t.num_ops(), 1);
+        assert_eq!(t.ops(), &[OpId::new(0)]);
+        assert_eq!(t.to_string(), "t2:fir(1 ops)");
+    }
+}

@@ -1,0 +1,377 @@
+//! The top-level behavioral specification: a DAG of tasks.
+
+use std::fmt;
+
+use crate::op_graph::topo_sort;
+use crate::{Bandwidth, GraphError, OpId, Operation, Task, TaskId};
+
+/// A directed task-graph edge `t_from → t_to` labelled with the amount of
+/// data communicated if the endpoints land in different partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskEdge {
+    /// Producing task (`t1` in `t1 → t2`).
+    pub from: TaskId,
+    /// Consuming task.
+    pub to: TaskId,
+    /// `Bandwidth(t1, t2)` in data units.
+    pub bandwidth: Bandwidth,
+}
+
+/// A complete behavioral specification (paper Figure 1): tasks, their
+/// operation DAGs, and bandwidth-labelled inter-task dependencies.
+///
+/// Construct via [`TaskGraphBuilder`](crate::TaskGraphBuilder), which
+/// validates acyclicity and task-boundary discipline at [`build`] time, so a
+/// `TaskGraph` value is always structurally sound.
+///
+/// [`build`]: crate::TaskGraphBuilder::build
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskGraph {
+    name: String,
+    tasks: Vec<Task>,
+    ops: Vec<Operation>,
+    task_edges: Vec<TaskEdge>,
+}
+
+impl TaskGraph {
+    /// Assembles a task graph from parts; used by the builder after
+    /// validation.
+    pub(crate) fn from_parts(
+        name: String,
+        tasks: Vec<Task>,
+        ops: Vec<Operation>,
+        task_edges: Vec<TaskEdge>,
+    ) -> Self {
+        Self {
+            name,
+            tasks,
+            ops,
+            task_edges,
+        }
+    }
+
+    /// Specification name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks `|T|`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of operations `|I|` across all tasks.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// All tasks in id order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All operations in id order.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Looks up a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range; ids handed out by the builder are
+    /// always valid for the graph they came from.
+    pub fn task(&self, t: TaskId) -> &Task {
+        &self.tasks[t.index()]
+    }
+
+    /// Looks up an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn op(&self, i: OpId) -> &Operation {
+        &self.ops[i.index()]
+    }
+
+    /// All inter-task edges.
+    pub fn task_edges(&self) -> &[TaskEdge] {
+        &self.task_edges
+    }
+
+    /// Edges whose head is `t` (dependencies *into* `t`).
+    pub fn edges_into(&self, t: TaskId) -> impl Iterator<Item = &TaskEdge> {
+        self.task_edges.iter().filter(move |e| e.to == t)
+    }
+
+    /// Edges whose tail is `t`.
+    pub fn edges_out_of(&self, t: TaskId) -> impl Iterator<Item = &TaskEdge> {
+        self.task_edges.iter().filter(move |e| e.from == t)
+    }
+
+    /// Direct predecessor tasks of `t`.
+    pub fn task_preds(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.edges_into(t).map(|e| e.from)
+    }
+
+    /// Direct successor tasks of `t`.
+    pub fn task_succs(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.edges_out_of(t).map(|e| e.to)
+    }
+
+    /// Bandwidth label of edge `t1 → t2`, or zero if no such edge exists.
+    pub fn bandwidth(&self, t1: TaskId, t2: TaskId) -> Bandwidth {
+        self.task_edges
+            .iter()
+            .find(|e| e.from == t1 && e.to == t2)
+            .map(|e| e.bandwidth)
+            .unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Sum of all edge bandwidths — an upper bound on the objective (14).
+    pub fn total_edge_bandwidth(&self) -> u64 {
+        self.task_edges.iter().map(|e| e.bandwidth.units()).sum()
+    }
+
+    /// Tasks in a (deterministic) topological order. The builder guarantees
+    /// acyclicity, so this cannot fail on a built graph.
+    pub fn task_topo_order(&self) -> Vec<TaskId> {
+        let nodes: Vec<TaskId> = self.tasks.iter().map(Task::id).collect();
+        let edges: Vec<(TaskId, TaskId)> =
+            self.task_edges.iter().map(|e| (e.from, e.to)).collect();
+        topo_sort(&nodes, &edges).expect("built task graphs are acyclic")
+    }
+
+    /// Source operations of a task (no intra-task predecessors).
+    pub fn op_sources(&self, t: TaskId) -> Vec<OpId> {
+        let g = self.task(t).op_graph();
+        g.ops()
+            .iter()
+            .copied()
+            .filter(|&op| g.preds(op).next().is_none())
+            .collect()
+    }
+
+    /// Sink operations of a task (no intra-task successors).
+    pub fn op_sinks(&self, t: TaskId) -> Vec<OpId> {
+        let g = self.task(t).op_graph();
+        g.ops()
+            .iter()
+            .copied()
+            .filter(|&op| g.succs(op).next().is_none())
+            .collect()
+    }
+
+    /// The *combined operation graph* of the specification (paper Figure 2
+    /// preprocessing): the union of all intra-task operation edges plus, for
+    /// every task edge `t1 → t2`, induced edges from each sink operation of
+    /// `t1` to each source operation of `t2`.
+    ///
+    /// The induced edges make ASAP/ALAP mobility ranges respect inter-task
+    /// data flow without requiring port-level detail in the specification.
+    pub fn combined_op_edges(&self) -> Vec<(OpId, OpId)> {
+        let mut edges: Vec<(OpId, OpId)> = Vec::new();
+        for task in &self.tasks {
+            edges.extend(task.op_graph().edges().iter().copied());
+        }
+        for e in &self.task_edges {
+            for &snk in &self.op_sinks(e.from) {
+                for &src in &self.op_sources(e.to) {
+                    edges.push((snk, src));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Re-checks all structural invariants. The builder runs this before
+    /// handing out a graph; it is public so that deserialized or mutated
+    /// specifications can be re-validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: empty tasks, dangling ids,
+    /// task-level or combined-operation-level cycles.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (idx, task) in self.tasks.iter().enumerate() {
+            if task.id().index() != idx {
+                return Err(GraphError::UnknownTask(task.id()));
+            }
+            if task.num_ops() == 0 {
+                return Err(GraphError::EmptyTask(task.id()));
+            }
+            for &op in task.ops() {
+                if op.index() >= self.ops.len() {
+                    return Err(GraphError::UnknownOp(op));
+                }
+                if self.op(op).task() != task.id() {
+                    return Err(GraphError::UnknownOp(op));
+                }
+            }
+        }
+        for e in &self.task_edges {
+            if e.from.index() >= self.tasks.len() {
+                return Err(GraphError::UnknownTask(e.from));
+            }
+            if e.to.index() >= self.tasks.len() {
+                return Err(GraphError::UnknownTask(e.to));
+            }
+        }
+        let nodes: Vec<TaskId> = self.tasks.iter().map(Task::id).collect();
+        let tedges: Vec<(TaskId, TaskId)> =
+            self.task_edges.iter().map(|e| (e.from, e.to)).collect();
+        topo_sort(&nodes, &tedges).map_err(GraphError::TaskCycle)?;
+
+        let op_nodes: Vec<OpId> = self.ops.iter().map(Operation::id).collect();
+        topo_sort(&op_nodes, &self.combined_op_edges()).map_err(GraphError::OpCycle)?;
+        Ok(())
+    }
+}
+
+/// Summary statistics of a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of operations.
+    pub ops: usize,
+    /// Number of inter-task edges.
+    pub edges: usize,
+    /// Total edge bandwidth in data units.
+    pub total_bandwidth: u64,
+    /// Longest task chain (task-level depth of the DAG).
+    pub task_depth: usize,
+    /// Largest task, in operations.
+    pub max_task_ops: usize,
+    /// Operation counts by kind, in [`OpKind::ALL`] order (zero entries
+    /// included so indices line up).
+    pub kind_histogram: Vec<(crate::OpKind, usize)>,
+}
+
+impl TaskGraph {
+    /// Computes summary statistics (used by diagnostics and the CLI).
+    pub fn stats(&self) -> GraphStats {
+        // Task depth by longest path over the topological order.
+        let order = self.task_topo_order();
+        let mut depth: std::collections::HashMap<TaskId, usize> =
+            order.iter().map(|&t| (t, 1)).collect();
+        for &t in &order {
+            let base = depth[&t];
+            for s in self.task_succs(t).collect::<Vec<_>>() {
+                let e = depth.get_mut(&s).expect("succ in order");
+                *e = (*e).max(base + 1);
+            }
+        }
+        let kind_histogram = crate::OpKind::ALL
+            .iter()
+            .map(|&k| (k, self.ops.iter().filter(|o| o.kind() == k).count()))
+            .collect();
+        GraphStats {
+            tasks: self.num_tasks(),
+            ops: self.num_ops(),
+            edges: self.task_edges.len(),
+            total_bandwidth: self.total_edge_bandwidth(),
+            task_depth: depth.values().copied().max().unwrap_or(0),
+            max_task_ops: self.tasks.iter().map(Task::num_ops).max().unwrap_or(0),
+            kind_histogram,
+        }
+    }
+}
+
+impl fmt::Display for TaskGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} tasks, {} ops, {} task edges ({} units total)",
+            self.name,
+            self.num_tasks(),
+            self.num_ops(),
+            self.task_edges.len(),
+            self.total_edge_bandwidth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpKind, TaskGraphBuilder};
+
+    /// A three-task chain with a skip edge: t0 -> t1 -> t2 and t0 -> t2.
+    fn chain_with_skip() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("chain");
+        let t0 = b.task("a");
+        let a0 = b.op(t0, OpKind::Add).unwrap();
+        let a1 = b.op(t0, OpKind::Mul).unwrap();
+        b.op_edge(a0, a1).unwrap();
+        let t1 = b.task("b");
+        b.op(t1, OpKind::Sub).unwrap();
+        let t2 = b.task("c");
+        b.op(t2, OpKind::Add).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(4)).unwrap();
+        b.task_edge(t1, t2, Bandwidth::new(2)).unwrap();
+        b.task_edge(t0, t2, Bandwidth::new(7)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = chain_with_skip();
+        let t0 = TaskId::new(0);
+        let t2 = TaskId::new(2);
+        assert_eq!(g.task_succs(t0).count(), 2);
+        assert_eq!(g.task_preds(t2).count(), 2);
+        assert_eq!(g.bandwidth(t0, t2), Bandwidth::new(7));
+        assert_eq!(g.bandwidth(t2, t0), Bandwidth::ZERO);
+        assert_eq!(g.total_edge_bandwidth(), 13);
+    }
+
+    #[test]
+    fn topo_order_tasks() {
+        let g = chain_with_skip();
+        let order = g.task_topo_order();
+        assert_eq!(order, vec![TaskId::new(0), TaskId::new(1), TaskId::new(2)]);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let g = chain_with_skip();
+        let t0 = TaskId::new(0);
+        assert_eq!(g.op_sources(t0), vec![OpId::new(0)]);
+        assert_eq!(g.op_sinks(t0), vec![OpId::new(1)]);
+    }
+
+    #[test]
+    fn combined_op_edges_include_induced() {
+        let g = chain_with_skip();
+        let edges = g.combined_op_edges();
+        // intra: (0,1); induced: t0.sink=1 -> t1.src=2, t1.sink=2 -> t2.src=3,
+        // t0.sink=1 -> t2.src=3.
+        assert!(edges.contains(&(OpId::new(0), OpId::new(1))));
+        assert!(edges.contains(&(OpId::new(1), OpId::new(2))));
+        assert!(edges.contains(&(OpId::new(2), OpId::new(3))));
+        assert!(edges.contains(&(OpId::new(1), OpId::new(3))));
+        assert_eq!(edges.len(), 4);
+    }
+
+    #[test]
+    fn stats_summarize_the_graph() {
+        let g = chain_with_skip();
+        let stats = g.stats();
+        assert_eq!(stats.tasks, 3);
+        assert_eq!(stats.ops, 4);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.total_bandwidth, 13);
+        assert_eq!(stats.task_depth, 3, "a -> b -> c");
+        assert_eq!(stats.max_task_ops, 2);
+        let total: usize = stats.kind_histogram.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn validate_passes_on_built_graph() {
+        let g = chain_with_skip();
+        assert!(g.validate().is_ok());
+        assert!(g.to_string().contains("3 tasks"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the IR: anything the builder accepts satisfies every
+//! structural invariant, and the derived views stay mutually consistent.
+
+use proptest::prelude::*;
+use tempart_graph::{task_graph_to_dot, Bandwidth, OpKind, TaskGraph, TaskGraphBuilder};
+
+#[derive(Debug, Clone)]
+struct Spec {
+    /// Ops per task (1..=4 each).
+    tasks: Vec<Vec<u8>>,
+    /// Intra-task chain toggles.
+    chains: Vec<bool>,
+    /// Forward task edges: (from_offset, bandwidth) per non-root task.
+    links: Vec<(u8, u8)>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (1usize..=6).prop_flat_map(|t| {
+        (
+            prop::collection::vec(prop::collection::vec(0u8..5, 1..=4), t),
+            prop::collection::vec(any::<bool>(), t),
+            prop::collection::vec((0u8..8, 1u8..=16), t.saturating_sub(1)),
+        )
+            .prop_map(|(tasks, chains, links)| Spec {
+                tasks,
+                chains,
+                links,
+            })
+    })
+}
+
+fn build(spec: &Spec) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("prop");
+    let mut task_ids = Vec::new();
+    for (ti, ops) in spec.tasks.iter().enumerate() {
+        let t = b.task(format!("t{ti}"));
+        task_ids.push(t);
+        let mut prev = None;
+        for &k in ops {
+            let kind = match k {
+                0 => OpKind::Add,
+                1 => OpKind::Sub,
+                2 => OpKind::Mul,
+                3 => OpKind::Cmp,
+                _ => OpKind::Logic,
+            };
+            let op = b.op(t, kind).unwrap();
+            if spec.chains[ti] {
+                if let Some(p) = prev {
+                    b.op_edge(p, op).unwrap();
+                }
+            }
+            prev = Some(op);
+        }
+    }
+    for (ti, &(off, bw)) in spec.links.iter().enumerate() {
+        let to = task_ids[ti + 1];
+        let from = task_ids[(off as usize) % (ti + 1)];
+        // Backbone edges are always fresh (one per target task).
+        b.task_edge(from, to, Bandwidth::new(u64::from(bw))).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Built graphs always validate, and the counted totals agree across
+    /// views.
+    #[test]
+    fn built_graphs_validate(s in spec()) {
+        let g = build(&s);
+        g.validate().expect("builder output is always valid");
+        let per_task: usize = g.tasks().iter().map(|t| t.num_ops()).sum();
+        prop_assert_eq!(per_task, g.num_ops());
+        let bw_sum: u64 = g.task_edges().iter().map(|e| e.bandwidth.units()).sum();
+        prop_assert_eq!(bw_sum, g.total_edge_bandwidth());
+    }
+
+    /// The task topological order respects every edge, and the combined
+    /// operation graph respects both intra-task and induced edges.
+    #[test]
+    fn topological_orders_are_consistent(s in spec()) {
+        let g = build(&s);
+        let order = g.task_topo_order();
+        let pos = |t: tempart_graph::TaskId| order.iter().position(|&x| x == t).unwrap();
+        for e in g.task_edges() {
+            prop_assert!(pos(e.from) < pos(e.to));
+        }
+        // Induced edges only connect ops of tasks ordered by the task DAG.
+        for (a, b) in g.combined_op_edges() {
+            let ta = g.op(a).task();
+            let tb = g.op(b).task();
+            if ta != tb {
+                prop_assert!(pos(ta) < pos(tb), "induced edge against task order");
+            }
+        }
+    }
+
+    /// DOT export mentions every operation and every bandwidth label.
+    #[test]
+    fn dot_mentions_everything(s in spec()) {
+        let g = build(&s);
+        let dot = task_graph_to_dot(&g);
+        for op in g.ops() {
+            let node = format!("n{}", op.id().index());
+            prop_assert!(dot.contains(&node), "missing {}", node);
+        }
+        for e in g.task_edges() {
+            let label = format!("label=\"{}\"", e.bandwidth.units());
+            prop_assert!(dot.contains(&label), "missing {}", label);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Critical-path extraction and resource lower bounds.
+//!
+//! Beyond the scalar critical-path *length* ([`Mobility`]), diagnostics and
+//! the heuristic want the actual chain of operations ([`critical_path`]) and
+//! a quick lower bound on any segment's makespan that also accounts for
+//! per-kind unit scarcity ([`makespan_lower_bound`]).
+
+use std::collections::HashMap;
+
+use tempart_graph::{ExplorationSet, OpId, OpKind, TaskGraph};
+
+use crate::Mobility;
+
+/// One longest (latency-weighted) dependency chain through the combined
+/// operation graph, in execution order. Ties break toward smaller op ids,
+/// so the result is deterministic.
+pub fn critical_path(graph: &TaskGraph, fus: &ExplorationSet) -> Vec<OpId> {
+    let mobility = Mobility::compute_with(graph, fus);
+    let edges = graph.combined_op_edges();
+    let mut succs: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for &(a, b) in &edges {
+        succs.entry(a).or_default().push(b);
+    }
+    // Depth of an op = start + latency of its longest downstream chain; an
+    // op is on a critical path iff asap == alap (zero mobility) — walk the
+    // zero-mobility chain from the earliest source.
+    let mut current: Option<OpId> = graph
+        .ops()
+        .iter()
+        .map(|o| o.id())
+        .filter(|&i| {
+            let r = mobility.range(i);
+            r.asap == r.alap && r.asap.0 == 0
+        })
+        .min();
+    let mut path = Vec::new();
+    while let Some(op) = current {
+        path.push(op);
+        let next_start = mobility.range(op).asap.0 + mobility.min_latency(op);
+        current = succs
+            .get(&op)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&n| {
+                let r = mobility.range(n);
+                r.asap == r.alap && r.asap.0 == next_start
+            })
+            .min();
+    }
+    path
+}
+
+/// A quick lower bound on the makespan of scheduling `ops` with `fus`:
+/// the maximum of the latency-weighted critical path through the subset and,
+/// per operation kind, `⌈kind ops × min latency ÷ capable units⌉` (unit
+/// scarcity). Any feasible schedule is at least this long, so the heuristic
+/// can discard chunkings without scheduling them.
+pub fn makespan_lower_bound(
+    graph: &TaskGraph,
+    ops: &[OpId],
+    edges: &[(OpId, OpId)],
+    fus: &ExplorationSet,
+) -> u32 {
+    use std::collections::HashSet;
+    let op_set: HashSet<OpId> = ops.iter().copied().collect();
+    // Latency-weighted longest chain inside the subset.
+    let lat = |o: OpId| fus.min_latency_for_kind(graph.op(o).kind()).unwrap_or(1);
+    let mut chain: HashMap<OpId, u32> = ops.iter().map(|&o| (o, lat(o))).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(a, b) in edges {
+            if op_set.contains(&a) && op_set.contains(&b) {
+                let cand = chain[&b] + lat(a);
+                if cand > chain[&a] {
+                    chain.insert(a, cand);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let cp = chain.values().copied().max().unwrap_or(0);
+    // Per-kind scarcity: occupancy-weighted work over capable units. A
+    // pipelined unit serves one op per step (occupancy 1).
+    let mut work: HashMap<OpKind, u32> = HashMap::new();
+    for &o in ops {
+        let kind = graph.op(o).kind();
+        let min_occ = fus
+            .instances_for_kind(kind)
+            .map(|k| fus.occupancy(k))
+            .min()
+            .unwrap_or(1);
+        *work.entry(kind).or_insert(0) += min_occ;
+    }
+    let scarcity = work
+        .iter()
+        .map(|(&kind, &w)| {
+            let units = fus.instances_for_kind(kind).count().max(1) as u32;
+            w.div_ceil(units)
+        })
+        .max()
+        .unwrap_or(0);
+    cp.max(scarcity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_graph::{Bandwidth, ComponentLibrary, OpKind, TaskGraphBuilder};
+
+    fn fixture() -> (TaskGraph, ExplorationSet) {
+        // t0: add -> mul -> sub chain plus an independent add;
+        // t1: one add; t0 -> t1.
+        let mut b = TaskGraphBuilder::new("cp");
+        let t0 = b.task("t0");
+        let a = b.op(t0, OpKind::Add).unwrap();
+        let m = b.op(t0, OpKind::Mul).unwrap();
+        let s = b.op(t0, OpKind::Sub).unwrap();
+        let _free = b.op(t0, OpKind::Add).unwrap();
+        b.op_edge(a, m).unwrap();
+        b.op_edge(m, s).unwrap();
+        let t1 = b.task("t1");
+        b.op(t1, OpKind::Add).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(1)).unwrap();
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib
+            .exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])
+            .unwrap();
+        (g, fus)
+    }
+
+    #[test]
+    fn critical_path_is_the_zero_mobility_chain() {
+        let (g, fus) = fixture();
+        let path = critical_path(&g, &fus);
+        // add(0) -> mul(1) -> sub(2) -> t1.add(4): the skip-free chain. The
+        // induced sink->source edges make t1's add depend on both sinks of
+        // t0; the zero-mobility chain runs through the long arm.
+        let ids: Vec<u32> = path.iter().map(|o| o.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4]);
+        // Path length equals the critical path length (unit latencies).
+        let mob = Mobility::compute_with(&g, &fus);
+        assert_eq!(path.len() as u32, mob.critical_path_len());
+    }
+
+    #[test]
+    fn lower_bound_tracks_scarcity() {
+        let (g, fus) = fixture();
+        let ops: Vec<OpId> = g.ops().iter().map(|o| o.id()).collect();
+        let edges = g.combined_op_edges();
+        let lb = makespan_lower_bound(&g, &ops, &edges, &fus);
+        // CP = 4 dominates (3 adds on one adder = 3).
+        assert_eq!(lb, 4);
+        // Adds only: 3 adds on one adder → scarcity 3 > chain 2 (0 -> free?
+        // no edges between the adds) — chain is 1.
+        let adds: Vec<OpId> = ops
+            .iter()
+            .copied()
+            .filter(|&o| g.op(o).kind() == OpKind::Add)
+            .collect();
+        let lb = makespan_lower_bound(&g, &adds, &edges, &fus);
+        assert_eq!(lb, 3);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_list_schedule() {
+        let (g, fus) = fixture();
+        let ops: Vec<OpId> = g.ops().iter().map(|o| o.id()).collect();
+        let edges = g.combined_op_edges();
+        let lb = makespan_lower_bound(&g, &ops, &edges, &fus);
+        let s = crate::list_schedule(&g, &ops, &edges, &fus, None).unwrap();
+        let finish = ops
+            .iter()
+            .map(|&o| {
+                let a = s.get(o).unwrap();
+                a.step.0 + fus.latency(a.fu)
+            })
+            .max()
+            .unwrap();
+        assert!(lb <= finish, "lb {lb} > schedule {finish}");
+    }
+}

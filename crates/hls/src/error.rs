@@ -1,0 +1,75 @@
+//! Error type for the HLS substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use tempart_graph::{OpId, OpKind};
+
+/// Errors raised by scheduling and estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HlsError {
+    /// No functional unit in the exploration set can execute this operation.
+    NoCompatibleFu { op: OpId, kind: OpKind },
+    /// The list scheduler could not fit the operations within the given
+    /// control-step budget.
+    ScheduleExceedsBudget { budget: u32, needed_at_least: u32 },
+    /// A schedule assigned an operation before one of its predecessors
+    /// finished.
+    DependencyViolated { pred: OpId, succ: OpId },
+    /// Two operations share a functional unit in the same control step.
+    FuConflict { a: OpId, b: OpId },
+    /// An operation was left unscheduled.
+    Unscheduled(OpId),
+    /// An operation was scheduled on a functional unit that cannot execute it.
+    IncompatibleFu { op: OpId },
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::NoCompatibleFu { op, kind } => {
+                write!(f, "no functional unit in F executes {op} (kind `{kind}`)")
+            }
+            HlsError::ScheduleExceedsBudget {
+                budget,
+                needed_at_least,
+            } => write!(
+                f,
+                "schedule needs at least {needed_at_least} control steps but only {budget} are allowed"
+            ),
+            HlsError::DependencyViolated { pred, succ } => {
+                write!(f, "operation {succ} scheduled before its predecessor {pred} completed")
+            }
+            HlsError::FuConflict { a, b } => {
+                write!(f, "operations {a} and {b} share a functional unit in the same control step")
+            }
+            HlsError::Unscheduled(op) => write!(f, "operation {op} was not scheduled"),
+            HlsError::IncompatibleFu { op } => {
+                write!(f, "operation {op} bound to a functional unit that cannot execute it")
+            }
+        }
+    }
+}
+
+impl Error for HlsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_ids() {
+        let e = HlsError::NoCompatibleFu {
+            op: OpId::new(3),
+            kind: OpKind::Mul,
+        };
+        assert!(e.to_string().contains("i3"));
+        assert!(e.to_string().contains("mul"));
+        let e = HlsError::ScheduleExceedsBudget {
+            budget: 2,
+            needed_at_least: 3,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+}

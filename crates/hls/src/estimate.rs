@@ -1,0 +1,234 @@
+//! Heuristic estimation of the number of temporal segments `N` and
+//! derivation of the functional-unit exploration set `F` (paper Figure 2).
+
+use std::collections::HashMap;
+
+use tempart_graph::{
+    ComponentLibrary, ExplorationSet, FpgaDevice, FuTypeId, GraphError, OpKind, TaskGraph, TaskId,
+};
+
+use crate::Mobility;
+
+/// Result of the partition-count estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEstimate {
+    /// Estimated upper bound `N` on the number of temporal segments.
+    pub num_partitions: u32,
+    /// The greedy segment assignment that produced the estimate (task ids per
+    /// segment, in topological order). Diagnostic only — the ILP re-decides.
+    pub segments: Vec<Vec<TaskId>>,
+}
+
+/// Derives the functional-unit set `F` for the *most parallel schedule* of
+/// the specification: for every operation kind, the maximum number of
+/// operations of that kind that are concurrent in the ASAP schedule, capped
+/// implementation-wise by the total count of that kind.
+///
+/// The cheapest library type able to execute each kind is instantiated.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NoFuForKind`] if some kind used in `graph` has no
+/// capable type in `library`.
+pub fn derive_exploration_set(
+    graph: &TaskGraph,
+    library: &ComponentLibrary,
+) -> Result<ExplorationSet, GraphError> {
+    let mob = Mobility::compute(graph);
+    // Concurrency profile of the ASAP schedule.
+    let mut concurrency: HashMap<(OpKind, u32), u32> = HashMap::new();
+    for op in graph.ops() {
+        let step = mob.range(op.id()).asap.0;
+        *concurrency.entry((op.kind(), step)).or_insert(0) += 1;
+    }
+    let mut need: HashMap<OpKind, u32> = HashMap::new();
+    for (&(kind, _), &n) in &concurrency {
+        let e = need.entry(kind).or_insert(0);
+        *e = (*e).max(n);
+    }
+    let mut instance_types: Vec<FuTypeId> = Vec::new();
+    let mut kinds: Vec<OpKind> = need.keys().copied().collect();
+    kinds.sort();
+    for kind in kinds {
+        let ty = cheapest_type_for(library, kind).ok_or(GraphError::NoFuForKind(kind))?;
+        for _ in 0..need[&kind] {
+            instance_types.push(ty);
+        }
+    }
+    Ok(ExplorationSet::new(library.clone(), instance_types))
+}
+
+fn cheapest_type_for(library: &ComponentLibrary, kind: OpKind) -> Option<FuTypeId> {
+    library
+        .iter()
+        .filter(|(_, t)| t.can_execute(kind))
+        .min_by_key(|(_, t)| t.cost().count())
+        .map(|(id, _)| id)
+}
+
+/// Estimates the number of temporal segments `N` by greedy first-fit packing
+/// of tasks, in topological order, into segments that respect the device's
+/// area constraint `α · Σ FG ≤ C`.
+///
+/// The per-segment area requirement is estimated from the most parallel
+/// (ASAP) schedule of the segment's operations: for each kind, the peak
+/// concurrency times the cheapest unit cost. This mirrors the paper's "fast,
+/// heuristic list scheduling technique" — it is deliberately conservative,
+/// since `N` is only an upper bound for the ILP (the optimum may use fewer
+/// segments, never more).
+///
+/// Always returns at least 1 segment. A single task whose estimated area
+/// exceeds the device still gets its own segment (the ILP will then prove
+/// infeasibility if it truly cannot fit).
+///
+/// # Errors
+///
+/// Returns [`GraphError::NoFuForKind`] if a kind has no capable library type.
+pub fn estimate_partitions(
+    graph: &TaskGraph,
+    library: &ComponentLibrary,
+    device: &FpgaDevice,
+) -> Result<PartitionEstimate, GraphError> {
+    let order = graph.task_topo_order();
+    let mut segments: Vec<Vec<TaskId>> = Vec::new();
+    let mut current: Vec<TaskId> = Vec::new();
+    for t in order {
+        let mut candidate = current.clone();
+        candidate.push(t);
+        let area = estimated_area(graph, library, &candidate)?;
+        if current.is_empty() || device.fits(area) {
+            current = candidate;
+        } else {
+            segments.push(std::mem::take(&mut current));
+            current.push(t);
+        }
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    if segments.is_empty() {
+        segments.push(Vec::new());
+    }
+    Ok(PartitionEstimate {
+        num_partitions: segments.len() as u32,
+        segments,
+    })
+}
+
+/// Estimated area (function generators) for scheduling `tasks`' operations
+/// with maximum parallelism.
+fn estimated_area(
+    graph: &TaskGraph,
+    library: &ComponentLibrary,
+    tasks: &[TaskId],
+) -> Result<tempart_graph::FunctionGenerators, GraphError> {
+    let mob = Mobility::compute(graph);
+    let mut concurrency: HashMap<(OpKind, u32), u32> = HashMap::new();
+    for &t in tasks {
+        for &op in graph.task(t).ops() {
+            let kind = graph.op(op).kind();
+            let step = mob.range(op).asap.0;
+            *concurrency.entry((kind, step)).or_insert(0) += 1;
+        }
+    }
+    let mut need: HashMap<OpKind, u32> = HashMap::new();
+    for (&(kind, _), &n) in &concurrency {
+        let e = need.entry(kind).or_insert(0);
+        *e = (*e).max(n);
+    }
+    let mut total = 0u32;
+    for (&kind, &n) in &need {
+        let ty = cheapest_type_for(library, kind).ok_or(GraphError::NoFuForKind(kind))?;
+        let cost = library.ty(ty).expect("type exists").cost().count();
+        total += cost * n;
+    }
+    Ok(tempart_graph::FunctionGenerators::new(total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_graph::{Bandwidth, FunctionGenerators, OpKind, TaskGraphBuilder};
+
+    fn spec() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("t0");
+        let a0 = b.op(t0, OpKind::Add).unwrap();
+        let a1 = b.op(t0, OpKind::Add).unwrap();
+        let m0 = b.op(t0, OpKind::Mul).unwrap();
+        b.op_edge(a0, m0).unwrap();
+        b.op_edge(a1, m0).unwrap();
+        let t1 = b.task("t1");
+        let m1 = b.op(t1, OpKind::Mul).unwrap();
+        let s1 = b.op(t1, OpKind::Sub).unwrap();
+        b.op_edge(m1, s1).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(2)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exploration_set_matches_peak_concurrency() {
+        let g = spec();
+        let lib = ComponentLibrary::date98_default();
+        let f = derive_exploration_set(&g, &lib).unwrap();
+        // Peak add concurrency 2 (a0, a1 at step 0); mul 1; sub 1.
+        assert_eq!(f.instances_for_kind(OpKind::Add).count(), 2);
+        assert_eq!(f.instances_for_kind(OpKind::Mul).count(), 1);
+        assert_eq!(f.instances_for_kind(OpKind::Sub).count(), 1);
+    }
+
+    #[test]
+    fn missing_library_type_errors() {
+        let g = spec();
+        let lib = ComponentLibrary::new();
+        assert!(matches!(
+            derive_exploration_set(&g, &lib),
+            Err(GraphError::NoFuForKind(_))
+        ));
+    }
+
+    #[test]
+    fn large_device_needs_one_partition() {
+        let g = spec();
+        let lib = ComponentLibrary::date98_default();
+        let device = tempart_graph::FpgaDevice::xc4010_board();
+        let est = estimate_partitions(&g, &lib, &device).unwrap();
+        assert_eq!(est.num_partitions, 1);
+        assert_eq!(est.segments.len(), 1);
+        assert_eq!(est.segments[0].len(), 2);
+    }
+
+    #[test]
+    fn tiny_device_splits_tasks() {
+        let g = spec();
+        let lib = ComponentLibrary::date98_default();
+        // Room for one task's FUs but not both tasks' peak needs.
+        let device = tempart_graph::FpgaDevice::builder("tiny")
+            .capacity(FunctionGenerators::new(100))
+            .alpha(1.0)
+            .build()
+            .unwrap();
+        let est = estimate_partitions(&g, &lib, &device).unwrap();
+        assert_eq!(est.num_partitions, 2);
+        assert_eq!(est.segments[0], vec![TaskId::new(0)]);
+        assert_eq!(est.segments[1], vec![TaskId::new(1)]);
+    }
+
+    #[test]
+    fn oversized_single_task_still_gets_segment() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("big");
+        for _ in 0..4 {
+            b.op(t, OpKind::Mul).unwrap();
+        }
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let device = tempart_graph::FpgaDevice::builder("nano")
+            .capacity(FunctionGenerators::new(10))
+            .alpha(1.0)
+            .build()
+            .unwrap();
+        let est = estimate_partitions(&g, &lib, &device).unwrap();
+        assert_eq!(est.num_partitions, 1);
+    }
+}

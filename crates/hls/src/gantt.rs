@@ -1,0 +1,123 @@
+//! ASCII Gantt rendering of schedules — one row per functional unit, one
+//! column per control step. Used by the examples and the CLI to make
+//! partitioned schedules readable at a glance.
+
+use std::fmt::Write as _;
+
+use tempart_graph::{ExplorationSet, TaskGraph};
+
+use crate::Schedule;
+
+/// Renders `schedule` as an ASCII Gantt chart.
+///
+/// Each row is a functional-unit instance, each column a control step;
+/// cells show the operation id executing there (`.` when idle). An optional
+/// `boundaries` list draws a `|` separator *before* each given step —
+/// callers typically pass the first step of each temporal partition so
+/// reconfiguration points are visible.
+///
+/// # Examples
+///
+/// ```
+/// use tempart_graph::{TaskGraphBuilder, OpKind, ComponentLibrary};
+/// use tempart_hls::{list_schedule, render_gantt};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TaskGraphBuilder::new("g");
+/// let t = b.task("t");
+/// let a = b.op(t, OpKind::Add)?;
+/// let m = b.op(t, OpKind::Mul)?;
+/// b.op_edge(a, m)?;
+/// let g = b.build()?;
+/// let lib = ComponentLibrary::date98_default();
+/// let fus = lib.exploration_set(&[("add16", 1), ("mul8", 1)])?;
+/// let ops: Vec<_> = g.ops().iter().map(|o| o.id()).collect();
+/// let s = list_schedule(&g, &ops, &g.combined_op_edges(), &fus, None)?;
+/// let chart = render_gantt(&g, &fus, &s, &[]);
+/// assert!(chart.contains("add16"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_gantt(
+    graph: &TaskGraph,
+    fus: &ExplorationSet,
+    schedule: &Schedule,
+    boundaries: &[u32],
+) -> String {
+    let steps = schedule.makespan();
+    let mut out = String::new();
+    // Header.
+    let _ = write!(out, "{:>10} ", "");
+    for j in 0..steps {
+        if boundaries.contains(&j) {
+            out.push('|');
+        }
+        let _ = write!(out, "{j:>4}");
+    }
+    out.push('\n');
+    // One row per unit.
+    for inst in fus.instances() {
+        let k = inst.id();
+        let name = fus.fu_type(k).name();
+        let _ = write!(out, "{:>7}:{:<2} ", name, k.index());
+        for j in 0..steps {
+            if boundaries.contains(&j) {
+                out.push('|');
+            }
+            let cell = graph
+                .ops()
+                .iter()
+                .find(|op| {
+                    schedule
+                        .get(op.id())
+                        .is_some_and(|a| a.fu == k && a.step.0 == j)
+                })
+                .map(|op| format!("i{}", op.id().index()))
+                .unwrap_or_else(|| ".".to_string());
+            let _ = write!(out, "{cell:>4}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_schedule;
+    use tempart_graph::{ComponentLibrary, OpKind, TaskGraphBuilder};
+
+    #[test]
+    fn renders_rows_and_boundaries() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("t");
+        let a = b.op(t, OpKind::Add).unwrap();
+        let m = b.op(t, OpKind::Mul).unwrap();
+        b.op_edge(a, m).unwrap();
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 1), ("mul8", 1)]).unwrap();
+        let ops: Vec<_> = g.ops().iter().map(|o| o.id()).collect();
+        let s = list_schedule(&g, &ops, &g.combined_op_edges(), &fus, None).unwrap();
+        let chart = render_gantt(&g, &fus, &s, &[1]);
+        // Two unit rows + header.
+        assert_eq!(chart.lines().count(), 3);
+        assert!(chart.contains("add16"));
+        assert!(chart.contains("mul8"));
+        assert!(chart.contains('|'), "boundary marker drawn");
+        assert!(chart.contains("i0"));
+        assert!(chart.contains("i1"));
+    }
+
+    #[test]
+    fn empty_schedule_renders_header_only_cells() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("t");
+        b.op(t, OpKind::Add).unwrap();
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 1)]).unwrap();
+        let chart = render_gantt(&g, &fus, &Schedule::new(), &[]);
+        assert!(chart.contains("add16"));
+    }
+}

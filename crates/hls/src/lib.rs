@@ -1,0 +1,58 @@
+//! # tempart-hls
+//!
+//! High-level-synthesis substrate for the `tempart` temporal-partitioning
+//! system: the preprocessing stages of the paper's Figure 2.
+//!
+//! * [`Mobility`] — ASAP/ALAP analysis over the combined operation graph,
+//!   producing the mobility ranges `CS(i) = ASAP(i) ..= ALAP(i) + L` that
+//!   bound the `x_ijk` variables of the ILP.
+//! * [`list_schedule`] — a fast resource-constrained list scheduler, used to
+//!   estimate the number of temporal segments `N` (via [`estimate_partitions`])
+//!   and as the scheduling engine of the brute-force reference solver in
+//!   `tempart-core`.
+//! * [`derive_exploration_set`] — derives the functional-unit set `F` needed
+//!   for the most parallel schedule of the specification.
+//!
+//! # Examples
+//!
+//! ```
+//! use tempart_graph::{TaskGraphBuilder, OpKind, ComponentLibrary};
+//! use tempart_hls::{Mobility, list_schedule};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = TaskGraphBuilder::new("g");
+//! let t = b.task("t");
+//! let a = b.op(t, OpKind::Add)?;
+//! let m = b.op(t, OpKind::Mul)?;
+//! b.op_edge(a, m)?;
+//! let g = b.build()?;
+//!
+//! let mob = Mobility::compute(&g);
+//! assert_eq!(mob.critical_path_len(), 2);
+//!
+//! let lib = ComponentLibrary::date98_default();
+//! let fus = lib.exploration_set(&[("add16", 1), ("mul8", 1)])?;
+//! let ops: Vec<_> = g.ops().iter().map(|o| o.id()).collect();
+//! let sched = list_schedule(&g, &ops, &g.combined_op_edges(), &fus, None)?;
+//! assert_eq!(sched.makespan(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod critical_path;
+mod error;
+mod estimate;
+mod gantt;
+mod list;
+mod mobility;
+mod schedule;
+mod validate;
+
+pub use critical_path::{critical_path, makespan_lower_bound};
+pub use error::HlsError;
+pub use estimate::{derive_exploration_set, estimate_partitions, PartitionEstimate};
+pub use gantt::render_gantt;
+pub use list::list_schedule;
+pub use mobility::{Mobility, MobilityRange};
+pub use schedule::{Schedule, ScheduledOp};
+pub use validate::validate_schedule;

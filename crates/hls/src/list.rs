@@ -1,0 +1,270 @@
+//! Resource-constrained list scheduling.
+
+use std::collections::{HashMap, HashSet};
+
+use tempart_graph::{ControlStep, ExplorationSet, OpId, TaskGraph};
+
+use crate::{HlsError, Schedule};
+
+/// List-schedules `ops` (a subset of `graph`'s operations) under the
+/// functional-unit constraints of `fus`, honouring multicycle and pipelined
+/// unit timing: a non-pipelined unit is busy for its full latency, a
+/// pipelined unit accepts a new operation every step, and a consumer starts
+/// only once its producer's result is ready (`start + latency`).
+///
+/// `edges` is the dependency edge set to respect; only edges with *both*
+/// endpoints in `ops` apply (pass
+/// [`TaskGraph::combined_op_edges`] for a whole-graph schedule, or a
+/// segment-local subset when scheduling one temporal partition).
+///
+/// Priority function: longest (latency-weighted) path to a sink
+/// (critical-path list scheduling). In each control step, ready operations
+/// are considered in decreasing priority and greedily bound to a free
+/// compatible functional unit — preferring the unit whose *result* arrives
+/// earliest; unbound operations wait for the next step.
+///
+/// `max_steps` optionally bounds the schedule length (the paper's latency
+/// bound `ALAP + L`); an operation's completion must fit within it.
+///
+/// # Errors
+///
+/// * [`HlsError::NoCompatibleFu`] — some operation has no compatible unit in
+///   `fus`; no budget can fix that.
+/// * [`HlsError::ScheduleExceedsBudget`] — the schedule would exceed
+///   `max_steps`.
+pub fn list_schedule(
+    graph: &TaskGraph,
+    ops: &[OpId],
+    edges: &[(OpId, OpId)],
+    fus: &ExplorationSet,
+    max_steps: Option<u32>,
+) -> Result<Schedule, HlsError> {
+    let op_set: HashSet<OpId> = ops.iter().copied().collect();
+    // Check executability up front.
+    for &op in ops {
+        let kind = graph.op(op).kind();
+        if fus.instances_for_kind(kind).next().is_none() {
+            return Err(HlsError::NoCompatibleFu { op, kind });
+        }
+    }
+    // Restrict edges to the scheduled subset.
+    let local_edges: Vec<(OpId, OpId)> = edges
+        .iter()
+        .copied()
+        .filter(|(a, b)| op_set.contains(a) && op_set.contains(b))
+        .collect();
+    let mut pending_preds: HashMap<OpId, usize> = ops.iter().map(|&o| (o, 0)).collect();
+    let mut succs: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for &(from, to) in &local_edges {
+        *pending_preds.get_mut(&to).expect("edge target in set") += 1;
+        succs.entry(from).or_default().push(to);
+    }
+    let priority = priorities(graph, fus, ops, &local_edges);
+
+    // `ready_at[op]`: earliest start once all preds completed (0 initially).
+    let mut ready_at: HashMap<OpId, u32> = HashMap::new();
+    let mut ready: Vec<OpId> = ops
+        .iter()
+        .copied()
+        .filter(|o| pending_preds[o] == 0)
+        .collect();
+    // Per-unit busy-until step (exclusive).
+    let mut busy_until: HashMap<tempart_graph::FuId, u32> = HashMap::new();
+    let mut schedule = Schedule::new();
+    let mut remaining = ops.len();
+    let mut step = 0u32;
+    while remaining > 0 {
+        if let Some(budget) = max_steps {
+            if step >= budget {
+                return Err(HlsError::ScheduleExceedsBudget {
+                    budget,
+                    needed_at_least: step + 1,
+                });
+            }
+        }
+        // Highest priority first; op id breaks ties deterministically.
+        ready.sort_by_key(|&o| (std::cmp::Reverse(priority[&o]), o));
+        let mut scheduled_now: Vec<OpId> = Vec::new();
+        for &op in &ready {
+            if ready_at.get(&op).copied().unwrap_or(0) > step {
+                continue; // producer result not yet available
+            }
+            let kind = graph.op(op).kind();
+            // Among free compatible units, prefer the earliest result.
+            let pick = fus
+                .instances_for_kind(kind)
+                .filter(|fu| busy_until.get(fu).copied().unwrap_or(0) <= step)
+                .min_by_key(|&fu| (fus.latency(fu), fu));
+            if let Some(fu) = pick {
+                // Completion must fit the budget.
+                if let Some(budget) = max_steps {
+                    if step + fus.latency(fu) > budget {
+                        return Err(HlsError::ScheduleExceedsBudget {
+                            budget,
+                            needed_at_least: step + fus.latency(fu),
+                        });
+                    }
+                }
+                busy_until.insert(fu, step + fus.occupancy(fu));
+                schedule.assign(op, ControlStep(step), fu);
+                scheduled_now.push(op);
+                // Successors become ready when the result lands.
+                if let Some(ss) = succs.get(&op) {
+                    let done = step + fus.latency(fu);
+                    for &s in ss {
+                        let e = ready_at.entry(s).or_insert(0);
+                        *e = (*e).max(done);
+                    }
+                }
+            }
+        }
+        remaining -= scheduled_now.len();
+        ready.retain(|o| !scheduled_now.contains(o));
+        for op in scheduled_now {
+            if let Some(ss) = succs.get(&op) {
+                for &s in ss {
+                    let p = pending_preds.get_mut(&s).expect("succ in set");
+                    *p -= 1;
+                    if *p == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        step += 1;
+    }
+    Ok(schedule)
+}
+
+/// Longest latency-weighted path-to-sink priorities (each op weighted by
+/// its fastest compatible unit).
+fn priorities(
+    graph: &TaskGraph,
+    fus: &ExplorationSet,
+    ops: &[OpId],
+    edges: &[(OpId, OpId)],
+) -> HashMap<OpId, u32> {
+    let lat = |o: OpId| {
+        fus.min_latency_for_kind(graph.op(o).kind()).unwrap_or(1)
+    };
+    let mut prio: HashMap<OpId, u32> = ops.iter().map(|&o| (o, lat(o))).collect();
+    // Repeated relaxation over a reverse topological pass; the edge set is a
+    // DAG so |ops| passes are more than enough, but we converge early.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(from, to) in edges {
+            let cand = prio[&to] + lat(from);
+            if cand > prio[&from] {
+                prio.insert(from, cand);
+                changed = true;
+            }
+        }
+    }
+    prio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_graph::{ComponentLibrary, OpKind, TaskGraphBuilder};
+
+    fn graph_and_ops() -> (TaskGraph, Vec<OpId>) {
+        // Four independent adds plus a dependent mul chain.
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("t");
+        let a0 = b.op(t, OpKind::Add).unwrap();
+        let a1 = b.op(t, OpKind::Add).unwrap();
+        let a2 = b.op(t, OpKind::Add).unwrap();
+        let a3 = b.op(t, OpKind::Add).unwrap();
+        let m = b.op(t, OpKind::Mul).unwrap();
+        b.op_edge(a0, m).unwrap();
+        let g = b.build().unwrap();
+        let ops: Vec<OpId> = g.ops().iter().map(|o| o.id()).collect();
+        let _ = (a1, a2, a3);
+        (g, ops)
+    }
+
+    #[test]
+    fn respects_resource_limits() {
+        let (g, ops) = graph_and_ops();
+        let lib = ComponentLibrary::date98_default();
+        // 2 adders, 1 multiplier: 4 adds need 2 steps; mul waits for a0.
+        let fus = lib.exploration_set(&[("add16", 2), ("mul8", 1)]).unwrap();
+        let s = list_schedule(&g, &ops, &g.combined_op_edges(), &fus, None).unwrap();
+        assert_eq!(s.len(), 5);
+        // No more than 2 adds per step.
+        for j in 0..s.makespan() {
+            let in_step = s.ops_in_step(ControlStep(j));
+            let adds = in_step
+                .iter()
+                .filter(|&&o| g.op(o).kind() == OpKind::Add)
+                .count();
+            assert!(adds <= 2, "step {j} has {adds} adds");
+        }
+        // Dependency: mul after a0.
+        let a0 = s.get(OpId::new(0)).unwrap();
+        let m = s.get(OpId::new(4)).unwrap();
+        assert!(m.step > a0.step);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let (g, ops) = graph_and_ops();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 1), ("mul8", 1)]).unwrap();
+        // 4 sequential adds + dependent mul cannot fit in 2 steps.
+        let err = list_schedule(&g, &ops, &g.combined_op_edges(), &fus, Some(2)).unwrap_err();
+        assert!(matches!(err, HlsError::ScheduleExceedsBudget { .. }));
+        // But fits in 5.
+        let s = list_schedule(&g, &ops, &g.combined_op_edges(), &fus, Some(5)).unwrap();
+        assert!(s.makespan() <= 5);
+    }
+
+    #[test]
+    fn missing_fu_detected() {
+        let (g, ops) = graph_and_ops();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 2)]).unwrap();
+        let err = list_schedule(&g, &ops, &g.combined_op_edges(), &fus, None).unwrap_err();
+        assert!(matches!(err, HlsError::NoCompatibleFu { .. }));
+    }
+
+    #[test]
+    fn subset_scheduling_ignores_external_edges() {
+        let (g, ops) = graph_and_ops();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 4)]).unwrap();
+        // Schedule only the adds; the add->mul edge leaves the subset and is ignored.
+        let subset: Vec<OpId> = ops
+            .iter()
+            .copied()
+            .filter(|&o| g.op(o).kind() == OpKind::Add)
+            .collect();
+        let s = list_schedule(&g, &subset, &g.combined_op_edges(), &fus, Some(1)).unwrap();
+        assert_eq!(s.makespan(), 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn critical_path_prioritized() {
+        // chain a->b->c plus independent d, one adder: chain must start first.
+        let mut bld = TaskGraphBuilder::new("g");
+        let t = bld.task("t");
+        let a = bld.op(t, OpKind::Add).unwrap();
+        let b2 = bld.op(t, OpKind::Add).unwrap();
+        let c = bld.op(t, OpKind::Add).unwrap();
+        let d = bld.op(t, OpKind::Add).unwrap();
+        bld.op_edge(a, b2).unwrap();
+        bld.op_edge(b2, c).unwrap();
+        let g = bld.build().unwrap();
+        let ops: Vec<OpId> = g.ops().iter().map(|o| o.id()).collect();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 1)]).unwrap();
+        let s = list_schedule(&g, &ops, &g.combined_op_edges(), &fus, None).unwrap();
+        // Optimal makespan is 4 and requires starting the chain at step 0.
+        assert_eq!(s.makespan(), 4);
+        assert_eq!(s.get(a).unwrap().step, ControlStep(0));
+        assert_eq!(s.get(d).unwrap().step, ControlStep(3));
+    }
+}

@@ -1,0 +1,267 @@
+//! ASAP/ALAP analysis and mobility ranges (`CS(i)` in the paper).
+
+use std::collections::HashMap;
+
+use tempart_graph::{ControlStep, ExplorationSet, OpId, TaskGraph};
+
+/// The mobility range of one operation: the control steps it may legally
+/// occupy in a schedule of the critical-path length (before latency
+/// relaxation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MobilityRange {
+    /// As-soon-as-possible control step.
+    pub asap: ControlStep,
+    /// As-late-as-possible control step (for the unrelaxed critical-path
+    /// schedule length).
+    pub alap: ControlStep,
+}
+
+impl MobilityRange {
+    /// Number of control steps in the unrelaxed range.
+    pub fn width(&self) -> u32 {
+        self.alap.0 - self.asap.0 + 1
+    }
+
+    /// The control steps `CS(i)` with a latency relaxation of `l` extra
+    /// steps appended past ALAP (the paper's user parameter `L`).
+    pub fn steps_with_relaxation(&self, l: u32) -> impl Iterator<Item = ControlStep> {
+        (self.asap.0..=self.alap.0 + l).map(ControlStep)
+    }
+}
+
+/// ASAP/ALAP schedules of the combined operation graph of a specification.
+///
+/// Every functional unit has unit latency (§3.3), so the ASAP level of an
+/// operation is the length of the longest dependency chain feeding it, and
+/// the ALAP level mirrors that from the sinks. Both are computed over the
+/// *combined* operation graph — intra-task edges plus the sink→source edges
+/// induced by task edges (see
+/// [`TaskGraph::combined_op_edges`]) — exactly the preprocessing step of the
+/// paper's Figure 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mobility {
+    ranges: Vec<MobilityRange>,
+    critical_path_len: u32,
+    latencies: Vec<u32>,
+}
+
+impl Mobility {
+    /// Computes ASAP/ALAP mobility for every operation in `graph`, with the
+    /// paper's unit-latency assumption (§3.3).
+    pub fn compute(graph: &TaskGraph) -> Self {
+        let edges = graph.combined_op_edges();
+        Self::compute_over(graph.num_ops(), &edges, &vec![1; graph.num_ops()])
+    }
+
+    /// Computes mobility with per-operation latency estimates taken from the
+    /// exploration set: each operation is assumed to run on its *fastest*
+    /// compatible unit (optimistic, so the windows never exclude a feasible
+    /// start step). Operations without a compatible unit fall back to
+    /// latency 1 — the coverage check in `Instance::new` reports those
+    /// separately.
+    pub fn compute_with(graph: &TaskGraph, fus: &ExplorationSet) -> Self {
+        let lats: Vec<u32> = graph
+            .ops()
+            .iter()
+            .map(|op| fus.min_latency_for_kind(op.kind()).unwrap_or(1))
+            .collect();
+        let edges = graph.combined_op_edges();
+        Self::compute_over(graph.num_ops(), &edges, &lats)
+    }
+
+    /// Computes mobility over an explicit edge set (all ops `0..num_ops`
+    /// participate) with explicit per-op latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies.len() != num_ops` or any latency is zero.
+    pub fn compute_over(num_ops: usize, edges: &[(OpId, OpId)], latencies: &[u32]) -> Self {
+        assert_eq!(latencies.len(), num_ops, "one latency per operation");
+        assert!(latencies.iter().all(|&l| l > 0), "latencies are positive");
+        let mut preds: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut succs: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(from, to) in edges {
+            preds.entry(to.index()).or_default().push(from.index());
+            succs.entry(from.index()).or_default().push(to.index());
+        }
+        // ASAP start steps by longest path from sources: a consumer starts
+        // only after its producer's result is ready (start + latency).
+        let order = topo_order(num_ops, edges);
+        let mut asap = vec![0u32; num_ops];
+        for &n in &order {
+            if let Some(ps) = preds.get(&n) {
+                asap[n] = ps
+                    .iter()
+                    .map(|&p| asap[p] + latencies[p])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        let critical_path_len = (0..num_ops)
+            .map(|n| asap[n] + latencies[n])
+            .max()
+            .unwrap_or(0);
+        // Tail: steps from an op's start to the end of its longest
+        // downstream chain (inclusive of its own latency).
+        let mut tail = vec![0u32; num_ops];
+        for &n in order.iter().rev() {
+            let down = succs
+                .get(&n)
+                .map(|ss| ss.iter().map(|&s| tail[s]).max().unwrap_or(0))
+                .unwrap_or(0);
+            tail[n] = latencies[n] + down;
+        }
+        let ranges = (0..num_ops)
+            .map(|n| MobilityRange {
+                asap: ControlStep(asap[n]),
+                alap: ControlStep(critical_path_len - tail[n]),
+            })
+            .collect();
+        Self {
+            ranges,
+            critical_path_len,
+            latencies: latencies.to_vec(),
+        }
+    }
+
+    /// The optimistic latency estimate used for operation `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn min_latency(&self, op: OpId) -> u32 {
+        self.latencies[op.index()]
+    }
+
+    /// The mobility range of operation `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range for the analyzed graph.
+    pub fn range(&self, op: OpId) -> MobilityRange {
+        self.ranges[op.index()]
+    }
+
+    /// Length of the critical path in control steps — the minimum schedule
+    /// length with unlimited resources.
+    pub fn critical_path_len(&self) -> u32 {
+        self.critical_path_len
+    }
+
+    /// Total number of control steps available with latency relaxation `l`:
+    /// `critical_path_len + l`. This is the horizon of the ILP's `CS⁻¹(j)`.
+    pub fn horizon(&self, l: u32) -> u32 {
+        self.critical_path_len + l
+    }
+
+    /// Iterates over `(op, range)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, MobilityRange)> + '_ {
+        self.ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (OpId::new(i as u32), r))
+    }
+}
+
+/// Topological order by Kahn's algorithm on dense indices.
+fn topo_order(num_ops: usize, edges: &[(OpId, OpId)]) -> Vec<usize> {
+    let mut indeg = vec![0usize; num_ops];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_ops];
+    for &(from, to) in edges {
+        indeg[to.index()] += 1;
+        adj[from.index()].push(to.index());
+    }
+    let mut queue: Vec<usize> = (0..num_ops).filter(|&n| indeg[n] == 0).collect();
+    let mut order = Vec::with_capacity(num_ops);
+    while let Some(n) = queue.pop() {
+        order.push(n);
+        for &s in &adj[n] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), num_ops, "combined op graph must be acyclic");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_graph::{Bandwidth, OpKind, TaskGraphBuilder};
+
+    /// t0: a -> b; t1: c. Edge t0 -> t1 induces b -> c.
+    fn two_task_chain() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("t0");
+        let a = b.op(t0, OpKind::Add).unwrap();
+        let m = b.op(t0, OpKind::Mul).unwrap();
+        b.op_edge(a, m).unwrap();
+        let t1 = b.task("t1");
+        b.op(t1, OpKind::Sub).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_mobility() {
+        let g = two_task_chain();
+        let mob = Mobility::compute(&g);
+        assert_eq!(mob.critical_path_len(), 3);
+        assert_eq!(mob.range(OpId::new(0)).asap, ControlStep(0));
+        assert_eq!(mob.range(OpId::new(0)).alap, ControlStep(0));
+        assert_eq!(mob.range(OpId::new(1)).asap, ControlStep(1));
+        assert_eq!(mob.range(OpId::new(2)).asap, ControlStep(2));
+        assert_eq!(mob.range(OpId::new(2)).alap, ControlStep(2));
+        // A pure chain has zero mobility everywhere.
+        for (_, r) in mob.iter() {
+            assert_eq!(r.width(), 1);
+        }
+    }
+
+    #[test]
+    fn parallel_ops_have_mobility() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("t");
+        let a = b.op(t, OpKind::Add).unwrap();
+        let c = b.op(t, OpKind::Add).unwrap(); // parallel side op
+        let m = b.op(t, OpKind::Mul).unwrap();
+        let s = b.op(t, OpKind::Sub).unwrap();
+        b.op_edge(a, m).unwrap();
+        b.op_edge(m, s).unwrap();
+        // c is independent: asap 0, alap 2 in a 3-step schedule.
+        let g = b.build().unwrap();
+        let mob = Mobility::compute(&g);
+        assert_eq!(mob.critical_path_len(), 3);
+        let rc = mob.range(c);
+        assert_eq!(rc.asap, ControlStep(0));
+        assert_eq!(rc.alap, ControlStep(2));
+        assert_eq!(rc.width(), 3);
+        let _ = (a, s);
+    }
+
+    #[test]
+    fn relaxation_extends_ranges() {
+        let g = two_task_chain();
+        let mob = Mobility::compute(&g);
+        let steps: Vec<_> = mob
+            .range(OpId::new(0))
+            .steps_with_relaxation(2)
+            .collect();
+        assert_eq!(steps, vec![ControlStep(0), ControlStep(1), ControlStep(2)]);
+        assert_eq!(mob.horizon(2), 5);
+        assert_eq!(mob.horizon(0), 3);
+    }
+
+    #[test]
+    fn single_op_graph() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("t");
+        b.op(t, OpKind::Add).unwrap();
+        let g = b.build().unwrap();
+        let mob = Mobility::compute(&g);
+        assert_eq!(mob.critical_path_len(), 1);
+        assert_eq!(mob.range(OpId::new(0)).width(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Schedules: operation → (control step, functional unit) assignments.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tempart_graph::{ControlStep, FuId, OpId};
+
+/// One scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduledOp {
+    /// The operation.
+    pub op: OpId,
+    /// Its control step.
+    pub step: ControlStep,
+    /// The functional-unit instance executing it.
+    pub fu: FuId,
+}
+
+/// A complete schedule-and-binding for a set of operations.
+///
+/// Produced by [`list_schedule`](crate::list_schedule) and by extracting the
+/// `x_ijk` variables of an ILP solution in `tempart-core`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    by_op: HashMap<OpId, ScheduledOp>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an assignment, replacing any previous assignment of the same
+    /// operation. Returns the previous assignment, if any.
+    pub fn assign(&mut self, op: OpId, step: ControlStep, fu: FuId) -> Option<ScheduledOp> {
+        self.by_op.insert(op, ScheduledOp { op, step, fu })
+    }
+
+    /// The assignment of `op`, if scheduled.
+    pub fn get(&self, op: OpId) -> Option<ScheduledOp> {
+        self.by_op.get(&op).copied()
+    }
+
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.by_op.len()
+    }
+
+    /// Whether no operation is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.by_op.is_empty()
+    }
+
+    /// Iterates over assignments in ascending `(step, fu)` order.
+    pub fn iter(&self) -> impl Iterator<Item = ScheduledOp> + '_ {
+        let mut v: Vec<ScheduledOp> = self.by_op.values().copied().collect();
+        v.sort_by_key(|s| (s.step, s.fu, s.op));
+        v.into_iter()
+    }
+
+    /// Schedule length in control steps (`max step + 1`), 0 if empty.
+    pub fn makespan(&self) -> u32 {
+        self.by_op
+            .values()
+            .map(|s| s.step.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The distinct functional units actually used.
+    pub fn used_fus(&self) -> Vec<FuId> {
+        let mut v: Vec<FuId> = self.by_op.values().map(|s| s.fu).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Operations scheduled in control step `j` (`CS⁻¹(j)` over the realized
+    /// schedule).
+    pub fn ops_in_step(&self, j: ControlStep) -> Vec<OpId> {
+        let mut v: Vec<OpId> = self
+            .by_op
+            .values()
+            .filter(|s| s.step == j)
+            .map(|s| s.op)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule ({} ops, {} steps):", self.len(), self.makespan())?;
+        for s in self.iter() {
+            writeln!(f, "  {} @ {} on {}", s.op, s.step, s.fu)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ScheduledOp> for Schedule {
+    fn from_iter<I: IntoIterator<Item = ScheduledOp>>(iter: I) -> Self {
+        let mut s = Schedule::new();
+        for a in iter {
+            s.assign(a.op, a.step, a.fu);
+        }
+        s
+    }
+}
+
+impl Extend<ScheduledOp> for Schedule {
+    fn extend<I: IntoIterator<Item = ScheduledOp>>(&mut self, iter: I) {
+        for a in iter {
+            self.assign(a.op, a.step, a.fu);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_query() {
+        let mut s = Schedule::new();
+        assert!(s.is_empty());
+        s.assign(OpId::new(0), ControlStep(0), FuId::new(1));
+        s.assign(OpId::new(1), ControlStep(1), FuId::new(0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.makespan(), 2);
+        assert_eq!(s.get(OpId::new(0)).unwrap().fu, FuId::new(1));
+        assert_eq!(s.get(OpId::new(9)), None);
+        assert_eq!(s.used_fus(), vec![FuId::new(0), FuId::new(1)]);
+        assert_eq!(s.ops_in_step(ControlStep(1)), vec![OpId::new(1)]);
+    }
+
+    #[test]
+    fn reassign_returns_previous() {
+        let mut s = Schedule::new();
+        assert!(s.assign(OpId::new(0), ControlStep(0), FuId::new(0)).is_none());
+        let prev = s.assign(OpId::new(0), ControlStep(2), FuId::new(1)).unwrap();
+        assert_eq!(prev.step, ControlStep(0));
+        assert_eq!(s.makespan(), 3);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_display_works() {
+        let s: Schedule = vec![
+            ScheduledOp {
+                op: OpId::new(2),
+                step: ControlStep(1),
+                fu: FuId::new(0),
+            },
+            ScheduledOp {
+                op: OpId::new(0),
+                step: ControlStep(0),
+                fu: FuId::new(0),
+            },
+        ]
+        .into_iter()
+        .collect();
+        let order: Vec<OpId> = s.iter().map(|a| a.op).collect();
+        assert_eq!(order, vec![OpId::new(0), OpId::new(2)]);
+        assert!(s.to_string().contains("2 ops"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Semantic validation of schedules.
+
+use std::collections::{HashMap, HashSet};
+
+use tempart_graph::{ExplorationSet, OpId, TaskGraph};
+
+use crate::{HlsError, Schedule};
+
+/// Checks that `schedule` is a legal schedule-and-binding for `ops`, under
+/// multicycle/pipelined unit timing:
+///
+/// 1. every operation in `ops` is scheduled;
+/// 2. each operation's functional unit can execute its kind;
+/// 3. no functional unit is double-booked: occupancy intervals
+///    `[start, start + occupancy)` on the same unit never overlap
+///    (constraint (7); pipelined units have occupancy 1);
+/// 4. for every edge in `edges` with both endpoints in `ops`, the successor
+///    starts at or after the predecessor's *result* —
+///    `start + latency` (constraint (8); with unit latency this is the
+///    paper's "strictly after");
+/// 5. every operation *completes* within `max_steps`, if given.
+///
+/// # Errors
+///
+/// Returns the first violated rule as an [`HlsError`].
+pub fn validate_schedule(
+    graph: &TaskGraph,
+    ops: &[OpId],
+    edges: &[(OpId, OpId)],
+    fus: &ExplorationSet,
+    schedule: &Schedule,
+    max_steps: Option<u32>,
+) -> Result<(), HlsError> {
+    let op_set: HashSet<OpId> = ops.iter().copied().collect();
+    for &op in ops {
+        let Some(a) = schedule.get(op) else {
+            return Err(HlsError::Unscheduled(op));
+        };
+        if !fus.can_execute(a.fu, graph.op(op).kind()) {
+            return Err(HlsError::IncompatibleFu { op });
+        }
+    }
+    // FU exclusivity over occupancy intervals.
+    let mut by_fu: HashMap<tempart_graph::FuId, Vec<(u32, OpId)>> = HashMap::new();
+    for &op in ops {
+        let a = schedule.get(op).expect("checked above");
+        by_fu.entry(a.fu).or_default().push((a.step.0, op));
+    }
+    for (fu, mut starts) in by_fu {
+        let occ = fus.occupancy(fu);
+        starts.sort_unstable();
+        for w in starts.windows(2) {
+            let (s1, o1) = w[0];
+            let (s2, o2) = w[1];
+            if s2 < s1 + occ {
+                return Err(HlsError::FuConflict { a: o1, b: o2 });
+            }
+        }
+    }
+    // Dependencies: consumer start ≥ producer start + producer latency.
+    for &(pred, succ) in edges {
+        if op_set.contains(&pred) && op_set.contains(&succ) {
+            let pa = schedule.get(pred).expect("checked above");
+            let sa = schedule.get(succ).expect("checked above");
+            if sa.step.0 < pa.step.0 + fus.latency(pa.fu) {
+                return Err(HlsError::DependencyViolated { pred, succ });
+            }
+        }
+    }
+    if let Some(budget) = max_steps {
+        let mk = ops
+            .iter()
+            .map(|&o| {
+                let a = schedule.get(o).expect("checked above");
+                a.step.0 + fus.latency(a.fu)
+            })
+            .max()
+            .unwrap_or(0);
+        if mk > budget {
+            return Err(HlsError::ScheduleExceedsBudget {
+                budget,
+                needed_at_least: mk,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_schedule;
+    use tempart_graph::{ComponentLibrary, ControlStep, FuId, OpKind, TaskGraphBuilder};
+
+    fn fixture() -> (TaskGraph, Vec<OpId>, ExplorationSet) {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("t");
+        let a = b.op(t, OpKind::Add).unwrap();
+        let m = b.op(t, OpKind::Mul).unwrap();
+        b.op_edge(a, m).unwrap();
+        let g = b.build().unwrap();
+        let ops: Vec<OpId> = g.ops().iter().map(|o| o.id()).collect();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 1), ("mul8", 1)]).unwrap();
+        (g, ops, fus)
+    }
+
+    #[test]
+    fn list_schedule_validates() {
+        let (g, ops, fus) = fixture();
+        let edges = g.combined_op_edges();
+        let s = list_schedule(&g, &ops, &edges, &fus, None).unwrap();
+        validate_schedule(&g, &ops, &edges, &fus, &s, Some(2)).unwrap();
+    }
+
+    #[test]
+    fn detects_unscheduled() {
+        let (g, ops, fus) = fixture();
+        let s = Schedule::new();
+        assert!(matches!(
+            validate_schedule(&g, &ops, &[], &fus, &s, None),
+            Err(HlsError::Unscheduled(_))
+        ));
+    }
+
+    #[test]
+    fn detects_incompatible_fu() {
+        let (g, ops, fus) = fixture();
+        let mut s = Schedule::new();
+        // Bind the add to the multiplier (fu 1).
+        s.assign(ops[0], ControlStep(0), FuId::new(1));
+        s.assign(ops[1], ControlStep(1), FuId::new(1));
+        assert!(matches!(
+            validate_schedule(&g, &ops, &[], &fus, &s, None),
+            Err(HlsError::IncompatibleFu { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_fu_conflict() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task("t");
+        let a0 = b.op(t, OpKind::Add).unwrap();
+        let a1 = b.op(t, OpKind::Add).unwrap();
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 1)]).unwrap();
+        let mut s = Schedule::new();
+        s.assign(a0, ControlStep(0), FuId::new(0));
+        s.assign(a1, ControlStep(0), FuId::new(0));
+        assert!(matches!(
+            validate_schedule(&g, &[a0, a1], &[], &fus, &s, None),
+            Err(HlsError::FuConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_dependency_violation() {
+        let (g, ops, fus) = fixture();
+        let edges = g.combined_op_edges();
+        let mut s = Schedule::new();
+        // Same step violates strict ordering under unit latency.
+        s.assign(ops[0], ControlStep(0), FuId::new(0));
+        s.assign(ops[1], ControlStep(0), FuId::new(1));
+        assert_eq!(
+            validate_schedule(&g, &ops, &edges, &fus, &s, None),
+            Err(HlsError::DependencyViolated {
+                pred: ops[0],
+                succ: ops[1]
+            })
+        );
+    }
+
+    #[test]
+    fn detects_budget_overflow() {
+        let (g, ops, fus) = fixture();
+        let edges = g.combined_op_edges();
+        let s = list_schedule(&g, &ops, &edges, &fus, None).unwrap();
+        assert!(matches!(
+            validate_schedule(&g, &ops, &edges, &fus, &s, Some(1)),
+            Err(HlsError::ScheduleExceedsBudget { .. })
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: the list scheduler always produces schedules that pass
+//! the independent validator, across random DAGs and unit mixes — including
+//! multicycle and pipelined units.
+
+use proptest::prelude::*;
+use tempart_graph::{ComponentLibrary, OpKind, TaskGraph, TaskGraphBuilder};
+use tempart_hls::{list_schedule, validate_schedule, Mobility};
+
+#[derive(Debug, Clone)]
+struct RandomDag {
+    /// Op kinds (0 = add, 1 = mul, 2 = sub).
+    kinds: Vec<u8>,
+    /// For op `i > 0`: `Some(j)` adds an edge from op `j % i`.
+    preds: Vec<Option<u8>>,
+    /// Unit mix selector.
+    units_sel: u8,
+}
+
+fn dag() -> impl Strategy<Value = RandomDag> {
+    (2usize..=10).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..3, n),
+            prop::collection::vec(prop::option::of(0u8..16), n),
+            0u8..4,
+        )
+            .prop_map(|(kinds, preds, units_sel)| RandomDag {
+                kinds,
+                preds,
+                units_sel,
+            })
+    })
+}
+
+fn build_graph(dag: &RandomDag) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("prop");
+    let t = b.task("t");
+    let mut ids = Vec::new();
+    for (i, &k) in dag.kinds.iter().enumerate() {
+        let kind = match k {
+            0 => OpKind::Add,
+            1 => OpKind::Mul,
+            _ => OpKind::Sub,
+        };
+        let op = b.op(t, kind).unwrap();
+        if i > 0 {
+            if let Some(p) = dag.preds[i] {
+                let from = ids[(p as usize) % i];
+                b.op_edge(from, op).unwrap();
+            }
+        }
+        ids.push(op);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Unconstrained-budget list schedules always validate and never beat
+    /// the latency-weighted critical path.
+    #[test]
+    fn list_schedule_validates_and_respects_cp(d in dag()) {
+        let g = build_graph(&d);
+        let lib = ComponentLibrary::date98_extended();
+        let units: Vec<(&str, u32)> = match d.units_sel {
+            0 => vec![("add16", 1), ("mul8", 1), ("sub16", 1)],
+            1 => vec![("add16", 2), ("mul8s", 1), ("sub16", 1)],
+            2 => vec![("add16", 1), ("mul8p", 1), ("sub16", 2)],
+            _ => vec![("add16", 1), ("mul8s", 1), ("mul8p", 1), ("sub16", 1)],
+        };
+        let fus = lib.exploration_set(&units).unwrap();
+        let ops: Vec<_> = g.ops().iter().map(|o| o.id()).collect();
+        let edges = g.combined_op_edges();
+        let schedule = list_schedule(&g, &ops, &edges, &fus, None).expect("schedulable");
+        validate_schedule(&g, &ops, &edges, &fus, &schedule, None).expect("valid");
+        // Latency-weighted critical path lower-bounds any schedule's span.
+        let mob = Mobility::compute_with(&g, &fus);
+        let finish = ops
+            .iter()
+            .map(|&o| {
+                let a = schedule.get(o).unwrap();
+                a.step.0 + fus.latency(a.fu)
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(finish >= mob.critical_path_len(),
+            "finish {} below CP {}", finish, mob.critical_path_len());
+    }
+
+    /// Giving the scheduler its own makespan back as the budget always
+    /// succeeds (the budget check is exact, not conservative).
+    #[test]
+    fn budget_equal_to_makespan_succeeds(d in dag()) {
+        let g = build_graph(&d);
+        let lib = ComponentLibrary::date98_extended();
+        let fus = lib
+            .exploration_set(&[("add16", 1), ("mul8s", 1), ("sub16", 1)])
+            .unwrap();
+        let ops: Vec<_> = g.ops().iter().map(|o| o.id()).collect();
+        let edges = g.combined_op_edges();
+        let free = list_schedule(&g, &ops, &edges, &fus, None).expect("schedulable");
+        let finish = ops
+            .iter()
+            .map(|&o| {
+                let a = free.get(o).unwrap();
+                a.step.0 + fus.latency(a.fu)
+            })
+            .max()
+            .unwrap_or(0);
+        let bounded = list_schedule(&g, &ops, &edges, &fus, Some(finish));
+        prop_assert!(bounded.is_ok(), "own makespan {} rejected", finish);
+    }
+}

@@ -1,0 +1,738 @@
+//! Depth-first branch and bound for 0-1 MIPs.
+//!
+//! Node LPs are warm-started from the parent basis with the dual simplex
+//! (falling back to a cold two-phase primal on numerical trouble). Branching
+//! is pluggable via [`BranchingRule`]; the paper's §8 heuristic is expressed
+//! as a [`PriorityRule`] built by `tempart-core`.
+
+use std::time::Instant;
+
+use crate::internal::CoreLp;
+use crate::options::MipOptions;
+use crate::problem::{LpError, Problem, VarId, VarKind};
+use crate::simplex::{solve_core_cold, solve_core_warm, BasisSnapshot, WarmFail};
+use crate::status::{LpStatus, MipStatus};
+
+/// Which child to explore first when branching on a binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchDirection {
+    /// Explore `x = 1` first (the paper always branches up first, §8).
+    Up,
+    /// Explore `x = 0` first.
+    Down,
+}
+
+/// Chooses the fractional variable (and direction) to branch on.
+///
+/// `x` is the node LP solution over the problem's variables. Implementations
+/// must return a *fractional binary* (or `None`, meaning the solution is
+/// integral as far as the rule is concerned — the solver independently
+/// verifies integrality of all binaries).
+pub trait BranchingRule {
+    /// Picks the next branching variable from a fractional LP solution.
+    fn select(&self, problem: &Problem, x: &[f64], int_tol: f64)
+        -> Option<(VarId, BranchDirection)>;
+
+    /// Human-readable rule name, used in benchmark reports.
+    fn name(&self) -> &str;
+}
+
+/// Branch on the lowest-index fractional binary, exploring `1` first.
+///
+/// A deterministic stand-in for an unguided solver default (the paper notes
+/// `lp_solve` "randomly chooses a variable to branch on"; randomness would
+/// make Tables 1–2 irreproducible, so the lowest creation index is used).
+#[derive(Debug, Clone, Default)]
+pub struct FirstIndexRule;
+
+impl BranchingRule for FirstIndexRule {
+    fn select(
+        &self,
+        problem: &Problem,
+        x: &[f64],
+        int_tol: f64,
+    ) -> Option<(VarId, BranchDirection)> {
+        problem
+            .var_ids()
+            .find(|&v| problem.var_kind(v) == VarKind::Binary && is_fractional(x[v.index()], int_tol))
+            .map(|v| (v, BranchDirection::Up))
+    }
+
+    fn name(&self) -> &str {
+        "first-index"
+    }
+}
+
+/// Branch on the most fractional binary (closest to 0.5), exploring the
+/// nearest bound first.
+#[derive(Debug, Clone, Default)]
+pub struct MostFractionalRule;
+
+impl BranchingRule for MostFractionalRule {
+    fn select(
+        &self,
+        problem: &Problem,
+        x: &[f64],
+        int_tol: f64,
+    ) -> Option<(VarId, BranchDirection)> {
+        problem
+            .var_ids()
+            .filter(|&v| {
+                problem.var_kind(v) == VarKind::Binary && is_fractional(x[v.index()], int_tol)
+            })
+            .map(|v| {
+                let f = x[v.index()].fract();
+                (v, (f - 0.5).abs())
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN in LP solution"))
+            .map(|(v, _)| {
+                let dir = if x[v.index()] >= 0.5 {
+                    BranchDirection::Up
+                } else {
+                    BranchDirection::Down
+                };
+                (v, dir)
+            })
+    }
+
+    fn name(&self) -> &str {
+        "most-fractional"
+    }
+}
+
+/// Branch by explicit priority classes: the fractional binary with the
+/// *smallest* priority value wins; ties break on variable index. Each
+/// variable carries a preferred direction.
+///
+/// Variables with priority `u32::MAX` are never selected while another
+/// fractional variable exists; if *only* such variables are fractional the
+/// lowest-index one is used (the solver must branch on something).
+#[derive(Debug, Clone)]
+pub struct PriorityRule {
+    name: String,
+    /// `(priority, preferred direction)` per variable index.
+    prefs: Vec<(u32, BranchDirection)>,
+}
+
+impl PriorityRule {
+    /// Creates a rule from per-variable `(priority, direction)` preferences;
+    /// `prefs.len()` must equal the problem's variable count at solve time.
+    pub fn new(name: impl Into<String>, prefs: Vec<(u32, BranchDirection)>) -> Self {
+        Self {
+            name: name.into(),
+            prefs,
+        }
+    }
+}
+
+impl BranchingRule for PriorityRule {
+    fn select(
+        &self,
+        problem: &Problem,
+        x: &[f64],
+        int_tol: f64,
+    ) -> Option<(VarId, BranchDirection)> {
+        debug_assert_eq!(self.prefs.len(), problem.num_vars());
+        let mut best: Option<(VarId, u32)> = None;
+        for v in problem.var_ids() {
+            if problem.var_kind(v) != VarKind::Binary || !is_fractional(x[v.index()], int_tol) {
+                continue;
+            }
+            let pri = self.prefs[v.index()].0;
+            if best.is_none_or(|(_, bp)| pri < bp) {
+                best = Some((v, pri));
+            }
+        }
+        best.map(|(v, _)| (v, self.prefs[v.index()].1))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+fn is_fractional(v: f64, tol: f64) -> bool {
+    (v - v.round()).abs() > tol
+}
+
+/// Statistics of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MipStats {
+    /// Nodes whose LP relaxation was solved.
+    pub nodes: usize,
+    /// Total simplex iterations across all node LPs.
+    pub lp_iterations: usize,
+    /// Nodes pruned by bound.
+    pub pruned_by_bound: usize,
+    /// Nodes pruned by LP infeasibility.
+    pub pruned_infeasible: usize,
+    /// Nodes that produced an improved incumbent.
+    pub incumbent_updates: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Result of a branch-and-bound solve.
+#[derive(Debug, Clone)]
+pub struct MipSolution {
+    /// Termination status.
+    pub status: MipStatus,
+    /// Best integer solution found (empty if none).
+    pub x: Vec<f64>,
+    /// Its objective (`+∞` if none).
+    pub objective: f64,
+    /// A valid lower bound on the optimum: with status `Optimal` it equals
+    /// `objective`; after a limit it is the smallest LP bound among the
+    /// unexplored subproblems (`-∞` when nothing was pruned yet), giving the
+    /// proven optimality gap `objective − best_bound`.
+    pub best_bound: f64,
+    /// Search statistics.
+    pub stats: MipStats,
+}
+
+struct Node {
+    /// `(column, lower, upper)` overrides relative to the root bounds.
+    fixings: Vec<(usize, f64, f64)>,
+    /// Basis of the parent's LP optimum, if available.
+    warm: Option<BasisSnapshot>,
+    /// Parent LP bound (for cheap pre-pruning).
+    parent_bound: f64,
+}
+
+/// Depth-first 0-1 branch and bound over a [`Problem`].
+///
+/// # Examples
+///
+/// ```
+/// use tempart_lp::{Problem, VarKind, Sense, BranchAndBound, MipStatus};
+///
+/// # fn main() -> Result<(), tempart_lp::LpError> {
+/// // min -(x+y+z) s.t. x + y + z <= 2  → optimum -2.
+/// let mut p = Problem::new("m");
+/// let vars: Vec<_> = (0..3)
+///     .map(|i| p.add_var(format!("b{i}"), VarKind::Binary, -1.0))
+///     .collect::<Result<_, _>>()?;
+/// p.add_constraint("cap", vars.iter().map(|&v| (v, 1.0)), Sense::Le, 2.0)?;
+/// let out = BranchAndBound::new(&p).solve()?;
+/// assert_eq!(out.status, MipStatus::Optimal);
+/// assert!((out.objective + 2.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub struct BranchAndBound<'a> {
+    problem: &'a Problem,
+    options: MipOptions,
+    rule: Box<dyn BranchingRule + 'a>,
+}
+
+impl<'a> BranchAndBound<'a> {
+    /// Creates a solver with default options and the
+    /// [`MostFractionalRule`].
+    pub fn new(problem: &'a Problem) -> Self {
+        Self {
+            problem,
+            options: MipOptions::default(),
+            rule: Box::<MostFractionalRule>::default(),
+        }
+    }
+
+    /// Replaces the solve options.
+    #[must_use]
+    pub fn options(mut self, options: MipOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the branching rule.
+    #[must_use]
+    pub fn rule(mut self, rule: impl BranchingRule + 'a) -> Self {
+        self.rule = Box::new(rule);
+        self
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable LP failures
+    /// ([`LpError::IterationLimit`], [`LpError::SingularBasis`]).
+    pub fn solve(&self) -> Result<MipSolution, LpError> {
+        let start = Instant::now();
+        let core = CoreLp::from_problem(self.problem);
+        let ns = core.num_structs;
+        let opts = &self.options;
+        let mut stats = MipStats::default();
+
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        if let Some(x0) = &opts.initial_incumbent {
+            let integral = x0.len() == ns
+                && self.problem.var_ids().all(|v| {
+                    self.problem.var_kind(v) != VarKind::Binary
+                        || !is_fractional(x0[v.index()], opts.int_tol)
+                })
+                && self.problem.var_ids().all(|v| {
+                    let (lo, hi) = self.problem.var_bounds(v);
+                    x0[v.index()] >= lo - opts.int_tol && x0[v.index()] <= hi + opts.int_tol
+                });
+            if integral && self.problem.first_violated(x0, 1e-6).is_none() {
+                let obj = self.problem.objective_value(x0);
+                incumbent = Some((x0.clone(), obj));
+                stats.incumbent_updates += 1;
+            }
+        }
+        let mut stack: Vec<Node> = vec![Node {
+            fixings: Vec::new(),
+            warm: None,
+            parent_bound: f64::NEG_INFINITY,
+        }];
+        let mut status = MipStatus::Optimal;
+
+        let mut lower = core.lower.clone();
+        let mut upper = core.upper.clone();
+
+        while let Some(node) = stack.pop() {
+            if stats.nodes >= opts.max_nodes {
+                status = MipStatus::NodeLimit;
+                break;
+            }
+            let remaining = opts.time_limit_secs - start.elapsed().as_secs_f64();
+            if remaining <= 0.0 {
+                status = MipStatus::TimeLimit;
+                break;
+            }
+            // Pre-prune on the parent bound.
+            if let Some((_, inc_obj)) = &incumbent {
+                if prune_bound(node.parent_bound, *inc_obj, opts) {
+                    stats.pruned_by_bound += 1;
+                    continue;
+                }
+            }
+            // Apply node bounds.
+            lower.copy_from_slice(&core.lower);
+            upper.copy_from_slice(&core.upper);
+            for &(col, lo, hi) in &node.fixings {
+                lower[col] = lo;
+                upper[col] = hi;
+            }
+            // Solve the node LP (warm dual first, cold fallback), bounded
+            // by the remaining wall-clock budget so one long LP cannot blow
+            // through the global limit.
+            let mut lp_opts = opts.lp.clone();
+            lp_opts.time_limit_secs = lp_opts.time_limit_secs.min(remaining);
+            let node_start = Instant::now();
+            let mut fell_cold = false;
+            let solved = match &node.warm {
+                Some(snapshot) => {
+                    match solve_core_warm(&core, &lower, &upper, snapshot, &lp_opts) {
+                        Ok(o) => Ok(o),
+                        Err(WarmFail::NotDualFeasible)
+                        | Err(WarmFail::Error(LpError::SingularBasis)) => {
+                            fell_cold = true;
+                            solve_core_cold(&core, &lower, &upper, &lp_opts)
+                        }
+                        Err(WarmFail::Error(e)) => Err(e),
+                    }
+                }
+                None => solve_core_cold(&core, &lower, &upper, &lp_opts),
+            };
+            if std::env::var("BB_TRACE").is_ok() {
+                eprintln!(
+                    "node {} cold={} iters={:?} in {:?}",
+                    stats.nodes,
+                    fell_cold,
+                    solved.as_ref().map(|o| o.iterations).ok(),
+                    node_start.elapsed()
+                );
+            }
+            let outcome = match solved {
+                Ok(o) => o,
+                Err(LpError::Timeout) => {
+                    status = MipStatus::TimeLimit;
+                    break;
+                }
+                Err(LpError::IterationLimit) | Err(LpError::SingularBasis) => {
+                    // A stalled or numerically wedged node LP: abandon the
+                    // proof, keep the incumbent (reported as a limit, not an
+                    // error).
+                    status = MipStatus::NodeLimit;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            stats.nodes += 1;
+            stats.lp_iterations += outcome.iterations;
+            match outcome.status {
+                LpStatus::Infeasible => {
+                    stats.pruned_infeasible += 1;
+                    continue;
+                }
+                LpStatus::Unbounded => {
+                    // A bounded 0-1 model cannot be unbounded unless it has
+                    // unbounded continuous vars; treat as a hard error.
+                    return Err(LpError::IterationLimit);
+                }
+                LpStatus::Optimal => {}
+            }
+            // Prune by bound.
+            if let Some((_, inc_obj)) = &incumbent {
+                if prune_bound(outcome.objective, *inc_obj, opts) {
+                    stats.pruned_by_bound += 1;
+                    continue;
+                }
+            }
+            let x = &outcome.x[..ns];
+            match self.rule.select(self.problem, x, opts.int_tol) {
+                None => {
+                    // The rule sees no fractional binary; verify.
+                    debug_assert!(
+                        self.problem.var_ids().all(|v| {
+                            self.problem.var_kind(v) != VarKind::Binary
+                                || !is_fractional(x[v.index()], opts.int_tol * 10.0)
+                        }),
+                        "branching rule returned None on a fractional solution"
+                    );
+                    let obj = outcome.objective;
+                    if incumbent.as_ref().is_none_or(|(_, b)| obj < b - opts.abs_gap) {
+                        incumbent = Some((x.to_vec(), obj));
+                        stats.incumbent_updates += 1;
+                    }
+                }
+                Some((v, dir)) => {
+                    let col = v.index();
+                    let fix = |val: f64| -> Node {
+                        let mut f = node.fixings.clone();
+                        f.push((col, val, val));
+                        Node {
+                            fixings: f,
+                            warm: Some(outcome.snapshot.clone()),
+                            parent_bound: outcome.objective,
+                        }
+                    };
+                    let (first, second) = match dir {
+                        BranchDirection::Up => (fix(1.0), fix(0.0)),
+                        BranchDirection::Down => (fix(0.0), fix(1.0)),
+                    };
+                    // LIFO: push the second child first so the preferred
+                    // direction is explored first.
+                    stack.push(second);
+                    stack.push(first);
+                }
+            }
+        }
+        stats.seconds = start.elapsed().as_secs_f64();
+        let (x, objective, status) = match incumbent {
+            Some((x, obj)) => (x, obj, status),
+            None => (
+                Vec::new(),
+                f64::INFINITY,
+                if status == MipStatus::Optimal {
+                    MipStatus::Infeasible
+                } else {
+                    status
+                },
+            ),
+        };
+        // Lower bound: exact on completion; otherwise the weakest bound
+        // still open on the stack.
+        let best_bound = match status {
+            MipStatus::Optimal => objective,
+            MipStatus::Infeasible => f64::INFINITY,
+            _ => stack
+                .iter()
+                .map(|n| n.parent_bound)
+                .fold(f64::INFINITY, f64::min),
+        };
+        Ok(MipSolution {
+            status,
+            x,
+            objective,
+            best_bound,
+            stats,
+        })
+    }
+}
+
+/// Whether a node with LP bound `bound` cannot beat incumbent `inc`.
+fn prune_bound(bound: f64, inc: f64, opts: &MipOptions) -> bool {
+    let effective = if opts.objective_is_integral {
+        (bound - 1e-6).ceil()
+    } else {
+        bound
+    };
+    effective >= inc - opts.abs_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Sense;
+
+    /// Exhaustive reference solver for small 0-1 problems.
+    fn brute_force(p: &Problem) -> Option<(Vec<f64>, f64)> {
+        let n = p.num_vars();
+        assert!(n <= 20);
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        for mask in 0..(1u32 << n) {
+            let x: Vec<f64> = (0..n)
+                .map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 })
+                .collect();
+            // Respect bounds (for partially fixed vars).
+            let ok_bounds = p.var_ids().all(|v| {
+                let (lo, hi) = p.var_bounds(v);
+                x[v.index()] >= lo - 1e-9 && x[v.index()] <= hi + 1e-9
+            });
+            if !ok_bounds || p.first_violated(&x, 1e-9).is_some() {
+                continue;
+            }
+            let obj = p.objective_value(&x);
+            if best.as_ref().is_none_or(|(_, b)| obj < *b) {
+                best = Some((x, obj));
+            }
+        }
+        best
+    }
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> Problem {
+        let mut p = Problem::new("knap");
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| p.add_var(format!("x{i}"), VarKind::Binary, -v).unwrap())
+            .collect();
+        p.add_constraint(
+            "cap",
+            vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect::<Vec<_>>(),
+            Sense::Le,
+            cap,
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn knapsack_optimal() {
+        let p = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        let out = BranchAndBound::new(&p).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        let (bx, bobj) = brute_force(&p).unwrap();
+        assert!(
+            (out.objective - bobj).abs() < 1e-6,
+            "bb {} vs brute {} ({bx:?})",
+            out.objective,
+            bobj
+        );
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut p = Problem::new("inf");
+        let a = p.add_var("a", VarKind::Binary, 1.0).unwrap();
+        p.add_constraint("c", [(a, 2.0)], Sense::Eq, 1.0).unwrap();
+        let out = BranchAndBound::new(&p).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Infeasible);
+        assert!(out.x.is_empty());
+    }
+
+    #[test]
+    fn equality_covering() {
+        // Exactly-one constraints (like the paper's task-uniqueness (1)).
+        let mut p = Problem::new("assign");
+        let mut vars = Vec::new();
+        for t in 0..3 {
+            let row: Vec<_> = (0..3)
+                .map(|q| {
+                    p.add_var(format!("y{t}{q}"), VarKind::Binary, ((t + q) % 3) as f64)
+                        .unwrap()
+                })
+                .collect();
+            p.add_constraint(
+                format!("one{t}"),
+                row.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+                Sense::Eq,
+                1.0,
+            )
+            .unwrap();
+            vars.push(row);
+        }
+        let out = BranchAndBound::new(&p).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        let (_, bobj) = brute_force(&p).unwrap();
+        assert!((out.objective - bobj).abs() < 1e-6);
+        assert_eq!(out.objective, 0.0);
+    }
+
+    #[test]
+    fn all_rules_agree_on_optimum() {
+        let p = knapsack(
+            &[6.0, 5.0, 9.0, 7.0, 3.0, 4.0],
+            &[2.0, 3.0, 4.0, 3.0, 1.0, 2.0],
+            8.0,
+        );
+        let (_, bobj) = brute_force(&p).unwrap();
+        let o1 = BranchAndBound::new(&p)
+            .rule(FirstIndexRule)
+            .solve()
+            .unwrap();
+        let o2 = BranchAndBound::new(&p)
+            .rule(MostFractionalRule)
+            .solve()
+            .unwrap();
+        let prefs = vec![(0u32, BranchDirection::Up); p.num_vars()];
+        let o3 = BranchAndBound::new(&p)
+            .rule(PriorityRule::new("prio", prefs))
+            .solve()
+            .unwrap();
+        for o in [&o1, &o2, &o3] {
+            assert_eq!(o.status, MipStatus::Optimal);
+            assert!((o.objective - bobj).abs() < 1e-6, "{} vs {}", o.objective, bobj);
+        }
+    }
+
+    #[test]
+    fn best_bound_matches_objective_on_optimal() {
+        let p = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        let out = BranchAndBound::new(&p).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.best_bound - out.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        // Fractional root: the LP optimum is x0 = 1, x1 = 0.5, forcing at
+        // least one branch, which the node limit forbids.
+        let p = knapsack(&[2.0, 1.0], &[1.0, 1.0], 1.5);
+        let opts = MipOptions {
+            max_nodes: 1,
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::NodeLimit);
+        assert!(out.stats.nodes <= 1);
+        // The open children report the root LP bound, a valid lower bound.
+        assert!(out.best_bound <= -2.0 + 1e-6, "bound {}", out.best_bound);
+    }
+
+    #[test]
+    fn integral_objective_pruning_still_optimal() {
+        let p = knapsack(&[5.0, 4.0, 3.0], &[4.0, 3.0, 2.0], 6.0);
+        let opts = MipOptions {
+            objective_is_integral: true,
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        let (_, bobj) = brute_force(&p).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - bobj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_binary_continuous() {
+        // min -y - 0.5 c s.t. c <= 3 y, c <= 2 → y=1, c=2, obj=-2.
+        let mut p = Problem::new("mix");
+        let y = p.add_var("y", VarKind::Binary, -1.0).unwrap();
+        let c = p.add_var("c", VarKind::Continuous, -0.5).unwrap();
+        p.set_bounds(c, 0.0, 2.0).unwrap();
+        p.add_constraint("link", [(c, 1.0), (y, -3.0)], Sense::Le, 0.0)
+            .unwrap();
+        let out = BranchAndBound::new(&p).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective + 2.0).abs() < 1e-6, "obj={}", out.objective);
+        assert!((out.x[0] - 1.0).abs() < 1e-6);
+        assert!((out.x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pseudo_random_mips_match_brute_force() {
+        let mut seed = 777u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for trial in 0..25 {
+            let n = 4 + trial % 4;
+            let mut p = Problem::new("rnd");
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(format!("x{i}"), VarKind::Binary, next() * 5.0).unwrap())
+                .collect();
+            for r in 0..3 {
+                let coeffs: Vec<_> = vars.iter().map(|&v| (v, next() * 3.0)).collect();
+                let sense = match r % 3 {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Le,
+                };
+                let rhs = next() * 2.0 + if sense == Sense::Le { 1.5 } else { -1.5 };
+                p.add_constraint(format!("r{r}"), coeffs, sense, rhs).unwrap();
+            }
+            let out = BranchAndBound::new(&p).solve().unwrap();
+            match brute_force(&p) {
+                Some((_, bobj)) => {
+                    assert_eq!(out.status, MipStatus::Optimal, "trial {trial}");
+                    assert!(
+                        (out.objective - bobj).abs() < 1e-5,
+                        "trial {trial}: bb {} vs brute {}",
+                        out.objective,
+                        bobj
+                    );
+                    assert_eq!(p.first_violated(&out.x, 1e-5), None, "trial {trial}");
+                }
+                None => {
+                    assert_eq!(out.status, MipStatus::Infeasible, "trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_incumbent_seeds_and_prunes() {
+        let p = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        // True optimum: x0 + x1 (10 + 13 = 23, weight 7). Seed with the
+        // feasible but suboptimal x1 + x3 (21): the search must improve.
+        let seed = vec![0.0, 1.0, 0.0, 1.0];
+        let opts = MipOptions {
+            initial_incumbent: Some(seed),
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6, "obj={}", out.objective);
+        assert!(out.stats.incumbent_updates >= 2, "seed + improvement");
+
+        // An infeasible seed (weight 10 > 7) is silently ignored.
+        let opts = MipOptions {
+            initial_incumbent: Some(vec![1.0, 1.0, 0.0, 1.0]),
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+
+        // A fractional seed is ignored too.
+        let opts = MipOptions {
+            initial_incumbent: Some(vec![0.5, 0.5, 0.5, 0.5]),
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn priority_rule_orders_search() {
+        // Priorities force branching on x2 before x0 despite index order.
+        let p = knapsack(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0], 1.5);
+        let prefs = vec![
+            (2, BranchDirection::Up),
+            (1, BranchDirection::Up),
+            (0, BranchDirection::Up),
+        ];
+        let out = BranchAndBound::new(&p)
+            .rule(PriorityRule::new("rev", prefs))
+            .solve()
+            .unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective + 1.0).abs() < 1e-6);
+    }
+}

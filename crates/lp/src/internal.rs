@@ -1,0 +1,137 @@
+//! Conversion of a [`Problem`] to the computational form used by the
+//! simplex: `min c·x  s.t.  A x = b,  l ≤ x ≤ u`, where `A = [S | I | I_a]`
+//! contains the structural columns, one slack per row, and one artificial
+//! per row (used by the cold-start phase 1; fixed to zero afterwards).
+
+use crate::problem::{Problem, Sense};
+use crate::sparse::CscMatrix;
+
+/// Computational form of an LP.
+///
+/// Column layout: `0..num_structs` structural, `num_structs..num_structs+m`
+/// slacks, `num_structs+m..num_structs+2m` artificials.
+#[derive(Debug, Clone)]
+pub(crate) struct CoreLp {
+    pub m: usize,
+    /// Total columns including slacks and artificials.
+    pub n: usize,
+    pub num_structs: usize,
+    pub a: CscMatrix,
+    pub b: Vec<f64>,
+    /// Phase-2 costs (artificials cost 0).
+    pub c: Vec<f64>,
+    pub lower: Vec<f64>,
+    pub upper: Vec<f64>,
+}
+
+impl CoreLp {
+    pub fn from_problem(p: &Problem) -> Self {
+        let m = p.num_rows();
+        let ns = p.num_vars();
+        let n = ns + 2 * m;
+        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+        for (r, row) in p.rows.iter().enumerate() {
+            for &(v, coeff) in &row.coeffs {
+                trips.push((r, v.index(), coeff));
+            }
+            // Slack column.
+            trips.push((r, ns + r, 1.0));
+            // Artificial column.
+            trips.push((r, ns + m + r, 1.0));
+        }
+        let a = CscMatrix::from_triplets(m, n, trips);
+        let b: Vec<f64> = p.rows.iter().map(|r| r.rhs).collect();
+        let mut c = vec![0.0; n];
+        let mut lower = vec![0.0; n];
+        let mut upper = vec![0.0; n];
+        for (i, v) in p.vars.iter().enumerate() {
+            c[i] = v.obj;
+            lower[i] = v.lower;
+            upper[i] = v.upper;
+        }
+        for (r, row) in p.rows.iter().enumerate() {
+            let (lo, hi) = match row.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            lower[ns + r] = lo;
+            upper[ns + r] = hi;
+            // Artificials start fixed; phase 1 relaxes them per the initial
+            // residual.
+            lower[ns + m + r] = 0.0;
+            upper[ns + m + r] = 0.0;
+        }
+        Self {
+            m,
+            n,
+            num_structs: ns,
+            a,
+            b,
+            c,
+            lower,
+            upper,
+        }
+    }
+
+    /// Index of the slack column of row `r`.
+    pub fn slack_col(&self, r: usize) -> usize {
+        self.num_structs + r
+    }
+
+    /// Index of the artificial column of row `r`.
+    pub fn artificial_col(&self, r: usize) -> usize {
+        self.num_structs + self.m + r
+    }
+
+    /// Whether column `j` is an artificial.
+    #[cfg(test)]
+    pub fn is_artificial(&self, j: usize) -> bool {
+        j >= self.num_structs + self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Sense, VarKind};
+
+    #[test]
+    fn conversion_layout() {
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, 3.0).unwrap();
+        let y = p.add_var("y", VarKind::Binary, -1.0).unwrap();
+        p.add_constraint("le", [(x, 1.0), (y, 2.0)], Sense::Le, 4.0)
+            .unwrap();
+        p.add_constraint("ge", [(x, 1.0)], Sense::Ge, 1.0).unwrap();
+        p.add_constraint("eq", [(y, 5.0)], Sense::Eq, 5.0).unwrap();
+        let core = CoreLp::from_problem(&p);
+        assert_eq!(core.m, 3);
+        assert_eq!(core.num_structs, 2);
+        assert_eq!(core.n, 2 + 6);
+        assert_eq!(core.b, vec![4.0, 1.0, 5.0]);
+        assert_eq!(core.c[0], 3.0);
+        assert_eq!(core.c[1], -1.0);
+        assert_eq!(core.c[core.slack_col(0)], 0.0);
+        // Slack bounds by sense.
+        assert_eq!(core.lower[core.slack_col(0)], 0.0);
+        assert_eq!(core.upper[core.slack_col(0)], f64::INFINITY);
+        assert_eq!(core.upper[core.slack_col(1)], 0.0);
+        assert!(core.lower[core.slack_col(1)].is_infinite());
+        assert_eq!(
+            (core.lower[core.slack_col(2)], core.upper[core.slack_col(2)]),
+            (0.0, 0.0)
+        );
+        // Binary bounds carried over.
+        assert_eq!((core.lower[1], core.upper[1]), (0.0, 1.0));
+        // Artificial flags.
+        assert!(core.is_artificial(core.artificial_col(0)));
+        assert!(!core.is_artificial(core.slack_col(2)));
+        // Matrix: slack and artificial entries present.
+        let dense = core.a.to_dense();
+        assert_eq!(dense[0][core.slack_col(0)], 1.0);
+        assert_eq!(dense[2][core.artificial_col(2)], 1.0);
+        assert_eq!(dense[0][0], 1.0);
+        assert_eq!(dense[0][1], 2.0);
+    }
+}

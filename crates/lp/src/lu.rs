@@ -1,0 +1,378 @@
+//! Sparse LU factorization of simplex basis matrices.
+//!
+//! Left-looking column LU with partial pivoting (`P B = L U` with unit-lower
+//! `L`). Basis matrices in this workload are dominated by slack/artificial
+//! unit columns, so the factors stay extremely sparse and refactorization is
+//! cheap; product-form (eta) updates between refactorizations live in
+//! [`crate::simplex`].
+#![allow(clippy::needless_range_loop)] // dense kernels index several arrays in lockstep
+
+use crate::sparse::CscMatrix;
+use crate::LpError;
+
+/// LU factors of a basis matrix, with row pivoting.
+///
+/// Storage is in "pivot coordinates": pivot position `j` corresponds to the
+/// `j`-th basis column; `pivot_row[j]` is the original row chosen as its
+/// pivot.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    m: usize,
+    /// `pivot_row[j]` = original row index of pivot `j`.
+    pivot_row: Vec<usize>,
+    /// `pivot_pos[r]` = pivot position of original row `r`.
+    pivot_pos: Vec<usize>,
+    /// Column `j` of `L` below the diagonal: `(original_row, multiplier)`.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Column `j` of `U` above the diagonal: `(pivot_pos k < j, value)`.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U`.
+    u_diag: Vec<f64>,
+}
+
+impl LuFactors {
+    /// Factorizes the basis formed by columns `basis` of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::SingularBasis`] if no acceptable pivot (magnitude
+    /// `> pivot_tol`) exists for some column.
+    pub fn factorize(a: &CscMatrix, basis: &[usize], pivot_tol: f64) -> Result<Self, LpError> {
+        let m = a.nrows();
+        assert_eq!(basis.len(), m, "basis must have one column per row");
+        let mut pivot_row = vec![usize::MAX; m];
+        let mut pivot_pos = vec![usize::MAX; m];
+        let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut u_diag = Vec::with_capacity(m);
+
+        // Dense workspace reused per column, with a membership mask so each
+        // row enters `touched` at most once (a value can cancel to exactly
+        // zero and be rewritten; duplicate entries would corrupt `l_col`).
+        let mut x = vec![0.0f64; m];
+        let mut in_touched = vec![false; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(64);
+
+        // Worklist of pivot positions whose rows hold nonzeros, processed in
+        // ascending order (a binary min-heap). This keeps the update loop
+        // proportional to actual fill-in instead of `O(j)` per column.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+            std::collections::BinaryHeap::new();
+        let mut queued = vec![false; m];
+
+        for (j, &col) in basis.iter().enumerate() {
+            // Scatter b_j, queueing already-pivoted rows for elimination.
+            for (r, v) in a.col(col) {
+                x[r] = v;
+                if !in_touched[r] {
+                    in_touched[r] = true;
+                    touched.push(r);
+                }
+                let k = pivot_pos[r];
+                if k != usize::MAX && !queued[k] {
+                    queued[k] = true;
+                    heap.push(std::cmp::Reverse(k));
+                }
+            }
+            // Apply previous columns (solve with partial L) in ascending
+            // pivot order; updates may queue further pivots downstream.
+            let mut u_col = Vec::new();
+            while let Some(std::cmp::Reverse(k)) = heap.pop() {
+                queued[k] = false;
+                let xk = x[pivot_row[k]];
+                if xk != 0.0 {
+                    u_col.push((k, xk));
+                    for &(r, mult) in &l_cols[k] {
+                        if !in_touched[r] {
+                            in_touched[r] = true;
+                            touched.push(r);
+                        }
+                        x[r] -= xk * mult;
+                        let kr = pivot_pos[r];
+                        if kr != usize::MAX && kr > k && !queued[kr] {
+                            queued[kr] = true;
+                            heap.push(std::cmp::Reverse(kr));
+                        }
+                    }
+                }
+            }
+            // Pivot: largest magnitude among rows without a pivot yet.
+            let mut best_row = usize::MAX;
+            let mut best_val = 0.0f64;
+            for &r in &touched {
+                if pivot_pos[r] == usize::MAX && x[r].abs() > best_val {
+                    best_val = x[r].abs();
+                    best_row = r;
+                }
+            }
+            if best_row == usize::MAX || best_val <= pivot_tol {
+                return Err(LpError::SingularBasis);
+            }
+            let piv = x[best_row];
+            pivot_row[j] = best_row;
+            pivot_pos[best_row] = j;
+            let mut l_col = Vec::new();
+            for &r in &touched {
+                if pivot_pos[r] == usize::MAX && x[r] != 0.0 {
+                    l_col.push((r, x[r] / piv));
+                }
+            }
+            u_diag.push(piv);
+            u_cols.push(u_col);
+            l_cols.push(l_col);
+            // Clear workspace.
+            for &r in &touched {
+                x[r] = 0.0;
+                in_touched[r] = false;
+            }
+            touched.clear();
+        }
+        Ok(Self {
+            m,
+            pivot_row,
+            pivot_pos,
+            l_cols,
+            u_cols,
+            u_diag,
+        })
+    }
+
+    /// Dimension of the basis.
+    #[allow(dead_code)] // part of the module's natural API surface
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Solves `B w = b` in place: on entry `buf` holds `b` (indexed by
+    /// original row); on exit it holds `w` (indexed by basis position).
+    pub fn ftran(&self, buf: &mut [f64]) {
+        debug_assert_eq!(buf.len(), self.m);
+        // Forward: z_j = (L^{-1} P b)_j, accumulated in original-row space.
+        for j in 0..self.m {
+            let zj = buf[self.pivot_row[j]];
+            if zj != 0.0 {
+                for &(r, mult) in &self.l_cols[j] {
+                    buf[r] -= zj * mult;
+                }
+            }
+        }
+        // Gather z into pivot coordinates.
+        let mut z: Vec<f64> = (0..self.m).map(|j| buf[self.pivot_row[j]]).collect();
+        // Backward: U w = z.
+        for j in (0..self.m).rev() {
+            let wj = z[j] / self.u_diag[j];
+            z[j] = wj;
+            if wj != 0.0 {
+                for &(k, u) in &self.u_cols[j] {
+                    z[k] -= wj * u;
+                }
+            }
+        }
+        buf.copy_from_slice(&z);
+    }
+
+    /// Solves `Bᵀ y = c` in place: on entry `buf` holds `c` (indexed by basis
+    /// position); on exit it holds `y` (indexed by original row).
+    pub fn btran(&self, buf: &mut [f64]) {
+        debug_assert_eq!(buf.len(), self.m);
+        // Forward: Uᵀ z = c.
+        let mut z = vec![0.0f64; self.m];
+        for j in 0..self.m {
+            let mut s = buf[j];
+            for &(k, u) in &self.u_cols[j] {
+                s -= u * z[k];
+            }
+            z[j] = s / self.u_diag[j];
+        }
+        // Backward: Lᵀ v = z (pivot coordinates).
+        for j in (0..self.m).rev() {
+            let mut s = z[j];
+            for &(r, mult) in &self.l_cols[j] {
+                s -= mult * z[self.pivot_pos[r]];
+            }
+            z[j] = s;
+        }
+        // Scatter to original rows: y[pivot_row[j]] = v[j].
+        for r in buf.iter_mut() {
+            *r = 0.0;
+        }
+        for j in 0..self.m {
+            buf[self.pivot_row[j]] = z[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference solve via Gaussian elimination with partial pivoting.
+    fn dense_solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+        let m = a.len();
+        let mut aug: Vec<Vec<f64>> = a
+            .iter()
+            .zip(b)
+            .map(|(row, &bi)| {
+                let mut r = row.clone();
+                r.push(bi);
+                r
+            })
+            .collect();
+        for col in 0..m {
+            let piv = (col..m)
+                .max_by(|&i, &j| aug[i][col].abs().partial_cmp(&aug[j][col].abs()).unwrap())
+                .unwrap();
+            aug.swap(col, piv);
+            let p = aug[col][col];
+            assert!(p.abs() > 1e-12, "singular test matrix");
+            for i in 0..m {
+                if i != col && aug[i][col] != 0.0 {
+                    let f = aug[i][col] / p;
+                    for k in col..=m {
+                        aug[i][k] -= f * aug[col][k];
+                    }
+                }
+            }
+        }
+        (0..m).map(|i| aug[i][m] / aug[i][i]).collect()
+    }
+
+    fn basis_dense(a: &CscMatrix, basis: &[usize]) -> Vec<Vec<f64>> {
+        let dense = a.to_dense();
+        let m = a.nrows();
+        (0..m)
+            .map(|r| basis.iter().map(|&c| dense[r][c]).collect())
+            .collect()
+    }
+
+    fn check_ftran_btran(a: &CscMatrix, basis: &[usize]) {
+        let lu = LuFactors::factorize(a, basis, 1e-10).unwrap();
+        let m = a.nrows();
+        let bd = basis_dense(a, basis);
+        // FTRAN against dense solve for a few rhs.
+        for t in 0..3 {
+            let b: Vec<f64> = (0..m).map(|i| ((i * 7 + t * 3) % 5) as f64 - 2.0).collect();
+            let mut buf = b.clone();
+            lu.ftran(&mut buf);
+            let want = dense_solve(&bd, &b);
+            for i in 0..m {
+                assert!(
+                    (buf[i] - want[i]).abs() < 1e-8,
+                    "ftran mismatch at {i}: {} vs {}",
+                    buf[i],
+                    want[i]
+                );
+            }
+        }
+        // BTRAN: Bᵀ y = c  ⇔ dense transpose solve.
+        let bt: Vec<Vec<f64>> = (0..m)
+            .map(|r| (0..m).map(|c| bd[c][r]).collect())
+            .collect();
+        for t in 0..3 {
+            let c: Vec<f64> = (0..m).map(|i| ((i * 11 + t) % 7) as f64 - 3.0).collect();
+            let mut buf = c.clone();
+            lu.btran(&mut buf);
+            let want = dense_solve(&bt, &c);
+            for i in 0..m {
+                assert!(
+                    (buf[i] - want[i]).abs() < 1e-8,
+                    "btran mismatch at {i}: {} vs {}",
+                    buf[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_basis() {
+        // A = [ I | other ]; basis = identity columns.
+        let a = CscMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 3, 5.0), (2, 3, -1.0)],
+        );
+        let lu = LuFactors::factorize(&a, &[0, 1, 2], 1e-10).unwrap();
+        let mut b = vec![3.0, -2.0, 7.0];
+        lu.ftran(&mut b);
+        assert_eq!(b, vec![3.0, -2.0, 7.0]);
+        let mut c = vec![1.0, 2.0, 3.0];
+        lu.btran(&mut c);
+        assert_eq!(c, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn general_basis_matches_dense() {
+        let a = CscMatrix::from_triplets(
+            3,
+            5,
+            vec![
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (0, 1, 1.0),
+                (2, 1, 3.0),
+                (1, 2, 4.0),
+                (2, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 4, 1.0),
+            ],
+        );
+        check_ftran_btran(&a, &[0, 1, 2]);
+        check_ftran_btran(&a, &[3, 1, 2]);
+        check_ftran_btran(&a, &[0, 4, 1]);
+    }
+
+    #[test]
+    fn permutation_heavy_basis() {
+        // Columns that force row pivoting in a scrambled order.
+        let a = CscMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (3, 0, 1.0),
+                (0, 1, 1.0),
+                (2, 1, 0.5),
+                (1, 2, -2.0),
+                (2, 3, 1.0),
+                (0, 3, 0.25),
+            ],
+        );
+        check_ftran_btran(&a, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        // Two identical columns.
+        let a = CscMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]);
+        assert_eq!(
+            LuFactors::factorize(&a, &[0, 1], 1e-10).unwrap_err(),
+            LpError::SingularBasis
+        );
+    }
+
+    #[test]
+    fn pseudo_random_matrices_match_dense() {
+        // Deterministic pseudo-random dense-ish matrices of sizes 2..=8.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 // in [0,1)
+        };
+        for m in 2..=8usize {
+            let mut trips = Vec::new();
+            for r in 0..m {
+                for c in 0..m {
+                    let v = next();
+                    if v > 0.4 || r == c {
+                        trips.push((r, c, v * 4.0 - 2.0 + if r == c { 3.0 } else { 0.0 }));
+                    }
+                }
+            }
+            let a = CscMatrix::from_triplets(m, m, trips);
+            let basis: Vec<usize> = (0..m).collect();
+            check_ftran_btran(&a, &basis);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixed-format-free MPS export — the lingua franca of LP solvers,
+//! complementing the CPLEX-LP writer for tools that only read MPS.
+
+use std::fmt::Write as _;
+
+use crate::problem::{Problem, Sense, VarKind};
+use crate::VarId;
+
+/// Serializes `problem` in (free-form) MPS.
+///
+/// Row and column names are sanitized to alphanumerics/underscores and
+/// uniquified by index. Binaries are emitted inside `MARKER`
+/// `INTORG`/`INTEND` fences with bounds `BV`.
+///
+/// # Examples
+///
+/// ```
+/// use tempart_lp::{Problem, VarKind, Sense, write_mps};
+///
+/// # fn main() -> Result<(), tempart_lp::LpError> {
+/// let mut p = Problem::new("demo");
+/// let x = p.add_var("x", VarKind::Binary, 2.0)?;
+/// p.add_constraint("cap", [(x, 1.0)], Sense::Le, 1.0)?;
+/// let text = write_mps(&p);
+/// assert!(text.contains("ROWS"));
+/// assert!(text.contains("INTORG"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_mps(problem: &Problem) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "NAME {}", clean(problem.name(), 0));
+    let _ = writeln!(out, "ROWS");
+    let _ = writeln!(out, " N  OBJ");
+    let row_name = |i: usize| format!("R{i}");
+    for (i, row) in problem.rows_for_export().enumerate() {
+        let tag = match row.sense {
+            Sense::Le => "L",
+            Sense::Ge => "G",
+            Sense::Eq => "E",
+        };
+        let _ = writeln!(out, " {tag}  {}", row_name(i));
+    }
+    let _ = writeln!(out, "COLUMNS");
+    // Per-column entries: objective + every row coefficient. Binaries are
+    // fenced by integrality markers.
+    let col_name = |v: VarId| format!("C{}", v.index());
+    // Build row coefficients per column.
+    let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); problem.num_vars()];
+    for (i, row) in problem.rows_for_export().enumerate() {
+        for &(v, c) in row.coeffs {
+            per_col[v.index()].push((i, c));
+        }
+    }
+    let mut in_int = false;
+    for v in problem.var_ids() {
+        let is_int = problem.var_kind(v) == VarKind::Binary;
+        if is_int && !in_int {
+            let _ = writeln!(out, "    MARKER                 'MARKER'                 'INTORG'");
+            in_int = true;
+        }
+        if !is_int && in_int {
+            let _ = writeln!(out, "    MARKER                 'MARKER'                 'INTEND'");
+            in_int = false;
+        }
+        let c = problem.objective_coefficient(v);
+        if c != 0.0 {
+            let _ = writeln!(out, "    {}  OBJ  {}", col_name(v), c);
+        }
+        for &(i, coeff) in &per_col[v.index()] {
+            let _ = writeln!(out, "    {}  {}  {}", col_name(v), row_name(i), coeff);
+        }
+    }
+    if in_int {
+        let _ = writeln!(out, "    MARKER                 'MARKER'                 'INTEND'");
+    }
+    let _ = writeln!(out, "RHS");
+    for (i, row) in problem.rows_for_export().enumerate() {
+        if row.rhs != 0.0 {
+            let _ = writeln!(out, "    RHS  {}  {}", row_name(i), row.rhs);
+        }
+    }
+    let _ = writeln!(out, "BOUNDS");
+    for v in problem.var_ids() {
+        let name = col_name(v);
+        if problem.var_kind(v) == VarKind::Binary {
+            let _ = writeln!(out, " BV BND  {name}");
+            continue;
+        }
+        let (lo, hi) = problem.var_bounds(v);
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " LO BND  {name}  {lo}");
+                let _ = writeln!(out, " UP BND  {name}  {hi}");
+            }
+            (true, false) => {
+                if lo != 0.0 {
+                    let _ = writeln!(out, " LO BND  {name}  {lo}");
+                }
+                // default upper is +inf
+            }
+            (false, true) => {
+                let _ = writeln!(out, " MI BND  {name}");
+                let _ = writeln!(out, " UP BND  {name}  {hi}");
+            }
+            (false, false) => {
+                let _ = writeln!(out, " FR BND  {name}");
+            }
+        }
+    }
+    let _ = writeln!(out, "ENDATA");
+    out
+}
+
+fn clean(name: &str, idx: usize) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        format!("P{idx}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Sense, VarKind};
+
+    #[test]
+    fn mps_structure() {
+        let mut p = Problem::new("m x");
+        let b = p.add_var("b", VarKind::Binary, 1.0).unwrap();
+        let c = p.add_var("c", VarKind::Continuous, -2.5).unwrap();
+        p.set_bounds(c, -1.0, 3.0).unwrap();
+        let free = p.add_var("f", VarKind::Continuous, 0.0).unwrap();
+        p.set_bounds(free, f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        p.add_constraint("r", [(b, 1.0), (c, 2.0)], Sense::Le, 4.0)
+            .unwrap();
+        p.add_constraint("e", [(free, 1.0)], Sense::Eq, 0.0).unwrap();
+        let text = write_mps(&p);
+        assert!(text.starts_with("NAME m_x"));
+        assert!(text.contains(" L  R0"));
+        assert!(text.contains(" E  R1"));
+        assert!(text.contains("'INTORG'"));
+        assert!(text.contains("'INTEND'"));
+        assert!(text.contains("C0  OBJ  1"));
+        assert!(text.contains("C1  R0  2"));
+        assert!(text.contains("RHS  R0  4"));
+        // Zero rhs rows are omitted from the RHS section.
+        assert!(!text.contains("RHS  R1"));
+        assert!(text.contains(" BV BND  C0"));
+        assert!(text.contains(" LO BND  C1  -1"));
+        assert!(text.contains(" UP BND  C1  3"));
+        assert!(text.contains(" FR BND  C2"));
+        assert!(text.trim_end().ends_with("ENDATA"));
+    }
+
+    #[test]
+    fn consecutive_binaries_share_one_fence() {
+        let mut p = Problem::new("fence");
+        for i in 0..3 {
+            p.add_var(format!("b{i}"), VarKind::Binary, 1.0).unwrap();
+        }
+        let text = write_mps(&p);
+        assert_eq!(text.matches("'INTORG'").count(), 1);
+        assert_eq!(text.matches("'INTEND'").count(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Solver options.
+
+/// Options for a single LP solve.
+#[derive(Debug, Clone)]
+pub struct LpOptions {
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Dual (reduced-cost / optimality) tolerance.
+    pub opt_tol: f64,
+    /// Minimum acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Hard iteration cap across both phases.
+    pub max_iterations: usize,
+    /// Refactorize the basis after this many eta updates.
+    pub refactor_every: usize,
+    /// Wall-clock limit in seconds for one solve (`f64::INFINITY` to
+    /// disable); exceeding it raises [`LpError::Timeout`](crate::LpError).
+    pub time_limit_secs: f64,
+    /// Iteration cap for a *warm-started dual* solve; a degenerate dual that
+    /// exceeds it is abandoned in favour of a cold primal solve.
+    pub dual_iteration_cap: usize,
+}
+
+impl Default for LpOptions {
+    fn default() -> Self {
+        Self {
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            pivot_tol: 1e-8,
+            max_iterations: 200_000,
+            refactor_every: 64,
+            time_limit_secs: f64::INFINITY,
+            dual_iteration_cap: 2_000,
+        }
+    }
+}
+
+/// Options for a branch-and-bound solve.
+#[derive(Debug, Clone)]
+pub struct MipOptions {
+    /// LP options for node relaxations.
+    pub lp: LpOptions,
+    /// Integrality tolerance: a value within this distance of an integer is
+    /// considered integral.
+    pub int_tol: f64,
+    /// Maximum number of branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Wall-clock time limit in seconds (`f64::INFINITY` to disable).
+    pub time_limit_secs: f64,
+    /// If true, the objective is known to take integer values at integer
+    /// points, enabling the stronger bound `ceil(lp_bound)` for pruning.
+    pub objective_is_integral: bool,
+    /// Absolute optimality gap at which a node is pruned against the
+    /// incumbent.
+    pub abs_gap: f64,
+    /// A known-feasible starting point (full variable assignment). Checked
+    /// against every constraint and the integrality of binaries before use;
+    /// an invalid point is silently ignored.
+    pub initial_incumbent: Option<Vec<f64>>,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        Self {
+            lp: LpOptions::default(),
+            int_tol: 1e-6,
+            max_nodes: 5_000_000,
+            time_limit_secs: f64::INFINITY,
+            objective_is_integral: false,
+            abs_gap: 1e-9,
+            initial_incumbent: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let lp = LpOptions::default();
+        assert!(lp.feas_tol > 0.0 && lp.feas_tol < 1e-4);
+        assert!(lp.refactor_every >= 8);
+        let mip = MipOptions::default();
+        assert!(mip.int_tol >= lp.feas_tol);
+        assert!(!mip.objective_is_integral);
+        assert!(mip.time_limit_secs.is_infinite());
+    }
+}

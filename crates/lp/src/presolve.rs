@@ -1,0 +1,428 @@
+//! Presolve: problem reductions that preserve the optimum.
+//!
+//! Three classic, safe techniques, iterated to a fixpoint:
+//!
+//! 1. **Singleton rows** — a constraint with one variable is just a bound;
+//!    absorb it and drop the row.
+//! 2. **Redundant / forcing rows** — from activity bounds
+//!    `[Σ min(aᵢxᵢ), Σ max(aᵢxᵢ)]`: rows that can never bind are dropped;
+//!    rows that can only be satisfied with every variable pushed to one
+//!    bound fix those variables; rows that cannot be satisfied prove
+//!    infeasibility.
+//! 3. **Fixed-variable elimination** — `l = u` moves the variable into the
+//!    right-hand sides and removes the column.
+//!
+//! The reduction is *optional* — the solver works on unpresolved problems —
+//! and reversible: [`PresolveResult::restore`] lifts a reduced solution back
+//! to the original variable space. Property tests cross-check
+//! presolve → solve → restore against direct solves on random MIPs.
+
+use std::collections::HashMap;
+
+use crate::problem::{Problem, Sense, VarId, VarKind};
+use crate::LpError;
+
+/// Outcome of presolving.
+#[derive(Debug)]
+pub enum Presolved {
+    /// The reduced problem plus the mapping back.
+    Reduced(PresolveResult),
+    /// Presolve proved the problem infeasible.
+    Infeasible,
+}
+
+/// A reduced problem and the recipe to undo the reduction.
+#[derive(Debug)]
+pub struct PresolveResult {
+    /// The reduced problem.
+    pub problem: Problem,
+    /// Constant objective contribution of eliminated variables.
+    pub objective_offset: f64,
+    /// Values of eliminated variables (by original id).
+    fixed: HashMap<usize, f64>,
+    /// Original id → reduced id for surviving variables.
+    forward: HashMap<usize, usize>,
+    /// Number of original variables.
+    original_vars: usize,
+    /// Rows dropped as redundant or absorbed.
+    pub rows_removed: usize,
+}
+
+impl PresolveResult {
+    /// Lifts a solution of the reduced problem back to the original
+    /// variable space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_reduced` does not match the reduced problem's size.
+    pub fn restore(&self, x_reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(x_reduced.len(), self.problem.num_vars());
+        let mut x = vec![0.0; self.original_vars];
+        for (&orig, &val) in &self.fixed {
+            x[orig] = val;
+        }
+        for (&orig, &red) in &self.forward {
+            x[orig] = x_reduced[red];
+        }
+        x
+    }
+
+    /// Number of variables eliminated.
+    pub fn vars_removed(&self) -> usize {
+        self.original_vars - self.problem.num_vars()
+    }
+}
+
+/// Runs presolve to a fixpoint (bounded at 10 rounds).
+///
+/// # Errors
+///
+/// Returns [`LpError::NonFinite`] only if the input problem itself is
+/// malformed (cannot happen for problems built through [`Problem`]'s
+/// checked API).
+pub fn presolve(problem: &Problem) -> Result<Presolved, LpError> {
+    // Working copies of bounds and rows.
+    let n = problem.num_vars();
+    let mut lower: Vec<f64> = (0..n).map(|i| problem.var_bounds(VarId(i)).0).collect();
+    let mut upper: Vec<f64> = (0..n).map(|i| problem.var_bounds(VarId(i)).1).collect();
+    /// (coefficients, sense, rhs, alive) working copy of one row.
+    type WorkRow = (Vec<(usize, f64)>, Sense, f64, bool);
+    let mut rows: Vec<WorkRow> = problem
+        .rows_for_export()
+        .map(|r| {
+            (
+                // Zero coefficients carry no information and must not take
+                // part in forcing/singleton logic.
+                r.coeffs
+                    .iter()
+                    .filter(|&&(_, c)| c.abs() > 1e-12)
+                    .map(|&(v, c)| (v.index(), c))
+                    .collect(),
+                r.sense,
+                r.rhs,
+                true, // alive
+            )
+        })
+        .collect();
+    let int_tol = 1e-9;
+
+    for _round in 0..10 {
+        let mut changed = false;
+        for row in rows.iter_mut() {
+            if !row.3 {
+                continue;
+            }
+            let (coeffs, sense, rhs) = (&row.0, row.1, row.2);
+            // Activity bounds over current variable bounds.
+            let mut act_min = 0.0f64;
+            let mut act_max = 0.0f64;
+            for &(v, c) in coeffs {
+                if c >= 0.0 {
+                    act_min += c * lower[v];
+                    act_max += c * upper[v];
+                } else {
+                    act_min += c * upper[v];
+                    act_max += c * lower[v];
+                }
+            }
+            // Infeasibility / redundancy / forcing.
+            match sense {
+                Sense::Le => {
+                    if act_min > rhs + 1e-7 {
+                        return Ok(Presolved::Infeasible);
+                    }
+                    if act_max <= rhs + int_tol {
+                        row.3 = false; // never binds
+                        changed = true;
+                        continue;
+                    }
+                    if (act_min - rhs).abs() <= int_tol {
+                        // Forcing: every variable pinned to its minimizing bound.
+                        for &(v, c) in coeffs {
+                            let val = if c >= 0.0 { lower[v] } else { upper[v] };
+                            if (lower[v] - upper[v]).abs() > int_tol {
+                                lower[v] = val;
+                                upper[v] = val;
+                                changed = true;
+                            }
+                        }
+                        row.3 = false;
+                        continue;
+                    }
+                }
+                Sense::Ge => {
+                    if act_max < rhs - 1e-7 {
+                        return Ok(Presolved::Infeasible);
+                    }
+                    if act_min >= rhs - int_tol {
+                        row.3 = false;
+                        changed = true;
+                        continue;
+                    }
+                    if (act_max - rhs).abs() <= int_tol {
+                        for &(v, c) in coeffs {
+                            let val = if c >= 0.0 { upper[v] } else { lower[v] };
+                            if (lower[v] - upper[v]).abs() > int_tol {
+                                lower[v] = val;
+                                upper[v] = val;
+                                changed = true;
+                            }
+                        }
+                        row.3 = false;
+                        continue;
+                    }
+                }
+                Sense::Eq => {
+                    if act_min > rhs + 1e-7 || act_max < rhs - 1e-7 {
+                        return Ok(Presolved::Infeasible);
+                    }
+                }
+            }
+            // Singleton row → bound.
+            if coeffs.len() == 1 {
+                let (v, c) = coeffs[0];
+                if c.abs() > 1e-12 {
+                    let b = rhs / c;
+                    match (sense, c > 0.0) {
+                        (Sense::Le, true) | (Sense::Ge, false) => {
+                            if b < upper[v] {
+                                upper[v] = b;
+                                changed = true;
+                            }
+                        }
+                        (Sense::Le, false) | (Sense::Ge, true) => {
+                            if b > lower[v] {
+                                lower[v] = b;
+                                changed = true;
+                            }
+                        }
+                        (Sense::Eq, _) => {
+                            if b > lower[v] {
+                                lower[v] = b;
+                                changed = true;
+                            }
+                            if b < upper[v] {
+                                upper[v] = b;
+                                changed = true;
+                            }
+                        }
+                    }
+                    row.3 = false;
+                }
+            }
+        }
+        // Bound sanity after tightening.
+        for v in 0..n {
+            if lower[v] > upper[v] + 1e-7 {
+                return Ok(Presolved::Infeasible);
+            }
+            // Integral bounds for binaries: any fractional lower bound
+            // rounds up to 1, any fractional upper bound down to 0.
+            if problem.var_kind(VarId(v)) == VarKind::Binary {
+                let lo = if lower[v] > int_tol { 1.0 } else { 0.0 };
+                let hi = if upper[v] < 1.0 - int_tol { 0.0 } else { 1.0 };
+                if lo > lower[v] + int_tol {
+                    lower[v] = lo;
+                    changed = true;
+                }
+                if hi < upper[v] - int_tol {
+                    upper[v] = hi;
+                    changed = true;
+                }
+                if lower[v] > upper[v] + 1e-7 {
+                    return Ok(Presolved::Infeasible);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the reduced problem: fixed variables substituted into rhs.
+    let mut fixed: HashMap<usize, f64> = HashMap::new();
+    let mut forward: HashMap<usize, usize> = HashMap::new();
+    let mut reduced = Problem::new(format!("{}-presolved", problem.name()));
+    let mut objective_offset = 0.0;
+    for v in 0..n {
+        if (lower[v] - upper[v]).abs() <= int_tol {
+            fixed.insert(v, lower[v]);
+            objective_offset += problem.objective_coefficient(VarId(v)) * lower[v];
+        } else {
+            let id = reduced.add_var(
+                problem.var_name(VarId(v)).to_string(),
+                problem.var_kind(VarId(v)),
+                problem.objective_coefficient(VarId(v)),
+            )?;
+            reduced.set_bounds(id, lower[v], upper[v])?;
+            forward.insert(v, id.index());
+        }
+    }
+    let mut rows_removed = 0;
+    for (ri, (coeffs, sense, rhs, alive)) in rows.iter().enumerate() {
+        if !alive {
+            rows_removed += 1;
+            continue;
+        }
+        let mut new_rhs = *rhs;
+        let mut new_coeffs: Vec<(VarId, f64)> = Vec::new();
+        for &(v, c) in coeffs {
+            if let Some(&val) = fixed.get(&v) {
+                new_rhs -= c * val;
+            } else {
+                new_coeffs.push((VarId(forward[&v]), c));
+            }
+        }
+        if new_coeffs.is_empty() {
+            // Constant row: must hold, else infeasible.
+            let ok = match sense {
+                Sense::Le => 0.0 <= new_rhs + 1e-7,
+                Sense::Ge => 0.0 >= new_rhs - 1e-7,
+                Sense::Eq => new_rhs.abs() <= 1e-7,
+            };
+            if !ok {
+                return Ok(Presolved::Infeasible);
+            }
+            rows_removed += 1;
+            continue;
+        }
+        reduced.add_constraint(format!("r{ri}"), new_coeffs, *sense, new_rhs)?;
+    }
+    Ok(Presolved::Reduced(PresolveResult {
+        problem: reduced,
+        objective_offset,
+        fixed,
+        forward,
+        original_vars: n,
+        rows_removed,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_lp, BranchAndBound, LpOptions, LpStatus, MipStatus, Sense, VarKind};
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut p = Problem::new("s");
+        let x = p.add_var("x", VarKind::Continuous, 1.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, -1.0).unwrap();
+        p.set_bounds(y, 0.0, 10.0).unwrap();
+        p.add_constraint("cap", [(x, 2.0)], Sense::Le, 6.0).unwrap();
+        p.add_constraint("mix", [(x, 1.0), (y, 1.0)], Sense::Le, 5.0)
+            .unwrap();
+        match presolve(&p).unwrap() {
+            Presolved::Reduced(r) => {
+                assert_eq!(r.problem.num_rows(), 1, "singleton absorbed");
+                // x's upper bound tightened to 3 in the reduced problem.
+                let rx = crate::VarId(r.forward[&x.index()]);
+                assert_eq!(r.problem.var_bounds(rx), (0.0, 3.0));
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn forcing_row_fixes_variables() {
+        // b0 + b1 >= 2 forces both binaries to 1.
+        let mut p = Problem::new("f");
+        let a = p.add_var("a", VarKind::Binary, 1.0).unwrap();
+        let b = p.add_var("b", VarKind::Binary, 1.0).unwrap();
+        p.add_constraint("force", [(a, 1.0), (b, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
+        match presolve(&p).unwrap() {
+            Presolved::Reduced(r) => {
+                assert_eq!(r.vars_removed(), 2);
+                assert_eq!(r.objective_offset, 2.0);
+                let restored = r.restore(&[]);
+                assert_eq!(restored, vec![1.0, 1.0]);
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut p = Problem::new("i");
+        let a = p.add_var("a", VarKind::Binary, 0.0).unwrap();
+        p.add_constraint("impossible", [(a, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
+        assert!(matches!(presolve(&p).unwrap(), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn presolved_solve_matches_direct_solve() {
+        // Deterministic pseudo-random MIPs: presolve → solve → restore
+        // agrees with solving directly.
+        let mut seed = 0xC0FFEEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for trial in 0..40 {
+            let n = 3 + trial % 4;
+            let mut p = Problem::new("rnd");
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(format!("x{i}"), VarKind::Binary, (next() * 4.0).round()).unwrap())
+                .collect();
+            for r in 0..3 {
+                let coeffs: Vec<_> = vars.iter().map(|&v| (v, (next() * 3.0).round())).collect();
+                let sense = match r % 3 {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                p.add_constraint(format!("r{r}"), coeffs, sense, (next() * 3.0).round())
+                    .unwrap();
+            }
+            let direct = BranchAndBound::new(&p).solve().unwrap();
+            match presolve(&p).unwrap() {
+                Presolved::Infeasible => {
+                    assert_eq!(direct.status, MipStatus::Infeasible, "trial {trial}");
+                }
+                Presolved::Reduced(r) => {
+                    let reduced = BranchAndBound::new(&r.problem).solve().unwrap();
+                    assert_eq!(direct.status, reduced.status, "trial {trial}");
+                    if direct.status == MipStatus::Optimal {
+                        let total = reduced.objective + r.objective_offset;
+                        assert!(
+                            (total - direct.objective).abs() < 1e-6,
+                            "trial {trial}: reduced {} + offset {} vs direct {}",
+                            reduced.objective,
+                            r.objective_offset,
+                            direct.objective
+                        );
+                        let restored = r.restore(&reduced.x);
+                        assert!(p.first_violated(&restored, 1e-6).is_none(), "trial {trial}");
+                        assert!(
+                            (p.objective_value(&restored) - direct.objective).abs() < 1e-6,
+                            "trial {trial}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lp_bound_preserved() {
+        let mut p = Problem::new("lp");
+        let x = p.add_var("x", VarKind::Continuous, -1.0).unwrap();
+        p.set_bounds(x, 0.0, 10.0).unwrap();
+        p.add_constraint("one", [(x, 1.0)], Sense::Le, 4.0).unwrap();
+        let direct = solve_lp(&p, &LpOptions::default()).unwrap();
+        assert_eq!(direct.status, LpStatus::Optimal);
+        match presolve(&p).unwrap() {
+            Presolved::Reduced(r) => {
+                let red = solve_lp(&r.problem, &LpOptions::default()).unwrap();
+                assert!(
+                    (red.objective + r.objective_offset - direct.objective).abs() < 1e-9
+                );
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Model builder for LPs and 0-1 MIPs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Index of a decision variable in a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Raw index (dense, in creation order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of a constraint row in a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub(crate) usize);
+
+impl RowId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Variable domain kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Continuous with bounds (default `[0, +∞)`, overridable).
+    Continuous,
+    /// Binary `{0, 1}` — relaxed to `[0, 1]` in the LP relaxation and
+    /// branched on by [`BranchAndBound`](crate::BranchAndBound).
+    Binary,
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        })
+    }
+}
+
+/// Errors from model building or solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// A coefficient, bound or right-hand side was NaN/infinite where a
+    /// finite value is required.
+    NonFinite(&'static str),
+    /// A variable id did not belong to this problem.
+    UnknownVar(VarId),
+    /// Lower bound exceeds upper bound.
+    EmptyDomain(VarId),
+    /// The simplex hit its iteration limit (likely numerical trouble or a
+    /// genuinely huge model).
+    IterationLimit,
+    /// Basis factorization failed (singular basis after refactorization) —
+    /// indicates a solver bug or a pathological model.
+    SingularBasis,
+    /// The wall-clock limit expired mid-solve.
+    Timeout,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::NonFinite(what) => write!(f, "non-finite value for {what}"),
+            LpError::UnknownVar(v) => write!(f, "unknown variable {v}"),
+            LpError::EmptyDomain(v) => write!(f, "variable {v} has lower bound above upper bound"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::SingularBasis => write!(f, "basis matrix is singular"),
+            LpError::Timeout => write!(f, "wall-clock time limit expired"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub kind: VarKind,
+    pub lower: f64,
+    pub upper: f64,
+    pub obj: f64,
+}
+
+/// A read-only view of one constraint row.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    /// Row name.
+    pub name: &'a str,
+    /// `(variable, coefficient)` terms.
+    pub coeffs: &'a [(VarId, f64)],
+    /// Row sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RowDef {
+    pub name: String,
+    pub coeffs: Vec<(VarId, f64)>,
+    pub sense: Sense,
+    pub rhs: f64,
+}
+
+/// A linear/0-1 integer program in minimization form.
+///
+/// Variables carry their objective coefficient; constraints are linear with
+/// sense `≤ / ≥ / =`. Binary variables get bounds `[0, 1]` automatically.
+///
+/// # Examples
+///
+/// ```
+/// use tempart_lp::{Problem, VarKind, Sense};
+///
+/// # fn main() -> Result<(), tempart_lp::LpError> {
+/// let mut p = Problem::new("knapsack-lp");
+/// let x = p.add_var("x", VarKind::Continuous, 1.0)?;
+/// p.set_bounds(x, 0.0, 4.0)?;
+/// p.add_constraint("cap", [(x, 2.0)], Sense::Le, 5.0)?;
+/// assert_eq!(p.num_vars(), 1);
+/// assert_eq!(p.num_rows(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    name: String,
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) rows: Vec<RowDef>,
+}
+
+impl Problem {
+    /// Creates an empty problem.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            vars: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Problem name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a variable with objective coefficient `obj`.
+    ///
+    /// Continuous variables default to bounds `[0, +∞)`; binaries to
+    /// `[0, 1]`. Use [`set_bounds`](Self::set_bounds) to override
+    /// (continuous only — binary bounds may only be tightened within
+    /// `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::NonFinite`] if `obj` is NaN or infinite.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        obj: f64,
+    ) -> Result<VarId, LpError> {
+        if !obj.is_finite() {
+            return Err(LpError::NonFinite("objective coefficient"));
+        }
+        let (lower, upper) = match kind {
+            VarKind::Continuous => (0.0, f64::INFINITY),
+            VarKind::Binary => (0.0, 1.0),
+        };
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef {
+            name: name.into(),
+            kind,
+            lower,
+            upper,
+            obj,
+        });
+        Ok(id)
+    }
+
+    /// Sets variable bounds. `lower` may be `-∞` and `upper` `+∞` for
+    /// continuous variables; binaries must stay within `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::UnknownVar`] — `v` not in this problem.
+    /// * [`LpError::EmptyDomain`] — `lower > upper`.
+    /// * [`LpError::NonFinite`] — NaN bound, or binary bound outside `[0,1]`.
+    pub fn set_bounds(&mut self, v: VarId, lower: f64, upper: f64) -> Result<(), LpError> {
+        let def = self.vars.get_mut(v.0).ok_or(LpError::UnknownVar(v))?;
+        if lower.is_nan() || upper.is_nan() {
+            return Err(LpError::NonFinite("variable bound"));
+        }
+        if lower > upper {
+            return Err(LpError::EmptyDomain(v));
+        }
+        if def.kind == VarKind::Binary && (lower < -1e-9 || upper > 1.0 + 1e-9) {
+            return Err(LpError::NonFinite("binary bounds must stay within [0,1]"));
+        }
+        def.lower = lower;
+        def.upper = upper;
+        Ok(())
+    }
+
+    /// Changes a variable's objective coefficient.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::UnknownVar`] / [`LpError::NonFinite`].
+    pub fn set_objective(&mut self, v: VarId, obj: f64) -> Result<(), LpError> {
+        if !obj.is_finite() {
+            return Err(LpError::NonFinite("objective coefficient"));
+        }
+        let def = self.vars.get_mut(v.0).ok_or(LpError::UnknownVar(v))?;
+        def.obj = obj;
+        Ok(())
+    }
+
+    /// Adds a linear constraint `Σ coeff·var  sense  rhs`. Duplicate
+    /// variable mentions are summed.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::UnknownVar`] — a coefficient references a foreign id.
+    /// * [`LpError::NonFinite`] — NaN/infinite coefficient or rhs.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        coeffs: impl IntoIterator<Item = (VarId, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) -> Result<RowId, LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFinite("right-hand side"));
+        }
+        let coeffs: Vec<(VarId, f64)> = coeffs.into_iter().collect();
+        for &(v, c) in &coeffs {
+            if v.0 >= self.vars.len() {
+                return Err(LpError::UnknownVar(v));
+            }
+            if !c.is_finite() {
+                return Err(LpError::NonFinite("constraint coefficient"));
+            }
+        }
+        let id = RowId(self.rows.len());
+        self.rows.push(RowDef {
+            name: name.into(),
+            coeffs,
+            sense,
+            rhs,
+        });
+        Ok(id)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of binary variables.
+    pub fn num_binaries(&self) -> usize {
+        self.vars.iter().filter(|v| v.kind == VarKind::Binary).count()
+    }
+
+    /// The kind of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is foreign.
+    pub fn var_kind(&self, v: VarId) -> VarKind {
+        self.vars[v.0].kind
+    }
+
+    /// The bounds of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is foreign.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        (self.vars[v.0].lower, self.vars[v.0].upper)
+    }
+
+    /// The name of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is foreign.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// The objective coefficient of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is foreign.
+    pub fn objective_coefficient(&self, v: VarId) -> f64 {
+        self.vars[v.0].obj
+    }
+
+    /// Read-only views of every constraint row, in creation order (used by
+    /// the LP-format writer and diagnostics).
+    pub fn rows_for_export(&self) -> impl Iterator<Item = RowView<'_>> {
+        self.rows.iter().map(|r| RowView {
+            name: &r.name,
+            coeffs: &r.coeffs,
+            sense: r.sense,
+            rhs: r.rhs,
+        })
+    }
+
+    /// Iterator over all variable ids.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.vars.len()).map(VarId)
+    }
+
+    /// The name of constraint row `r` (useful when reporting a violated row
+    /// from [`first_violated`](Self::first_violated)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is foreign.
+    pub fn row_name(&self, r: RowId) -> &str {
+        &self.rows[r.0].name
+    }
+
+    /// Evaluates the objective at a point (`x.len() == num_vars`).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
+    }
+
+    /// Checks `x` against every constraint and bound with tolerance `tol`;
+    /// returns the first violated row's id, or `None` if feasible.
+    pub fn first_violated(&self, x: &[f64], tol: f64) -> Option<RowId> {
+        for (idx, row) in self.rows.iter().enumerate() {
+            let lhs: f64 = row.coeffs.iter().map(|&(v, c)| c * x[v.0]).sum();
+            let ok = match row.sense {
+                Sense::Le => lhs <= row.rhs + tol,
+                Sense::Ge => lhs >= row.rhs - tol,
+                Sense::Eq => (lhs - row.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Some(RowId(idx));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_introspect() {
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, 2.0).unwrap();
+        let y = p.add_var("y", VarKind::Binary, -1.0).unwrap();
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_binaries(), 1);
+        assert_eq!(p.var_bounds(y), (0.0, 1.0));
+        assert_eq!(p.var_bounds(x), (0.0, f64::INFINITY));
+        assert_eq!(p.var_kind(y), VarKind::Binary);
+        assert_eq!(p.var_name(x), "x");
+        p.add_constraint("c", [(x, 1.0), (y, -2.0)], Sense::Ge, 0.5)
+            .unwrap();
+        assert_eq!(p.num_rows(), 1);
+        assert_eq!(p.objective_value(&[3.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut p = Problem::new("t");
+        assert_eq!(
+            p.add_var("x", VarKind::Continuous, f64::NAN).unwrap_err(),
+            LpError::NonFinite("objective coefficient")
+        );
+        let x = p.add_var("x", VarKind::Continuous, 0.0).unwrap();
+        assert_eq!(p.set_bounds(x, 2.0, 1.0).unwrap_err(), LpError::EmptyDomain(x));
+        assert!(p.set_bounds(x, f64::NEG_INFINITY, 5.0).is_ok());
+        let ghost = VarId(99);
+        assert_eq!(
+            p.set_bounds(ghost, 0.0, 1.0).unwrap_err(),
+            LpError::UnknownVar(ghost)
+        );
+        assert_eq!(
+            p.add_constraint("c", [(ghost, 1.0)], Sense::Le, 0.0)
+                .unwrap_err(),
+            LpError::UnknownVar(ghost)
+        );
+        assert_eq!(
+            p.add_constraint("c", [(x, 1.0)], Sense::Le, f64::INFINITY)
+                .unwrap_err(),
+            LpError::NonFinite("right-hand side")
+        );
+        let b = p.add_var("b", VarKind::Binary, 0.0).unwrap();
+        assert!(p.set_bounds(b, 0.0, 2.0).is_err());
+        assert!(p.set_bounds(b, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, 1.0).unwrap();
+        let r = p.add_constraint("c", [(x, 1.0)], Sense::Le, 1.0).unwrap();
+        assert_eq!(p.first_violated(&[0.5], 1e-9), None);
+        assert_eq!(p.first_violated(&[1.5], 1e-9), Some(r));
+        let req = p.add_constraint("e", [(x, 2.0)], Sense::Eq, 1.0).unwrap();
+        assert_eq!(p.first_violated(&[0.5], 1e-9), None);
+        assert_eq!(p.first_violated(&[0.6], 1e-9), Some(req));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(VarId(3).to_string(), "v3");
+        assert_eq!(RowId(1).to_string(), "r1");
+        assert_eq!(Sense::Le.to_string(), "<=");
+        assert_eq!(Sense::Eq.to_string(), "=");
+        assert_eq!(Sense::Ge.to_string(), ">=");
+    }
+}

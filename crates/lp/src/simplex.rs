@@ -1,0 +1,1234 @@
+//! Bounded-variable revised simplex: primal (two-phase, artificial cold
+//! start) and dual (warm restarts after bound changes in branch-and-bound).
+//!
+//! The basis is maintained as a sparse LU factorization
+//! ([`crate::lu::LuFactors`]) plus a product-form eta file; the factorization
+//! is rebuilt every [`LpOptions::refactor_every`] pivots.
+//!
+//! Style note: the numerical kernels iterate dense work arrays by index on
+//! purpose (several arrays are updated in lockstep); the iterator forms
+//! clippy suggests would obscure the mathematics.
+#![allow(clippy::needless_range_loop)]
+
+use std::time::Instant;
+
+use crate::internal::CoreLp;
+use crate::lu::LuFactors;
+use crate::options::LpOptions;
+use crate::problem::{LpError, Problem};
+use crate::status::LpStatus;
+
+/// Nonbasic/basic status of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VStat {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free nonbasic, held at value 0.
+    Free,
+}
+
+/// A snapshot of a simplex basis, used to warm-start node LPs in
+/// branch-and-bound.
+#[derive(Debug, Clone)]
+pub(crate) struct BasisSnapshot {
+    pub basic: Vec<usize>,
+    pub stat: Vec<VStat>,
+}
+
+/// Result of solving over a [`CoreLp`] (internal column space).
+#[derive(Debug, Clone)]
+pub(crate) struct CoreOutcome {
+    pub status: LpStatus,
+    /// Values for every column (structurals, slacks, artificials).
+    pub x: Vec<f64>,
+    /// Phase-2 objective value (meaningless unless `status == Optimal`).
+    pub objective: f64,
+    /// Dual values per row (`y = B⁻ᵀ c_B` at the final basis).
+    pub duals: Vec<f64>,
+    pub snapshot: BasisSnapshot,
+    pub iterations: usize,
+}
+
+/// Why a warm-started dual solve could not be used.
+#[derive(Debug)]
+pub(crate) enum WarmFail {
+    /// The starting basis is not dual feasible (or too ill-conditioned);
+    /// fall back to a cold solve.
+    NotDualFeasible,
+    /// A hard error (iteration limit, singular basis).
+    Error(LpError),
+}
+
+struct Eta {
+    /// Basis position of the pivot.
+    r: usize,
+    /// Nonzero entries of the FTRAN column `w`, excluding position `r`.
+    entries: Vec<(usize, f64)>,
+    /// Pivot element `w[r]`.
+    wr: f64,
+}
+
+struct Simplex<'a> {
+    core: &'a CoreLp,
+    opts: &'a LpOptions,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    stat: Vec<VStat>,
+    basic: Vec<usize>,
+    lu: LuFactors,
+    etas: Vec<Eta>,
+    /// Values of basic variables, indexed by basis position.
+    xb: Vec<f64>,
+    iterations: usize,
+    degen_streak: usize,
+    /// Wall-clock deadline; exceeded ⇒ [`LpError::Timeout`].
+    deadline: Option<Instant>,
+}
+
+impl<'a> Simplex<'a> {
+    /// Value a nonbasic column rests at.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.stat[j] {
+            VStat::AtLower => self.lower[j],
+            VStat::AtUpper => self.upper[j],
+            VStat::Free => 0.0,
+            VStat::Basic => unreachable!("nonbasic_value on basic column"),
+        }
+    }
+
+    /// Checks the wall-clock deadline (sampled every 32 iterations).
+    fn hit_deadline(&self) -> bool {
+        match self.deadline {
+            Some(d) if self.iterations.is_multiple_of(32) => Instant::now() > d,
+            _ => false,
+        }
+    }
+
+    fn ftran(&self, buf: &mut [f64]) {
+        self.lu.ftran(buf);
+        for eta in &self.etas {
+            let xr = buf[eta.r] / eta.wr;
+            buf[eta.r] = xr;
+            if xr != 0.0 {
+                for &(i, wi) in &eta.entries {
+                    buf[i] -= wi * xr;
+                }
+            }
+        }
+    }
+
+    fn btran(&self, buf: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut s = buf[eta.r];
+            for &(i, wi) in &eta.entries {
+                s -= wi * buf[i];
+            }
+            buf[eta.r] = s / eta.wr;
+        }
+        self.lu.btran(buf);
+    }
+
+    /// Recomputes `xb` from scratch: `x_B = B⁻¹ (b − N x_N)`.
+    fn recompute_xb(&mut self) {
+        let m = self.core.m;
+        let mut rhs = self.core.b.clone();
+        for j in 0..self.core.n {
+            if self.stat[j] != VStat::Basic {
+                let v = self.nonbasic_value(j);
+                if v != 0.0 {
+                    self.core.a.col_axpy(j, -v, &mut rhs);
+                }
+            }
+        }
+        let mut buf = rhs;
+        debug_assert_eq!(buf.len(), m);
+        self.ftran(&mut buf);
+        self.xb = buf;
+    }
+
+    fn refactor(&mut self) -> Result<(), LpError> {
+        self.lu = LuFactors::factorize(&self.core.a, &self.basic, self.opts.pivot_tol)?;
+        self.etas.clear();
+        self.recompute_xb();
+        Ok(())
+    }
+
+    fn maybe_refactor(&mut self) -> Result<(), LpError> {
+        if self.etas.len() >= self.opts.refactor_every {
+            self.refactor()?;
+        }
+        Ok(())
+    }
+
+    /// Reduced costs `d_j = c_j − y·a_j` for all columns (basic ones ≈ 0).
+    fn reduced_costs(&self, costs: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.core.m];
+        for (pos, &col) in self.basic.iter().enumerate() {
+            y[pos] = costs[col];
+        }
+        self.btran(&mut y);
+        (0..self.core.n)
+            .map(|j| {
+                if self.stat[j] == VStat::Basic {
+                    0.0
+                } else {
+                    costs[j] - self.core.a.col_dot(j, &y)
+                }
+            })
+            .collect()
+    }
+
+    /// Dantzig (or Bland, under degeneracy) pricing. Returns the entering
+    /// column, or `None` at optimality.
+    fn price(&self, d: &[f64], bland: bool) -> Option<usize> {
+        let tol = self.opts.opt_tol;
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.core.n {
+            if self.stat[j] == VStat::Basic || self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let viol = match self.stat[j] {
+                VStat::AtLower => (-d[j] - tol).max(0.0),
+                VStat::AtUpper => (d[j] - tol).max(0.0),
+                VStat::Free => (d[j].abs() - tol).max(0.0),
+                VStat::Basic => 0.0,
+            };
+            if viol > 0.0 {
+                if bland {
+                    return Some(j);
+                }
+                if best.is_none_or(|(_, bv)| viol > bv) {
+                    best = Some((j, viol));
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Objective value of the current (possibly mid-pivot) iterate.
+    fn current_objective(&self, costs: &[f64]) -> f64 {
+        let mut obj = 0.0;
+        for j in 0..self.core.n {
+            if self.stat[j] != VStat::Basic && costs[j] != 0.0 {
+                obj += costs[j] * self.nonbasic_value(j);
+            }
+        }
+        for (pos, &col) in self.basic.iter().enumerate() {
+            if costs[col] != 0.0 {
+                obj += costs[col] * self.xb[pos];
+            }
+        }
+        obj
+    }
+
+    /// One primal phase with cost vector `costs`. Returns `Optimal` or
+    /// `Unbounded`. When `stop_at` is set, the phase also ends (reported as
+    /// `Optimal`) once the objective reaches that value — used to cut phase 1
+    /// short at zero infeasibility instead of stalling on degenerate pivots.
+    fn primal(&mut self, costs: &[f64], stop_at: Option<f64>) -> Result<LpStatus, LpError> {
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Err(LpError::IterationLimit);
+            }
+            if self.hit_deadline() {
+                return Err(LpError::Timeout);
+            }
+            self.maybe_refactor()?;
+            if let Some(target) = stop_at {
+                if self.current_objective(costs) <= target + self.opts.feas_tol {
+                    return Ok(LpStatus::Optimal);
+                }
+            }
+            if self.iterations.is_multiple_of(1000) && std::env::var("SIMPLEX_TRACE").is_ok() {
+                let obj: f64 = self
+                    .basic
+                    .iter()
+                    .zip(&self.xb)
+                    .map(|(&c, &v)| costs[c] * v)
+                    .sum();
+                eprintln!("iter {} obj {:.6} degen_streak {}", self.iterations, obj, self.degen_streak);
+            }
+            let d = self.reduced_costs(costs);
+            let bland = self.degen_streak > 40;
+            let Some(q) = self.price(&d, bland) else {
+                return Ok(LpStatus::Optimal);
+            };
+            // Direction of the entering variable.
+            let dir = match self.stat[q] {
+                VStat::AtLower => 1.0,
+                VStat::AtUpper => -1.0,
+                VStat::Free => {
+                    if d[q] < 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                VStat::Basic => unreachable!(),
+            };
+            // FTRAN of the entering column.
+            let mut w = vec![0.0; self.core.m];
+            for (r, v) in self.core.a.col(q) {
+                w[r] = v;
+            }
+            self.ftran(&mut w);
+            // Ratio test.
+            let gap = self.upper[q] - self.lower[q];
+            let mut t_best = if gap.is_finite() { gap } else { f64::INFINITY };
+            let mut leave: Option<(usize, VStat)> = None; // (basis pos, bound hit)
+            let mut leave_piv = 0.0f64;
+            for i in 0..self.core.m {
+                let wi = w[i];
+                if wi.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let bcol = self.basic[i];
+                let delta = dir * wi; // x_B[i] moves by −t·delta
+                let (t_i, hit) = if delta > 0.0 {
+                    let lo = self.lower[bcol];
+                    if lo == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    (((self.xb[i] - lo) / delta).max(0.0), VStat::AtLower)
+                } else {
+                    let hi = self.upper[bcol];
+                    if hi == f64::INFINITY {
+                        continue;
+                    }
+                    (((self.xb[i] - hi) / delta).max(0.0), VStat::AtUpper)
+                };
+                let better = if bland {
+                    // Bland's anti-cycling rule needs the smallest-index
+                    // leaving variable among ties, not the largest pivot.
+                    t_i < t_best - 1e-12
+                        || (t_i < t_best + 1e-12
+                            && leave.is_none_or(|(li, _)| bcol < self.basic[li]))
+                } else {
+                    t_i < t_best - 1e-12
+                        || (t_i < t_best + 1e-12 && wi.abs() > leave_piv.abs())
+                };
+                if better {
+                    t_best = t_i;
+                    leave = Some((i, hit));
+                    leave_piv = wi;
+                }
+            }
+            if t_best.is_infinite() {
+                return Ok(LpStatus::Unbounded);
+            }
+            self.iterations += 1;
+            if t_best <= 1e-10 {
+                self.degen_streak += 1;
+            } else {
+                self.degen_streak = 0;
+            }
+            // Apply the step.
+            let t = t_best;
+            for i in 0..self.core.m {
+                if w[i] != 0.0 {
+                    self.xb[i] -= t * dir * w[i];
+                }
+            }
+            match leave {
+                None => {
+                    // Bound flip of the entering variable.
+                    self.stat[q] = match self.stat[q] {
+                        VStat::AtLower => VStat::AtUpper,
+                        VStat::AtUpper => VStat::AtLower,
+                        s => s,
+                    };
+                }
+                Some((r, hit)) => {
+                    let entering_value = self.nonbasic_value(q) + t * dir;
+                    let leaving_col = self.basic[r];
+                    self.stat[leaving_col] =
+                        if self.lower[leaving_col] == self.upper[leaving_col] {
+                            VStat::AtLower
+                        } else {
+                            hit
+                        };
+                    self.stat[q] = VStat::Basic;
+                    self.basic[r] = q;
+                    self.xb[r] = entering_value;
+                    self.push_eta(r, w);
+                }
+            }
+        }
+    }
+
+    fn push_eta(&mut self, r: usize, w: Vec<f64>) {
+        let wr = w[r];
+        debug_assert!(wr.abs() > self.opts.pivot_tol / 10.0, "tiny pivot in eta");
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { r, entries, wr });
+    }
+
+    /// Dual simplex: restores primal feasibility while keeping dual
+    /// feasibility. Requires a dual-feasible starting basis.
+    fn dual(&mut self, costs: &[f64]) -> Result<LpStatus, WarmFail> {
+        // Verify dual feasibility of the start.
+        let d0 = self.reduced_costs(costs);
+        let dual_tol = self.opts.opt_tol * 100.0;
+        for j in 0..self.core.n {
+            if self.stat[j] == VStat::Basic || self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let bad = match self.stat[j] {
+                VStat::AtLower => d0[j] < -dual_tol,
+                VStat::AtUpper => d0[j] > dual_tol,
+                VStat::Free => d0[j].abs() > dual_tol,
+                VStat::Basic => false,
+            };
+            if bad {
+                return Err(WarmFail::NotDualFeasible);
+            }
+        }
+        // Reduced costs are maintained incrementally across dual pivots
+        // (`d'_j = d_j − θ·α_j`) and refreshed from scratch at every
+        // refactorization to bound drift.
+        let mut d = d0;
+        let mut alpha = vec![0.0f64; self.core.n];
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Err(WarmFail::Error(LpError::IterationLimit));
+            }
+            if self.iterations >= self.opts.dual_iteration_cap {
+                // Degenerate grind: let the caller fall back to a cold solve.
+                return Err(WarmFail::NotDualFeasible);
+            }
+            if self.hit_deadline() {
+                return Err(WarmFail::Error(LpError::Timeout));
+            }
+            if self.etas.len() >= self.opts.refactor_every {
+                self.refactor().map_err(WarmFail::Error)?;
+                d = self.reduced_costs(costs);
+            }
+            // Leaving: most violated basic.
+            let ftol = self.opts.feas_tol;
+            let mut leave: Option<(usize, f64, bool)> = None; // (pos, viol, at_lower_violation)
+            for i in 0..self.core.m {
+                let col = self.basic[i];
+                let below = self.lower[col] - self.xb[i];
+                let above = self.xb[i] - self.upper[col];
+                if below > ftol && leave.is_none_or(|(_, v, _)| below > v) {
+                    leave = Some((i, below, true));
+                }
+                if above > ftol && leave.is_none_or(|(_, v, _)| above > v) {
+                    leave = Some((i, above, false));
+                }
+            }
+            let Some((r, _viol, low_viol)) = leave else {
+                return Ok(LpStatus::Optimal);
+            };
+            // Row r of B⁻¹N: rho = B⁻ᵀ e_r, alpha_j = rho·a_j.
+            let mut rho = vec![0.0; self.core.m];
+            rho[r] = 1.0;
+            self.btran(&mut rho);
+            // Dual ratio test.
+            let ptol = self.opts.pivot_tol;
+            let mut best: Option<(usize, f64, f64)> = None; // (col, step s, alpha)
+            for j in 0..self.core.n {
+                alpha[j] = 0.0;
+                if self.stat[j] == VStat::Basic || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let aj = self.core.a.col_dot(j, &rho);
+                alpha[j] = aj;
+                if aj.abs() <= ptol {
+                    continue;
+                }
+                let eligible = if low_viol {
+                    // x_Br must increase.
+                    match self.stat[j] {
+                        VStat::AtLower => aj < 0.0,
+                        VStat::AtUpper => aj > 0.0,
+                        VStat::Free => true,
+                        VStat::Basic => false,
+                    }
+                } else {
+                    // x_Br must decrease.
+                    match self.stat[j] {
+                        VStat::AtLower => aj > 0.0,
+                        VStat::AtUpper => aj < 0.0,
+                        VStat::Free => true,
+                        VStat::Basic => false,
+                    }
+                };
+                if !eligible {
+                    continue;
+                }
+                // Max dual step before d_j flips sign.
+                let s = (d[j] / aj).abs().max(0.0);
+                if best.is_none_or(|(_, bs, ba)| {
+                    s < bs - 1e-12 || (s < bs + 1e-12 && aj.abs() > ba.abs())
+                }) {
+                    best = Some((j, s, aj));
+                }
+            }
+            let Some((q, _s, alpha_q)) = best else {
+                // Dual unbounded ⇒ primal infeasible.
+                return Ok(LpStatus::Infeasible);
+            };
+            self.iterations += 1;
+            // Primal pivot.
+            let mut w = vec![0.0; self.core.m];
+            for (row, v) in self.core.a.col(q) {
+                w[row] = v;
+            }
+            self.ftran(&mut w);
+            let wr = w[r];
+            if wr.abs() <= ptol {
+                // Numerical disagreement between rho·a_q and the FTRAN column;
+                // refactor once and retry, else give up to the cold path.
+                if self.etas.is_empty() {
+                    return Err(WarmFail::NotDualFeasible);
+                }
+                self.refactor().map_err(WarmFail::Error)?;
+                d = self.reduced_costs(costs);
+                continue;
+            }
+            let target = if low_viol {
+                self.lower[self.basic[r]]
+            } else {
+                self.upper[self.basic[r]]
+            };
+            let t = (self.xb[r] - target) / wr;
+            for i in 0..self.core.m {
+                if w[i] != 0.0 {
+                    self.xb[i] -= t * w[i];
+                }
+            }
+            let entering_value = self.nonbasic_value(q) + t;
+            let leaving_col = self.basic[r];
+            // A leaving fixed column (l == u) rests at its (single) bound.
+            self.stat[leaving_col] = if low_viol || self.lower[leaving_col] == self.upper[leaving_col]
+            {
+                VStat::AtLower
+            } else {
+                VStat::AtUpper
+            };
+            self.stat[q] = VStat::Basic;
+            self.basic[r] = q;
+            self.xb[r] = entering_value;
+            self.push_eta(r, w);
+            // Incremental reduced-cost update: d'_j = d_j − θ·α_j, with the
+            // leaving column picking up d = −θ and the entering one 0.
+            let theta = d[q] / alpha_q;
+            if theta != 0.0 {
+                for j in 0..self.core.n {
+                    if alpha[j] != 0.0 {
+                        d[j] -= theta * alpha[j];
+                    }
+                }
+            }
+            d[q] = 0.0;
+            d[leaving_col] = -theta;
+        }
+    }
+
+    /// Dual values `y = B⁻ᵀ c_B` in original row space.
+    fn duals(&self, costs: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.core.m];
+        for (pos, &col) in self.basic.iter().enumerate() {
+            y[pos] = costs[col];
+        }
+        self.btran(&mut y);
+        y
+    }
+
+    /// Extracts the full solution vector.
+    fn extract_x(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.core.n];
+        for j in 0..self.core.n {
+            if self.stat[j] != VStat::Basic {
+                x[j] = self.nonbasic_value(j);
+            }
+        }
+        for (pos, &col) in self.basic.iter().enumerate() {
+            x[col] = self.xb[pos];
+        }
+        x
+    }
+
+    fn snapshot(&self) -> BasisSnapshot {
+        BasisSnapshot {
+            basic: self.basic.clone(),
+            stat: self.stat.clone(),
+        }
+    }
+}
+
+fn deadline_from(opts: &LpOptions) -> Option<Instant> {
+    if opts.time_limit_secs.is_finite() {
+        Some(Instant::now() + std::time::Duration::from_secs_f64(opts.time_limit_secs.max(0.0)))
+    } else {
+        None
+    }
+}
+
+/// Cold two-phase primal solve with a numerical retry ladder: a singular
+/// basis (eta-chain drift making a refactorization fail) is retried with
+/// more frequent refactorization and a tighter pivot tolerance before giving
+/// up. Each rung changes the pivot sequence, which in practice escapes the
+/// degenerate corner that produced the near-singular basis.
+pub(crate) fn solve_core_cold(
+    core: &CoreLp,
+    lower: &[f64],
+    upper: &[f64],
+    opts: &LpOptions,
+) -> Result<CoreOutcome, LpError> {
+    let ladder: [(usize, f64); 3] = [
+        (opts.refactor_every, opts.pivot_tol),
+        (16, opts.pivot_tol),
+        (4, 1e-11),
+    ];
+    let mut last = LpError::SingularBasis;
+    for (refactor_every, pivot_tol) in ladder {
+        let mut o = opts.clone();
+        o.refactor_every = refactor_every;
+        o.pivot_tol = pivot_tol;
+        match solve_core_cold_once(core, lower, upper, &o) {
+            Err(LpError::SingularBasis) => last = LpError::SingularBasis,
+            other => return other,
+        }
+    }
+    Err(last)
+}
+
+fn solve_core_cold_once(
+    core: &CoreLp,
+    lower: &[f64],
+    upper: &[f64],
+    opts: &LpOptions,
+) -> Result<CoreOutcome, LpError> {
+    let m = core.m;
+    let n = core.n;
+    let mut lower = lower.to_vec();
+    let mut upper = upper.to_vec();
+    // Initial nonbasic statuses for non-artificial columns.
+    let mut stat = vec![VStat::AtLower; n];
+    for j in 0..core.num_structs + m {
+        stat[j] = if lower[j].is_finite() {
+            if upper[j].is_finite() && upper[j].abs() < lower[j].abs() {
+                VStat::AtUpper
+            } else {
+                VStat::AtLower
+            }
+        } else if upper[j].is_finite() {
+            VStat::AtUpper
+        } else {
+            VStat::Free
+        };
+    }
+    // Residuals with all *structural* columns at their initial values.
+    let mut resid = core.b.clone();
+    for j in 0..core.num_structs {
+        let v = match stat[j] {
+            VStat::AtLower => lower[j],
+            VStat::AtUpper => upper[j],
+            _ => 0.0,
+        };
+        if v != 0.0 {
+            core.a.col_axpy(j, -v, &mut resid);
+        }
+    }
+    // Slack crash basis: whenever the row residual fits inside the slack's
+    // bounds, the slack absorbs it and the row starts feasible with no
+    // artificial work. Otherwise the slack rests at its nearest bound and
+    // the artificial carries the (small) remainder into phase 1. Both
+    // choices keep the starting basis an identity matrix.
+    let mut phase1_cost = vec![0.0; n];
+    let mut basic = Vec::with_capacity(m);
+    let mut xb0 = Vec::with_capacity(m);
+    for r in 0..m {
+        let scol = core.slack_col(r);
+        let acol = core.artificial_col(r);
+        let res = resid[r];
+        if res >= lower[scol] && res <= upper[scol] {
+            stat[scol] = VStat::Basic;
+            basic.push(scol);
+            xb0.push(res);
+            lower[acol] = 0.0;
+            upper[acol] = 0.0;
+            stat[acol] = VStat::AtLower;
+        } else {
+            let sval = res.clamp(lower[scol], upper[scol]);
+            debug_assert!(sval.is_finite(), "slack bound clamp must be finite");
+            stat[scol] = if sval == lower[scol] {
+                VStat::AtLower
+            } else {
+                VStat::AtUpper
+            };
+            let rem = res - sval;
+            lower[acol] = rem.min(0.0);
+            upper[acol] = rem.max(0.0);
+            phase1_cost[acol] = if rem > 0.0 {
+                1.0
+            } else if rem < 0.0 {
+                -1.0
+            } else {
+                0.0
+            };
+            stat[acol] = VStat::Basic;
+            basic.push(acol);
+            xb0.push(rem);
+        }
+    }
+    let lu = LuFactors::factorize(&core.a, &basic, opts.pivot_tol)?;
+    let mut sx = Simplex {
+        core,
+        opts,
+        lower,
+        upper,
+        stat,
+        basic,
+        lu,
+        etas: Vec::new(),
+        xb: xb0,
+        iterations: 0,
+        degen_streak: 0,
+        deadline: deadline_from(opts),
+    };
+    // Phase 1: drive the total artificial infeasibility to zero, stopping
+    // the moment it reaches zero (degenerate pivots at the optimum would
+    // otherwise stall).
+    let p1 = sx.primal(&phase1_cost, Some(0.0))?;
+    debug_assert_ne!(p1, LpStatus::Unbounded, "phase 1 is bounded below by 0");
+    let infeas: f64 = (0..m)
+        .map(|r| {
+            let col = core.artificial_col(r);
+            let v = if sx.stat[col] == VStat::Basic {
+                let pos = sx.basic.iter().position(|&c| c == col).expect("basic");
+                sx.xb[pos]
+            } else {
+                sx.nonbasic_value(col)
+            };
+            v.abs()
+        })
+        .sum();
+    let scale = 1.0 + core.b.iter().map(|v| v.abs()).sum::<f64>();
+    if infeas > opts.feas_tol * scale {
+        return Ok(CoreOutcome {
+            status: LpStatus::Infeasible,
+            x: sx.extract_x(),
+            objective: f64::INFINITY,
+            duals: vec![0.0; core.m],
+            snapshot: sx.snapshot(),
+            iterations: sx.iterations,
+        });
+    }
+    // Fix artificials at zero for phase 2.
+    for r in 0..m {
+        let col = core.artificial_col(r);
+        sx.lower[col] = 0.0;
+        sx.upper[col] = 0.0;
+        if sx.stat[col] != VStat::Basic {
+            sx.stat[col] = VStat::AtLower;
+        }
+    }
+    sx.recompute_xb();
+    let status = sx.primal(&core.c, None)?;
+    let x = sx.extract_x();
+    let objective = core.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+    let duals = sx.duals(&core.c);
+    Ok(CoreOutcome {
+        status,
+        x,
+        objective,
+        duals,
+        snapshot: sx.snapshot(),
+        iterations: sx.iterations,
+    })
+}
+
+/// Warm-started dual solve from a basis snapshot after bound changes.
+pub(crate) fn solve_core_warm(
+    core: &CoreLp,
+    lower: &[f64],
+    upper: &[f64],
+    snapshot: &BasisSnapshot,
+    opts: &LpOptions,
+) -> Result<CoreOutcome, WarmFail> {
+    let mut stat = snapshot.stat.clone();
+    // Nonbasic variables whose bound vanished or moved keep their side; a
+    // collapsed domain forces AtLower (== AtUpper).
+    for (j, s) in stat.iter_mut().enumerate() {
+        if *s == VStat::Basic {
+            continue;
+        }
+        *s = match *s {
+            VStat::AtLower if lower[j].is_finite() => VStat::AtLower,
+            VStat::AtUpper if upper[j].is_finite() => VStat::AtUpper,
+            VStat::Free => VStat::Free,
+            _ => {
+                if lower[j].is_finite() {
+                    VStat::AtLower
+                } else if upper[j].is_finite() {
+                    VStat::AtUpper
+                } else {
+                    VStat::Free
+                }
+            }
+        };
+    }
+    let lu = LuFactors::factorize(&core.a, &snapshot.basic, opts.pivot_tol)
+        .map_err(WarmFail::Error)?;
+    let mut sx = Simplex {
+        core,
+        opts,
+        lower: lower.to_vec(),
+        upper: upper.to_vec(),
+        stat,
+        basic: snapshot.basic.clone(),
+        lu,
+        etas: Vec::new(),
+        xb: vec![0.0; core.m],
+        iterations: 0,
+        degen_streak: 0,
+        deadline: deadline_from(opts),
+    };
+    sx.recompute_xb();
+    let status = sx.dual(&core.c)?;
+    let x = sx.extract_x();
+    let objective = core.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+    let duals = sx.duals(&core.c);
+    Ok(CoreOutcome {
+        status,
+        x,
+        objective,
+        duals,
+        snapshot: sx.snapshot(),
+        iterations: sx.iterations,
+    })
+}
+
+/// Outcome of [`solve_lp`].
+#[derive(Debug, Clone)]
+pub struct LpOutcome {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Values of the problem's variables (empty unless optimal).
+    pub x: Vec<f64>,
+    /// Objective value (`+∞` if infeasible, `−∞` if unbounded).
+    pub objective: f64,
+    /// Dual value (shadow price `∂obj/∂rhs`) per constraint row; empty
+    /// unless optimal. For `min` problems a binding `≤` row has a
+    /// non-positive dual and a binding `≥` row a non-negative one.
+    pub duals: Vec<f64>,
+    /// Reduced cost per variable (`c_j − y·a_j`); zero for basic variables.
+    /// Empty unless optimal.
+    pub reduced_costs: Vec<f64>,
+    /// Simplex iterations across both phases.
+    pub iterations: usize,
+}
+
+/// Solves the LP relaxation of `problem` (binaries relaxed to `[0, 1]`).
+///
+/// # Errors
+///
+/// * [`LpError::IterationLimit`] — the simplex did not converge within
+///   [`LpOptions::max_iterations`].
+/// * [`LpError::SingularBasis`] — basis factorization failed irrecoverably.
+///
+/// # Examples
+///
+/// ```
+/// use tempart_lp::{Problem, VarKind, Sense, solve_lp, LpOptions, LpStatus};
+///
+/// # fn main() -> Result<(), tempart_lp::LpError> {
+/// let mut p = Problem::new("lp");
+/// let x = p.add_var("x", VarKind::Continuous, -1.0)?; // maximize x
+/// p.add_constraint("c", [(x, 2.0)], Sense::Le, 3.0)?;
+/// let out = solve_lp(&p, &LpOptions::default())?;
+/// assert_eq!(out.status, LpStatus::Optimal);
+/// assert!((out.x[0] - 1.5).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_lp(problem: &Problem, opts: &LpOptions) -> Result<LpOutcome, LpError> {
+    let core = CoreLp::from_problem(problem);
+    let out = solve_core_cold(&core, &core.lower, &core.upper, opts)?;
+    let x = out.x[..core.num_structs].to_vec();
+    let (duals, reduced_costs) = if out.status == LpStatus::Optimal {
+        let rc: Vec<f64> = (0..core.num_structs)
+            .map(|j| core.c[j] - core.a.col_dot(j, &out.duals))
+            .collect();
+        (out.duals.clone(), rc)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    Ok(LpOutcome {
+        status: out.status,
+        x,
+        objective: match out.status {
+            LpStatus::Optimal => out.objective,
+            LpStatus::Infeasible => f64::INFINITY,
+            LpStatus::Unbounded => f64::NEG_INFINITY,
+        },
+        duals,
+        reduced_costs,
+        iterations: out.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Sense, VarKind};
+
+    fn opts() -> LpOptions {
+        LpOptions::default()
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2, y <= 3  (minimize negation)
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, -3.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, -2.0).unwrap();
+        p.add_constraint("c1", [(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+            .unwrap();
+        p.set_bounds(x, 0.0, 2.0).unwrap();
+        p.set_bounds(y, 0.0, 3.0).unwrap();
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - (-10.0)).abs() < 1e-7, "obj={}", out.objective);
+        assert!((out.x[0] - 2.0).abs() < 1e-7);
+        assert!((out.x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y >= -1, x,y >= 0
+        // Optimum: intersection? Try y as large as possible: x = 4-2y >= 0,
+        // x - y = 4 - 3y >= -1 → y <= 5/3; obj = 4 - y minimized at y = 5/3:
+        // obj = 7/3, x = 2/3.
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, 1.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, 1.0).unwrap();
+        p.add_constraint("eq", [(x, 1.0), (y, 2.0)], Sense::Eq, 4.0)
+            .unwrap();
+        p.add_constraint("ge", [(x, 1.0), (y, -1.0)], Sense::Ge, -1.0)
+            .unwrap();
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 7.0 / 3.0).abs() < 1e-7, "obj={}", out.objective);
+        assert!((out.x[0] - 2.0 / 3.0).abs() < 1e-7);
+        assert!((out.x[1] - 5.0 / 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, 1.0).unwrap();
+        p.add_constraint("a", [(x, 1.0)], Sense::Ge, 5.0).unwrap();
+        p.add_constraint("b", [(x, 1.0)], Sense::Le, 1.0).unwrap();
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, -1.0).unwrap(); // max x
+        p.add_constraint("a", [(x, -1.0)], Sense::Le, 0.0).unwrap(); // -x <= 0
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -3 (bound), x + y >= -1, y <= 2.
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, 1.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, 0.0).unwrap();
+        p.set_bounds(x, -3.0, f64::INFINITY).unwrap();
+        p.set_bounds(y, 0.0, 2.0).unwrap();
+        p.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Ge, -1.0)
+            .unwrap();
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.x[0] - (-3.0)).abs() < 1e-7, "x={}", out.x[0]);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min x s.t. x >= y - 2, y = 1, x free → x = -1.
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, 1.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, 0.0).unwrap();
+        p.set_bounds(x, f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        p.add_constraint("c", [(x, 1.0), (y, -1.0)], Sense::Ge, -2.0)
+            .unwrap();
+        p.add_constraint("e", [(y, 1.0)], Sense::Eq, 1.0).unwrap();
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.x[0] - (-1.0)).abs() < 1e-7, "x={}", out.x[0]);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut p = Problem::new("t");
+        let x = p.add_var("x", VarKind::Continuous, -1.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, -1.0).unwrap();
+        for k in 1..=6 {
+            let kf = k as f64;
+            p.add_constraint(format!("c{k}"), [(x, kf), (y, kf)], Sense::Le, 2.0 * kf)
+                .unwrap();
+        }
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - (-2.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_start_dual_matches_cold() {
+        // LP relaxation of a small knapsack; then fix a variable's bounds and
+        // compare dual-warm vs cold-solved results.
+        let mut p = Problem::new("t");
+        let xs: Vec<_> = (0..4)
+            .map(|i| {
+                p.add_var(format!("x{i}"), VarKind::Binary, -((i + 1) as f64))
+                    .unwrap()
+            })
+            .collect();
+        p.add_constraint(
+            "cap",
+            xs.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            Sense::Le,
+            2.5,
+        )
+        .unwrap();
+        let core = CoreLp::from_problem(&p);
+        let root = solve_core_cold(&core, &core.lower, &core.upper, &opts()).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        // Fix x3 = 0 (the most valuable one).
+        let mut lo = core.lower.clone();
+        let mut hi = core.upper.clone();
+        hi[3] = 0.0;
+        let warm = solve_core_warm(&core, &lo, &hi, &root.snapshot, &opts()).unwrap();
+        let cold = solve_core_cold(&core, &lo, &hi, &opts()).unwrap();
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        // Fix x3 = 1 instead.
+        lo[3] = 1.0;
+        hi[3] = 1.0;
+        let warm = solve_core_warm(&core, &lo, &hi, &root.snapshot, &opts()).unwrap();
+        let cold = solve_core_cold(&core, &lo, &hi, &opts()).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_with_collapsed_domains() {
+        // Fix several variables to each bound after the root solve; the
+        // warm dual must agree with cold solves in every case.
+        let mut p = Problem::new("t");
+        let vars: Vec<_> = (0..5)
+            .map(|i| p.add_var(format!("x{i}"), VarKind::Binary, (i as f64) - 2.0).unwrap())
+            .collect();
+        p.add_constraint(
+            "mix",
+            vars.iter().enumerate().map(|(i, &v)| (v, if i % 2 == 0 { 1.0 } else { -1.0 })).collect::<Vec<_>>(),
+            Sense::Le,
+            1.5,
+        )
+        .unwrap();
+        p.add_constraint(
+            "ge",
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            Sense::Ge,
+            1.0,
+        )
+        .unwrap();
+        let core = CoreLp::from_problem(&p);
+        let root = solve_core_cold(&core, &core.lower, &core.upper, &opts()).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        for fix_mask in 0..8u32 {
+            let mut lo = core.lower.clone();
+            let mut hi = core.upper.clone();
+            for bit in 0..3 {
+                let val = f64::from(fix_mask >> bit & 1);
+                lo[bit] = val;
+                hi[bit] = val;
+            }
+            let warm = solve_core_warm(&core, &lo, &hi, &root.snapshot, &opts());
+            let cold = solve_core_cold(&core, &lo, &hi, &opts()).unwrap();
+            match warm {
+                Ok(w) => {
+                    assert_eq!(w.status, cold.status, "mask {fix_mask}");
+                    if w.status == LpStatus::Optimal {
+                        assert!(
+                            (w.objective - cold.objective).abs() < 1e-6,
+                            "mask {fix_mask}: warm {} cold {}",
+                            w.objective,
+                            cold.objective
+                        );
+                    }
+                }
+                Err(WarmFail::NotDualFeasible) => { /* cold fallback path */ }
+                Err(WarmFail::Error(e)) => panic!("mask {fix_mask}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_node() {
+        // x0 + x1 >= 2 with both fixed to 0 is infeasible.
+        let mut p = Problem::new("t");
+        let a = p.add_var("a", VarKind::Binary, 1.0).unwrap();
+        let b = p.add_var("b", VarKind::Binary, 1.0).unwrap();
+        p.add_constraint("c", [(a, 1.0), (b, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
+        let core = CoreLp::from_problem(&p);
+        let root = solve_core_cold(&core, &core.lower, &core.upper, &opts()).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        let lo = core.lower.clone();
+        let mut hi = core.upper.clone();
+        hi[0] = 0.0;
+        hi[1] = 0.0;
+        let warm = solve_core_warm(&core, &lo, &hi, &root.snapshot, &opts()).unwrap();
+        assert_eq!(warm.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn duals_and_reduced_costs_satisfy_complementary_slackness() {
+        // min -3x - 2y s.t. x + y <= 4 (binding), x <= 3 (binding),
+        // y <= 10 (slack): optimum x = 3, y = 1, obj = -11.
+        let mut p = Problem::new("duals");
+        let x = p.add_var("x", VarKind::Continuous, -3.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, -2.0).unwrap();
+        let r0 = p.add_constraint("sum", [(x, 1.0), (y, 1.0)], Sense::Le, 4.0).unwrap();
+        let r1 = p.add_constraint("capx", [(x, 1.0)], Sense::Le, 3.0).unwrap();
+        let r2 = p.add_constraint("capy", [(y, 1.0)], Sense::Le, 10.0).unwrap();
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective + 11.0).abs() < 1e-7);
+        // Shadow prices: relaxing `sum` by 1 gains 2 (more y), relaxing
+        // `capx` gains 1 (swap y for x); `capy` is slack ⇒ dual 0.
+        assert!((out.duals[r0.index()] + 2.0).abs() < 1e-6, "{:?}", out.duals);
+        assert!((out.duals[r1.index()] + 1.0).abs() < 1e-6);
+        assert!(out.duals[r2.index()].abs() < 1e-9);
+        // Strong duality: y·b == objective.
+        let yb: f64 = out.duals[r0.index()] * 4.0
+            + out.duals[r1.index()] * 3.0
+            + out.duals[r2.index()] * 10.0;
+        assert!((yb - out.objective).abs() < 1e-6);
+        // Both variables are basic at the optimum ⇒ zero reduced costs.
+        assert!(out.reduced_costs[x.index()].abs() < 1e-6);
+        assert!(out.reduced_costs[y.index()].abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduced_cost_nonzero_only_at_bounds() {
+        // min x + y s.t. x + y >= 1, x in [0,1], y in [0,1]: many optima;
+        // the solver lands on a vertex. Any variable strictly inside its
+        // bounds must have zero reduced cost.
+        let mut p = Problem::new("rc");
+        let x = p.add_var("x", VarKind::Continuous, 1.0).unwrap();
+        p.set_bounds(x, 0.0, 1.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, 2.0).unwrap();
+        p.set_bounds(y, 0.0, 1.0).unwrap();
+        p.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Ge, 1.0).unwrap();
+        let out = solve_lp(&p, &opts()).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 1.0).abs() < 1e-7); // x = 1, y = 0
+        for (j, &v) in out.x.iter().enumerate() {
+            let (lo, hi) = p.var_bounds(crate::VarId(j));
+            if v > lo + 1e-7 && v < hi - 1e-7 {
+                assert!(out.reduced_costs[j].abs() < 1e-6, "interior var {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_time_budget_times_out() {
+        // A generously-sized random LP with a zero wall-clock budget must
+        // report Timeout instead of running.
+        let mut p = Problem::new("t");
+        let vars: Vec<_> = (0..40)
+            .map(|i| {
+                let v = p
+                    .add_var(format!("x{i}"), VarKind::Continuous, -((i % 7) as f64))
+                    .unwrap();
+                p.set_bounds(v, 0.0, 1.0).unwrap();
+                v
+            })
+            .collect();
+        for r in 0..30 {
+            let coeffs: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i + r) % 5) as f64 - 2.0))
+                .collect();
+            p.add_constraint(format!("r{r}"), coeffs, Sense::Le, 1.0)
+                .unwrap();
+        }
+        let mut o = opts();
+        o.time_limit_secs = 0.0;
+        assert_eq!(solve_lp(&p, &o).unwrap_err(), LpError::Timeout);
+    }
+
+    #[test]
+    fn pseudo_random_lps_agree_with_enumeration() {
+        // Tiny LPs over the unit box with random costs/rows: compare the
+        // simplex optimum against brute-force vertex enumeration done by
+        // checking all 2^n bound patterns and all constraint intersections is
+        // overkill; instead validate feasibility + objective not worse than
+        // any box corner that satisfies the constraints.
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for trial in 0..30 {
+            let n = 3 + (trial % 3);
+            let mut p = Problem::new("rnd");
+            let vars: Vec<_> = (0..n)
+                .map(|i| {
+                    let v = p.add_var(format!("x{i}"), VarKind::Continuous, next()).unwrap();
+                    p.set_bounds(v, 0.0, 1.0).unwrap();
+                    v
+                })
+                .collect();
+            for r in 0..3 {
+                let coeffs: Vec<_> = vars.iter().map(|&v| (v, next())).collect();
+                p.add_constraint(format!("r{r}"), coeffs, Sense::Le, 0.5 + next().abs())
+                    .unwrap();
+            }
+            let out = solve_lp(&p, &opts()).unwrap();
+            assert_eq!(out.status, LpStatus::Optimal, "trial {trial}");
+            // Solution must satisfy constraints.
+            assert_eq!(p.first_violated(&out.x, 1e-6), None, "trial {trial}");
+            // Objective must beat every feasible box corner.
+            for mask in 0..(1u32 << n) {
+                let corner: Vec<f64> = (0..n)
+                    .map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect();
+                if p.first_violated(&corner, 1e-9).is_none() {
+                    let cobj = p.objective_value(&corner);
+                    assert!(
+                        out.objective <= cobj + 1e-6,
+                        "trial {trial}: simplex {} worse than corner {:?} = {}",
+                        out.objective,
+                        corner,
+                        cobj
+                    );
+                }
+            }
+        }
+    }
+}

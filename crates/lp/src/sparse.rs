@@ -1,0 +1,187 @@
+//! Compressed sparse column matrices.
+#![allow(clippy::needless_range_loop)] // dense kernels index by column id
+
+/// A sparse matrix in compressed-sparse-column (CSC) layout.
+///
+/// Rows within a column are stored in ascending order with no duplicates
+/// (the [`from_triplets`](CscMatrix::from_triplets) constructor sums
+/// duplicates and sorts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds from `(row, col, value)` triplets; duplicates are summed and
+    /// explicit zeros (after summation, below `1e-300`) dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a triplet is out of range.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        for (r, c, v) in triplets {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of range");
+            cols[c].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for col in &mut cols {
+            col.sort_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < col.len() {
+                let r = col[i].0;
+                let mut v = 0.0;
+                while i < col.len() && col[i].0 == r {
+                    v += col[i].1;
+                    i += 1;
+                }
+                if v.abs() > 1e-300 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Self {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(row, value)` entries of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols`.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of nonzeros in column `c`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Dense dot product of column `c` with `x` (`x.len() == nrows`).
+    pub fn col_dot(&self, c: usize, x: &[f64]) -> f64 {
+        self.col(c).map(|(r, v)| v * x[r]).sum()
+    }
+
+    /// Adds `scale * column c` into the dense vector `y`.
+    pub fn col_axpy(&self, c: usize, scale: f64, y: &mut [f64]) {
+        for (r, v) in self.col(c) {
+            y[r] += scale * v;
+        }
+    }
+
+    /// `y = A x` (dense `x`, dense `y`).
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for c in 0..self.ncols {
+            if x[c] != 0.0 {
+                self.col_axpy(c, x[c], &mut y);
+            }
+        }
+        y
+    }
+
+    /// Dense representation (row-major), for tests and debugging.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for c in 0..self.ncols {
+            for (r, v) in self.col(c) {
+                d[r][c] = v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let m = CscMatrix::from_triplets(
+            3,
+            2,
+            vec![(0, 0, 1.0), (2, 0, 2.0), (1, 1, 3.0), (2, 0, 0.5)],
+        );
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m.nnz(), 3); // duplicate (2,0) summed
+        let col0: Vec<_> = m.col(0).collect();
+        assert_eq!(col0, vec![(0, 1.0), (2, 2.5)]);
+        assert_eq!(m.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn zero_sum_duplicates_dropped() {
+        let m = CscMatrix::from_triplets(2, 1, vec![(0, 0, 1.0), (0, 0, -1.0)]);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn mat_vec() {
+        // [[1, 0], [0, 3], [2.5, 0]] * [2, 1] = [2, 3, 5]
+        let m = CscMatrix::from_triplets(3, 2, vec![(0, 0, 1.0), (2, 0, 2.5), (1, 1, 3.0)]);
+        assert_eq!(m.mul_vec(&[2.0, 1.0]), vec![2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn col_dot_and_axpy() {
+        let m = CscMatrix::from_triplets(3, 1, vec![(0, 0, 1.0), (2, 0, 4.0)]);
+        assert_eq!(m.col_dot(0, &[1.0, 9.0, 0.5]), 3.0);
+        let mut y = vec![0.0; 3];
+        m.col_axpy(0, 2.0, &mut y);
+        assert_eq!(y, vec![2.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let m = CscMatrix::from_triplets(2, 2, vec![(0, 1, 7.0), (1, 0, -2.0)]);
+        assert_eq!(m.to_dense(), vec![vec![0.0, 7.0], vec![-2.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_triplet_panics() {
+        let _ = CscMatrix::from_triplets(1, 1, vec![(1, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Termination statuses.
+
+use std::fmt;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LpStatus {
+    /// Proven optimal.
+    Optimal,
+    /// Proven primal infeasible.
+    Infeasible,
+    /// Proven unbounded below.
+    Unbounded,
+}
+
+impl fmt::Display for LpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LpStatus::Optimal => "optimal",
+            LpStatus::Infeasible => "infeasible",
+            LpStatus::Unbounded => "unbounded",
+        })
+    }
+}
+
+/// Outcome of a MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MipStatus {
+    /// Proven optimal integer solution.
+    Optimal,
+    /// Proven integer infeasible.
+    Infeasible,
+    /// Stopped at the node limit; the reported incumbent (if any) is feasible
+    /// but not proven optimal.
+    NodeLimit,
+    /// Stopped at the time limit; ditto.
+    TimeLimit,
+}
+
+impl MipStatus {
+    /// Whether a feasible solution may accompany this status.
+    pub fn may_have_solution(self) -> bool {
+        !matches!(self, MipStatus::Infeasible)
+    }
+}
+
+impl fmt::Display for MipStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MipStatus::Optimal => "optimal",
+            MipStatus::Infeasible => "infeasible",
+            MipStatus::NodeLimit => "node limit",
+            MipStatus::TimeLimit => "time limit",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(LpStatus::Optimal.to_string(), "optimal");
+        assert_eq!(MipStatus::TimeLimit.to_string(), "time limit");
+    }
+
+    #[test]
+    fn may_have_solution() {
+        assert!(MipStatus::Optimal.may_have_solution());
+        assert!(MipStatus::NodeLimit.may_have_solution());
+        assert!(!MipStatus::Infeasible.may_have_solution());
+    }
+}

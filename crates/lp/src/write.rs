@@ -1,0 +1,176 @@
+//! CPLEX-LP-format export of problems — for debugging models with external
+//! solvers and for golden-file tests of model generation.
+
+use std::fmt::Write as _;
+
+use crate::problem::{Problem, Sense, VarKind};
+
+/// Serializes `problem` in CPLEX LP format (minimization).
+///
+/// Variable names are sanitized to the LP-format alphabet (alphanumerics,
+/// `_`, `.`); anything else becomes `_`. Binary variables are listed in the
+/// `Binary` section; continuous bounds in `Bounds`.
+///
+/// # Examples
+///
+/// ```
+/// use tempart_lp::{Problem, VarKind, Sense, write_lp_format};
+///
+/// # fn main() -> Result<(), tempart_lp::LpError> {
+/// let mut p = Problem::new("demo");
+/// let x = p.add_var("x", VarKind::Binary, 2.0)?;
+/// p.add_constraint("cap", [(x, 1.0)], Sense::Le, 1.0)?;
+/// let text = write_lp_format(&p);
+/// assert!(text.contains("Minimize"));
+/// assert!(text.contains("Binary"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_lp_format(problem: &Problem) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\\ {}", problem.name());
+    let _ = writeln!(out, "Minimize");
+    let mut obj_terms: Vec<String> = Vec::new();
+    for v in problem.var_ids() {
+        let c = problem.objective_coefficient(v);
+        if c != 0.0 {
+            obj_terms.push(format!("{} {}", fmt_coeff(c), var_name(problem, v.index())));
+        }
+    }
+    if obj_terms.is_empty() {
+        obj_terms.push("0".to_string());
+    }
+    let _ = writeln!(out, " obj: {}", obj_terms.join(" "));
+    let _ = writeln!(out, "Subject To");
+    for (ri, row) in problem.rows_for_export().enumerate() {
+        let mut terms: Vec<String> = Vec::new();
+        for &(v, c) in row.coeffs {
+            terms.push(format!("{} {}", fmt_coeff(c), var_name(problem, v.index())));
+        }
+        let op = match row.sense {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        };
+        let _ = writeln!(
+            out,
+            " {}: {} {} {}",
+            sanitize(row.name).unwrap_or_else(|| format!("r{ri}")),
+            if terms.is_empty() { "0".into() } else { terms.join(" ") },
+            op,
+            row.rhs
+        );
+    }
+    let _ = writeln!(out, "Bounds");
+    for v in problem.var_ids() {
+        if problem.var_kind(v) == VarKind::Binary {
+            continue;
+        }
+        let (lo, hi) = problem.var_bounds(v);
+        let name = var_name(problem, v.index());
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {lo} <= {name} <= {hi}");
+            }
+            (true, false) => {
+                let _ = writeln!(out, " {name} >= {lo}");
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= {name} <= {hi}");
+            }
+            (false, false) => {
+                let _ = writeln!(out, " {name} free");
+            }
+        }
+    }
+    let binaries: Vec<String> = problem
+        .var_ids()
+        .filter(|&v| problem.var_kind(v) == VarKind::Binary)
+        .map(|v| var_name(problem, v.index()))
+        .collect();
+    if !binaries.is_empty() {
+        let _ = writeln!(out, "Binary");
+        for chunk in binaries.chunks(8) {
+            let _ = writeln!(out, " {}", chunk.join(" "));
+        }
+    }
+    let _ = writeln!(out, "End");
+    out
+}
+
+/// First positive coefficients need an explicit `+` only after the first
+/// term, but always writing the sign keeps the writer trivial and stays
+/// within the format.
+fn fmt_coeff(c: f64) -> String {
+    if c >= 0.0 {
+        format!("+ {c}")
+    } else {
+        format!("- {}", -c)
+    }
+}
+
+fn var_name(problem: &Problem, idx: usize) -> String {
+    sanitize(problem.var_name(crate::VarId(idx)))
+        .unwrap_or_else(|| format!("x{idx}"))
+}
+
+fn sanitize(name: &str) -> Option<String> {
+    if name.is_empty() {
+        return None;
+    }
+    let cleaned: String = name
+        .chars()
+        .map(|ch| {
+            if ch.is_ascii_alphanumeric() || ch == '_' || ch == '.' {
+                ch
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    // LP format forbids a leading digit or period.
+    if cleaned.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+        Some(format!("v_{cleaned}"))
+    } else {
+        Some(cleaned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Sense, VarKind};
+
+    #[test]
+    fn full_export_structure() {
+        let mut p = Problem::new("m");
+        let x = p.add_var("x[0,1]", VarKind::Binary, 3.0).unwrap();
+        let y = p.add_var("y", VarKind::Continuous, -1.5).unwrap();
+        p.set_bounds(y, 0.0, 2.5).unwrap();
+        let z = p.add_var("z", VarKind::Continuous, 0.0).unwrap();
+        p.set_bounds(z, f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        p.add_constraint("cap", [(x, 1.0), (y, -2.0)], Sense::Le, 4.0)
+            .unwrap();
+        p.add_constraint("eq", [(z, 1.0)], Sense::Eq, 0.5).unwrap();
+        let text = write_lp_format(&p);
+        assert!(text.starts_with("\\ m\n"));
+        assert!(text.contains("Minimize"));
+        assert!(text.contains("+ 3 x_0_1_"));
+        assert!(text.contains("- 1.5 y"));
+        assert!(text.contains("Subject To"));
+        assert!(text.contains("cap: + 1 x_0_1_ - 2 y <= 4"));
+        assert!(text.contains("eq: + 1 z = 0.5"));
+        assert!(text.contains("0 <= y <= 2.5"));
+        assert!(text.contains("z free"));
+        assert!(text.contains("Binary"));
+        assert!(text.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn empty_objective_writes_zero() {
+        let mut p = Problem::new("empty");
+        let _ = p.add_var("a", VarKind::Binary, 0.0).unwrap();
+        let text = write_lp_format(&p);
+        assert!(text.contains("obj: 0"));
+    }
+}

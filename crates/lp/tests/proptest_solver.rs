@@ -1,0 +1,152 @@
+//! Property-based tests for the LP/MIP solver: random instances are
+//! cross-checked against exhaustive enumeration and basic LP invariants.
+
+use proptest::prelude::*;
+use tempart_lp::{
+    presolve, solve_lp, BranchAndBound, FirstIndexRule, LpOptions, LpStatus, MipStatus,
+    MostFractionalRule, Presolved, Problem, Sense, VarKind,
+};
+
+/// Exhaustive 0-1 reference optimum.
+fn brute_force(p: &Problem) -> Option<f64> {
+    let n = p.num_vars();
+    let mut best: Option<f64> = None;
+    for mask in 0..(1u32 << n) {
+        let x: Vec<f64> = (0..n)
+            .map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 })
+            .collect();
+        if p.first_violated(&x, 1e-9).is_none() {
+            let obj = p.objective_value(&x);
+            if best.is_none_or(|b| obj < b) {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+#[derive(Debug, Clone)]
+struct RandomMip {
+    n: usize,
+    obj: Vec<i32>,
+    rows: Vec<(Vec<i32>, u8, i32)>,
+}
+
+fn random_mip() -> impl Strategy<Value = RandomMip> {
+    (2usize..=7).prop_flat_map(|n| {
+        let obj = prop::collection::vec(-5i32..=5, n);
+        let row = (
+            prop::collection::vec(-3i32..=3, n),
+            0u8..=2,
+            -4i32..=6,
+        );
+        let rows = prop::collection::vec(row, 1..=4);
+        (Just(n), obj, rows).prop_map(|(n, obj, rows)| RandomMip { n, obj, rows })
+    })
+}
+
+fn build(mip: &RandomMip) -> Problem {
+    let mut p = Problem::new("prop");
+    let vars: Vec<_> = (0..mip.n)
+        .map(|i| {
+            p.add_var(format!("x{i}"), VarKind::Binary, f64::from(mip.obj[i]))
+                .expect("finite objective")
+        })
+        .collect();
+    for (ri, (coeffs, sense, rhs)) in mip.rows.iter().enumerate() {
+        let sense = match sense % 3 {
+            0 => Sense::Le,
+            1 => Sense::Ge,
+            _ => Sense::Eq,
+        };
+        p.add_constraint(
+            format!("r{ri}"),
+            vars.iter()
+                .zip(coeffs)
+                .map(|(&v, &c)| (v, f64::from(c)))
+                .collect::<Vec<_>>(),
+            sense,
+            f64::from(*rhs),
+        )
+        .expect("valid constraint");
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch and bound finds exactly the brute-force optimum (or proves
+    /// infeasibility), regardless of the branching rule.
+    #[test]
+    fn bb_matches_brute_force(mip in random_mip()) {
+        let p = build(&mip);
+        let reference = brute_force(&p);
+        for rule in 0..2 {
+            let bb = BranchAndBound::new(&p);
+            let bb = if rule == 0 {
+                bb.rule(FirstIndexRule)
+            } else {
+                bb.rule(MostFractionalRule)
+            };
+            let out = bb.solve().expect("solver must not error");
+            match reference {
+                Some(bobj) => {
+                    prop_assert_eq!(out.status, MipStatus::Optimal);
+                    prop_assert!((out.objective - bobj).abs() < 1e-5,
+                        "rule {}: got {} want {}", rule, out.objective, bobj);
+                    prop_assert!(p.first_violated(&out.x, 1e-5).is_none());
+                    // All binaries integral.
+                    for (i, &v) in out.x.iter().enumerate() {
+                        prop_assert!((v - v.round()).abs() < 1e-5, "x{} = {} not integral", i, v);
+                    }
+                }
+                None => prop_assert_eq!(out.status, MipStatus::Infeasible),
+            }
+        }
+    }
+
+    /// Presolve → solve → restore agrees with the direct solve: same
+    /// status, same objective, and the restored point is feasible in the
+    /// original problem.
+    #[test]
+    fn presolve_preserves_the_optimum(mip in random_mip()) {
+        let p = build(&mip);
+        let direct = BranchAndBound::new(&p).solve().expect("direct solve");
+        match presolve(&p).expect("presolve") {
+            Presolved::Infeasible => {
+                prop_assert_eq!(direct.status, MipStatus::Infeasible);
+            }
+            Presolved::Reduced(r) => {
+                let reduced = BranchAndBound::new(&r.problem).solve().expect("reduced solve");
+                prop_assert_eq!(direct.status, reduced.status);
+                if direct.status == MipStatus::Optimal {
+                    let total = reduced.objective + r.objective_offset;
+                    prop_assert!((total - direct.objective).abs() < 1e-5,
+                        "reduced {} + offset {} vs direct {}",
+                        reduced.objective, r.objective_offset, direct.objective);
+                    let restored = r.restore(&reduced.x);
+                    prop_assert!(p.first_violated(&restored, 1e-5).is_none());
+                }
+            }
+        }
+    }
+
+    /// The LP relaxation is a valid lower bound on the integer optimum, and
+    /// its solution satisfies all constraints.
+    #[test]
+    fn lp_relaxation_bounds_integer_optimum(mip in random_mip()) {
+        let p = build(&mip);
+        let lp = solve_lp(&p, &LpOptions::default()).expect("lp solve");
+        if let Some(bobj) = brute_force(&p) {
+            // A feasible integer point exists, so the relaxation is feasible.
+            prop_assert_eq!(lp.status, LpStatus::Optimal);
+            prop_assert!(lp.objective <= bobj + 1e-5,
+                "lp bound {} above integer optimum {}", lp.objective, bobj);
+            prop_assert!(p.first_violated(&lp.x, 1e-5).is_none());
+            for (i, &v) in lp.x.iter().enumerate() {
+                prop_assert!((-1e-7..=1.0 + 1e-7).contains(&v), "x{} = {} out of box", i, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Replays a temporal partitioning on the device timing model.
+
+use std::collections::BTreeSet;
+
+use tempart_core::{Instance, TemporalSolution};
+use tempart_graph::PartitionIndex;
+
+use crate::TraceEvent;
+
+/// Cycle breakdown of one partitioned execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Datapath cycles (control steps actually executed).
+    pub compute_cycles: u64,
+    /// Cycles spent reconfiguring the fabric.
+    pub reconfig_cycles: u64,
+    /// Cycles spent saving + restoring scratch data.
+    pub memory_cycles: u64,
+    /// Number of configurations loaded (including the initial one).
+    pub reconfigurations: u32,
+    /// Total data words staged through scratch memory (save direction).
+    pub words_staged: u64,
+    /// Full event trace, in execution order.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ExecutionReport {
+    /// End-to-end cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.reconfig_cycles + self.memory_cycles
+    }
+
+    /// Fraction of the execution spent on reconfiguration + memory staging.
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            (self.reconfig_cycles + self.memory_cycles) as f64 / total as f64
+        }
+    }
+}
+
+/// Executes `solution` on `instance`'s device model.
+///
+/// Partitions run in index order; empty partitions are skipped. Each
+/// non-initial active partition costs one reconfiguration; each boundary
+/// between active partitions stages its crossing bandwidth through scratch
+/// memory (one save before the reconfiguration, one restore after), at
+/// [`memory_word_cycles`](tempart_graph::FpgaDevice::memory_word_cycles)
+/// per word. Compute time per partition is its number of occupied control
+/// steps (unit-latency functional units, one step per cycle).
+pub fn execute(instance: &Instance, solution: &TemporalSolution) -> ExecutionReport {
+    let device = instance.device();
+    let graph = instance.graph();
+    let n = solution
+        .assignment()
+        .iter()
+        .map(|p| p.0 + 1)
+        .max()
+        .unwrap_or(1);
+    let mut trace = Vec::new();
+    let mut compute_cycles = 0u64;
+    let mut reconfig_cycles = 0u64;
+    let mut memory_cycles = 0u64;
+    let mut reconfigurations = 0u32;
+    let mut words_staged = 0u64;
+    let mut first = true;
+    for p in PartitionIndex::all(n) {
+        // Occupied control steps of this partition (an operation holds its
+        // task resident for its unit's full latency).
+        let steps: BTreeSet<u32> = graph
+            .ops()
+            .iter()
+            .filter(|op| solution.partition_of(op.task()) == p)
+            .flat_map(|op| {
+                let a = solution
+                    .schedule()
+                    .get(op.id())
+                    .expect("validated solutions schedule every op");
+                a.step.0..a.step.0 + instance.fus().latency(a.fu)
+            })
+            .collect();
+        if steps.is_empty() {
+            continue;
+        }
+        if !first {
+            // Save live data crossing into this or later partitions.
+            let words = solution.boundary_traffic(instance, p.0);
+            let cycles = words * device.memory_word_cycles();
+            trace.push(TraceEvent::Save {
+                boundary: p.0,
+                words,
+                cycles,
+            });
+            memory_cycles += cycles;
+            words_staged += words;
+        }
+        let cfg_cycles = device.reconfig_cycles();
+        trace.push(TraceEvent::Configure {
+            partition: p,
+            cycles: cfg_cycles,
+        });
+        reconfig_cycles += cfg_cycles;
+        reconfigurations += 1;
+        if !first {
+            let words = solution.boundary_traffic(instance, p.0);
+            let cycles = words * device.memory_word_cycles();
+            trace.push(TraceEvent::Restore {
+                boundary: p.0,
+                words,
+                cycles,
+            });
+            memory_cycles += cycles;
+        }
+        let cycles = steps.len() as u64;
+        trace.push(TraceEvent::Compute {
+            partition: p,
+            cycles,
+        });
+        compute_cycles += cycles;
+        first = false;
+    }
+    ExecutionReport {
+        compute_cycles,
+        reconfig_cycles,
+        memory_cycles,
+        reconfigurations,
+        words_staged,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_core::{IlpModel, ModelConfig, SolveOptions};
+    use tempart_graph::{
+        Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
+    };
+
+    fn instance(capacity: u32) -> Instance {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("t0");
+        let a = b.op(t0, OpKind::Add).unwrap();
+        let m = b.op(t0, OpKind::Mul).unwrap();
+        b.op_edge(a, m).unwrap();
+        let t1 = b.task("t1");
+        b.op(t1, OpKind::Sub).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(4)).unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib
+            .exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])
+            .unwrap();
+        let dev = FpgaDevice::xc4010_board().with_capacity(FunctionGenerators::new(capacity));
+        Instance::new(b.build().unwrap(), fus, dev).unwrap()
+    }
+
+    fn solve(inst: &Instance) -> TemporalSolution {
+        IlpModel::build(inst.clone(), ModelConfig::tightened(2, 1))
+            .unwrap()
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .solution
+            .unwrap()
+    }
+
+    #[test]
+    fn single_partition_has_no_staging() {
+        let inst = instance(800);
+        let sol = solve(&inst);
+        let rep = execute(&inst, &sol);
+        assert_eq!(rep.reconfigurations, 1);
+        assert_eq!(rep.memory_cycles, 0);
+        assert_eq!(rep.words_staged, 0);
+        assert_eq!(rep.compute_cycles, 3);
+        assert_eq!(rep.reconfig_cycles, inst.device().reconfig_cycles());
+        assert_eq!(
+            rep.total_cycles(),
+            rep.compute_cycles + rep.reconfig_cycles
+        );
+        assert!(rep.overhead_fraction() > 0.9); // reconfig dominates tiny jobs
+        assert_eq!(rep.trace.len(), 2); // configure + compute
+    }
+
+    #[test]
+    fn split_pays_reconfig_and_memory() {
+        // Capacity 80 forces a split (mul + sub cannot share the fabric).
+        let inst = instance(80);
+        let sol = solve(&inst);
+        assert_eq!(sol.partitions_used(), 2);
+        let rep = execute(&inst, &sol);
+        assert_eq!(rep.reconfigurations, 2);
+        assert_eq!(rep.words_staged, 4);
+        // Save + restore of 4 words at 1 cycle each.
+        assert_eq!(rep.memory_cycles, 8);
+        assert_eq!(rep.reconfig_cycles, 2 * inst.device().reconfig_cycles());
+        assert_eq!(rep.compute_cycles, 3);
+        // Trace shape: configure, compute, save, configure, restore, compute.
+        assert_eq!(rep.trace.len(), 6);
+        let total: u64 = rep.trace.iter().map(TraceEvent::cycles).sum();
+        assert_eq!(total, rep.total_cycles());
+    }
+}

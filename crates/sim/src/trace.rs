@@ -1,0 +1,102 @@
+//! Execution trace events.
+
+use std::fmt;
+
+use tempart_graph::PartitionIndex;
+
+/// One timed step of a partitioned execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Loading a partition's configuration onto the fabric.
+    Configure {
+        /// The partition being configured.
+        partition: PartitionIndex,
+        /// Cycles spent.
+        cycles: u64,
+    },
+    /// Executing a partition's datapath.
+    Compute {
+        /// The executing partition.
+        partition: PartitionIndex,
+        /// Control steps executed (one cycle each).
+        cycles: u64,
+    },
+    /// Saving live data to scratch memory before a reconfiguration.
+    Save {
+        /// Boundary index (between partition `boundary − 1` and `boundary`).
+        boundary: u32,
+        /// Data words written.
+        words: u64,
+        /// Cycles spent.
+        cycles: u64,
+    },
+    /// Restoring live data from scratch memory after a reconfiguration.
+    Restore {
+        /// Boundary index.
+        boundary: u32,
+        /// Data words read.
+        words: u64,
+        /// Cycles spent.
+        cycles: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Cycles consumed by this event.
+    pub fn cycles(&self) -> u64 {
+        match *self {
+            TraceEvent::Configure { cycles, .. }
+            | TraceEvent::Compute { cycles, .. }
+            | TraceEvent::Save { cycles, .. }
+            | TraceEvent::Restore { cycles, .. } => cycles,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Configure { partition, cycles } => {
+                write!(f, "configure {partition} ({cycles} cycles)")
+            }
+            TraceEvent::Compute { partition, cycles } => {
+                write!(f, "compute {partition} ({cycles} cycles)")
+            }
+            TraceEvent::Save {
+                boundary,
+                words,
+                cycles,
+            } => write!(f, "save {words} words at boundary {boundary} ({cycles} cycles)"),
+            TraceEvent::Restore {
+                boundary,
+                words,
+                cycles,
+            } => write!(
+                f,
+                "restore {words} words at boundary {boundary} ({cycles} cycles)"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_and_display() {
+        let e = TraceEvent::Configure {
+            partition: PartitionIndex::new(0),
+            cycles: 100,
+        };
+        assert_eq!(e.cycles(), 100);
+        assert!(e.to_string().contains("configure p0"));
+        let e = TraceEvent::Save {
+            boundary: 1,
+            words: 8,
+            cycles: 8,
+        };
+        assert_eq!(e.cycles(), 8);
+        assert!(e.to_string().contains("8 words"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-partition fabric utilization of solved designs.
+//!
+//! The paper's premise is that one configuration cannot host the whole
+//! design efficiently; this report quantifies the flip side — how busy each
+//! temporal segment actually keeps its functional units. Low utilization in
+//! a segment suggests it could absorb neighbouring tasks (fewer
+//! reconfigurations); utilization near 1.0 means the partition is
+//! compute-bound and the latency relaxation `L` is doing real work.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tempart_core::{Instance, TemporalSolution};
+use tempart_graph::{FuId, PartitionIndex};
+
+/// Usage of one functional unit within one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuUsage {
+    /// The unit.
+    pub fu: FuId,
+    /// Operations executed on it in this partition.
+    pub ops: u32,
+    /// Steps the unit is busy (occupancy, i.e. pipelined units count one
+    /// step per operation).
+    pub busy_steps: u32,
+}
+
+/// Utilization of one temporal partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionUtilization {
+    /// The partition.
+    pub partition: PartitionIndex,
+    /// Control steps this partition occupies.
+    pub steps: u32,
+    /// Per-unit usage, unit order.
+    pub fus: Vec<FuUsage>,
+    /// Busy unit-steps over available unit-steps (`Σ busy / (steps × units)`),
+    /// in `[0, 1]`. Zero when the partition is empty.
+    pub utilization: f64,
+}
+
+/// Computes per-partition utilization.
+///
+/// # Panics
+///
+/// Panics if the solution does not schedule every operation (validated
+/// solutions always do).
+pub fn utilization(instance: &Instance, solution: &TemporalSolution) -> Vec<PartitionUtilization> {
+    let graph = instance.graph();
+    let fus = instance.fus();
+    let n = solution
+        .assignment()
+        .iter()
+        .map(|p| p.0 + 1)
+        .max()
+        .unwrap_or(1);
+    let mut out = Vec::new();
+    for p in PartitionIndex::all(n) {
+        let mut steps: BTreeSet<u32> = BTreeSet::new();
+        let mut usage: BTreeMap<FuId, FuUsage> = BTreeMap::new();
+        for op in graph.ops() {
+            if solution.partition_of(op.task()) != p {
+                continue;
+            }
+            let a = solution.schedule().get(op.id()).expect("scheduled");
+            for j in a.step.0..a.step.0 + fus.latency(a.fu) {
+                steps.insert(j);
+            }
+            let e = usage.entry(a.fu).or_insert(FuUsage {
+                fu: a.fu,
+                ops: 0,
+                busy_steps: 0,
+            });
+            e.ops += 1;
+            e.busy_steps += fus.occupancy(a.fu);
+        }
+        let span = steps.len() as u32;
+        let units = usage.len() as u32;
+        let busy: u32 = usage.values().map(|u| u.busy_steps).sum();
+        let utilization = if span == 0 || units == 0 {
+            0.0
+        } else {
+            f64::from(busy) / f64::from(span * units)
+        };
+        out.push(PartitionUtilization {
+            partition: p,
+            steps: span,
+            fus: usage.into_values().collect(),
+            utilization,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_core::{IlpModel, ModelConfig, SolveOptions};
+    use tempart_graph::{
+        Bandwidth, ComponentLibrary, FpgaDevice, OpKind, TaskGraphBuilder,
+    };
+
+    fn solved() -> (Instance, TemporalSolution) {
+        let mut b = TaskGraphBuilder::new("u");
+        let t = b.task("t");
+        let a0 = b.op(t, OpKind::Add).unwrap();
+        let a1 = b.op(t, OpKind::Add).unwrap();
+        let m = b.op(t, OpKind::Mul).unwrap();
+        b.op_edge(a0, m).unwrap();
+        b.op_edge(a1, m).unwrap();
+        let g = b.build().unwrap();
+        let lib = ComponentLibrary::date98_default();
+        let fus = lib.exploration_set(&[("add16", 2), ("mul8", 1)]).unwrap();
+        let inst = Instance::new(g, fus, FpgaDevice::xc4010_board()).unwrap();
+        let sol = IlpModel::build(inst.clone(), ModelConfig::tightened(1, 0))
+            .unwrap()
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        (inst, sol)
+    }
+
+    #[test]
+    fn utilization_counts_busy_unit_steps() {
+        let (inst, sol) = solved();
+        let report = utilization(&inst, &sol);
+        assert_eq!(report.len(), 1);
+        let p0 = &report[0];
+        // Two adds in step 0 (two adders), mul in step 1: span 2.
+        assert_eq!(p0.steps, 2);
+        let total_ops: u32 = p0.fus.iter().map(|u| u.ops).sum();
+        assert_eq!(total_ops, 3);
+        // 3 busy unit-steps over (2 steps × 3 units) = 0.5.
+        assert!((p0.utilization - 0.5).abs() < 1e-9, "{p0:?}");
+        assert!(p0.utilization > 0.0 && p0.utilization <= 1.0);
+        let _ = Bandwidth::new(0);
+    }
+
+    #[test]
+    fn empty_partitions_report_zero() {
+        let (inst, sol) = solved();
+        // Partition indices beyond those used are not reported at all (the
+        // report covers 0..max_used).
+        let report = utilization(&inst, &sol);
+        for p in &report {
+            if p.steps == 0 {
+                assert_eq!(p.utilization, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Design-space exploration: the latency ↔ partition-count trade-off of the
+//! paper's Table 3, on a bespoke specification.
+//!
+//! Sweeps the latency relaxation `L` and the partition bound `N`, printing
+//! feasibility, optimal communication cost, partitions actually used, and
+//! solver effort — the interplay the paper highlights: tight latency forces
+//! more partitions (paying communication), loose latency lets the design
+//! collapse onto fewer configurations.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use tempart::core::{IlpModel, Instance, ModelConfig, SolveOptions};
+use tempart::graph::{
+    Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
+};
+use tempart::lp::{MipOptions, MipStatus};
+
+fn build_instance() -> Result<Instance, Box<dyn std::error::Error>> {
+    // Three stages with both multiplier-heavy and adder-heavy phases, so the
+    // per-partition area limit makes unit *diversity* matter.
+    let mut b = TaskGraphBuilder::new("sweep");
+    let front = b.task("front");
+    let m0 = b.op(front, OpKind::Mul)?;
+    let m1 = b.op(front, OpKind::Mul)?;
+    let a0 = b.op(front, OpKind::Add)?;
+    b.op_edge(m0, a0)?;
+    b.op_edge(m1, a0)?;
+
+    let mid = b.task("mid");
+    let a1 = b.op(mid, OpKind::Add)?;
+    let a2 = b.op(mid, OpKind::Add)?;
+    let s0 = b.op(mid, OpKind::Sub)?;
+    b.op_edge(a1, s0)?;
+    b.op_edge(a2, s0)?;
+
+    let back = b.task("back");
+    let m2 = b.op(back, OpKind::Mul)?;
+    let s1 = b.op(back, OpKind::Sub)?;
+    b.op_edge(m2, s1)?;
+
+    b.task_edge(front, mid, Bandwidth::new(3))?;
+    b.task_edge(mid, back, Bandwidth::new(2))?;
+    b.task_edge(front, back, Bandwidth::new(4))?;
+    let spec = b.build()?;
+
+    let lib = ComponentLibrary::date98_default();
+    let fus = lib.exploration_set(&[("add16", 2), ("mul8", 2), ("sub16", 1)])?;
+    let device = FpgaDevice::builder("sweep-board")
+        .capacity(FunctionGenerators::new(100))
+        .scratch_memory(Bandwidth::new(512))
+        .alpha(0.7)
+        .reconfig_cycles(164_000)
+        .build()?;
+    Ok(Instance::new(spec, fus, device)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = build_instance()?;
+    println!(
+        "{:>2} {:>2} {:>6} {:>6} {:>9} {:>6} {:>6} {:>8}",
+        "N", "L", "Var", "Const", "Feasible", "Cost", "Used", "Nodes"
+    );
+    for n in 1..=3u32 {
+        for l in 0..=3u32 {
+            let config = ModelConfig::tightened(n, l);
+            let model = IlpModel::build(instance.clone(), config)?;
+            let mip = MipOptions {
+                time_limit_secs: 120.0,
+                ..MipOptions::default()
+            };
+            let out = model.solve(&SolveOptions {
+                mip,
+                ..Default::default()
+            })?;
+            let (feas, cost, used) = match (out.status, &out.solution) {
+                (MipStatus::Optimal, Some(s)) => (
+                    "Yes",
+                    s.communication_cost().to_string(),
+                    s.partitions_used().to_string(),
+                ),
+                (MipStatus::Infeasible, _) => ("No", "-".into(), "-".into()),
+                (_, Some(s)) => (
+                    "Yes*",
+                    s.communication_cost().to_string(),
+                    s.partitions_used().to_string(),
+                ),
+                (_, None) => ("?", "-".into(), "-".into()),
+            };
+            println!(
+                "{:>2} {:>2} {:>6} {:>6} {:>9} {:>6} {:>6} {:>8}",
+                n,
+                l,
+                model.stats().num_vars,
+                model.stats().num_constraints,
+                feas,
+                cost,
+                used,
+                out.stats.nodes
+            );
+        }
+    }
+    println!("\n(Yes* = limit hit; incumbent shown, optimality not proven)");
+    Ok(())
+}

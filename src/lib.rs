@@ -1,0 +1,54 @@
+//! # tempart
+//!
+//! Facade crate for the `tempart` workspace — a reproduction of
+//! *Kaul & Vemuri, "Optimal Temporal Partitioning and Synthesis for
+//! Reconfigurable Architectures", DATE 1998*.
+//!
+//! The workspace crates are re-exported under short module names:
+//!
+//! * [`graph`] — behavioral-specification IR (task graphs, operation DAGs,
+//!   component library, FPGA device model).
+//! * [`hls`] — high-level-synthesis substrate (ASAP/ALAP mobility,
+//!   resource-constrained list scheduling, partition-count estimation).
+//! * [`lp`] — sparse bounded-variable simplex and 0-1 branch-and-bound MILP
+//!   solver with branching priorities/directions.
+//! * [`core`] — the paper's contribution: the 0-1 NLP model, Fortet/Glover
+//!   linearizations, tightening cuts, the guided branching heuristic, and
+//!   the end-to-end [`core::TemporalPartitioner`].
+//! * [`sim`] — reconfigurable-processor execution simulator (reconfiguration
+//!   and scratch-memory traffic overheads).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tempart::graph::{TaskGraphBuilder, OpKind, Bandwidth, ComponentLibrary, FpgaDevice};
+//! use tempart::core::{TemporalPartitioner, PartitionerOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = TaskGraphBuilder::new("tiny");
+//! let t0 = b.task("t0");
+//! let a = b.op(t0, OpKind::Add)?;
+//! let m = b.op(t0, OpKind::Mul)?;
+//! b.op_edge(a, m)?;
+//! let t1 = b.task("t1");
+//! b.op(t1, OpKind::Sub)?;
+//! b.task_edge(t0, t1, Bandwidth::new(4))?;
+//! let spec = b.build()?;
+//!
+//! let lib = ComponentLibrary::date98_default();
+//! let fus = lib.exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])?;
+//! let device = FpgaDevice::xc4010_board();
+//!
+//! let result = TemporalPartitioner::new(spec, fus, device)
+//!     .options(PartitionerOptions::default())
+//!     .run()?;
+//! assert!(result.solution().communication_cost() <= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use tempart_core as core;
+pub use tempart_graph as graph;
+pub use tempart_hls as hls;
+pub use tempart_lp as lp;
+pub use tempart_sim as sim;

@@ -1,0 +1,131 @@
+//! Cross-checks the ILP against the exhaustive brute-force oracle on a batch
+//! of seeded random instances: the headline "optimal" claim of the paper,
+//! certified independently of the LP machinery.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempart::core::{brute, IlpModel, Instance, ModelConfig, RuleKind, SolveOptions};
+use tempart::graph::{
+    Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraph,
+    TaskGraphBuilder,
+};
+use tempart::lp::MipStatus;
+
+/// Small random specification: `tasks` tasks, ≤ 2 ops each, chain-biased
+/// task edges.
+fn random_spec(seed: u64, tasks: usize) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TaskGraphBuilder::new(format!("rnd{seed}"));
+    let mut ids = Vec::new();
+    for ti in 0..tasks {
+        let t = b.task(format!("t{ti}"));
+        ids.push(t);
+        let n_ops = rng.gen_range(1..=2);
+        let mut prev = None;
+        for _ in 0..n_ops {
+            let kind = match rng.gen_range(0..3) {
+                0 => OpKind::Add,
+                1 => OpKind::Mul,
+                _ => OpKind::Sub,
+            };
+            let op = b.op(t, kind).unwrap();
+            if let Some(p) = prev {
+                if rng.gen_bool(0.6) {
+                    b.op_edge(p, op).unwrap();
+                }
+            }
+            prev = Some(op);
+        }
+    }
+    for ti in 1..tasks {
+        let from = ids[rng.gen_range(0..ti)];
+        let bw = rng.gen_range(1..=6);
+        b.task_edge(from, ids[ti], Bandwidth::new(bw)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn instance(seed: u64, tasks: usize, capacity: u32, scratch: u64) -> Instance {
+    let lib = ComponentLibrary::date98_default();
+    let fus = lib
+        .exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])
+        .unwrap();
+    let dev = FpgaDevice::builder("oracle")
+        .capacity(FunctionGenerators::new(capacity))
+        .scratch_memory(Bandwidth::new(scratch))
+        .alpha(0.7)
+        .build()
+        .unwrap();
+    Instance::new(random_spec(seed, tasks), fus, dev).unwrap()
+}
+
+#[test]
+fn ilp_matches_brute_force_on_random_instances() {
+    let mut checked_feasible = 0;
+    let mut checked_infeasible = 0;
+    for seed in 0..12u64 {
+        // Vary the pressure: roomy, area-tight and memory-tight devices.
+        let (capacity, scratch) = match seed % 3 {
+            0 => (800, 2048),
+            1 => (95, 2048),
+            _ => (95, 4),
+        };
+        let inst = instance(seed, 3, capacity, scratch);
+        let config = ModelConfig::tightened(3, 1);
+        let model = IlpModel::build(inst.clone(), config.clone()).unwrap();
+        let out = model.solve(&SolveOptions::default()).unwrap();
+        let oracle = brute::brute_force_optimum(&inst, &config);
+        match oracle {
+            Some((assign, cost)) => {
+                assert_eq!(
+                    out.status,
+                    MipStatus::Optimal,
+                    "seed {seed}: oracle found {assign:?} cost {cost}"
+                );
+                let sol = out.solution.expect("optimal implies solution");
+                assert_eq!(
+                    sol.communication_cost(),
+                    cost,
+                    "seed {seed}: ILP vs oracle"
+                );
+                sol.validate(&inst, &config).unwrap();
+                checked_feasible += 1;
+            }
+            None => {
+                assert_eq!(out.status, MipStatus::Infeasible, "seed {seed}");
+                checked_infeasible += 1;
+            }
+        }
+    }
+    assert!(checked_feasible >= 3, "want several feasible cases");
+    let _ = checked_infeasible;
+}
+
+#[test]
+fn all_branching_rules_reach_the_oracle_optimum() {
+    for seed in [1u64, 4, 7] {
+        let inst = instance(seed, 3, 95, 2048);
+        let config = ModelConfig::tightened(2, 1);
+        let oracle = brute::brute_force_optimum(&inst, &config);
+        for rule in [RuleKind::Paper, RuleKind::FirstIndex, RuleKind::MostFractional] {
+            let model = IlpModel::build(inst.clone(), config.clone()).unwrap();
+            let out = model
+                .solve(&SolveOptions {
+                    rule,
+                    ..Default::default()
+                })
+                .unwrap();
+            match &oracle {
+                Some((_, cost)) => {
+                    assert_eq!(out.status, MipStatus::Optimal, "seed {seed} rule {rule}");
+                    assert_eq!(
+                        out.solution.unwrap().communication_cost(),
+                        *cost,
+                        "seed {seed} rule {rule}"
+                    );
+                }
+                None => assert_eq!(out.status, MipStatus::Infeasible, "seed {seed} rule {rule}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property test: the paper's pairwise control-step consistency encoding
+//! (13) and our compact step-ownership reformulation have the same integer
+//! optima on random instances — the justification for making the compact
+//! form the default (DESIGN.md §5a).
+
+use proptest::prelude::*;
+use tempart::core::{CstepEncoding, IlpModel, Instance, ModelConfig, SolveOptions};
+use tempart::graph::{
+    Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
+};
+use tempart::lp::MipStatus;
+
+#[derive(Debug, Clone)]
+struct Shape {
+    kinds: Vec<Vec<u8>>,
+    bandwidths: Vec<u8>,
+    capacity_sel: u8,
+    l: u8,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (2usize..=3).prop_flat_map(|t| {
+        (
+            prop::collection::vec(prop::collection::vec(0u8..3, 1..=2), t),
+            prop::collection::vec(1u8..=6, t - 1),
+            0u8..3,
+            0u8..=2,
+        )
+            .prop_map(|(kinds, bandwidths, capacity_sel, l)| Shape {
+                kinds,
+                bandwidths,
+                capacity_sel,
+                l,
+            })
+    })
+}
+
+fn build(s: &Shape) -> Instance {
+    let mut b = TaskGraphBuilder::new("enc");
+    let mut ids = Vec::new();
+    for (ti, ks) in s.kinds.iter().enumerate() {
+        let t = b.task(format!("t{ti}"));
+        ids.push(t);
+        let mut prev = None;
+        for &k in ks {
+            let kind = match k {
+                0 => OpKind::Add,
+                1 => OpKind::Mul,
+                _ => OpKind::Sub,
+            };
+            let op = b.op(t, kind).unwrap();
+            if let Some(p) = prev {
+                b.op_edge(p, op).unwrap();
+            }
+            prev = Some(op);
+        }
+    }
+    for i in 1..ids.len() {
+        b.task_edge(
+            ids[i - 1],
+            ids[i],
+            Bandwidth::new(u64::from(s.bandwidths[i - 1])),
+        )
+        .unwrap();
+    }
+    let lib = ComponentLibrary::date98_default();
+    let fus = lib
+        .exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])
+        .unwrap();
+    let capacity = match s.capacity_sel {
+        0 => 800,
+        1 => 95,
+        _ => 75,
+    };
+    let dev = FpgaDevice::builder("enc")
+        .capacity(FunctionGenerators::new(capacity))
+        .scratch_memory(Bandwidth::new(64))
+        .alpha(0.7)
+        .build()
+        .unwrap();
+    Instance::new(b.build().unwrap(), fus, dev).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn pairwise_and_compact_encodings_agree(s in shape()) {
+        let inst = build(&s);
+        let mut pairwise_cfg = ModelConfig::tightened(2, u32::from(s.l));
+        pairwise_cfg.cstep_encoding = CstepEncoding::Pairwise;
+        let compact_cfg = ModelConfig::tightened(2, u32::from(s.l));
+
+        let pw = IlpModel::build(inst.clone(), pairwise_cfg.clone())
+            .expect("build pairwise")
+            .solve(&SolveOptions::default())
+            .expect("solve pairwise");
+        let cp = IlpModel::build(inst.clone(), compact_cfg.clone())
+            .expect("build compact")
+            .solve(&SolveOptions::default())
+            .expect("solve compact");
+
+        prop_assert_eq!(pw.status, cp.status, "statuses differ");
+        if pw.status == MipStatus::Optimal {
+            let a = pw.solution.unwrap();
+            let b = cp.solution.unwrap();
+            prop_assert_eq!(a.communication_cost(), b.communication_cost());
+            a.validate(&inst, &pairwise_cfg).expect("pairwise solution valid");
+            b.validate(&inst, &compact_cfg).expect("compact solution valid");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the execution simulator: accounting invariants hold
+//! for every solved random instance.
+
+use proptest::prelude::*;
+use tempart::core::{IlpModel, Instance, ModelConfig, SolveOptions};
+use tempart::graph::{
+    Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
+};
+use tempart::lp::MipStatus;
+use tempart::sim::{execute, utilization, TraceEvent};
+
+#[derive(Debug, Clone)]
+struct Shape {
+    kinds: Vec<Vec<u8>>,
+    bandwidths: Vec<u8>,
+    capacity_sel: u8,
+    word_cycles: u8,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (2usize..=3).prop_flat_map(|t| {
+        (
+            prop::collection::vec(prop::collection::vec(0u8..3, 1..=2), t),
+            prop::collection::vec(1u8..=6, t - 1),
+            0u8..3,
+            1u8..=4,
+        )
+            .prop_map(|(kinds, bandwidths, capacity_sel, word_cycles)| Shape {
+                kinds,
+                bandwidths,
+                capacity_sel,
+                word_cycles,
+            })
+    })
+}
+
+fn build(s: &Shape) -> Instance {
+    let mut b = TaskGraphBuilder::new("sim");
+    let mut ids = Vec::new();
+    for (ti, ks) in s.kinds.iter().enumerate() {
+        let t = b.task(format!("t{ti}"));
+        ids.push(t);
+        let mut prev = None;
+        for &k in ks {
+            let kind = match k {
+                0 => OpKind::Add,
+                1 => OpKind::Mul,
+                _ => OpKind::Sub,
+            };
+            let op = b.op(t, kind).unwrap();
+            if let Some(p) = prev {
+                b.op_edge(p, op).unwrap();
+            }
+            prev = Some(op);
+        }
+    }
+    for i in 1..ids.len() {
+        b.task_edge(
+            ids[i - 1],
+            ids[i],
+            Bandwidth::new(u64::from(s.bandwidths[i - 1])),
+        )
+        .unwrap();
+    }
+    let lib = ComponentLibrary::date98_default();
+    let fus = lib
+        .exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])
+        .unwrap();
+    let capacity = match s.capacity_sel {
+        0 => 800,
+        1 => 95,
+        _ => 75,
+    };
+    let dev = FpgaDevice::builder("sim")
+        .capacity(FunctionGenerators::new(capacity))
+        .scratch_memory(Bandwidth::new(64))
+        .alpha(0.7)
+        .reconfig_cycles(1_000)
+        .memory_word_cycles(u64::from(s.word_cycles))
+        .build()
+        .unwrap();
+    Instance::new(b.build().unwrap(), fus, dev).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Accounting invariants of the execution replay.
+    #[test]
+    fn simulator_accounting_is_consistent(s in shape()) {
+        let inst = build(&s);
+        let cfg = ModelConfig::tightened(2, 2);
+        let model = IlpModel::build(inst.clone(), cfg.clone()).expect("build");
+        let out = model.solve(&SolveOptions::default()).expect("solve");
+        prop_assume!(out.status == MipStatus::Optimal);
+        let sol = out.solution.unwrap();
+        let report = execute(&inst, &sol);
+
+        // 1. The trace accounts for every cycle.
+        let trace_sum: u64 = report.trace.iter().map(TraceEvent::cycles).sum();
+        prop_assert_eq!(trace_sum, report.total_cycles());
+
+        // 2. One configuration per used partition.
+        prop_assert_eq!(report.reconfigurations, sol.partitions_used());
+
+        // 3. Staged words equal the objective, and memory cycles are the
+        //    save + restore of exactly those words.
+        prop_assert_eq!(report.words_staged, sol.communication_cost());
+        prop_assert_eq!(
+            report.memory_cycles,
+            2 * report.words_staged * inst.device().memory_word_cycles()
+        );
+
+        // 4. Compute cycles cover at least one step per op on the busiest
+        //    accounting and never exceed the horizon.
+        prop_assert!(report.compute_cycles >= 1);
+
+        // 5. Utilization is within (0, 1] for every non-empty partition and
+        //    the op counts add up.
+        let util = utilization(&inst, &sol);
+        let total_ops: u32 = util
+            .iter()
+            .flat_map(|p| p.fus.iter().map(|u| u.ops))
+            .sum();
+        prop_assert_eq!(total_ops as usize, inst.graph().num_ops());
+        for p in &util {
+            if p.steps > 0 {
+                prop_assert!(p.utilization > 0.0 && p.utilization <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

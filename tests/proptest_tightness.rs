@@ -1,0 +1,118 @@
+//! Property test for the paper's §6 claim: the tightened formulation's LP
+//! relaxation is at least as strong as the basic formulation's on the same
+//! instance (the cuts remove fractional solutions, never integer ones), and
+//! both integer optima coincide.
+
+use proptest::prelude::*;
+use tempart::core::{IlpModel, Instance, ModelConfig, SolveOptions};
+use tempart::graph::{
+    Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
+};
+use tempart::lp::{solve_lp, LpOptions, LpStatus, MipStatus};
+
+#[derive(Debug, Clone)]
+struct Shape {
+    kinds: Vec<Vec<u8>>,
+    bandwidths: Vec<u8>,
+    n: u8,
+    l: u8,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (2usize..=3).prop_flat_map(|t| {
+        (
+            prop::collection::vec(prop::collection::vec(0u8..3, 1..=2), t),
+            prop::collection::vec(1u8..=8, t - 1),
+            2u8..=3,
+            0u8..=2,
+        )
+            .prop_map(|(kinds, bandwidths, n, l)| Shape {
+                kinds,
+                bandwidths,
+                n,
+                l,
+            })
+    })
+}
+
+fn build(s: &Shape) -> Instance {
+    let mut b = TaskGraphBuilder::new("tight");
+    let mut ids = Vec::new();
+    for (ti, ks) in s.kinds.iter().enumerate() {
+        let t = b.task(format!("t{ti}"));
+        ids.push(t);
+        let mut prev = None;
+        for &k in ks {
+            let kind = match k {
+                0 => OpKind::Add,
+                1 => OpKind::Mul,
+                _ => OpKind::Sub,
+            };
+            let op = b.op(t, kind).unwrap();
+            if let Some(p) = prev {
+                b.op_edge(p, op).unwrap();
+            }
+            prev = Some(op);
+        }
+    }
+    for i in 1..ids.len() {
+        b.task_edge(ids[i - 1], ids[i], Bandwidth::new(u64::from(s.bandwidths[i - 1])))
+            .unwrap();
+    }
+    let lib = ComponentLibrary::date98_default();
+    let fus = lib
+        .exploration_set(&[("add16", 1), ("mul8", 1), ("sub16", 1)])
+        .unwrap();
+    // Tight area so splits matter: one "big" unit per segment.
+    let dev = FpgaDevice::builder("tight")
+        .capacity(FunctionGenerators::new(95))
+        .scratch_memory(Bandwidth::new(64))
+        .alpha(0.7)
+        .build()
+        .unwrap();
+    Instance::new(b.build().unwrap(), fus, dev).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LP(tightened) ≥ LP(basic), and the integer optima agree.
+    #[test]
+    fn tightened_bound_dominates(s in shape()) {
+        let inst = build(&s);
+        let basic_cfg = ModelConfig::basic(u32::from(s.n), u32::from(s.l));
+        let tight_cfg = ModelConfig::tightened(u32::from(s.n), u32::from(s.l));
+        let basic = IlpModel::build(inst.clone(), basic_cfg).expect("build basic");
+        let tight = IlpModel::build(inst.clone(), tight_cfg).expect("build tight");
+
+        let lp_basic = solve_lp(basic.problem(), &LpOptions::default()).expect("lp basic");
+        let lp_tight = solve_lp(tight.problem(), &LpOptions::default()).expect("lp tight");
+        match (lp_basic.status, lp_tight.status) {
+            (LpStatus::Optimal, LpStatus::Optimal) => {
+                prop_assert!(
+                    lp_tight.objective >= lp_basic.objective - 1e-6,
+                    "tightened LP {} below basic LP {}",
+                    lp_tight.objective,
+                    lp_basic.objective
+                );
+            }
+            // Tightened may already prove infeasibility where basic cannot;
+            // the reverse would be a bug.
+            (LpStatus::Infeasible, _) => {
+                prop_assert_eq!(lp_tight.status, LpStatus::Infeasible,
+                    "basic LP infeasible but tightened LP feasible");
+            }
+            _ => {}
+        }
+
+        let out_basic = basic.solve(&SolveOptions::default()).expect("solve basic");
+        let out_tight = tight.solve(&SolveOptions::default()).expect("solve tight");
+        prop_assert_eq!(out_basic.status, out_tight.status);
+        if out_basic.status == MipStatus::Optimal {
+            prop_assert_eq!(
+                out_basic.solution.unwrap().communication_cost(),
+                out_tight.solution.unwrap().communication_cost()
+            );
+        }
+    }
+}
