@@ -67,5 +67,48 @@ fn bench_rule_comparison(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_graph1_rows, bench_rule_comparison);
+fn bench_parallel_speedup(c: &mut Criterion) {
+    // Serial vs fully parallel node search on the Table 3 workhorse row
+    // (graph 1, N=3, L=1 — 585 serial nodes unseeded). The `tables --
+    // parallel` experiment sweeps intermediate thread counts; this group
+    // keeps the two endpoints under criterion sampling.
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("parallel_speedup_g1_N3_L1");
+    group.sample_size(10);
+    for threads in [1usize, max_threads] {
+        let instance = date98_instance(1, 2, 2, 1, date98_device()).expect("instance");
+        let model =
+            IlpModel::build(instance, ModelConfig::tightened(3, 1)).expect("build");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}threads")),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let mip = MipOptions {
+                        time_limit_secs: 120.0,
+                        threads,
+                        ..MipOptions::default()
+                    };
+                    model
+                        .solve(&SolveOptions {
+                            mip,
+                            rule: RuleKind::Paper,
+                            seed_incumbent: false,
+                        })
+                        .expect("solve")
+                        .stats
+                        .nodes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph1_rows,
+    bench_rule_comparison,
+    bench_parallel_speedup
+);
 criterion_main!(benches);

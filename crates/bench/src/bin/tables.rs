@@ -1,13 +1,18 @@
 //! Regenerates the paper's tables and the extension studies.
 //!
 //! ```text
-//! cargo run --release -p tempart-bench --bin tables -- <experiment> [--limit SECS]
+//! cargo run --release -p tempart-bench --bin tables -- <experiment> [--limit SECS] [--threads T]
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `table4`, `ablation`,
-//! `simulate`, `all`. The default per-row time limit is 600 s (the paper cut
-//! Table 1 off at 7200 s on a 175 MHz UltraSparc; modern hardware needs far
-//! less to show the same contrast).
+//! `simulate`, `parallel`, `all`. The default per-row time limit is 600 s
+//! (the paper cut Table 1 off at 7200 s on a 175 MHz UltraSparc; modern
+//! hardware needs far less to show the same contrast).
+//!
+//! `--threads T` runs every table row on `T` branch-and-bound workers
+//! (`0` = one per CPU; default `1`, the faithful serial solver). The
+//! `parallel` experiment ignores it and sweeps its own thread counts,
+//! writing the measurements to `BENCH_parallel.json`.
 
 use tempart_bench::report::{format_markdown, format_table};
 use tempart_bench::{date98_device, date98_instance, run_row, ExperimentRow, RowConfig};
@@ -20,6 +25,7 @@ use tempart_sim::{execute, naive_partitioning};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut limit = 600.0f64;
+    let mut threads = 1usize;
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -28,6 +34,11 @@ fn main() {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .expect("--limit takes seconds");
+        } else if a == "--threads" {
+            threads = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--threads takes a worker count (0 = all CPUs)");
         } else {
             experiments.push(a);
         }
@@ -37,21 +48,25 @@ fn main() {
     }
     for e in experiments {
         match e.as_str() {
-            "table1" => table1(limit),
-            "table2" => table2(limit),
-            "table3" => table3(limit),
-            "table4" => table4(limit),
-            "ablation" => ablation(limit),
-            "simulate" => simulate(),
+            "table1" => table1(limit, threads),
+            "table2" => table2(limit, threads),
+            "table3" => table3(limit, threads),
+            "table4" => table4(limit, threads),
+            "ablation" => ablation(limit, threads),
+            "simulate" => simulate(threads),
+            "parallel" => parallel(limit),
             "all" => {
-                table1(limit);
-                table2(limit);
-                table3(limit);
-                table4(limit);
-                ablation(limit);
-                simulate();
+                table1(limit, threads);
+                table2(limit, threads);
+                table3(limit, threads);
+                table4(limit, threads);
+                ablation(limit, threads);
+                simulate(threads);
+                parallel(limit);
             }
-            other => eprintln!("unknown experiment `{other}` (try table1..4, ablation, simulate, all)"),
+            other => eprintln!(
+                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, all)"
+            ),
         }
     }
 }
@@ -73,7 +88,7 @@ fn run_and_print(title: &str, rows: &[RowConfig], limit: f64) -> Vec<ExperimentR
 /// product linearization, per-product `w` (4)–(5), no cuts — and the
 /// unguided lowest-index rule: the paper's Table 1 setup, where three of
 /// four rows blew the 7200 s budget before the §4/§6 improvements.
-fn table1(limit: f64) {
+fn table1(limit: f64, threads: usize) {
     let rows: Vec<RowConfig> = [
         (1, (2, 2, 1), 3u32, 1u32),
         (1, (2, 2, 1), 2, 2),
@@ -89,6 +104,7 @@ fn table1(limit: f64) {
         time_limit_secs: limit,
         device: date98_device(),
         seed_incumbent: false,
+        threads,
     })
     .collect();
     run_and_print("Table 1: basic formulation, unguided branching", &rows, limit);
@@ -96,7 +112,7 @@ fn table1(limit: f64) {
 
 /// Same rows with the tightened constraints (Glover + cuts (28)-(30),(32) +
 /// aggregated (31)), still unguided — the paper's Table 2.
-fn table2(limit: f64) {
+fn table2(limit: f64, threads: usize) {
     let rows: Vec<RowConfig> = [
         (1, (2, 2, 1), 3u32, 1u32),
         (1, (2, 2, 1), 2, 2),
@@ -112,6 +128,7 @@ fn table2(limit: f64) {
         time_limit_secs: limit,
         device: date98_device(),
         seed_incumbent: false,
+        threads,
     })
     .collect();
     run_and_print(
@@ -123,7 +140,7 @@ fn table2(limit: f64) {
 
 /// Latency/partition trade-off on graph 1 (paper Table 3): tightened model
 /// with the §8 guided rule.
-fn table3(limit: f64) {
+fn table3(limit: f64, threads: usize) {
     let rows: Vec<RowConfig> = [
         (3u32, 0u32),
         (3, 1),
@@ -139,6 +156,7 @@ fn table3(limit: f64) {
         time_limit_secs: limit,
         device: date98_device(),
         seed_incumbent: false,
+        threads,
     })
     .collect();
     run_and_print(
@@ -150,7 +168,7 @@ fn table3(limit: f64) {
 
 /// All six graphs with the published (N, A+M+S, L) parameters (paper
 /// Table 4): tightened model + guided rule.
-fn table4(limit: f64) {
+fn table4(limit: f64, threads: usize) {
     // The paper's graphs and device are unpublished; these rows keep the
     // published N and A+M+S and re-fit L per substitute graph (smallest L at
     // which the instance is decidable — EXPERIMENTS.md "Deviations"). The
@@ -176,6 +194,7 @@ fn table4(limit: f64) {
         time_limit_secs: limit,
         device: date98_device(),
         seed_incumbent: true,
+        threads,
     })
     .collect();
     run_and_print("Table 4: temporal partitioning results (guided)", &rows, limit);
@@ -183,7 +202,7 @@ fn table4(limit: f64) {
 
 /// Ablation of the paper's design choices on the Table 3 workhorse
 /// (graph 1, N=3, L=1): linearization method, cut families, branching rule.
-fn ablation(limit: f64) {
+fn ablation(limit: f64, threads: usize) {
     println!("Ablation: graph 1, N=3, L=1 (time limit {limit:.0} s per cell)");
     println!(
         "{:<34} {:>9} {:>9} {:>8} {:>8}",
@@ -273,6 +292,7 @@ fn ablation(limit: f64) {
             time_limit_secs: limit,
             device: date98_device(),
             seed_incumbent,
+            threads,
         };
         match run_row(&cfg) {
             Ok(r) => println!(
@@ -291,7 +311,7 @@ fn ablation(limit: f64) {
 
 /// End-to-end execution study: ILP-optimal vs bandwidth-oblivious naive
 /// partitioning, total cycles including reconfiguration and staging.
-fn simulate() {
+fn simulate(threads: usize) {
     println!("Simulation: ILP vs naive partitioning (total execution cycles)");
     println!(
         "{:<7} {:>2} {:>2} {:>9} {:>10} {:>12} {:>12} {:>8}",
@@ -315,6 +335,7 @@ fn simulate() {
         };
         let mip = MipOptions {
             time_limit_secs: budget,
+            threads,
             ..MipOptions::default()
         };
         let Ok(out) = model.solve(&SolveOptions {
@@ -358,6 +379,87 @@ fn simulate() {
                 );
             }
         }
+    }
+    println!();
+}
+
+/// Parallel-search speedup study: the heaviest decidable serial rows,
+/// re-solved at 1, 2, and 4 branch-and-bound workers. Each cell is the best
+/// of three runs (wall-clock noise on sub-second solves is real); the serial
+/// baseline is the exact deterministic solver the tables use. Results go to
+/// stdout and `BENCH_parallel.json`.
+fn parallel(limit: f64) {
+    const THREADS: [usize; 3] = [1, 2, 4];
+    const REPS: usize = 3;
+    // (label, graph, ams, N, L, rule). The guided rows are the unseeded
+    // Table 3 workhorses (585 and 289 serial nodes); the unguided row is the
+    // Table 2 flagship — ~10.7k cheap nodes, the tree shape where node-level
+    // parallelism pays most.
+    type Case = (&'static str, usize, (u32, u32, u32), u32, u32, RuleKind);
+    let cases: [Case; 3] = [
+        ("g1-N3-L1", 1, (2, 2, 1), 3, 1, RuleKind::Paper),
+        ("g1-N2-L2", 1, (2, 2, 1), 2, 2, RuleKind::Paper),
+        ("g1-N3-L1-unguided", 1, (2, 2, 1), 3, 1, RuleKind::FirstIndex),
+    ];
+    println!("Parallel branch and bound: wall-clock speedup over the serial solver");
+    println!(
+        "{:<18} {:>7} {:>9} {:>9} {:>8} {:>8}",
+        "instance", "threads", "wall(ms)", "nodes", "cost", "speedup"
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for (label, g, ams, n, l, rule) in cases {
+        let mut serial_ms = None;
+        for threads in THREADS {
+            let cfg = RowConfig {
+                graph_no: g,
+                ams,
+                config: ModelConfig::tightened(n, l),
+                rule,
+                time_limit_secs: limit,
+                device: date98_device(),
+                seed_incumbent: false,
+                threads,
+            };
+            let mut best: Option<ExperimentRow> = None;
+            for _ in 0..REPS {
+                match run_row(&cfg) {
+                    Ok(r) => {
+                        if best.as_ref().is_none_or(|b| r.seconds < b.seconds) {
+                            best = Some(r);
+                        }
+                    }
+                    Err(e) => eprintln!("{label} x{threads} failed: {e}"),
+                }
+            }
+            let Some(row) = best else { continue };
+            let wall_ms = row.seconds * 1e3;
+            if threads == 1 {
+                serial_ms = Some(wall_ms);
+            }
+            let speedup = serial_ms.map(|s| s / wall_ms);
+            println!(
+                "{:<18} {:>7} {:>9.1} {:>9} {:>8} {:>8}",
+                label,
+                threads,
+                wall_ms,
+                row.nodes,
+                row.cost.map_or("-".to_string(), |c| c.to_string()),
+                speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            );
+            json_rows.push(format!(
+                "  {{\"instance\": \"{label}\", \"threads\": {threads}, \"nodes\": {}, \
+                 \"wall_ms\": {:.3}, \"cost\": {}, \"speedup\": {}}}",
+                row.nodes,
+                wall_ms,
+                row.cost.map_or("null".to_string(), |c| c.to_string()),
+                speedup.map_or("null".to_string(), |s| format!("{s:.4}")),
+            ));
+        }
+    }
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("wrote BENCH_parallel.json ({} rows)", json_rows.len()),
+        Err(e) => eprintln!("cannot write BENCH_parallel.json: {e}"),
     }
     println!();
 }

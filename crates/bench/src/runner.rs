@@ -28,6 +28,10 @@ pub struct RowConfig {
     /// reproductions run unseeded; Table 4 and the extension studies use the
     /// modern default.
     pub seed_incumbent: bool,
+    /// Branch-and-bound worker threads (`1` = exact serial solver with
+    /// deterministic node counts, `0` = one per CPU). The faithful table
+    /// reproductions run serial; the `parallel` experiment sweeps this.
+    pub threads: usize,
 }
 
 /// Result of one experiment row, mirroring the paper's table columns.
@@ -102,6 +106,7 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
     let stats = model.stats().clone();
     let mip = MipOptions {
         time_limit_secs: cfg.time_limit_secs,
+        threads: cfg.threads,
         ..MipOptions::default()
     };
     let started = Instant::now();
@@ -162,6 +167,7 @@ mod tests {
             time_limit_secs: 10.0,
             device: date98_device(),
             seed_incumbent: true,
+            threads: 1,
         })
         .unwrap();
         assert_eq!(row.tasks, 5);

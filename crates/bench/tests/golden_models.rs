@@ -4,7 +4,8 @@
 //! EXPERIMENTS.md no longer describe what the code builds.
 
 use tempart_bench::{date98_device, date98_instance, paper_graph};
-use tempart_core::{IlpModel, ModelConfig};
+use tempart_core::{IlpModel, ModelConfig, SolveOptions};
+use tempart_lp::MipStatus;
 
 #[test]
 fn paper_graph_shapes_are_stable() {
@@ -49,6 +50,63 @@ fn table_row_model_sizes_are_stable() {
             stats.num_constraints,
             stats.families.iter().map(|&(_, c)| c).sum::<usize>(),
             "g{g} N{n} L{l}"
+        );
+    }
+}
+
+#[test]
+fn serial_search_node_counts_pinned() {
+    // Exact node and LP-iteration counts of the `threads = 1` search on
+    // graph 1's Table 3 rows. The serial visit order is part of the
+    // reproducibility contract (DESIGN.md §5b): the multi-threaded solver
+    // must leave this path bit-identical, so any movement here is a solver
+    // change, not run-to-run noise. Update together with EXPERIMENTS.md if
+    // intentional.
+    type Pin = ((u32, u32), MipStatus, usize, usize, Option<u64>);
+    let expected: [Pin; 4] = [
+        ((3, 0), MipStatus::Infeasible, 1, 135, None),
+        ((3, 1), MipStatus::Optimal, 585, 10_958, Some(13)),
+        ((2, 2), MipStatus::Optimal, 289, 9_157, Some(5)),
+        ((2, 3), MipStatus::Optimal, 1, 166, Some(0)),
+    ];
+    for ((n, l), status, nodes, lp_iters, cost) in expected {
+        let inst = date98_instance(1, 2, 2, 1, date98_device()).unwrap();
+        let model = IlpModel::build(inst, ModelConfig::tightened(n, l)).unwrap();
+        let out = model.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(out.status, status, "N{n} L{l} status");
+        assert_eq!(out.stats.nodes, nodes, "N{n} L{l} nodes");
+        assert_eq!(out.stats.lp_iterations, lp_iters, "N{n} L{l} lp iterations");
+        assert_eq!(
+            out.solution.as_ref().map(|s| s.communication_cost()),
+            cost,
+            "N{n} L{l} objective"
+        );
+        assert_eq!(out.stats.per_worker_nodes, vec![nodes], "N{n} L{l} serial worker vec");
+        assert_eq!(out.stats.steals, 0, "N{n} L{l} serial steals");
+    }
+}
+
+#[test]
+fn parallel_search_same_optimum_on_flagship_row() {
+    // The hardest Table 3 row of graph 1 (585 serial nodes): 2 and 4 worker
+    // threads must prove the same optimal communication cost. Node counts
+    // are intentionally unchecked — they are nondeterministic above one
+    // thread.
+    let serial_cost = 13;
+    for threads in [2usize, 4] {
+        let inst = date98_instance(1, 2, 2, 1, date98_device()).unwrap();
+        let model = IlpModel::build(inst, ModelConfig::tightened(3, 1)).unwrap();
+        let mut opts = SolveOptions::default();
+        opts.mip.threads = threads;
+        let out = model.solve(&opts).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal, "threads {threads}");
+        let sol = out.solution.expect("optimal has solution");
+        assert_eq!(sol.communication_cost(), serial_cost, "threads {threads}");
+        assert_eq!(out.stats.per_worker_nodes.len(), threads);
+        assert_eq!(
+            out.stats.per_worker_nodes.iter().sum::<usize>(),
+            out.stats.nodes,
+            "threads {threads}: per-worker counts must sum to the total"
         );
     }
 }

@@ -1,13 +1,17 @@
 //! `tempart` — command-line temporal partitioning and synthesis.
 //!
 //! ```text
-//! tempart solve <spec.json> [--partitions N] [--latency L] [--limit SECS]
+//! tempart solve <spec.json> [--partitions N] [--latency L] [--limit SECS] [--threads T]
 //! tempart estimate <spec.json>
-//! tempart simulate <spec.json> [--partitions N] [--latency L]
+//! tempart simulate <spec.json> [--partitions N] [--latency L] [--threads T]
 //! tempart dot <spec.json>
 //! tempart export <spec.json> [--partitions N] [--latency L] [--format lp|mps]
 //! tempart example
 //! ```
+//!
+//! `--threads T` runs the branch-and-bound node search on `T` worker
+//! threads (`0` = one per CPU). The default `1` is the exact serial solver
+//! with deterministic node counts; any `T` proves the same optimum.
 //!
 //! * `solve` — run the full Figure-2 pipeline and print the optimal
 //!   partitioning, schedule, and solver statistics.
@@ -37,6 +41,7 @@ struct Args {
     latency: Option<u32>,
     limit: f64,
     format: String,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         latency: None,
         limit: 600.0,
         format: "lp".to_string(),
+        threads: 1,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -74,6 +80,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--format" => {
                 args.format = it.next().ok_or("--format takes lp or mps")?;
+            }
+            "--threads" | "-j" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads takes a worker count (0 = all CPUs)")?
             }
             other if args.spec_path.is_none() && !other.starts_with('-') => {
                 args.spec_path = Some(other.to_string())
@@ -158,6 +170,7 @@ fn run() -> Result<(), String> {
             let inst = spec.build_instance().map_err(|e| e.to_string())?;
             let mip = MipOptions {
                 time_limit_secs: args.limit,
+                threads: args.threads,
                 ..MipOptions::default()
             };
             let solve = SolveOptions {
@@ -176,6 +189,12 @@ fn run() -> Result<(), String> {
                         "status: {:?}; {} nodes, {} LP iterations, {:.2}s",
                         out.status, out.stats.nodes, out.stats.lp_iterations, out.stats.seconds
                     );
+                    if out.stats.per_worker_nodes.len() > 1 {
+                        println!(
+                            "workers: {:?} nodes, {} steals",
+                            out.stats.per_worker_nodes, out.stats.steals
+                        );
+                    }
                     (out.solution.ok_or("no feasible partitioning")?, config)
                 }
                 (None, l) => {
@@ -257,7 +276,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--limit SECS]");
+            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--limit SECS] [--threads T]");
             ExitCode::FAILURE
         }
     }

@@ -34,26 +34,29 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use tempart_core::Instance;
 use tempart_graph::{
     Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
 };
 
+mod json;
+
+use json::Value;
+
 /// One task: named, with operation mnemonics and intra-task dependencies.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaskSpec {
     /// Task name (unique within the file).
     pub name: String,
     /// Operation kinds, by mnemonic: `add`, `sub`, `mul`, `cmp`, `log`.
     pub ops: Vec<String>,
-    /// Intra-task dependencies as `[from_index, to_index]` pairs.
-    #[serde(default)]
+    /// Intra-task dependencies as `[from_index, to_index]` pairs
+    /// (defaults to none).
     pub deps: Vec<[usize; 2]>,
 }
 
 /// One inter-task edge.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EdgeSpec {
     /// Producing task name.
     pub from: String,
@@ -64,17 +67,17 @@ pub struct EdgeSpec {
 }
 
 /// One functional-unit class in the exploration set.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FuSpec {
-    /// Library type name (e.g. `add16`, `mul8`, `sub16`, `cmp16`, `alu16`).
-    #[serde(rename = "type")]
+    /// Library type name (e.g. `add16`, `mul8`, `sub16`, `cmp16`, `alu16`) —
+    /// the `type` key in JSON.
     pub type_name: String,
     /// Instance count.
     pub count: u32,
 }
 
 /// Device parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceSpec {
     /// Device name.
     pub name: String,
@@ -84,31 +87,22 @@ pub struct DeviceSpec {
     pub scratch_memory: u64,
     /// Logic-optimization factor `α ∈ (0, 1]`.
     pub alpha: f64,
-    /// Reconfiguration latency in cycles (simulator only).
-    #[serde(default = "default_reconfig")]
+    /// Reconfiguration latency in cycles (simulator only; defaults to the
+    /// XC6200 figure of 164 000).
     pub reconfig_cycles: u64,
-    /// Per-word scratch access latency in cycles (simulator only).
-    #[serde(default = "default_word_cycles")]
+    /// Per-word scratch access latency in cycles (simulator only; defaults
+    /// to 1).
     pub memory_word_cycles: u64,
 }
 
-fn default_reconfig() -> u64 {
-    164_000
-}
-
-fn default_word_cycles() -> u64 {
-    1
-}
-
 /// A complete specification file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpecFile {
     /// Specification name.
     pub name: String,
     /// Tasks in any topological-friendly order.
     pub tasks: Vec<TaskSpec>,
-    /// Inter-task edges.
-    #[serde(default)]
+    /// Inter-task edges (defaults to none).
     pub edges: Vec<EdgeSpec>,
     /// Functional-unit exploration set.
     pub fus: Vec<FuSpec>,
@@ -121,7 +115,7 @@ pub struct SpecFile {
 #[non_exhaustive]
 pub enum LoadError {
     /// JSON syntax or shape error.
-    Json(serde_json::Error),
+    Json(String),
     /// Unknown operation mnemonic.
     UnknownOpKind(String),
     /// A `deps` or `edges` entry referenced something undefined.
@@ -147,16 +141,9 @@ impl fmt::Display for LoadError {
 impl std::error::Error for LoadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            LoadError::Json(e) => Some(e),
             LoadError::Graph(e) => Some(e),
             _ => None,
         }
-    }
-}
-
-impl From<serde_json::Error> for LoadError {
-    fn from(e: serde_json::Error) -> Self {
-        LoadError::Json(e)
     }
 }
 
@@ -177,6 +164,120 @@ fn parse_kind(s: &str) -> Result<OpKind, LoadError> {
     }
 }
 
+fn jerr(msg: impl Into<String>) -> LoadError {
+    LoadError::Json(msg.into())
+}
+
+fn field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, LoadError> {
+    v.get(key)
+        .ok_or_else(|| jerr(format!("missing field `{key}` in {ctx}")))
+}
+
+fn str_field(v: &Value, key: &str, ctx: &str) -> Result<String, LoadError> {
+    field(v, key, ctx)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| jerr(format!("field `{key}` in {ctx} must be a string")))
+}
+
+fn u64_field(v: &Value, key: &str, ctx: &str) -> Result<u64, LoadError> {
+    field(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| jerr(format!("field `{key}` in {ctx} must be a non-negative integer")))
+}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> Result<f64, LoadError> {
+    field(v, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| jerr(format!("field `{key}` in {ctx} must be a number")))
+}
+
+fn arr_field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a [Value], LoadError> {
+    field(v, key, ctx)?
+        .as_arr()
+        .ok_or_else(|| jerr(format!("field `{key}` in {ctx} must be an array")))
+}
+
+/// A `u64` field that may be absent, taking `default` then.
+fn opt_u64_field(v: &Value, key: &str, ctx: &str, default: u64) -> Result<u64, LoadError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| jerr(format!("field `{key}` in {ctx} must be a non-negative integer"))),
+    }
+}
+
+impl TaskSpec {
+    fn from_value(v: &Value) -> Result<Self, LoadError> {
+        let name = str_field(v, "name", "task")?;
+        let ctx = format!("task `{name}`");
+        let ops = arr_field(v, "ops", &ctx)?
+            .iter()
+            .map(|o| {
+                o.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| jerr(format!("`ops` entries in {ctx} must be strings")))
+            })
+            .collect::<Result<_, _>>()?;
+        let deps = match v.get("deps") {
+            None => Vec::new(),
+            Some(d) => d
+                .as_arr()
+                .ok_or_else(|| jerr(format!("`deps` in {ctx} must be an array")))?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr().unwrap_or(&[]);
+                    match pair {
+                        [a, b] => match (a.as_u64(), b.as_u64()) {
+                            (Some(a), Some(b)) => Ok([a as usize, b as usize]),
+                            _ => Err(jerr(format!("`deps` indices in {ctx} must be integers"))),
+                        },
+                        _ => Err(jerr(format!(
+                            "`deps` entries in {ctx} must be [from, to] pairs"
+                        ))),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(TaskSpec { name, ops, deps })
+    }
+}
+
+impl EdgeSpec {
+    fn from_value(v: &Value) -> Result<Self, LoadError> {
+        Ok(EdgeSpec {
+            from: str_field(v, "from", "edge")?,
+            to: str_field(v, "to", "edge")?,
+            bandwidth: u64_field(v, "bandwidth", "edge")?,
+        })
+    }
+}
+
+impl FuSpec {
+    fn from_value(v: &Value) -> Result<Self, LoadError> {
+        let count = u64_field(v, "count", "fu")?;
+        Ok(FuSpec {
+            type_name: str_field(v, "type", "fu")?,
+            count: u32::try_from(count).map_err(|_| jerr("fu `count` out of range"))?,
+        })
+    }
+}
+
+impl DeviceSpec {
+    fn from_value(v: &Value) -> Result<Self, LoadError> {
+        let capacity = u64_field(v, "capacity", "device")?;
+        Ok(DeviceSpec {
+            name: str_field(v, "name", "device")?,
+            capacity: u32::try_from(capacity).map_err(|_| jerr("device `capacity` out of range"))?,
+            scratch_memory: u64_field(v, "scratch_memory", "device")?,
+            alpha: f64_field(v, "alpha", "device")?,
+            reconfig_cycles: opt_u64_field(v, "reconfig_cycles", "device", 164_000)?,
+            memory_word_cycles: opt_u64_field(v, "memory_word_cycles", "device", 1)?,
+        })
+    }
+}
+
 impl SpecFile {
     /// Parses a specification from JSON text.
     ///
@@ -184,16 +285,97 @@ impl SpecFile {
     ///
     /// [`LoadError::Json`] on malformed input.
     pub fn from_json(text: &str) -> Result<Self, LoadError> {
-        Ok(serde_json::from_str(text)?)
+        let v = json::parse(text).map_err(LoadError::Json)?;
+        if !matches!(v, Value::Obj(_)) {
+            return Err(jerr("specification must be a JSON object"));
+        }
+        let tasks = arr_field(&v, "tasks", "specification")?
+            .iter()
+            .map(TaskSpec::from_value)
+            .collect::<Result<_, _>>()?;
+        let edges = match v.get("edges") {
+            None => Vec::new(),
+            Some(e) => e
+                .as_arr()
+                .ok_or_else(|| jerr("`edges` must be an array"))?
+                .iter()
+                .map(EdgeSpec::from_value)
+                .collect::<Result<_, _>>()?,
+        };
+        let fus = arr_field(&v, "fus", "specification")?
+            .iter()
+            .map(FuSpec::from_value)
+            .collect::<Result<_, _>>()?;
+        Ok(SpecFile {
+            name: str_field(&v, "name", "specification")?,
+            tasks,
+            edges,
+            fus,
+            device: DeviceSpec::from_value(field(&v, "device", "specification")?)?,
+        })
     }
 
-    /// Serializes back to pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the spec types always serialize.
+    /// Serializes back to pretty JSON (two-space indent, key order as
+    /// documented in the crate docs).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec types always serialize")
+        let mut o = String::new();
+        o.push_str("{\n  \"name\": ");
+        json::write_escaped(&mut o, &self.name);
+        o.push_str(",\n  \"tasks\": [");
+        for (i, t) in self.tasks.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\n      \"name\": ");
+            json::write_escaped(&mut o, &t.name);
+            o.push_str(",\n      \"ops\": [");
+            for (j, op) in t.ops.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                json::write_escaped(&mut o, op);
+            }
+            o.push_str("],\n      \"deps\": [");
+            for (j, [a, b]) in t.deps.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str(&format!("[{a}, {b}]"));
+            }
+            o.push_str("]\n    }");
+        }
+        o.push_str("\n  ],\n  \"edges\": [");
+        for (i, e) in self.edges.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    { \"from\": ");
+            json::write_escaped(&mut o, &e.from);
+            o.push_str(", \"to\": ");
+            json::write_escaped(&mut o, &e.to);
+            o.push_str(&format!(", \"bandwidth\": {} }}", e.bandwidth));
+        }
+        o.push_str("\n  ],\n  \"fus\": [");
+        for (i, f) in self.fus.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    { \"type\": ");
+            json::write_escaped(&mut o, &f.type_name);
+            o.push_str(&format!(", \"count\": {} }}", f.count));
+        }
+        o.push_str("\n  ],\n  \"device\": {\n    \"name\": ");
+        json::write_escaped(&mut o, &self.device.name);
+        o.push_str(&format!(",\n    \"capacity\": {}", self.device.capacity));
+        o.push_str(&format!(
+            ",\n    \"scratch_memory\": {}",
+            self.device.scratch_memory
+        ));
+        o.push_str(",\n    \"alpha\": ");
+        json::write_f64(&mut o, self.device.alpha);
+        o.push_str(&format!(
+            ",\n    \"reconfig_cycles\": {}",
+            self.device.reconfig_cycles
+        ));
+        o.push_str(&format!(
+            ",\n    \"memory_word_cycles\": {}\n  }}\n}}",
+            self.device.memory_word_cycles
+        ));
+        o
     }
 
     /// Builds the [`Instance`] this file describes.

@@ -151,12 +151,12 @@ impl BranchingRule for PriorityRule {
     }
 }
 
-fn is_fractional(v: f64, tol: f64) -> bool {
+pub(crate) fn is_fractional(v: f64, tol: f64) -> bool {
     (v - v.round()).abs() > tol
 }
 
 /// Statistics of a branch-and-bound run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MipStats {
     /// Nodes whose LP relaxation was solved.
     pub nodes: usize,
@@ -170,6 +170,12 @@ pub struct MipStats {
     pub incumbent_updates: usize,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Nodes solved by each worker (one entry per worker; a single entry
+    /// equal to `nodes` for the serial solver).
+    pub per_worker_nodes: Vec<usize>,
+    /// Nodes a worker took from the shared pool that another worker
+    /// produced (always 0 for the serial solver).
+    pub steals: usize,
 }
 
 /// Result of a branch-and-bound solve.
@@ -190,9 +196,42 @@ pub struct MipSolution {
     pub stats: MipStats,
 }
 
+/// Per-node variable-bound overrides relative to the root relaxation.
+///
+/// Nodes never mutate the shared [`Problem`] or the root [`CoreLp`] bound
+/// arrays; each node carries this overlay and workers apply it to their own
+/// scratch copies of the root bounds. That makes node state self-contained,
+/// which the parallel search relies on: any worker can pick up any node.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BoundOverlay {
+    /// `(variable, lower, upper)` overrides, in fixing order (root-most
+    /// first). Later entries win, matching the order branching applied them.
+    entries: Vec<(VarId, f64, f64)>,
+}
+
+impl BoundOverlay {
+    /// The overlay extended by one more fixing.
+    pub(crate) fn child(&self, var: VarId, lo: f64, hi: f64) -> Self {
+        let mut entries = Vec::with_capacity(self.entries.len() + 1);
+        entries.extend_from_slice(&self.entries);
+        entries.push((var, lo, hi));
+        Self { entries }
+    }
+
+    /// Resets `lower`/`upper` to the root bounds and applies the overlay.
+    pub(crate) fn apply(&self, root: &CoreLp, lower: &mut [f64], upper: &mut [f64]) {
+        lower.copy_from_slice(&root.lower);
+        upper.copy_from_slice(&root.upper);
+        for &(var, lo, hi) in &self.entries {
+            lower[var.index()] = lo;
+            upper[var.index()] = hi;
+        }
+    }
+}
+
 struct Node {
-    /// `(column, lower, upper)` overrides relative to the root bounds.
-    fixings: Vec<(usize, f64, f64)>,
+    /// Bound overrides relative to the root bounds.
+    overlay: BoundOverlay,
     /// Basis of the parent's LP optimum, if available.
     warm: Option<BasisSnapshot>,
     /// Parent LP bound (for cheap pre-pruning).
@@ -222,7 +261,7 @@ struct Node {
 pub struct BranchAndBound<'a> {
     problem: &'a Problem,
     options: MipOptions,
-    rule: Box<dyn BranchingRule + 'a>,
+    rule: Box<dyn BranchingRule + Sync + 'a>,
 }
 
 impl<'a> BranchAndBound<'a> {
@@ -245,43 +284,50 @@ impl<'a> BranchAndBound<'a> {
 
     /// Replaces the branching rule.
     #[must_use]
-    pub fn rule(mut self, rule: impl BranchingRule + 'a) -> Self {
+    pub fn rule(mut self, rule: impl BranchingRule + Sync + 'a) -> Self {
         self.rule = Box::new(rule);
         self
     }
 
     /// Runs the search.
     ///
+    /// With [`MipOptions::threads`] above one (or zero, meaning one worker
+    /// per CPU) the node search runs on a shared-pool worker team; the
+    /// returned objective and status are the same as the serial solver's,
+    /// but node counts vary run to run. See `parallel` module docs.
+    ///
     /// # Errors
     ///
     /// Propagates unrecoverable LP failures
     /// ([`LpError::IterationLimit`], [`LpError::SingularBasis`]).
     pub fn solve(&self) -> Result<MipSolution, LpError> {
+        let workers = resolve_threads(self.options.threads);
+        if workers > 1 {
+            return crate::parallel::solve_parallel(
+                self.problem,
+                &self.options,
+                self.rule.as_ref(),
+                workers,
+            );
+        }
+        self.solve_serial()
+    }
+
+    /// The exact depth-first serial algorithm (`threads == 1`): node visit
+    /// order, node counts, and the incumbent are fully deterministic.
+    fn solve_serial(&self) -> Result<MipSolution, LpError> {
         let start = Instant::now();
         let core = CoreLp::from_problem(self.problem);
         let ns = core.num_structs;
         let opts = &self.options;
         let mut stats = MipStats::default();
 
-        let mut incumbent: Option<(Vec<f64>, f64)> = None;
-        if let Some(x0) = &opts.initial_incumbent {
-            let integral = x0.len() == ns
-                && self.problem.var_ids().all(|v| {
-                    self.problem.var_kind(v) != VarKind::Binary
-                        || !is_fractional(x0[v.index()], opts.int_tol)
-                })
-                && self.problem.var_ids().all(|v| {
-                    let (lo, hi) = self.problem.var_bounds(v);
-                    x0[v.index()] >= lo - opts.int_tol && x0[v.index()] <= hi + opts.int_tol
-                });
-            if integral && self.problem.first_violated(x0, 1e-6).is_none() {
-                let obj = self.problem.objective_value(x0);
-                incumbent = Some((x0.clone(), obj));
-                stats.incumbent_updates += 1;
-            }
+        let mut incumbent = validate_incumbent(self.problem, opts, ns);
+        if incumbent.is_some() {
+            stats.incumbent_updates += 1;
         }
         let mut stack: Vec<Node> = vec![Node {
-            fixings: Vec::new(),
+            overlay: BoundOverlay::default(),
             warm: None,
             parent_bound: f64::NEG_INFINITY,
         }];
@@ -308,12 +354,7 @@ impl<'a> BranchAndBound<'a> {
                 }
             }
             // Apply node bounds.
-            lower.copy_from_slice(&core.lower);
-            upper.copy_from_slice(&core.upper);
-            for &(col, lo, hi) in &node.fixings {
-                lower[col] = lo;
-                upper[col] = hi;
-            }
+            node.overlay.apply(&core, &mut lower, &mut upper);
             // Solve the node LP (warm dual first, cold fallback), bounded
             // by the remaining wall-clock budget so one long LP cannot blow
             // through the global limit.
@@ -398,12 +439,9 @@ impl<'a> BranchAndBound<'a> {
                     }
                 }
                 Some((v, dir)) => {
-                    let col = v.index();
                     let fix = |val: f64| -> Node {
-                        let mut f = node.fixings.clone();
-                        f.push((col, val, val));
                         Node {
-                            fixings: f,
+                            overlay: node.overlay.child(v, val, val),
                             warm: Some(outcome.snapshot.clone()),
                             parent_bound: outcome.objective,
                         }
@@ -420,6 +458,7 @@ impl<'a> BranchAndBound<'a> {
             }
         }
         stats.seconds = start.elapsed().as_secs_f64();
+        stats.per_worker_nodes = vec![stats.nodes];
         let (x, objective, status) = match incumbent {
             Some((x, obj)) => (x, obj, status),
             None => (
@@ -453,13 +492,47 @@ impl<'a> BranchAndBound<'a> {
 }
 
 /// Whether a node with LP bound `bound` cannot beat incumbent `inc`.
-fn prune_bound(bound: f64, inc: f64, opts: &MipOptions) -> bool {
+pub(crate) fn prune_bound(bound: f64, inc: f64, opts: &MipOptions) -> bool {
     let effective = if opts.objective_is_integral {
         (bound - 1e-6).ceil()
     } else {
         bound
     };
     effective >= inc - opts.abs_gap
+}
+
+/// Resolves [`MipOptions::threads`] to a worker count (`0` = all CPUs).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+}
+
+/// Validates [`MipOptions::initial_incumbent`] exactly as the search would
+/// accept an integral node: correct length, integral binaries, inside
+/// bounds, feasible. Returns the point with its objective, or `None`.
+pub(crate) fn validate_incumbent(
+    problem: &Problem,
+    opts: &MipOptions,
+    num_structs: usize,
+) -> Option<(Vec<f64>, f64)> {
+    let x0 = opts.initial_incumbent.as_ref()?;
+    let integral = x0.len() == num_structs
+        && problem.var_ids().all(|v| {
+            problem.var_kind(v) != VarKind::Binary || !is_fractional(x0[v.index()], opts.int_tol)
+        })
+        && problem.var_ids().all(|v| {
+            let (lo, hi) = problem.var_bounds(v);
+            x0[v.index()] >= lo - opts.int_tol && x0[v.index()] <= hi + opts.int_tol
+        });
+    if integral && problem.first_violated(x0, 1e-6).is_none() {
+        let obj = problem.objective_value(x0);
+        Some((x0.clone(), obj))
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ mod internal;
 mod lu;
 mod mps;
 mod options;
+mod parallel;
 mod presolve;
 mod problem;
 mod simplex;

@@ -57,6 +57,12 @@ pub struct MipOptions {
     /// against every constraint and the integrality of binaries before use;
     /// an invalid point is silently ignored.
     pub initial_incumbent: Option<Vec<f64>>,
+    /// Worker threads for the tree search. `1` (the default) runs the exact
+    /// serial algorithm with deterministic node counts; `0` means one worker
+    /// per available CPU. Any thread count returns the same proven optimal
+    /// objective — only node/steal counts and the incumbent's tie-broken
+    /// argmin may vary above one thread.
+    pub threads: usize,
 }
 
 impl Default for MipOptions {
@@ -69,6 +75,7 @@ impl Default for MipOptions {
             objective_is_integral: false,
             abs_gap: 1e-9,
             initial_incumbent: None,
+            threads: 1,
         }
     }
 }
@@ -86,5 +93,6 @@ mod tests {
         assert!(mip.int_tol >= lp.feas_tol);
         assert!(!mip.objective_is_integral);
         assert!(mip.time_limit_secs.is_infinite());
+        assert_eq!(mip.threads, 1, "serial by default");
     }
 }

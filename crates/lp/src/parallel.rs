@@ -1,0 +1,494 @@
+//! Multi-worker branch and bound over a shared node pool.
+//!
+//! Entered from [`BranchAndBound::solve`](crate::BranchAndBound::solve) when
+//! [`MipOptions::threads`](crate::MipOptions::threads) resolves above one.
+//! Built on `std::thread` only:
+//!
+//! * **Shared node pool** — a mutex-protected deque kept ordered by parent
+//!   LP bound (best bound at the front). Workers dive depth-first on the
+//!   branching rule's preferred child locally and publish the sibling to
+//!   the pool, so an idle worker always steals the globally most promising
+//!   open subproblem while busy workers keep the serial solver's dive
+//!   locality (and with it the dual warm-start hit rate).
+//! * **Warm starts** — each published node carries an
+//!   `Arc<BasisSnapshot>` of its parent's optimal basis; the stealing
+//!   worker dual-warm-starts its own [`CoreLp`] scratch bounds from it,
+//!   exactly as the serial solver does, falling back to a cold two-phase
+//!   primal on numerical trouble.
+//! * **Shared incumbent** — the incumbent point lives behind a mutex, but
+//!   its objective is mirrored into an `AtomicU64` (monotone order-preserving
+//!   encoding of the `f64`), so the hot bound-pruning path never takes a
+//!   lock.
+//! * **Cooperative cancellation** — deadline and node-limit breaches set an
+//!   `AtomicBool`; workers drain their in-flight nodes back into the pool
+//!   so the reported `best_bound` stays a valid lower bound, then exit.
+//!
+//! ## Determinism contract
+//!
+//! At any thread count the solver proves the same optimal objective (or the
+//! same infeasibility). Node visit order, node/steal counts, and which of
+//! several objective-tied optima becomes the incumbent are deterministic
+//! only at `threads == 1`; limit-terminated runs may also differ in their
+//! reported gap.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::branch::{
+    is_fractional, prune_bound, validate_incumbent, BoundOverlay, BranchDirection, BranchingRule,
+    MipSolution, MipStats,
+};
+use crate::internal::CoreLp;
+use crate::options::MipOptions;
+use crate::problem::{LpError, Problem, VarKind};
+use crate::simplex::{solve_core_cold, solve_core_warm, BasisSnapshot, WarmFail};
+use crate::status::{LpStatus, MipStatus};
+
+/// Order-preserving encoding of an `f64` into a `u64`: `a < b` iff
+/// `key(a) < key(b)` (for non-NaN values), so an atomic minimum objective
+/// can be kept in an `AtomicU64`.
+fn bound_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+fn key_bound(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & !(1u64 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// Root and requeued nodes have no producing worker.
+const UNOWNED: usize = usize::MAX;
+
+struct ParNode {
+    overlay: BoundOverlay,
+    warm: Option<Arc<BasisSnapshot>>,
+    parent_bound: f64,
+    /// Worker that produced the node (for steal accounting).
+    owner: usize,
+}
+
+struct Pool {
+    /// Open nodes, ordered by `parent_bound` ascending (best bound first).
+    queue: VecDeque<ParNode>,
+    /// Open nodes anywhere: in `queue`, in a worker's local dive buffer, or
+    /// in flight. Zero means the tree is exhausted.
+    outstanding: usize,
+    /// Set on exhaustion or cancellation; workers exit when they see it.
+    done: bool,
+}
+
+/// Per-worker tallies, merged into [`MipStats`] after the join.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerStats {
+    nodes: usize,
+    lp_iterations: usize,
+    pruned_by_bound: usize,
+    pruned_infeasible: usize,
+    incumbent_updates: usize,
+    steals: usize,
+}
+
+struct Shared<'a> {
+    core: &'a CoreLp,
+    problem: &'a Problem,
+    rule: &'a (dyn BranchingRule + Sync),
+    opts: &'a MipOptions,
+    start: Instant,
+    pool: Mutex<Pool>,
+    work_available: Condvar,
+    /// `bound_key` of the incumbent objective (`+∞` before the first).
+    incumbent_key: AtomicU64,
+    incumbent: Mutex<Option<(Vec<f64>, f64)>>,
+    /// Global solved-node count (node-limit enforcement).
+    nodes: AtomicUsize,
+    cancel: AtomicBool,
+    status: Mutex<MipStatus>,
+    error: Mutex<Option<LpError>>,
+}
+
+impl Shared<'_> {
+    /// Lock-free read of the incumbent objective (`+∞` if none yet).
+    fn incumbent_bound(&self) -> f64 {
+        key_bound(self.incumbent_key.load(Ordering::Acquire))
+    }
+
+    /// Installs a better incumbent; returns whether it was accepted.
+    fn offer_incumbent(&self, x: &[f64], obj: f64) -> bool {
+        let mut inc = self.incumbent.lock().unwrap();
+        let better = inc.as_ref().is_none_or(|(_, b)| obj < b - self.opts.abs_gap);
+        if better {
+            *inc = Some((x.to_vec(), obj));
+            // Monotone under the lock: only ever decreases.
+            self.incumbent_key.store(bound_key(obj), Ordering::Release);
+        }
+        better
+    }
+
+    /// Takes the best-bound node from the pool, blocking while other
+    /// workers might still publish work. `None` means the search is over
+    /// (exhausted or cancelled); the bool reports a steal.
+    fn acquire(&self, id: usize) -> Option<(ParNode, bool)> {
+        let mut pool = self.pool.lock().unwrap();
+        loop {
+            if pool.done {
+                return None;
+            }
+            if let Some(n) = pool.queue.pop_front() {
+                let stolen = n.owner != UNOWNED && n.owner != id;
+                return Some((n, stolen));
+            }
+            if pool.outstanding == 0 {
+                pool.done = true;
+                self.work_available.notify_all();
+                return None;
+            }
+            pool = self.work_available.wait(pool).unwrap();
+        }
+    }
+
+    /// Closes out one node: `sibling` (if any) goes to the pool,
+    /// `kept_local` says whether a preferred child stayed in the worker's
+    /// dive buffer. Updates the outstanding count and wakes waiters.
+    fn complete(&self, sibling: Option<ParNode>, kept_local: bool) {
+        let mut pool = self.pool.lock().unwrap();
+        let children = usize::from(sibling.is_some()) + usize::from(kept_local);
+        if let Some(n) = sibling {
+            let at = pool
+                .queue
+                .partition_point(|q| q.parent_bound <= n.parent_bound);
+            pool.queue.insert(at, n);
+        }
+        pool.outstanding += children;
+        pool.outstanding -= 1;
+        if pool.outstanding == 0 {
+            pool.done = true;
+            self.work_available.notify_all();
+        } else if children == 2 {
+            // A sibling was published: one waiter can steal it.
+            self.work_available.notify_one();
+        }
+    }
+
+    /// Cancellation exit: returns the in-flight node and the local dive
+    /// buffer to the pool (keeping `best_bound` valid) and stops everyone.
+    fn abort(&self, inflight: Option<ParNode>, local: &mut Vec<ParNode>) {
+        let mut pool = self.pool.lock().unwrap();
+        if let Some(n) = inflight {
+            pool.queue.push_back(n);
+        }
+        pool.queue.extend(local.drain(..));
+        pool.done = true;
+        self.work_available.notify_all();
+    }
+
+    /// Records a limit termination (first flag wins) and cancels.
+    fn flag_limit(&self, s: MipStatus) {
+        let mut st = self.status.lock().unwrap();
+        if *st == MipStatus::Optimal {
+            *st = s;
+        }
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// Records a hard error (first error wins) and cancels.
+    fn flag_error(&self, e: LpError) {
+        let mut err = self.error.lock().unwrap();
+        if err.is_none() {
+            *err = Some(e);
+        }
+        self.cancel.store(true, Ordering::Release);
+    }
+}
+
+/// Runs the parallel search with `workers ≥ 2` threads.
+pub(crate) fn solve_parallel(
+    problem: &Problem,
+    opts: &MipOptions,
+    rule: &(dyn BranchingRule + Sync),
+    workers: usize,
+) -> Result<MipSolution, LpError> {
+    debug_assert!(workers >= 2);
+    let start = Instant::now();
+    let core = CoreLp::from_problem(problem);
+    let ns = core.num_structs;
+
+    let seeded = validate_incumbent(problem, opts, ns);
+    let incumbent_key = AtomicU64::new(bound_key(
+        seeded.as_ref().map_or(f64::INFINITY, |(_, obj)| *obj),
+    ));
+    let seeded_updates = usize::from(seeded.is_some());
+
+    let root = ParNode {
+        overlay: BoundOverlay::default(),
+        warm: None,
+        parent_bound: f64::NEG_INFINITY,
+        owner: UNOWNED,
+    };
+    let shared = Shared {
+        core: &core,
+        problem,
+        rule,
+        opts,
+        start,
+        pool: Mutex::new(Pool {
+            queue: VecDeque::from([root]),
+            outstanding: 1,
+            done: false,
+        }),
+        work_available: Condvar::new(),
+        incumbent_key,
+        incumbent: Mutex::new(seeded),
+        nodes: AtomicUsize::new(0),
+        cancel: AtomicBool::new(false),
+        status: Mutex::new(MipStatus::Optimal),
+        error: Mutex::new(None),
+    };
+
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|id| {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(id, shared))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("branch-and-bound worker panicked"))
+            .collect()
+    });
+
+    if let Some(e) = shared.error.lock().unwrap().take() {
+        return Err(e);
+    }
+    let status = *shared.status.lock().unwrap();
+    let incumbent = shared.incumbent.lock().unwrap().take();
+
+    let mut stats = MipStats {
+        seconds: start.elapsed().as_secs_f64(),
+        incumbent_updates: seeded_updates,
+        per_worker_nodes: worker_stats.iter().map(|w| w.nodes).collect(),
+        ..MipStats::default()
+    };
+    for w in &worker_stats {
+        stats.nodes += w.nodes;
+        stats.lp_iterations += w.lp_iterations;
+        stats.pruned_by_bound += w.pruned_by_bound;
+        stats.pruned_infeasible += w.pruned_infeasible;
+        stats.incumbent_updates += w.incumbent_updates;
+        stats.steals += w.steals;
+    }
+
+    let (x, objective, status) = match incumbent {
+        Some((x, obj)) => (x, obj, status),
+        None => (
+            Vec::new(),
+            f64::INFINITY,
+            if status == MipStatus::Optimal {
+                MipStatus::Infeasible
+            } else {
+                status
+            },
+        ),
+    };
+    let best_bound = match status {
+        MipStatus::Optimal => objective,
+        MipStatus::Infeasible => f64::INFINITY,
+        _ => shared
+            .pool
+            .lock()
+            .unwrap()
+            .queue
+            .iter()
+            .map(|n| n.parent_bound)
+            .fold(f64::INFINITY, f64::min),
+    };
+    Ok(MipSolution {
+        status,
+        x,
+        objective,
+        best_bound,
+        stats,
+    })
+}
+
+fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
+    let mut ws = WorkerStats::default();
+    // Preferred child of the last expansion: the worker dives on it without
+    // touching the pool, preserving the serial solver's warm-start locality.
+    let mut local: Vec<ParNode> = Vec::new();
+    let mut lower = shared.core.lower.clone();
+    let mut upper = shared.core.upper.clone();
+    let opts = shared.opts;
+    let ns = shared.core.num_structs;
+
+    loop {
+        if shared.cancel.load(Ordering::Acquire) {
+            shared.abort(None, &mut local);
+            break;
+        }
+        let node = match local.pop() {
+            Some(n) => n,
+            None => match shared.acquire(id) {
+                Some((n, stolen)) => {
+                    ws.steals += usize::from(stolen);
+                    n
+                }
+                None => break,
+            },
+        };
+        // Limit checks, mirroring the serial loop (the global node count is
+        // approximate by up to one node per worker).
+        if shared.nodes.load(Ordering::Relaxed) >= opts.max_nodes {
+            shared.flag_limit(MipStatus::NodeLimit);
+            shared.abort(Some(node), &mut local);
+            break;
+        }
+        let remaining = opts.time_limit_secs - shared.start.elapsed().as_secs_f64();
+        if remaining <= 0.0 {
+            shared.flag_limit(MipStatus::TimeLimit);
+            shared.abort(Some(node), &mut local);
+            break;
+        }
+        // Pre-prune on the parent bound against the shared incumbent.
+        let inc_obj = shared.incumbent_bound();
+        if inc_obj.is_finite() && prune_bound(node.parent_bound, inc_obj, opts) {
+            ws.pruned_by_bound += 1;
+            shared.complete(None, false);
+            continue;
+        }
+        node.overlay.apply(shared.core, &mut lower, &mut upper);
+        let mut lp_opts = opts.lp.clone();
+        lp_opts.time_limit_secs = lp_opts.time_limit_secs.min(remaining);
+        let solved = match &node.warm {
+            Some(snapshot) => {
+                match solve_core_warm(shared.core, &lower, &upper, snapshot, &lp_opts) {
+                    Ok(o) => Ok(o),
+                    Err(WarmFail::NotDualFeasible)
+                    | Err(WarmFail::Error(LpError::SingularBasis)) => {
+                        solve_core_cold(shared.core, &lower, &upper, &lp_opts)
+                    }
+                    Err(WarmFail::Error(e)) => Err(e),
+                }
+            }
+            None => solve_core_cold(shared.core, &lower, &upper, &lp_opts),
+        };
+        let outcome = match solved {
+            Ok(o) => o,
+            Err(LpError::Timeout) => {
+                shared.flag_limit(MipStatus::TimeLimit);
+                shared.abort(Some(node), &mut local);
+                break;
+            }
+            Err(LpError::IterationLimit) | Err(LpError::SingularBasis) => {
+                // Stalled or numerically wedged node LP: abandon the proof,
+                // keep the incumbent (a limit, not an error — as serial).
+                shared.flag_limit(MipStatus::NodeLimit);
+                shared.abort(Some(node), &mut local);
+                break;
+            }
+            Err(e) => {
+                shared.flag_error(e);
+                shared.abort(Some(node), &mut local);
+                break;
+            }
+        };
+        shared.nodes.fetch_add(1, Ordering::Relaxed);
+        ws.nodes += 1;
+        ws.lp_iterations += outcome.iterations;
+        match outcome.status {
+            LpStatus::Infeasible => {
+                ws.pruned_infeasible += 1;
+                shared.complete(None, false);
+                continue;
+            }
+            LpStatus::Unbounded => {
+                // A bounded 0-1 model cannot be unbounded unless it has
+                // unbounded continuous vars; a hard error, as serial.
+                shared.flag_error(LpError::IterationLimit);
+                shared.abort(None, &mut local);
+                break;
+            }
+            LpStatus::Optimal => {}
+        }
+        let inc_obj = shared.incumbent_bound();
+        if inc_obj.is_finite() && prune_bound(outcome.objective, inc_obj, opts) {
+            ws.pruned_by_bound += 1;
+            shared.complete(None, false);
+            continue;
+        }
+        let x = &outcome.x[..ns];
+        match shared.rule.select(shared.problem, x, opts.int_tol) {
+            None => {
+                debug_assert!(
+                    shared.problem.var_ids().all(|v| {
+                        shared.problem.var_kind(v) != VarKind::Binary
+                            || !is_fractional(x[v.index()], opts.int_tol * 10.0)
+                    }),
+                    "branching rule returned None on a fractional solution"
+                );
+                if shared.offer_incumbent(x, outcome.objective) {
+                    ws.incumbent_updates += 1;
+                }
+                shared.complete(None, false);
+            }
+            Some((v, dir)) => {
+                let warm = Arc::new(outcome.snapshot);
+                let fix = |val: f64| -> ParNode {
+                    ParNode {
+                        overlay: node.overlay.child(v, val, val),
+                        warm: Some(Arc::clone(&warm)),
+                        parent_bound: outcome.objective,
+                        owner: id,
+                    }
+                };
+                let (preferred, sibling) = match dir {
+                    BranchDirection::Up => (fix(1.0), fix(0.0)),
+                    BranchDirection::Down => (fix(0.0), fix(1.0)),
+                };
+                shared.complete(Some(sibling), true);
+                local.push(preferred);
+            }
+        }
+    }
+    ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_key_is_order_preserving() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-9,
+            42.0,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                bound_key(w[0]) <= bound_key(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        for &v in &vals {
+            assert_eq!(key_bound(bound_key(v)), v);
+        }
+    }
+}

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use tempart_lp::{
-    presolve, solve_lp, BranchAndBound, FirstIndexRule, LpOptions, LpStatus, MipStatus,
-    MostFractionalRule, Presolved, Problem, Sense, VarKind,
+    presolve, solve_lp, BranchAndBound, FirstIndexRule, LpOptions, LpStatus, MipOptions,
+    MipStatus, MostFractionalRule, Presolved, Problem, Sense, VarKind,
 };
 
 /// Exhaustive 0-1 reference optimum.
@@ -128,6 +128,39 @@ proptest! {
                     let restored = r.restore(&reduced.x);
                     prop_assert!(p.first_violated(&restored, 1e-5).is_none());
                 }
+            }
+        }
+    }
+
+    /// The parallel search is objective-deterministic: every thread count
+    /// proves the same optimum (or the same infeasibility) as the serial
+    /// solver, and the stats stay coherent (per-worker nodes sum to the
+    /// total; only multi-worker runs can steal).
+    #[test]
+    fn thread_counts_agree_on_objective(mip in random_mip()) {
+        let p = build(&mip);
+        let reference = brute_force(&p);
+        for threads in [1usize, 2, 4] {
+            let opts = MipOptions { threads, ..MipOptions::default() };
+            let out = BranchAndBound::new(&p)
+                .options(opts)
+                .solve()
+                .expect("solver must not error");
+            match reference {
+                Some(bobj) => {
+                    prop_assert_eq!(out.status, MipStatus::Optimal, "threads {}", threads);
+                    prop_assert!((out.objective - bobj).abs() < 1e-5,
+                        "threads {}: got {} want {}", threads, out.objective, bobj);
+                    prop_assert!(p.first_violated(&out.x, 1e-5).is_none());
+                    prop_assert!((out.best_bound - out.objective).abs() < 1e-9);
+                }
+                None => prop_assert_eq!(out.status, MipStatus::Infeasible, "threads {}", threads),
+            }
+            prop_assert_eq!(out.stats.per_worker_nodes.len(),
+                if threads == 1 { 1 } else { threads });
+            prop_assert_eq!(out.stats.per_worker_nodes.iter().sum::<usize>(), out.stats.nodes);
+            if threads == 1 {
+                prop_assert_eq!(out.stats.steals, 0);
             }
         }
     }

@@ -112,4 +112,30 @@ proptest! {
             None => prop_assert_eq!(out.status, MipStatus::Infeasible),
         }
     }
+
+    /// The multi-threaded tree search proves exactly the oracle optimum as
+    /// well — the parallel solver's determinism contract on real models.
+    #[test]
+    fn parallel_ilp_matches_oracle(shape in shape()) {
+        let inst = build(&shape);
+        let config = ModelConfig::tightened(2, 1);
+        let model = IlpModel::build(inst.clone(), config.clone()).expect("build");
+        let oracle = brute::brute_force_optimum(&inst, &config);
+        for threads in [2usize, 4] {
+            let mut opts = SolveOptions::default();
+            opts.mip.threads = threads;
+            let out = model.solve(&opts).expect("solve");
+            match &oracle {
+                Some((_, cost)) => {
+                    prop_assert_eq!(out.status, MipStatus::Optimal, "threads {}", threads);
+                    let sol = out.solution.expect("optimal has solution");
+                    prop_assert_eq!(sol.communication_cost(), *cost,
+                        "threads {}: ILP {} vs oracle {}",
+                        threads, sol.communication_cost(), cost);
+                    sol.validate(&inst, &config).expect("semantic validation");
+                }
+                None => prop_assert_eq!(out.status, MipStatus::Infeasible, "threads {}", threads),
+            }
+        }
+    }
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md) plus the bench-harness smoke run.
+#
+#   ./verify.sh
+#
+# Everything here must pass before a change lands: the tier-1 build/test
+# pair, the full workspace test suite (heavier oracle cross-checks), and a
+# short Table 2 regeneration proving the tables harness still runs
+# end-to-end. The smoke limit is small on purpose — it exercises the
+# pipeline, not the paper's full budgets.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace: build (bins, benches, examples, tests) =="
+cargo build --workspace --release --all-targets
+
+echo "== workspace: tests =="
+cargo test --workspace -q
+
+echo "== smoke: tables harness (Table 2, 60 s rows) =="
+cargo run --release -p tempart-bench --bin tables -- table2 --limit 60
+
+echo "verify.sh: all green"
