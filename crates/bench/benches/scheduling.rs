@@ -10,9 +10,11 @@ fn bench_mobility(c: &mut Criterion) {
     let mut group = c.benchmark_group("mobility");
     for graph in [1usize, 3, 6] {
         let g = paper_graph(graph);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("g{graph}")), &g, |b, g| {
-            b.iter(|| Mobility::compute(g).critical_path_len())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("g{graph}")),
+            &g,
+            |b, g| b.iter(|| Mobility::compute(g).critical_path_len()),
+        );
     }
     group.finish();
 }

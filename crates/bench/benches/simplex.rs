@@ -11,8 +11,7 @@ fn bench_root_lp(c: &mut Criterion) {
     group.sample_size(20);
     for (graph, n, l) in [(1usize, 3u32, 1u32), (2, 4, 1), (3, 3, 1)] {
         let instance = date98_instance(graph, 2, 2, 2, date98_device()).expect("instance");
-        let model =
-            IlpModel::build(instance, ModelConfig::tightened(n, l)).expect("build");
+        let model = IlpModel::build(instance, ModelConfig::tightened(n, l)).expect("build");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!(
                 "g{graph}-N{n}-L{l}-{}x{}",
@@ -40,7 +39,9 @@ fn bench_heuristic(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("g{graph}-N{n}-L{l}")),
             &(instance, config),
-            |b, (inst, cfg)| b.iter(|| heuristic_solution(inst, cfg).map(|s| s.communication_cost())),
+            |b, (inst, cfg)| {
+                b.iter(|| heuristic_solution(inst, cfg).map(|s| s.communication_cost()))
+            },
         );
     }
     group.finish();

@@ -12,8 +12,7 @@ fn bench_graph1_rows(c: &mut Criterion) {
     group.sample_size(10);
     for (n, l) in [(3u32, 0u32), (3, 1), (2, 2), (2, 3)] {
         let instance = date98_instance(1, 2, 2, 1, date98_device()).expect("instance");
-        let model =
-            IlpModel::build(instance, ModelConfig::tightened(n, l)).expect("build");
+        let model = IlpModel::build(instance, ModelConfig::tightened(n, l)).expect("build");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("N{n}-L{l}")),
             &model,
@@ -24,7 +23,11 @@ fn bench_graph1_rows(c: &mut Criterion) {
                         ..MipOptions::default()
                     };
                     model
-                        .solve(&SolveOptions { mip, rule: RuleKind::Paper, seed_incumbent: true })
+                        .solve(&SolveOptions {
+                            mip,
+                            rule: RuleKind::Paper,
+                            seed_incumbent: true,
+                        })
                         .expect("solve")
                         .stats
                         .nodes
@@ -42,10 +45,13 @@ fn bench_rule_comparison(c: &mut Criterion) {
     // (3, 1) row lives in `tables -- ablation`.
     let mut group = c.benchmark_group("branching_rules_g1");
     group.sample_size(10);
-    for rule in [RuleKind::Paper, RuleKind::FirstIndex, RuleKind::MostFractional] {
+    for rule in [
+        RuleKind::Paper,
+        RuleKind::FirstIndex,
+        RuleKind::MostFractional,
+    ] {
         let instance = date98_instance(1, 2, 2, 1, date98_device()).expect("instance");
-        let model =
-            IlpModel::build(instance, ModelConfig::tightened(2, 3)).expect("build");
+        let model = IlpModel::build(instance, ModelConfig::tightened(2, 3)).expect("build");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{rule}")),
             &(model, rule),
@@ -56,7 +62,11 @@ fn bench_rule_comparison(c: &mut Criterion) {
                         ..MipOptions::default()
                     };
                     model
-                        .solve(&SolveOptions { mip, rule: *rule, seed_incumbent: true })
+                        .solve(&SolveOptions {
+                            mip,
+                            rule: *rule,
+                            seed_incumbent: true,
+                        })
                         .expect("solve")
                         .stats
                         .nodes
@@ -77,8 +87,7 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, max_threads] {
         let instance = date98_instance(1, 2, 2, 1, date98_device()).expect("instance");
-        let model =
-            IlpModel::build(instance, ModelConfig::tightened(3, 1)).expect("build");
+        let model = IlpModel::build(instance, ModelConfig::tightened(3, 1)).expect("build");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{threads}threads")),
             &model,

@@ -5,21 +5,21 @@
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `table4`, `ablation`,
-//! `simulate`, `parallel`, `all`. The default per-row time limit is 600 s
-//! (the paper cut Table 1 off at 7200 s on a 175 MHz UltraSparc; modern
-//! hardware needs far less to show the same contrast).
+//! `simulate`, `parallel`, `simplex`, `all`. The default per-row time limit
+//! is 600 s (the paper cut Table 1 off at 7200 s on a 175 MHz UltraSparc;
+//! modern hardware needs far less to show the same contrast).
 //!
 //! `--threads T` runs every table row on `T` branch-and-bound workers
 //! (`0` = one per CPU; default `1`, the faithful serial solver). The
 //! `parallel` experiment ignores it and sweeps its own thread counts,
-//! writing the measurements to `BENCH_parallel.json`.
+//! writing the measurements to `BENCH_parallel.json`. The `simplex`
+//! experiment sweeps the pricing rules (Dantzig / devex / Bland) over the
+//! same instances and writes `BENCH_simplex.json`.
 
 use tempart_bench::report::{format_markdown, format_table};
 use tempart_bench::{date98_device, date98_instance, run_row, ExperimentRow, RowConfig};
-use tempart_core::{
-    CutSet, IlpModel, Linearization, ModelConfig, RuleKind, SolveOptions, WForm,
-};
-use tempart_lp::MipOptions;
+use tempart_core::{CutSet, IlpModel, Linearization, ModelConfig, RuleKind, SolveOptions, WForm};
+use tempart_lp::{MipOptions, Pricing};
 use tempart_sim::{execute, naive_partitioning};
 
 fn main() {
@@ -55,6 +55,7 @@ fn main() {
             "ablation" => ablation(limit, threads),
             "simulate" => simulate(threads),
             "parallel" => parallel(limit),
+            "simplex" => simplex(limit),
             "all" => {
                 table1(limit, threads);
                 table2(limit, threads);
@@ -63,9 +64,10 @@ fn main() {
                 ablation(limit, threads);
                 simulate(threads);
                 parallel(limit);
+                simplex(limit);
             }
             other => eprintln!(
-                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, all)"
+                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, simplex, all)"
             ),
         }
     }
@@ -105,9 +107,15 @@ fn table1(limit: f64, threads: usize) {
         device: date98_device(),
         seed_incumbent: false,
         threads,
+        pricing: Pricing::Dantzig,
+        profile: false,
     })
     .collect();
-    run_and_print("Table 1: basic formulation, unguided branching", &rows, limit);
+    run_and_print(
+        "Table 1: basic formulation, unguided branching",
+        &rows,
+        limit,
+    );
 }
 
 /// Same rows with the tightened constraints (Glover + cuts (28)-(30),(32) +
@@ -129,6 +137,8 @@ fn table2(limit: f64, threads: usize) {
         device: date98_device(),
         seed_incumbent: false,
         threads,
+        pricing: Pricing::Dantzig,
+        profile: false,
     })
     .collect();
     run_and_print(
@@ -141,24 +151,21 @@ fn table2(limit: f64, threads: usize) {
 /// Latency/partition trade-off on graph 1 (paper Table 3): tightened model
 /// with the §8 guided rule.
 fn table3(limit: f64, threads: usize) {
-    let rows: Vec<RowConfig> = [
-        (3u32, 0u32),
-        (3, 1),
-        (2, 2),
-        (2, 3),
-    ]
-    .into_iter()
-    .map(|(n, l)| RowConfig {
-        graph_no: 1,
-        ams: (2, 2, 1),
-        config: ModelConfig::tightened(n, l),
-        rule: RuleKind::Paper,
-        time_limit_secs: limit,
-        device: date98_device(),
-        seed_incumbent: false,
-        threads,
-    })
-    .collect();
+    let rows: Vec<RowConfig> = [(3u32, 0u32), (3, 1), (2, 2), (2, 3)]
+        .into_iter()
+        .map(|(n, l)| RowConfig {
+            graph_no: 1,
+            ams: (2, 2, 1),
+            config: ModelConfig::tightened(n, l),
+            rule: RuleKind::Paper,
+            time_limit_secs: limit,
+            device: date98_device(),
+            seed_incumbent: false,
+            threads,
+            pricing: Pricing::Dantzig,
+            profile: false,
+        })
+        .collect();
     run_and_print(
         "Table 3: latency/partition trade-off on graph 1 (guided)",
         &rows,
@@ -195,9 +202,15 @@ fn table4(limit: f64, threads: usize) {
         device: date98_device(),
         seed_incumbent: true,
         threads,
+        pricing: Pricing::Dantzig,
+        profile: false,
     })
     .collect();
-    run_and_print("Table 4: temporal partitioning results (guided)", &rows, limit);
+    run_and_print(
+        "Table 4: temporal partitioning results (guided)",
+        &rows,
+        limit,
+    );
 }
 
 /// Ablation of the paper's design choices on the Table 3 workhorse
@@ -293,6 +306,8 @@ fn ablation(limit: f64, threads: usize) {
             device: date98_device(),
             seed_incumbent,
             threads,
+            pricing: Pricing::Dantzig,
+            profile: false,
         };
         match run_row(&cfg) {
             Ok(r) => println!(
@@ -399,7 +414,14 @@ fn parallel(limit: f64) {
     let cases: [Case; 3] = [
         ("g1-N3-L1", 1, (2, 2, 1), 3, 1, RuleKind::Paper),
         ("g1-N2-L2", 1, (2, 2, 1), 2, 2, RuleKind::Paper),
-        ("g1-N3-L1-unguided", 1, (2, 2, 1), 3, 1, RuleKind::FirstIndex),
+        (
+            "g1-N3-L1-unguided",
+            1,
+            (2, 2, 1),
+            3,
+            1,
+            RuleKind::FirstIndex,
+        ),
     ];
     println!("Parallel branch and bound: wall-clock speedup over the serial solver");
     println!(
@@ -419,6 +441,8 @@ fn parallel(limit: f64) {
                 device: date98_device(),
                 seed_incumbent: false,
                 threads,
+                pricing: Pricing::Dantzig,
+                profile: false,
             };
             let mut best: Option<ExperimentRow> = None;
             for _ in 0..REPS {
@@ -437,6 +461,7 @@ fn parallel(limit: f64) {
                 serial_ms = Some(wall_ms);
             }
             let speedup = serial_ms.map(|s| s / wall_ms);
+            let node_lp_us = row.stats_lp_us_per_node();
             println!(
                 "{:<18} {:>7} {:>9.1} {:>9} {:>8} {:>8}",
                 label,
@@ -448,8 +473,11 @@ fn parallel(limit: f64) {
             );
             json_rows.push(format!(
                 "  {{\"instance\": \"{label}\", \"threads\": {threads}, \"nodes\": {}, \
+                 \"lp_iterations\": {}, \"node_lp_us\": {:.3}, \
                  \"wall_ms\": {:.3}, \"cost\": {}, \"speedup\": {}}}",
                 row.nodes,
+                row.lp_iterations,
+                node_lp_us,
                 wall_ms,
                 row.cost.map_or("null".to_string(), |c| c.to_string()),
                 speedup.map_or("null".to_string(), |s| format!("{s:.4}")),
@@ -460,6 +488,115 @@ fn parallel(limit: f64) {
     match std::fs::write("BENCH_parallel.json", &json) {
         Ok(()) => println!("wrote BENCH_parallel.json ({} rows)", json_rows.len()),
         Err(e) => eprintln!("cannot write BENCH_parallel.json: {e}"),
+    }
+    println!();
+}
+
+/// Pricing-rule study: the serial solver re-run under each simplex pricing
+/// mode with the profiling layer on. Dantzig is the pinned legacy engine and
+/// the baseline; devex adds incremental reduced costs, hypersparse solves,
+/// and the bound-flipping dual ratio test; Bland is the anti-cycling rule
+/// (slow by design — included as the lower anchor). Every mode proves the
+/// same optimum. Each cell is the best of three runs; results go to stdout
+/// and `BENCH_simplex.json`.
+fn simplex(limit: f64) {
+    const PRICINGS: [Pricing; 3] = [Pricing::Dantzig, Pricing::Devex, Pricing::Bland];
+    const REPS: usize = 3;
+    // The parallel study's three workhorses: two guided Table 3 rows and the
+    // unguided Table 2 flagship (~10.7k nodes — the LP-bound regime where
+    // pricing dominates the runtime).
+    type Case = (&'static str, usize, (u32, u32, u32), u32, u32, RuleKind);
+    let cases: [Case; 3] = [
+        ("g1-N3-L1", 1, (2, 2, 1), 3, 1, RuleKind::Paper),
+        ("g1-N2-L2", 1, (2, 2, 1), 2, 2, RuleKind::Paper),
+        (
+            "g1-N3-L1-unguided",
+            1,
+            (2, 2, 1),
+            3,
+            1,
+            RuleKind::FirstIndex,
+        ),
+    ];
+    println!("Simplex pricing: serial solver under each pricing rule (profiling on)");
+    println!(
+        "{:<18} {:>8} {:>9} {:>8} {:>9} {:>7} {:>6} {:>8}",
+        "instance", "pricing", "lp-iters", "flips", "wall(ms)", "nodes", "cost", "speedup"
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for (label, g, ams, n, l, rule) in cases {
+        let mut dantzig_ms = None;
+        for pricing in PRICINGS {
+            let cfg = RowConfig {
+                graph_no: g,
+                ams,
+                config: ModelConfig::tightened(n, l),
+                rule,
+                time_limit_secs: limit,
+                device: date98_device(),
+                seed_incumbent: false,
+                threads: 1,
+                pricing,
+                profile: true,
+            };
+            let mut best: Option<ExperimentRow> = None;
+            for _ in 0..REPS {
+                match run_row(&cfg) {
+                    Ok(r) => {
+                        if best.as_ref().is_none_or(|b| r.seconds < b.seconds) {
+                            best = Some(r);
+                        }
+                    }
+                    Err(e) => eprintln!("{label} {pricing} failed: {e}"),
+                }
+            }
+            let Some(row) = best else { continue };
+            let wall_ms = row.seconds * 1e3;
+            if pricing == Pricing::Dantzig {
+                dantzig_ms = Some(wall_ms);
+            }
+            let speedup = dantzig_ms.map(|d| d / wall_ms);
+            let p = &row.simplex;
+            println!(
+                "{:<18} {:>8} {:>9} {:>8} {:>9.1} {:>7} {:>6} {:>8}",
+                label,
+                pricing.as_str(),
+                row.lp_iterations,
+                p.bound_flips,
+                wall_ms,
+                row.nodes,
+                row.cost.map_or("-".to_string(), |c| c.to_string()),
+                speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            );
+            json_rows.push(format!(
+                "  {{\"instance\": \"{label}\", \"pricing\": \"{}\", \"nodes\": {}, \
+                 \"lp_iterations\": {}, \"bound_flips\": {}, \"devex_resets\": {}, \
+                 \"refactors\": {}, \"wall_ms\": {:.3}, \"lp_ms\": {:.3}, \
+                 \"pricing_ms\": {:.3}, \"ftran_ms\": {:.3}, \"btran_ms\": {:.3}, \
+                 \"ratio_ms\": {:.3}, \"refactor_ms\": {:.3}, \
+                 \"cost\": {}, \"speedup_vs_dantzig\": {}}}",
+                pricing.as_str(),
+                row.nodes,
+                row.lp_iterations,
+                p.bound_flips,
+                p.devex_resets,
+                p.refactors,
+                wall_ms,
+                p.lp_secs * 1e3,
+                p.pricing_secs * 1e3,
+                p.ftran_secs * 1e3,
+                p.btran_secs * 1e3,
+                p.ratio_secs * 1e3,
+                p.refactor_secs * 1e3,
+                row.cost.map_or("null".to_string(), |c| c.to_string()),
+                speedup.map_or("null".to_string(), |s| format!("{s:.4}")),
+            ));
+        }
+    }
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    match std::fs::write("BENCH_simplex.json", &json) {
+        Ok(()) => println!("wrote BENCH_simplex.json ({} rows)", json_rows.len()),
+        Err(e) => eprintln!("cannot write BENCH_simplex.json: {e}"),
     }
     println!();
 }

@@ -255,7 +255,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(add > 0 && mul > 0 && sub > 0, "add={add} mul={mul} sub={sub}");
+        assert!(
+            add > 0 && mul > 0 && sub > 0,
+            "add={add} mul={mul} sub={sub}"
+        );
         assert_eq!(add + mul + sub, 72);
     }
 

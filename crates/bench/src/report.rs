@@ -8,8 +8,20 @@ pub fn format_table(title: &str, rows: &[ExperimentRow], limit: f64) -> String {
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
         "{:<6} {:>5} {:>5} {:>2} {:>6} {:>2} {:>6} {:>7} {:>9} {:>8} {:>6} {:>4} {:>8} {}\n",
-        "Graph", "Tasks", "Opers", "N", "A+M+S", "L", "Var", "Const", "RunTime", "Feasible",
-        "Cost", "Used", "Nodes", "Rule"
+        "Graph",
+        "Tasks",
+        "Opers",
+        "N",
+        "A+M+S",
+        "L",
+        "Var",
+        "Const",
+        "RunTime",
+        "Feasible",
+        "Cost",
+        "Used",
+        "Nodes",
+        "Rule"
     ));
     for r in rows {
         let (a, m, s) = r.ams;
@@ -64,6 +76,7 @@ pub fn format_markdown(rows: &[ExperimentRow], limit: f64) -> String {
 mod tests {
     use super::*;
     use tempart_core::RuleKind;
+    use tempart_lp::{Pricing, SimplexProfile};
 
     fn sample_row() -> ExperimentRow {
         ExperimentRow {
@@ -82,6 +95,8 @@ mod tests {
             partitions_used: Some(3),
             nodes: 42,
             lp_iterations: 1000,
+            pricing: Pricing::Dantzig,
+            simplex: SimplexProfile::default(),
             rule: RuleKind::Paper,
         }
     }

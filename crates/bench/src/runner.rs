@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use tempart_core::{CoreError, IlpModel, ModelConfig, RuleKind, SolveOptions};
 use tempart_graph::FpgaDevice;
-use tempart_lp::{MipOptions, MipStatus};
+use tempart_lp::{MipOptions, MipStatus, Pricing, SimplexProfile};
 
 use crate::graphs::{date98_instance, paper_graph_size};
 
@@ -32,6 +32,12 @@ pub struct RowConfig {
     /// deterministic node counts, `0` = one per CPU). The faithful table
     /// reproductions run serial; the `parallel` experiment sweeps this.
     pub threads: usize,
+    /// Simplex pricing rule. The faithful table reproductions run the pinned
+    /// `Dantzig` legacy engine; the `simplex` experiment sweeps this.
+    pub pricing: Pricing,
+    /// Enable the per-phase simplex section timers (the `simplex` experiment
+    /// sets this; counters are collected regardless).
+    pub profile: bool,
 }
 
 /// Result of one experiment row, mirroring the paper's table columns.
@@ -70,6 +76,11 @@ pub struct ExperimentRow {
     pub lp_iterations: usize,
     /// Branching rule used.
     pub rule: RuleKind,
+    /// Pricing rule used.
+    pub pricing: Pricing,
+    /// Merged simplex profile of every node LP (timers populated only when
+    /// [`RowConfig::profile`] was set).
+    pub simplex: SimplexProfile,
 }
 
 impl ExperimentRow {
@@ -81,6 +92,12 @@ impl ExperimentRow {
         } else {
             format!("{:.2}", self.seconds)
         }
+    }
+
+    /// Mean LP-solve microseconds per branch-and-bound node, from the
+    /// always-on `lp_secs` of the merged simplex profile.
+    pub fn stats_lp_us_per_node(&self) -> f64 {
+        self.simplex.lp_secs * 1e6 / self.nodes.max(1) as f64
     }
 
     /// `Yes`/`No`/`?` feasibility column.
@@ -104,11 +121,13 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
     let instance = date98_instance(cfg.graph_no, a, m, s, cfg.device.clone())?;
     let model = IlpModel::build(instance, cfg.config.clone())?;
     let stats = model.stats().clone();
-    let mip = MipOptions {
+    let mut mip = MipOptions {
         time_limit_secs: cfg.time_limit_secs,
         threads: cfg.threads,
         ..MipOptions::default()
     };
+    mip.lp.pricing = cfg.pricing;
+    mip.lp.profile = cfg.profile;
     let started = Instant::now();
     let out = model.solve(&SolveOptions {
         mip,
@@ -120,7 +139,12 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
     let (feasible, cost) = match out.status {
         MipStatus::Optimal => (
             Some(true),
-            Some(out.solution.as_ref().expect("optimal has solution").communication_cost()),
+            Some(
+                out.solution
+                    .as_ref()
+                    .expect("optimal has solution")
+                    .communication_cost(),
+            ),
         ),
         MipStatus::Infeasible => (Some(false), None),
         _ => (
@@ -147,6 +171,8 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
         nodes: out.stats.nodes,
         lp_iterations: out.stats.lp_iterations,
         rule: cfg.rule,
+        pricing: cfg.pricing,
+        simplex: out.stats.simplex,
     })
 }
 
@@ -168,6 +194,8 @@ mod tests {
             device: date98_device(),
             seed_incumbent: true,
             threads: 1,
+            pricing: Pricing::Dantzig,
+            profile: false,
         })
         .unwrap();
         assert_eq!(row.tasks, 5);

@@ -5,7 +5,7 @@
 
 use tempart_bench::{date98_device, date98_instance, paper_graph};
 use tempart_core::{IlpModel, ModelConfig, SolveOptions};
-use tempart_lp::MipStatus;
+use tempart_lp::{MipStatus, Pricing};
 
 #[test]
 fn paper_graph_shapes_are_stable() {
@@ -81,8 +81,43 @@ fn serial_search_node_counts_pinned() {
             cost,
             "N{n} L{l} objective"
         );
-        assert_eq!(out.stats.per_worker_nodes, vec![nodes], "N{n} L{l} serial worker vec");
+        assert_eq!(
+            out.stats.per_worker_nodes,
+            vec![nodes],
+            "N{n} L{l} serial worker vec"
+        );
         assert_eq!(out.stats.steals, 0, "N{n} L{l} serial steals");
+    }
+}
+
+#[test]
+fn devex_search_node_counts_pinned() {
+    // The devex/bound-flipping engine follows its own pivot sequence, so it
+    // gets its own pins on the same rows: equal optima (the determinism
+    // contract), fewer nodes and fewer total LP iterations than the Dantzig
+    // pins above on the flagship N3 L1 row. Movement here means the
+    // incremental engine changed — update together with BENCH_simplex.json.
+    type Pin = ((u32, u32), MipStatus, usize, usize, Option<u64>);
+    let expected: [Pin; 4] = [
+        ((3, 0), MipStatus::Infeasible, 1, 146, None),
+        ((3, 1), MipStatus::Optimal, 459, 10_411, Some(13)),
+        ((2, 2), MipStatus::Optimal, 141, 9_236, Some(5)),
+        ((2, 3), MipStatus::Optimal, 1, 199, Some(0)),
+    ];
+    for ((n, l), status, nodes, lp_iters, cost) in expected {
+        let inst = date98_instance(1, 2, 2, 1, date98_device()).unwrap();
+        let model = IlpModel::build(inst, ModelConfig::tightened(n, l)).unwrap();
+        let mut opts = SolveOptions::default();
+        opts.mip.lp.pricing = Pricing::Devex;
+        let out = model.solve(&opts).unwrap();
+        assert_eq!(out.status, status, "N{n} L{l} status");
+        assert_eq!(out.stats.nodes, nodes, "N{n} L{l} nodes");
+        assert_eq!(out.stats.lp_iterations, lp_iters, "N{n} L{l} lp iterations");
+        assert_eq!(
+            out.solution.as_ref().map(|s| s.communication_cost()),
+            cost,
+            "N{n} L{l} objective"
+        );
     }
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tempart solve <spec.json> [--partitions N] [--latency L] [--limit SECS] [--threads T]
+//!               [--pricing dantzig|devex|bland] [--stats]
 //! tempart estimate <spec.json>
 //! tempart simulate <spec.json> [--partitions N] [--latency L] [--threads T]
 //! tempart dot <spec.json>
@@ -12,6 +13,12 @@
 //! `--threads T` runs the branch-and-bound node search on `T` worker
 //! threads (`0` = one per CPU). The default `1` is the exact serial solver
 //! with deterministic node counts; any `T` proves the same optimum.
+//!
+//! `--pricing` selects the simplex pricing rule (`dantzig` is the pinned
+//! legacy engine, `devex` the incremental engine with bound-flipping dual
+//! ratio test, `bland` the anti-cycling rule); every mode proves the same
+//! optimum. `--stats` enables the solver profiling layer and prints a
+//! per-phase simplex time/count breakdown after the solve.
 //!
 //! * `solve` — run the full Figure-2 pipeline and print the optimal
 //!   partitioning, schedule, and solver statistics.
@@ -31,7 +38,7 @@ use tempart_core::{
 };
 use tempart_graph::task_graph_to_dot;
 use tempart_hls::{estimate_partitions, render_gantt, Mobility};
-use tempart_lp::MipOptions;
+use tempart_lp::{MipOptions, Pricing};
 use tempart_sim::execute;
 
 struct Args {
@@ -42,6 +49,8 @@ struct Args {
     limit: f64,
     format: String,
     threads: usize,
+    pricing: Pricing,
+    stats: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         limit: 600.0,
         format: "lp".to_string(),
         threads: 1,
+        pricing: Pricing::default(),
+        stats: false,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -87,6 +98,14 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threads takes a worker count (0 = all CPUs)")?
             }
+            "--pricing" => {
+                args.pricing = it
+                    .next()
+                    .as_deref()
+                    .and_then(Pricing::parse)
+                    .ok_or("--pricing takes dantzig, devex, or bland")?
+            }
+            "--stats" => args.stats = true,
             other if args.spec_path.is_none() && !other.starts_with('-') => {
                 args.spec_path = Some(other.to_string())
             }
@@ -118,10 +137,8 @@ fn run() -> Result<(), String> {
         "export" => {
             let spec = load(&args.spec_path)?;
             let inst = spec.build_instance().map_err(|e| e.to_string())?;
-            let config = ModelConfig::tightened(
-                args.partitions.unwrap_or(2),
-                args.latency.unwrap_or(0),
-            );
+            let config =
+                ModelConfig::tightened(args.partitions.unwrap_or(2), args.latency.unwrap_or(0));
             let model = IlpModel::build(inst, config).map_err(|e| e.to_string())?;
             match args.format.as_str() {
                 "lp" => println!("{}", tempart_lp::write_lp_format(model.problem())),
@@ -149,18 +166,14 @@ fn run() -> Result<(), String> {
                 kinds.join(", ")
             );
             println!("critical path: {} control steps", mob.critical_path_len());
-            let est = estimate_partitions(
-                inst.graph(),
-                inst.fus().library(),
-                inst.device(),
-            )
-            .map_err(|e| e.to_string())?;
-            println!("estimated partitions (upper bound N): {}", est.num_partitions);
+            let est = estimate_partitions(inst.graph(), inst.fus().library(), inst.device())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "estimated partitions (upper bound N): {}",
+                est.num_partitions
+            );
             for (p, seg) in est.segments.iter().enumerate() {
-                let names: Vec<&str> = seg
-                    .iter()
-                    .map(|&t| inst.graph().task(t).name())
-                    .collect();
+                let names: Vec<&str> = seg.iter().map(|&t| inst.graph().task(t).name()).collect();
                 println!("  segment {}: {}", p + 1, names.join(", "));
             }
             Ok(())
@@ -168,11 +181,13 @@ fn run() -> Result<(), String> {
         "solve" | "simulate" => {
             let spec = load(&args.spec_path)?;
             let inst = spec.build_instance().map_err(|e| e.to_string())?;
-            let mip = MipOptions {
+            let mut mip = MipOptions {
                 time_limit_secs: args.limit,
                 threads: args.threads,
                 ..MipOptions::default()
             };
+            mip.lp.pricing = args.pricing;
+            mip.lp.profile = args.stats;
             let solve = SolveOptions {
                 mip,
                 rule: RuleKind::Paper,
@@ -181,8 +196,8 @@ fn run() -> Result<(), String> {
             let (solution, config) = match (args.partitions, args.latency) {
                 (Some(n), l) => {
                     let config = ModelConfig::tightened(n, l.unwrap_or(0));
-                    let model = IlpModel::build(inst.clone(), config.clone())
-                        .map_err(|e| e.to_string())?;
+                    let model =
+                        IlpModel::build(inst.clone(), config.clone()).map_err(|e| e.to_string())?;
                     println!("model: {}", model.stats());
                     let out = model.solve(&solve).map_err(|e| e.to_string())?;
                     println!(
@@ -194,6 +209,9 @@ fn run() -> Result<(), String> {
                             "workers: {:?} nodes, {} steals",
                             out.stats.per_worker_nodes, out.stats.steals
                         );
+                    }
+                    if args.stats {
+                        println!("{}", out.stats.simplex.report());
                     }
                     (out.solution.ok_or("no feasible partitioning")?, config)
                 }
@@ -217,6 +235,9 @@ fn run() -> Result<(), String> {
                         result.model_stats(),
                         result.mip_stats().nodes
                     );
+                    if args.stats {
+                        println!("{}", result.mip_stats().simplex.report());
+                    }
                     let cfg = result.config().clone();
                     (result.solution().clone(), cfg)
                 }
@@ -276,7 +297,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--limit SECS] [--threads T]");
+            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--limit SECS] [--threads T] [--pricing dantzig|devex|bland] [--stats]");
             ExitCode::FAILURE
         }
     }

@@ -181,9 +181,11 @@ fn str_field(v: &Value, key: &str, ctx: &str) -> Result<String, LoadError> {
 }
 
 fn u64_field(v: &Value, key: &str, ctx: &str) -> Result<u64, LoadError> {
-    field(v, key, ctx)?
-        .as_u64()
-        .ok_or_else(|| jerr(format!("field `{key}` in {ctx} must be a non-negative integer")))
+    field(v, key, ctx)?.as_u64().ok_or_else(|| {
+        jerr(format!(
+            "field `{key}` in {ctx} must be a non-negative integer"
+        ))
+    })
 }
 
 fn f64_field(v: &Value, key: &str, ctx: &str) -> Result<f64, LoadError> {
@@ -202,9 +204,11 @@ fn arr_field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a [Value], Load
 fn opt_u64_field(v: &Value, key: &str, ctx: &str, default: u64) -> Result<u64, LoadError> {
     match v.get(key) {
         None => Ok(default),
-        Some(f) => f
-            .as_u64()
-            .ok_or_else(|| jerr(format!("field `{key}` in {ctx} must be a non-negative integer"))),
+        Some(f) => f.as_u64().ok_or_else(|| {
+            jerr(format!(
+                "field `{key}` in {ctx} must be a non-negative integer"
+            ))
+        }),
     }
 }
 
@@ -269,7 +273,8 @@ impl DeviceSpec {
         let capacity = u64_field(v, "capacity", "device")?;
         Ok(DeviceSpec {
             name: str_field(v, "name", "device")?,
-            capacity: u32::try_from(capacity).map_err(|_| jerr("device `capacity` out of range"))?,
+            capacity: u32::try_from(capacity)
+                .map_err(|_| jerr("device `capacity` out of range"))?,
             scratch_memory: u64_field(v, "scratch_memory", "device")?,
             alpha: f64_field(v, "alpha", "device")?,
             reconfig_cycles: opt_u64_field(v, "reconfig_cycles", "device", 164_000)?,
@@ -417,7 +422,11 @@ impl SpecFile {
                 .ok_or_else(|| LoadError::UnknownReference(format!("task `{name}`")))
         };
         for e in &self.edges {
-            b.task_edge(find_task(&e.from)?, find_task(&e.to)?, Bandwidth::new(e.bandwidth))?;
+            b.task_edge(
+                find_task(&e.from)?,
+                find_task(&e.to)?,
+                Bandwidth::new(e.bandwidth),
+            )?;
         }
         let graph = b.build()?;
         let lib = ComponentLibrary::date98_default();

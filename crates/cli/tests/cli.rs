@@ -35,7 +35,11 @@ fn solve_pipeline_via_binary() {
         .output()
         .expect("run solve");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("status: Optimal"), "{stdout}");
     assert!(stdout.contains("communication cost") || stdout.contains("temporal partitioning"));
     assert!(stdout.contains("register demand"));
@@ -72,7 +76,11 @@ fn export_emits_lp_and_mps() {
             .expect("run export");
         assert!(out.status.success());
         let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains(marker), "format {fmt}: {}", &stdout[..200.min(stdout.len())]);
+        assert!(
+            stdout.contains(marker),
+            "format {fmt}: {}",
+            &stdout[..200.min(stdout.len())]
+        );
     }
 }
 

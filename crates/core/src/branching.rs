@@ -35,10 +35,7 @@ pub(crate) fn paper_rule(vars: &VarMap, problem: &Problem) -> PriorityRule {
     // unit, testing area feasibility early).
     for (p, row) in vars.u.iter().enumerate() {
         for (k, &v) in row.iter().enumerate() {
-            prefs[v.index()] = (
-                BAND_U + (p * row.len() + k) as u32,
-                BranchDirection::Up,
-            );
+            prefs[v.index()] = (BAND_U + (p * row.len() + k) as u32, BranchDirection::Up);
         }
     }
     // x: creation order (op id, then window, then unit), branch up first so

@@ -56,14 +56,7 @@ pub fn brute_force_optimum(
             .iter()
             .map(|&p| PartitionIndex::new(p as u32))
             .collect();
-        if check_assignment(
-            instance,
-            config,
-            &parts,
-            horizon,
-            ms,
-            &mut makespan_cache,
-        ) {
+        if check_assignment(instance, config, &parts, horizon, ms, &mut makespan_cache) {
             let cost = assignment_cost(instance, config, &parts);
             if best.as_ref().is_none_or(|(_, b)| cost < *b) {
                 best = Some((parts, cost));
@@ -83,11 +76,7 @@ pub fn brute_force_optimum(
 }
 
 /// Communication cost (14) of an assignment.
-pub fn assignment_cost(
-    instance: &Instance,
-    config: &ModelConfig,
-    parts: &[PartitionIndex],
-) -> u64 {
+pub fn assignment_cost(instance: &Instance, config: &ModelConfig, parts: &[PartitionIndex]) -> u64 {
     let mut cost = 0u64;
     for edge in instance.graph().task_edges() {
         let p1 = parts[edge.from.index()].0;
@@ -229,7 +218,10 @@ fn min_makespan_with(
             // distinct units of `s`.
             let rn = ready.len();
             for pick in 1u32..(1 << rn) {
-                let chosen: Vec<usize> = (0..rn).filter(|&b| pick >> b & 1 == 1).map(|b| ready[b]).collect();
+                let chosen: Vec<usize> = (0..rn)
+                    .filter(|&b| pick >> b & 1 == 1)
+                    .map(|b| ready[b])
+                    .collect();
                 if !assignable(&chosen, kinds, fus, s) {
                     continue;
                 }

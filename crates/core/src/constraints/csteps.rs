@@ -143,9 +143,7 @@ mod tests {
     use crate::constraints::{partitioning, synthesis};
     use crate::test_support::{lp_relaxation_feasible, tiny_instance, tiny_model_parts};
 
-    fn full_cstep_model(
-        cfg: &ModelConfig,
-    ) -> (crate::vars::VarMap, tempart_lp::Problem, Instance) {
+    fn full_cstep_model(cfg: &ModelConfig) -> (crate::vars::VarMap, tempart_lp::Problem, Instance) {
         let inst = tiny_instance();
         let (vars, mut p) = tiny_model_parts(&inst, cfg);
         partitioning::add_uniqueness(&inst, &vars, &mut p).unwrap();
@@ -156,9 +154,7 @@ mod tests {
         add_cstep_occupancy(&inst, &vars, &mut p).unwrap();
         match cfg.cstep_encoding {
             CstepEncoding::Pairwise => add_cstep_uniqueness(&inst, &vars, &mut p).unwrap(),
-            CstepEncoding::Compact => {
-                add_cstep_uniqueness_compact(&inst, &vars, &mut p).unwrap()
-            }
+            CstepEncoding::Compact => add_cstep_uniqueness_compact(&inst, &vars, &mut p).unwrap(),
         };
         (vars, p, inst)
     }

@@ -105,12 +105,7 @@ pub(crate) fn add_w_definition(
                         }
                     }
                     coeffs.push((vars.w_at(b, e), -1.0));
-                    problem.add_constraint(
-                        format!("wdef[e{e},b{b}]"),
-                        coeffs,
-                        Sense::Eq,
-                        0.0,
-                    )?;
+                    problem.add_constraint(format!("wdef[e{e},b{b}]"), coeffs, Sense::Eq, 0.0)?;
                     count += 1;
                 }
             }
@@ -128,12 +123,7 @@ pub(crate) fn add_w_definition(
                         coeffs.push((vars.y[t2.index()][p2 as usize], 1.0));
                     }
                     coeffs.push((vars.w_at(b, e), -1.0));
-                    problem.add_constraint(
-                        format!("wagg[e{e},b{b}]"),
-                        coeffs,
-                        Sense::Le,
-                        1.0,
-                    )?;
+                    problem.add_constraint(format!("wagg[e{e},b{b}]"), coeffs, Sense::Le, 1.0)?;
                     count += 1;
                 }
             }
@@ -188,8 +178,7 @@ mod tests {
 
     #[test]
     fn per_product_fortet_w_semantics() {
-        let cfg = ModelConfig::basic(2, 1)
-            .with_linearization(crate::config::Linearization::Fortet);
+        let cfg = ModelConfig::basic(2, 1).with_linearization(crate::config::Linearization::Fortet);
         crossing_forces_w(cfg.clone());
         colocated_allows_zero(cfg);
     }
@@ -215,7 +204,10 @@ mod tests {
         p.set_objective(vars.w_at(2, 0), 1.0).unwrap();
         let (feasible, obj) = lp_optimum(&p);
         assert!(feasible);
-        assert!((obj - 2.0).abs() < 1e-6, "both boundaries charged, got {obj}");
+        assert!(
+            (obj - 2.0).abs() < 1e-6,
+            "both boundaries charged, got {obj}"
+        );
     }
 
     #[test]
@@ -231,7 +223,10 @@ mod tests {
         p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
         p.set_bounds(vars.y[1][1], 1.0, 1.0).unwrap();
         let (feasible, _) = lp_optimum(&p);
-        assert!(!feasible, "crossing 4 units through 3-unit memory must fail");
+        assert!(
+            !feasible,
+            "crossing 4 units through 3-unit memory must fail"
+        );
     }
 
     #[test]

@@ -38,12 +38,7 @@ pub(crate) fn add_temporal_order(
                 .map(|p1| (vars.y[t1.index()][p1 as usize], 1.0))
                 .collect();
             coeffs.push((vars.y[t2.index()][p2 as usize], 1.0));
-            problem.add_constraint(
-                format!("order[{t1}->{t2},p{p2}]"),
-                coeffs,
-                Sense::Le,
-                1.0,
-            )?;
+            problem.add_constraint(format!("order[{t1}->{t2},p{p2}]"), coeffs, Sense::Le, 1.0)?;
             count += 1;
         }
     }

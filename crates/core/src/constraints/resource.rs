@@ -33,7 +33,9 @@ pub(crate) fn add_resource_capacity(
 mod tests {
     use super::*;
     use crate::config::ModelConfig;
-    use crate::test_support::{lp_relaxation_feasible, tiny_instance_with_device, tiny_model_parts};
+    use crate::test_support::{
+        lp_relaxation_feasible, tiny_instance_with_device, tiny_model_parts,
+    };
     use tempart_graph::{Bandwidth, FpgaDevice, FunctionGenerators};
 
     #[test]

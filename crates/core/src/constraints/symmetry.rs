@@ -50,12 +50,7 @@ pub(crate) fn add_fu_symmetry(
         if coeffs.is_empty() {
             continue;
         }
-        problem.add_constraint(
-            format!("sym[{k_prev}>={k_this}]"),
-            coeffs,
-            Sense::Ge,
-            0.0,
-        )?;
+        problem.add_constraint(format!("sym[{k_prev}>={k_this}]"), coeffs, Sense::Ge, 0.0)?;
         count += 1;
     }
     Ok(count)
@@ -67,9 +62,7 @@ mod tests {
     use crate::config::ModelConfig;
     use crate::model::{IlpModel, SolveOptions};
     use crate::test_support::tiny_model_parts;
-    use tempart_graph::{
-        Bandwidth, ComponentLibrary, FpgaDevice, OpKind, TaskGraphBuilder,
-    };
+    use tempart_graph::{Bandwidth, ComponentLibrary, FpgaDevice, OpKind, TaskGraphBuilder};
 
     fn two_mul_instance() -> Instance {
         let mut b = TaskGraphBuilder::new("sym");
@@ -79,9 +72,7 @@ mod tests {
         b.op(t, OpKind::Add).unwrap();
         let g = b.build().unwrap();
         let lib = ComponentLibrary::date98_default();
-        let fus = lib
-            .exploration_set(&[("add16", 2), ("mul8", 2)])
-            .unwrap();
+        let fus = lib.exploration_set(&[("add16", 2), ("mul8", 2)]).unwrap();
         Instance::new(g, fus, FpgaDevice::xc4010_board()).unwrap()
     }
 

@@ -52,9 +52,7 @@ pub(crate) fn add_fu_exclusivity(
                 .graph()
                 .ops()
                 .iter()
-                .flat_map(|op| {
-                    (lo..=j).filter_map(move |j2| vars.x.get(&(op.id(), j2, k)))
-                })
+                .flat_map(|op| (lo..=j).filter_map(move |j2| vars.x.get(&(op.id(), j2, k))))
                 .map(|&v| (v, 1.0))
                 .collect();
             if coeffs.len() > 1 {
@@ -161,12 +159,20 @@ mod tests {
                 .map(|&(_, _, v)| (v, 1.0))
                 .collect();
             assert!(!coeffs.is_empty(), "{op} has no x at step {step}");
-            p.add_constraint(format!("pin[{op}@{step}]"), coeffs, tempart_lp::Sense::Eq, 1.0)
-                .unwrap();
+            p.add_constraint(
+                format!("pin[{op}@{step}]"),
+                coeffs,
+                tempart_lp::Sense::Eq,
+                1.0,
+            )
+            .unwrap();
         };
         pin(&mut p, op0, 1);
         pin(&mut p, op1, 1);
-        assert!(!lp_relaxation_feasible(&p), "same-step dependency must fail");
+        assert!(
+            !lp_relaxation_feasible(&p),
+            "same-step dependency must fail"
+        );
     }
 
     #[test]
@@ -185,8 +191,13 @@ mod tests {
                 .filter(|&&(j, _, _)| j == step)
                 .map(|&(_, _, v)| (v, 1.0))
                 .collect();
-            p.add_constraint(format!("pin[{op}@{step}]"), coeffs, tempart_lp::Sense::Eq, 1.0)
-                .unwrap();
+            p.add_constraint(
+                format!("pin[{op}@{step}]"),
+                coeffs,
+                tempart_lp::Sense::Eq,
+                1.0,
+            )
+            .unwrap();
         };
         pin(&mut p, op0, 0);
         pin(&mut p, op1, 1);

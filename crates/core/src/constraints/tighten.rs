@@ -223,7 +223,11 @@ mod tests {
         p.set_bounds(vars.y[1][2], 1.0, 1.0).unwrap();
         let (feasible, obj) = lp_optimum(&p);
         assert!(feasible);
-        assert!((-obj - 1.0).abs() < 1e-6, "w must be allowed to be 1, got {}", -obj);
+        assert!(
+            (-obj - 1.0).abs() < 1e-6,
+            "w must be allowed to be 1, got {}",
+            -obj
+        );
     }
 
     #[test]

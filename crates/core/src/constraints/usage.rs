@@ -43,12 +43,7 @@ pub(crate) fn add_o_definition(
             }
             if all.is_empty() {
                 // Task cannot use this unit at all: force o = 0.
-                problem.add_constraint(
-                    format!("onull[{t},k{k}]"),
-                    [(o, 1.0)],
-                    Sense::Eq,
-                    0.0,
-                )?;
+                problem.add_constraint(format!("onull[{t},k{k}]"), [(o, 1.0)], Sense::Eq, 0.0)?;
                 count += 1;
             } else {
                 // (27)
@@ -191,7 +186,10 @@ mod tests {
         p.set_objective(vars.u[0][0], 1.0).unwrap();
         let (feasible, obj) = lp_optimum(&p);
         assert!(feasible);
-        assert!((obj - 0.5).abs() < 1e-6, "lp bound should be 0.5, got {obj}");
+        assert!(
+            (obj - 0.5).abs() < 1e-6,
+            "lp bound should be 0.5, got {obj}"
+        );
     }
 
     #[test]
@@ -206,13 +204,16 @@ mod tests {
         p.set_objective(vars.u[1][0], -1.0).unwrap(); // maximize u[1][adder]
         let (feasible, obj) = lp_optimum(&p);
         assert!(feasible);
-        assert!(obj.abs() < 1e-6, "empty partition's u must cap at 0, got {obj}");
+        assert!(
+            obj.abs() < 1e-6,
+            "empty partition's u must cap at 0, got {obj}"
+        );
     }
 
     #[test]
     fn fortet_variant_same_semantics() {
-        let cfg = ModelConfig::tightened(2, 1)
-            .with_linearization(crate::config::Linearization::Fortet);
+        let cfg =
+            ModelConfig::tightened(2, 1).with_linearization(crate::config::Linearization::Fortet);
         let (vars, mut p, _inst) = build_usage(&cfg);
         p.set_bounds(vars.y[0][0], 1.0, 1.0).unwrap();
         p.set_objective(vars.u[0][0], 1.0).unwrap();

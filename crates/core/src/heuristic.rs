@@ -28,10 +28,7 @@ use crate::solution::TemporalSolution;
 
 /// Builds a feasible [`TemporalSolution`] for `instance` under `config`, or
 /// `None` when no candidate chunking fits.
-pub fn heuristic_solution(
-    instance: &Instance,
-    config: &ModelConfig,
-) -> Option<TemporalSolution> {
+pub fn heuristic_solution(instance: &Instance, config: &ModelConfig) -> Option<TemporalSolution> {
     let graph = instance.graph();
     let mobility = Mobility::compute(graph);
     let horizon = mobility.horizon(config.latency_relaxation);
@@ -42,8 +39,7 @@ pub fn heuristic_solution(
 
     let mut best: Option<(TemporalSolution, u64)> = None;
     for chunks in candidate_chunkings(graph, &order, n) {
-        let Some((assignment, schedule)) =
-            schedule_chunks(instance, &edges, &chunks, horizon)
+        let Some((assignment, schedule)) = schedule_chunks(instance, &edges, &chunks, horizon)
         else {
             continue;
         };
@@ -54,9 +50,7 @@ pub fn heuristic_solution(
             let traffic: u64 = graph
                 .task_edges()
                 .iter()
-                .filter(|e| {
-                    assignment[e.from.index()].0 < b && assignment[e.to.index()].0 >= b
-                })
+                .filter(|e| assignment[e.from.index()].0 < b && assignment[e.to.index()].0 >= b)
                 .map(|e| e.bandwidth.units())
                 .sum();
             if traffic > ms {
@@ -183,9 +177,7 @@ fn schedule_chunks(
         }
         // Cheap pruning: even a perfect schedule of this chunk cannot beat
         // the latency-weighted critical path / unit-scarcity bound.
-        if base + tempart_hls::makespan_lower_bound(graph, &ops, edges, instance.fus())
-            > horizon
-        {
+        if base + tempart_hls::makespan_lower_bound(graph, &ops, edges, instance.fus()) > horizon {
             return None;
         }
         let allowed = choose_units(instance, &ops)?;
@@ -236,7 +228,10 @@ fn choose_units(instance: &Instance, ops: &[OpId]) -> Option<Vec<FuId>> {
     loop {
         let mut best_add: Option<(f64, FuId)> = None;
         for kind in &kinds {
-            let owners = chosen.iter().filter(|&&k| fus.can_execute(k, *kind)).count();
+            let owners = chosen
+                .iter()
+                .filter(|&&k| fus.can_execute(k, *kind))
+                .count();
             let pressure = kind_count[kind] as f64 / owners.max(1) as f64;
             if pressure <= 1.0 {
                 continue;
@@ -316,8 +311,7 @@ fn list_schedule_subset(
                 .iter()
                 .copied()
                 .filter(|&k| {
-                    busy_until.get(&k).copied().unwrap_or(0) <= step
-                        && fus.can_execute(k, kind)
+                    busy_until.get(&k).copied().unwrap_or(0) <= step && fus.can_execute(k, kind)
                 })
                 .min_by_key(|&k| (fus.latency(k), k));
             if let Some(fu) = pick {
@@ -374,7 +368,11 @@ pub fn debug_chunk_report(instance: &Instance, n: usize, l: u32) {
     let horizon = mobility.horizon(l);
     let edges = graph.combined_op_edges();
     let order = graph.task_topo_order();
-    println!("CP={} horizon(L={l})={}", mobility.critical_path_len(), horizon);
+    println!(
+        "CP={} horizon(L={l})={}",
+        mobility.critical_path_len(),
+        horizon
+    );
     let mut best_total = u32::MAX;
     for chunks in candidate_chunkings(graph, &order, n) {
         let mut lens = Vec::new();

@@ -51,13 +51,13 @@
 mod branching;
 pub mod brute;
 mod config;
-pub mod heuristic;
-pub mod registers;
 mod constraints;
 mod error;
+pub mod heuristic;
 mod instance;
 mod model;
 mod objective;
+pub mod registers;
 mod solution;
 mod solve;
 mod vars;

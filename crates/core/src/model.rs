@@ -10,7 +10,9 @@ use tempart_lp::{
 
 use crate::branching::paper_rule;
 use crate::config::ModelConfig;
-use crate::constraints::{csteps, memory, partitioning, resource, symmetry, synthesis, tighten, usage};
+use crate::constraints::{
+    csteps, memory, partitioning, resource, symmetry, synthesis, tighten, usage,
+};
 use crate::instance::Instance;
 use crate::objective::set_objective;
 use crate::solution::TemporalSolution;
@@ -270,8 +272,7 @@ impl IlpModel {
         let mut mip = options.mip.clone();
         mip.objective_is_integral = true;
         if options.seed_incumbent && mip.initial_incumbent.is_none() {
-            if let Some(h) = crate::heuristic::heuristic_solution(&self.instance, &self.config)
-            {
+            if let Some(h) = crate::heuristic::heuristic_solution(&self.instance, &self.config) {
                 mip.initial_incumbent = self.encode_solution(&h);
             }
         }
@@ -503,9 +504,12 @@ mod tests {
 
     #[test]
     fn all_rules_reach_same_optimum() {
-        for rule in [RuleKind::Paper, RuleKind::FirstIndex, RuleKind::MostFractional] {
-            let model =
-                IlpModel::build(tiny_instance(), ModelConfig::tightened(2, 1)).unwrap();
+        for rule in [
+            RuleKind::Paper,
+            RuleKind::FirstIndex,
+            RuleKind::MostFractional,
+        ] {
+            let model = IlpModel::build(tiny_instance(), ModelConfig::tightened(2, 1)).unwrap();
             let out = model
                 .solve(&SolveOptions {
                     rule,
@@ -531,11 +535,10 @@ mod tests {
                 b.op_edge(m, a).unwrap();
                 let t1 = b.task("t1");
                 b.op(t1, tempart_graph::OpKind::Mul).unwrap();
-                b.task_edge(t0, t1, tempart_graph::Bandwidth::new(2)).unwrap();
-                let lib = tempart_graph::ComponentLibrary::date98_extended();
-                let fus = lib
-                    .exploration_set(&[("add16", 1), ("mul8s", 1)])
+                b.task_edge(t0, t1, tempart_graph::Bandwidth::new(2))
                     .unwrap();
+                let lib = tempart_graph::ComponentLibrary::date98_extended();
+                let fus = lib.exploration_set(&[("add16", 1), ("mul8s", 1)]).unwrap();
                 Instance::new(
                     b.build().unwrap(),
                     fus,
@@ -554,10 +557,10 @@ mod tests {
                 .encode_solution(&h)
                 .expect("heuristic solutions encode");
             assert_eq!(
-                model.problem().first_violated(&x, 1e-6).map(|r| model
+                model
                     .problem()
-                    .row_name(r)
-                    .to_string()),
+                    .first_violated(&x, 1e-6)
+                    .map(|r| model.problem().row_name(r).to_string()),
                 None,
                 "extended={extended}"
             );

@@ -85,9 +85,7 @@ impl TemporalSolution {
             .graph()
             .task_edges()
             .iter()
-            .filter(|e| {
-                self.partition_of(e.from).0 < b && self.partition_of(e.to).0 >= b
-            })
+            .filter(|e| self.partition_of(e.from).0 < b && self.partition_of(e.to).0 >= b)
             .map(|e| e.bandwidth.units())
             .sum()
     }
@@ -168,7 +166,9 @@ impl TemporalSolution {
                 ));
             }
             if a.step.0 + fus.latency(a.fu) > horizon {
-                return bad(format!("operation {i} completes beyond the horizon {horizon}"));
+                return bad(format!(
+                    "operation {i} completes beyond the horizon {horizon}"
+                ));
             }
         }
         // FU exclusivity (7): occupancy intervals per unit must not overlap
@@ -220,9 +220,7 @@ impl TemporalSolution {
                 let j = ControlStep(j);
                 if let Some(&q) = step_partition.get(&j) {
                     if q != p {
-                        return bad(format!(
-                            "control step {j} shared by partitions {q} and {p}"
-                        ));
+                        return bad(format!("control step {j} shared by partitions {q} and {p}"));
                     }
                 }
                 step_partition.insert(j, p);
@@ -280,11 +278,7 @@ mod tests {
         s.assign(OpId::new(0), ControlStep(0), FuId::new(0));
         s.assign(OpId::new(1), ControlStep(1), FuId::new(1));
         s.assign(OpId::new(2), ControlStep(2), FuId::new(2));
-        TemporalSolution::new(
-            vec![PartitionIndex::new(0), PartitionIndex::new(0)],
-            s,
-            0,
-        )
+        TemporalSolution::new(vec![PartitionIndex::new(0), PartitionIndex::new(0)], s, 0)
     }
 
     #[test]
@@ -307,11 +301,7 @@ mod tests {
         s.assign(OpId::new(0), ControlStep(0), FuId::new(0));
         s.assign(OpId::new(1), ControlStep(1), FuId::new(1));
         s.assign(OpId::new(2), ControlStep(2), FuId::new(2));
-        let sol = TemporalSolution::new(
-            vec![PartitionIndex::new(0), PartitionIndex::new(1)],
-            s,
-            4,
-        );
+        let sol = TemporalSolution::new(vec![PartitionIndex::new(0), PartitionIndex::new(1)], s, 4);
         sol.validate(&inst, &cfg).unwrap();
         assert_eq!(sol.boundary_traffic(&inst, 1), 4);
         assert_eq!(sol.partitions_used(), 2);
@@ -361,11 +351,7 @@ mod tests {
         let mut s = Schedule::new();
         s.assign(OpId::new(0), ControlStep(0), FuId::new(0)); // t0's add
         s.assign(OpId::new(1), ControlStep(0), FuId::new(2)); // t1's sub, same step
-        let bad = TemporalSolution::new(
-            vec![PartitionIndex::new(0), PartitionIndex::new(1)],
-            s,
-            0,
-        );
+        let bad = TemporalSolution::new(vec![PartitionIndex::new(0), PartitionIndex::new(1)], s, 0);
         let err = bad.validate(&inst, &cfg).unwrap_err();
         assert!(err.to_string().contains("shared by partitions"), "{err}");
     }
@@ -379,11 +365,7 @@ mod tests {
         s.assign(OpId::new(0), ControlStep(1), FuId::new(0));
         s.assign(OpId::new(1), ControlStep(2), FuId::new(1));
         s.assign(OpId::new(2), ControlStep(2), FuId::new(2));
-        let sol = TemporalSolution::new(
-            vec![PartitionIndex::new(0), PartitionIndex::new(0)],
-            s,
-            0,
-        );
+        let sol = TemporalSolution::new(vec![PartitionIndex::new(0), PartitionIndex::new(0)], s, 0);
         let err = sol.validate(&inst, &cfg).unwrap_err();
         assert!(err.to_string().contains("window") || err.to_string().contains("horizon"));
     }

@@ -132,8 +132,7 @@ impl TemporalPartitioner {
                 let max_l = self.options.max_latency_relaxation.unwrap_or(3);
                 for l in 0..=max_l {
                     let config = ModelConfig::tightened(n, l);
-                    let (out, stats) =
-                        Self::solve_once(&instance, &config, &self.options.solve)?;
+                    let (out, stats) = Self::solve_once(&instance, &config, &self.options.solve)?;
                     if let Some((solution, mip_stats)) = out {
                         return Ok(PartitionerResult {
                             solution,

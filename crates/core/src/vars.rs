@@ -89,10 +89,7 @@ impl VarMap {
         let mut x_of_op = vec![Vec::new(); n_ops];
         for op in graph.ops() {
             let i = op.id();
-            let window: Vec<ControlStep> = mobility
-                .range(i)
-                .steps_with_relaxation(l)
-                .collect();
+            let window: Vec<ControlStep> = mobility.range(i).steps_with_relaxation(l).collect();
             let compat: Vec<FuId> = fus.instances_for_kind(op.kind()).collect();
             for &j in &window {
                 for &k in &compat {
@@ -101,11 +98,7 @@ impl VarMap {
                     if j.0 + fus.latency(k) > horizon {
                         continue;
                     }
-                    let v = problem.add_var(
-                        format!("x[{i},{j},{k}]"),
-                        VarKind::Binary,
-                        0.0,
-                    )?;
+                    let v = problem.add_var(format!("x[{i},{j},{k}]"), VarKind::Binary, 0.0)?;
                     x.insert((i, j.0, k), v);
                     x_of_op[i.index()].push((j.0, k, v));
                 }
@@ -140,11 +133,7 @@ impl VarMap {
             for (e, _) in graph.task_edges().iter().enumerate() {
                 for p1 in 0..n {
                     for p2 in (p1 + 1)..n {
-                        let var = problem.add_var(
-                            format!("v[e{e},p{p1},p{p2}]"),
-                            kind,
-                            0.0,
-                        )?;
+                        let var = problem.add_var(format!("v[e{e},p{p1},p{p2}]"), kind, 0.0)?;
                         if kind == VarKind::Continuous {
                             problem.set_bounds(var, 0.0, 1.0)?;
                         }
@@ -193,11 +182,7 @@ impl VarMap {
             for t in 0..n_tasks {
                 let mut row = Vec::with_capacity(n_fus);
                 for k in 0..n_fus {
-                    let var = problem.add_var(
-                        format!("z[p{p},t{t},k{k}]"),
-                        z_kind,
-                        0.0,
-                    )?;
+                    let var = problem.add_var(format!("z[p{p},t{t},k{k}]"), z_kind, 0.0)?;
                     if z_kind == VarKind::Continuous {
                         problem.set_bounds(var, 0.0, 1.0)?;
                     }
@@ -243,7 +228,6 @@ impl VarMap {
     pub fn w_at(&self, b: u32, e: usize) -> VarId {
         self.w[(b - 1) as usize][e]
     }
-
 }
 
 #[cfg(test)]
@@ -293,10 +277,7 @@ mod tests {
         let mut p = Problem::new("m");
         let vars = VarMap::build(&inst, &config, &mob, &mut p).unwrap();
         // For each edge: pairs (p1,p2) with p1<p2 out of 3 partitions = 3.
-        assert_eq!(
-            vars.v.len(),
-            3 * inst.graph().task_edges().len()
-        );
+        assert_eq!(vars.v.len(), 3 * inst.graph().task_edges().len());
         // Glover linearization ⇒ v continuous in [0,1].
         for &var in vars.v.values() {
             assert_eq!(p.var_kind(var), VarKind::Continuous);

@@ -148,11 +148,7 @@ impl TaskGraphBuilder {
         if to.index() >= self.tasks.len() {
             return Err(GraphError::UnknownTask(to));
         }
-        if self
-            .task_edges
-            .iter()
-            .any(|e| e.from == from && e.to == to)
-        {
+        if self.task_edges.iter().any(|e| e.from == from && e.to == to) {
             return Err(GraphError::DuplicateTaskEdge { from, to });
         }
         self.task_edges.push(TaskEdge {
@@ -217,7 +213,10 @@ mod tests {
     fn rejects_empty_task() {
         let mut b = TaskGraphBuilder::new("g");
         let _t = b.task("empty");
-        assert_eq!(b.build().unwrap_err(), GraphError::EmptyTask(TaskId::new(0)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::EmptyTask(TaskId::new(0))
+        );
     }
 
     #[test]

@@ -145,7 +145,8 @@ impl FpgaDevice {
 
     /// Effective capacity test for a summed cost: `α · cost ≤ C`.
     pub fn fits(&self, total_cost: FunctionGenerators) -> bool {
-        self.alpha.value() * f64::from(total_cost.count()) <= f64::from(self.capacity.count()) + 1e-9
+        self.alpha.value() * f64::from(total_cost.count())
+            <= f64::from(self.capacity.count()) + 1e-9
     }
 }
 
@@ -261,7 +262,9 @@ mod tests {
         let err = FpgaDevice::builder("x").build();
         assert_eq!(
             err,
-            Err(GraphError::InvalidDeviceParameter("capacity must be positive"))
+            Err(GraphError::InvalidDeviceParameter(
+                "capacity must be positive"
+            ))
         );
     }
 

@@ -86,7 +86,9 @@ mod tests {
         }
         .to_string()
         .contains("task boundary"));
-        assert!(GraphError::NoFuForKind(OpKind::Mul).to_string().contains("mul"));
+        assert!(GraphError::NoFuForKind(OpKind::Mul)
+            .to_string()
+            .contains("mul"));
     }
 
     #[test]

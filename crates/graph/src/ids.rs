@@ -198,7 +198,11 @@ mod tests {
         let steps: Vec<_> = ControlStep::new(1).range_to(ControlStep::new(3)).collect();
         assert_eq!(
             steps,
-            vec![ControlStep::new(1), ControlStep::new(2), ControlStep::new(3)]
+            vec![
+                ControlStep::new(1),
+                ControlStep::new(2),
+                ControlStep::new(3)
+            ]
         );
         assert_eq!(ControlStep::new(0).next(), ControlStep::new(1));
         // Empty range when first > last.

@@ -84,8 +84,14 @@ impl FuType {
         latency: u32,
     ) -> Self {
         let executes: Vec<OpKind> = executes.into_iter().collect();
-        assert!(!executes.is_empty(), "FuType must execute at least one OpKind");
-        assert!(latency > 0, "FuType latency must be at least one control step");
+        assert!(
+            !executes.is_empty(),
+            "FuType must execute at least one OpKind"
+        );
+        assert!(
+            latency > 0,
+            "FuType latency must be at least one control step"
+        );
         Self {
             name: name.into(),
             executes,
@@ -311,10 +317,7 @@ impl ComponentLibrary {
     /// # Errors
     ///
     /// Returns [`GraphError::UnknownFuType`] if a name is not in the library.
-    pub fn exploration_set(
-        &self,
-        counts: &[(&str, u32)],
-    ) -> Result<ExplorationSet, GraphError> {
+    pub fn exploration_set(&self, counts: &[(&str, u32)]) -> Result<ExplorationSet, GraphError> {
         let mut instances = Vec::new();
         for &(name, count) in counts {
             let ty = self
@@ -414,9 +417,7 @@ impl ExplorationSet {
     /// optimistic estimate mobility analysis uses. `None` when nothing
     /// executes `kind`.
     pub fn min_latency_for_kind(&self, kind: OpKind) -> Option<u32> {
-        self.instances_for_kind(kind)
-            .map(|k| self.latency(k))
-            .min()
+        self.instances_for_kind(kind).map(|k| self.latency(k)).min()
     }
 
     /// Whether every instance has unit latency (the paper's base model).
@@ -468,7 +469,13 @@ mod tests {
     fn default_library_covers_core_kinds() {
         let lib = ComponentLibrary::date98_default();
         assert_eq!(lib.num_types(), 5);
-        for kind in [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Cmp, OpKind::Logic] {
+        for kind in [
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Cmp,
+            OpKind::Logic,
+        ] {
             assert!(
                 lib.iter().any(|(_, t)| t.can_execute(kind)),
                 "no type executes {kind}"

@@ -86,8 +86,7 @@ pub(crate) fn topo_sort<T: Copy + Eq + std::hash::Hash + Ord>(
     edges: &[(T, T)],
 ) -> Result<Vec<T>, T> {
     let node_set: HashSet<T> = nodes.iter().copied().collect();
-    let mut indegree: std::collections::HashMap<T, usize> =
-        nodes.iter().map(|&n| (n, 0)).collect();
+    let mut indegree: std::collections::HashMap<T, usize> = nodes.iter().map(|&n| (n, 0)).collect();
     for &(from, to) in edges {
         debug_assert!(node_set.contains(&from) && node_set.contains(&to));
         *indegree.entry(to).or_insert(0) += 1;

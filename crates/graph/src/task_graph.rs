@@ -137,8 +137,7 @@ impl TaskGraph {
     /// acyclicity, so this cannot fail on a built graph.
     pub fn task_topo_order(&self) -> Vec<TaskId> {
         let nodes: Vec<TaskId> = self.tasks.iter().map(Task::id).collect();
-        let edges: Vec<(TaskId, TaskId)> =
-            self.task_edges.iter().map(|e| (e.from, e.to)).collect();
+        let edges: Vec<(TaskId, TaskId)> = self.task_edges.iter().map(|e| (e.from, e.to)).collect();
         topo_sort(&nodes, &edges).expect("built task graphs are acyclic")
     }
 

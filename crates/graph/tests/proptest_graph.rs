@@ -57,7 +57,8 @@ fn build(spec: &Spec) -> TaskGraph {
         let to = task_ids[ti + 1];
         let from = task_ids[(off as usize) % (ti + 1)];
         // Backbone edges are always fresh (one per target task).
-        b.task_edge(from, to, Bandwidth::new(u64::from(bw))).unwrap();
+        b.task_edge(from, to, Bandwidth::new(u64::from(bw)))
+            .unwrap();
     }
     b.build().unwrap()
 }

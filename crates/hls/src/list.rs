@@ -144,9 +144,7 @@ fn priorities(
     ops: &[OpId],
     edges: &[(OpId, OpId)],
 ) -> HashMap<OpId, u32> {
-    let lat = |o: OpId| {
-        fus.min_latency_for_kind(graph.op(o).kind()).unwrap_or(1)
-    };
+    let lat = |o: OpId| fus.min_latency_for_kind(graph.op(o).kind()).unwrap_or(1);
     let mut prio: HashMap<OpId, u32> = ops.iter().map(|&o| (o, lat(o))).collect();
     // Repeated relaxation over a reverse topological pass; the edge set is a
     // DAG so |ops| passes are more than enough, but we converge early.

@@ -245,10 +245,7 @@ mod tests {
     fn relaxation_extends_ranges() {
         let g = two_task_chain();
         let mob = Mobility::compute(&g);
-        let steps: Vec<_> = mob
-            .range(OpId::new(0))
-            .steps_with_relaxation(2)
-            .collect();
+        let steps: Vec<_> = mob.range(OpId::new(0)).steps_with_relaxation(2).collect();
         assert_eq!(steps, vec![ControlStep(0), ControlStep(1), ControlStep(2)]);
         assert_eq!(mob.horizon(2), 5);
         assert_eq!(mob.horizon(0), 3);

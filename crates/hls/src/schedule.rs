@@ -61,11 +61,7 @@ impl Schedule {
 
     /// Schedule length in control steps (`max step + 1`), 0 if empty.
     pub fn makespan(&self) -> u32 {
-        self.by_op
-            .values()
-            .map(|s| s.step.0 + 1)
-            .max()
-            .unwrap_or(0)
+        self.by_op.values().map(|s| s.step.0 + 1).max().unwrap_or(0)
     }
 
     /// The distinct functional units actually used.
@@ -92,7 +88,12 @@ impl Schedule {
 
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "schedule ({} ops, {} steps):", self.len(), self.makespan())?;
+        writeln!(
+            f,
+            "schedule ({} ops, {} steps):",
+            self.len(),
+            self.makespan()
+        )?;
         for s in self.iter() {
             writeln!(f, "  {} @ {} on {}", s.op, s.step, s.fu)?;
         }
@@ -139,8 +140,12 @@ mod tests {
     #[test]
     fn reassign_returns_previous() {
         let mut s = Schedule::new();
-        assert!(s.assign(OpId::new(0), ControlStep(0), FuId::new(0)).is_none());
-        let prev = s.assign(OpId::new(0), ControlStep(2), FuId::new(1)).unwrap();
+        assert!(s
+            .assign(OpId::new(0), ControlStep(0), FuId::new(0))
+            .is_none());
+        let prev = s
+            .assign(OpId::new(0), ControlStep(2), FuId::new(1))
+            .unwrap();
         assert_eq!(prev.step, ControlStep(0));
         assert_eq!(s.makespan(), 3);
     }

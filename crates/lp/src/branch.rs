@@ -10,6 +10,7 @@ use std::time::Instant;
 use crate::internal::CoreLp;
 use crate::options::MipOptions;
 use crate::problem::{LpError, Problem, VarId, VarKind};
+use crate::profile::SimplexProfile;
 use crate::simplex::{solve_core_cold, solve_core_warm, BasisSnapshot, WarmFail};
 use crate::status::{LpStatus, MipStatus};
 
@@ -30,8 +31,12 @@ pub enum BranchDirection {
 /// verifies integrality of all binaries).
 pub trait BranchingRule {
     /// Picks the next branching variable from a fractional LP solution.
-    fn select(&self, problem: &Problem, x: &[f64], int_tol: f64)
-        -> Option<(VarId, BranchDirection)>;
+    fn select(
+        &self,
+        problem: &Problem,
+        x: &[f64],
+        int_tol: f64,
+    ) -> Option<(VarId, BranchDirection)>;
 
     /// Human-readable rule name, used in benchmark reports.
     fn name(&self) -> &str;
@@ -54,7 +59,9 @@ impl BranchingRule for FirstIndexRule {
     ) -> Option<(VarId, BranchDirection)> {
         problem
             .var_ids()
-            .find(|&v| problem.var_kind(v) == VarKind::Binary && is_fractional(x[v.index()], int_tol))
+            .find(|&v| {
+                problem.var_kind(v) == VarKind::Binary && is_fractional(x[v.index()], int_tol)
+            })
             .map(|v| (v, BranchDirection::Up))
     }
 
@@ -176,6 +183,10 @@ pub struct MipStats {
     /// Nodes a worker took from the shared pool that another worker
     /// produced (always 0 for the serial solver).
     pub steals: usize,
+    /// Merged simplex profile of every node LP solved during the search
+    /// (counters always; section timers only with
+    /// [`LpOptions::profile`](crate::LpOptions::profile)).
+    pub simplex: SimplexProfile,
 }
 
 /// Result of a branch-and-bound solve.
@@ -402,6 +413,7 @@ impl<'a> BranchAndBound<'a> {
             };
             stats.nodes += 1;
             stats.lp_iterations += outcome.iterations;
+            stats.simplex.absorb(&outcome.profile);
             match outcome.status {
                 LpStatus::Infeasible => {
                     stats.pruned_infeasible += 1;
@@ -433,7 +445,10 @@ impl<'a> BranchAndBound<'a> {
                         "branching rule returned None on a fractional solution"
                     );
                     let obj = outcome.objective;
-                    if incumbent.as_ref().is_none_or(|(_, b)| obj < b - opts.abs_gap) {
+                    if incumbent
+                        .as_ref()
+                        .is_none_or(|(_, b)| obj < b - opts.abs_gap)
+                    {
                         incumbent = Some((x.to_vec(), obj));
                         stats.incumbent_updates += 1;
                     }
@@ -574,7 +589,10 @@ mod tests {
             .collect();
         p.add_constraint(
             "cap",
-            vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect::<Vec<_>>(),
+            vars.iter()
+                .zip(weights)
+                .map(|(&v, &w)| (v, w))
+                .collect::<Vec<_>>(),
             Sense::Le,
             cap,
         )
@@ -657,7 +675,12 @@ mod tests {
             .unwrap();
         for o in [&o1, &o2, &o3] {
             assert_eq!(o.status, MipStatus::Optimal);
-            assert!((o.objective - bobj).abs() < 1e-6, "{} vs {}", o.objective, bobj);
+            assert!(
+                (o.objective - bobj).abs() < 1e-6,
+                "{} vs {}",
+                o.objective,
+                bobj
+            );
         }
     }
 
@@ -727,7 +750,10 @@ mod tests {
             let n = 4 + trial % 4;
             let mut p = Problem::new("rnd");
             let vars: Vec<_> = (0..n)
-                .map(|i| p.add_var(format!("x{i}"), VarKind::Binary, next() * 5.0).unwrap())
+                .map(|i| {
+                    p.add_var(format!("x{i}"), VarKind::Binary, next() * 5.0)
+                        .unwrap()
+                })
                 .collect();
             for r in 0..3 {
                 let coeffs: Vec<_> = vars.iter().map(|&v| (v, next() * 3.0)).collect();
@@ -737,7 +763,8 @@ mod tests {
                     _ => Sense::Le,
                 };
                 let rhs = next() * 2.0 + if sense == Sense::Le { 1.5 } else { -1.5 };
-                p.add_constraint(format!("r{r}"), coeffs, sense, rhs).unwrap();
+                p.add_constraint(format!("r{r}"), coeffs, sense, rhs)
+                    .unwrap();
             }
             let out = BranchAndBound::new(&p).solve().unwrap();
             match brute_force(&p) {
@@ -770,7 +797,11 @@ mod tests {
         };
         let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
         assert_eq!(out.status, MipStatus::Optimal);
-        assert!((out.objective - (-23.0)).abs() < 1e-6, "obj={}", out.objective);
+        assert!(
+            (out.objective - (-23.0)).abs() < 1e-6,
+            "obj={}",
+            out.objective
+        );
         assert!(out.stats.incumbent_updates >= 2, "seed + improvement");
 
         // An infeasible seed (weight 10 > 7) is silently ignored.

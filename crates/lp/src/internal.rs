@@ -4,7 +4,7 @@
 //! per row (used by the cold-start phase 1; fixed to zero afterwards).
 
 use crate::problem::{Problem, Sense};
-use crate::sparse::CscMatrix;
+use crate::sparse::{CscMatrix, CsrMatrix};
 
 /// Computational form of an LP.
 ///
@@ -17,6 +17,9 @@ pub(crate) struct CoreLp {
     pub n: usize,
     pub num_structs: usize,
     pub a: CscMatrix,
+    /// Row-major view of `a`, used by the incremental pricing engine to form
+    /// pivot rows `αᵀ = ρᵀ A` in time proportional to the nonzeros of `ρ`.
+    pub rows_of_a: CsrMatrix,
     pub b: Vec<f64>,
     /// Phase-2 costs (artificials cost 0).
     pub c: Vec<f64>,
@@ -62,11 +65,13 @@ impl CoreLp {
             lower[ns + m + r] = 0.0;
             upper[ns + m + r] = 0.0;
         }
+        let rows_of_a = a.to_csr();
         Self {
             m,
             n,
             num_structs: ns,
             a,
+            rows_of_a,
             b,
             c,
             lower,

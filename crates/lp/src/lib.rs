@@ -52,6 +52,7 @@ mod options;
 mod parallel;
 mod presolve;
 mod problem;
+mod profile;
 mod simplex;
 mod sparse;
 mod status;
@@ -61,11 +62,12 @@ pub use branch::{
     BranchAndBound, BranchDirection, BranchingRule, FirstIndexRule, MipSolution, MipStats,
     MostFractionalRule, PriorityRule,
 };
-pub use options::{LpOptions, MipOptions};
-pub use presolve::{presolve, Presolved, PresolveResult};
+pub use mps::write_mps;
+pub use options::{LpOptions, MipOptions, Pricing};
+pub use presolve::{presolve, PresolveResult, Presolved};
 pub use problem::{LpError, Problem, RowId, RowView, Sense, VarId, VarKind};
+pub use profile::SimplexProfile;
 pub use simplex::{solve_lp, LpOutcome};
 pub use sparse::CscMatrix;
 pub use status::{LpStatus, MipStatus};
-pub use mps::write_mps;
 pub use write::write_lp_format;

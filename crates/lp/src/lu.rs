@@ -28,6 +28,36 @@ pub struct LuFactors {
     u_cols: Vec<Vec<(usize, f64)>>,
     /// Diagonal of `U`.
     u_diag: Vec<f64>,
+    /// Row-wise adjacency of `U`: pivot `k` → columns `j > k` with
+    /// `u_kj ≠ 0`. Drives hypersparse BTRAN pattern propagation.
+    u_rows: Vec<Vec<usize>>,
+    /// Reverse adjacency of `Lᵀ`: pivot `k` → pivots `j < k` whose `L`
+    /// column touches a row pivoted at `k`. Drives hypersparse BTRAN.
+    l_deps: Vec<Vec<usize>>,
+}
+
+/// Reusable workspace for the hypersparse (pattern-tracked) triangular
+/// solves, owned by the caller so repeated solves allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LuScratch {
+    min_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>>,
+    max_heap: std::collections::BinaryHeap<usize>,
+    queued: Vec<bool>,
+    z: Vec<f64>,
+    stage: Vec<usize>,
+    pops: Vec<usize>,
+}
+
+impl LuScratch {
+    fn ensure(&mut self, m: usize) {
+        if self.queued.len() < m {
+            self.queued.resize(m, false);
+            self.z.resize(m, 0.0);
+        }
+        debug_assert!(self.min_heap.is_empty() && self.max_heap.is_empty());
+        debug_assert!(self.queued.iter().all(|&q| !q), "scratch left dirty");
+        debug_assert!(self.z.iter().all(|&v| v == 0.0), "scratch left dirty");
+    }
 }
 
 impl LuFactors {
@@ -127,6 +157,21 @@ impl LuFactors {
             }
             touched.clear();
         }
+        // Adjacency for hypersparse pattern propagation. `u_rows[k]` lists
+        // the columns whose U part touches pivot `k`; `l_deps[k]` lists the
+        // pivots whose L column touches the row pivoted at `k`.
+        let mut u_rows: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (j, u_col) in u_cols.iter().enumerate() {
+            for &(k, _) in u_col {
+                u_rows[k].push(j);
+            }
+        }
+        let mut l_deps: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (j, l_col) in l_cols.iter().enumerate() {
+            for &(r, _) in l_col {
+                l_deps[pivot_pos[r]].push(j);
+            }
+        }
         Ok(Self {
             m,
             pivot_row,
@@ -134,6 +179,8 @@ impl LuFactors {
             l_cols,
             u_cols,
             u_diag,
+            u_rows,
+            l_deps,
         })
     }
 
@@ -198,6 +245,146 @@ impl LuFactors {
         }
         for j in 0..self.m {
             buf[self.pivot_row[j]] = z[j];
+        }
+    }
+
+    /// Hypersparse [`ftran`](Self::ftran): same solve, but only the pivot
+    /// positions reachable from the nonzeros of `b` are visited.
+    ///
+    /// On entry `buf` holds `b` and `pattern` its nonzero original rows (no
+    /// duplicates); positions outside `pattern` must be zero. On exit `buf`
+    /// holds `w` and `pattern` its nonzero basis positions (unsorted).
+    /// Work is proportional to the solution's fill-in, not to `m`.
+    pub fn ftran_sparse(&self, buf: &mut [f64], pattern: &mut Vec<usize>, scratch: &mut LuScratch) {
+        debug_assert_eq!(buf.len(), self.m);
+        scratch.ensure(self.m);
+        // Forward L solve: process reachable pivots in ascending order so a
+        // row is fully updated before its own pivot pops (the invariant the
+        // dense loop gets for free).
+        for &r in pattern.iter() {
+            let k = self.pivot_pos[r];
+            if !scratch.queued[k] {
+                scratch.queued[k] = true;
+                scratch.min_heap.push(std::cmp::Reverse(k));
+            }
+        }
+        scratch.stage.clear();
+        while let Some(std::cmp::Reverse(j)) = scratch.min_heap.pop() {
+            scratch.queued[j] = false;
+            let zj = buf[self.pivot_row[j]];
+            buf[self.pivot_row[j]] = 0.0;
+            if zj != 0.0 {
+                scratch.z[j] = zj;
+                scratch.stage.push(j);
+                for &(r, mult) in &self.l_cols[j] {
+                    buf[r] -= zj * mult;
+                    let k = self.pivot_pos[r];
+                    if !scratch.queued[k] {
+                        scratch.queued[k] = true;
+                        scratch.min_heap.push(std::cmp::Reverse(k));
+                    }
+                }
+            }
+        }
+        // Backward U solve on the staged nonzeros, descending.
+        for &j in &scratch.stage {
+            if !scratch.queued[j] {
+                scratch.queued[j] = true;
+                scratch.max_heap.push(j);
+            }
+        }
+        pattern.clear();
+        while let Some(j) = scratch.max_heap.pop() {
+            scratch.queued[j] = false;
+            let wj = scratch.z[j] / self.u_diag[j];
+            scratch.z[j] = 0.0;
+            if wj != 0.0 {
+                buf[j] = wj;
+                pattern.push(j);
+                for &(k, u) in &self.u_cols[j] {
+                    scratch.z[k] -= wj * u;
+                    if !scratch.queued[k] {
+                        scratch.queued[k] = true;
+                        scratch.max_heap.push(k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hypersparse [`btran`](Self::btran): same solve, pattern-tracked.
+    ///
+    /// On entry `buf` holds `c` and `pattern` its nonzero basis positions (no
+    /// duplicates); positions outside `pattern` must be zero. On exit `buf`
+    /// holds `y` and `pattern` its nonzero original rows (unsorted).
+    pub fn btran_sparse(&self, buf: &mut [f64], pattern: &mut Vec<usize>, scratch: &mut LuScratch) {
+        debug_assert_eq!(buf.len(), self.m);
+        scratch.ensure(self.m);
+        // Forward Uᵀ solve, ascending: z_j depends on z_k for k ∈ u_cols[j];
+        // a nonzero z_j feeds every column in u_rows[j].
+        for &j in pattern.iter() {
+            if !scratch.queued[j] {
+                scratch.queued[j] = true;
+                scratch.min_heap.push(std::cmp::Reverse(j));
+            }
+        }
+        scratch.stage.clear();
+        while let Some(std::cmp::Reverse(j)) = scratch.min_heap.pop() {
+            scratch.queued[j] = false;
+            let mut s = buf[j];
+            buf[j] = 0.0;
+            for &(k, u) in &self.u_cols[j] {
+                s -= u * scratch.z[k];
+            }
+            let zj = s / self.u_diag[j];
+            if zj != 0.0 {
+                scratch.z[j] = zj;
+                scratch.stage.push(j);
+                for &j2 in &self.u_rows[j] {
+                    if !scratch.queued[j2] {
+                        scratch.queued[j2] = true;
+                        scratch.min_heap.push(std::cmp::Reverse(j2));
+                    }
+                }
+            }
+        }
+        // Backward Lᵀ solve, descending: v_j depends on v_k for pivots
+        // k > j whose row appears in l_cols[j]; a nonzero v_j feeds the
+        // pivots in l_deps[j]. Values stay live until all dependants are
+        // done, so clearing happens in the scatter pass below.
+        for &j in &scratch.stage {
+            if !scratch.queued[j] {
+                scratch.queued[j] = true;
+                scratch.max_heap.push(j);
+            }
+        }
+        scratch.pops.clear();
+        while let Some(j) = scratch.max_heap.pop() {
+            scratch.queued[j] = false;
+            let mut s = scratch.z[j];
+            for &(r, mult) in &self.l_cols[j] {
+                s -= mult * scratch.z[self.pivot_pos[r]];
+            }
+            scratch.z[j] = s;
+            scratch.pops.push(j);
+            if s != 0.0 {
+                for &k in &self.l_deps[j] {
+                    if !scratch.queued[k] {
+                        scratch.queued[k] = true;
+                        scratch.max_heap.push(k);
+                    }
+                }
+            }
+        }
+        // Scatter to original rows and clean the workspace.
+        pattern.clear();
+        for &j in &scratch.pops {
+            let v = scratch.z[j];
+            scratch.z[j] = 0.0;
+            if v != 0.0 {
+                buf[self.pivot_row[j]] = v;
+                pattern.push(self.pivot_row[j]);
+            }
         }
     }
 }
@@ -265,9 +452,7 @@ mod tests {
             }
         }
         // BTRAN: Bᵀ y = c  ⇔ dense transpose solve.
-        let bt: Vec<Vec<f64>> = (0..m)
-            .map(|r| (0..m).map(|c| bd[c][r]).collect())
-            .collect();
+        let bt: Vec<Vec<f64>> = (0..m).map(|r| (0..m).map(|c| bd[c][r]).collect()).collect();
         for t in 0..3 {
             let c: Vec<f64> = (0..m).map(|i| ((i * 11 + t) % 7) as f64 - 3.0).collect();
             let mut buf = c.clone();
@@ -290,7 +475,13 @@ mod tests {
         let a = CscMatrix::from_triplets(
             3,
             4,
-            vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 3, 5.0), (2, 3, -1.0)],
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (0, 3, 5.0),
+                (2, 3, -1.0),
+            ],
         );
         let lu = LuFactors::factorize(&a, &[0, 1, 2], 1e-10).unwrap();
         let mut b = vec![3.0, -2.0, 7.0];
@@ -348,6 +539,91 @@ mod tests {
             LuFactors::factorize(&a, &[0, 1], 1e-10).unwrap_err(),
             LpError::SingularBasis
         );
+    }
+
+    /// Sparse solves must agree with the dense ones and report exactly the
+    /// nonzero pattern, for every unit rhs and a couple of multi-entry ones.
+    fn check_sparse_solves(a: &CscMatrix, basis: &[usize]) {
+        let lu = LuFactors::factorize(a, basis, 1e-10).unwrap();
+        let m = a.nrows();
+        let mut scratch = LuScratch::default();
+        let mut rhss: Vec<Vec<usize>> = (0..m).map(|i| vec![i]).collect();
+        if m >= 3 {
+            rhss.push(vec![0, m - 1]);
+            rhss.push(vec![1, 2]);
+        }
+        type Dense = fn(&LuFactors, &mut [f64]);
+        type Sparse = fn(&LuFactors, &mut [f64], &mut Vec<usize>, &mut LuScratch);
+        let pairs: [(Dense, Sparse); 2] = [
+            (LuFactors::ftran, LuFactors::ftran_sparse),
+            (LuFactors::btran, LuFactors::btran_sparse),
+        ];
+        for rows in rhss {
+            for &(solve, sparse) in &pairs {
+                let mut dense_buf = vec![0.0; m];
+                let mut sparse_buf = vec![0.0; m];
+                for (t, &r) in rows.iter().enumerate() {
+                    dense_buf[r] = 1.5 + t as f64;
+                    sparse_buf[r] = 1.5 + t as f64;
+                }
+                let mut pattern = rows.clone();
+                solve(&lu, &mut dense_buf);
+                sparse(&lu, &mut sparse_buf, &mut pattern, &mut scratch);
+                for i in 0..m {
+                    assert!(
+                        (sparse_buf[i] - dense_buf[i]).abs() < 1e-12,
+                        "sparse/dense mismatch at {i}: {} vs {}",
+                        sparse_buf[i],
+                        dense_buf[i]
+                    );
+                }
+                let mut sorted = pattern.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), pattern.len(), "pattern has duplicates");
+                for i in 0..m {
+                    assert_eq!(
+                        pattern.contains(&i),
+                        sparse_buf[i] != 0.0,
+                        "pattern wrong at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_solves_match_dense() {
+        let a = CscMatrix::from_triplets(
+            3,
+            5,
+            vec![
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (0, 1, 1.0),
+                (2, 1, 3.0),
+                (1, 2, 4.0),
+                (2, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 4, 1.0),
+            ],
+        );
+        check_sparse_solves(&a, &[0, 1, 2]);
+        check_sparse_solves(&a, &[3, 1, 2]);
+        check_sparse_solves(&a, &[0, 4, 1]);
+        let p = CscMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (3, 0, 1.0),
+                (0, 1, 1.0),
+                (2, 1, 0.5),
+                (1, 2, -2.0),
+                (2, 3, 1.0),
+                (0, 3, 0.25),
+            ],
+        );
+        check_sparse_solves(&p, &[0, 1, 2, 3]);
     }
 
     #[test]

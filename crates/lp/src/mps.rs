@@ -56,11 +56,17 @@ pub fn write_mps(problem: &Problem) -> String {
     for v in problem.var_ids() {
         let is_int = problem.var_kind(v) == VarKind::Binary;
         if is_int && !in_int {
-            let _ = writeln!(out, "    MARKER                 'MARKER'                 'INTORG'");
+            let _ = writeln!(
+                out,
+                "    MARKER                 'MARKER'                 'INTORG'"
+            );
             in_int = true;
         }
         if !is_int && in_int {
-            let _ = writeln!(out, "    MARKER                 'MARKER'                 'INTEND'");
+            let _ = writeln!(
+                out,
+                "    MARKER                 'MARKER'                 'INTEND'"
+            );
             in_int = false;
         }
         let c = problem.objective_coefficient(v);
@@ -72,7 +78,10 @@ pub fn write_mps(problem: &Problem) -> String {
         }
     }
     if in_int {
-        let _ = writeln!(out, "    MARKER                 'MARKER'                 'INTEND'");
+        let _ = writeln!(
+            out,
+            "    MARKER                 'MARKER'                 'INTEND'"
+        );
     }
     let _ = writeln!(out, "RHS");
     for (i, row) in problem.rows_for_export().enumerate() {
@@ -115,7 +124,13 @@ pub fn write_mps(problem: &Problem) -> String {
 fn clean(name: &str, idx: usize) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         format!("P{idx}")
@@ -136,10 +151,12 @@ mod tests {
         let c = p.add_var("c", VarKind::Continuous, -2.5).unwrap();
         p.set_bounds(c, -1.0, 3.0).unwrap();
         let free = p.add_var("f", VarKind::Continuous, 0.0).unwrap();
-        p.set_bounds(free, f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        p.set_bounds(free, f64::NEG_INFINITY, f64::INFINITY)
+            .unwrap();
         p.add_constraint("r", [(b, 1.0), (c, 2.0)], Sense::Le, 4.0)
             .unwrap();
-        p.add_constraint("e", [(free, 1.0)], Sense::Eq, 0.0).unwrap();
+        p.add_constraint("e", [(free, 1.0)], Sense::Eq, 0.0)
+            .unwrap();
         let text = write_mps(&p);
         assert!(text.starts_with("NAME m_x"));
         assert!(text.contains(" L  R0"));

@@ -1,5 +1,51 @@
 //! Solver options.
 
+/// Entering-variable pricing strategy for the simplex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Classic Dantzig pricing (most-violated reduced cost), recomputing
+    /// reduced costs from scratch each iteration. This is the *legacy
+    /// engine*: its pivot sequence is pinned by golden node-count tests, so
+    /// it is the default and the reference for reproducibility.
+    #[default]
+    Dantzig,
+    /// Devex pricing (Forrest–Goldfarb reference-framework weights) with
+    /// incrementally maintained reduced costs and the bound-flipping dual
+    /// ratio test. The fast engine; proves the same optima as Dantzig but
+    /// with its own pivot sequence.
+    Devex,
+    /// Bland's smallest-index rule on the incremental engine. Slow but
+    /// cycling-proof; mainly a debugging fallback.
+    Bland,
+}
+
+impl Pricing {
+    /// Stable lower-case name (CLI flag values, JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Pricing::Dantzig => "dantzig",
+            Pricing::Devex => "devex",
+            Pricing::Bland => "bland",
+        }
+    }
+
+    /// Parses a CLI-style name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "dantzig" => Some(Pricing::Dantzig),
+            "devex" => Some(Pricing::Devex),
+            "bland" => Some(Pricing::Bland),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Pricing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Options for a single LP solve.
 #[derive(Debug, Clone)]
 pub struct LpOptions {
@@ -19,6 +65,14 @@ pub struct LpOptions {
     /// Iteration cap for a *warm-started dual* solve; a degenerate dual that
     /// exceeds it is abandoned in favour of a cold primal solve.
     pub dual_iteration_cap: usize,
+    /// Entering-variable pricing strategy (see [`Pricing`]).
+    pub pricing: Pricing,
+    /// Collect per-phase wall-clock timers (pricing/ftran/btran/ratio-test/
+    /// refactor) into the [`SimplexProfile`](crate::SimplexProfile). Counters
+    /// (iterations, bound flips, devex resets, refactorizations) are always
+    /// collected; the timers cost a few `Instant::now` calls per iteration,
+    /// so they are opt-in.
+    pub profile: bool,
 }
 
 impl Default for LpOptions {
@@ -31,6 +85,8 @@ impl Default for LpOptions {
             refactor_every: 64,
             time_limit_secs: f64::INFINITY,
             dual_iteration_cap: 2_000,
+            pricing: Pricing::Dantzig,
+            profile: false,
         }
     }
 }
@@ -89,10 +145,22 @@ mod tests {
         let lp = LpOptions::default();
         assert!(lp.feas_tol > 0.0 && lp.feas_tol < 1e-4);
         assert!(lp.refactor_every >= 8);
+        assert_eq!(lp.pricing, Pricing::Dantzig, "legacy engine by default");
+        assert!(!lp.profile, "timers are opt-in");
         let mip = MipOptions::default();
         assert!(mip.int_tol >= lp.feas_tol);
         assert!(!mip.objective_is_integral);
         assert!(mip.time_limit_secs.is_infinite());
         assert_eq!(mip.threads, 1, "serial by default");
+    }
+
+    #[test]
+    fn pricing_names_roundtrip() {
+        for p in [Pricing::Dantzig, Pricing::Devex, Pricing::Bland] {
+            assert_eq!(Pricing::parse(p.as_str()), Some(p));
+            assert_eq!(Pricing::parse(&p.as_str().to_uppercase()), Some(p));
+            assert_eq!(format!("{p}"), p.as_str());
+        }
+        assert_eq!(Pricing::parse("steepest"), None);
     }
 }

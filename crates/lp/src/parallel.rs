@@ -43,6 +43,7 @@ use crate::branch::{
 use crate::internal::CoreLp;
 use crate::options::MipOptions;
 use crate::problem::{LpError, Problem, VarKind};
+use crate::profile::SimplexProfile;
 use crate::simplex::{solve_core_cold, solve_core_warm, BasisSnapshot, WarmFail};
 use crate::status::{LpStatus, MipStatus};
 
@@ -96,6 +97,7 @@ struct WorkerStats {
     pruned_infeasible: usize,
     incumbent_updates: usize,
     steals: usize,
+    simplex: SimplexProfile,
 }
 
 struct Shared<'a> {
@@ -125,7 +127,9 @@ impl Shared<'_> {
     /// Installs a better incumbent; returns whether it was accepted.
     fn offer_incumbent(&self, x: &[f64], obj: f64) -> bool {
         let mut inc = self.incumbent.lock().unwrap();
-        let better = inc.as_ref().is_none_or(|(_, b)| obj < b - self.opts.abs_gap);
+        let better = inc
+            .as_ref()
+            .is_none_or(|(_, b)| obj < b - self.opts.abs_gap);
         if better {
             *inc = Some((x.to_vec(), obj));
             // Monotone under the lock: only ever decreases.
@@ -286,6 +290,7 @@ pub(crate) fn solve_parallel(
         stats.pruned_infeasible += w.pruned_infeasible;
         stats.incumbent_updates += w.incumbent_updates;
         stats.steals += w.steals;
+        stats.simplex.absorb(&w.simplex);
     }
 
     let (x, objective, status) = match incumbent {
@@ -405,6 +410,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         shared.nodes.fetch_add(1, Ordering::Relaxed);
         ws.nodes += 1;
         ws.lp_iterations += outcome.iterations;
+        ws.simplex.absorb(&outcome.profile);
         match outcome.status {
             LpStatus::Infeasible => {
                 ws.pruned_infeasible += 1;
@@ -480,12 +486,7 @@ mod tests {
             f64::INFINITY,
         ];
         for w in vals.windows(2) {
-            assert!(
-                bound_key(w[0]) <= bound_key(w[1]),
-                "{} vs {}",
-                w[0],
-                w[1]
-            );
+            assert!(bound_key(w[0]) <= bound_key(w[1]), "{} vs {}", w[0], w[1]);
         }
         for &v in &vals {
             assert_eq!(key_bound(bound_key(v)), v);

@@ -366,7 +366,10 @@ mod tests {
             let n = 3 + trial % 4;
             let mut p = Problem::new("rnd");
             let vars: Vec<_> = (0..n)
-                .map(|i| p.add_var(format!("x{i}"), VarKind::Binary, (next() * 4.0).round()).unwrap())
+                .map(|i| {
+                    p.add_var(format!("x{i}"), VarKind::Binary, (next() * 4.0).round())
+                        .unwrap()
+                })
                 .collect();
             for r in 0..3 {
                 let coeffs: Vec<_> = vars.iter().map(|&v| (v, (next() * 3.0).round())).collect();
@@ -418,9 +421,7 @@ mod tests {
         match presolve(&p).unwrap() {
             Presolved::Reduced(r) => {
                 let red = solve_lp(&r.problem, &LpOptions::default()).unwrap();
-                assert!(
-                    (red.objective + r.objective_offset - direct.objective).abs() < 1e-9
-                );
+                assert!((red.objective + r.objective_offset - direct.objective).abs() < 1e-9);
             }
             Presolved::Infeasible => panic!("feasible"),
         }

@@ -296,7 +296,10 @@ impl Problem {
 
     /// Number of binary variables.
     pub fn num_binaries(&self) -> usize {
-        self.vars.iter().filter(|v| v.kind == VarKind::Binary).count()
+        self.vars
+            .iter()
+            .filter(|v| v.kind == VarKind::Binary)
+            .count()
     }
 
     /// The kind of variable `v`.
@@ -413,7 +416,10 @@ mod tests {
             LpError::NonFinite("objective coefficient")
         );
         let x = p.add_var("x", VarKind::Continuous, 0.0).unwrap();
-        assert_eq!(p.set_bounds(x, 2.0, 1.0).unwrap_err(), LpError::EmptyDomain(x));
+        assert_eq!(
+            p.set_bounds(x, 2.0, 1.0).unwrap_err(),
+            LpError::EmptyDomain(x)
+        );
         assert!(p.set_bounds(x, f64::NEG_INFINITY, 5.0).is_ok());
         let ghost = VarId(99);
         assert_eq!(

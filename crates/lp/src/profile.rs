@@ -1,0 +1,168 @@
+//! Solver profiling: per-phase counters and timers for the simplex engine.
+//!
+//! A [`SimplexProfile`] is accumulated inside every LP solve and carried out
+//! on [`LpOutcome`](crate::LpOutcome); branch-and-bound merges the per-node
+//! profiles into [`MipStats`](crate::MipStats) (serial and parallel alike),
+//! where the CLI's `--stats` flag and the `tables -- simplex` experiment
+//! read them. Counters are always collected; the wall-clock section timers
+//! are gated behind [`LpOptions::profile`](crate::LpOptions::profile)
+//! because they cost a few `Instant::now` calls per iteration.
+
+use std::time::Instant;
+
+/// Counters and timers of one or more simplex solves.
+///
+/// Section timers (`*_secs`) are zero unless the solve ran with
+/// [`LpOptions::profile`](crate::LpOptions::profile) set; everything else is
+/// always collected.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimplexProfile {
+    /// LP solves merged into this profile.
+    pub solves: usize,
+    /// Primal pivots (phases 1 and 2).
+    pub primal_iterations: usize,
+    /// Dual pivots (warm restarts).
+    pub dual_iterations: usize,
+    /// Nonbasic bound flips: primal entering-variable flips plus the dual
+    /// long-step (bound-flipping ratio test) flips, each of which replaces a
+    /// full pivot.
+    pub bound_flips: usize,
+    /// Devex reference-framework resets (weights drifted too far).
+    pub devex_resets: usize,
+    /// Basis refactorizations.
+    pub refactors: usize,
+    /// Total wall-clock seconds inside LP solves (always measured).
+    pub lp_secs: f64,
+    /// Entering/leaving selection and reduced-cost maintenance.
+    pub pricing_secs: f64,
+    /// Forward solves `B w = a_q` (LU + eta file).
+    pub ftran_secs: f64,
+    /// Backward solves `Bᵀ y = c` (eta file + LU).
+    pub btran_secs: f64,
+    /// Primal and dual ratio tests (incl. bound-flip breakpoint walks).
+    pub ratio_secs: f64,
+    /// LU refactorization time.
+    pub refactor_secs: f64,
+}
+
+impl SimplexProfile {
+    /// Total simplex pivots.
+    pub fn iterations(&self) -> usize {
+        self.primal_iterations + self.dual_iterations
+    }
+
+    /// Merges another profile into this one (counters and timers add).
+    pub fn absorb(&mut self, other: &SimplexProfile) {
+        self.solves += other.solves;
+        self.primal_iterations += other.primal_iterations;
+        self.dual_iterations += other.dual_iterations;
+        self.bound_flips += other.bound_flips;
+        self.devex_resets += other.devex_resets;
+        self.refactors += other.refactors;
+        self.lp_secs += other.lp_secs;
+        self.pricing_secs += other.pricing_secs;
+        self.ftran_secs += other.ftran_secs;
+        self.btran_secs += other.btran_secs;
+        self.ratio_secs += other.ratio_secs;
+        self.refactor_secs += other.refactor_secs;
+    }
+
+    /// Multi-line human-readable report (the CLI's `--stats` block).
+    pub fn report(&self) -> String {
+        let mut s = format!(
+            "simplex: {} solves, {} primal + {} dual pivots, {} bound flips, \
+             {} refactors, {} devex resets, {:.1} ms in LP",
+            self.solves,
+            self.primal_iterations,
+            self.dual_iterations,
+            self.bound_flips,
+            self.refactors,
+            self.devex_resets,
+            self.lp_secs * 1e3,
+        );
+        let timed = self.pricing_secs
+            + self.ftran_secs
+            + self.btran_secs
+            + self.ratio_secs
+            + self.refactor_secs;
+        if timed > 0.0 {
+            s.push_str(&format!(
+                "\n  breakdown: pricing {:.1} ms, ftran {:.1} ms, btran {:.1} ms, \
+                 ratio {:.1} ms, refactor {:.1} ms",
+                self.pricing_secs * 1e3,
+                self.ftran_secs * 1e3,
+                self.btran_secs * 1e3,
+                self.ratio_secs * 1e3,
+                self.refactor_secs * 1e3,
+            ));
+        }
+        s
+    }
+}
+
+/// Starts a section timer when profiling is enabled (else free).
+pub(crate) fn tick(enabled: bool) -> Option<Instant> {
+    if enabled {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Stops a [`tick`] timer into an accumulator.
+pub(crate) fn tock(start: Option<Instant>, acc: &mut f64) {
+    if let Some(t) = start {
+        *acc += t.elapsed().as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_counters_and_timers() {
+        let mut a = SimplexProfile {
+            solves: 1,
+            primal_iterations: 10,
+            dual_iterations: 5,
+            bound_flips: 3,
+            devex_resets: 1,
+            refactors: 2,
+            lp_secs: 0.5,
+            pricing_secs: 0.1,
+            ftran_secs: 0.2,
+            btran_secs: 0.05,
+            ratio_secs: 0.03,
+            refactor_secs: 0.02,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.solves, 2);
+        assert_eq!(a.iterations(), 30);
+        assert_eq!(a.bound_flips, 6);
+        assert!((a.lp_secs - 1.0).abs() < 1e-12);
+        assert!((a.ftran_secs - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_mentions_breakdown_only_when_timed() {
+        let mut p = SimplexProfile {
+            solves: 1,
+            ..SimplexProfile::default()
+        };
+        assert!(!p.report().contains("breakdown"));
+        p.ftran_secs = 0.25;
+        assert!(p.report().contains("breakdown"));
+        assert!(p.report().contains("ftran 250.0 ms"));
+    }
+
+    #[test]
+    fn tick_tock_disabled_is_free() {
+        let mut acc = 0.0;
+        tock(tick(false), &mut acc);
+        assert_eq!(acc, 0.0);
+        tock(tick(true), &mut acc);
+        assert!(acc >= 0.0);
+    }
+}

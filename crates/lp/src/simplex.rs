@@ -13,9 +13,10 @@
 use std::time::Instant;
 
 use crate::internal::CoreLp;
-use crate::lu::LuFactors;
-use crate::options::LpOptions;
+use crate::lu::{LuFactors, LuScratch};
+use crate::options::{LpOptions, Pricing};
 use crate::problem::{LpError, Problem};
+use crate::profile::{tick, tock, SimplexProfile};
 use crate::status::LpStatus;
 
 /// Nonbasic/basic status of a column.
@@ -48,6 +49,7 @@ pub(crate) struct CoreOutcome {
     pub duals: Vec<f64>,
     pub snapshot: BasisSnapshot,
     pub iterations: usize,
+    pub profile: SimplexProfile,
 }
 
 /// Why a warm-started dual solve could not be used.
@@ -69,6 +71,57 @@ struct Eta {
     wr: f64,
 }
 
+/// Preallocated per-solve work vectors, so no simplex iteration allocates.
+///
+/// Length-`m` buffers (`w`, `rho`, `y`, `rhs`) and their pattern lists must
+/// be returned to all-zero / cleared between uses; `mask` (length `m`) and
+/// `amask` (length `n`) are membership masks that every user resets before
+/// releasing. `alpha` is lazily zeroed via `touched`, so it may hold stale
+/// values at untouched positions.
+#[derive(Default)]
+struct Scratch {
+    /// FTRAN column and its nonzero pattern.
+    w: Vec<f64>,
+    wpat: Vec<usize>,
+    /// BTRAN row `ρ = B⁻ᵀ e_r` and its nonzero pattern.
+    rho: Vec<f64>,
+    rpat: Vec<usize>,
+    /// Membership mask in row/basis-position space (length `m`).
+    mask: Vec<bool>,
+    /// Dual vector workspace for `Bᵀ y = c_B`.
+    y: Vec<f64>,
+    /// Right-hand-side accumulator (xb recompute, dual bound-flip batch).
+    rhs: Vec<f64>,
+    rhs_pat: Vec<usize>,
+    /// Reduced costs (length `n`).
+    d: Vec<f64>,
+    /// Pivot row `αᵀ = ρᵀ A` (length `n`), lazily reset via `touched`.
+    alpha: Vec<f64>,
+    amask: Vec<bool>,
+    touched: Vec<usize>,
+    /// Devex reference weights (length `n`).
+    devex: Vec<f64>,
+    /// Dual ratio-test breakpoints `(|d_j/α_j|, j)`.
+    breakpoints: Vec<(f64, usize)>,
+    /// Columns flipped by the current bound-flipping ratio test pass.
+    flips: Vec<usize>,
+    lu: LuScratch,
+}
+
+impl Scratch {
+    fn ensure(&mut self, m: usize, n: usize) {
+        self.w.resize(m, 0.0);
+        self.rho.resize(m, 0.0);
+        self.y.resize(m, 0.0);
+        self.rhs.resize(m, 0.0);
+        self.mask.resize(m, false);
+        self.d.resize(n, 0.0);
+        self.alpha.resize(n, 0.0);
+        self.amask.resize(n, false);
+        self.devex.resize(n, 0.0);
+    }
+}
+
 struct Simplex<'a> {
     core: &'a CoreLp,
     opts: &'a LpOptions,
@@ -84,6 +137,10 @@ struct Simplex<'a> {
     degen_streak: usize,
     /// Wall-clock deadline; exceeded ⇒ [`LpError::Timeout`].
     deadline: Option<Instant>,
+    scratch: Scratch,
+    profile: SimplexProfile,
+    /// Section timers enabled ([`LpOptions::profile`]).
+    timers: bool,
 }
 
 impl<'a> Simplex<'a> {
@@ -105,9 +162,11 @@ impl<'a> Simplex<'a> {
         }
     }
 
-    fn ftran(&self, buf: &mut [f64]) {
-        self.lu.ftran(buf);
-        for eta in &self.etas {
+    /// `B w = b`: LU solve then the eta file. Associated functions (not
+    /// methods) so call sites can borrow `self.scratch` buffers disjointly.
+    fn apply_ftran(lu: &LuFactors, etas: &[Eta], buf: &mut [f64]) {
+        lu.ftran(buf);
+        for eta in etas {
             let xr = buf[eta.r] / eta.wr;
             buf[eta.r] = xr;
             if xr != 0.0 {
@@ -118,39 +177,137 @@ impl<'a> Simplex<'a> {
         }
     }
 
-    fn btran(&self, buf: &mut [f64]) {
-        for eta in self.etas.iter().rev() {
+    /// `Bᵀ y = c`: eta file in reverse, then the LU solve.
+    fn apply_btran(lu: &LuFactors, etas: &[Eta], buf: &mut [f64]) {
+        for eta in etas.iter().rev() {
             let mut s = buf[eta.r];
             for &(i, wi) in &eta.entries {
                 s -= wi * buf[i];
             }
             buf[eta.r] = s / eta.wr;
         }
-        self.lu.btran(buf);
+        lu.btran(buf);
+    }
+
+    fn ftran(&self, buf: &mut [f64]) {
+        Self::apply_ftran(&self.lu, &self.etas, buf);
+    }
+
+    fn btran(&self, buf: &mut [f64]) {
+        Self::apply_btran(&self.lu, &self.etas, buf);
+    }
+
+    /// Hypersparse FTRAN: `pattern` holds the nonzeros of `buf` on entry and
+    /// a superset of the nonzeros (no duplicates) on exit. Falls back to the
+    /// dense kernel when the rhs is already dense-ish. `mask` must be all
+    /// false and is returned all false.
+    fn apply_ftran_sparse(
+        lu: &LuFactors,
+        etas: &[Eta],
+        buf: &mut [f64],
+        pattern: &mut Vec<usize>,
+        mask: &mut [bool],
+        lsc: &mut LuScratch,
+    ) {
+        let m = buf.len();
+        if pattern.len() * 4 > m {
+            Self::apply_ftran(lu, etas, buf);
+            pattern.clear();
+            pattern.extend((0..m).filter(|&i| buf[i] != 0.0));
+            return;
+        }
+        lu.ftran_sparse(buf, pattern, lsc);
+        if !etas.is_empty() {
+            for &p in pattern.iter() {
+                mask[p] = true;
+            }
+            for eta in etas {
+                let xr = buf[eta.r] / eta.wr;
+                buf[eta.r] = xr;
+                if xr != 0.0 {
+                    if !mask[eta.r] {
+                        mask[eta.r] = true;
+                        pattern.push(eta.r);
+                    }
+                    for &(i, wi) in &eta.entries {
+                        buf[i] -= wi * xr;
+                        if !mask[i] {
+                            mask[i] = true;
+                            pattern.push(i);
+                        }
+                    }
+                }
+            }
+            for &p in pattern.iter() {
+                mask[p] = false;
+            }
+        }
+    }
+
+    /// Hypersparse BTRAN, mirror of [`apply_ftran_sparse`](Self::apply_ftran_sparse).
+    fn apply_btran_sparse(
+        lu: &LuFactors,
+        etas: &[Eta],
+        buf: &mut [f64],
+        pattern: &mut Vec<usize>,
+        mask: &mut [bool],
+        lsc: &mut LuScratch,
+    ) {
+        let m = buf.len();
+        if pattern.len() * 4 > m {
+            Self::apply_btran(lu, etas, buf);
+            pattern.clear();
+            pattern.extend((0..m).filter(|&i| buf[i] != 0.0));
+            return;
+        }
+        if !etas.is_empty() {
+            for &p in pattern.iter() {
+                mask[p] = true;
+            }
+            for eta in etas.iter().rev() {
+                let mut s = buf[eta.r];
+                for &(i, wi) in &eta.entries {
+                    s -= wi * buf[i];
+                }
+                s /= eta.wr;
+                buf[eta.r] = s;
+                if s != 0.0 && !mask[eta.r] {
+                    mask[eta.r] = true;
+                    pattern.push(eta.r);
+                }
+            }
+            for &p in pattern.iter() {
+                mask[p] = false;
+            }
+        }
+        lu.btran_sparse(buf, pattern, lsc);
     }
 
     /// Recomputes `xb` from scratch: `x_B = B⁻¹ (b − N x_N)`.
     fn recompute_xb(&mut self) {
         let m = self.core.m;
-        let mut rhs = self.core.b.clone();
+        self.scratch.rhs.copy_from_slice(&self.core.b);
         for j in 0..self.core.n {
             if self.stat[j] != VStat::Basic {
                 let v = self.nonbasic_value(j);
                 if v != 0.0 {
-                    self.core.a.col_axpy(j, -v, &mut rhs);
+                    self.core.a.col_axpy(j, -v, &mut self.scratch.rhs);
                 }
             }
         }
-        let mut buf = rhs;
-        debug_assert_eq!(buf.len(), m);
-        self.ftran(&mut buf);
-        self.xb = buf;
+        debug_assert_eq!(self.scratch.rhs.len(), m);
+        Self::apply_ftran(&self.lu, &self.etas, &mut self.scratch.rhs);
+        self.xb.copy_from_slice(&self.scratch.rhs);
+        self.scratch.rhs.fill(0.0);
     }
 
     fn refactor(&mut self) -> Result<(), LpError> {
+        let t = tick(self.timers);
         self.lu = LuFactors::factorize(&self.core.a, &self.basic, self.opts.pivot_tol)?;
         self.etas.clear();
         self.recompute_xb();
+        self.profile.refactors += 1;
+        tock(t, &mut self.profile.refactor_secs);
         Ok(())
     }
 
@@ -161,22 +318,35 @@ impl<'a> Simplex<'a> {
         Ok(())
     }
 
-    /// Reduced costs `d_j = c_j − y·a_j` for all columns (basic ones ≈ 0).
-    fn reduced_costs(&self, costs: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.core.m];
+    /// Reduced costs `d_j = c_j − y·a_j` for all columns (basic ones ≈ 0),
+    /// written into `d` (any length; resized to `n`). Uses `scratch.y`, so
+    /// `d` must not alias it.
+    fn reduced_costs_into(&mut self, costs: &[f64], d: &mut Vec<f64>) {
+        let t = tick(self.timers);
+        d.resize(self.core.n, 0.0);
+        self.scratch.y.fill(0.0);
         for (pos, &col) in self.basic.iter().enumerate() {
-            y[pos] = costs[col];
+            self.scratch.y[pos] = costs[col];
         }
-        self.btran(&mut y);
-        (0..self.core.n)
-            .map(|j| {
-                if self.stat[j] == VStat::Basic {
-                    0.0
-                } else {
-                    costs[j] - self.core.a.col_dot(j, &y)
-                }
-            })
-            .collect()
+        Self::apply_btran(&self.lu, &self.etas, &mut self.scratch.y);
+        tock(t, &mut self.profile.btran_secs);
+        let t = tick(self.timers);
+        for j in 0..self.core.n {
+            d[j] = if self.stat[j] == VStat::Basic {
+                0.0
+            } else {
+                costs[j] - self.core.a.col_dot(j, &self.scratch.y)
+            };
+        }
+        tock(t, &mut self.profile.pricing_secs);
+    }
+
+    /// [`reduced_costs_into`](Self::reduced_costs_into) targeting
+    /// `scratch.d` (the common case).
+    fn update_reduced_costs(&mut self, costs: &[f64]) {
+        let mut d = std::mem::take(&mut self.scratch.d);
+        self.reduced_costs_into(costs, &mut d);
+        self.scratch.d = d;
     }
 
     /// Dantzig (or Bland, under degeneracy) pricing. Returns the entering
@@ -226,7 +396,18 @@ impl<'a> Simplex<'a> {
     /// `Unbounded`. When `stop_at` is set, the phase also ends (reported as
     /// `Optimal`) once the objective reaches that value — used to cut phase 1
     /// short at zero infeasibility instead of stalling on degenerate pivots.
+    ///
+    /// Dispatch: [`Pricing::Dantzig`] runs the legacy full-pricing engine
+    /// whose pivot sequence is pinned by golden tests; devex and Bland run
+    /// the incremental engine.
     fn primal(&mut self, costs: &[f64], stop_at: Option<f64>) -> Result<LpStatus, LpError> {
+        match self.opts.pricing {
+            Pricing::Dantzig => self.primal_dantzig(costs, stop_at),
+            Pricing::Devex | Pricing::Bland => self.primal_incremental(costs, stop_at),
+        }
+    }
+
+    fn primal_dantzig(&mut self, costs: &[f64], stop_at: Option<f64>) -> Result<LpStatus, LpError> {
         loop {
             if self.iterations >= self.opts.max_iterations {
                 return Err(LpError::IterationLimit);
@@ -247,11 +428,17 @@ impl<'a> Simplex<'a> {
                     .zip(&self.xb)
                     .map(|(&c, &v)| costs[c] * v)
                     .sum();
-                eprintln!("iter {} obj {:.6} degen_streak {}", self.iterations, obj, self.degen_streak);
+                eprintln!(
+                    "iter {} obj {:.6} degen_streak {}",
+                    self.iterations, obj, self.degen_streak
+                );
             }
-            let d = self.reduced_costs(costs);
+            self.update_reduced_costs(costs);
             let bland = self.degen_streak > 40;
-            let Some(q) = self.price(&d, bland) else {
+            let tp = tick(self.timers);
+            let entering = self.price(&self.scratch.d, bland);
+            tock(tp, &mut self.profile.pricing_secs);
+            let Some(q) = entering else {
                 return Ok(LpStatus::Optimal);
             };
             // Direction of the entering variable.
@@ -259,7 +446,7 @@ impl<'a> Simplex<'a> {
                 VStat::AtLower => 1.0,
                 VStat::AtUpper => -1.0,
                 VStat::Free => {
-                    if d[q] < 0.0 {
+                    if self.scratch.d[q] < 0.0 {
                         1.0
                     } else {
                         -1.0
@@ -267,13 +454,17 @@ impl<'a> Simplex<'a> {
                 }
                 VStat::Basic => unreachable!(),
             };
-            // FTRAN of the entering column.
-            let mut w = vec![0.0; self.core.m];
+            // FTRAN of the entering column (dense scratch, zeroed on reuse).
+            let mut w = std::mem::take(&mut self.scratch.w);
+            w.fill(0.0);
             for (r, v) in self.core.a.col(q) {
                 w[r] = v;
             }
+            let tf = tick(self.timers);
             self.ftran(&mut w);
+            tock(tf, &mut self.profile.ftran_secs);
             // Ratio test.
+            let tr = tick(self.timers);
             let gap = self.upper[q] - self.lower[q];
             let mut t_best = if gap.is_finite() { gap } else { f64::INFINITY };
             let mut leave: Option<(usize, VStat)> = None; // (basis pos, bound hit)
@@ -305,8 +496,7 @@ impl<'a> Simplex<'a> {
                         || (t_i < t_best + 1e-12
                             && leave.is_none_or(|(li, _)| bcol < self.basic[li]))
                 } else {
-                    t_i < t_best - 1e-12
-                        || (t_i < t_best + 1e-12 && wi.abs() > leave_piv.abs())
+                    t_i < t_best - 1e-12 || (t_i < t_best + 1e-12 && wi.abs() > leave_piv.abs())
                 };
                 if better {
                     t_best = t_i;
@@ -314,10 +504,13 @@ impl<'a> Simplex<'a> {
                     leave_piv = wi;
                 }
             }
+            tock(tr, &mut self.profile.ratio_secs);
             if t_best.is_infinite() {
+                self.scratch.w = w;
                 return Ok(LpStatus::Unbounded);
             }
             self.iterations += 1;
+            self.profile.primal_iterations += 1;
             if t_best <= 1e-10 {
                 self.degen_streak += 1;
             } else {
@@ -338,26 +531,27 @@ impl<'a> Simplex<'a> {
                         VStat::AtUpper => VStat::AtLower,
                         s => s,
                     };
+                    self.profile.bound_flips += 1;
                 }
                 Some((r, hit)) => {
                     let entering_value = self.nonbasic_value(q) + t * dir;
                     let leaving_col = self.basic[r];
-                    self.stat[leaving_col] =
-                        if self.lower[leaving_col] == self.upper[leaving_col] {
-                            VStat::AtLower
-                        } else {
-                            hit
-                        };
+                    self.stat[leaving_col] = if self.lower[leaving_col] == self.upper[leaving_col] {
+                        VStat::AtLower
+                    } else {
+                        hit
+                    };
                     self.stat[q] = VStat::Basic;
                     self.basic[r] = q;
                     self.xb[r] = entering_value;
-                    self.push_eta(r, w);
+                    self.push_eta(r, &w);
                 }
             }
+            self.scratch.w = w;
         }
     }
 
-    fn push_eta(&mut self, r: usize, w: Vec<f64>) {
+    fn push_eta(&mut self, r: usize, w: &[f64]) {
         let wr = w[r];
         debug_assert!(wr.abs() > self.opts.pivot_tol / 10.0, "tiny pivot in eta");
         let entries: Vec<(usize, f64)> = w
@@ -369,31 +563,360 @@ impl<'a> Simplex<'a> {
         self.etas.push(Eta { r, entries, wr });
     }
 
+    /// [`push_eta`](Self::push_eta) from a sparse column: `pat` must be a
+    /// duplicate-free superset of the nonzeros of `w`, sorted ascending (eta
+    /// entry order is part of the arithmetic in [`apply_btran`](Self::apply_btran)).
+    fn push_eta_pattern(&mut self, r: usize, w: &[f64], pat: &[usize]) {
+        let wr = w[r];
+        debug_assert!(wr.abs() > self.opts.pivot_tol / 10.0, "tiny pivot in eta");
+        debug_assert!(pat.windows(2).all(|p| p[0] < p[1]), "pattern not sorted");
+        let entries: Vec<(usize, f64)> = pat
+            .iter()
+            .filter(|&&i| i != r && w[i] != 0.0)
+            .map(|&i| (i, w[i]))
+            .collect();
+        self.etas.push(Eta { r, entries, wr });
+    }
+
+    /// Devex (max `d_j²/w_j`) or Bland (smallest index) pricing over
+    /// incrementally maintained reduced costs.
+    fn price_incremental(&self, d: &[f64], bland: bool) -> Option<usize> {
+        let tol = self.opts.opt_tol;
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.core.n {
+            if self.stat[j] == VStat::Basic || self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let viol = match self.stat[j] {
+                VStat::AtLower => (-d[j] - tol).max(0.0),
+                VStat::AtUpper => (d[j] - tol).max(0.0),
+                VStat::Free => (d[j].abs() - tol).max(0.0),
+                VStat::Basic => 0.0,
+            };
+            if viol > 0.0 {
+                if bland {
+                    return Some(j);
+                }
+                let score = d[j] * d[j] / self.scratch.devex[j].max(1.0);
+                if best.is_none_or(|(_, bs)| score > bs) {
+                    best = Some((j, score));
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Incremental-pricing primal engine behind [`Pricing::Devex`] and
+    /// [`Pricing::Bland`].
+    ///
+    /// Differences from the legacy Dantzig engine:
+    /// * reduced costs are updated from the pivot row `αᵀ = ρᵀ A` after each
+    ///   pivot (`d'_j = d_j − θ·α_j`) instead of recomputed from `Bᵀy = c_B`
+    ///   every iteration, with full recomputes only at refactorizations and
+    ///   once to confirm apparent optimality;
+    /// * devex reference weights steer the entering choice (unless Bland);
+    /// * FTRAN/BTRAN are hypersparse (pattern-tracked) and the ratio test
+    ///   and basics update only touch the column's nonzeros.
+    fn primal_incremental(
+        &mut self,
+        costs: &[f64],
+        stop_at: Option<f64>,
+    ) -> Result<LpStatus, LpError> {
+        self.update_reduced_costs(costs);
+        self.scratch.devex.fill(1.0);
+        let mut d = std::mem::take(&mut self.scratch.d);
+        let res = self.primal_incremental_inner(costs, stop_at, &mut d);
+        self.scratch.d = d;
+        res
+    }
+
+    fn primal_incremental_inner(
+        &mut self,
+        costs: &[f64],
+        stop_at: Option<f64>,
+        d: &mut Vec<f64>,
+    ) -> Result<LpStatus, LpError> {
+        let ptol = self.opts.pivot_tol;
+        // `d` is exact right after a full recompute; incremental updates
+        // drift, so apparent optimality under a stale `d` is confirmed by
+        // one full recompute before returning.
+        let mut fresh = true;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Err(LpError::IterationLimit);
+            }
+            if self.hit_deadline() {
+                return Err(LpError::Timeout);
+            }
+            if self.etas.len() >= self.opts.refactor_every {
+                self.refactor()?;
+                self.reduced_costs_into(costs, d);
+                fresh = true;
+            }
+            if let Some(target) = stop_at {
+                if self.current_objective(costs) <= target + self.opts.feas_tol {
+                    return Ok(LpStatus::Optimal);
+                }
+            }
+            let bland = matches!(self.opts.pricing, Pricing::Bland) || self.degen_streak > 40;
+            let tp = tick(self.timers);
+            let entering = self.price_incremental(d, bland);
+            tock(tp, &mut self.profile.pricing_secs);
+            let Some(q) = entering else {
+                if fresh {
+                    return Ok(LpStatus::Optimal);
+                }
+                self.reduced_costs_into(costs, d);
+                fresh = true;
+                continue;
+            };
+            let dir = match self.stat[q] {
+                VStat::AtLower => 1.0,
+                VStat::AtUpper => -1.0,
+                VStat::Free => {
+                    if d[q] < 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                VStat::Basic => unreachable!(),
+            };
+            // Hypersparse FTRAN of the entering column.
+            let mut w = std::mem::take(&mut self.scratch.w);
+            let mut wpat = std::mem::take(&mut self.scratch.wpat);
+            wpat.clear();
+            for (r, v) in self.core.a.col(q) {
+                w[r] = v;
+                wpat.push(r);
+            }
+            let tf = tick(self.timers);
+            Self::apply_ftran_sparse(
+                &self.lu,
+                &self.etas,
+                &mut w,
+                &mut wpat,
+                &mut self.scratch.mask,
+                &mut self.scratch.lu,
+            );
+            tock(tf, &mut self.profile.ftran_secs);
+            // Ascending pattern: the ratio test tie-breaking then matches a
+            // dense scan, and eta entries stay ordered.
+            wpat.sort_unstable();
+            // Ratio test over the column's nonzeros.
+            let tr = tick(self.timers);
+            let gap = self.upper[q] - self.lower[q];
+            let mut t_best = if gap.is_finite() { gap } else { f64::INFINITY };
+            let mut leave: Option<(usize, VStat)> = None; // (basis pos, bound hit)
+            let mut leave_piv = 0.0f64;
+            for &i in &wpat {
+                let wi = w[i];
+                if wi.abs() <= ptol {
+                    continue;
+                }
+                let bcol = self.basic[i];
+                let delta = dir * wi; // x_B[i] moves by −t·delta
+                let (t_i, hit) = if delta > 0.0 {
+                    let lo = self.lower[bcol];
+                    if lo == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    (((self.xb[i] - lo) / delta).max(0.0), VStat::AtLower)
+                } else {
+                    let hi = self.upper[bcol];
+                    if hi == f64::INFINITY {
+                        continue;
+                    }
+                    (((self.xb[i] - hi) / delta).max(0.0), VStat::AtUpper)
+                };
+                let better = if bland {
+                    t_i < t_best - 1e-12
+                        || (t_i < t_best + 1e-12
+                            && leave.is_none_or(|(li, _)| bcol < self.basic[li]))
+                } else {
+                    t_i < t_best - 1e-12 || (t_i < t_best + 1e-12 && wi.abs() > leave_piv.abs())
+                };
+                if better {
+                    t_best = t_i;
+                    leave = Some((i, hit));
+                    leave_piv = wi;
+                }
+            }
+            tock(tr, &mut self.profile.ratio_secs);
+            if t_best.is_infinite() {
+                for &i in &wpat {
+                    w[i] = 0.0;
+                }
+                self.scratch.w = w;
+                self.scratch.wpat = wpat;
+                return Ok(LpStatus::Unbounded);
+            }
+            self.iterations += 1;
+            self.profile.primal_iterations += 1;
+            if t_best <= 1e-10 {
+                self.degen_streak += 1;
+            } else {
+                self.degen_streak = 0;
+            }
+            let t = t_best;
+            for &i in &wpat {
+                if w[i] != 0.0 {
+                    self.xb[i] -= t * dir * w[i];
+                }
+            }
+            match leave {
+                None => {
+                    // Bound flip of the entering variable: the basis (and
+                    // hence `d` and the devex weights) is unchanged.
+                    self.stat[q] = match self.stat[q] {
+                        VStat::AtLower => VStat::AtUpper,
+                        VStat::AtUpper => VStat::AtLower,
+                        s => s,
+                    };
+                    self.profile.bound_flips += 1;
+                }
+                Some((r, hit)) => {
+                    // Pivot row w.r.t. the *pre-pivot* basis, for the d and
+                    // devex updates.
+                    let tb = tick(self.timers);
+                    self.scratch.rho[r] = 1.0;
+                    self.scratch.rpat.clear();
+                    self.scratch.rpat.push(r);
+                    Self::apply_btran_sparse(
+                        &self.lu,
+                        &self.etas,
+                        &mut self.scratch.rho,
+                        &mut self.scratch.rpat,
+                        &mut self.scratch.mask,
+                        &mut self.scratch.lu,
+                    );
+                    self.form_pivot_row();
+                    tock(tb, &mut self.profile.btran_secs);
+                    let alpha_q = if self.scratch.amask[q] {
+                        self.scratch.alpha[q]
+                    } else {
+                        0.0
+                    };
+                    let entering_value = self.nonbasic_value(q) + t * dir;
+                    let leaving_col = self.basic[r];
+                    self.stat[leaving_col] = if self.lower[leaving_col] == self.upper[leaving_col] {
+                        VStat::AtLower
+                    } else {
+                        hit
+                    };
+                    self.stat[q] = VStat::Basic;
+                    self.basic[r] = q;
+                    self.xb[r] = entering_value;
+                    self.push_eta_pattern(r, &w, &wpat);
+                    let tp2 = tick(self.timers);
+                    if alpha_q.abs() <= ptol {
+                        // FTRAN and BTRAN disagree about the pivot; a full
+                        // recompute is safer than an incremental update.
+                        self.reduced_costs_into(costs, d);
+                        fresh = true;
+                    } else {
+                        let theta = d[q] / alpha_q;
+                        let wq = self.scratch.devex[q].max(1.0);
+                        let mut wmax = 0.0f64;
+                        {
+                            let s = &mut self.scratch;
+                            for &j in &s.touched {
+                                if self.stat[j] == VStat::Basic {
+                                    continue;
+                                }
+                                let aj = s.alpha[j];
+                                if aj != 0.0 {
+                                    d[j] -= theta * aj;
+                                    let cand = (aj / alpha_q) * (aj / alpha_q) * wq;
+                                    if cand > s.devex[j] {
+                                        s.devex[j] = cand;
+                                    }
+                                    if s.devex[j] > wmax {
+                                        wmax = s.devex[j];
+                                    }
+                                }
+                            }
+                        }
+                        d[leaving_col] = -theta;
+                        d[q] = 0.0;
+                        let wl = (wq / (alpha_q * alpha_q)).max(1.0);
+                        self.scratch.devex[leaving_col] = wl;
+                        if wl.max(wmax) > 1e9 {
+                            // Reference framework drifted: restart it.
+                            self.scratch.devex.fill(1.0);
+                            self.profile.devex_resets += 1;
+                        }
+                        fresh = false;
+                    }
+                    tock(tp2, &mut self.profile.pricing_secs);
+                    self.clear_alpha();
+                }
+            }
+            for &i in &wpat {
+                w[i] = 0.0;
+            }
+            self.scratch.w = w;
+            self.scratch.wpat = wpat;
+        }
+    }
+
     /// Dual simplex: restores primal feasibility while keeping dual
     /// feasibility. Requires a dual-feasible starting basis.
+    ///
+    /// Dispatch mirrors [`primal`](Self::primal): Dantzig keeps the pinned
+    /// legacy engine; devex/Bland run the bound-flipping (long-step) ratio
+    /// test with hypersparse solves.
     fn dual(&mut self, costs: &[f64]) -> Result<LpStatus, WarmFail> {
-        // Verify dual feasibility of the start.
-        let d0 = self.reduced_costs(costs);
+        let mut d = std::mem::take(&mut self.scratch.d);
+        let res = match self.opts.pricing {
+            Pricing::Dantzig => self.dual_dantzig(costs, &mut d),
+            Pricing::Devex | Pricing::Bland => self.dual_bfrt(costs, &mut d),
+        };
+        self.scratch.d = d;
+        res
+    }
+
+    /// Checks dual feasibility of the starting basis against `d`.
+    fn start_is_dual_feasible(&self, d: &[f64]) -> bool {
         let dual_tol = self.opts.opt_tol * 100.0;
         for j in 0..self.core.n {
             if self.stat[j] == VStat::Basic || self.lower[j] == self.upper[j] {
                 continue;
             }
             let bad = match self.stat[j] {
-                VStat::AtLower => d0[j] < -dual_tol,
-                VStat::AtUpper => d0[j] > dual_tol,
-                VStat::Free => d0[j].abs() > dual_tol,
+                VStat::AtLower => d[j] < -dual_tol,
+                VStat::AtUpper => d[j] > dual_tol,
+                VStat::Free => d[j].abs() > dual_tol,
                 VStat::Basic => false,
             };
             if bad {
-                return Err(WarmFail::NotDualFeasible);
+                return false;
             }
         }
-        // Reduced costs are maintained incrementally across dual pivots
-        // (`d'_j = d_j − θ·α_j`) and refreshed from scratch at every
-        // refactorization to bound drift.
-        let mut d = d0;
-        let mut alpha = vec![0.0f64; self.core.n];
+        true
+    }
+
+    fn dual_dantzig(&mut self, costs: &[f64], d: &mut Vec<f64>) -> Result<LpStatus, WarmFail> {
+        // Verify dual feasibility of the start.
+        self.reduced_costs_into(costs, d);
+        if !self.start_is_dual_feasible(d) {
+            return Err(WarmFail::NotDualFeasible);
+        }
+        let mut alpha = std::mem::take(&mut self.scratch.alpha);
+        let res = self.dual_dantzig_inner(costs, d, &mut alpha);
+        self.scratch.alpha = alpha;
+        res
+    }
+
+    /// Legacy dual loop. Reduced costs are maintained incrementally across
+    /// dual pivots (`d'_j = d_j − θ·α_j`) and refreshed from scratch at
+    /// every refactorization to bound drift.
+    fn dual_dantzig_inner(
+        &mut self,
+        costs: &[f64],
+        d: &mut Vec<f64>,
+        alpha: &mut [f64],
+    ) -> Result<LpStatus, WarmFail> {
         loop {
             if self.iterations >= self.opts.max_iterations {
                 return Err(WarmFail::Error(LpError::IterationLimit));
@@ -407,7 +930,7 @@ impl<'a> Simplex<'a> {
             }
             if self.etas.len() >= self.opts.refactor_every {
                 self.refactor().map_err(WarmFail::Error)?;
-                d = self.reduced_costs(costs);
+                self.reduced_costs_into(costs, d);
             }
             // Leaving: most violated basic.
             let ftol = self.opts.feas_tol;
@@ -427,10 +950,14 @@ impl<'a> Simplex<'a> {
                 return Ok(LpStatus::Optimal);
             };
             // Row r of B⁻¹N: rho = B⁻ᵀ e_r, alpha_j = rho·a_j.
-            let mut rho = vec![0.0; self.core.m];
+            let mut rho = std::mem::take(&mut self.scratch.rho);
+            rho.fill(0.0);
             rho[r] = 1.0;
+            let tb = tick(self.timers);
             self.btran(&mut rho);
+            tock(tb, &mut self.profile.btran_secs);
             // Dual ratio test.
+            let tr = tick(self.timers);
             let ptol = self.opts.pivot_tol;
             let mut best: Option<(usize, f64, f64)> = None; // (col, step s, alpha)
             for j in 0..self.core.n {
@@ -471,26 +998,33 @@ impl<'a> Simplex<'a> {
                     best = Some((j, s, aj));
                 }
             }
+            tock(tr, &mut self.profile.ratio_secs);
+            self.scratch.rho = rho;
             let Some((q, _s, alpha_q)) = best else {
                 // Dual unbounded ⇒ primal infeasible.
                 return Ok(LpStatus::Infeasible);
             };
             self.iterations += 1;
+            self.profile.dual_iterations += 1;
             // Primal pivot.
-            let mut w = vec![0.0; self.core.m];
+            let mut w = std::mem::take(&mut self.scratch.w);
+            w.fill(0.0);
             for (row, v) in self.core.a.col(q) {
                 w[row] = v;
             }
+            let tf = tick(self.timers);
             self.ftran(&mut w);
+            tock(tf, &mut self.profile.ftran_secs);
             let wr = w[r];
             if wr.abs() <= ptol {
+                self.scratch.w = w;
                 // Numerical disagreement between rho·a_q and the FTRAN column;
                 // refactor once and retry, else give up to the cold path.
                 if self.etas.is_empty() {
                     return Err(WarmFail::NotDualFeasible);
                 }
                 self.refactor().map_err(WarmFail::Error)?;
-                d = self.reduced_costs(costs);
+                self.reduced_costs_into(costs, d);
                 continue;
             }
             let target = if low_viol {
@@ -507,18 +1041,20 @@ impl<'a> Simplex<'a> {
             let entering_value = self.nonbasic_value(q) + t;
             let leaving_col = self.basic[r];
             // A leaving fixed column (l == u) rests at its (single) bound.
-            self.stat[leaving_col] = if low_viol || self.lower[leaving_col] == self.upper[leaving_col]
-            {
-                VStat::AtLower
-            } else {
-                VStat::AtUpper
-            };
+            self.stat[leaving_col] =
+                if low_viol || self.lower[leaving_col] == self.upper[leaving_col] {
+                    VStat::AtLower
+                } else {
+                    VStat::AtUpper
+                };
             self.stat[q] = VStat::Basic;
             self.basic[r] = q;
             self.xb[r] = entering_value;
-            self.push_eta(r, w);
+            self.push_eta(r, &w);
+            self.scratch.w = w;
             // Incremental reduced-cost update: d'_j = d_j − θ·α_j, with the
             // leaving column picking up d = −θ and the entering one 0.
+            let tp = tick(self.timers);
             let theta = d[q] / alpha_q;
             if theta != 0.0 {
                 for j in 0..self.core.n {
@@ -529,17 +1065,364 @@ impl<'a> Simplex<'a> {
             }
             d[q] = 0.0;
             d[leaving_col] = -theta;
+            tock(tp, &mut self.profile.pricing_secs);
         }
     }
 
-    /// Dual values `y = B⁻ᵀ c_B` in original row space.
-    fn duals(&self, costs: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.core.m];
-        for (pos, &col) in self.basic.iter().enumerate() {
-            y[pos] = costs[col];
+    /// Dual simplex with the bound-flipping (long-step) ratio test and
+    /// hypersparse solves — the engine behind [`Pricing::Devex`] and
+    /// [`Pricing::Bland`] warm restarts.
+    ///
+    /// Breakpoints of the piecewise-linear dual objective are walked in
+    /// ascending ratio order; a *boxed* column whose flip keeps the dual
+    /// slope positive flips lower↔upper (absorbed into one batched FTRAN)
+    /// instead of terminating the step, so one dual iteration can do the
+    /// work of many — particularly effective on 0-1 models where most
+    /// columns are boxed.
+    fn dual_bfrt(&mut self, costs: &[f64], d: &mut Vec<f64>) -> Result<LpStatus, WarmFail> {
+        self.reduced_costs_into(costs, d);
+        if !self.start_is_dual_feasible(d) {
+            return Err(WarmFail::NotDualFeasible);
         }
-        self.btran(&mut y);
-        y
+        let ptol = self.opts.pivot_tol;
+        let ftol = self.opts.feas_tol;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Err(WarmFail::Error(LpError::IterationLimit));
+            }
+            if self.iterations >= self.opts.dual_iteration_cap {
+                // Degenerate grind: let the caller fall back to a cold solve.
+                return Err(WarmFail::NotDualFeasible);
+            }
+            if self.hit_deadline() {
+                return Err(WarmFail::Error(LpError::Timeout));
+            }
+            if self.etas.len() >= self.opts.refactor_every {
+                self.refactor().map_err(WarmFail::Error)?;
+                self.reduced_costs_into(costs, d);
+            }
+            // Leaving: most violated basic (same rule as the legacy engine).
+            let mut leave: Option<(usize, f64, bool)> = None;
+            for i in 0..self.core.m {
+                let col = self.basic[i];
+                let below = self.lower[col] - self.xb[i];
+                let above = self.xb[i] - self.upper[col];
+                let (viol, low) = if below > above {
+                    (below, true)
+                } else {
+                    (above, false)
+                };
+                if viol > ftol && leave.is_none_or(|(_, v, _)| viol > v) {
+                    leave = Some((i, viol, low));
+                }
+            }
+            let Some((r, viol, low_viol)) = leave else {
+                return Ok(LpStatus::Optimal);
+            };
+            // ρ = B⁻ᵀ e_r (hypersparse) and the pivot row αᵀ = ρᵀ A.
+            let tb = tick(self.timers);
+            self.scratch.rho[r] = 1.0;
+            self.scratch.rpat.clear();
+            self.scratch.rpat.push(r);
+            Self::apply_btran_sparse(
+                &self.lu,
+                &self.etas,
+                &mut self.scratch.rho,
+                &mut self.scratch.rpat,
+                &mut self.scratch.mask,
+                &mut self.scratch.lu,
+            );
+            self.form_pivot_row();
+            tock(tb, &mut self.profile.btran_secs);
+            // Bound-flipping ratio test: collect breakpoints, walk them in
+            // ascending ratio order flipping boxed columns while the slope
+            // stays positive.
+            let tr = tick(self.timers);
+            {
+                let s = &mut self.scratch;
+                s.breakpoints.clear();
+                for &j in &s.touched {
+                    if self.stat[j] == VStat::Basic || self.lower[j] == self.upper[j] {
+                        continue;
+                    }
+                    let aj = s.alpha[j];
+                    if aj.abs() <= ptol {
+                        continue;
+                    }
+                    let eligible = if low_viol {
+                        // x_Br must increase.
+                        match self.stat[j] {
+                            VStat::AtLower => aj < 0.0,
+                            VStat::AtUpper => aj > 0.0,
+                            VStat::Free => true,
+                            VStat::Basic => false,
+                        }
+                    } else {
+                        // x_Br must decrease.
+                        match self.stat[j] {
+                            VStat::AtLower => aj > 0.0,
+                            VStat::AtUpper => aj < 0.0,
+                            VStat::Free => true,
+                            VStat::Basic => false,
+                        }
+                    };
+                    if eligible {
+                        s.breakpoints.push(((d[j] / aj).abs(), j));
+                    }
+                }
+                s.breakpoints
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            }
+            let mut chosen: Option<(f64, usize)> = None;
+            {
+                let s = &mut self.scratch;
+                s.flips.clear();
+                // Walk the sorted breakpoints while flipping keeps the
+                // remaining violation clearly positive (at `slope − reduce
+                // ≈ 0` roundoff must not turn a degenerate final pivot into
+                // a flip — exhausting the breakpoints would fabricate an
+                // infeasibility certificate). `stop` is the first
+                // breakpoint the dual step cannot pass.
+                let mut slope = viol;
+                let mut stop = s.breakpoints.len();
+                for (bi, &(_, j)) in s.breakpoints.iter().enumerate() {
+                    let gap = self.upper[j] - self.lower[j];
+                    let reduce = s.alpha[j].abs() * gap;
+                    if gap.is_finite() && slope - reduce > ftol {
+                        slope -= reduce;
+                    } else {
+                        stop = bi;
+                        break;
+                    }
+                }
+                if stop < s.breakpoints.len() {
+                    // Pivot tie-break among breakpoints within 1e-12 of the
+                    // stopping ratio: prefer a slack/artificial entering
+                    // column over a structural one, then the largest |α|.
+                    // Degenerate ties resolved toward a tiny pivot element
+                    // stall the dual in roundoff, and keeping structural 0-1
+                    // columns *nonbasic* parks them on integral bounds — the
+                    // branch-and-bound tree shrinks measurably when the
+                    // relaxation vertex carries fewer fractional binaries.
+                    let (stop_ratio, mut best_j) = s.breakpoints[stop];
+                    let tie = stop_ratio + 1e-12;
+                    let ns = self.core.num_structs;
+                    for &(ratio, j) in &s.breakpoints[stop + 1..] {
+                        if ratio > tie {
+                            break;
+                        }
+                        if (j >= ns, s.alpha[j].abs()) > (best_j >= ns, s.alpha[best_j].abs()) {
+                            best_j = j;
+                        }
+                    }
+                    let theta_abs = stop_ratio;
+                    chosen = Some((theta_abs, best_j));
+                    // Keep only the *mandatory* flips: columns whose
+                    // breakpoint the dual step strictly passes, so their
+                    // reduced cost really changes sign. A breakpoint at (or
+                    // within tolerance of) the step itself ends with d ≈ 0
+                    // and must keep its bound — flipping it gains nothing
+                    // dual-wise but perturbs x_B, and on degenerate (θ ≈ 0)
+                    // steps that churn cycles the same columns forever.
+                    let cut = theta_abs - 1e-9 * (1.0 + theta_abs);
+                    for &(ratio, j) in &s.breakpoints[..stop] {
+                        if ratio < cut && j != best_j {
+                            s.flips.push(j);
+                        }
+                    }
+                }
+            }
+            tock(tr, &mut self.profile.ratio_secs);
+            let Some((_, q)) = chosen else {
+                // Every breakpoint flips and infeasibility remains: the dual
+                // is unbounded along this row ⇒ the primal is infeasible.
+                self.clear_alpha();
+                return Ok(LpStatus::Infeasible);
+            };
+            let alpha_q = self.scratch.alpha[q];
+            // FTRAN of the entering column, before any state is mutated, so
+            // an untrustworthy pivot can retry after a refactorization.
+            let mut w = std::mem::take(&mut self.scratch.w);
+            let mut wpat = std::mem::take(&mut self.scratch.wpat);
+            wpat.clear();
+            for (row, v) in self.core.a.col(q) {
+                w[row] = v;
+                wpat.push(row);
+            }
+            let tf = tick(self.timers);
+            Self::apply_ftran_sparse(
+                &self.lu,
+                &self.etas,
+                &mut w,
+                &mut wpat,
+                &mut self.scratch.mask,
+                &mut self.scratch.lu,
+            );
+            tock(tf, &mut self.profile.ftran_secs);
+            wpat.sort_unstable();
+            let wr = w[r];
+            if wr.abs() <= ptol {
+                for &i in &wpat {
+                    w[i] = 0.0;
+                }
+                self.scratch.w = w;
+                self.scratch.wpat = wpat;
+                self.clear_alpha();
+                if self.etas.is_empty() {
+                    return Err(WarmFail::NotDualFeasible);
+                }
+                self.refactor().map_err(WarmFail::Error)?;
+                self.reduced_costs_into(costs, d);
+                continue;
+            }
+            self.iterations += 1;
+            self.profile.dual_iterations += 1;
+            // Apply the accumulated bound flips: their combined effect on
+            // x_B is one batched FTRAN of Σ Δx_j·a_j.
+            if !self.scratch.flips.is_empty() {
+                let tfl = tick(self.timers);
+                {
+                    let core = self.core;
+                    let s = &mut self.scratch;
+                    s.rhs_pat.clear();
+                    for fi in 0..s.flips.len() {
+                        let j = s.flips[fi];
+                        let (delta, flipped) = match self.stat[j] {
+                            VStat::AtLower => (self.upper[j] - self.lower[j], VStat::AtUpper),
+                            VStat::AtUpper => (self.lower[j] - self.upper[j], VStat::AtLower),
+                            _ => unreachable!("only boxed nonbasic columns flip"),
+                        };
+                        self.stat[j] = flipped;
+                        for (row, v) in core.a.col(j) {
+                            if !s.mask[row] {
+                                s.mask[row] = true;
+                                s.rhs_pat.push(row);
+                            }
+                            s.rhs[row] += delta * v;
+                        }
+                    }
+                    for &row in &s.rhs_pat {
+                        s.mask[row] = false;
+                    }
+                }
+                Self::apply_ftran_sparse(
+                    &self.lu,
+                    &self.etas,
+                    &mut self.scratch.rhs,
+                    &mut self.scratch.rhs_pat,
+                    &mut self.scratch.mask,
+                    &mut self.scratch.lu,
+                );
+                {
+                    let s = &mut self.scratch;
+                    for &i in &s.rhs_pat {
+                        if s.rhs[i] != 0.0 {
+                            self.xb[i] -= s.rhs[i];
+                        }
+                        s.rhs[i] = 0.0;
+                    }
+                    s.rhs_pat.clear();
+                    self.profile.bound_flips += s.flips.len();
+                }
+                tock(tfl, &mut self.profile.ftran_secs);
+            }
+            // Pivot, against the post-flip basic values.
+            let target = if low_viol {
+                self.lower[self.basic[r]]
+            } else {
+                self.upper[self.basic[r]]
+            };
+            let t = (self.xb[r] - target) / wr;
+            for &i in &wpat {
+                if w[i] != 0.0 {
+                    self.xb[i] -= t * w[i];
+                }
+            }
+            let entering_value = self.nonbasic_value(q) + t;
+            let leaving_col = self.basic[r];
+            // A leaving fixed column (l == u) rests at its (single) bound.
+            self.stat[leaving_col] =
+                if low_viol || self.lower[leaving_col] == self.upper[leaving_col] {
+                    VStat::AtLower
+                } else {
+                    VStat::AtUpper
+                };
+            self.stat[q] = VStat::Basic;
+            self.basic[r] = q;
+            self.xb[r] = entering_value;
+            self.push_eta_pattern(r, &w, &wpat);
+            for &i in &wpat {
+                w[i] = 0.0;
+            }
+            self.scratch.w = w;
+            self.scratch.wpat = wpat;
+            // Incremental d update from the pivot row. Flipped columns are
+            // updated by the same formula: passing their breakpoint flips
+            // the sign of their reduced cost, which their new bound status
+            // makes dual feasible.
+            let tp = tick(self.timers);
+            let theta = d[q] / alpha_q;
+            if theta != 0.0 {
+                let s = &self.scratch;
+                for &j in &s.touched {
+                    if s.alpha[j] != 0.0 && self.stat[j] != VStat::Basic {
+                        d[j] -= theta * s.alpha[j];
+                    }
+                }
+            }
+            d[q] = 0.0;
+            d[leaving_col] = -theta;
+            tock(tp, &mut self.profile.pricing_secs);
+            self.clear_alpha();
+        }
+    }
+
+    /// Forms the pivot row `αᵀ = ρᵀ A` from the nonzeros of `scratch.rho`
+    /// in time proportional to the row nonzeros of `A` met, accumulating
+    /// into `scratch.alpha`/`touched` (lazily zeroed via `amask`), then
+    /// clears `rho`/`rpat`. Release with [`clear_alpha`](Self::clear_alpha).
+    fn form_pivot_row(&mut self) {
+        let core = self.core;
+        let s = &mut self.scratch;
+        debug_assert!(s.touched.is_empty(), "pivot row not released");
+        for &i in &s.rpat {
+            let ri = s.rho[i];
+            if ri == 0.0 {
+                continue;
+            }
+            for (j, v) in core.rows_of_a.row(i) {
+                if !s.amask[j] {
+                    s.amask[j] = true;
+                    s.alpha[j] = 0.0;
+                    s.touched.push(j);
+                }
+                s.alpha[j] += ri * v;
+            }
+        }
+        for &i in &s.rpat {
+            s.rho[i] = 0.0;
+        }
+        s.rpat.clear();
+    }
+
+    /// Releases the pivot row built by [`form_pivot_row`](Self::form_pivot_row).
+    fn clear_alpha(&mut self) {
+        let s = &mut self.scratch;
+        for &j in &s.touched {
+            s.amask[j] = false;
+        }
+        s.touched.clear();
+    }
+
+    /// Dual values `y = B⁻ᵀ c_B` in original row space, computed in
+    /// `scratch.y` and cloned once for the outcome.
+    fn duals(&mut self, costs: &[f64]) -> Vec<f64> {
+        self.scratch.y.fill(0.0);
+        for (pos, &col) in self.basic.iter().enumerate() {
+            self.scratch.y[pos] = costs[col];
+        }
+        Self::apply_btran(&self.lu, &self.etas, &mut self.scratch.y);
+        self.scratch.y.clone()
     }
 
     /// Extracts the full solution vector.
@@ -607,6 +1490,7 @@ fn solve_core_cold_once(
     upper: &[f64],
     opts: &LpOptions,
 ) -> Result<CoreOutcome, LpError> {
+    let t0 = Instant::now();
     let m = core.m;
     let n = core.n;
     let mut lower = lower.to_vec();
@@ -681,6 +1565,8 @@ fn solve_core_cold_once(
         }
     }
     let lu = LuFactors::factorize(&core.a, &basic, opts.pivot_tol)?;
+    let mut scratch = Scratch::default();
+    scratch.ensure(m, n);
     let mut sx = Simplex {
         core,
         opts,
@@ -694,6 +1580,9 @@ fn solve_core_cold_once(
         iterations: 0,
         degen_streak: 0,
         deadline: deadline_from(opts),
+        scratch,
+        profile: SimplexProfile::default(),
+        timers: opts.profile,
     };
     // Phase 1: drive the total artificial infeasibility to zero, stopping
     // the moment it reaches zero (degenerate pivots at the optimum would
@@ -714,6 +1603,9 @@ fn solve_core_cold_once(
         .sum();
     let scale = 1.0 + core.b.iter().map(|v| v.abs()).sum::<f64>();
     if infeas > opts.feas_tol * scale {
+        let mut profile = sx.profile;
+        profile.solves = 1;
+        profile.lp_secs = t0.elapsed().as_secs_f64();
         return Ok(CoreOutcome {
             status: LpStatus::Infeasible,
             x: sx.extract_x(),
@@ -721,6 +1613,7 @@ fn solve_core_cold_once(
             duals: vec![0.0; core.m],
             snapshot: sx.snapshot(),
             iterations: sx.iterations,
+            profile,
         });
     }
     // Fix artificials at zero for phase 2.
@@ -737,6 +1630,9 @@ fn solve_core_cold_once(
     let x = sx.extract_x();
     let objective = core.c.iter().zip(&x).map(|(c, v)| c * v).sum();
     let duals = sx.duals(&core.c);
+    let mut profile = sx.profile;
+    profile.solves = 1;
+    profile.lp_secs = t0.elapsed().as_secs_f64();
     Ok(CoreOutcome {
         status,
         x,
@@ -744,6 +1640,7 @@ fn solve_core_cold_once(
         duals,
         snapshot: sx.snapshot(),
         iterations: sx.iterations,
+        profile,
     })
 }
 
@@ -777,8 +1674,11 @@ pub(crate) fn solve_core_warm(
             }
         };
     }
-    let lu = LuFactors::factorize(&core.a, &snapshot.basic, opts.pivot_tol)
-        .map_err(WarmFail::Error)?;
+    let t0 = Instant::now();
+    let lu =
+        LuFactors::factorize(&core.a, &snapshot.basic, opts.pivot_tol).map_err(WarmFail::Error)?;
+    let mut scratch = Scratch::default();
+    scratch.ensure(core.m, core.n);
     let mut sx = Simplex {
         core,
         opts,
@@ -792,12 +1692,18 @@ pub(crate) fn solve_core_warm(
         iterations: 0,
         degen_streak: 0,
         deadline: deadline_from(opts),
+        scratch,
+        profile: SimplexProfile::default(),
+        timers: opts.profile,
     };
     sx.recompute_xb();
     let status = sx.dual(&core.c)?;
     let x = sx.extract_x();
     let objective = core.c.iter().zip(&x).map(|(c, v)| c * v).sum();
     let duals = sx.duals(&core.c);
+    let mut profile = sx.profile;
+    profile.solves = 1;
+    profile.lp_secs = t0.elapsed().as_secs_f64();
     Ok(CoreOutcome {
         status,
         x,
@@ -805,6 +1711,7 @@ pub(crate) fn solve_core_warm(
         duals,
         snapshot: sx.snapshot(),
         iterations: sx.iterations,
+        profile,
     })
 }
 
@@ -826,6 +1733,9 @@ pub struct LpOutcome {
     pub reduced_costs: Vec<f64>,
     /// Simplex iterations across both phases.
     pub iterations: usize,
+    /// Per-phase counters (and, with [`LpOptions::profile`], section
+    /// timers) of the solve.
+    pub profile: SimplexProfile,
 }
 
 /// Solves the LP relaxation of `problem` (binaries relaxed to `[0, 1]`).
@@ -874,6 +1784,7 @@ pub fn solve_lp(problem: &Problem, opts: &LpOptions) -> Result<LpOutcome, LpErro
         duals,
         reduced_costs,
         iterations: out.iterations,
+        profile: out.profile,
     })
 }
 
@@ -898,7 +1809,11 @@ mod tests {
         p.set_bounds(y, 0.0, 3.0).unwrap();
         let out = solve_lp(&p, &opts()).unwrap();
         assert_eq!(out.status, LpStatus::Optimal);
-        assert!((out.objective - (-10.0)).abs() < 1e-7, "obj={}", out.objective);
+        assert!(
+            (out.objective - (-10.0)).abs() < 1e-7,
+            "obj={}",
+            out.objective
+        );
         assert!((out.x[0] - 2.0).abs() < 1e-7);
         assert!((out.x[1] - 2.0).abs() < 1e-7);
     }
@@ -918,7 +1833,11 @@ mod tests {
             .unwrap();
         let out = solve_lp(&p, &opts()).unwrap();
         assert_eq!(out.status, LpStatus::Optimal);
-        assert!((out.objective - 7.0 / 3.0).abs() < 1e-7, "obj={}", out.objective);
+        assert!(
+            (out.objective - 7.0 / 3.0).abs() < 1e-7,
+            "obj={}",
+            out.objective
+        );
         assert!((out.x[0] - 2.0 / 3.0).abs() < 1e-7);
         assert!((out.x[1] - 5.0 / 3.0).abs() < 1e-7);
     }
@@ -1036,11 +1955,17 @@ mod tests {
         // warm dual must agree with cold solves in every case.
         let mut p = Problem::new("t");
         let vars: Vec<_> = (0..5)
-            .map(|i| p.add_var(format!("x{i}"), VarKind::Binary, (i as f64) - 2.0).unwrap())
+            .map(|i| {
+                p.add_var(format!("x{i}"), VarKind::Binary, (i as f64) - 2.0)
+                    .unwrap()
+            })
             .collect();
         p.add_constraint(
             "mix",
-            vars.iter().enumerate().map(|(i, &v)| (v, if i % 2 == 0 { 1.0 } else { -1.0 })).collect::<Vec<_>>(),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, if i % 2 == 0 { 1.0 } else { -1.0 }))
+                .collect::<Vec<_>>(),
             Sense::Le,
             1.5,
         )
@@ -1109,15 +2034,25 @@ mod tests {
         let mut p = Problem::new("duals");
         let x = p.add_var("x", VarKind::Continuous, -3.0).unwrap();
         let y = p.add_var("y", VarKind::Continuous, -2.0).unwrap();
-        let r0 = p.add_constraint("sum", [(x, 1.0), (y, 1.0)], Sense::Le, 4.0).unwrap();
-        let r1 = p.add_constraint("capx", [(x, 1.0)], Sense::Le, 3.0).unwrap();
-        let r2 = p.add_constraint("capy", [(y, 1.0)], Sense::Le, 10.0).unwrap();
+        let r0 = p
+            .add_constraint("sum", [(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+            .unwrap();
+        let r1 = p
+            .add_constraint("capx", [(x, 1.0)], Sense::Le, 3.0)
+            .unwrap();
+        let r2 = p
+            .add_constraint("capy", [(y, 1.0)], Sense::Le, 10.0)
+            .unwrap();
         let out = solve_lp(&p, &opts()).unwrap();
         assert_eq!(out.status, LpStatus::Optimal);
         assert!((out.objective + 11.0).abs() < 1e-7);
         // Shadow prices: relaxing `sum` by 1 gains 2 (more y), relaxing
         // `capx` gains 1 (swap y for x); `capy` is slack ⇒ dual 0.
-        assert!((out.duals[r0.index()] + 2.0).abs() < 1e-6, "{:?}", out.duals);
+        assert!(
+            (out.duals[r0.index()] + 2.0).abs() < 1e-6,
+            "{:?}",
+            out.duals
+        );
         assert!((out.duals[r1.index()] + 1.0).abs() < 1e-6);
         assert!(out.duals[r2.index()].abs() < 1e-9);
         // Strong duality: y·b == objective.
@@ -1140,7 +2075,8 @@ mod tests {
         p.set_bounds(x, 0.0, 1.0).unwrap();
         let y = p.add_var("y", VarKind::Continuous, 2.0).unwrap();
         p.set_bounds(y, 0.0, 1.0).unwrap();
-        p.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Ge, 1.0).unwrap();
+        p.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Ge, 1.0)
+            .unwrap();
         let out = solve_lp(&p, &opts()).unwrap();
         assert_eq!(out.status, LpStatus::Optimal);
         assert!((out.objective - 1.0).abs() < 1e-7); // x = 1, y = 0
@@ -1199,7 +2135,9 @@ mod tests {
             let mut p = Problem::new("rnd");
             let vars: Vec<_> = (0..n)
                 .map(|i| {
-                    let v = p.add_var(format!("x{i}"), VarKind::Continuous, next()).unwrap();
+                    let v = p
+                        .add_var(format!("x{i}"), VarKind::Continuous, next())
+                        .unwrap();
                     p.set_bounds(v, 0.0, 1.0).unwrap();
                     v
                 })
@@ -1227,6 +2165,90 @@ mod tests {
                         corner,
                         cobj
                     );
+                }
+            }
+        }
+    }
+
+    /// Differential check of the warm dual paths: after a cold solve, each
+    /// bound tightening must warm-resolve to the same status/objective under
+    /// the legacy Dantzig dual and the bound-flipping dual.
+    #[test]
+    fn warm_dual_bfrt_matches_dantzig() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..400 {
+            let mut p = Problem::new("warm");
+            let nv = 3 + (next() % 6) as usize;
+            let nc = 2 + (next() % 5) as usize;
+            let vars: Vec<_> = (0..nv)
+                .map(|i| {
+                    let c = (next() % 1000) as f64 / 100.0 - 5.0;
+                    p.add_var(format!("x{i}"), VarKind::Binary, c).unwrap()
+                })
+                .collect();
+            for r in 0..nc {
+                let mut coeffs = Vec::new();
+                for &v in &vars {
+                    if next() % 3 != 0 {
+                        coeffs.push((v, (next() % 9) as f64 - 4.0));
+                    }
+                }
+                let coeffs = if coeffs.is_empty() {
+                    vec![(vars[0], 1.0)]
+                } else {
+                    coeffs
+                };
+                let sense = match next() % 4 {
+                    0 => Sense::Ge,
+                    1 => Sense::Eq,
+                    _ => Sense::Le,
+                };
+                let rhs = (next() % 9) as f64 - 3.0;
+                p.add_constraint(format!("c{r}"), coeffs, sense, rhs)
+                    .unwrap();
+            }
+            let core = CoreLp::from_problem(&p);
+            let base = match solve_core_cold(&core, &core.lower, &core.upper, &opts()) {
+                Ok(out) if out.status == LpStatus::Optimal => out,
+                _ => continue,
+            };
+            // Tighten each binary to each side in turn and warm-resolve.
+            for j in 0..core.num_structs {
+                for fixed in [0.0, 1.0] {
+                    let mut lower = core.lower.clone();
+                    let mut upper = core.upper.clone();
+                    lower[j] = fixed;
+                    upper[j] = fixed;
+                    let mut od = opts();
+                    od.pricing = Pricing::Dantzig;
+                    let mut ox = opts();
+                    ox.pricing = Pricing::Devex;
+                    let a = solve_core_warm(&core, &lower, &upper, &base.snapshot, &od);
+                    let b = solve_core_warm(&core, &lower, &upper, &base.snapshot, &ox);
+                    let (Ok(a), Ok(b)) = (a, b) else {
+                        // A warm failure on either path falls back to a cold
+                        // solve in B&B; only compare completed warm solves.
+                        continue;
+                    };
+                    assert_eq!(
+                        a.status, b.status,
+                        "trial {trial} fix x{j}={fixed}: dantzig {:?} vs bfrt {:?}",
+                        a.status, b.status
+                    );
+                    if a.status == LpStatus::Optimal {
+                        assert!(
+                            (a.objective - b.objective).abs() <= 1e-6,
+                            "trial {trial} fix x{j}={fixed}: dantzig obj {} vs bfrt obj {}",
+                            a.objective,
+                            b.objective
+                        );
+                    }
                 }
             }
         }

@@ -120,6 +120,37 @@ impl CscMatrix {
         y
     }
 
+    /// Row-major (CSR) copy of the matrix, for kernels that scan rows —
+    /// e.g. forming a pivot row `αᵀ = ρᵀ A` from a sparse `ρ`.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.nrows];
+        for &r in &self.row_idx {
+            counts[r] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        row_ptr.push(0usize);
+        for r in 0..self.nrows {
+            row_ptr.push(row_ptr[r] + counts[r]);
+        }
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for c in 0..self.ncols {
+            for (r, v) in self.col(c) {
+                let at = next[r];
+                col_idx[at] = c;
+                values[at] = v;
+                next[r] += 1;
+            }
+        }
+        CsrMatrix {
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Dense representation (row-major), for tests and debugging.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut d = vec![vec![0.0; self.ncols]; self.nrows];
@@ -129,6 +160,43 @@ impl CscMatrix {
             }
         }
         d
+    }
+}
+
+/// A compressed-sparse-row companion to [`CscMatrix`], built once via
+/// [`CscMatrix::to_csr`]. Columns within a row are stored ascending (the
+/// CSC column sweep in `to_csr` guarantees it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The `(col, value)` entries of row `r`, columns ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= nrows`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 }
 
@@ -183,5 +251,44 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_triplet_panics() {
         let _ = CscMatrix::from_triplets(1, 1, vec![(1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn csr_matches_dense_transposition() {
+        let m = CscMatrix::from_triplets(
+            3,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (2, 0, 2.0),
+                (1, 1, 3.0),
+                (0, 2, -1.5),
+                (2, 2, 4.0),
+                (2, 3, 0.5),
+            ],
+        );
+        let csr = m.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.ncols(), 4);
+        let dense = m.to_dense();
+        for r in 0..3 {
+            let mut row = vec![0.0; 4];
+            let mut last_col = None;
+            for (c, v) in csr.row(r) {
+                assert!(last_col.is_none_or(|p| c > p), "columns ascending");
+                last_col = Some(c);
+                row[c] = v;
+            }
+            assert_eq!(row, dense[r], "row {r}");
+        }
+    }
+
+    #[test]
+    fn csr_empty_rows() {
+        let m = CscMatrix::from_triplets(3, 2, vec![(1, 0, 7.0)]);
+        let csr = m.to_csr();
+        assert_eq!(csr.row(0).count(), 0);
+        assert_eq!(csr.row(1).collect::<Vec<_>>(), vec![(0, 7.0)]);
+        assert_eq!(csr.row(2).count(), 0);
     }
 }

@@ -56,7 +56,11 @@ pub fn write_lp_format(problem: &Problem) -> String {
             out,
             " {}: {} {} {}",
             sanitize(row.name).unwrap_or_else(|| format!("r{ri}")),
-            if terms.is_empty() { "0".into() } else { terms.join(" ") },
+            if terms.is_empty() {
+                "0".into()
+            } else {
+                terms.join(" ")
+            },
             op,
             row.rhs
         );
@@ -110,8 +114,7 @@ fn fmt_coeff(c: f64) -> String {
 }
 
 fn var_name(problem: &Problem, idx: usize) -> String {
-    sanitize(problem.var_name(crate::VarId(idx)))
-        .unwrap_or_else(|| format!("x{idx}"))
+    sanitize(problem.var_name(crate::VarId(idx))).unwrap_or_else(|| format!("x{idx}"))
 }
 
 fn sanitize(name: &str) -> Option<String> {

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use tempart_lp::{
-    presolve, solve_lp, BranchAndBound, FirstIndexRule, LpOptions, LpStatus, MipOptions,
-    MipStatus, MostFractionalRule, Presolved, Problem, Sense, VarKind,
+    presolve, solve_lp, BranchAndBound, FirstIndexRule, LpOptions, LpStatus, MipOptions, MipStatus,
+    MostFractionalRule, Presolved, Pricing, Problem, Sense, VarKind,
 };
 
 /// Exhaustive 0-1 reference optimum.
@@ -35,11 +35,7 @@ struct RandomMip {
 fn random_mip() -> impl Strategy<Value = RandomMip> {
     (2usize..=7).prop_flat_map(|n| {
         let obj = prop::collection::vec(-5i32..=5, n);
-        let row = (
-            prop::collection::vec(-3i32..=3, n),
-            0u8..=2,
-            -4i32..=6,
-        );
+        let row = (prop::collection::vec(-3i32..=3, n), 0u8..=2, -4i32..=6);
         let rows = prop::collection::vec(row, 1..=4);
         (Just(n), obj, rows).prop_map(|(n, obj, rows)| RandomMip { n, obj, rows })
     })
@@ -161,6 +157,51 @@ proptest! {
             prop_assert_eq!(out.stats.per_worker_nodes.iter().sum::<usize>(), out.stats.nodes);
             if threads == 1 {
                 prop_assert_eq!(out.stats.steals, 0);
+            }
+        }
+    }
+
+    /// Every pricing rule proves the same LP relaxation: devex and Bland
+    /// follow their own pivot sequences but must agree with Dantzig on
+    /// status and objective.
+    #[test]
+    fn pricing_rules_agree_on_lp_objective(mip in random_mip()) {
+        let p = build(&mip);
+        let base = solve_lp(&p, &LpOptions::default()).expect("dantzig lp");
+        for pricing in [Pricing::Devex, Pricing::Bland] {
+            let opts = LpOptions { pricing, ..LpOptions::default() };
+            let out = solve_lp(&p, &opts).expect("lp solve");
+            prop_assert_eq!(out.status, base.status, "pricing {}", pricing);
+            if base.status == LpStatus::Optimal {
+                prop_assert!((out.objective - base.objective).abs() < 1e-6,
+                    "pricing {}: got {} want {}", pricing, out.objective, base.objective);
+                prop_assert!(p.first_violated(&out.x, 1e-5).is_none());
+            }
+        }
+    }
+
+    /// Every pricing rule proves the same 0-1 optimum through the full
+    /// branch-and-bound (exercising the warm-start dual path — bound
+    /// flipping under devex/Bland, the legacy ratio test under Dantzig).
+    #[test]
+    fn pricing_rules_agree_on_mip_objective(mip in random_mip()) {
+        let p = build(&mip);
+        let reference = brute_force(&p);
+        for pricing in [Pricing::Dantzig, Pricing::Devex, Pricing::Bland] {
+            let mut opts = MipOptions::default();
+            opts.lp.pricing = pricing;
+            let out = BranchAndBound::new(&p)
+                .options(opts)
+                .solve()
+                .expect("solver must not error");
+            match reference {
+                Some(bobj) => {
+                    prop_assert_eq!(out.status, MipStatus::Optimal, "pricing {}", pricing);
+                    prop_assert!((out.objective - bobj).abs() < 1e-5,
+                        "pricing {}: got {} want {}", pricing, out.objective, bobj);
+                    prop_assert!(p.first_violated(&out.x, 1e-5).is_none());
+                }
+                None => prop_assert_eq!(out.status, MipStatus::Infeasible, "pricing {}", pricing),
             }
         }
     }

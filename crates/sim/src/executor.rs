@@ -175,10 +175,7 @@ mod tests {
         assert_eq!(rep.words_staged, 0);
         assert_eq!(rep.compute_cycles, 3);
         assert_eq!(rep.reconfig_cycles, inst.device().reconfig_cycles());
-        assert_eq!(
-            rep.total_cycles(),
-            rep.compute_cycles + rep.reconfig_cycles
-        );
+        assert_eq!(rep.total_cycles(), rep.compute_cycles + rep.reconfig_cycles);
         assert!(rep.overhead_fraction() > 0.9); // reconfig dominates tiny jobs
         assert_eq!(rep.trace.len(), 2); // configure + compute
     }

@@ -13,13 +13,9 @@ use tempart_hls::{estimate_partitions, list_schedule, Mobility, Schedule};
 /// happens to produce. Returns `None` when the blocked schedule does not fit
 /// the `latency_relaxation`-extended horizon (the ILP run should then also
 /// be configured with a larger `L`).
-pub fn naive_partitioning(
-    instance: &Instance,
-    config: &ModelConfig,
-) -> Option<TemporalSolution> {
+pub fn naive_partitioning(instance: &Instance, config: &ModelConfig) -> Option<TemporalSolution> {
     let graph = instance.graph();
-    let estimate =
-        estimate_partitions(graph, instance.fus().library(), instance.device()).ok()?;
+    let estimate = estimate_partitions(graph, instance.fus().library(), instance.device()).ok()?;
     let mobility = Mobility::compute(graph);
     let horizon = mobility.horizon(config.latency_relaxation);
     let edges = graph.combined_op_edges();

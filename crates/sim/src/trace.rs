@@ -66,7 +66,10 @@ impl fmt::Display for TraceEvent {
                 boundary,
                 words,
                 cycles,
-            } => write!(f, "save {words} words at boundary {boundary} ({cycles} cycles)"),
+            } => write!(
+                f,
+                "save {words} words at boundary {boundary} ({cycles} cycles)"
+            ),
             TraceEvent::Restore {
                 boundary,
                 words,

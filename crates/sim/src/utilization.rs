@@ -95,9 +95,7 @@ pub fn utilization(instance: &Instance, solution: &TemporalSolution) -> Vec<Part
 mod tests {
     use super::*;
     use tempart_core::{IlpModel, ModelConfig, SolveOptions};
-    use tempart_graph::{
-        Bandwidth, ComponentLibrary, FpgaDevice, OpKind, TaskGraphBuilder,
-    };
+    use tempart_graph::{Bandwidth, ComponentLibrary, FpgaDevice, OpKind, TaskGraphBuilder};
 
     fn solved() -> (Instance, TemporalSolution) {
         let mut b = TaskGraphBuilder::new("u");

@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example dsp_kernels`
 
 use tempart::core::{IlpModel, Instance, ModelConfig, RuleKind, SolveOptions};
-use tempart::graph::{
-    Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, TaskGraph,
-};
+use tempart::graph::{Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, TaskGraph};
 use tempart::lp::{MipOptions, MipStatus};
 use tempart::sim::{execute, utilization};
 use tempart_bench::kernels;

@@ -12,8 +12,8 @@
 
 use tempart::core::{IlpModel, Instance, ModelConfig, SolveOptions, TemporalSolution};
 use tempart::graph::{
-    Bandwidth, ComponentLibrary, ControlStep, FpgaDevice, FuId, FunctionGenerators, OpId,
-    OpKind, PartitionIndex, TaskGraphBuilder,
+    Bandwidth, ComponentLibrary, ControlStep, FpgaDevice, FuId, FunctionGenerators, OpId, OpKind,
+    PartitionIndex, TaskGraphBuilder,
 };
 use tempart::hls::Schedule;
 
@@ -93,10 +93,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("feasible");
     println!(
         "  tasks grouped as {:?}, cost {} (vs 15 for the all-split figure)",
-        best.assignment().iter().map(|p| p.0 + 1).collect::<Vec<_>>(),
+        best.assignment()
+            .iter()
+            .map(|p| p.0 + 1)
+            .collect::<Vec<_>>(),
         best.communication_cost()
     );
-    assert_eq!(best.communication_cost(), 7, "group {{t1,t2}}: only 2+5 cross");
+    assert_eq!(
+        best.communication_cost(),
+        7,
+        "group {{t1,t2}}: only 2+5 cross"
+    );
     assert_eq!(
         best.partition_of(tempart::graph::TaskId::new(0)),
         best.partition_of(tempart::graph::TaskId::new(1)),

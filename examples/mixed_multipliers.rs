@@ -58,9 +58,18 @@ fn solve(units: &[(&str, u32)], l: u32) -> Option<(Instance, tempart::core::Temp
 fn main() {
     println!("dot-product kernel: 4 muls -> adder tree\n");
     for (label, units) in [
-        ("sequential multiplier only (mul8s: latency 2, blocks)", vec![("mul8s", 1), ("add16", 1)]),
-        ("pipelined multiplier only  (mul8p: latency 2, II = 1)", vec![("mul8p", 1), ("add16", 1)]),
-        ("both available             (the solver chooses)", vec![("mul8s", 1), ("mul8p", 1), ("add16", 1)]),
+        (
+            "sequential multiplier only (mul8s: latency 2, blocks)",
+            vec![("mul8s", 1), ("add16", 1)],
+        ),
+        (
+            "pipelined multiplier only  (mul8p: latency 2, II = 1)",
+            vec![("mul8p", 1), ("add16", 1)],
+        ),
+        (
+            "both available             (the solver chooses)",
+            vec![("mul8s", 1), ("mul8p", 1), ("add16", 1)],
+        ),
     ] {
         // Find the smallest L this unit mix schedules at.
         let mut found = None;

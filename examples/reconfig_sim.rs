@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inst = build_instance(10_000)?;
     let config = ModelConfig::tightened(3, 4);
     let model = IlpModel::build(inst.clone(), config)?;
-    let sol = model.solve(&SolveOptions::default())?.solution.expect("feasible");
+    let sol = model
+        .solve(&SolveOptions::default())?
+        .solution
+        .expect("feasible");
     let report = execute(&inst, &sol);
     println!("\ntrace of the ILP-optimal execution (reconfig = 10000 cycles):");
     for e in &report.trace {

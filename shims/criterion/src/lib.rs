@@ -102,16 +102,14 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_one(&self.name, &id.to_string(), self.sample_size, |b| f(b, input));
+        run_one(&self.name, &id.to_string(), self.sample_size, |b| {
+            f(b, input)
+        });
         self
     }
 
     /// Benchmarks `f` with no input.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         run_one(&self.name, &id.to_string(), self.sample_size, f);
         self
     }

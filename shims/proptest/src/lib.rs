@@ -144,12 +144,12 @@ macro_rules! tuple_strategy {
     };
 }
 
-tuple_strategy!(A/0);
-tuple_strategy!(A/0, B/1);
-tuple_strategy!(A/0, B/1, C/2);
-tuple_strategy!(A/0, B/1, C/2, D/3);
-tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 /// Types with a canonical [`any`] strategy.
 pub trait Arbitrary: Sized {
@@ -381,8 +381,8 @@ macro_rules! prop_assert_ne {
 /// The glob-import surface test files use.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        Just, ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
     };
 
     /// Mirror of the `prop::` module alias the real crate exposes.

@@ -234,10 +234,7 @@ macro_rules! uniform_impl {
                 #[inline]
                 fn wmul(a: $u_large, b: $u_large) -> ($u_large, $u_large) {
                     let wide = (a as u128) * (b as u128);
-                    (
-                        (wide >> <$u_large>::BITS) as $u_large,
-                        wide as $u_large,
-                    )
+                    ((wide >> <$u_large>::BITS) as $u_large, wide as $u_large)
                 }
             }
 

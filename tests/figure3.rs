@@ -101,7 +101,10 @@ fn scratch_memory_bound_binds_per_boundary() {
     let out = model.solve(&SolveOptions::default()).unwrap();
     let sol = out.solution.expect("feasible by regrouping");
     for b in 1..3 {
-        assert!(sol.boundary_traffic(&inst, b) <= 7, "boundary {b} overflows");
+        assert!(
+            sol.boundary_traffic(&inst, b) <= 7,
+            "boundary {b} overflows"
+        );
     }
     assert_eq!(sol.communication_cost(), 7);
     sol.validate(&inst, model.config()).unwrap();

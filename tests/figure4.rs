@@ -56,10 +56,10 @@ fn basic_and_tightened_models_agree_with_brute_force() {
     // tightened model (exact thanks to the cuts) and the exhaustive oracle
     // all report the same optimum.
     let shapes: &[(u64, u64, u32)] = &[
-        (4, 0, 2),  // one edge, two partitions
-        (4, 0, 3),  // three partitions
-        (4, 0, 4),  // the Figure-4 four-partition setting
-        (9, 3, 3),  // asymmetric bandwidths
+        (4, 0, 2), // one edge, two partitions
+        (4, 0, 3), // three partitions
+        (4, 0, 4), // the Figure-4 four-partition setting
+        (9, 3, 3), // asymmetric bandwidths
     ];
     for &(bw_main, bw_extra, n) in shapes {
         let mut b = TaskGraphBuilder::new("f4-batch");
@@ -70,7 +70,8 @@ fn basic_and_tightened_models_agree_with_brute_force() {
         let t3 = b.task("t3");
         b.op(t3, OpKind::Sub).unwrap();
         b.task_edge(t1, t2, Bandwidth::new(bw_main)).unwrap();
-        b.task_edge(t2, t3, Bandwidth::new(bw_extra.max(1))).unwrap();
+        b.task_edge(t2, t3, Bandwidth::new(bw_extra.max(1)))
+            .unwrap();
         let lib = ComponentLibrary::date98_default();
         let fus = lib
             .exploration_set(&[("mul8", 1), ("add16", 1), ("sub16", 1)])

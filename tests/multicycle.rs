@@ -41,10 +41,24 @@ fn pipelined_multiplier_overlaps_independent_ops() {
     let sol = out.solution.unwrap();
     sol.validate(&inst, model.config()).unwrap();
     // Starts must differ (same physical unit) but may be adjacent.
-    let s0 = sol.schedule().get(tempart::graph::OpId::new(0)).unwrap().step.0;
-    let s1 = sol.schedule().get(tempart::graph::OpId::new(1)).unwrap().step.0;
+    let s0 = sol
+        .schedule()
+        .get(tempart::graph::OpId::new(0))
+        .unwrap()
+        .step
+        .0;
+    let s1 = sol
+        .schedule()
+        .get(tempart::graph::OpId::new(1))
+        .unwrap()
+        .step
+        .0;
     assert_ne!(s0, s1);
-    assert_eq!(s0.abs_diff(s1), 1, "pipelined unit accepts back-to-back issues");
+    assert_eq!(
+        s0.abs_diff(s1),
+        1,
+        "pipelined unit accepts back-to-back issues"
+    );
 }
 
 #[test]
@@ -65,8 +79,18 @@ fn sequential_multiplier_needs_more_relaxation() {
     assert_eq!(relaxed.status, MipStatus::Optimal);
     let sol = relaxed.solution.unwrap();
     sol.validate(&inst, &ModelConfig::tightened(1, 2)).unwrap();
-    let s0 = sol.schedule().get(tempart::graph::OpId::new(0)).unwrap().step.0;
-    let s1 = sol.schedule().get(tempart::graph::OpId::new(1)).unwrap().step.0;
+    let s0 = sol
+        .schedule()
+        .get(tempart::graph::OpId::new(0))
+        .unwrap()
+        .step
+        .0;
+    let s1 = sol
+        .schedule()
+        .get(tempart::graph::OpId::new(1))
+        .unwrap()
+        .step
+        .0;
     assert_eq!(s0.abs_diff(s1), 2, "sequential unit blocks for its latency");
 }
 
@@ -85,7 +109,10 @@ fn mixed_exploration_prefers_what_fits() {
         let a = sol.schedule().get(tempart::graph::OpId::new(i)).unwrap();
         inst.fus().fu_type(a.fu).pipelined()
     });
-    assert!(used_pipelined, "the pipelined unit is required at this horizon");
+    assert!(
+        used_pipelined,
+        "the pipelined unit is required at this horizon"
+    );
 }
 
 #[test]

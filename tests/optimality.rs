@@ -83,11 +83,7 @@ fn ilp_matches_brute_force_on_random_instances() {
                     "seed {seed}: oracle found {assign:?} cost {cost}"
                 );
                 let sol = out.solution.expect("optimal implies solution");
-                assert_eq!(
-                    sol.communication_cost(),
-                    cost,
-                    "seed {seed}: ILP vs oracle"
-                );
+                assert_eq!(sol.communication_cost(), cost, "seed {seed}: ILP vs oracle");
                 sol.validate(&inst, &config).unwrap();
                 checked_feasible += 1;
             }
@@ -107,7 +103,11 @@ fn all_branching_rules_reach_the_oracle_optimum() {
         let inst = instance(seed, 3, 95, 2048);
         let config = ModelConfig::tightened(2, 1);
         let oracle = brute::brute_force_optimum(&inst, &config);
-        for rule in [RuleKind::Paper, RuleKind::FirstIndex, RuleKind::MostFractional] {
+        for rule in [
+            RuleKind::Paper,
+            RuleKind::FirstIndex,
+            RuleKind::MostFractional,
+        ] {
             let model = IlpModel::build(inst.clone(), config.clone()).unwrap();
             let out = model
                 .solve(&SolveOptions {

@@ -4,8 +4,8 @@
 
 use tempart::core::{CoreError, PartitionerOptions, SolveOptions, TemporalPartitioner};
 use tempart::graph::{
-    Bandwidth, ComponentLibrary, ExplorationSet, FpgaDevice, FunctionGenerators, OpKind,
-    TaskGraph, TaskGraphBuilder,
+    Bandwidth, ComponentLibrary, ExplorationSet, FpgaDevice, FunctionGenerators, OpKind, TaskGraph,
+    TaskGraphBuilder,
 };
 use tempart::sim::{execute, naive_partitioning};
 
@@ -109,16 +109,12 @@ fn simulator_consumes_pipeline_output() {
         .memory_word_cycles(2)
         .build()
         .unwrap();
-    let inst =
-        tempart::core::Instance::new(pipeline_spec(), fus(), device.clone()).unwrap();
+    let inst = tempart::core::Instance::new(pipeline_spec(), fus(), device.clone()).unwrap();
     let result = TemporalPartitioner::new(pipeline_spec(), fus(), device)
         .run()
         .unwrap();
     let report = execute(&inst, result.solution());
-    assert_eq!(
-        report.reconfigurations,
-        result.solution().partitions_used()
-    );
+    assert_eq!(report.reconfigurations, result.solution().partitions_used());
     assert!(report.compute_cycles > 0);
     assert_eq!(
         report.total_cycles(),

@@ -7,7 +7,7 @@ use tempart::core::{brute, IlpModel, Instance, ModelConfig, SolveOptions};
 use tempart::graph::{
     Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
 };
-use tempart::lp::MipStatus;
+use tempart::lp::{MipStatus, Pricing};
 
 #[derive(Debug, Clone)]
 struct SpecShape {
@@ -136,6 +136,30 @@ proptest! {
                 }
                 None => prop_assert_eq!(out.status, MipStatus::Infeasible, "threads {}", threads),
             }
+        }
+    }
+
+    /// Devex pricing (incremental engine + bound-flipping dual) proves
+    /// exactly the oracle optimum on real models — the correctness half of
+    /// the pricing determinism contract.
+    #[test]
+    fn devex_ilp_matches_oracle(shape in shape()) {
+        let inst = build(&shape);
+        let config = ModelConfig::tightened(2, 1);
+        let model = IlpModel::build(inst.clone(), config.clone()).expect("build");
+        let oracle = brute::brute_force_optimum(&inst, &config);
+        let mut opts = SolveOptions::default();
+        opts.mip.lp.pricing = Pricing::Devex;
+        let out = model.solve(&opts).expect("solve");
+        match &oracle {
+            Some((_, cost)) => {
+                prop_assert_eq!(out.status, MipStatus::Optimal);
+                let sol = out.solution.expect("optimal has solution");
+                prop_assert_eq!(sol.communication_cost(), *cost,
+                    "devex ILP {} vs oracle {}", sol.communication_cost(), cost);
+                sol.validate(&inst, &config).expect("semantic validation");
+            }
+            None => prop_assert_eq!(out.status, MipStatus::Infeasible),
         }
     }
 }

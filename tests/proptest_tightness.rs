@@ -56,8 +56,12 @@ fn build(s: &Shape) -> Instance {
         }
     }
     for i in 1..ids.len() {
-        b.task_edge(ids[i - 1], ids[i], Bandwidth::new(u64::from(s.bandwidths[i - 1])))
-            .unwrap();
+        b.task_edge(
+            ids[i - 1],
+            ids[i],
+            Bandwidth::new(u64::from(s.bandwidths[i - 1])),
+        )
+        .unwrap();
     }
     let lib = ComponentLibrary::date98_default();
     let fus = lib

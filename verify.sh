@@ -3,13 +3,20 @@
 #
 #   ./verify.sh
 #
-# Everything here must pass before a change lands: the tier-1 build/test
-# pair, the full workspace test suite (heavier oracle cross-checks), and a
+# Everything here must pass before a change lands: formatting and clippy
+# lints, the tier-1 build/test pair, the full workspace test suite
+# (heavier oracle cross-checks), and a
 # short Table 2 regeneration proving the tables harness still runs
 # end-to-end. The smoke limit is small on purpose — it exercises the
 # pipeline, not the paper's full budgets.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== lint: rustfmt =="
+cargo fmt --check
+
+echo "== lint: clippy =="
+cargo clippy --workspace -- -D warnings
 
 echo "== tier-1: build =="
 cargo build --release
