@@ -5,9 +5,12 @@
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `table4`, `ablation`,
-//! `simulate`, `parallel`, `simplex`, `all`. The default per-row time limit
-//! is 600 s (the paper cut Table 1 off at 7200 s on a 175 MHz UltraSparc;
-//! modern hardware needs far less to show the same contrast).
+//! `simulate`, `parallel`, `simplex`, `resilience`, `all`. The default
+//! per-row time limit is 600 s (the paper cut Table 1 off at 7200 s on a
+//! 175 MHz UltraSparc; modern hardware needs far less to show the same
+//! contrast). The `resilience` experiment sweeps deterministic work
+//! budgets over the graph-1 workhorse and records the anytime
+//! gap-vs-deadline curve to `BENCH_resilience.json`.
 //!
 //! `--threads T` runs every table row on `T` branch-and-bound workers
 //! (`0` = one per CPU; default `1`, the faithful serial solver). The
@@ -56,6 +59,7 @@ fn main() {
             "simulate" => simulate(threads),
             "parallel" => parallel(limit),
             "simplex" => simplex(limit),
+            "resilience" => resilience(limit),
             "all" => {
                 table1(limit, threads);
                 table2(limit, threads);
@@ -65,9 +69,10 @@ fn main() {
                 simulate(threads);
                 parallel(limit);
                 simplex(limit);
+                resilience(limit);
             }
             other => eprintln!(
-                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, simplex, all)"
+                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, simplex, resilience, all)"
             ),
         }
     }
@@ -597,6 +602,116 @@ fn simplex(limit: f64) {
     match std::fs::write("BENCH_simplex.json", &json) {
         Ok(()) => println!("wrote BENCH_simplex.json ({} rows)", json_rows.len()),
         Err(e) => eprintln!("cannot write BENCH_simplex.json: {e}"),
+    }
+    println!();
+}
+
+/// Anytime-resilience study: the Table 3 workhorse (graph 1, N=3, L=1,
+/// guided) solved under a sweep of deterministic simplex-pivot budgets —
+/// the reproducible stand-in for a wall-clock deadline — seeded and
+/// unseeded. Each point records the termination status, the solution
+/// source (`exact` incumbent vs the Figure-2 `heuristic` degradation), the
+/// cost, and the proven gap, tracing the gap-vs-deadline curve from "no
+/// time at all" down to the proven optimum. The full serial solve takes
+/// ~11k pivots, so the sweep brackets that. Results go to stdout and
+/// `BENCH_resilience.json`.
+fn resilience(limit: f64) {
+    const BUDGETS: [usize; 6] = [50, 500, 2_000, 5_000, 9_000, usize::MAX];
+    println!("Resilience: anytime gap vs deterministic pivot budget (g1, N=3, L=1, guided)");
+    println!(
+        "{:<10} {:>6} {:>11} {:>9} {:>6} {:>9} {:>7} {:>9}",
+        "budget", "seeded", "status", "source", "cost", "gap", "nodes", "lp-iters"
+    );
+    let device = date98_device();
+    let Ok(inst) = date98_instance(1, 2, 2, 1, device) else {
+        eprintln!("resilience: cannot build graph-1 instance");
+        return;
+    };
+    let config = ModelConfig::tightened(3, 1);
+    let mut json_rows: Vec<String> = Vec::new();
+    for seed_incumbent in [false, true] {
+        for budget in BUDGETS {
+            let Ok(model) = IlpModel::build(inst.clone(), config.clone()) else {
+                continue;
+            };
+            let mip = MipOptions {
+                time_limit_secs: limit,
+                max_lp_iterations: budget,
+                threads: 1,
+                ..MipOptions::default()
+            };
+            let out = match model.solve(&SolveOptions {
+                mip,
+                rule: RuleKind::Paper,
+                seed_incumbent,
+            }) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("resilience: budget {budget} failed: {e}");
+                    continue;
+                }
+            };
+            let budget_label = if budget == usize::MAX {
+                "inf".to_string()
+            } else {
+                budget.to_string()
+            };
+            let cost = out.solution.as_ref().map(|s| s.communication_cost());
+            let gap_label = if out.gap.is_finite() {
+                format!("{:.1}", out.gap)
+            } else {
+                "inf".to_string()
+            };
+            println!(
+                "{:<10} {:>6} {:>11} {:>9} {:>6} {:>9} {:>7} {:>9}",
+                budget_label,
+                seed_incumbent,
+                out.status.as_str(),
+                out.source.as_str(),
+                cost.map_or("-".to_string(), |c| c.to_string()),
+                gap_label,
+                out.stats.nodes,
+                out.stats.lp_iterations,
+            );
+            json_rows.push(format!(
+                "  {{\"instance\": \"g1-N3-L1\", \"lp_budget\": {}, \"seeded\": {}, \
+                 \"status\": \"{}\", \"source\": \"{}\", \"cost\": {}, \
+                 \"objective\": {}, \"gap\": {}, \"best_bound\": {}, \
+                 \"nodes\": {}, \"lp_iterations\": {}, \"wall_ms\": {:.3}}}",
+                if budget == usize::MAX {
+                    "null".to_string()
+                } else {
+                    budget.to_string()
+                },
+                seed_incumbent,
+                out.status.as_str(),
+                out.source.as_str(),
+                cost.map_or("null".to_string(), |c| c.to_string()),
+                if out.objective.is_finite() {
+                    format!("{}", out.objective)
+                } else {
+                    "null".to_string()
+                },
+                if out.gap.is_finite() {
+                    format!("{}", out.gap)
+                } else {
+                    "null".to_string()
+                },
+                if out.best_bound.is_finite() {
+                    format!("{}", out.best_bound)
+                } else {
+                    "null".to_string()
+                },
+                out.stats.nodes,
+                out.stats.lp_iterations,
+                out.stats.seconds * 1e3,
+            ));
+        }
+    }
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    match std::fs::write("BENCH_resilience.json", &json) {
+        Ok(()) => println!("wrote BENCH_resilience.json ({} rows)", json_rows.len()),
+        Err(e) => eprintln!("cannot write BENCH_resilience.json: {e}"),
     }
     println!();
 }

@@ -1,8 +1,9 @@
 //! `tempart` — command-line temporal partitioning and synthesis.
 //!
 //! ```text
-//! tempart solve <spec.json> [--partitions N] [--latency L] [--limit SECS] [--threads T]
-//!               [--pricing dantzig|devex|bland] [--stats]
+//! tempart solve <spec.json> [--partitions N] [--latency L] [--time-limit SECS]
+//!               [--node-limit N] [--threads T] [--pricing dantzig|devex|bland]
+//!               [--faults PLAN] [--stats] [--json]
 //! tempart estimate <spec.json>
 //! tempart simulate <spec.json> [--partitions N] [--latency L] [--threads T]
 //! tempart dot <spec.json>
@@ -13,6 +14,18 @@
 //! `--threads T` runs the branch-and-bound node search on `T` worker
 //! threads (`0` = one per CPU). The default `1` is the exact serial solver
 //! with deterministic node counts; any `T` proves the same optimum.
+//!
+//! `--time-limit SECS` (alias `--limit`) and `--node-limit N` bound the
+//! search with anytime semantics: on expiry the best feasible answer found
+//! so far is reported together with its proven optimality gap, and when the
+//! search has no incumbent yet the Figure-2 list-scheduling heuristic
+//! solution is reported instead (`source: heuristic`). `--json` prints a
+//! machine-readable summary (`status`, `gap`, `source`, `objective`,
+//! `nodes`) instead of the human-readable report.
+//!
+//! `--faults PLAN` injects deterministic solver faults
+//! (`site@occurrence[,...]`, sites `singular|itercap|panic|skew`) to
+//! exercise the resilience layer; see `tempart-lp`'s fault-plan grammar.
 //!
 //! `--pricing` selects the simplex pricing rule (`dantzig` is the pinned
 //! legacy engine, `devex` the incremental engine with bound-flipping dual
@@ -34,11 +47,12 @@ use std::process::ExitCode;
 
 use tempart_cli::SpecFile;
 use tempart_core::{
-    IlpModel, ModelConfig, PartitionerOptions, RuleKind, SolveOptions, TemporalPartitioner,
+    IlpModel, ModelConfig, PartitionerOptions, RuleKind, SolutionSource, SolveOptions,
+    TemporalPartitioner,
 };
 use tempart_graph::task_graph_to_dot;
 use tempart_hls::{estimate_partitions, render_gantt, Mobility};
-use tempart_lp::{MipOptions, Pricing};
+use tempart_lp::{FaultPlan, MipOptions, MipStatus, Pricing};
 use tempart_sim::execute;
 
 struct Args {
@@ -47,6 +61,9 @@ struct Args {
     partitions: Option<u32>,
     latency: Option<u32>,
     limit: f64,
+    node_limit: usize,
+    faults: Option<String>,
+    json: bool,
     format: String,
     threads: usize,
     pricing: Pricing,
@@ -62,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
         partitions: None,
         latency: None,
         limit: 600.0,
+        node_limit: usize::MAX,
+        faults: None,
+        json: false,
         format: "lp".to_string(),
         threads: 1,
         pricing: Pricing::default(),
@@ -83,12 +103,22 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("--latency takes a number")?,
                 )
             }
-            "--limit" => {
+            "--limit" | "--time-limit" => {
                 args.limit = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--limit takes seconds")?
+                    .ok_or("--time-limit takes seconds")?
             }
+            "--node-limit" => {
+                args.node_limit = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--node-limit takes a node count")?
+            }
+            "--faults" => {
+                args.faults = Some(it.next().ok_or("--faults takes a fault plan")?);
+            }
+            "--json" => args.json = true,
             "--format" => {
                 args.format = it.next().ok_or("--format takes lp or mps")?;
             }
@@ -113,6 +143,35 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// One-line machine-readable solve summary (`--json`). Non-finite gaps
+/// become `null` — JSON has no Infinity literal.
+fn json_summary(
+    status: MipStatus,
+    gap: f64,
+    source: SolutionSource,
+    objective: f64,
+    stats: &tempart_lp::MipStats,
+) -> String {
+    let gap = if gap.is_finite() {
+        format!("{gap}")
+    } else {
+        "null".to_string()
+    };
+    let objective = if objective.is_finite() {
+        format!("{objective}")
+    } else {
+        "null".to_string()
+    };
+    format!(
+        "{{\"status\":\"{}\",\"gap\":{},\"source\":\"{}\",\"objective\":{},\"nodes\":{}}}",
+        status.as_str(),
+        gap,
+        source.as_str(),
+        objective,
+        stats.nodes
+    )
 }
 
 fn load(path: &Option<String>) -> Result<SpecFile, String> {
@@ -183,11 +242,15 @@ fn run() -> Result<(), String> {
             let inst = spec.build_instance().map_err(|e| e.to_string())?;
             let mut mip = MipOptions {
                 time_limit_secs: args.limit,
+                max_nodes: args.node_limit,
                 threads: args.threads,
                 ..MipOptions::default()
             };
             mip.lp.pricing = args.pricing;
             mip.lp.profile = args.stats;
+            if let Some(plan) = &args.faults {
+                mip.lp.faults = Some(std::sync::Arc::new(FaultPlan::parse(plan)?));
+            }
             let solve = SolveOptions {
                 mip,
                 rule: RuleKind::Paper,
@@ -198,12 +261,40 @@ fn run() -> Result<(), String> {
                     let config = ModelConfig::tightened(n, l.unwrap_or(0));
                     let model =
                         IlpModel::build(inst.clone(), config.clone()).map_err(|e| e.to_string())?;
+                    if args.json {
+                        let out = model.solve(&solve).map_err(|e| e.to_string())?;
+                        println!(
+                            "{}",
+                            json_summary(
+                                out.status,
+                                out.gap,
+                                out.source,
+                                out.objective,
+                                &out.stats
+                            )
+                        );
+                        return Ok(());
+                    }
                     println!("model: {}", model.stats());
                     let out = model.solve(&solve).map_err(|e| e.to_string())?;
                     println!(
-                        "status: {:?}; {} nodes, {} LP iterations, {:.2}s",
-                        out.status, out.stats.nodes, out.stats.lp_iterations, out.stats.seconds
+                        "status: {}; {} nodes, {} LP iterations, {:.2}s",
+                        out.status.as_str(),
+                        out.stats.nodes,
+                        out.stats.lp_iterations,
+                        out.stats.seconds
                     );
+                    if out.status != MipStatus::Optimal && out.solution.is_some() {
+                        println!(
+                            "anytime: source {}, gap {}",
+                            out.source.as_str(),
+                            if out.gap.is_finite() {
+                                format!("{:.6}", out.gap)
+                            } else {
+                                "unbounded".to_string()
+                            }
+                        );
+                    }
                     if out.stats.per_worker_nodes.len() > 1 {
                         println!(
                             "workers: {:?} nodes, {} steals",
@@ -228,6 +319,19 @@ fn run() -> Result<(), String> {
                     })
                     .run()
                     .map_err(|e| e.to_string())?;
+                    if args.json {
+                        println!(
+                            "{}",
+                            json_summary(
+                                result.status(),
+                                result.gap(),
+                                result.source(),
+                                result.solution().communication_cost() as f64,
+                                result.mip_stats(),
+                            )
+                        );
+                        return Ok(());
+                    }
                     println!(
                         "auto: N = {}, L = {}; model {}; {} nodes",
                         result.config().num_partitions,
@@ -235,6 +339,13 @@ fn run() -> Result<(), String> {
                         result.model_stats(),
                         result.mip_stats().nodes
                     );
+                    if result.status() != MipStatus::Optimal {
+                        println!(
+                            "anytime: status {}, source {}",
+                            result.status().as_str(),
+                            result.source().as_str()
+                        );
+                    }
                     if args.stats {
                         println!("{}", result.mip_stats().simplex.report());
                     }
@@ -297,7 +408,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--limit SECS] [--threads T] [--pricing dantzig|devex|bland] [--stats]");
+            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--pricing dantzig|devex|bland] [--faults PLAN] [--stats] [--json]");
             ExitCode::FAILURE
         }
     }

@@ -40,9 +40,67 @@ fn solve_pipeline_via_binary() {
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    assert!(stdout.contains("status: Optimal"), "{stdout}");
+    assert!(stdout.contains("status: optimal"), "{stdout}");
     assert!(stdout.contains("communication cost") || stdout.contains("temporal partitioning"));
     assert!(stdout.contains("register demand"));
+}
+
+#[test]
+fn solve_json_summary_via_binary() {
+    let spec = example_spec_path();
+    let out = tempart()
+        .arg("solve")
+        .arg(&spec)
+        .args(["--partitions", "2", "--latency", "1", "--json"])
+        .output()
+        .expect("run solve --json");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
+    for key in [
+        "\"status\":\"optimal\"",
+        "\"gap\":0",
+        "\"source\":\"exact\"",
+        "\"objective\":0",
+        "\"nodes\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+}
+
+#[test]
+fn solve_faulted_expired_limit_still_reports_answer() {
+    // A fault plan plus an already-expired deadline: the anytime contract
+    // must still exit 0 with a feasible answer and a reported source.
+    let spec = example_spec_path();
+    let out = tempart()
+        .arg("solve")
+        .arg(&spec)
+        .args([
+            "--partitions",
+            "2",
+            "--latency",
+            "1",
+            "--faults",
+            "singular@1,skew@1",
+            "--json",
+        ])
+        .output()
+        .expect("run solve --faults");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.contains("\"status\":"), "{line}");
+    assert!(line.contains("\"source\":"), "{line}");
 }
 
 #[test]

@@ -65,7 +65,7 @@ mod vars;
 pub use config::{CstepEncoding, CutSet, Linearization, ModelConfig, WForm};
 pub use error::CoreError;
 pub use instance::Instance;
-pub use model::{IlpModel, ModelStats, RuleKind, SolveOptions, SolveOutcome};
+pub use model::{IlpModel, ModelStats, RuleKind, SolutionSource, SolveOptions, SolveOutcome};
 pub use solution::TemporalSolution;
 pub use solve::{PartitionerOptions, PartitionerResult, TemporalPartitioner};
 

@@ -90,6 +90,33 @@ impl Default for SolveOptions {
     }
 }
 
+/// Where a reported solution came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolutionSource {
+    /// Produced by the branch-and-bound search (optimal when the status
+    /// says so, else the best incumbent at the limit).
+    Exact,
+    /// The Figure-2 list-scheduling heuristic, used as the anytime answer
+    /// when a limit fired before the search found any incumbent.
+    Heuristic,
+}
+
+impl SolutionSource {
+    /// Stable lower-case name (CLI/JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolutionSource::Exact => "exact",
+            SolutionSource::Heuristic => "heuristic",
+        }
+    }
+}
+
+impl fmt::Display for SolutionSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Result of solving a built model.
 #[derive(Debug, Clone)]
 pub struct SolveOutcome {
@@ -99,6 +126,14 @@ pub struct SolveOutcome {
     pub solution: Option<TemporalSolution>,
     /// Objective value of the solution (`+∞` if none).
     pub objective: f64,
+    /// Where the solution came from (exact search or the heuristic
+    /// degradation path).
+    pub source: SolutionSource,
+    /// Proven optimality gap `objective − best_bound`: zero when optimal,
+    /// `+∞` when no finite bound was proven before a limit fired.
+    pub gap: f64,
+    /// The proven lower bound on the objective.
+    pub best_bound: f64,
     /// Search statistics.
     pub stats: MipStats,
 }
@@ -283,28 +318,58 @@ impl IlpModel {
             RuleKind::MostFractional => bb.rule(MostFractionalRule),
         };
         let mip_out = bb.solve().map_err(CoreError::Lp)?;
-        let solution = if mip_out.x.is_empty() {
+        let mut source = SolutionSource::Exact;
+        let mut objective = mip_out.objective;
+        let mut solution = if mip_out.x.is_empty() {
             None
         } else {
-            let sol = self.extract_solution(&mip_out.x);
+            let sol = self.extract_solution(&mip_out.x)?;
             sol.validate(&self.instance, &self.config)?;
             Some(sol)
+        };
+        if solution.is_none()
+            && mip_out.status.may_have_solution()
+            && mip_out.status != MipStatus::Optimal
+        {
+            // Anytime degradation: a limit fired before the search found
+            // any incumbent. Fall back to the Figure-2 list-scheduling
+            // heuristic so the caller still gets a feasible partitioning,
+            // tagged with its source and an honest (possibly infinite) gap.
+            if let Some(h) = crate::heuristic::heuristic_solution(&self.instance, &self.config) {
+                if h.validate(&self.instance, &self.config).is_ok() {
+                    objective = h.communication_cost() as f64;
+                    solution = Some(h);
+                    source = SolutionSource::Heuristic;
+                }
+            }
+        }
+        let gap = match (&solution, mip_out.status) {
+            (_, MipStatus::Optimal) => 0.0,
+            (Some(_), _) if mip_out.best_bound.is_finite() => {
+                (objective - mip_out.best_bound).max(0.0)
+            }
+            _ => f64::INFINITY,
         };
         Ok(SolveOutcome {
             status: mip_out.status,
             solution,
-            objective: mip_out.objective,
+            objective,
+            source,
+            gap,
+            best_bound: mip_out.best_bound,
             stats: mip_out.stats,
         })
     }
 
     /// Decodes a 0-1 solution vector into a [`TemporalSolution`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x` is not a complete integral solution of this model
-    /// (some task without a partition or operation without an assignment).
-    pub fn extract_solution(&self, x: &[f64]) -> TemporalSolution {
+    /// [`CoreError::InvalidSolution`] if `x` is not a complete integral
+    /// solution of this model (some task without a partition or operation
+    /// without an assignment) — a solver bug surfaced as a recoverable
+    /// error instead of a panic.
+    pub fn extract_solution(&self, x: &[f64]) -> Result<TemporalSolution, CoreError> {
         let graph = self.instance.graph();
         let assignment: Vec<PartitionIndex> = graph
             .tasks()
@@ -314,16 +379,26 @@ impl IlpModel {
                 let p = row
                     .iter()
                     .position(|&v| x[v.index()] > 0.5)
-                    .expect("every task must have a partition");
-                PartitionIndex::new(p as u32)
+                    .ok_or_else(|| {
+                        CoreError::InvalidSolution(format!(
+                            "task `{}` has no partition in the solution vector",
+                            task.name()
+                        ))
+                    })?;
+                Ok(PartitionIndex::new(p as u32))
             })
-            .collect();
+            .collect::<Result<_, CoreError>>()?;
         let mut schedule = Schedule::new();
         for op in graph.ops() {
             let &(j, k, _) = self.vars.x_of_op[op.id().index()]
                 .iter()
                 .find(|&&(_, _, v)| x[v.index()] > 0.5)
-                .expect("every operation must be assigned");
+                .ok_or_else(|| {
+                    CoreError::InvalidSolution(format!(
+                        "operation {:?} has no schedule assignment in the solution vector",
+                        op.id()
+                    ))
+                })?;
             schedule.assign(op.id(), ControlStep(j), k);
         }
         // Communication cost recomputed from the assignment (ground truth).
@@ -338,7 +413,7 @@ impl IlpModel {
                 }
             }
         }
-        TemporalSolution::new(assignment, schedule, cost)
+        Ok(TemporalSolution::new(assignment, schedule, cost))
     }
 
     /// The mobility analysis used for the variable windows.
@@ -461,9 +536,31 @@ mod tests {
         let model = IlpModel::build(tiny_instance(), ModelConfig::tightened(2, 1)).unwrap();
         let out = model.solve(&SolveOptions::default()).unwrap();
         assert_eq!(out.status, MipStatus::Optimal);
+        assert_eq!(out.source, SolutionSource::Exact);
+        assert_eq!(out.gap, 0.0);
         let sol = out.solution.unwrap();
         assert_eq!(sol.communication_cost(), 0);
         assert_eq!(sol.partitions_used(), 1);
+    }
+
+    #[test]
+    fn faults_limit_without_incumbent_degrades_to_heuristic() {
+        // A 1-pivot LP budget with no seeded incumbent: the search stops
+        // before finding anything, and solve() must degrade to the Figure-2
+        // list-scheduling heuristic instead of returning nothing.
+        let model = IlpModel::build(tiny_instance(), ModelConfig::tightened(2, 1)).unwrap();
+        let mut options = SolveOptions {
+            seed_incumbent: false,
+            ..SolveOptions::default()
+        };
+        options.mip.max_lp_iterations = 1;
+        let out = model.solve(&options).unwrap();
+        assert_eq!(out.status, MipStatus::TimeLimit);
+        assert_eq!(out.source, SolutionSource::Heuristic);
+        let sol = out.solution.expect("anytime answer");
+        sol.validate(model.instance(), model.config()).unwrap();
+        assert!(out.gap >= 0.0, "gap {} must be reported", out.gap);
+        assert_eq!(out.objective, sol.communication_cost() as f64);
     }
 
     #[test]

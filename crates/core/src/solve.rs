@@ -7,7 +7,7 @@ use tempart_lp::{MipStats, MipStatus};
 
 use crate::config::ModelConfig;
 use crate::instance::Instance;
-use crate::model::{IlpModel, ModelStats, SolveOptions};
+use crate::model::{IlpModel, ModelStats, SolutionSource, SolveOptions, SolveOutcome};
 use crate::solution::TemporalSolution;
 use crate::CoreError;
 
@@ -33,12 +33,34 @@ pub struct PartitionerResult {
     estimate: Option<PartitionEstimate>,
     model_stats: ModelStats,
     mip_stats: MipStats,
+    status: MipStatus,
+    gap: f64,
+    source: SolutionSource,
 }
 
 impl PartitionerResult {
-    /// The optimal partitioning and schedule.
+    /// The reported partitioning and schedule — proven optimal when
+    /// [`PartitionerResult::status`] is [`MipStatus::Optimal`], otherwise
+    /// the best answer available when a limit fired (anytime semantics).
     pub fn solution(&self) -> &TemporalSolution {
         &self.solution
+    }
+
+    /// Solver termination status.
+    pub fn status(&self) -> MipStatus {
+        self.status
+    }
+
+    /// Proven optimality gap (zero when optimal, `+∞` when no finite
+    /// bound was proven before a limit fired).
+    pub fn gap(&self) -> f64 {
+        self.gap
+    }
+
+    /// Whether the solution came from the exact search or the heuristic
+    /// degradation path.
+    pub fn source(&self) -> SolutionSource {
+        self.source
     }
 
     /// The configuration that produced the solution (including the latency
@@ -109,14 +131,8 @@ impl TemporalPartitioner {
         match &self.options.config {
             Some(config) => {
                 let (out, stats) = Self::solve_once(&instance, config, &self.options.solve)?;
-                match out {
-                    Some((solution, mip_stats)) => Ok(PartitionerResult {
-                        solution,
-                        config: config.clone(),
-                        estimate: None,
-                        model_stats: stats,
-                        mip_stats,
-                    }),
+                match Self::package(out, config.clone(), None, stats) {
+                    Some(result) => Ok(result),
                     None => Err(CoreError::InvalidConfig(
                         "the requested configuration is infeasible",
                     )),
@@ -133,14 +149,9 @@ impl TemporalPartitioner {
                 for l in 0..=max_l {
                     let config = ModelConfig::tightened(n, l);
                     let (out, stats) = Self::solve_once(&instance, &config, &self.options.solve)?;
-                    if let Some((solution, mip_stats)) = out {
-                        return Ok(PartitionerResult {
-                            solution,
-                            config,
-                            estimate: Some(estimate),
-                            model_stats: stats,
-                            mip_stats,
-                        });
+                    if let Some(result) = Self::package(out, config, Some(estimate.clone()), stats)
+                    {
+                        return Ok(result);
                     }
                 }
                 Err(CoreError::InvalidConfig(
@@ -150,27 +161,38 @@ impl TemporalPartitioner {
         }
     }
 
-    /// One build+solve; `Ok(None)` means proven infeasible.
-    #[allow(clippy::type_complexity)]
+    /// One build+solve.
     fn solve_once(
         instance: &Instance,
         config: &ModelConfig,
         solve: &SolveOptions,
-    ) -> Result<(Option<(TemporalSolution, MipStats)>, ModelStats), CoreError> {
+    ) -> Result<(SolveOutcome, ModelStats), CoreError> {
         let model = IlpModel::build(instance.clone(), config.clone())?;
         let stats = model.stats().clone();
         let out = model.solve(solve)?;
-        match (out.status, out.solution) {
-            (MipStatus::Optimal, Some(sol)) => Ok((Some((sol, out.stats)), stats)),
-            (MipStatus::Infeasible, _) => Ok((None, stats)),
-            (status, Some(sol)) => {
-                // Limit hit with an incumbent: return it (documented as not
-                // proven optimal via the stats' node counts).
-                let _ = status;
-                Ok((Some((sol, out.stats)), stats))
-            }
-            (_, None) => Ok((None, stats)),
-        }
+        Ok((out, stats))
+    }
+
+    /// Wraps a solve outcome that carries a solution (optimal, or the
+    /// anytime answer at a limit) into a result; `None` means infeasible
+    /// (or unbounded) under this configuration.
+    fn package(
+        out: SolveOutcome,
+        config: ModelConfig,
+        estimate: Option<PartitionEstimate>,
+        model_stats: ModelStats,
+    ) -> Option<PartitionerResult> {
+        let solution = out.solution?;
+        Some(PartitionerResult {
+            solution,
+            config,
+            estimate,
+            model_stats,
+            mip_stats: out.stats,
+            status: out.status,
+            gap: out.gap,
+            source: out.source,
+        })
     }
 }
 

@@ -5,13 +5,15 @@
 //! is pluggable via [`BranchingRule`]; the paper's §8 heuristic is expressed
 //! as a [`PriorityRule`] built by `tempart-core`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use crate::faults::Budget;
 use crate::internal::CoreLp;
 use crate::options::MipOptions;
 use crate::problem::{LpError, Problem, VarId, VarKind};
 use crate::profile::SimplexProfile;
-use crate::simplex::{solve_core_cold, solve_core_warm, BasisSnapshot, WarmFail};
+use crate::simplex::{solve_node_resilient, BasisSnapshot};
 use crate::status::{LpStatus, MipStatus};
 
 /// Which child to explore first when branching on a binary.
@@ -91,7 +93,7 @@ impl BranchingRule for MostFractionalRule {
                 let f = x[v.index()].fract();
                 (v, (f - 0.5).abs())
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN in LP solution"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(v, _)| {
                 let dir = if x[v.index()] >= 0.5 {
                     BranchDirection::Up
@@ -331,6 +333,15 @@ impl<'a> BranchAndBound<'a> {
         let core = CoreLp::from_problem(self.problem);
         let ns = core.num_structs;
         let opts = &self.options;
+        // One budget for the whole search: the wall-clock deadline and the
+        // LP-iteration cap are also checked *inside* the simplex pivot loop
+        // (via `LpOptions::budget`), so a single long node LP cannot blow
+        // through the global limits.
+        let budget = Arc::new(Budget::new(
+            opts.time_limit_secs,
+            opts.max_nodes,
+            opts.max_lp_iterations,
+        ));
         let mut stats = MipStats::default();
 
         let mut incumbent = validate_incumbent(self.problem, opts, ns);
@@ -348,13 +359,24 @@ impl<'a> BranchAndBound<'a> {
         let mut upper = core.upper.clone();
 
         while let Some(node) = stack.pop() {
+            // Limit breaks push the in-flight node back so the epilogue's
+            // best-bound fold over the open stack stays a valid bound.
             if stats.nodes >= opts.max_nodes {
                 status = MipStatus::NodeLimit;
+                stack.push(node);
                 break;
             }
             let remaining = opts.time_limit_secs - start.elapsed().as_secs_f64();
             if remaining <= 0.0 {
                 status = MipStatus::TimeLimit;
+                stack.push(node);
+                break;
+            }
+            if stats.lp_iterations >= opts.max_lp_iterations {
+                // The deterministic work budget is spent: stop like a time
+                // limit, keeping the incumbent and the proven bound.
+                status = MipStatus::TimeLimit;
+                stack.push(node);
                 break;
             }
             // Pre-prune on the parent bound.
@@ -366,53 +388,44 @@ impl<'a> BranchAndBound<'a> {
             }
             // Apply node bounds.
             node.overlay.apply(&core, &mut lower, &mut upper);
-            // Solve the node LP (warm dual first, cold fallback), bounded
-            // by the remaining wall-clock budget so one long LP cannot blow
-            // through the global limit.
+            // Solve the node LP (warm dual first, cold fallback with the
+            // numerical retry ladder), bounded by the remaining wall-clock
+            // budget so one long LP cannot blow through the global limit.
             let mut lp_opts = opts.lp.clone();
             lp_opts.time_limit_secs = lp_opts.time_limit_secs.min(remaining);
+            lp_opts.budget = Some(Arc::clone(&budget));
             let node_start = Instant::now();
-            let mut fell_cold = false;
-            let solved = match &node.warm {
-                Some(snapshot) => {
-                    match solve_core_warm(&core, &lower, &upper, snapshot, &lp_opts) {
-                        Ok(o) => Ok(o),
-                        Err(WarmFail::NotDualFeasible)
-                        | Err(WarmFail::Error(LpError::SingularBasis)) => {
-                            fell_cold = true;
-                            solve_core_cold(&core, &lower, &upper, &lp_opts)
-                        }
-                        Err(WarmFail::Error(e)) => Err(e),
-                    }
-                }
-                None => solve_core_cold(&core, &lower, &upper, &lp_opts),
-            };
+            let solved = solve_node_resilient(&core, &lower, &upper, node.warm.as_ref(), &lp_opts);
             if std::env::var("BB_TRACE").is_ok() {
                 eprintln!(
-                    "node {} cold={} iters={:?} in {:?}",
+                    "node {} cold={:?} iters={:?} in {:?}",
                     stats.nodes,
-                    fell_cold,
-                    solved.as_ref().map(|o| o.iterations).ok(),
+                    solved.as_ref().map(|(_, cold)| *cold).ok(),
+                    solved.as_ref().map(|(o, _)| o.iterations).ok(),
                     node_start.elapsed()
                 );
             }
             let outcome = match solved {
-                Ok(o) => o,
+                Ok((o, _)) => o,
                 Err(LpError::Timeout) => {
                     status = MipStatus::TimeLimit;
+                    stack.push(node);
                     break;
                 }
                 Err(LpError::IterationLimit) | Err(LpError::SingularBasis) => {
-                    // A stalled or numerically wedged node LP: abandon the
+                    // The full retry ladder failed on this node: abandon the
                     // proof, keep the incumbent (reported as a limit, not an
                     // error).
                     status = MipStatus::NodeLimit;
+                    stack.push(node);
                     break;
                 }
                 Err(e) => return Err(e),
             };
             stats.nodes += 1;
             stats.lp_iterations += outcome.iterations;
+            budget.note_node();
+            budget.add_lp_iterations(outcome.iterations);
             stats.simplex.absorb(&outcome.profile);
             match outcome.status {
                 LpStatus::Infeasible => {
@@ -420,9 +433,11 @@ impl<'a> BranchAndBound<'a> {
                     continue;
                 }
                 LpStatus::Unbounded => {
-                    // A bounded 0-1 model cannot be unbounded unless it has
-                    // unbounded continuous vars; treat as a hard error.
-                    return Err(LpError::IterationLimit);
+                    // The relaxation — and hence the model — is unbounded
+                    // below (possible only with unbounded continuous vars):
+                    // report it truthfully instead of faking an error.
+                    status = MipStatus::Unbounded;
+                    break;
                 }
                 LpStatus::Optimal => {}
             }
@@ -474,23 +489,31 @@ impl<'a> BranchAndBound<'a> {
         }
         stats.seconds = start.elapsed().as_secs_f64();
         stats.per_worker_nodes = vec![stats.nodes];
-        let (x, objective, status) = match incumbent {
-            Some((x, obj)) => (x, obj, status),
-            None => (
-                Vec::new(),
-                f64::INFINITY,
-                if status == MipStatus::Optimal {
-                    MipStatus::Infeasible
-                } else {
-                    status
-                },
-            ),
+        let (x, objective, status) = if status == MipStatus::Unbounded {
+            // An unbounded relaxation makes the model's optimum −∞; an
+            // incumbent objective is meaningless as a bound, so none is
+            // reported ([`MipStatus::may_have_solution`] is false).
+            (Vec::new(), f64::NEG_INFINITY, status)
+        } else {
+            match incumbent {
+                Some((x, obj)) => (x, obj, status),
+                None => (
+                    Vec::new(),
+                    f64::INFINITY,
+                    if status == MipStatus::Optimal {
+                        MipStatus::Infeasible
+                    } else {
+                        status
+                    },
+                ),
+            }
         };
         // Lower bound: exact on completion; otherwise the weakest bound
         // still open on the stack.
         let best_bound = match status {
             MipStatus::Optimal => objective,
             MipStatus::Infeasible => f64::INFINITY,
+            MipStatus::Unbounded => f64::NEG_INFINITY,
             _ => stack
                 .iter()
                 .map(|n| n.parent_bound)
@@ -821,6 +844,62 @@ mod tests {
         let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
         assert_eq!(out.status, MipStatus::Optimal);
         assert!((out.objective - (-23.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_model_reports_truthful_status() {
+        // min -c with c free above: the root relaxation is unbounded below,
+        // which must surface as `MipStatus::Unbounded`, not an error.
+        let mut p = Problem::new("unb");
+        let y = p.add_var("y", VarKind::Binary, 1.0).unwrap();
+        let c = p.add_var("c", VarKind::Continuous, -1.0).unwrap();
+        p.set_bounds(c, 0.0, f64::INFINITY).unwrap();
+        p.add_constraint("r", [(c, 1.0), (y, 1.0)], Sense::Ge, 0.0)
+            .unwrap();
+        let out = BranchAndBound::new(&p).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Unbounded);
+        assert!(!out.status.may_have_solution());
+        assert!(out.x.is_empty());
+        assert_eq!(out.objective, f64::NEG_INFINITY);
+        assert_eq!(out.best_bound, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dual_cap_trip_recovers_via_cold_fallback() {
+        // PR-2 degeneracy regression: a warm dual solve that trips
+        // `dual_iteration_cap` must fall back to a cold solve, still prove
+        // the optimum, and leave the fallbacks visible in the profile.
+        let p = knapsack(
+            &[6.0, 5.0, 9.0, 7.0, 3.0, 4.0],
+            &[2.0, 3.0, 4.0, 3.0, 1.0, 2.0],
+            8.0,
+        );
+        let mut opts = MipOptions::default();
+        opts.lp.dual_iteration_cap = 1;
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        let (_, bobj) = brute_force(&p).unwrap();
+        assert!((out.objective - bobj).abs() < 1e-6);
+        assert!(
+            out.stats.simplex.warm_fallbacks > 0,
+            "a 1-pivot dual cap must force warm-to-cold fallbacks"
+        );
+    }
+
+    #[test]
+    fn lp_iteration_budget_stops_like_a_time_limit() {
+        // A tiny pivot budget with a seeded incumbent: the search must stop
+        // promptly with `TimeLimit` and keep the incumbent, never error.
+        let p = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        let opts = MipOptions {
+            max_lp_iterations: 1,
+            initial_incumbent: Some(vec![0.0, 1.0, 0.0, 1.0]),
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::TimeLimit);
+        assert!((out.objective - (-21.0)).abs() < 1e-6, "seed kept");
+        assert!(out.best_bound <= out.objective + 1e-9, "bound stays valid");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! ```
 
 mod branch;
+mod faults;
 mod internal;
 mod lu;
 mod mps;
@@ -62,6 +63,7 @@ pub use branch::{
     BranchAndBound, BranchDirection, BranchingRule, FirstIndexRule, MipSolution, MipStats,
     MostFractionalRule, PriorityRule,
 };
+pub use faults::{Budget, BudgetExceeded, FaultPlan, FaultSite};
 pub use mps::write_mps;
 pub use options::{LpOptions, MipOptions, Pricing};
 pub use presolve::{presolve, PresolveResult, Presolved};

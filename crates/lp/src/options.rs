@@ -1,5 +1,9 @@
 //! Solver options.
 
+use std::sync::Arc;
+
+use crate::faults::{Budget, FaultPlan};
+
 /// Entering-variable pricing strategy for the simplex.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Pricing {
@@ -73,6 +77,15 @@ pub struct LpOptions {
     /// collected; the timers cost a few `Instant::now` calls per iteration,
     /// so they are opt-in.
     pub profile: bool,
+    /// Scripted fault-injection plan (see [`FaultPlan`]). `None` — the
+    /// default — leaves every injection site inert; tests set it to
+    /// exercise the recovery paths deterministically.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Shared solve budget (see [`Budget`]). Branch and bound attaches one
+    /// so the pivot loop honours the whole-solve deadline, node cap, and
+    /// LP-iteration cap mid-LP; `None` (the default for standalone LP
+    /// solves) checks only [`LpOptions::time_limit_secs`].
+    pub budget: Option<Arc<Budget>>,
 }
 
 impl Default for LpOptions {
@@ -87,6 +100,8 @@ impl Default for LpOptions {
             dual_iteration_cap: 2_000,
             pricing: Pricing::Dantzig,
             profile: false,
+            faults: None,
+            budget: None,
         }
     }
 }
@@ -103,6 +118,12 @@ pub struct MipOptions {
     pub max_nodes: usize,
     /// Wall-clock time limit in seconds (`f64::INFINITY` to disable).
     pub time_limit_secs: f64,
+    /// Total simplex-pivot budget across every node LP (`usize::MAX` to
+    /// disable) — a deterministic work limit where wall clocks are not.
+    /// Exhausting it stops the search like a time limit
+    /// ([`MipStatus::TimeLimit`](crate::MipStatus)) with the best
+    /// incumbent found so far.
+    pub max_lp_iterations: usize,
     /// If true, the objective is known to take integer values at integer
     /// points, enabling the stronger bound `ceil(lp_bound)` for pruning.
     pub objective_is_integral: bool,
@@ -128,6 +149,7 @@ impl Default for MipOptions {
             int_tol: 1e-6,
             max_nodes: 5_000_000,
             time_limit_secs: f64::INFINITY,
+            max_lp_iterations: usize::MAX,
             objective_is_integral: false,
             abs_gap: 1e-9,
             initial_incumbent: None,
@@ -151,7 +173,12 @@ mod tests {
         assert!(mip.int_tol >= lp.feas_tol);
         assert!(!mip.objective_is_integral);
         assert!(mip.time_limit_secs.is_infinite());
+        assert_eq!(mip.max_lp_iterations, usize::MAX, "pivot budget off");
         assert_eq!(mip.threads, 1, "serial by default");
+        assert!(
+            lp.faults.is_none() && lp.budget.is_none(),
+            "inert by default"
+        );
     }
 
     #[test]

@@ -20,8 +20,16 @@
 //!   encoding of the `f64`), so the hot bound-pruning path never takes a
 //!   lock.
 //! * **Cooperative cancellation** — deadline and node-limit breaches set an
-//!   `AtomicBool`; workers drain their in-flight nodes back into the pool
-//!   so the reported `best_bound` stays a valid lower bound, then exit.
+//!   `AtomicBool` *and* raise the shared [`Budget`]'s stop flag, which the
+//!   simplex pivot loop samples: a worker stuck in one long LP abandons it
+//!   mid-solve instead of finishing the node. Workers drain their in-flight
+//!   nodes back into the pool so the reported `best_bound` stays a valid
+//!   lower bound, then exit.
+//! * **Panic isolation** — each node solve runs under `catch_unwind`; a
+//!   panicking solve is logged, its node requeued once, and the search
+//!   continues. A node that panics twice is abandoned and the final
+//!   `Optimal` claim degraded to `NodeLimit` (its bound still counts
+//!   toward `best_bound`). All shared locks are poison-proof.
 //!
 //! ## Determinism contract
 //!
@@ -32,20 +40,31 @@
 //! reported gap.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::branch::{
     is_fractional, prune_bound, validate_incumbent, BoundOverlay, BranchDirection, BranchingRule,
     MipSolution, MipStats,
 };
+use crate::faults::{Budget, FaultSite};
 use crate::internal::CoreLp;
 use crate::options::MipOptions;
 use crate::problem::{LpError, Problem, VarKind};
 use crate::profile::SimplexProfile;
-use crate::simplex::{solve_core_cold, solve_core_warm, BasisSnapshot, WarmFail};
+use crate::simplex::{solve_node_resilient, BasisSnapshot};
 use crate::status::{LpStatus, MipStatus};
+
+/// Poison-proof lock. A worker panic between a lock's acquisition and
+/// release would poison it for every peer; all critical sections here are
+/// short and leave the guarded state consistent (and node solves — the
+/// only code that can panic — run outside them), so the inner data is
+/// always safe to take.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Order-preserving encoding of an `f64` into a `u64`: `a < b` iff
 /// `key(a) < key(b)` (for non-NaN values), so an atomic minimum objective
@@ -76,6 +95,9 @@ struct ParNode {
     parent_bound: f64,
     /// Worker that produced the node (for steal accounting).
     owner: usize,
+    /// Whether a panicking solve already requeued this node once; a second
+    /// panic abandons it instead of looping forever.
+    requeued: bool,
 }
 
 struct Pool {
@@ -111,9 +133,17 @@ struct Shared<'a> {
     /// `bound_key` of the incumbent objective (`+∞` before the first).
     incumbent_key: AtomicU64,
     incumbent: Mutex<Option<(Vec<f64>, f64)>>,
-    /// Global solved-node count (node-limit enforcement).
-    nodes: AtomicUsize,
+    /// Whole-solve budget: node count (node-limit enforcement), wall-clock
+    /// deadline, and LP-iteration cap, shared with every node LP so the
+    /// pivot loop honours it mid-solve.
+    budget: Arc<Budget>,
     cancel: AtomicBool,
+    /// A node's subtree was abandoned (repeated panic or a crashed
+    /// worker), so a final `Optimal` must degrade to `NodeLimit`.
+    proof_incomplete: AtomicBool,
+    /// Weakest parent bound among abandoned nodes (`+∞` when none); folded
+    /// into `best_bound` so it stays a valid lower bound.
+    abandoned_bound: Mutex<f64>,
     status: Mutex<MipStatus>,
     error: Mutex<Option<LpError>>,
 }
@@ -126,7 +156,7 @@ impl Shared<'_> {
 
     /// Installs a better incumbent; returns whether it was accepted.
     fn offer_incumbent(&self, x: &[f64], obj: f64) -> bool {
-        let mut inc = self.incumbent.lock().unwrap();
+        let mut inc = lock(&self.incumbent);
         let better = inc
             .as_ref()
             .is_none_or(|(_, b)| obj < b - self.opts.abs_gap);
@@ -142,7 +172,7 @@ impl Shared<'_> {
     /// workers might still publish work. `None` means the search is over
     /// (exhausted or cancelled); the bool reports a steal.
     fn acquire(&self, id: usize) -> Option<(ParNode, bool)> {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = lock(&self.pool);
         loop {
             if pool.done {
                 return None;
@@ -156,7 +186,10 @@ impl Shared<'_> {
                 self.work_available.notify_all();
                 return None;
             }
-            pool = self.work_available.wait(pool).unwrap();
+            pool = self
+                .work_available
+                .wait(pool)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -164,8 +197,9 @@ impl Shared<'_> {
     /// `kept_local` says whether a preferred child stayed in the worker's
     /// dive buffer. Updates the outstanding count and wakes waiters.
     fn complete(&self, sibling: Option<ParNode>, kept_local: bool) {
-        let mut pool = self.pool.lock().unwrap();
-        let children = usize::from(sibling.is_some()) + usize::from(kept_local);
+        let mut pool = lock(&self.pool);
+        let published = sibling.is_some();
+        let children = usize::from(published) + usize::from(kept_local);
         if let Some(n) = sibling {
             let at = pool
                 .queue
@@ -177,16 +211,35 @@ impl Shared<'_> {
         if pool.outstanding == 0 {
             pool.done = true;
             self.work_available.notify_all();
-        } else if children == 2 {
-            // A sibling was published: one waiter can steal it.
+        } else if published {
+            // A node went to the pool (a branch sibling or a panic
+            // requeue): one waiter can take it.
             self.work_available.notify_one();
         }
+    }
+
+    /// Gives a node whose solve panicked back to the pool for one more try.
+    fn requeue(&self, mut node: ParNode) {
+        node.requeued = true;
+        node.owner = UNOWNED;
+        self.complete(Some(node), false);
+    }
+
+    /// Abandons a node's subtree (second panic): its bound still counts
+    /// toward `best_bound` and the final status degrades from `Optimal`.
+    fn abandon(&self, node: ParNode) {
+        self.proof_incomplete.store(true, Ordering::Release);
+        {
+            let mut b = lock(&self.abandoned_bound);
+            *b = b.min(node.parent_bound);
+        }
+        self.complete(None, false);
     }
 
     /// Cancellation exit: returns the in-flight node and the local dive
     /// buffer to the pool (keeping `best_bound` valid) and stops everyone.
     fn abort(&self, inflight: Option<ParNode>, local: &mut Vec<ParNode>) {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = lock(&self.pool);
         if let Some(n) = inflight {
             pool.queue.push_back(n);
         }
@@ -195,22 +248,37 @@ impl Shared<'_> {
         self.work_available.notify_all();
     }
 
-    /// Records a limit termination (first flag wins) and cancels.
+    /// Records a limit termination (first flag wins) and cancels, raising
+    /// the budget stop flag so peers mid-LP abandon their solves too.
     fn flag_limit(&self, s: MipStatus) {
-        let mut st = self.status.lock().unwrap();
+        let mut st = lock(&self.status);
         if *st == MipStatus::Optimal {
             *st = s;
         }
         self.cancel.store(true, Ordering::Release);
+        self.budget.request_stop();
     }
 
     /// Records a hard error (first error wins) and cancels.
     fn flag_error(&self, e: LpError) {
-        let mut err = self.error.lock().unwrap();
+        let mut err = lock(&self.error);
         if err.is_none() {
             *err = Some(e);
         }
         self.cancel.store(true, Ordering::Release);
+        self.budget.request_stop();
+    }
+
+    /// Last-resort cleanup when a worker dies outside a node solve: wake
+    /// every waiter so nobody blocks on work the dead worker owed, and
+    /// make the final status honest about the lost subtrees.
+    fn worker_crashed(&self) {
+        self.proof_incomplete.store(true, Ordering::Release);
+        self.cancel.store(true, Ordering::Release);
+        self.budget.request_stop();
+        let mut pool = lock(&self.pool);
+        pool.done = true;
+        self.work_available.notify_all();
     }
 }
 
@@ -237,7 +305,13 @@ pub(crate) fn solve_parallel(
         warm: None,
         parent_bound: f64::NEG_INFINITY,
         owner: UNOWNED,
+        requeued: false,
     };
+    let budget = Arc::new(Budget::new(
+        opts.time_limit_secs,
+        opts.max_nodes,
+        opts.max_lp_iterations,
+    ));
     let shared = Shared {
         core: &core,
         problem,
@@ -252,8 +326,10 @@ pub(crate) fn solve_parallel(
         work_available: Condvar::new(),
         incumbent_key,
         incumbent: Mutex::new(seeded),
-        nodes: AtomicUsize::new(0),
+        budget,
         cancel: AtomicBool::new(false),
+        proof_incomplete: AtomicBool::new(false),
+        abandoned_bound: Mutex::new(f64::INFINITY),
         status: Mutex::new(MipStatus::Optimal),
         error: Mutex::new(None),
     };
@@ -262,20 +338,37 @@ pub(crate) fn solve_parallel(
         let handles: Vec<_> = (0..workers)
             .map(|id| {
                 let shared = &shared;
-                scope.spawn(move || worker_loop(id, shared))
+                scope.spawn(move || {
+                    // Node solves already run under their own catch_unwind;
+                    // this outer net catches everything else so one broken
+                    // worker degrades the result instead of aborting the
+                    // process.
+                    catch_unwind(AssertUnwindSafe(|| worker_loop(id, shared))).unwrap_or_else(
+                        |_| {
+                            eprintln!("tempart-lp: worker {id} crashed; degrading result");
+                            shared.worker_crashed();
+                            WorkerStats::default()
+                        },
+                    )
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("branch-and-bound worker panicked"))
+            .map(|h| h.join().unwrap_or_default())
             .collect()
     });
 
-    if let Some(e) = shared.error.lock().unwrap().take() {
+    if let Some(e) = lock(&shared.error).take() {
         return Err(e);
     }
-    let status = *shared.status.lock().unwrap();
-    let incumbent = shared.incumbent.lock().unwrap().take();
+    let mut status = *lock(&shared.status);
+    if status == MipStatus::Optimal && shared.proof_incomplete.load(Ordering::Acquire) {
+        // A subtree was abandoned (repeated panic or a crashed worker):
+        // the incumbent stands but the optimality proof does not.
+        status = MipStatus::NodeLimit;
+    }
+    let incumbent = lock(&shared.incumbent).take();
 
     let mut stats = MipStats {
         seconds: start.elapsed().as_secs_f64(),
@@ -293,29 +386,33 @@ pub(crate) fn solve_parallel(
         stats.simplex.absorb(&w.simplex);
     }
 
-    let (x, objective, status) = match incumbent {
-        Some((x, obj)) => (x, obj, status),
-        None => (
-            Vec::new(),
-            f64::INFINITY,
-            if status == MipStatus::Optimal {
-                MipStatus::Infeasible
-            } else {
-                status
-            },
-        ),
+    let (x, objective, status) = if status == MipStatus::Unbounded {
+        // No incumbent can certify anything against an unbounded
+        // relaxation; report the truthful status with no solution.
+        (Vec::new(), f64::NEG_INFINITY, status)
+    } else {
+        match incumbent {
+            Some((x, obj)) => (x, obj, status),
+            None => (
+                Vec::new(),
+                f64::INFINITY,
+                if status == MipStatus::Optimal {
+                    MipStatus::Infeasible
+                } else {
+                    status
+                },
+            ),
+        }
     };
     let best_bound = match status {
         MipStatus::Optimal => objective,
         MipStatus::Infeasible => f64::INFINITY,
-        _ => shared
-            .pool
-            .lock()
-            .unwrap()
+        MipStatus::Unbounded => f64::NEG_INFINITY,
+        _ => lock(&shared.pool)
             .queue
             .iter()
             .map(|n| n.parent_bound)
-            .fold(f64::INFINITY, f64::min),
+            .fold(*lock(&shared.abandoned_bound), f64::min),
     };
     Ok(MipSolution {
         status,
@@ -353,13 +450,20 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         };
         // Limit checks, mirroring the serial loop (the global node count is
         // approximate by up to one node per worker).
-        if shared.nodes.load(Ordering::Relaxed) >= opts.max_nodes {
+        if shared.budget.nodes() >= opts.max_nodes {
             shared.flag_limit(MipStatus::NodeLimit);
             shared.abort(Some(node), &mut local);
             break;
         }
         let remaining = opts.time_limit_secs - shared.start.elapsed().as_secs_f64();
         if remaining <= 0.0 {
+            shared.flag_limit(MipStatus::TimeLimit);
+            shared.abort(Some(node), &mut local);
+            break;
+        }
+        if shared.budget.lp_exhausted() {
+            // The LP-iteration budget is a deterministic stand-in for a
+            // wall-clock limit; report it the same way.
             shared.flag_limit(MipStatus::TimeLimit);
             shared.abort(Some(node), &mut local);
             break;
@@ -374,29 +478,45 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         node.overlay.apply(shared.core, &mut lower, &mut upper);
         let mut lp_opts = opts.lp.clone();
         lp_opts.time_limit_secs = lp_opts.time_limit_secs.min(remaining);
-        let solved = match &node.warm {
-            Some(snapshot) => {
-                match solve_core_warm(shared.core, &lower, &upper, snapshot, &lp_opts) {
-                    Ok(o) => Ok(o),
-                    Err(WarmFail::NotDualFeasible)
-                    | Err(WarmFail::Error(LpError::SingularBasis)) => {
-                        solve_core_cold(shared.core, &lower, &upper, &lp_opts)
-                    }
-                    Err(WarmFail::Error(e)) => Err(e),
+        lp_opts.budget = Some(Arc::clone(&shared.budget));
+        // The solve (and the scripted panic site) runs under catch_unwind
+        // so a panicking node is contained: requeued once, then abandoned.
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &lp_opts.faults {
+                if plan.trip(FaultSite::WorkerPanic) {
+                    panic!("injected worker panic (fault plan)");
                 }
             }
-            None => solve_core_cold(shared.core, &lower, &upper, &lp_opts),
+            let warm = node.warm.as_deref();
+            solve_node_resilient(shared.core, &lower, &upper, warm, &lp_opts)
+        }));
+        let solved = match solved {
+            Ok(res) => res,
+            Err(_) => {
+                if node.requeued {
+                    eprintln!(
+                        "tempart-lp: worker {id}: node solve panicked again; \
+                         abandoning its subtree"
+                    );
+                    shared.abandon(node);
+                } else {
+                    eprintln!("tempart-lp: worker {id}: node solve panicked; requeueing once");
+                    shared.requeue(node);
+                }
+                continue;
+            }
         };
         let outcome = match solved {
-            Ok(o) => o,
+            Ok((o, _)) => o,
             Err(LpError::Timeout) => {
                 shared.flag_limit(MipStatus::TimeLimit);
                 shared.abort(Some(node), &mut local);
                 break;
             }
             Err(LpError::IterationLimit) | Err(LpError::SingularBasis) => {
-                // Stalled or numerically wedged node LP: abandon the proof,
-                // keep the incumbent (a limit, not an error — as serial).
+                // Stalled or numerically wedged node LP even after the
+                // retry ladder: abandon the proof, keep the incumbent (a
+                // limit, not an error — as serial).
                 shared.flag_limit(MipStatus::NodeLimit);
                 shared.abort(Some(node), &mut local);
                 break;
@@ -407,7 +527,8 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                 break;
             }
         };
-        shared.nodes.fetch_add(1, Ordering::Relaxed);
+        shared.budget.note_node();
+        shared.budget.add_lp_iterations(outcome.iterations);
         ws.nodes += 1;
         ws.lp_iterations += outcome.iterations;
         ws.simplex.absorb(&outcome.profile);
@@ -418,9 +539,9 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                 continue;
             }
             LpStatus::Unbounded => {
-                // A bounded 0-1 model cannot be unbounded unless it has
-                // unbounded continuous vars; a hard error, as serial.
-                shared.flag_error(LpError::IterationLimit);
+                // An unbounded relaxation proves the integer model
+                // unbounded: a truthful terminal status, not an error.
+                shared.flag_limit(MipStatus::Unbounded);
                 shared.abort(None, &mut local);
                 break;
             }
@@ -455,6 +576,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                         warm: Some(Arc::clone(&warm)),
                         parent_bound: outcome.objective,
                         owner: id,
+                        requeued: false,
                     }
                 };
                 let (preferred, sibling) = match dir {
@@ -472,6 +594,97 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::branch::BranchAndBound;
+    use crate::faults::FaultPlan;
+    use crate::problem::Sense;
+
+    /// 4-item knapsack: optimum -23 at x = [1, 1, 0, 0]; x = [0, 1, 0, 1]
+    /// (-21) is a feasible but suboptimal seed.
+    fn knapsack() -> Problem {
+        let mut p = Problem::new("knap");
+        let values = [10.0, 13.0, 7.0, 8.0];
+        let weights = [3.0, 4.0, 2.0, 3.0];
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| p.add_var(format!("x{i}"), VarKind::Binary, -v).unwrap())
+            .collect();
+        p.add_constraint(
+            "cap",
+            vars.iter()
+                .zip(weights)
+                .map(|(&v, w)| (v, w))
+                .collect::<Vec<_>>(),
+            Sense::Le,
+            7.0,
+        )
+        .unwrap();
+        p
+    }
+
+    fn opts(threads: usize, plan: &str) -> MipOptions {
+        let mut o = MipOptions {
+            threads,
+            ..MipOptions::default()
+        };
+        if !plan.is_empty() {
+            o.lp.faults = Some(Arc::new(FaultPlan::parse(plan).unwrap()));
+        }
+        o
+    }
+
+    #[test]
+    fn faults_skew_two_workers_return_seed_promptly() {
+        // One worker's deadline sample is skewed into expiry mid-LP; the
+        // whole 2-worker search must stop as a time limit with the seed.
+        let p = knapsack();
+        let mut o = opts(2, "skew@1");
+        o.initial_incumbent = Some(vec![0.0, 1.0, 0.0, 1.0]);
+        let out = BranchAndBound::new(&p).options(o).solve().unwrap();
+        assert_eq!(out.status, MipStatus::TimeLimit);
+        assert_eq!(out.x, vec![0.0, 1.0, 0.0, 1.0], "seed kept");
+        assert!(out.best_bound <= out.objective + 1e-9);
+    }
+
+    #[test]
+    fn faults_wall_clock_limit_two_workers_keep_seed() {
+        // An already-expired wall-clock budget: both workers must exit at
+        // their first limit check, reporting the seed, never an error.
+        let p = knapsack();
+        let mut o = opts(2, "");
+        o.time_limit_secs = 1e-9;
+        o.initial_incumbent = Some(vec![0.0, 1.0, 0.0, 1.0]);
+        let out = BranchAndBound::new(&p).options(o).solve().unwrap();
+        assert_eq!(out.status, MipStatus::TimeLimit);
+        assert_eq!(out.x, vec![0.0, 1.0, 0.0, 1.0], "seed kept");
+    }
+
+    #[test]
+    fn faults_panic_requeues_node_and_completes() {
+        // The first node solve panics; the node is requeued once and the
+        // search still proves the optimum.
+        let p = knapsack();
+        let out = BranchAndBound::new(&p)
+            .options(opts(2, "panic@1"))
+            .solve()
+            .unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faults_double_panic_abandons_root_subtree() {
+        // The root solve panics on both tries: its subtree is abandoned,
+        // the seed survives, and the proof honestly degrades (the root
+        // bound -inf makes the reported gap unbounded).
+        let p = knapsack();
+        let mut o = opts(2, "panic@1,panic@2");
+        o.initial_incumbent = Some(vec![0.0, 1.0, 0.0, 1.0]);
+        let out = BranchAndBound::new(&p).options(o).solve().unwrap();
+        assert_eq!(out.status, MipStatus::NodeLimit);
+        assert_eq!(out.x, vec![0.0, 1.0, 0.0, 1.0], "seed kept");
+        assert_eq!(out.best_bound, f64::NEG_INFINITY);
+    }
 
     #[test]
     fn bound_key_is_order_preserving() {

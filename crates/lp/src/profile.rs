@@ -31,6 +31,13 @@ pub struct SimplexProfile {
     pub devex_resets: usize,
     /// Basis refactorizations.
     pub refactors: usize,
+    /// Warm dual solves abandoned for a cold primal solve (degenerate dual
+    /// exceeded its cap, vanished-bound mismatch, or a numerical failure).
+    pub warm_fallbacks: usize,
+    /// Retry-ladder rungs climbed after a numerical failure (tighter
+    /// refactorization, Bland pricing, bound perturbation) before a node
+    /// LP succeeded.
+    pub retries: usize,
     /// Total wall-clock seconds inside LP solves (always measured).
     pub lp_secs: f64,
     /// Entering/leaving selection and reduced-cost maintenance.
@@ -59,6 +66,8 @@ impl SimplexProfile {
         self.bound_flips += other.bound_flips;
         self.devex_resets += other.devex_resets;
         self.refactors += other.refactors;
+        self.warm_fallbacks += other.warm_fallbacks;
+        self.retries += other.retries;
         self.lp_secs += other.lp_secs;
         self.pricing_secs += other.pricing_secs;
         self.ftran_secs += other.ftran_secs;
@@ -80,6 +89,12 @@ impl SimplexProfile {
             self.devex_resets,
             self.lp_secs * 1e3,
         );
+        if self.warm_fallbacks > 0 || self.retries > 0 {
+            s.push_str(&format!(
+                "\n  recovery: {} warm-to-cold fallbacks, {} retry-ladder rungs",
+                self.warm_fallbacks, self.retries,
+            ));
+        }
         let timed = self.pricing_secs
             + self.ftran_secs
             + self.btran_secs
@@ -129,6 +144,8 @@ mod tests {
             bound_flips: 3,
             devex_resets: 1,
             refactors: 2,
+            warm_fallbacks: 1,
+            retries: 2,
             lp_secs: 0.5,
             pricing_secs: 0.1,
             ftran_secs: 0.2,
@@ -141,6 +158,8 @@ mod tests {
         assert_eq!(a.solves, 2);
         assert_eq!(a.iterations(), 30);
         assert_eq!(a.bound_flips, 6);
+        assert_eq!(a.warm_fallbacks, 2);
+        assert_eq!(a.retries, 4);
         assert!((a.lp_secs - 1.0).abs() < 1e-12);
         assert!((a.ftran_secs - 0.4).abs() < 1e-12);
     }

@@ -154,11 +154,25 @@ impl<'a> Simplex<'a> {
         }
     }
 
-    /// Checks the wall-clock deadline (sampled every 32 iterations).
+    /// Checks the wall-clock deadline, the shared solve budget, and the
+    /// scripted clock-skew fault (all sampled every 32 iterations).
     fn hit_deadline(&self) -> bool {
+        if !self.iterations.is_multiple_of(32) {
+            return false;
+        }
+        if let Some(faults) = &self.opts.faults {
+            if faults.trip(crate::faults::FaultSite::ClockSkew) {
+                return true;
+            }
+        }
+        if let Some(budget) = &self.opts.budget {
+            if budget.should_stop(self.iterations) {
+                return true;
+            }
+        }
         match self.deadline {
-            Some(d) if self.iterations.is_multiple_of(32) => Instant::now() > d,
-            _ => false,
+            Some(d) => Instant::now() > d,
+            None => false,
         }
     }
 
@@ -303,6 +317,7 @@ impl<'a> Simplex<'a> {
 
     fn refactor(&mut self) -> Result<(), LpError> {
         let t = tick(self.timers);
+        inject_singular(self.opts)?;
         self.lu = LuFactors::factorize(&self.core.a, &self.basic, self.opts.pivot_tol)?;
         self.etas.clear();
         self.recompute_xb();
@@ -1171,7 +1186,7 @@ impl<'a> Simplex<'a> {
                     }
                 }
                 s.breakpoints
-                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+                    .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             }
             let mut chosen: Option<(f64, usize)> = None;
             {
@@ -1455,33 +1470,126 @@ fn deadline_from(opts: &LpOptions) -> Option<Instant> {
     }
 }
 
-/// Cold two-phase primal solve with a numerical retry ladder: a singular
-/// basis (eta-chain drift making a refactorization fail) is retried with
-/// more frequent refactorization and a tighter pivot tolerance before giving
-/// up. Each rung changes the pivot sequence, which in practice escapes the
-/// degenerate corner that produced the near-singular basis.
+/// Scripted [`FaultSite::SingularBasis`](crate::FaultSite) injection (inert
+/// without a fault plan).
+fn inject_singular(opts: &LpOptions) -> Result<(), LpError> {
+    if let Some(faults) = &opts.faults {
+        if faults.trip(crate::faults::FaultSite::SingularBasis) {
+            return Err(LpError::SingularBasis);
+        }
+    }
+    Ok(())
+}
+
+/// Scripted [`FaultSite::IterationCap`](crate::FaultSite) injection (inert
+/// without a fault plan).
+fn inject_itercap(opts: &LpOptions) -> Result<(), LpError> {
+    if let Some(faults) = &opts.faults {
+        if faults.trip(crate::faults::FaultSite::IterationCap) {
+            return Err(LpError::IterationLimit);
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic outward bound relaxation for the final retry rung. Every
+/// finite bound moves at most ~1.4e-9 *away* from the domain — far below
+/// the 1e-6 branch-and-bound integrality tolerance — so the feasible
+/// region only grows and the perturbed optimum remains a valid relaxation
+/// bound for pruning.
+fn perturbed_bounds(lower: &[f64], upper: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut lo = lower.to_vec();
+    let mut up = upper.to_vec();
+    for (j, v) in lo.iter_mut().enumerate() {
+        if v.is_finite() {
+            *v -= 1e-10 * (1.0 + (j % 13) as f64);
+        }
+    }
+    for (j, v) in up.iter_mut().enumerate() {
+        if v.is_finite() {
+            *v += 1e-10 * (1.0 + ((j + 5) % 13) as f64);
+        }
+    }
+    (lo, up)
+}
+
+/// Cold two-phase primal solve with a numerical retry ladder. A recoverable
+/// failure — a singular basis (eta-chain drift making a refactorization
+/// fail) or a stalled solve hitting the iteration limit — is retried: first
+/// with more frequent refactorization and a tighter pivot tolerance, then
+/// with cycling-proof Bland pricing, and finally with a tiny deterministic
+/// outward bound perturbation (see [`perturbed_bounds`]). Each rung changes
+/// the pivot sequence, which in practice escapes the degenerate corner that
+/// produced the failure. Rungs climbed before success are counted in
+/// [`SimplexProfile::retries`]; a clean first-rung solve is bit-identical
+/// to a ladder-free solve.
 pub(crate) fn solve_core_cold(
     core: &CoreLp,
     lower: &[f64],
     upper: &[f64],
     opts: &LpOptions,
 ) -> Result<CoreOutcome, LpError> {
-    let ladder: [(usize, f64); 3] = [
-        (opts.refactor_every, opts.pivot_tol),
-        (16, opts.pivot_tol),
-        (4, 1e-11),
+    let ladder: [(usize, f64, Option<Pricing>, bool); 5] = [
+        (opts.refactor_every, opts.pivot_tol, None, false),
+        (16, opts.pivot_tol, None, false),
+        (4, 1e-11, None, false),
+        (8, opts.pivot_tol, Some(Pricing::Bland), false),
+        (4, 1e-11, Some(Pricing::Bland), true),
     ];
     let mut last = LpError::SingularBasis;
-    for (refactor_every, pivot_tol) in ladder {
+    for (rung, (refactor_every, pivot_tol, pricing, perturb)) in ladder.into_iter().enumerate() {
         let mut o = opts.clone();
         o.refactor_every = refactor_every;
         o.pivot_tol = pivot_tol;
-        match solve_core_cold_once(core, lower, upper, &o) {
-            Err(LpError::SingularBasis) => last = LpError::SingularBasis,
+        if let Some(p) = pricing {
+            o.pricing = p;
+        }
+        let attempt = if perturb {
+            let (lo, up) = perturbed_bounds(lower, upper);
+            solve_core_cold_once(core, &lo, &up, &o)
+        } else {
+            solve_core_cold_once(core, lower, upper, &o)
+        };
+        match attempt {
+            Err(e @ (LpError::SingularBasis | LpError::IterationLimit)) => last = e,
+            Ok(mut out) => {
+                out.profile.retries += rung;
+                return Ok(out);
+            }
             other => return other,
         }
     }
     Err(last)
+}
+
+/// One branch-and-bound node relaxation with the full recovery ladder:
+/// a warm dual start when a snapshot is available, a cold fallback when
+/// the warm solve is abandoned (dual-infeasible start, degenerate dual
+/// exceeding its cap, or a recoverable numerical failure), and the cold
+/// retry ladder of [`solve_core_cold`] underneath. The returned flag
+/// reports whether the node fell back to a cold solve; fallbacks are
+/// counted in [`SimplexProfile::warm_fallbacks`].
+pub(crate) fn solve_node_resilient(
+    core: &CoreLp,
+    lower: &[f64],
+    upper: &[f64],
+    warm: Option<&BasisSnapshot>,
+    opts: &LpOptions,
+) -> Result<(CoreOutcome, bool), LpError> {
+    if let Some(snapshot) = warm {
+        match solve_core_warm(core, lower, upper, snapshot, opts) {
+            Ok(out) => return Ok((out, false)),
+            Err(WarmFail::NotDualFeasible)
+            | Err(WarmFail::Error(LpError::SingularBasis))
+            | Err(WarmFail::Error(LpError::IterationLimit)) => {
+                let mut out = solve_core_cold(core, lower, upper, opts)?;
+                out.profile.warm_fallbacks += 1;
+                return Ok((out, true));
+            }
+            Err(WarmFail::Error(e)) => return Err(e),
+        }
+    }
+    Ok((solve_core_cold(core, lower, upper, opts)?, false))
 }
 
 fn solve_core_cold_once(
@@ -1490,6 +1598,7 @@ fn solve_core_cold_once(
     upper: &[f64],
     opts: &LpOptions,
 ) -> Result<CoreOutcome, LpError> {
+    inject_itercap(opts)?;
     let t0 = Instant::now();
     let m = core.m;
     let n = core.n;
@@ -1564,6 +1673,7 @@ fn solve_core_cold_once(
             xb0.push(rem);
         }
     }
+    inject_singular(opts)?;
     let lu = LuFactors::factorize(&core.a, &basic, opts.pivot_tol)?;
     let mut scratch = Scratch::default();
     scratch.ensure(m, n);
@@ -1589,18 +1699,23 @@ fn solve_core_cold_once(
     // otherwise stall).
     let p1 = sx.primal(&phase1_cost, Some(0.0))?;
     debug_assert_ne!(p1, LpStatus::Unbounded, "phase 1 is bounded below by 0");
-    let infeas: f64 = (0..m)
-        .map(|r| {
-            let col = core.artificial_col(r);
-            let v = if sx.stat[col] == VStat::Basic {
-                let pos = sx.basic.iter().position(|&c| c == col).expect("basic");
-                sx.xb[pos]
-            } else {
-                sx.nonbasic_value(col)
-            };
-            v.abs()
-        })
+    // Sum |artificial| over basic positions directly (artificials occupy
+    // the trailing column range), then the nonbasic remainder — no
+    // per-column basis search, no panic on a corrupted basis.
+    let art0 = core.artificial_col(0);
+    let mut infeas: f64 = sx
+        .basic
+        .iter()
+        .zip(&sx.xb)
+        .filter(|&(&col, _)| col >= art0)
+        .map(|(_, &v)| v.abs())
         .sum();
+    for r in 0..m {
+        let col = core.artificial_col(r);
+        if sx.stat[col] != VStat::Basic {
+            infeas += sx.nonbasic_value(col).abs();
+        }
+    }
     let scale = 1.0 + core.b.iter().map(|v| v.abs()).sum::<f64>();
     if infeas > opts.feas_tol * scale {
         let mut profile = sx.profile;
@@ -1675,6 +1790,8 @@ pub(crate) fn solve_core_warm(
         };
     }
     let t0 = Instant::now();
+    inject_itercap(opts).map_err(WarmFail::Error)?;
+    inject_singular(opts).map_err(WarmFail::Error)?;
     let lu =
         LuFactors::factorize(&core.a, &snapshot.basic, opts.pivot_tol).map_err(WarmFail::Error)?;
     let mut scratch = Scratch::default();

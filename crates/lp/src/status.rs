@@ -33,14 +33,29 @@ pub enum MipStatus {
     /// Stopped at the node limit; the reported incumbent (if any) is feasible
     /// but not proven optimal.
     NodeLimit,
-    /// Stopped at the time limit; ditto.
+    /// Stopped at a time or work (LP-iteration) limit; ditto.
     TimeLimit,
+    /// A node relaxation was proven unbounded below, so the integer model
+    /// is unbounded (or mis-modelled with free continuous variables) — a
+    /// truthful terminal status, not an error.
+    Unbounded,
 }
 
 impl MipStatus {
     /// Whether a feasible solution may accompany this status.
     pub fn may_have_solution(self) -> bool {
-        !matches!(self, MipStatus::Infeasible)
+        !matches!(self, MipStatus::Infeasible | MipStatus::Unbounded)
+    }
+
+    /// Stable kebab-case name (CLI/JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MipStatus::Optimal => "optimal",
+            MipStatus::Infeasible => "infeasible",
+            MipStatus::NodeLimit => "node-limit",
+            MipStatus::TimeLimit => "time-limit",
+            MipStatus::Unbounded => "unbounded",
+        }
     }
 }
 
@@ -51,6 +66,7 @@ impl fmt::Display for MipStatus {
             MipStatus::Infeasible => "infeasible",
             MipStatus::NodeLimit => "node limit",
             MipStatus::TimeLimit => "time limit",
+            MipStatus::Unbounded => "unbounded",
         })
     }
 }
@@ -63,12 +79,30 @@ mod tests {
     fn display() {
         assert_eq!(LpStatus::Optimal.to_string(), "optimal");
         assert_eq!(MipStatus::TimeLimit.to_string(), "time limit");
+        assert_eq!(MipStatus::Unbounded.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn as_str_is_kebab_case() {
+        for s in [
+            MipStatus::Optimal,
+            MipStatus::Infeasible,
+            MipStatus::NodeLimit,
+            MipStatus::TimeLimit,
+            MipStatus::Unbounded,
+        ] {
+            assert!(!s.as_str().contains(' '), "{s:?}");
+        }
+        assert_eq!(MipStatus::TimeLimit.as_str(), "time-limit");
+        assert_eq!(MipStatus::Unbounded.as_str(), "unbounded");
     }
 
     #[test]
     fn may_have_solution() {
         assert!(MipStatus::Optimal.may_have_solution());
         assert!(MipStatus::NodeLimit.may_have_solution());
+        assert!(MipStatus::TimeLimit.may_have_solution());
         assert!(!MipStatus::Infeasible.may_have_solution());
+        assert!(!MipStatus::Unbounded.may_have_solution());
     }
 }

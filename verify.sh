@@ -30,6 +30,9 @@ cargo build --workspace --release --all-targets
 echo "== workspace: tests =="
 cargo test --workspace -q
 
+echo "== resilience: golden fault-injection outcomes =="
+cargo test -q -p tempart-lp faults
+
 echo "== smoke: tables harness (Table 2, 60 s rows) =="
 cargo run --release -p tempart-bench --bin tables -- table2 --limit 60
 
