@@ -1,0 +1,496 @@
+//! Exact certificate checking of MIP solver claims.
+//!
+//! Given a [`Problem`] and the solver's claimed incumbent/objective/bound/
+//! status, this module re-verifies the claim *independently of the float
+//! simplex*:
+//!
+//! 1. **Integrality / snapping.** Every variable value must lie within
+//!    `int_tol` of an integer (at an integral solution of the tempart model
+//!    all variables — binaries and the continuous products alike — take
+//!    integer values). Each is snapped to that exact integer `zⱼ`.
+//! 2. **Bounds.** `lⱼ ≤ zⱼ ≤ uⱼ` compared exactly (dyadic vs. integer);
+//!    binaries additionally `zⱼ ∈ {0, 1}`.
+//! 3. **Primal feasibility.** Every row's activity `Σ aᵢⱼ·zⱼ` is computed
+//!    in exact dyadic arithmetic ([`crate::exact::Dyadic`]) and compared
+//!    exactly against its right-hand side under the row's sense.
+//! 4. **Objective.** `Σ cⱼ·zⱼ` recomputed exactly; the claimed float
+//!    objective must agree within `report_tol` (the claim carries at most
+//!    accumulation roundoff; the exact value is authoritative).
+//! 5. **Bound/status consistency.** `Optimal` ⇒ `best_bound` closes the gap
+//!    (within `report_tol`, or within `1 − report_tol` when the objective is
+//!    integral — integral rounding, as in the `ceil` pruning rule); a limit
+//!    status ⇒ `best_bound ≤ objective + report_tol`.
+//!
+//! A certificate that passes steps 1–4 is a machine-checked proof of
+//! feasibility and objective value; step 5 checks that the *claim* of
+//! optimality is internally consistent with the reported bound (the bound's
+//! own validity is the search's dual side, outside a primal certificate —
+//! same division of labour as VIPR's `sol` section).
+
+use std::fmt;
+
+use tempart_lp::{MipStatus, Problem, Sense, VarKind};
+
+use crate::exact::Dyadic;
+
+/// A solver claim to verify.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Claimed incumbent, in the problem's variable order.
+    pub x: Vec<f64>,
+    /// Claimed objective value of `x`.
+    pub objective: f64,
+    /// Claimed proven lower bound.
+    pub best_bound: f64,
+    /// Claimed termination status.
+    pub status: MipStatus,
+    /// Whether the model's objective is integral at integer points (enables
+    /// the integral-rounding gap closure).
+    pub objective_is_integral: bool,
+}
+
+/// Tolerances for certificate checking.
+#[derive(Debug, Clone)]
+pub struct CertifyOptions {
+    /// Maximum distance from an integer for snapping (matches the solver's
+    /// `int_tol`).
+    pub int_tol: f64,
+    /// Agreement tolerance for *reported* float scalars (objective,
+    /// best_bound) against exact recomputation.
+    pub report_tol: f64,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        Self {
+            int_tol: 1e-6,
+            report_tol: 1e-6,
+        }
+    }
+}
+
+/// Why a certificate was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertifyError {
+    /// The claim carries no solution vector (infeasible/unbounded runs, or a
+    /// limit that fired before any incumbent).
+    NoSolution,
+    /// The solution vector's length does not match the problem.
+    WrongArity {
+        /// Expected variable count.
+        expected: usize,
+        /// Provided vector length.
+        got: usize,
+    },
+    /// A value is not within `int_tol` of any integer.
+    Fractional {
+        /// Variable name.
+        var: String,
+        /// Offending value.
+        value: f64,
+    },
+    /// A snapped value violates its variable bounds (or binaries ∉ {0,1}).
+    BoundViolated {
+        /// Variable name.
+        var: String,
+        /// Snapped integer value.
+        value: i64,
+    },
+    /// A constraint row is violated in exact arithmetic.
+    RowViolated {
+        /// Row name.
+        row: String,
+        /// Exact activity (diagnostic approximation).
+        activity: f64,
+        /// Right-hand side.
+        rhs: f64,
+    },
+    /// The claimed objective disagrees with the exact recomputation.
+    ObjectiveMismatch {
+        /// Claimed float objective.
+        claimed: f64,
+        /// Exact recomputed objective (diagnostic approximation).
+        exact: f64,
+    },
+    /// The claimed status and `best_bound` are mutually inconsistent.
+    BoundInconsistent {
+        /// Claimed status.
+        status: MipStatus,
+        /// Exact objective (diagnostic approximation).
+        objective: f64,
+        /// Claimed bound.
+        best_bound: f64,
+    },
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::NoSolution => write!(f, "no solution to certify"),
+            CertifyError::WrongArity { expected, got } => {
+                write!(f, "solution has {got} entries, problem has {expected} variables")
+            }
+            CertifyError::Fractional { var, value } => {
+                write!(f, "variable {var} = {value} is not integral")
+            }
+            CertifyError::BoundViolated { var, value } => {
+                write!(f, "variable {var} = {value} violates its bounds")
+            }
+            CertifyError::RowViolated { row, activity, rhs } => {
+                write!(f, "row {row} violated: activity {activity} vs rhs {rhs}")
+            }
+            CertifyError::ObjectiveMismatch { claimed, exact } => {
+                write!(f, "claimed objective {claimed} but exact recomputation gives {exact}")
+            }
+            CertifyError::BoundInconsistent {
+                status,
+                objective,
+                best_bound,
+            } => write!(
+                f,
+                "status {status} inconsistent with objective {objective} and best_bound {best_bound}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// What a passing certificate established.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifyReport {
+    /// Variables checked (integrality + bounds).
+    pub vars_checked: usize,
+    /// Constraint rows verified in exact arithmetic.
+    pub rows_checked: usize,
+    /// The exactly recomputed objective (integral whenever
+    /// `objective_is_integral`; exact by construction, converted for
+    /// reporting).
+    pub exact_objective: f64,
+    /// Whether the gap was closed by integral rounding rather than directly.
+    pub closed_by_rounding: bool,
+}
+
+/// Verifies `cert` against `problem`. See the module docs for the checks.
+///
+/// # Errors
+///
+/// The first failed check, as a [`CertifyError`].
+pub fn certify(
+    problem: &Problem,
+    cert: &Certificate,
+    opts: &CertifyOptions,
+) -> Result<CertifyReport, CertifyError> {
+    if cert.x.is_empty() {
+        return Err(CertifyError::NoSolution);
+    }
+    if cert.x.len() != problem.num_vars() {
+        return Err(CertifyError::WrongArity {
+            expected: problem.num_vars(),
+            got: cert.x.len(),
+        });
+    }
+
+    // 1. Snap every value to an exact integer.
+    let mut z = Vec::with_capacity(cert.x.len());
+    for v in problem.var_ids() {
+        let value = cert.x[v.index()];
+        let nearest = value.round();
+        if !value.is_finite() || (value - nearest).abs() > opts.int_tol || nearest.abs() >= 9.0e15 {
+            return Err(CertifyError::Fractional {
+                var: problem.var_name(v).to_string(),
+                value,
+            });
+        }
+        z.push(nearest as i64);
+    }
+
+    // 2. Exact bound checks.
+    for v in problem.var_ids() {
+        let zi = z[v.index()];
+        let bad = |_| CertifyError::BoundViolated {
+            var: problem.var_name(v).to_string(),
+            value: zi,
+        };
+        if problem.var_kind(v) == VarKind::Binary && !(zi == 0 || zi == 1) {
+            return Err(bad(()));
+        }
+        let (lo, hi) = problem.var_bounds(v);
+        let zd = Dyadic::from_i64(zi);
+        if let Some(lod) = Dyadic::from_f64(lo) {
+            if zd.cmp_value(&lod) == std::cmp::Ordering::Less {
+                return Err(bad(()));
+            }
+        } else if lo == f64::INFINITY {
+            return Err(bad(())); // empty domain
+        }
+        if let Some(hid) = Dyadic::from_f64(hi) {
+            if zd.cmp_value(&hid) == std::cmp::Ordering::Greater {
+                return Err(bad(()));
+            }
+        } else if hi == f64::NEG_INFINITY {
+            return Err(bad(()));
+        }
+    }
+
+    // 3. Exact primal feasibility, row by row.
+    let mut rows_checked = 0usize;
+    for row in problem.rows_for_export() {
+        let mut activity = Dyadic::zero();
+        for &(v, a) in row.coeffs {
+            // Model coefficients are finite by Problem's construction
+            // invariants; a non-finite one is a violated row.
+            let Some(ad) = Dyadic::from_f64(a) else {
+                return Err(CertifyError::RowViolated {
+                    row: row.name.to_string(),
+                    activity: f64::NAN,
+                    rhs: row.rhs,
+                });
+            };
+            activity = activity.add(&ad.mul_i64(z[v.index()]));
+        }
+        let Some(rhsd) = Dyadic::from_f64(row.rhs) else {
+            continue; // ±∞ rhs: vacuously satisfied for its sense
+        };
+        let ord = activity.cmp_value(&rhsd);
+        let ok = match row.sense {
+            Sense::Le => ord != std::cmp::Ordering::Greater,
+            Sense::Ge => ord != std::cmp::Ordering::Less,
+            Sense::Eq => ord == std::cmp::Ordering::Equal,
+        };
+        if !ok {
+            return Err(CertifyError::RowViolated {
+                row: row.name.to_string(),
+                activity: activity.to_f64_approx(),
+                rhs: row.rhs,
+            });
+        }
+        rows_checked += 1;
+    }
+
+    // 4. Exact objective recomputation vs. the claim.
+    let mut objective = Dyadic::zero();
+    for v in problem.var_ids() {
+        if let Some(cd) = Dyadic::from_f64(problem.objective_coefficient(v)) {
+            objective = objective.add(&cd.mul_i64(z[v.index()]));
+        }
+    }
+    let exact_objective = objective.to_f64_approx();
+    let close_enough = |claimed: f64, exact: &Dyadic| -> bool {
+        let Some(cd) = Dyadic::from_f64(claimed) else {
+            return false;
+        };
+        let Some(told) = Dyadic::from_f64(opts.report_tol) else {
+            return false;
+        };
+        exact.sub(&cd).abs().cmp_value(&told) != std::cmp::Ordering::Greater
+    };
+    if !close_enough(cert.objective, &objective) {
+        return Err(CertifyError::ObjectiveMismatch {
+            claimed: cert.objective,
+            exact: exact_objective,
+        });
+    }
+
+    // 5. Bound/status consistency.
+    let mut closed_by_rounding = false;
+    let inconsistent = || CertifyError::BoundInconsistent {
+        status: cert.status,
+        objective: exact_objective,
+        best_bound: cert.best_bound,
+    };
+    match cert.status {
+        MipStatus::Optimal => {
+            let Some(bd) = Dyadic::from_f64(cert.best_bound) else {
+                return Err(inconsistent());
+            };
+            // gap = objective − best_bound must be ≤ report_tol, or < 1 −
+            // report_tol under integral rounding (ceil(bound) reaches the
+            // objective).
+            let gap = objective.sub(&bd);
+            let tol = Dyadic::from_f64(opts.report_tol).unwrap_or_else(Dyadic::zero);
+            let direct = gap.cmp_value(&tol) != std::cmp::Ordering::Greater;
+            let by_rounding = cert.objective_is_integral
+                && objective.is_integer()
+                && gap.cmp_value(&Dyadic::from_i64(1).sub(&tol)) == std::cmp::Ordering::Less;
+            if !direct && !by_rounding {
+                return Err(inconsistent());
+            }
+            closed_by_rounding = !direct && by_rounding;
+        }
+        MipStatus::NodeLimit | MipStatus::TimeLimit => {
+            // The bound must still be a lower bound on the incumbent.
+            if let Some(bd) = Dyadic::from_f64(cert.best_bound) {
+                let tol = Dyadic::from_f64(opts.report_tol).unwrap_or_else(Dyadic::zero);
+                if bd.sub(&objective).cmp_value(&tol) == std::cmp::Ordering::Greater {
+                    return Err(inconsistent());
+                }
+            } else if cert.best_bound == f64::INFINITY {
+                // +∞ bound with an incumbent in hand is a contradiction.
+                return Err(inconsistent());
+            }
+        }
+        MipStatus::Infeasible | MipStatus::Unbounded => {
+            // These statuses must not carry a solution at all.
+            return Err(inconsistent());
+        }
+    }
+
+    Ok(CertifyReport {
+        vars_checked: z.len(),
+        rows_checked,
+        exact_objective,
+        closed_by_rounding,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempart_lp::{BranchAndBound, MipOptions, Problem, VarKind};
+
+    /// The faults-module knapsack: max 10a+13b+7c+8d s.t. 3a+4b+2c+3d ≤ 7
+    /// (minimize the negation; optimum −23 at a=b=1).
+    fn knapsack() -> Problem {
+        let mut p = Problem::new("knapsack");
+        let vals = [10.0, 13.0, 7.0, 8.0];
+        let wts = [3.0, 4.0, 2.0, 3.0];
+        let vars: Vec<_> = (0..4)
+            .map(|i| {
+                p.add_var(format!("x{i}"), VarKind::Binary, -vals[i])
+                    .unwrap()
+            })
+            .collect();
+        p.add_constraint(
+            "cap",
+            vars.iter().copied().zip(wts),
+            tempart_lp::Sense::Le,
+            7.0,
+        )
+        .unwrap();
+        p
+    }
+
+    fn solved_cert(p: &Problem) -> Certificate {
+        let out = BranchAndBound::new(p)
+            .options(MipOptions {
+                objective_is_integral: true,
+                ..MipOptions::default()
+            })
+            .solve()
+            .unwrap();
+        Certificate {
+            x: out.x.clone(),
+            objective: out.objective,
+            best_bound: out.best_bound,
+            status: out.status,
+            objective_is_integral: true,
+        }
+    }
+
+    #[test]
+    fn accepts_true_optimum() {
+        let p = knapsack();
+        let cert = solved_cert(&p);
+        let rep = certify(&p, &cert, &CertifyOptions::default()).unwrap();
+        assert_eq!(rep.vars_checked, 4);
+        assert_eq!(rep.rows_checked, 1);
+        assert_eq!(rep.exact_objective, -23.0);
+    }
+
+    #[test]
+    fn rejects_corrupted_incumbent() {
+        let p = knapsack();
+        let mut cert = solved_cert(&p);
+        // Flip c on as well: weight 3+4+2 = 9 > 7 violates the capacity row.
+        cert.x[2] = 1.0;
+        match certify(&p, &cert, &CertifyOptions::default()) {
+            Err(CertifyError::RowViolated { row, .. }) => assert_eq!(row, "cap"),
+            other => panic!("expected RowViolated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_fractional_value() {
+        let p = knapsack();
+        let mut cert = solved_cert(&p);
+        cert.x[0] = 0.5;
+        assert!(matches!(
+            certify(&p, &cert, &CertifyOptions::default()),
+            Err(CertifyError::Fractional { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_binary() {
+        let p = knapsack();
+        let mut cert = solved_cert(&p);
+        cert.x[3] = 2.0;
+        assert!(matches!(
+            certify(&p, &cert, &CertifyOptions::default()),
+            Err(CertifyError::BoundViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_objective_claim() {
+        let p = knapsack();
+        let mut cert = solved_cert(&p);
+        cert.objective = -24.0;
+        assert!(matches!(
+            certify(&p, &cert, &CertifyOptions::default()),
+            Err(CertifyError::ObjectiveMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_tampered_bound() {
+        let p = knapsack();
+        let mut cert = solved_cert(&p);
+        // Claim optimality with a bound that leaves a whole unit of gap.
+        cert.best_bound = cert.objective - 2.0;
+        assert!(matches!(
+            certify(&p, &cert, &CertifyOptions::default()),
+            Err(CertifyError::BoundInconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_solution_on_infeasible_status() {
+        let p = knapsack();
+        let mut cert = solved_cert(&p);
+        cert.status = MipStatus::Infeasible;
+        assert!(matches!(
+            certify(&p, &cert, &CertifyOptions::default()),
+            Err(CertifyError::BoundInconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn no_solution_is_its_own_error() {
+        let p = knapsack();
+        let cert = Certificate {
+            x: Vec::new(),
+            objective: f64::INFINITY,
+            best_bound: f64::INFINITY,
+            status: MipStatus::Infeasible,
+            objective_is_integral: true,
+        };
+        assert_eq!(
+            certify(&p, &cert, &CertifyOptions::default()),
+            Err(CertifyError::NoSolution)
+        );
+    }
+
+    #[test]
+    fn accepts_limit_status_with_consistent_bound() {
+        let p = knapsack();
+        let mut cert = solved_cert(&p);
+        cert.status = MipStatus::NodeLimit;
+        cert.best_bound = cert.objective - 3.0; // weaker, still a lower bound
+        certify(&p, &cert, &CertifyOptions::default()).unwrap();
+        // A bound *above* the incumbent is a contradiction.
+        cert.best_bound = cert.objective + 1.0;
+        assert!(certify(&p, &cert, &CertifyOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! Exact dyadic-rational arithmetic for certificate checking.
+//!
+//! Every finite `f64` is exactly `±mant × 2^exp` with `mant < 2^53`, so the
+//! certificate math — row activities `Σ aᵢⱼ·zⱼ` with integer `zⱼ`, objective
+//! recomputation, bound comparisons — closes over *dyadic rationals*
+//! (arbitrary-precision integer mantissa times a power of two). No general
+//! rational arithmetic and no division are needed: only conversion from
+//! `f64`/`i64`, addition, multiplication by a machine integer, and
+//! comparison. That keeps the checker small, dependency-free, and immune to
+//! the rounding it exists to audit (cf. VIPR's exact verification of LP/MIP
+//! results).
+
+use std::cmp::Ordering;
+
+/// An exact dyadic rational `(-1)^neg · mag · 2^exp`, with `mag` an
+/// arbitrary-precision natural number in little-endian `u32` limbs.
+///
+/// Canonical form: zero is `{neg: false, mag: [], exp: 0}`; otherwise the
+/// top limb is nonzero. `exp` is *not* normalized (trailing zero bits may
+/// stay in `mag`) — operations align exponents as needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dyadic {
+    neg: bool,
+    mag: Vec<u32>,
+    exp: i32,
+}
+
+impl Dyadic {
+    /// Exact zero.
+    pub fn zero() -> Self {
+        Dyadic {
+            neg: false,
+            mag: Vec::new(),
+            exp: 0,
+        }
+    }
+
+    /// Exact conversion of a finite `f64`. Returns `None` for NaN/±∞.
+    pub fn from_f64(x: f64) -> Option<Self> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Self::zero());
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mant, exp) = if biased == 0 {
+            (frac, -1074) // subnormal
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        let mut d = Dyadic {
+            neg,
+            mag: vec![mant as u32, (mant >> 32) as u32],
+            exp,
+        };
+        d.trim();
+        Some(d)
+    }
+
+    /// Exact conversion of a machine integer.
+    pub fn from_i64(x: i64) -> Self {
+        let neg = x < 0;
+        let m = x.unsigned_abs();
+        let mut d = Dyadic {
+            neg,
+            mag: vec![m as u32, (m >> 32) as u32],
+            exp: 0,
+        };
+        d.trim();
+        d
+    }
+
+    fn trim(&mut self) {
+        while self.mag.last() == Some(&0) {
+            self.mag.pop();
+        }
+        if self.mag.is_empty() {
+            self.neg = false;
+            self.exp = 0;
+        }
+    }
+
+    /// Is this exactly zero?
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Self {
+        let mut d = self.clone();
+        if !d.is_zero() {
+            d.neg = !d.neg;
+        }
+        d
+    }
+
+    /// `|self|`.
+    pub fn abs(&self) -> Self {
+        let mut d = self.clone();
+        d.neg = false;
+        d
+    }
+
+    /// Shift the magnitude left by `k` bits (multiply mantissa by `2^k`),
+    /// compensating in the exponent so the value is unchanged.
+    fn align_to(&self, new_exp: i32) -> Vec<u32> {
+        debug_assert!(new_exp <= self.exp);
+        let k = (self.exp - new_exp) as usize;
+        if self.mag.is_empty() || k == 0 {
+            return self.mag.clone();
+        }
+        let limb_shift = k / 32;
+        let bit_shift = (k % 32) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.mag);
+        } else {
+            let mut carry = 0u32;
+            for &w in &self.mag {
+                out.push((w << bit_shift) | carry);
+                carry = w >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        out
+    }
+
+    /// Exact sum.
+    pub fn add(&self, other: &Dyadic) -> Dyadic {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let exp = self.exp.min(other.exp);
+        let a = self.align_to(exp);
+        let b = other.align_to(exp);
+        let mut d = if self.neg == other.neg {
+            Dyadic {
+                neg: self.neg,
+                mag: mag_add(&a, &b),
+                exp,
+            }
+        } else {
+            match mag_cmp(&a, &b) {
+                Ordering::Equal => Dyadic::zero(),
+                Ordering::Greater => Dyadic {
+                    neg: self.neg,
+                    mag: mag_sub(&a, &b),
+                    exp,
+                },
+                Ordering::Less => Dyadic {
+                    neg: other.neg,
+                    mag: mag_sub(&b, &a),
+                    exp,
+                },
+            }
+        };
+        d.trim();
+        d
+    }
+
+    /// Exact difference `self − other`.
+    pub fn sub(&self, other: &Dyadic) -> Dyadic {
+        self.add(&other.neg())
+    }
+
+    /// Exact product with a machine integer.
+    pub fn mul_i64(&self, k: i64) -> Dyadic {
+        if k == 0 || self.is_zero() {
+            return Dyadic::zero();
+        }
+        let mut d = Dyadic {
+            neg: self.neg ^ (k < 0),
+            mag: mag_mul_u64(&self.mag, k.unsigned_abs()),
+            exp: self.exp,
+        };
+        d.trim();
+        d
+    }
+
+    /// Exact three-way comparison of values.
+    pub fn cmp_value(&self, other: &Dyadic) -> Ordering {
+        match (self.is_zero(), other.is_zero()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => {
+                return if other.neg {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, true) => {
+                return if self.neg {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            _ => {}
+        }
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (n, _) => {
+                let exp = self.exp.min(other.exp);
+                let m = mag_cmp(&self.align_to(exp), &other.align_to(exp));
+                if n {
+                    m.reverse()
+                } else {
+                    m
+                }
+            }
+        }
+    }
+
+    /// Is the value an integer (no fractional bits)?
+    pub fn is_integer(&self) -> bool {
+        if self.exp >= 0 || self.is_zero() {
+            return true;
+        }
+        let frac_bits = (-self.exp) as usize;
+        for bit in 0..frac_bits {
+            let limb = bit / 32;
+            let within = bit % 32;
+            let w = self.mag.get(limb).copied().unwrap_or(0);
+            if (w >> within) & 1 == 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Approximate value for diagnostics (never used in a check).
+    pub fn to_f64_approx(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &w in self.mag.iter().rev() {
+            v = v * 4294967296.0 + w as f64;
+        }
+        let v = v * (self.exp as f64).exp2();
+        if self.neg {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+fn mag_cmp(a: &[u32], b: &[u32]) -> Ordering {
+    let hi = a.len().max(b.len());
+    for i in (0..hi).rev() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        match x.cmp(&y) {
+            Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
+    let mut carry = 0u64;
+    for i in 0..a.len().max(b.len()) {
+        let s =
+            a.get(i).copied().unwrap_or(0) as u64 + b.get(i).copied().unwrap_or(0) as u64 + carry;
+        out.push(s as u32);
+        carry = s >> 32;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// `a − b`, requiring `a ≥ b`.
+fn mag_sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for (i, &ai) in a.iter().enumerate() {
+        let d = ai as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << 32)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "mag_sub requires a >= b");
+    out
+}
+
+fn mag_mul_u64(a: &[u32], k: u64) -> Vec<u32> {
+    // Split k into two 32-bit halves and use schoolbook accumulation so no
+    // intermediate product overflows u64.
+    let (klo, khi) = (k & 0xffff_ffff, k >> 32);
+    let mut out = vec![0u32; a.len() + 3];
+    let acc = |limbs: &mut Vec<u32>, offset: usize, factor: u64| {
+        if factor == 0 {
+            return;
+        }
+        let mut carry = 0u64;
+        for (i, &w) in a.iter().enumerate() {
+            let cur = limbs[i + offset] as u64 + w as u64 * factor + carry;
+            limbs[i + offset] = cur as u32;
+            carry = cur >> 32;
+        }
+        let mut i = a.len() + offset;
+        while carry != 0 {
+            let cur = limbs[i] as u64 + carry;
+            limbs[i] = cur as u32;
+            carry = cur >> 32;
+            i += 1;
+        }
+    };
+    acc(&mut out, 0, klo);
+    acc(&mut out, 1, khi);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: f64) -> Dyadic {
+        Dyadic::from_f64(x).unwrap()
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for &x in &[
+            0.0,
+            1.0,
+            -1.0,
+            0.5,
+            0.1,
+            1e-300,
+            -2.5e17,
+            f64::MIN_POSITIVE,
+            13.0,
+        ] {
+            assert_eq!(d(x).to_f64_approx(), x, "{x}");
+        }
+        assert!(Dyadic::from_f64(f64::INFINITY).is_none());
+        assert!(Dyadic::from_f64(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn addition_catches_float_roundoff() {
+        // 0.1 + 0.2 != 0.3 in f64; the dyadic sum reproduces the *float*
+        // arithmetic's inputs exactly, so comparing to 0.3 must differ.
+        let sum = d(0.1).add(&d(0.2));
+        assert_ne!(sum.cmp_value(&d(0.3)), Ordering::Equal);
+        // But it equals the exact sum of the two representable values.
+        assert_eq!(sum.cmp_value(&d(0.1).add(&d(0.2))), Ordering::Equal);
+    }
+
+    #[test]
+    fn signed_sums() {
+        assert!(d(1.5).add(&d(-1.5)).is_zero());
+        assert_eq!(d(2.0).sub(&d(0.5)).to_f64_approx(), 1.5);
+        assert_eq!(d(-2.0).sub(&d(0.5)).to_f64_approx(), -2.5);
+        assert_eq!(Dyadic::from_i64(i64::MIN).to_f64_approx(), i64::MIN as f64);
+    }
+
+    #[test]
+    fn mul_by_machine_int() {
+        assert_eq!(d(0.25).mul_i64(8).to_f64_approx(), 2.0);
+        assert_eq!(d(3.0).mul_i64(-7).to_f64_approx(), -21.0);
+        assert!(d(123.456).mul_i64(0).is_zero());
+        // Large enough to need the multi-limb path.
+        let big = Dyadic::from_i64(i64::MAX).mul_i64(i64::MAX);
+        let expect = (i64::MAX as f64) * (i64::MAX as f64);
+        let rel = (big.to_f64_approx() - expect).abs() / expect;
+        assert!(rel < 1e-15, "rel {rel}");
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(d(13.0).is_integer());
+        assert!(d(-4.0).is_integer());
+        assert!(d(0.0).is_integer());
+        assert!(!d(0.5).is_integer());
+        assert!(!d(13.000000001).is_integer());
+        assert!(Dyadic::from_i64(1 << 62).is_integer());
+    }
+
+    #[test]
+    fn ordering() {
+        assert_eq!(d(-1.0).cmp_value(&d(1.0)), Ordering::Less);
+        assert_eq!(d(1.0).cmp_value(&d(-1.0)), Ordering::Greater);
+        assert_eq!(d(-3.0).cmp_value(&d(-2.0)), Ordering::Less);
+        assert_eq!(d(1e-12).cmp_value(&Dyadic::zero()), Ordering::Greater);
+        assert_eq!(d(0.1).cmp_value(&d(0.1)), Ordering::Equal);
+    }
+}

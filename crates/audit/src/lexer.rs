@@ -1,0 +1,618 @@
+//! A dependency-free Rust lexer, sufficient for the audit lints.
+//!
+//! The crates registry is unreachable from the build environment (see
+//! `shims/README.md`), so `syn` is not an option; this hand-rolled lexer
+//! covers exactly what the lints in [`crate::lints`] need:
+//!
+//! * correct skipping of line comments, *nested* block comments, plain and
+//!   raw strings (`r#"…"#`), byte strings, and char literals (including the
+//!   `'a'`-vs-`'a` lifetime ambiguity), so nothing inside them is ever
+//!   mistaken for code;
+//! * float-literal detection (`0.0`, `1.`, `1e-7`, `2.5f64`) that does not
+//!   misread `0..1` ranges or `tuple.0` accesses;
+//! * maximal-munch multi-character operators so `==`/`!=` are single
+//!   tokens;
+//! * line numbers on every token, and the comment text preserved (the
+//!   suppression and `lock-order` grammars live in comments);
+//! * `#[cfg(test)]` / `#[test]` span detection by attribute + brace
+//!   matching, so test-only code is exempt from the lints.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, stored unprefixed).
+    Ident,
+    /// Lifetime such as `'a` (stored without the quote).
+    Lifetime,
+    /// Character literal.
+    CharLit,
+    /// String literal of any flavour (plain, raw, byte).
+    StrLit,
+    /// Integer literal.
+    IntLit,
+    /// Floating-point literal.
+    FloatLit,
+    /// Operator or punctuation (multi-character ops are one token).
+    Op,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (operators verbatim; literals without disambiguating
+    /// prefixes).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment (line or block), preserved for the suppression grammars.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment *starts* on.
+    pub line: u32,
+    /// Text without the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `src`. Unterminated constructs (strings, block comments) consume to
+/// end of input rather than erroring: the audit must degrade gracefully on
+/// code that `rustc` itself would reject.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.bytes().filter(|&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i + 2;
+            let end = src[start..].find('\n').map_or(b.len(), |p| start + p);
+            let text = src[start..end].trim_start_matches('/').trim().to_string();
+            out.comments.push(Comment { line, text });
+            i = end;
+            continue;
+        }
+        // Block comment, nested.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let inner_end = if depth == 0 { j - 2 } else { j };
+            out.comments.push(Comment {
+                line: start_line,
+                text: src[start..inner_end].trim_matches('*').trim().to_string(),
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings and raw identifiers: r"…", r#"…"#, br#"…"#, r#ident.
+        if c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r') {
+            let r_at = if c == b'r' { i } else { i + 1 };
+            let mut j = r_at + 1;
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'"' {
+                // Raw (byte) string: ends at `"` followed by `hashes` hashes.
+                let body_start = j + 1;
+                let closer: String = std::iter::once('"')
+                    .chain("#".repeat(hashes).chars())
+                    .collect();
+                let end = src[body_start..]
+                    .find(&closer)
+                    .map_or(b.len(), |p| body_start + p);
+                let text = &src[body_start..end];
+                out.tokens.push(Tok {
+                    kind: TokKind::StrLit,
+                    text: text.to_string(),
+                    line,
+                });
+                bump_lines!(text);
+                i = (end + closer.len()).min(b.len());
+                continue;
+            }
+            if hashes == 1 && c == b'r' && j < b.len() && is_ident_start(b[j]) {
+                // Raw identifier r#ident.
+                let start = j;
+                let mut k = j;
+                while k < b.len() && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..k].to_string(),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            // Plain identifier starting with r/br: fall through.
+        }
+        // Byte char / byte string.
+        if c == b'b' && i + 1 < b.len() && (b[i + 1] == b'\'' || b[i + 1] == b'"') {
+            i += 1;
+            // Fall through to the char/string cases below with `i` advanced.
+            let q = b[i];
+            let (tok, next, nl) = scan_quoted(src, i, q);
+            out.tokens.push(Tok {
+                kind: if q == b'\'' {
+                    TokKind::CharLit
+                } else {
+                    TokKind::StrLit
+                },
+                text: tok,
+                line,
+            });
+            line += nl;
+            i = next;
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            let (tok, next, nl) = scan_quoted(src, i, b'"');
+            out.tokens.push(Tok {
+                kind: TokKind::StrLit,
+                text: tok,
+                line,
+            });
+            line += nl;
+            i = next;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            // Lifetime: 'ident NOT followed by a closing quote.
+            if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                let mut k = i + 1;
+                while k < b.len() && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                if k >= b.len() || b[k] != b'\'' {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i + 1..k].to_string(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            let (tok, next, nl) = scan_quoted(src, i, b'\'');
+            out.tokens.push(Tok {
+                kind: TokKind::CharLit,
+                text: tok,
+                line,
+            });
+            line += nl;
+            i = next;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let (text, kind, next) = scan_number(src, i);
+            out.tokens.push(Tok { kind, text, line });
+            i = next;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut k = i;
+            while k < b.len() && is_ident_continue(b[k]) {
+                k += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: src[i..k].to_string(),
+                line,
+            });
+            i = k;
+            continue;
+        }
+        // Multi-char operators, maximal munch.
+        let mut matched = false;
+        for op in MULTI_OPS {
+            if src[i..].starts_with(op) {
+                out.tokens.push(Tok {
+                    kind: TokKind::Op,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += op.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Tok {
+            kind: TokKind::Op,
+            text: (c as char).to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Scans a quoted literal starting at the opening quote `q` at byte `i`.
+/// Returns (body, index past the closing quote, newlines consumed).
+fn scan_quoted(src: &str, i: usize, q: u8) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            c if c == q => {
+                return (src[i + 1..j].to_string(), j + 1, nl);
+            }
+            _ => j += 1,
+        }
+    }
+    (src[i + 1..].to_string(), b.len(), nl)
+}
+
+/// Scans a numeric literal at byte `i`. Understands `0x`/`0o`/`0b` prefixes
+/// (always integers), `_` separators, fractions, exponents, and type
+/// suffixes; `1..2` stays two integers and `x.0` stays a tuple access.
+fn scan_number(src: &str, i: usize) -> (String, TokKind, usize) {
+    let b = src.as_bytes();
+    let mut j = i;
+    if src[i..].starts_with("0x") || src[i..].starts_with("0o") || src[i..].starts_with("0b") {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (src[i..j].to_string(), TokKind::IntLit, j);
+    }
+    let mut float = false;
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fraction — but not `..` (range) and not `.ident` (method/tuple field).
+    if j < b.len() && b[j] == b'.' {
+        let after = b.get(j + 1).copied();
+        let is_range = after == Some(b'.');
+        let is_field = after.is_some_and(is_ident_start);
+        if !is_range && !is_field {
+            float = true;
+            j += 1;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            float = true;
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (f64 forces float; u32 etc. keep integer).
+    if j < b.len() && is_ident_start(b[j]) {
+        let start = j;
+        while j < b.len() && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        if matches!(&src[start..j], "f32" | "f64") {
+            float = true;
+        }
+    }
+    (
+        src[i..j].to_string(),
+        if float {
+            TokKind::FloatLit
+        } else {
+            TokKind::IntLit
+        },
+        j,
+    )
+}
+
+/// Marks every source line that belongs to a `#[cfg(test)]` or `#[test]`
+/// item span (attribute through the item's closing brace, or its `;` for
+/// brace-less items). Returns a predicate set: `true` at index `L` means
+/// 1-based line `L` is test-only.
+pub fn test_lines(lexed: &Lexed, num_lines: u32) -> Vec<bool> {
+    let t = &lexed.tokens;
+    let mut mask = vec![false; num_lines as usize + 2];
+    let mut idx = 0usize;
+    while idx < t.len() {
+        if !(t[idx].kind == TokKind::Op && t[idx].text == "#") {
+            idx += 1;
+            continue;
+        }
+        // `#[ … ]` — find the attribute's bracket span.
+        let Some(open) = t.get(idx + 1).filter(|x| x.text == "[") else {
+            idx += 1;
+            continue;
+        };
+        let _ = open;
+        let mut depth = 0i32;
+        let mut close = None;
+        for (k, tok) in t.iter().enumerate().skip(idx + 1) {
+            match (tok.kind, tok.text.as_str()) {
+                (TokKind::Op, "[") => depth += 1,
+                (TokKind::Op, "]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { break };
+        if !attr_is_test(&t[idx + 2..close]) {
+            idx = close + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = close + 1;
+        while k + 1 < t.len() && t[k].text == "#" && t[k + 1].text == "[" {
+            let mut d = 0i32;
+            let mut m = k + 1;
+            while m < t.len() {
+                match t[m].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        // The item body: first `{` before any top-level `;`, then its match.
+        let mut end_tok = None;
+        let mut m = k;
+        let mut brace = 0i32;
+        while m < t.len() {
+            match t[m].text.as_str() {
+                "{" => {
+                    brace += 1;
+                }
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end_tok = Some(m);
+                        break;
+                    }
+                }
+                ";" if brace == 0 => {
+                    // Brace-less item (`#[cfg(test)] use …;`).
+                    end_tok = Some(m);
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        let end_line = end_tok.map_or(num_lines, |m| t[m].line);
+        for l in t[idx].line..=end_line.min(num_lines) {
+            mask[l as usize] = true;
+        }
+        idx = end_tok.map_or(t.len(), |m| m + 1);
+    }
+    mask
+}
+
+/// Whether attribute tokens (the `…` of `#[…]`) denote test-only code:
+/// `test`, or `cfg(…)`/`cfg_attr(…)` mentioning `test`.
+fn attr_is_test(tokens: &[Tok]) -> bool {
+    match tokens.first() {
+        Some(first) if first.kind == TokKind::Ident => match first.text.as_str() {
+            "test" => tokens.len() == 1,
+            "cfg" | "cfg_attr" => tokens
+                .iter()
+                .skip(1)
+                .any(|t| t.kind == TokKind::Ident && t.text == "test"),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let l = lex(r###"let s = r#"x == 0.0 // not code"#; y"###);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::StrLit && t.text.contains("not code")));
+        // Nothing inside the raw string leaked out as tokens.
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::FloatLit || t.text == "=="));
+        assert_eq!(l.comments.len(), 0);
+        assert_eq!(l.tokens.last().map(|t| t.text.as_str()), Some("y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b == 0.0");
+        let idents: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("still comment"));
+        // Code after the comment still lexes.
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::FloatLit));
+    }
+
+    #[test]
+    fn float_vs_range_vs_field() {
+        let toks = kinds("0.0 1. 1e-7 2.5f64 0..1 x.0 3usize 0xff");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::FloatLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(floats, ["0.0", "1.", "1e-7", "2.5f64"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::IntLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ints, ["0", "1", "0", "3usize", "0xff"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\''; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::CharLit, "x".into())));
+        assert!(toks.contains(&(TokKind::CharLit, "\\'".into())));
+    }
+
+    #[test]
+    fn multi_char_ops_are_single_tokens() {
+        let toks = kinds("a == b != c <= d :: e .. f ..= g");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Op)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "<=", "::", "..", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_and_comments() {
+        let l = lex("a\n// audit: allow(x) — y\nb\n/* c */ d");
+        assert_eq!(l.tokens[0].line, 1);
+        assert_eq!(l.tokens[1].line, 3);
+        assert_eq!(l.tokens[2].line, 4);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.starts_with("audit: allow(x)"));
+        assert_eq!(l.comments[1].line, 4);
+    }
+
+    #[test]
+    fn cfg_test_span_detection() {
+        let src = "\
+fn live() { x.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { y.unwrap(); }
+}
+
+fn also_live() {}
+";
+        let l = lex(src);
+        let mask = test_lines(&l, src.lines().count() as u32);
+        assert!(!mask[1], "live code is not a test line");
+        assert!(mask[3] && mask[4] && mask[5] && mask[6], "module span");
+        assert!(!mask[8], "code after the test module is live again");
+    }
+
+    #[test]
+    fn test_attribute_on_fn() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn live() {}\n";
+        let l = lex(src);
+        let mask = test_lines(&l, 3);
+        assert!(mask[1] && mask[2]);
+        assert!(!mask[3]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let src = "#[cfg(feature = \"x\")]\nfn f() { a.unwrap(); }\n";
+        let l = lex(src);
+        let mask = test_lines(&l, 2);
+        assert!(!mask[1] && !mask[2]);
+    }
+}

@@ -1,0 +1,131 @@
+//! # tempart-audit
+//!
+//! Static-analysis lints and exact certificate checking for the `tempart`
+//! solver stack — the correctness tooling behind `cargo run -p
+//! tempart-audit -- lint|certify` and the CI `audit` gate.
+//!
+//! ## Lint engine
+//!
+//! A dependency-free hand-rolled Rust lexer ([`lexer`]) feeds four
+//! solver-specific lints ([`lints`]):
+//!
+//! | lint | scope | invariant |
+//! |------|-------|-----------|
+//! | `no-panic` | `crates/lp/src`, `crates/core/src` | no `unwrap`/`expect`/`panic!`/`todo!` in non-test code |
+//! | `float-eq` | `crates/lp/src`, `crates/core/src` | no exact float `==`/`!=` outside `crates/lp/src/tol.rs` |
+//! | `nondet` | `crates/lp/src` except `faults.rs`, `profile.rs` | no `Instant::now`/`SystemTime`/`HashMap` in solver decision paths |
+//! | `lock-order` | `crates/lp/src/parallel.rs` | `lock(…)` acquisitions follow the `// lock-order: N` declarations |
+//!
+//! Sites with a justified `// audit: allow(<lint>) — reason` comment are
+//! reported as suppressed and do not fail `--deny`; reasonless or unknown
+//! suppressions are themselves findings.
+//!
+//! ## Certificate engine
+//!
+//! [`certify`](certify::certify) re-verifies a solver claim (incumbent,
+//! objective, bound, status) against the model in exact dyadic-rational
+//! arithmetic ([`exact::Dyadic`]) — primal feasibility, objective
+//! recomputation, and bound/status consistency — independently of the float
+//! simplex that produced it.
+
+pub mod certify;
+pub mod exact;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use std::path::{Path, PathBuf};
+
+use lints::{FileLints, Finding};
+
+/// Decides which lints apply to a repo-relative path (forward-slash
+/// normalized). Pure so fixtures can exercise the scoping rules.
+pub fn lints_for_path(path: &str) -> FileLints {
+    let in_lp = path.starts_with("crates/lp/src/");
+    let in_core = path.starts_with("crates/core/src/");
+    let nondet_exempt = matches!(path, "crates/lp/src/faults.rs" | "crates/lp/src/profile.rs");
+    FileLints {
+        no_panic: in_lp || in_core,
+        float_eq: (in_lp || in_core) && path != "crates/lp/src/tol.rs",
+        nondet: in_lp && !nondet_exempt,
+        lock_order: path == "crates/lp/src/parallel.rs",
+    }
+}
+
+/// Walks `root` for workspace sources in lint scope (`crates/*/src/**/*.rs`)
+/// and lints each. Returns findings sorted by path then line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking or file reads.
+pub fn run_lints(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in read_dir_sorted(&crates_dir)? {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let which = lints_for_path(&rel);
+        if !(which.no_panic || which.float_eq || which.nondet || which.lock_order) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lints::lint_file(&rel, &src, &which));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    Ok(findings)
+}
+
+fn read_dir_sorted(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_rules() {
+        let lp = lints_for_path("crates/lp/src/simplex.rs");
+        assert!(lp.no_panic && lp.float_eq && lp.nondet && !lp.lock_order);
+
+        let tol = lints_for_path("crates/lp/src/tol.rs");
+        assert!(tol.no_panic && !tol.float_eq, "tol.rs is the L2 allowlist");
+
+        let faults = lints_for_path("crates/lp/src/faults.rs");
+        assert!(faults.no_panic && !faults.nondet, "faults.rs is L3-exempt");
+
+        let par = lints_for_path("crates/lp/src/parallel.rs");
+        assert!(par.lock_order);
+
+        let core = lints_for_path("crates/core/src/model.rs");
+        assert!(core.no_panic && core.float_eq && !core.nondet);
+
+        let cli = lints_for_path("crates/cli/src/json.rs");
+        assert!(!(cli.no_panic || cli.float_eq || cli.nondet || cli.lock_order));
+    }
+}

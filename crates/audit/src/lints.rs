@@ -1,0 +1,706 @@
+//! The four solver-invariant lints and the suppression grammar.
+//!
+//! Every lint operates on the token stream of one file (see
+//! [`crate::lexer`]); scoping (which files each lint applies to) lives in
+//! [`crate::run_lints`] so the rules themselves stay path-agnostic and
+//! testable on fixture sources.
+//!
+//! ## Suppression grammar
+//!
+//! ```text
+//! // audit: allow(<lint>) — <non-empty reason>
+//! ```
+//!
+//! accepted separators for the reason are `—`, `–`, `-`, or `--`. A
+//! suppression on a code line applies to that line; a suppression on a
+//! comment-only line applies to the next line that contains code (so a
+//! multi-line justification comment still covers the site under it). A
+//! suppression without a reason is itself a deny-mode finding
+//! (`bad-suppression`), as is one naming an unknown lint.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// Machine name of a lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// L1: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in
+    /// non-test solver code.
+    NoPanic,
+    /// L2: no exact float `==`/`!=` outside the named tolerance helpers.
+    FloatEq,
+    /// L3: no nondeterminism sources in solver decision paths.
+    Nondet,
+    /// L4: lock acquisitions must follow the declared `// lock-order: N`.
+    LockOrder,
+    /// Malformed or reasonless suppression comments.
+    BadSuppression,
+}
+
+impl Lint {
+    /// Stable kebab-case name (CLI, JSON, suppression comments).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lint::NoPanic => "no-panic",
+            Lint::FloatEq => "float-eq",
+            Lint::Nondet => "nondet",
+            Lint::LockOrder => "lock-order",
+            Lint::BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// Parses a suppression-comment lint name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "no-panic" => Some(Lint::NoPanic),
+            "float-eq" => Some(Lint::FloatEq),
+            "nondet" => Some(Lint::Nondet),
+            "lock-order" => Some(Lint::LockOrder),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the site.
+    pub message: String,
+    /// Whether a valid suppression covers this finding (suppressed findings
+    /// are reported but do not fail `--deny`).
+    pub suppressed: bool,
+}
+
+/// A parsed `audit: allow(...)` comment.
+#[derive(Debug, Clone)]
+struct Suppression {
+    lint: Option<Lint>,
+    /// The line(s) this suppression covers.
+    covers: Vec<u32>,
+    has_reason: bool,
+    line: u32,
+    raw_name: String,
+}
+
+/// Parses every suppression comment, resolving comment-only-line
+/// suppressions to the next code line.
+fn parse_suppressions(lexed: &Lexed) -> Vec<Suppression> {
+    let mut code_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    code_lines.dedup();
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(s) = parse_allow(c) else { continue };
+        let mut covers = vec![c.line];
+        if code_lines.binary_search(&c.line).is_err() {
+            // Comment-only line: cover the next line containing code.
+            if let Some(&next) = code_lines.iter().find(|&&l| l > c.line) {
+                covers.push(next);
+            }
+        }
+        out.push(Suppression {
+            lint: s.0,
+            covers,
+            has_reason: s.2,
+            line: c.line,
+            raw_name: s.1,
+        });
+    }
+    out
+}
+
+/// Parses one comment as a suppression: `(lint, raw name, has_reason)`.
+/// Returns `None` for comments that are not suppressions at all.
+fn parse_allow(c: &Comment) -> Option<(Option<Lint>, String, bool)> {
+    let t = c.text.trim();
+    let rest = t.strip_prefix("audit:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let name = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let reason = ["—", "–", "--", "-"]
+        .iter()
+        .find_map(|sep| tail.strip_prefix(sep))
+        .map(str::trim)
+        .unwrap_or("");
+    Some((Lint::parse(&name), name, !reason.is_empty()))
+}
+
+/// Lock-order declarations: `// lock-order: N` on the line above a field.
+/// Maps field name → declared order.
+fn parse_lock_orders(lexed: &Lexed) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    for c in &lexed.comments {
+        let Some(rest) = c.text.trim().strip_prefix("lock-order:") else {
+            continue;
+        };
+        let Ok(order) = rest.trim().parse::<u32>() else {
+            continue;
+        };
+        // The field is the first identifier on the next code line.
+        if let Some(name) = lexed
+            .tokens
+            .iter()
+            .find(|t| t.line > c.line && t.kind == TokKind::Ident)
+        {
+            out.insert(name.text.clone(), order);
+        }
+    }
+    out
+}
+
+/// Options controlling one file's lint pass.
+#[derive(Debug, Clone, Default)]
+pub struct FileLints {
+    /// Run L1 `no-panic`.
+    pub no_panic: bool,
+    /// Run L2 `float-eq`.
+    pub float_eq: bool,
+    /// Run L3 `nondet`.
+    pub nondet: bool,
+    /// Run L4 `lock-order`.
+    pub lock_order: bool,
+}
+
+/// Lints one file's source under the given rule set. `path` is only used to
+/// label findings.
+pub fn lint_file(path: &str, src: &str, which: &FileLints) -> Vec<Finding> {
+    let lexed = crate::lexer::lex(src);
+    let num_lines = src.lines().count() as u32;
+    let test_mask = crate::lexer::test_lines(&lexed, num_lines);
+    let suppressions = parse_suppressions(&lexed);
+    let mut findings = Vec::new();
+
+    let push = |lint: Lint, line: u32, message: String, findings: &mut Vec<Finding>| {
+        if test_mask.get(line as usize).copied().unwrap_or(false) {
+            return;
+        }
+        let suppressed = suppressions
+            .iter()
+            .any(|s| s.lint == Some(lint) && s.has_reason && s.covers.contains(&line));
+        findings.push(Finding {
+            lint,
+            path: path.to_string(),
+            line,
+            message,
+            suppressed,
+        });
+    };
+
+    let t = &lexed.tokens;
+    if which.no_panic {
+        for (i, tok) in t.iter().enumerate() {
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| t[p].text.as_str());
+            let next = t.get(i + 1).map(|n| n.text.as_str());
+            match tok.text.as_str() {
+                "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                    push(
+                        Lint::NoPanic,
+                        tok.line,
+                        format!(".{}() can panic in solver code", tok.text),
+                        &mut findings,
+                    );
+                }
+                "panic" | "todo" | "unimplemented" if next == Some("!") => {
+                    push(
+                        Lint::NoPanic,
+                        tok.line,
+                        format!("{}! in solver code", tok.text),
+                        &mut findings,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if which.float_eq {
+        for (i, tok) in t.iter().enumerate() {
+            if tok.kind != TokKind::Op || (tok.text != "==" && tok.text != "!=") {
+                continue;
+            }
+            if float_operand_before(t, i) || float_operand_after(t, i) {
+                push(
+                    Lint::FloatEq,
+                    tok.line,
+                    format!(
+                        "exact float `{}` comparison; use a named helper in tol.rs",
+                        tok.text
+                    ),
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    if which.nondet {
+        for (i, tok) in t.iter().enumerate() {
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            match tok.text.as_str() {
+                "Instant"
+                    if t.get(i + 1).map(|n| n.text.as_str()) == Some("::")
+                        && t.get(i + 2).map(|n| n.text.as_str()) == Some("now") =>
+                {
+                    push(
+                        Lint::Nondet,
+                        tok.line,
+                        "Instant::now() in a solver decision path".to_string(),
+                        &mut findings,
+                    );
+                }
+                "SystemTime" => {
+                    push(
+                        Lint::Nondet,
+                        tok.line,
+                        "SystemTime in a solver decision path".to_string(),
+                        &mut findings,
+                    );
+                }
+                "HashMap" | "HashSet" => {
+                    push(
+                        Lint::Nondet,
+                        tok.line,
+                        format!(
+                            "{} has unordered iteration; use the BTree variant in solver paths",
+                            tok.text
+                        ),
+                        &mut findings,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if which.lock_order {
+        let orders = parse_lock_orders(&lexed);
+        lint_lock_order(t, &orders, &mut |line, msg| {
+            push(Lint::LockOrder, line, msg, &mut findings)
+        });
+    }
+
+    // Malformed suppressions are findings themselves (never suppressible).
+    for s in &suppressions {
+        if s.lint.is_none() {
+            findings.push(Finding {
+                lint: Lint::BadSuppression,
+                path: path.to_string(),
+                line: s.line,
+                message: format!("suppression names unknown lint `{}`", s.raw_name),
+                suppressed: false,
+            });
+        } else if !s.has_reason {
+            findings.push(Finding {
+                lint: Lint::BadSuppression,
+                path: path.to_string(),
+                line: s.line,
+                message: "suppression without a reason (use `— <why>`)".to_string(),
+                suppressed: false,
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.lint));
+    findings
+}
+
+/// Is the operand just before `t[i]` a float literal or a named float
+/// constant path (`f64::INFINITY` &c.)?
+fn float_operand_before(t: &[Tok], i: usize) -> bool {
+    let Some(p) = i.checked_sub(1) else {
+        return false;
+    };
+    if t[p].kind == TokKind::FloatLit {
+        return true;
+    }
+    // … f64 :: CONST ==
+    if p >= 2
+        && t[p].kind == TokKind::Ident
+        && is_float_const(&t[p].text)
+        && t[p - 1].text == "::"
+        && matches!(t[p - 2].text.as_str(), "f32" | "f64")
+    {
+        return true;
+    }
+    false
+}
+
+/// Is the operand just after `t[i]` a float literal (possibly negated) or a
+/// named float constant path?
+fn float_operand_after(t: &[Tok], i: usize) -> bool {
+    let mut j = i + 1;
+    if t.get(j).map(|x| x.text.as_str()) == Some("-") {
+        j += 1;
+    }
+    match t.get(j) {
+        Some(x) if x.kind == TokKind::FloatLit => true,
+        Some(x) if matches!(x.text.as_str(), "f32" | "f64") => {
+            t.get(j + 1).map(|n| n.text.as_str()) == Some("::")
+                && t.get(j + 2).is_some_and(|n| is_float_const(&n.text))
+        }
+        _ => false,
+    }
+}
+
+fn is_float_const(s: &str) -> bool {
+    matches!(s, "INFINITY" | "NEG_INFINITY" | "NAN" | "EPSILON")
+}
+
+/// How long an acquired guard is lexically held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GuardLife {
+    /// `let g = lock(…);` — held to the end of the enclosing block.
+    LetBound,
+    /// `*lock(…)`, `lock(…).take()`, … — dropped at the end of the
+    /// statement.
+    Temp,
+    /// `if let … = lock(…)…` — held through the `if`'s body, dropped at the
+    /// brace that closes it.
+    Scrutinee,
+}
+
+/// One held lock for the L4 tracker.
+struct Held {
+    order: u32,
+    name: String,
+    depth: i32,
+    life: GuardLife,
+}
+
+/// Lexical lock-order tracking: inside one function body, every `lock(…)`
+/// acquisition must name a field with a strictly greater declared order than
+/// every lock still held. Guard lifetimes are approximated lexically (see
+/// [`GuardLife`]); `else` arms of `if let` scrutinees and guards bound
+/// through conditionals are out of reach of a lexical check, as is
+/// cross-function nesting (a helper that locks, called while holding) —
+/// the latter is instead covered by the convention that helpers release
+/// before calling other locking helpers.
+fn lint_lock_order(t: &[Tok], orders: &BTreeMap<String, u32>, emit: &mut dyn FnMut(u32, String)) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut let_pending = false;
+    let mut cond_pending = false;
+    let mut scrutinee_pending = false;
+    let mut i = 0usize;
+    while i < t.len() {
+        let tok = &t[i];
+        match (tok.kind, tok.text.as_str()) {
+            (TokKind::Op, "{") => {
+                depth += 1;
+                scrutinee_pending = false;
+                let_pending = false;
+            }
+            (TokKind::Op, "}") => {
+                depth -= 1;
+                held.retain(|h| {
+                    h.depth <= depth && !(h.life == GuardLife::Scrutinee && h.depth == depth)
+                });
+            }
+            (TokKind::Op, ";") => {
+                held.retain(|h| h.life != GuardLife::Temp || h.depth < depth);
+                let_pending = false;
+            }
+            (TokKind::Ident, "if" | "while") => cond_pending = true,
+            (TokKind::Ident, "let") => {
+                scrutinee_pending = cond_pending;
+                let_pending = !cond_pending;
+                cond_pending = false;
+            }
+            (TokKind::Ident, "lock")
+                if i.checked_sub(1).map(|p| t[p].text.as_str()) != Some(".")
+                    && t.get(i + 1).map(|n| n.text.as_str()) == Some("(") =>
+            {
+                cond_pending = false;
+                // Find the matching `)` and the lock field named inside.
+                let mut d = 0i32;
+                let mut j = i + 1;
+                let mut name: Option<&Tok> = None;
+                while j < t.len() {
+                    match t[j].text.as_str() {
+                        "(" => d += 1,
+                        ")" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {
+                            if t[j].kind == TokKind::Ident && orders.contains_key(&t[j].text) {
+                                name = Some(&t[j]);
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(n) = name {
+                    let order = orders[&n.text];
+                    for h in &held {
+                        if h.order >= order {
+                            emit(
+                                n.line,
+                                format!(
+                                    "acquires `{}` (order {}) while holding `{}` (order {})",
+                                    n.text, order, h.name, h.order
+                                ),
+                            );
+                        }
+                    }
+                    // Classify the guard's lexical lifetime: a plain
+                    // `let g = lock(…);` keeps the guard alive; a deref or
+                    // method chain consumes it within the statement.
+                    let direct_bind = i >= 1
+                        && t[i - 1].text == "="
+                        && t.get(j + 1).map(|n| n.text.as_str()) == Some(";");
+                    let life = if scrutinee_pending {
+                        GuardLife::Scrutinee
+                    } else if let_pending && direct_bind {
+                        GuardLife::LetBound
+                    } else {
+                        GuardLife::Temp
+                    };
+                    held.push(Held {
+                        order,
+                        name: n.text.clone(),
+                        depth,
+                        life,
+                    });
+                }
+                i = j;
+            }
+            (TokKind::Ident | TokKind::Lifetime | TokKind::CharLit | TokKind::StrLit, _)
+            | (TokKind::IntLit | TokKind::FloatLit, _) => cond_pending = false,
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, which: FileLints) -> Vec<Finding> {
+        lint_file("crates/lp/src/fake.rs", src, &which)
+    }
+
+    fn all() -> FileLints {
+        FileLints {
+            no_panic: true,
+            float_eq: true,
+            nondet: true,
+            lock_order: true,
+        }
+    }
+
+    #[test]
+    fn no_panic_fires_and_suppresses() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn g(x: Option<u32>) -> u32 {
+    // audit: allow(no-panic) — caller guarantees Some
+    x.expect(\"present\")
+}
+";
+        let f = run(src, all());
+        let live: Vec<_> = f.iter().filter(|f| !f.suppressed).collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].line, 2);
+        assert!(f.iter().any(|f| f.suppressed && f.line == 6));
+    }
+
+    #[test]
+    fn suppression_needs_reason_and_known_lint() {
+        let src = "\
+// audit: allow(no-panic)
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+// audit: allow(no-such-lint) — whatever
+fn g() {}
+";
+        let f = run(src, all());
+        assert!(
+            f.iter()
+                .any(|f| f.lint == Lint::NoPanic && !f.suppressed && f.line == 2),
+            "reasonless suppression does not suppress"
+        );
+        assert!(f
+            .iter()
+            .any(|f| f.lint == Lint::BadSuppression && f.line == 1));
+        assert!(f
+            .iter()
+            .any(|f| f.lint == Lint::BadSuppression && f.line == 3));
+    }
+
+    #[test]
+    fn float_eq_catches_literals_and_consts() {
+        let src = "\
+fn f(x: f64, lo: f64) -> bool {
+    if x == 0.0 { return true; }
+    if lo == f64::NEG_INFINITY { return true; }
+    if f64::INFINITY != lo { return true; }
+    x != -1.5
+}
+fn ok(a: usize, b: usize, tol: f64, x: f64) -> bool {
+    a == b && (x - 1.0).abs() < tol
+}
+";
+        let f = run(src, all());
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.lint == Lint::FloatEq)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn float_eq_ignores_strings_comments_and_tests() {
+        let src = "\
+fn f() -> &'static str {
+    // x == 0.0 in a comment
+    \"x == 0.0 in a string\"
+}
+#[cfg(test)]
+mod tests {
+    fn t(x: f64) -> bool { x == 0.0 }
+}
+";
+        assert!(run(src, all()).is_empty());
+    }
+
+    #[test]
+    fn nondet_sources() {
+        let src = "\
+use std::collections::HashMap;
+fn f() {
+    let t = Instant::now();
+    let m: HashMap<u32, u32> = HashMap::new();
+}
+";
+        let f = run(src, all());
+        let nondet = f.iter().filter(|f| f.lint == Lint::Nondet).count();
+        assert_eq!(nondet, 4, "use-decl, now(), type, constructor");
+    }
+
+    #[test]
+    fn lock_order_in_and_out_of_order() {
+        let src = "\
+struct S {
+    // lock-order: 1
+    pool: Mutex<u32>,
+    // lock-order: 2
+    incumbent: Mutex<u32>,
+}
+fn good(s: &S) {
+    let p = lock(&s.pool);
+    let i = lock(&s.incumbent);
+}
+fn bad(s: &S) {
+    let i = lock(&s.incumbent);
+    let p = lock(&s.pool);
+}
+fn scoped_ok(s: &S) {
+    {
+        let i = lock(&s.incumbent);
+    }
+    let p = lock(&s.pool);
+}
+fn temp_ok(s: &S) {
+    *lock(&s.incumbent) += 1;
+    let p = lock(&s.pool);
+}
+fn same_statement_bad(s: &S) {
+    let x = *lock(&s.incumbent) + *lock(&s.pool);
+}
+";
+        let f = run(src, all());
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.lint == Lint::LockOrder)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, [13, 26], "out-of-order let pair and same-statement");
+    }
+
+    #[test]
+    fn lock_order_guard_lifetimes() {
+        // The shapes from parallel.rs's epilogue: an if-let scrutinee guard
+        // dies with the if, and deref/method-chain temporaries die with
+        // their statement — none of these holds across the later, lower-
+        // order acquisitions.
+        let src = "\
+struct S {
+    // lock-order: 1
+    pool: Mutex<u32>,
+    // lock-order: 4
+    status: Mutex<u32>,
+    // lock-order: 5
+    error: Mutex<Option<u32>>,
+}
+fn epilogue(s: &S) -> u32 {
+    if let Some(e) = lock(&s.error).take() {
+        return e;
+    }
+    let st = *lock(&s.status);
+    lock(&s.pool).wrapping_add(st)
+}
+fn scrutinee_held_in_body(s: &S) {
+    if let Some(_e) = lock(&s.error).take() {
+        let p = lock(&s.pool);
+    }
+}
+";
+        let f = run(src, all());
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.lint == Lint::LockOrder)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(
+            lines,
+            [18],
+            "only the acquisition inside the scrutinee's body fires"
+        );
+    }
+
+    #[test]
+    fn lock_order_method_calls_ignored() {
+        let src = "\
+struct S {
+    // lock-order: 1
+    pool: Mutex<u32>,
+}
+fn f(m: &Mutex<u32>, s: &S) {
+    let g = m.lock().unwrap();
+    let p = lock(&s.pool);
+}
+";
+        let f = run(
+            src,
+            FileLints {
+                lock_order: true,
+                ..FileLints::default()
+            },
+        );
+        assert!(f.iter().all(|f| f.lint != Lint::LockOrder));
+    }
+}

@@ -1,0 +1,84 @@
+//! Machine-readable JSON output (hand-rolled, matching the
+//! `tempart-cli` precedent of zero-dependency serialization).
+
+use std::fmt::Write as _;
+
+use crate::lints::Finding;
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes lint findings as a JSON report:
+///
+/// ```json
+/// {"findings": [{"lint": "...", "path": "...", "line": N,
+///                "message": "...", "suppressed": bool}, …],
+///  "total": N, "unsuppressed": N}
+/// ```
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"lint\": ");
+        write_escaped(&mut out, f.lint.as_str());
+        out.push_str(", \"path\": ");
+        write_escaped(&mut out, &f.path);
+        let _ = write!(out, ", \"line\": {}", f.line);
+        out.push_str(", \"message\": ");
+        write_escaped(&mut out, &f.message);
+        let _ = write!(out, ", \"suppressed\": {}}}", f.suppressed);
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let unsuppressed = findings.iter().filter(|f| !f.suppressed).count();
+    let _ = write!(
+        out,
+        "],\n  \"total\": {},\n  \"unsuppressed\": {}\n}}\n",
+        findings.len(),
+        unsuppressed
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    #[test]
+    fn shape_and_escaping() {
+        let findings = vec![Finding {
+            lint: Lint::FloatEq,
+            path: "crates/lp/src/a.rs".into(),
+            line: 7,
+            message: "exact `==` on \"x\"".into(),
+            suppressed: false,
+        }];
+        let j = findings_to_json(&findings);
+        assert!(j.contains("\"lint\": \"float-eq\""));
+        assert!(j.contains("\"line\": 7"));
+        assert!(j.contains("\\\"x\\\""));
+        assert!(j.contains("\"unsuppressed\": 1"));
+        let empty = findings_to_json(&[]);
+        assert!(empty.contains("\"findings\": []"));
+        assert!(empty.contains("\"total\": 0"));
+    }
+}

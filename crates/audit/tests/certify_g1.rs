@@ -1,0 +1,104 @@
+//! End-to-end certificate checks on the g1 golden model: the pinned optimum
+//! must certify exactly, corruptions of the same claim must be rejected, and
+//! a fault-skewed (time-limited) run must still produce a certifiable
+//! limit-status claim.
+
+use std::sync::Arc;
+
+use tempart_audit::certify::{certify, Certificate, CertifyError, CertifyOptions};
+use tempart_bench::{date98_device, date98_instance};
+use tempart_core::{IlpModel, ModelConfig, SolveOptions};
+use tempart_lp::{FaultPlan, MipStatus};
+
+/// The fastest pinned g1 row (N=2, L=3: one node, cost 0) — cheap enough
+/// for a debug-profile integration test.
+fn g1_model() -> IlpModel {
+    let inst = date98_instance(1, 2, 2, 1, date98_device()).expect("g1 instance");
+    IlpModel::build(inst, ModelConfig::tightened(2, 3)).expect("g1 model")
+}
+
+fn solve_cert(model: &IlpModel, opts: &SolveOptions) -> Certificate {
+    let out = model.solve(opts).expect("g1 solve");
+    Certificate {
+        x: out.raw_x.clone(),
+        objective: out.objective,
+        best_bound: out.best_bound,
+        status: out.status,
+        objective_is_integral: true,
+    }
+}
+
+#[test]
+fn g1_pinned_optimum_certifies_exactly() {
+    let model = g1_model();
+    let cert = solve_cert(&model, &SolveOptions::default());
+    assert_eq!(cert.status, MipStatus::Optimal);
+    let rep = certify(model.problem(), &cert, &CertifyOptions::default()).unwrap();
+    assert_eq!(rep.exact_objective, 0.0, "pinned g1 N2 L3 cost");
+    assert_eq!(rep.vars_checked, model.problem().num_vars());
+    assert!(rep.rows_checked > 0);
+}
+
+#[test]
+fn g1_corrupted_incumbent_is_rejected() {
+    let model = g1_model();
+    let mut cert = solve_cert(&model, &SolveOptions::default());
+    // Flip the first binary of the incumbent: partition-assignment
+    // completeness (an equality row) breaks and the exact row check catches
+    // it — whichever direction the flip went.
+    let flip = cert
+        .x
+        .iter()
+        .position(|&v| v.abs() < 0.5 || (v - 1.0).abs() < 0.5)
+        .expect("some binary-valued entry");
+    cert.x[flip] = 1.0 - cert.x[flip].round();
+    assert!(matches!(
+        certify(model.problem(), &cert, &CertifyOptions::default()),
+        Err(CertifyError::RowViolated { .. }
+            | CertifyError::BoundViolated { .. }
+            | CertifyError::ObjectiveMismatch { .. })
+    ));
+}
+
+#[test]
+fn g1_corrupted_bound_claim_is_rejected() {
+    let model = g1_model();
+    let mut cert = solve_cert(&model, &SolveOptions::default());
+    // Claim optimality while the reported bound leaves a unit of gap:
+    // internally inconsistent even though the incumbent itself is feasible.
+    cert.best_bound = cert.objective - 2.0;
+    assert!(matches!(
+        certify(model.problem(), &cert, &CertifyOptions::default()),
+        Err(CertifyError::BoundInconsistent { .. })
+    ));
+}
+
+#[test]
+fn g1_corrupted_objective_claim_is_rejected() {
+    let model = g1_model();
+    let mut cert = solve_cert(&model, &SolveOptions::default());
+    cert.objective += 1.0;
+    cert.best_bound += 1.0;
+    assert!(matches!(
+        certify(model.problem(), &cert, &CertifyOptions::default()),
+        Err(CertifyError::ObjectiveMismatch { .. })
+    ));
+}
+
+#[test]
+fn g1_skewed_run_still_yields_a_certifiable_claim() {
+    // Inject a scripted clock-skew fault: the very first deadline sample
+    // reports expiry, the search stops as a time limit, and the outcome
+    // falls back to the seeded/heuristic incumbent. That claim — weaker
+    // status, weaker bound — must still pass the exact certificate check.
+    let model = g1_model();
+    let mut opts = SolveOptions::default();
+    opts.mip.lp.faults = Some(Arc::new(FaultPlan::parse("skew@1").expect("plan")));
+    let cert = solve_cert(&model, &opts);
+    assert_eq!(cert.status, MipStatus::TimeLimit, "skew stops the search");
+    let rep = certify(model.problem(), &cert, &CertifyOptions::default()).unwrap();
+    assert!(
+        rep.exact_objective >= 0.0,
+        "heuristic incumbent can be no better than the optimum"
+    );
+}

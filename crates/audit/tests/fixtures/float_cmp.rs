@@ -1,0 +1,48 @@
+//! Fixture: float-eq lint. Never compiled — lexed by `lint_golden.rs`.
+
+fn bad_eq(x: f64) -> bool {
+    x == 0.0
+}
+
+fn bad_ne(x: f64) -> bool {
+    x != 1.5
+}
+
+fn literal_on_left(x: f64) -> bool {
+    0.0 == x
+}
+
+fn suffixed(x: f64) -> bool {
+    x == 2.5f64
+}
+
+fn named_const(x: f64) -> bool {
+    x == f64::INFINITY
+}
+
+fn int_compare_is_fine(n: usize) -> bool {
+    n == 0
+}
+
+fn range_is_not_a_float(v: &[u32]) -> u32 {
+    v[0..1][0]
+}
+
+struct P(f64, u32);
+
+fn tuple_field_is_not_a_float(p: &P) -> bool {
+    p.1 == 3
+}
+
+fn excused(x: f64) -> bool {
+    // audit: allow(float-eq) — structural sign check, fixture-justified.
+    x == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_pins_allowed_in_tests() {
+        assert!(1.0 == 1.0);
+    }
+}

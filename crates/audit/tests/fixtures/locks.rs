@@ -1,0 +1,54 @@
+//! Fixture: lock-order lint. Never compiled — lexed by `lint_golden.rs`.
+
+struct Shared {
+    // lock-order: 1
+    pool: u32,
+    // lock-order: 2
+    incumbent: u32,
+    // lock-order: 3
+    status: u32,
+}
+
+fn lock(x: &u32) -> u32 {
+    *x
+}
+
+fn in_order(s: &Shared) {
+    let a = lock(&s.pool);
+    let b = lock(&s.incumbent);
+    let c = lock(&s.status);
+    drop((a, b, c));
+}
+
+fn out_of_order(s: &Shared) {
+    let a = lock(&s.incumbent);
+    let b = lock(&s.pool);
+    drop((a, b));
+}
+
+fn temp_then_lower(s: &Shared) {
+    let v = *lock(&s.status);
+    let a = lock(&s.pool);
+    drop((v, a));
+}
+
+fn scrutinee_released(s: &Shared) {
+    if let 0 = lock(&s.status) {
+        let _x = 1;
+    }
+    let a = lock(&s.pool);
+    drop(a);
+}
+
+fn excused(s: &Shared) {
+    let a = lock(&s.status);
+    // audit: allow(lock-order) — deliberate inversion, fixture-justified.
+    let b = lock(&s.pool);
+    drop((a, b));
+}
+
+fn bad_suppression(s: &Shared) {
+    // audit: allow(lock-order)
+    let a = lock(&s.incumbent);
+    drop(a);
+}

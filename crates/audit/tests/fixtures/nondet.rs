@@ -1,0 +1,36 @@
+//! Fixture: nondet lint. Never compiled — lexed by `lint_golden.rs`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn clocked() -> Instant {
+    Instant::now()
+}
+
+fn walled() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn unordered() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+fn excused() -> Instant {
+    // audit: allow(nondet) — deadline check only, fixture-justified.
+    Instant::now()
+}
+
+fn string_mention_is_fine() -> &'static str {
+    "HashMap and Instant::now in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_time_things() {
+        let _t = Instant::now();
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: no-panic lint. Never compiled — lexed by `lint_golden.rs`.
+
+fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn also_bad(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+fn boom() {
+    panic!("nope");
+}
+
+fn later() {
+    todo!()
+}
+
+fn excused(v: Option<u32>) -> u32 {
+    // audit: allow(no-panic) — fixture-justified invariant.
+    v.unwrap()
+}
+
+fn strings_do_not_count() -> &'static str {
+    "call unwrap() or panic!() here"
+}
+
+// comment mentioning unwrap() is not a finding
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,114 @@
+//! Golden lint findings over the fixture sources in `tests/fixtures/`.
+//!
+//! Each fixture is lexed (never compiled) under a fake in-scope path so the
+//! full pipeline — scoping, lexing, lint rules, suppression resolution —
+//! produces an exactly pinned set of `(lint, line, suppressed)` findings.
+
+use tempart_audit::lints::{lint_file, Lint};
+use tempart_audit::lints_for_path;
+
+fn run(fixture_src: &str, fake_path: &str) -> Vec<(Lint, u32, bool)> {
+    let which = lints_for_path(fake_path);
+    lint_file(fake_path, fixture_src, &which)
+        .into_iter()
+        .map(|f| (f.lint, f.line, f.suppressed))
+        .collect()
+}
+
+#[test]
+fn panics_fixture_golden() {
+    let got = run(
+        include_str!("fixtures/panics.rs"),
+        "crates/lp/src/fixture.rs",
+    );
+    assert_eq!(
+        got,
+        vec![
+            (Lint::NoPanic, 4, false),  // v.unwrap()
+            (Lint::NoPanic, 8, false),  // v.expect("present")
+            (Lint::NoPanic, 12, false), // panic!("nope")
+            (Lint::NoPanic, 16, false), // todo!()
+            (Lint::NoPanic, 21, true),  // justified allow above the site
+        ],
+        "strings, comments, and #[cfg(test)] code must not fire"
+    );
+}
+
+#[test]
+fn float_cmp_fixture_golden() {
+    let got = run(
+        include_str!("fixtures/float_cmp.rs"),
+        "crates/lp/src/fixture.rs",
+    );
+    assert_eq!(
+        got,
+        vec![
+            (Lint::FloatEq, 4, false),  // x == 0.0
+            (Lint::FloatEq, 8, false),  // x != 1.5
+            (Lint::FloatEq, 12, false), // 0.0 == x
+            (Lint::FloatEq, 16, false), // x == 2.5f64
+            (Lint::FloatEq, 20, false), // x == f64::INFINITY
+            (Lint::FloatEq, 39, true),  // justified allow above the site
+        ],
+        "int compares, ranges, tuple fields, and test code must not fire"
+    );
+}
+
+#[test]
+fn nondet_fixture_golden() {
+    let got = run(
+        include_str!("fixtures/nondet.rs"),
+        "crates/lp/src/fixture.rs",
+    );
+    assert_eq!(
+        got,
+        vec![
+            (Lint::Nondet, 3, false),  // use …::HashMap
+            (Lint::Nondet, 7, false),  // Instant::now()
+            (Lint::Nondet, 10, false), // -> SystemTime
+            (Lint::Nondet, 11, false), // SystemTime::now()
+            (Lint::Nondet, 14, false), // -> HashMap<…>
+            (Lint::Nondet, 15, false), // HashMap::new()
+            (Lint::Nondet, 20, true),  // justified allow above the site
+        ],
+        "bare `Instant` (no ::now), strings, and test code must not fire"
+    );
+}
+
+#[test]
+fn locks_fixture_golden() {
+    let got = run(
+        include_str!("fixtures/locks.rs"),
+        "crates/lp/src/parallel.rs",
+    );
+    assert_eq!(
+        got,
+        vec![
+            (Lint::LockOrder, 25, false), // pool (1) acquired holding incumbent (2)
+            (Lint::LockOrder, 46, true),  // justified inversion
+            (Lint::BadSuppression, 51, false), // allow without a reason
+        ],
+        "in-order, temp-guard, and scrutinee-released sequences must not fire"
+    );
+}
+
+#[test]
+fn fixtures_out_of_scope_paths_produce_nothing() {
+    for src in [
+        include_str!("fixtures/panics.rs"),
+        include_str!("fixtures/float_cmp.rs"),
+        include_str!("fixtures/nondet.rs"),
+    ] {
+        assert!(
+            run(src, "crates/cli/src/fixture.rs").is_empty(),
+            "cli sources are outside every lint scope"
+        );
+    }
+    // Malformed suppressions are findings regardless of scope — the locks
+    // fixture's reasonless allow still surfaces.
+    let locks = run(
+        include_str!("fixtures/locks.rs"),
+        "crates/cli/src/fixture.rs",
+    );
+    assert_eq!(locks, vec![(Lint::BadSuppression, 51, false)]);
+}

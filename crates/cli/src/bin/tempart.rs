@@ -3,7 +3,7 @@
 //! ```text
 //! tempart solve <spec.json> [--partitions N] [--latency L] [--time-limit SECS]
 //!               [--node-limit N] [--threads T] [--pricing dantzig|devex|bland]
-//!               [--faults PLAN] [--stats] [--json]
+//!               [--faults PLAN] [--stats] [--certify] [--json]
 //! tempart estimate <spec.json>
 //! tempart simulate <spec.json> [--partitions N] [--latency L] [--threads T]
 //! tempart dot <spec.json>
@@ -26,6 +26,13 @@
 //! `--faults PLAN` injects deterministic solver faults
 //! (`site@occurrence[,...]`, sites `singular|itercap|panic|skew`) to
 //! exercise the resilience layer; see `tempart-lp`'s fault-plan grammar.
+//!
+//! `--certify` re-verifies the solver's claim after the solve with
+//! `tempart-audit`'s exact certificate checker: the incumbent's feasibility
+//! and objective are recomputed in exact arithmetic, and the reported
+//! status/bound pair is checked for consistency. A rejected certificate is
+//! a hard error (nonzero exit), independent of the float simplex's own
+//! account of the solve.
 //!
 //! `--pricing` selects the simplex pricing rule (`dantzig` is the pinned
 //! legacy engine, `devex` the incremental engine with bound-flipping dual
@@ -68,6 +75,7 @@ struct Args {
     threads: usize,
     pricing: Pricing,
     stats: bool,
+    certify: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -86,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         pricing: Pricing::default(),
         stats: false,
+        certify: false,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -136,6 +145,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--pricing takes dantzig, devex, or bland")?
             }
             "--stats" => args.stats = true,
+            "--certify" => args.certify = true,
             other if args.spec_path.is_none() && !other.starts_with('-') => {
                 args.spec_path = Some(other.to_string())
             }
@@ -172,6 +182,35 @@ fn json_summary(
         objective,
         stats.nodes
     )
+}
+
+/// Re-verifies a solver claim with the exact certificate checker
+/// (`--certify`). Returns the human-readable OK line; a rejected
+/// certificate is an error.
+fn certify_claim(
+    problem: &tempart_lp::Problem,
+    x: &[f64],
+    objective: f64,
+    best_bound: f64,
+    status: MipStatus,
+) -> Result<String, String> {
+    let cert = tempart_audit::certify::Certificate {
+        x: x.to_vec(),
+        objective,
+        best_bound,
+        status,
+        objective_is_integral: true,
+    };
+    let rep = tempart_audit::certify::certify(
+        problem,
+        &cert,
+        &tempart_audit::certify::CertifyOptions::default(),
+    )
+    .map_err(|e| format!("certificate REJECTED: {e}"))?;
+    Ok(format!(
+        "certificate: OK — exact objective {}, {} vars, {} rows verified",
+        rep.exact_objective, rep.vars_checked, rep.rows_checked
+    ))
 }
 
 fn load(path: &Option<String>) -> Result<SpecFile, String> {
@@ -263,6 +302,17 @@ fn run() -> Result<(), String> {
                         IlpModel::build(inst.clone(), config.clone()).map_err(|e| e.to_string())?;
                     if args.json {
                         let out = model.solve(&solve).map_err(|e| e.to_string())?;
+                        if args.certify {
+                            // Validate hard, but keep stdout pure JSON.
+                            let line = certify_claim(
+                                model.problem(),
+                                &out.raw_x,
+                                out.objective,
+                                out.best_bound,
+                                out.status,
+                            )?;
+                            eprintln!("{line}");
+                        }
                         println!(
                             "{}",
                             json_summary(
@@ -277,6 +327,16 @@ fn run() -> Result<(), String> {
                     }
                     println!("model: {}", model.stats());
                     let out = model.solve(&solve).map_err(|e| e.to_string())?;
+                    if args.certify {
+                        let line = certify_claim(
+                            model.problem(),
+                            &out.raw_x,
+                            out.objective,
+                            out.best_bound,
+                            out.status,
+                        )?;
+                        println!("{line}");
+                    }
                     println!(
                         "status: {}; {} nodes, {} LP iterations, {:.2}s",
                         out.status.as_str(),
@@ -319,6 +379,25 @@ fn run() -> Result<(), String> {
                     })
                     .run()
                     .map_err(|e| e.to_string())?;
+                    if args.certify {
+                        // The sweep's winning model is rebuilt from its
+                        // settled config; model building is deterministic,
+                        // so the Problem matches the raw incumbent.
+                        let model = IlpModel::build(inst.clone(), result.config().clone())
+                            .map_err(|e| e.to_string())?;
+                        let line = certify_claim(
+                            model.problem(),
+                            result.raw_x(),
+                            result.objective(),
+                            result.best_bound(),
+                            result.status(),
+                        )?;
+                        if args.json {
+                            eprintln!("{line}");
+                        } else {
+                            println!("{line}");
+                        }
+                    }
                     if args.json {
                         println!(
                             "{}",
@@ -408,7 +487,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--pricing dantzig|devex|bland] [--faults PLAN] [--stats] [--json]");
+            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--pricing dantzig|devex|bland] [--faults PLAN] [--stats] [--certify] [--json]");
             ExitCode::FAILURE
         }
     }

@@ -289,6 +289,8 @@ fn list_schedule_subset(
     let mut pending: HashMap<OpId, usize> = ops.iter().map(|&o| (o, 0)).collect();
     let mut succs: HashMap<OpId, Vec<OpId>> = HashMap::new();
     for &(a, b) in &local {
+        // audit: allow(no-panic) — `pending` was seeded from `ops` above and
+        // `local` only holds edges between members of `ops`.
         *pending.get_mut(&b).expect("in set") += 1;
         succs.entry(a).or_default().push(b);
     }
@@ -344,6 +346,8 @@ fn list_schedule_subset(
         for op in placed {
             if let Some(ss) = succs.get(&op) {
                 for &s in ss {
+                    // audit: allow(no-panic) — successors come from the same
+                    // edge list that seeded `pending`.
                     let c = pending.get_mut(&s).expect("in set");
                     *c -= 1;
                     if *c == 0 {

@@ -136,6 +136,12 @@ pub struct SolveOutcome {
     pub best_bound: f64,
     /// Search statistics.
     pub stats: MipStats,
+    /// The raw 0-1 assignment behind [`SolveOutcome::solution`], in the
+    /// model's variable order — the incumbent the solver actually returned
+    /// (or the encoded heuristic on the degradation path). Empty when there
+    /// is no solution. This is what `tempart-audit -- certify` re-verifies
+    /// in exact arithmetic.
+    pub raw_x: Vec<f64>,
 }
 
 /// A fully built ILP for one instance and configuration.
@@ -320,6 +326,7 @@ impl IlpModel {
         let mip_out = bb.solve().map_err(CoreError::Lp)?;
         let mut source = SolutionSource::Exact;
         let mut objective = mip_out.objective;
+        let mut raw_x = mip_out.x.clone();
         let mut solution = if mip_out.x.is_empty() {
             None
         } else {
@@ -338,6 +345,7 @@ impl IlpModel {
             if let Some(h) = crate::heuristic::heuristic_solution(&self.instance, &self.config) {
                 if h.validate(&self.instance, &self.config).is_ok() {
                     objective = h.communication_cost() as f64;
+                    raw_x = self.encode_solution(&h).unwrap_or_default();
                     solution = Some(h);
                     source = SolutionSource::Heuristic;
                 }
@@ -358,6 +366,7 @@ impl IlpModel {
             gap,
             best_bound: mip_out.best_bound,
             stats: mip_out.stats,
+            raw_x,
         })
     }
 

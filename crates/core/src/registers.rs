@@ -56,9 +56,12 @@ pub fn register_demand(instance: &Instance, solution: &TemporalSolution) -> Regi
     // value stays in a register until its *last* same-partition consumer
     // starts.
     let finish = |op: OpId| {
+        // audit: allow(no-panic) — callers only pass ops of a validated
+        // solution, whose schedule is complete by construction.
         let a = solution.schedule().get(op).expect("scheduled");
         a.step.0 + fus.latency(a.fu)
     };
+    // audit: allow(no-panic) — same completeness invariant as `finish`.
     let start = |op: OpId| solution.schedule().get(op).expect("scheduled").step.0;
 
     let mut last_use: HashMap<(OpId, PartitionIndex), u32> = HashMap::new();

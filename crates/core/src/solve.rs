@@ -36,6 +36,9 @@ pub struct PartitionerResult {
     status: MipStatus,
     gap: f64,
     source: SolutionSource,
+    objective: f64,
+    best_bound: f64,
+    raw_x: Vec<f64>,
 }
 
 impl PartitionerResult {
@@ -82,6 +85,25 @@ impl PartitionerResult {
     /// Branch-and-bound statistics.
     pub fn mip_stats(&self) -> &MipStats {
         &self.mip_stats
+    }
+
+    /// Claimed objective of the reported solution (communication cost).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Proven lower bound on the objective at termination.
+    pub fn best_bound(&self) -> f64 {
+        self.best_bound
+    }
+
+    /// The raw incumbent vector behind [`PartitionerResult::solution`], in
+    /// the solved model's variable order — the claim `tempart-audit`'s
+    /// certificate checker re-verifies (rebuild the model from
+    /// [`PartitionerResult::config`] to recover the matching
+    /// [`Problem`](tempart_lp::Problem)).
+    pub fn raw_x(&self) -> &[f64] {
+        &self.raw_x
     }
 }
 
@@ -192,6 +214,9 @@ impl TemporalPartitioner {
             status: out.status,
             gap: out.gap,
             source: out.source,
+            objective: out.objective,
+            best_bound: out.best_bound,
+            raw_x: out.raw_x,
         })
     }
 }

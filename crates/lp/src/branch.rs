@@ -329,6 +329,8 @@ impl<'a> BranchAndBound<'a> {
     /// The exact depth-first serial algorithm (`threads == 1`): node visit
     /// order, node counts, and the incumbent are fully deterministic.
     fn solve_serial(&self) -> Result<MipSolution, LpError> {
+        // audit: allow(nondet) — wall-clock start for the anytime time limit
+        // and reported runtime; node selection never reads it.
         let start = Instant::now();
         let core = CoreLp::from_problem(self.problem);
         let ns = core.num_structs;
@@ -394,6 +396,7 @@ impl<'a> BranchAndBound<'a> {
             let mut lp_opts = opts.lp.clone();
             lp_opts.time_limit_secs = lp_opts.time_limit_secs.min(remaining);
             lp_opts.budget = Some(Arc::clone(&budget));
+            // audit: allow(nondet) — per-node timer for BB_TRACE diagnostics only.
             let node_start = Instant::now();
             let solved = solve_node_resilient(&core, &lower, &upper, node.warm.as_ref(), &lp_opts);
             if std::env::var("BB_TRACE").is_ok() {

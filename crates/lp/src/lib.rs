@@ -57,6 +57,7 @@ mod profile;
 mod simplex;
 mod sparse;
 mod status;
+mod tol;
 mod write;
 
 pub use branch::{

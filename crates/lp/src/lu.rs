@@ -8,6 +8,7 @@
 #![allow(clippy::needless_range_loop)] // dense kernels index several arrays in lockstep
 
 use crate::sparse::CscMatrix;
+use crate::tol::{is_nonzero, is_zero};
 use crate::LpError;
 
 /// LU factors of a basis matrix, with row pivoting.
@@ -56,7 +57,7 @@ impl LuScratch {
         }
         debug_assert!(self.min_heap.is_empty() && self.max_heap.is_empty());
         debug_assert!(self.queued.iter().all(|&q| !q), "scratch left dirty");
-        debug_assert!(self.z.iter().all(|&v| v == 0.0), "scratch left dirty");
+        debug_assert!(self.z.iter().all(|&v| is_zero(v)), "scratch left dirty");
     }
 }
 
@@ -110,7 +111,7 @@ impl LuFactors {
             while let Some(std::cmp::Reverse(k)) = heap.pop() {
                 queued[k] = false;
                 let xk = x[pivot_row[k]];
-                if xk != 0.0 {
+                if is_nonzero(xk) {
                     u_col.push((k, xk));
                     for &(r, mult) in &l_cols[k] {
                         if !in_touched[r] {
@@ -143,7 +144,7 @@ impl LuFactors {
             pivot_pos[best_row] = j;
             let mut l_col = Vec::new();
             for &r in &touched {
-                if pivot_pos[r] == usize::MAX && x[r] != 0.0 {
+                if pivot_pos[r] == usize::MAX && is_nonzero(x[r]) {
                     l_col.push((r, x[r] / piv));
                 }
             }
@@ -197,7 +198,7 @@ impl LuFactors {
         // Forward: z_j = (L^{-1} P b)_j, accumulated in original-row space.
         for j in 0..self.m {
             let zj = buf[self.pivot_row[j]];
-            if zj != 0.0 {
+            if is_nonzero(zj) {
                 for &(r, mult) in &self.l_cols[j] {
                     buf[r] -= zj * mult;
                 }
@@ -209,7 +210,7 @@ impl LuFactors {
         for j in (0..self.m).rev() {
             let wj = z[j] / self.u_diag[j];
             z[j] = wj;
-            if wj != 0.0 {
+            if is_nonzero(wj) {
                 for &(k, u) in &self.u_cols[j] {
                     z[k] -= wj * u;
                 }
@@ -273,7 +274,7 @@ impl LuFactors {
             scratch.queued[j] = false;
             let zj = buf[self.pivot_row[j]];
             buf[self.pivot_row[j]] = 0.0;
-            if zj != 0.0 {
+            if is_nonzero(zj) {
                 scratch.z[j] = zj;
                 scratch.stage.push(j);
                 for &(r, mult) in &self.l_cols[j] {
@@ -298,7 +299,7 @@ impl LuFactors {
             scratch.queued[j] = false;
             let wj = scratch.z[j] / self.u_diag[j];
             scratch.z[j] = 0.0;
-            if wj != 0.0 {
+            if is_nonzero(wj) {
                 buf[j] = wj;
                 pattern.push(j);
                 for &(k, u) in &self.u_cols[j] {
@@ -337,7 +338,7 @@ impl LuFactors {
                 s -= u * scratch.z[k];
             }
             let zj = s / self.u_diag[j];
-            if zj != 0.0 {
+            if is_nonzero(zj) {
                 scratch.z[j] = zj;
                 scratch.stage.push(j);
                 for &j2 in &self.u_rows[j] {
@@ -367,7 +368,7 @@ impl LuFactors {
             }
             scratch.z[j] = s;
             scratch.pops.push(j);
-            if s != 0.0 {
+            if is_nonzero(s) {
                 for &k in &self.l_deps[j] {
                     if !scratch.queued[k] {
                         scratch.queued[k] = true;
@@ -381,7 +382,7 @@ impl LuFactors {
         for &j in &scratch.pops {
             let v = scratch.z[j];
             scratch.z[j] = 0.0;
-            if v != 0.0 {
+            if is_nonzero(v) {
                 buf[self.pivot_row[j]] = v;
                 pattern.push(self.pivot_row[j]);
             }

@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use crate::problem::{Problem, Sense, VarKind};
+use crate::tol::is_nonzero;
 use crate::VarId;
 
 /// Serializes `problem` in (free-form) MPS.
@@ -70,7 +71,7 @@ pub fn write_mps(problem: &Problem) -> String {
             in_int = false;
         }
         let c = problem.objective_coefficient(v);
-        if c != 0.0 {
+        if is_nonzero(c) {
             let _ = writeln!(out, "    {}  OBJ  {}", col_name(v), c);
         }
         for &(i, coeff) in &per_col[v.index()] {
@@ -85,7 +86,7 @@ pub fn write_mps(problem: &Problem) -> String {
     }
     let _ = writeln!(out, "RHS");
     for (i, row) in problem.rows_for_export().enumerate() {
-        if row.rhs != 0.0 {
+        if is_nonzero(row.rhs) {
             let _ = writeln!(out, "    RHS  {}  {}", row_name(i), row.rhs);
         }
     }
@@ -103,7 +104,7 @@ pub fn write_mps(problem: &Problem) -> String {
                 let _ = writeln!(out, " UP BND  {name}  {hi}");
             }
             (true, false) => {
-                if lo != 0.0 {
+                if is_nonzero(lo) {
                     let _ = writeln!(out, " LO BND  {name}  {lo}");
                 }
                 // default upper is +inf

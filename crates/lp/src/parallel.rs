@@ -128,10 +128,12 @@ struct Shared<'a> {
     rule: &'a (dyn BranchingRule + Sync),
     opts: &'a MipOptions,
     start: Instant,
+    // lock-order: 1
     pool: Mutex<Pool>,
     work_available: Condvar,
     /// `bound_key` of the incumbent objective (`+∞` before the first).
     incumbent_key: AtomicU64,
+    // lock-order: 2
     incumbent: Mutex<Option<(Vec<f64>, f64)>>,
     /// Whole-solve budget: node count (node-limit enforcement), wall-clock
     /// deadline, and LP-iteration cap, shared with every node LP so the
@@ -143,8 +145,11 @@ struct Shared<'a> {
     proof_incomplete: AtomicBool,
     /// Weakest parent bound among abandoned nodes (`+∞` when none); folded
     /// into `best_bound` so it stays a valid lower bound.
+    // lock-order: 3
     abandoned_bound: Mutex<f64>,
+    // lock-order: 4
     status: Mutex<MipStatus>,
+    // lock-order: 5
     error: Mutex<Option<LpError>>,
 }
 
@@ -290,6 +295,8 @@ pub(crate) fn solve_parallel(
     workers: usize,
 ) -> Result<MipSolution, LpError> {
     debug_assert!(workers >= 2);
+    // audit: allow(nondet) — wall-clock start for the anytime time limit and
+    // reported runtime; branching decisions never read it.
     let start = Instant::now();
     let core = CoreLp::from_problem(problem);
     let ns = core.num_structs;
@@ -484,6 +491,9 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         let solved = catch_unwind(AssertUnwindSafe(|| {
             if let Some(plan) = &lp_opts.faults {
                 if plan.trip(FaultSite::WorkerPanic) {
+                    // audit: allow(no-panic) — deliberate scripted fault: this
+                    // is the injection site the catch_unwind isolation exists
+                    // to contain; it never fires without a FaultPlan.
                     panic!("injected worker panic (fault plan)");
                 }
             }

@@ -17,7 +17,7 @@
 //! to the original variable space. Property tests cross-check
 //! presolve → solve → restore against direct solves on random MIPs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::problem::{Problem, Sense, VarId, VarKind};
 use crate::LpError;
@@ -39,9 +39,9 @@ pub struct PresolveResult {
     /// Constant objective contribution of eliminated variables.
     pub objective_offset: f64,
     /// Values of eliminated variables (by original id).
-    fixed: HashMap<usize, f64>,
+    fixed: BTreeMap<usize, f64>,
     /// Original id → reduced id for surviving variables.
-    forward: HashMap<usize, usize>,
+    forward: BTreeMap<usize, usize>,
     /// Number of original variables.
     original_vars: usize,
     /// Rows dropped as redundant or absorbed.
@@ -240,8 +240,8 @@ pub fn presolve(problem: &Problem) -> Result<Presolved, LpError> {
     }
 
     // Build the reduced problem: fixed variables substituted into rhs.
-    let mut fixed: HashMap<usize, f64> = HashMap::new();
-    let mut forward: HashMap<usize, usize> = HashMap::new();
+    let mut fixed: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut forward: BTreeMap<usize, usize> = BTreeMap::new();
     let mut reduced = Problem::new(format!("{}-presolved", problem.name()));
     let mut objective_offset = 0.0;
     for v in 0..n {

@@ -18,6 +18,7 @@ use crate::options::{LpOptions, Pricing};
 use crate::problem::{LpError, Problem};
 use crate::profile::{tick, tock, SimplexProfile};
 use crate::status::LpStatus;
+use crate::tol::{is_neg_infinite, is_nonzero, is_pos_infinite, is_zero};
 
 /// Nonbasic/basic status of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +172,8 @@ impl<'a> Simplex<'a> {
             }
         }
         match self.deadline {
+            // audit: allow(nondet) — wall-clock deadline is the documented
+            // anytime limit; it changes *when* we stop, never *what* we pivot.
             Some(d) => Instant::now() > d,
             None => false,
         }
@@ -183,7 +186,7 @@ impl<'a> Simplex<'a> {
         for eta in etas {
             let xr = buf[eta.r] / eta.wr;
             buf[eta.r] = xr;
-            if xr != 0.0 {
+            if is_nonzero(xr) {
                 for &(i, wi) in &eta.entries {
                     buf[i] -= wi * xr;
                 }
@@ -227,7 +230,7 @@ impl<'a> Simplex<'a> {
         if pattern.len() * 4 > m {
             Self::apply_ftran(lu, etas, buf);
             pattern.clear();
-            pattern.extend((0..m).filter(|&i| buf[i] != 0.0));
+            pattern.extend((0..m).filter(|&i| is_nonzero(buf[i])));
             return;
         }
         lu.ftran_sparse(buf, pattern, lsc);
@@ -238,7 +241,7 @@ impl<'a> Simplex<'a> {
             for eta in etas {
                 let xr = buf[eta.r] / eta.wr;
                 buf[eta.r] = xr;
-                if xr != 0.0 {
+                if is_nonzero(xr) {
                     if !mask[eta.r] {
                         mask[eta.r] = true;
                         pattern.push(eta.r);
@@ -271,7 +274,7 @@ impl<'a> Simplex<'a> {
         if pattern.len() * 4 > m {
             Self::apply_btran(lu, etas, buf);
             pattern.clear();
-            pattern.extend((0..m).filter(|&i| buf[i] != 0.0));
+            pattern.extend((0..m).filter(|&i| is_nonzero(buf[i])));
             return;
         }
         if !etas.is_empty() {
@@ -285,7 +288,7 @@ impl<'a> Simplex<'a> {
                 }
                 s /= eta.wr;
                 buf[eta.r] = s;
-                if s != 0.0 && !mask[eta.r] {
+                if is_nonzero(s) && !mask[eta.r] {
                     mask[eta.r] = true;
                     pattern.push(eta.r);
                 }
@@ -304,7 +307,7 @@ impl<'a> Simplex<'a> {
         for j in 0..self.core.n {
             if self.stat[j] != VStat::Basic {
                 let v = self.nonbasic_value(j);
-                if v != 0.0 {
+                if is_nonzero(v) {
                     self.core.a.col_axpy(j, -v, &mut self.scratch.rhs);
                 }
             }
@@ -395,12 +398,12 @@ impl<'a> Simplex<'a> {
     fn current_objective(&self, costs: &[f64]) -> f64 {
         let mut obj = 0.0;
         for j in 0..self.core.n {
-            if self.stat[j] != VStat::Basic && costs[j] != 0.0 {
+            if self.stat[j] != VStat::Basic && is_nonzero(costs[j]) {
                 obj += costs[j] * self.nonbasic_value(j);
             }
         }
         for (pos, &col) in self.basic.iter().enumerate() {
-            if costs[col] != 0.0 {
+            if is_nonzero(costs[col]) {
                 obj += costs[col] * self.xb[pos];
             }
         }
@@ -493,13 +496,13 @@ impl<'a> Simplex<'a> {
                 let delta = dir * wi; // x_B[i] moves by −t·delta
                 let (t_i, hit) = if delta > 0.0 {
                     let lo = self.lower[bcol];
-                    if lo == f64::NEG_INFINITY {
+                    if is_neg_infinite(lo) {
                         continue;
                     }
                     (((self.xb[i] - lo) / delta).max(0.0), VStat::AtLower)
                 } else {
                     let hi = self.upper[bcol];
-                    if hi == f64::INFINITY {
+                    if is_pos_infinite(hi) {
                         continue;
                     }
                     (((self.xb[i] - hi) / delta).max(0.0), VStat::AtUpper)
@@ -534,7 +537,7 @@ impl<'a> Simplex<'a> {
             // Apply the step.
             let t = t_best;
             for i in 0..self.core.m {
-                if w[i] != 0.0 {
+                if is_nonzero(w[i]) {
                     self.xb[i] -= t * dir * w[i];
                 }
             }
@@ -572,7 +575,7 @@ impl<'a> Simplex<'a> {
         let entries: Vec<(usize, f64)> = w
             .iter()
             .enumerate()
-            .filter(|&(i, &v)| i != r && v != 0.0)
+            .filter(|&(i, &v)| i != r && is_nonzero(v))
             .map(|(i, &v)| (i, v))
             .collect();
         self.etas.push(Eta { r, entries, wr });
@@ -587,7 +590,7 @@ impl<'a> Simplex<'a> {
         debug_assert!(pat.windows(2).all(|p| p[0] < p[1]), "pattern not sorted");
         let entries: Vec<(usize, f64)> = pat
             .iter()
-            .filter(|&&i| i != r && w[i] != 0.0)
+            .filter(|&&i| i != r && is_nonzero(w[i]))
             .map(|&i| (i, w[i]))
             .collect();
         self.etas.push(Eta { r, entries, wr });
@@ -733,13 +736,13 @@ impl<'a> Simplex<'a> {
                 let delta = dir * wi; // x_B[i] moves by −t·delta
                 let (t_i, hit) = if delta > 0.0 {
                     let lo = self.lower[bcol];
-                    if lo == f64::NEG_INFINITY {
+                    if is_neg_infinite(lo) {
                         continue;
                     }
                     (((self.xb[i] - lo) / delta).max(0.0), VStat::AtLower)
                 } else {
                     let hi = self.upper[bcol];
-                    if hi == f64::INFINITY {
+                    if is_pos_infinite(hi) {
                         continue;
                     }
                     (((self.xb[i] - hi) / delta).max(0.0), VStat::AtUpper)
@@ -775,7 +778,7 @@ impl<'a> Simplex<'a> {
             }
             let t = t_best;
             for &i in &wpat {
-                if w[i] != 0.0 {
+                if is_nonzero(w[i]) {
                     self.xb[i] -= t * dir * w[i];
                 }
             }
@@ -840,7 +843,7 @@ impl<'a> Simplex<'a> {
                                     continue;
                                 }
                                 let aj = s.alpha[j];
-                                if aj != 0.0 {
+                                if is_nonzero(aj) {
                                     d[j] -= theta * aj;
                                     let cand = (aj / alpha_q) * (aj / alpha_q) * wq;
                                     if cand > s.devex[j] {
@@ -1049,7 +1052,7 @@ impl<'a> Simplex<'a> {
             };
             let t = (self.xb[r] - target) / wr;
             for i in 0..self.core.m {
-                if w[i] != 0.0 {
+                if is_nonzero(w[i]) {
                     self.xb[i] -= t * w[i];
                 }
             }
@@ -1071,9 +1074,9 @@ impl<'a> Simplex<'a> {
             // leaving column picking up d = −θ and the entering one 0.
             let tp = tick(self.timers);
             let theta = d[q] / alpha_q;
-            if theta != 0.0 {
+            if is_nonzero(theta) {
                 for j in 0..self.core.n {
-                    if alpha[j] != 0.0 {
+                    if is_nonzero(alpha[j]) {
                         d[j] -= theta * alpha[j];
                     }
                 }
@@ -1331,7 +1334,7 @@ impl<'a> Simplex<'a> {
                 {
                     let s = &mut self.scratch;
                     for &i in &s.rhs_pat {
-                        if s.rhs[i] != 0.0 {
+                        if is_nonzero(s.rhs[i]) {
                             self.xb[i] -= s.rhs[i];
                         }
                         s.rhs[i] = 0.0;
@@ -1349,7 +1352,7 @@ impl<'a> Simplex<'a> {
             };
             let t = (self.xb[r] - target) / wr;
             for &i in &wpat {
-                if w[i] != 0.0 {
+                if is_nonzero(w[i]) {
                     self.xb[i] -= t * w[i];
                 }
             }
@@ -1377,10 +1380,10 @@ impl<'a> Simplex<'a> {
             // makes dual feasible.
             let tp = tick(self.timers);
             let theta = d[q] / alpha_q;
-            if theta != 0.0 {
+            if is_nonzero(theta) {
                 let s = &self.scratch;
                 for &j in &s.touched {
-                    if s.alpha[j] != 0.0 && self.stat[j] != VStat::Basic {
+                    if is_nonzero(s.alpha[j]) && self.stat[j] != VStat::Basic {
                         d[j] -= theta * s.alpha[j];
                     }
                 }
@@ -1402,7 +1405,7 @@ impl<'a> Simplex<'a> {
         debug_assert!(s.touched.is_empty(), "pivot row not released");
         for &i in &s.rpat {
             let ri = s.rho[i];
-            if ri == 0.0 {
+            if is_zero(ri) {
                 continue;
             }
             for (j, v) in core.rows_of_a.row(i) {
@@ -1464,6 +1467,8 @@ impl<'a> Simplex<'a> {
 
 fn deadline_from(opts: &LpOptions) -> Option<Instant> {
     if opts.time_limit_secs.is_finite() {
+        // audit: allow(nondet) — anchors the user-requested wall-clock limit;
+        // pivot selection never reads it.
         Some(Instant::now() + std::time::Duration::from_secs_f64(opts.time_limit_secs.max(0.0)))
     } else {
         None
@@ -1599,6 +1604,7 @@ fn solve_core_cold_once(
     opts: &LpOptions,
 ) -> Result<CoreOutcome, LpError> {
     inject_itercap(opts)?;
+    // audit: allow(nondet) — profiling timer only (reported in SimplexProfile).
     let t0 = Instant::now();
     let m = core.m;
     let n = core.n;
@@ -1627,7 +1633,7 @@ fn solve_core_cold_once(
             VStat::AtUpper => upper[j],
             _ => 0.0,
         };
-        if v != 0.0 {
+        if is_nonzero(v) {
             core.a.col_axpy(j, -v, &mut resid);
         }
     }
@@ -1789,6 +1795,7 @@ pub(crate) fn solve_core_warm(
             }
         };
     }
+    // audit: allow(nondet) — profiling timer only (reported in SimplexProfile).
     let t0 = Instant::now();
     inject_itercap(opts).map_err(WarmFail::Error)?;
     inject_singular(opts).map_err(WarmFail::Error)?;

@@ -1,6 +1,8 @@
 //! Compressed sparse column matrices.
 #![allow(clippy::needless_range_loop)] // dense kernels index by column id
 
+use crate::tol::is_nonzero;
+
 /// A sparse matrix in compressed-sparse-column (CSC) layout.
 ///
 /// Rows within a column are stored in ascending order with no duplicates
@@ -113,7 +115,7 @@ impl CscMatrix {
         assert_eq!(x.len(), self.ncols);
         let mut y = vec![0.0; self.nrows];
         for c in 0..self.ncols {
-            if x[c] != 0.0 {
+            if is_nonzero(x[c]) {
                 self.col_axpy(c, x[c], &mut y);
             }
         }

@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use crate::problem::{Problem, Sense, VarKind};
+use crate::tol::is_nonzero;
 
 /// Serializes `problem` in CPLEX LP format (minimization).
 ///
@@ -33,7 +34,7 @@ pub fn write_lp_format(problem: &Problem) -> String {
     let mut obj_terms: Vec<String> = Vec::new();
     for v in problem.var_ids() {
         let c = problem.objective_coefficient(v);
-        if c != 0.0 {
+        if is_nonzero(c) {
             obj_terms.push(format!("{} {}", fmt_coeff(c), var_name(problem, v.index())));
         }
     }

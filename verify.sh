@@ -36,4 +36,10 @@ cargo test -q -p tempart-lp faults
 echo "== smoke: tables harness (Table 2, 60 s rows) =="
 cargo run --release -p tempart-bench --bin tables -- table2 --limit 60
 
+echo "== audit: workspace lints (deny unsuppressed) =="
+cargo run --release -p tempart-audit -- lint --deny
+
+echo "== audit: exact certificates for the g1 golden rows =="
+cargo run --release -p tempart-audit -- certify
+
 echo "verify.sh: all green"
