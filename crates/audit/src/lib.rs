@@ -14,7 +14,14 @@
 //! | `no-panic` | `crates/lp/src`, `crates/core/src` | no `unwrap`/`expect`/`panic!`/`todo!` in non-test code |
 //! | `float-eq` | `crates/lp/src`, `crates/core/src` | no exact float `==`/`!=` outside `crates/lp/src/tol.rs` |
 //! | `nondet` | `crates/lp/src` except `faults.rs`, `profile.rs` | no `Instant::now`/`SystemTime`/`HashMap` in solver decision paths |
-//! | `lock-order` | `crates/lp/src/parallel.rs` | `lock(…)` acquisitions follow the `// lock-order: N` declarations |
+//! | `lock-order` | `crates/lp/src/{parallel,worksteal,portfolio}.rs` | `lock(…)` acquisitions follow the `// lock-order: N` declarations |
+//!
+//! L4 deliberately does not track atomics: the work-stealing scheduler's
+//! lock-free structures (the seqlock incumbent exchange, the deques' `len`
+//! hints, the termination/cancellation flags) cannot deadlock, so ordering
+//! them would only add noise. Only blocking `lock(…)` acquisitions — the
+//! deque mutexes and the idle/open-bound/status/error locks — carry
+//! `// lock-order: N` declarations.
 //!
 //! Sites with a justified `// audit: allow(<lint>) — reason` comment are
 //! reported as suppressed and do not fail `--deny`; reasonless or unknown
@@ -48,7 +55,12 @@ pub fn lints_for_path(path: &str) -> FileLints {
         no_panic: in_lp || in_core,
         float_eq: (in_lp || in_core) && path != "crates/lp/src/tol.rs",
         nondet: in_lp && !nondet_exempt,
-        lock_order: path == "crates/lp/src/parallel.rs",
+        lock_order: matches!(
+            path,
+            "crates/lp/src/parallel.rs"
+                | "crates/lp/src/worksteal.rs"
+                | "crates/lp/src/portfolio.rs"
+        ),
     }
 }
 
@@ -121,6 +133,11 @@ mod tests {
 
         let par = lints_for_path("crates/lp/src/parallel.rs");
         assert!(par.lock_order);
+
+        let ws = lints_for_path("crates/lp/src/worksteal.rs");
+        assert!(ws.lock_order, "the deque locks are L4-ordered");
+        let pf = lints_for_path("crates/lp/src/portfolio.rs");
+        assert!(pf.lock_order);
 
         let core = lints_for_path("crates/core/src/model.rs");
         assert!(core.no_panic && core.float_eq && !core.nondet);

@@ -1,0 +1,47 @@
+//! Fixture: work-stealing scheduler shapes (the per-worker deque and the
+//! idle rendezvous of `crates/lp/src/worksteal.rs` / `parallel.rs`). Never
+//! compiled — lexed by `lint_golden.rs`. The seqlock incumbent and the
+//! deque's `len` hint are atomics, deliberately invisible to L4: atomics
+//! cannot deadlock, so only `lock(…)` acquisitions are ordered.
+
+struct WorkDeque {
+    // lock-order: 1
+    jobs: u32,
+    len: u32,
+}
+
+struct Shared {
+    deque: WorkDeque,
+    // lock-order: 2
+    idle: u32,
+}
+
+fn lock(x: &u32) -> u32 {
+    *x
+}
+
+fn owner_push(s: &Shared) {
+    // The owner's hot path touches only its own deque lock.
+    let jobs = lock(&s.deque.jobs);
+    drop(jobs);
+}
+
+fn publish_then_park(s: &Shared) {
+    // jobs (1) before idle (2) is the declared order: must not fire.
+    let jobs = lock(&s.deque.jobs);
+    let g = lock(&s.idle);
+    drop((jobs, g));
+}
+
+fn steal_under_the_idle_lock(s: &Shared) {
+    let g = lock(&s.idle);
+    let jobs = lock(&s.deque.jobs);
+    drop((g, jobs));
+}
+
+fn parked_thief_recheck_excused(s: &Shared) {
+    let g = lock(&s.idle);
+    // audit: allow(lock-order) — a parked thief re-checks one deque before sleeping.
+    let jobs = lock(&s.deque.jobs);
+    drop((g, jobs));
+}

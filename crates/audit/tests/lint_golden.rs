@@ -93,6 +93,23 @@ fn locks_fixture_golden() {
 }
 
 #[test]
+fn worksteal_fixture_golden() {
+    let got = run(
+        include_str!("fixtures/worksteal.rs"),
+        "crates/lp/src/worksteal.rs",
+    );
+    assert_eq!(
+        got,
+        vec![
+            (Lint::LockOrder, 38, false), // deque (1) acquired holding idle (2)
+            (Lint::LockOrder, 45, true),  // justified re-check while parked
+        ],
+        "owner-path and in-order publish sequences must not fire; \
+         atomics (seqlock, len hints) are invisible to L4"
+    );
+}
+
+#[test]
 fn fixtures_out_of_scope_paths_produce_nothing() {
     for src in [
         include_str!("fixtures/panics.rs"),

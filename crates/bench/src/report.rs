@@ -76,7 +76,7 @@ pub fn format_markdown(rows: &[ExperimentRow], limit: f64) -> String {
 mod tests {
     use super::*;
     use tempart_core::RuleKind;
-    use tempart_lp::{Pricing, SimplexProfile};
+    use tempart_lp::{MipStats, Pricing};
 
     fn sample_row() -> ExperimentRow {
         ExperimentRow {
@@ -96,7 +96,7 @@ mod tests {
             nodes: 42,
             lp_iterations: 1000,
             pricing: Pricing::Dantzig,
-            simplex: SimplexProfile::default(),
+            stats: MipStats::default(),
             rule: RuleKind::Paper,
         }
     }

@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use tempart_core::{CoreError, IlpModel, ModelConfig, RuleKind, SolveOptions};
 use tempart_graph::FpgaDevice;
-use tempart_lp::{MipOptions, MipStatus, Pricing, SimplexProfile};
+use tempart_lp::{MipOptions, MipStats, MipStatus, Pricing};
 
 use crate::graphs::{date98_instance, paper_graph_size};
 
@@ -32,6 +32,10 @@ pub struct RowConfig {
     /// deterministic node counts, `0` = one per CPU). The faithful table
     /// reproductions run serial; the `parallel` experiment sweeps this.
     pub threads: usize,
+    /// Race the solver-configuration portfolio instead of parallelizing one
+    /// tree search (takes precedence over `threads`); the `portfolio`
+    /// experiment sets this.
+    pub portfolio: bool,
     /// Simplex pricing rule. The faithful table reproductions run the pinned
     /// `Dantzig` legacy engine; the `simplex` experiment sweeps this.
     pub pricing: Pricing,
@@ -78,9 +82,11 @@ pub struct ExperimentRow {
     pub rule: RuleKind,
     /// Pricing rule used.
     pub pricing: Pricing,
-    /// Merged simplex profile of every node LP (timers populated only when
-    /// [`RowConfig::profile`] was set).
-    pub simplex: SimplexProfile,
+    /// Full solver statistics: the merged simplex profile (timers populated
+    /// only when [`RowConfig::profile`] was set), the parallel scheduler's
+    /// contention counters, per-worker node/busy-time vectors, and the
+    /// portfolio winner.
+    pub stats: MipStats,
 }
 
 impl ExperimentRow {
@@ -94,10 +100,21 @@ impl ExperimentRow {
         }
     }
 
-    /// Mean LP-solve microseconds per branch-and-bound node, from the
-    /// always-on `lp_secs` of the merged simplex profile.
-    pub fn stats_lp_us_per_node(&self) -> f64 {
-        self.simplex.lp_secs * 1e6 / self.nodes.max(1) as f64
+    /// Wall-clock microseconds per branch-and-bound node — the per-node
+    /// cost a caller actually pays. Thread-invariant at fixed per-node cost
+    /// on a single CPU, and *drops* with effective parallelism, making it
+    /// the right axis for speedup comparisons.
+    pub fn node_wall_us(&self) -> f64 {
+        self.seconds * 1e6 / self.nodes.max(1) as f64
+    }
+
+    /// Mean LP microseconds per node with LP time *summed across workers*
+    /// (the always-on `lp_secs` of the merged simplex profile). On an
+    /// oversubscribed host this aggregate grows with thread count even at
+    /// fixed per-node cost — it measures total CPU work, not latency; use
+    /// [`ExperimentRow::node_wall_us`] for per-node latency.
+    pub fn aggregate_lp_us_per_node(&self) -> f64 {
+        self.stats.simplex.lp_secs * 1e6 / self.nodes.max(1) as f64
     }
 
     /// `Yes`/`No`/`?` feasibility column.
@@ -124,6 +141,7 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
     let mut mip = MipOptions {
         time_limit_secs: cfg.time_limit_secs,
         threads: cfg.threads,
+        portfolio: cfg.portfolio,
         ..MipOptions::default()
     };
     mip.lp.pricing = cfg.pricing;
@@ -172,7 +190,7 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
         lp_iterations: out.stats.lp_iterations,
         rule: cfg.rule,
         pricing: cfg.pricing,
-        simplex: out.stats.simplex,
+        stats: out.stats,
     })
 }
 
@@ -194,6 +212,7 @@ mod tests {
             device: date98_device(),
             seed_incumbent: true,
             threads: 1,
+            portfolio: false,
             pricing: Pricing::Dantzig,
             profile: false,
         })

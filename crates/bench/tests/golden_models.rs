@@ -86,7 +86,11 @@ fn serial_search_node_counts_pinned() {
             vec![nodes],
             "N{n} L{l} serial worker vec"
         );
-        assert_eq!(out.stats.steals, 0, "N{n} L{l} serial steals");
+        assert_eq!(
+            out.stats.contention,
+            Default::default(),
+            "N{n} L{l} serial contention"
+        );
     }
 }
 
@@ -143,6 +147,68 @@ fn parallel_search_same_optimum_on_flagship_row() {
             out.stats.nodes,
             "threads {threads}: per-worker counts must sum to the total"
         );
+    }
+}
+
+#[test]
+fn parallel_node_counts_stay_bounded_on_paper_rows() {
+    // The work-stealing search publishes every incumbent through the
+    // lock-free exchange before the next node is dispatched, so the
+    // parallel tree cannot blow far past the serial one (an earlier
+    // scheduler let this N2 L2 row drift from ~435 serial nodes past 600
+    // on a stale incumbent). The bound is deliberately loose — steal order
+    // legitimately perturbs the visit order — but tight enough to catch a
+    // stale-incumbent regression.
+    let serial = 289; // N2 L2 Dantzig pin above
+    for threads in [2usize, 4] {
+        let inst = date98_instance(1, 2, 2, 1, date98_device()).unwrap();
+        let model = IlpModel::build(inst, ModelConfig::tightened(2, 2)).unwrap();
+        let mut opts = SolveOptions::default();
+        opts.mip.threads = threads;
+        let out = model.solve(&opts).unwrap();
+        assert_eq!(out.status, MipStatus::Optimal, "threads {threads}");
+        assert_eq!(
+            out.solution.as_ref().map(|s| s.communication_cost()),
+            Some(5),
+            "threads {threads} objective"
+        );
+        assert!(
+            out.stats.nodes <= serial * 3 / 2 + threads,
+            "threads {threads}: {} nodes vs {serial} serial — stale incumbent?",
+            out.stats.nodes
+        );
+    }
+}
+
+#[test]
+fn portfolio_race_agrees_on_paper_rows() {
+    // Racing the configuration portfolio decides each row exactly as the
+    // serial pins above — including proving infeasibility — and names the
+    // winning arm. The Paper-rule caller races four arms (guided ×
+    // Dantzig/devex, unguided Dantzig, most-fractional devex).
+    type Pin = ((u32, u32), MipStatus, Option<u64>);
+    let rows: [Pin; 3] = [
+        ((3, 0), MipStatus::Infeasible, None),
+        ((2, 2), MipStatus::Optimal, Some(5)),
+        ((2, 3), MipStatus::Optimal, Some(0)),
+    ];
+    for ((n, l), status, cost) in rows {
+        let inst = date98_instance(1, 2, 2, 1, date98_device()).unwrap();
+        let model = IlpModel::build(inst, ModelConfig::tightened(n, l)).unwrap();
+        let mut opts = SolveOptions::default();
+        opts.mip.portfolio = true;
+        let out = model.solve(&opts).unwrap();
+        assert_eq!(out.status, status, "N{n} L{l} status");
+        assert_eq!(
+            out.solution.as_ref().map(|s| s.communication_cost()),
+            cost,
+            "N{n} L{l} objective"
+        );
+        assert!(
+            out.stats.portfolio_winner.is_some(),
+            "N{n} L{l}: race must name a winner"
+        );
+        assert_eq!(out.stats.per_worker_nodes.len(), 4, "N{n} L{l} arm count");
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! tempart solve <spec.json> [--partitions N] [--latency L] [--time-limit SECS]
-//!               [--node-limit N] [--threads T] [--pricing dantzig|devex|bland]
+//!               [--node-limit N] [--threads T] [--portfolio]
+//!               [--pricing dantzig|devex|bland]
 //!               [--faults PLAN] [--stats] [--certify] [--json]
 //! tempart estimate <spec.json>
 //! tempart simulate <spec.json> [--partitions N] [--latency L] [--threads T]
@@ -12,8 +13,16 @@
 //! ```
 //!
 //! `--threads T` runs the branch-and-bound node search on `T` worker
-//! threads (`0` = one per CPU). The default `1` is the exact serial solver
-//! with deterministic node counts; any `T` proves the same optimum.
+//! threads (`0` = one per CPU) over a work-stealing scheduler. The default
+//! `1` is the exact serial solver with deterministic node counts; any `T`
+//! proves the same optimum. Multi-worker runs print per-worker node counts
+//! and the scheduler's contention counters (steals, lock waits,
+//! copy-on-write basis clones, incumbent-exchange retries).
+//!
+//! `--portfolio` races complete solver configurations instead (the paper's
+//! guided rule plus unguided/diving rules, under both pricing engines),
+//! one serial solve per thread; the first conclusive finisher cancels the
+//! rest and is reported as the winner. Takes precedence over `--threads`.
 //!
 //! `--time-limit SECS` (alias `--limit`) and `--node-limit N` bound the
 //! search with anytime semantics: on expiry the best feasible answer found
@@ -73,6 +82,7 @@ struct Args {
     json: bool,
     format: String,
     threads: usize,
+    portfolio: bool,
     pricing: Pricing,
     stats: bool,
     certify: bool,
@@ -92,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         format: "lp".to_string(),
         threads: 1,
+        portfolio: false,
         pricing: Pricing::default(),
         stats: false,
         certify: false,
@@ -137,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threads takes a worker count (0 = all CPUs)")?
             }
+            "--portfolio" => args.portfolio = true,
             "--pricing" => {
                 args.pricing = it
                     .next()
@@ -283,6 +295,7 @@ fn run() -> Result<(), String> {
                 time_limit_secs: args.limit,
                 max_nodes: args.node_limit,
                 threads: args.threads,
+                portfolio: args.portfolio,
                 ..MipOptions::default()
             };
             mip.lp.pricing = args.pricing;
@@ -355,10 +368,16 @@ fn run() -> Result<(), String> {
                             }
                         );
                     }
-                    if out.stats.per_worker_nodes.len() > 1 {
+                    if let Some(w) = &out.stats.portfolio_winner {
                         println!(
-                            "workers: {:?} nodes, {} steals",
-                            out.stats.per_worker_nodes, out.stats.steals
+                            "portfolio: winner {w}; arms {:?} nodes",
+                            out.stats.per_worker_nodes
+                        );
+                    } else if out.stats.per_worker_nodes.len() > 1 {
+                        println!(
+                            "workers: {:?} nodes; {}",
+                            out.stats.per_worker_nodes,
+                            out.stats.contention.report()
                         );
                     }
                     if args.stats {
@@ -425,6 +444,9 @@ fn run() -> Result<(), String> {
                             result.source().as_str()
                         );
                     }
+                    if let Some(w) = &result.mip_stats().portfolio_winner {
+                        println!("portfolio: winner {w}");
+                    }
                     if args.stats {
                         println!("{}", result.mip_stats().simplex.report());
                     }
@@ -487,7 +509,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--pricing dantzig|devex|bland] [--faults PLAN] [--stats] [--certify] [--json]");
+            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--portfolio] [--pricing dantzig|devex|bland] [--faults PLAN] [--stats] [--certify] [--json]");
             ExitCode::FAILURE
         }
     }

@@ -12,7 +12,7 @@ use crate::faults::Budget;
 use crate::internal::CoreLp;
 use crate::options::MipOptions;
 use crate::problem::{LpError, Problem, VarId, VarKind};
-use crate::profile::SimplexProfile;
+use crate::profile::{ContentionProfile, SimplexProfile};
 use crate::simplex::{solve_node_resilient, BasisSnapshot};
 use crate::status::{LpStatus, MipStatus};
 
@@ -180,11 +180,20 @@ pub struct MipStats {
     /// Wall-clock seconds.
     pub seconds: f64,
     /// Nodes solved by each worker (one entry per worker; a single entry
-    /// equal to `nodes` for the serial solver).
+    /// equal to `nodes` for the serial solver). In portfolio mode, nodes
+    /// solved by each racing arm.
     pub per_worker_nodes: Vec<usize>,
-    /// Nodes a worker took from the shared pool that another worker
-    /// produced (always 0 for the serial solver).
-    pub steals: usize,
+    /// Wall-clock seconds each worker spent processing nodes, as opposed to
+    /// hunting for work (one entry per worker; equal to `seconds` for the
+    /// serial solver). On a multi-core host the entries overlap in time, so
+    /// their sum exceeding `seconds` is the parallelism, not an error.
+    pub per_worker_busy_secs: Vec<f64>,
+    /// Contention counters of the work-stealing parallel scheduler (all
+    /// zero for the serial solver); see [`ContentionProfile`].
+    pub contention: ContentionProfile,
+    /// Name of the configuration that won a portfolio race (`None` unless
+    /// [`MipOptions::portfolio`](crate::MipOptions) was set).
+    pub portfolio_winner: Option<String>,
     /// Merged simplex profile of every node LP solved during the search
     /// (counters always; section timers only with
     /// [`LpOptions::profile`](crate::LpOptions::profile)).
@@ -304,16 +313,26 @@ impl<'a> BranchAndBound<'a> {
 
     /// Runs the search.
     ///
-    /// With [`MipOptions::threads`] above one (or zero, meaning one worker
-    /// per CPU) the node search runs on a shared-pool worker team; the
-    /// returned objective and status are the same as the serial solver's,
-    /// but node counts vary run to run. See `parallel` module docs.
+    /// With [`MipOptions::portfolio`](crate::MipOptions) set, a small set of
+    /// solver configurations race as independent serial solves (see the
+    /// `portfolio` module docs). Otherwise, with [`MipOptions::threads`]
+    /// above one (or zero, meaning one worker per CPU) the node search runs
+    /// on a work-stealing worker team; the returned objective and status
+    /// are the same as the serial solver's, but node counts vary run to
+    /// run. See `parallel` module docs.
     ///
     /// # Errors
     ///
     /// Propagates unrecoverable LP failures
     /// ([`LpError::IterationLimit`], [`LpError::SingularBasis`]).
     pub fn solve(&self) -> Result<MipSolution, LpError> {
+        if self.options.portfolio {
+            return crate::portfolio::solve_portfolio(
+                self.problem,
+                &self.options,
+                self.rule.as_ref(),
+            );
+        }
         let workers = resolve_threads(self.options.threads);
         if workers > 1 {
             return crate::parallel::solve_parallel(
@@ -323,30 +342,42 @@ impl<'a> BranchAndBound<'a> {
                 workers,
             );
         }
-        self.solve_serial()
-    }
-
-    /// The exact depth-first serial algorithm (`threads == 1`): node visit
-    /// order, node counts, and the incumbent are fully deterministic.
-    fn solve_serial(&self) -> Result<MipSolution, LpError> {
-        // audit: allow(nondet) — wall-clock start for the anytime time limit
-        // and reported runtime; node selection never reads it.
-        let start = Instant::now();
-        let core = CoreLp::from_problem(self.problem);
-        let ns = core.num_structs;
-        let opts = &self.options;
         // One budget for the whole search: the wall-clock deadline and the
         // LP-iteration cap are also checked *inside* the simplex pivot loop
         // (via `LpOptions::budget`), so a single long node LP cannot blow
         // through the global limits.
         let budget = Arc::new(Budget::new(
-            opts.time_limit_secs,
-            opts.max_nodes,
-            opts.max_lp_iterations,
+            self.options.time_limit_secs,
+            self.options.max_nodes,
+            self.options.max_lp_iterations,
         ));
+        solve_serial(self.problem, &self.options, self.rule.as_ref(), budget)
+    }
+}
+
+/// The exact depth-first serial algorithm (`threads == 1`): node visit
+/// order, node counts, and the incumbent are fully deterministic.
+///
+/// The budget is injected so a portfolio race can cancel this solve
+/// cooperatively ([`Budget::request_stop`] surfaces as a truthful
+/// [`MipStatus::TimeLimit`]); a plain serial solve passes a budget nothing
+/// else holds, making the stop check dead and the search bit-identical to
+/// the pre-portfolio solver.
+pub(crate) fn solve_serial(
+    problem: &Problem,
+    opts: &MipOptions,
+    rule: &(dyn BranchingRule + Sync),
+    budget: Arc<Budget>,
+) -> Result<MipSolution, LpError> {
+    {
+        // audit: allow(nondet) — wall-clock start for the anytime time limit
+        // and reported runtime; node selection never reads it.
+        let start = Instant::now();
+        let core = CoreLp::from_problem(problem);
+        let ns = core.num_structs;
         let mut stats = MipStats::default();
 
-        let mut incumbent = validate_incumbent(self.problem, opts, ns);
+        let mut incumbent = validate_incumbent(problem, opts, ns);
         if incumbent.is_some() {
             stats.incumbent_updates += 1;
         }
@@ -377,6 +408,15 @@ impl<'a> BranchAndBound<'a> {
             if stats.lp_iterations >= opts.max_lp_iterations {
                 // The deterministic work budget is spent: stop like a time
                 // limit, keeping the incumbent and the proven bound.
+                status = MipStatus::TimeLimit;
+                stack.push(node);
+                break;
+            }
+            if budget.stop_requested() {
+                // A portfolio peer finished first and cancelled this arm;
+                // stop truthfully as a limit, keeping the incumbent and the
+                // proven bound. Never taken outside a race: nothing else
+                // holds this solve's budget.
                 status = MipStatus::TimeLimit;
                 stack.push(node);
                 break;
@@ -452,12 +492,12 @@ impl<'a> BranchAndBound<'a> {
                 }
             }
             let x = &outcome.x[..ns];
-            match self.rule.select(self.problem, x, opts.int_tol) {
+            match rule.select(problem, x, opts.int_tol) {
                 None => {
                     // The rule sees no fractional binary; verify.
                     debug_assert!(
-                        self.problem.var_ids().all(|v| {
-                            self.problem.var_kind(v) != VarKind::Binary
+                        problem.var_ids().all(|v| {
+                            problem.var_kind(v) != VarKind::Binary
                                 || !is_fractional(x[v.index()], opts.int_tol * 10.0)
                         }),
                         "branching rule returned None on a fractional solution"
@@ -492,6 +532,7 @@ impl<'a> BranchAndBound<'a> {
         }
         stats.seconds = start.elapsed().as_secs_f64();
         stats.per_worker_nodes = vec![stats.nodes];
+        stats.per_worker_busy_secs = vec![stats.seconds];
         let (x, objective, status) = if status == MipStatus::Unbounded {
             // An unbounded relaxation makes the model's optimum −∞; an
             // incumbent objective is meaningless as a bound, so none is

@@ -51,6 +51,7 @@ mod lu;
 mod mps;
 mod options;
 mod parallel;
+mod portfolio;
 mod presolve;
 mod problem;
 mod profile;
@@ -58,6 +59,7 @@ mod simplex;
 mod sparse;
 mod status;
 mod tol;
+mod worksteal;
 mod write;
 
 pub use branch::{
@@ -69,7 +71,7 @@ pub use mps::write_mps;
 pub use options::{LpOptions, MipOptions, Pricing};
 pub use presolve::{presolve, PresolveResult, Presolved};
 pub use problem::{LpError, Problem, RowId, RowView, Sense, VarId, VarKind};
-pub use profile::SimplexProfile;
+pub use profile::{ContentionProfile, SimplexProfile};
 pub use simplex::{solve_lp, LpOutcome};
 pub use sparse::CscMatrix;
 pub use status::{LpStatus, MipStatus};

@@ -140,6 +140,16 @@ pub struct MipOptions {
     /// objective — only node/steal counts and the incumbent's tie-broken
     /// argmin may vary above one thread.
     pub threads: usize,
+    /// Portfolio racing mode: instead of parallelizing one tree search,
+    /// race a small set of solver configurations (the caller's branching
+    /// rule and the built-in unguided/diving rules, each under Dantzig and
+    /// devex pricing) as independent serial solves, one thread per arm.
+    /// The first arm to finish conclusively cancels the rest through its
+    /// peers' cooperative [`Budget`]s; losers stop with truthful
+    /// limit-style statuses. Every arm is the exact serial algorithm, so
+    /// the proven optimum is deterministic even though the winning arm is
+    /// a wall-clock race. Takes precedence over [`MipOptions::threads`].
+    pub portfolio: bool,
 }
 
 impl Default for MipOptions {
@@ -154,6 +164,7 @@ impl Default for MipOptions {
             abs_gap: 1e-9,
             initial_incumbent: None,
             threads: 1,
+            portfolio: false,
         }
     }
 }
@@ -175,6 +186,7 @@ mod tests {
         assert!(mip.time_limit_secs.is_infinite());
         assert_eq!(mip.max_lp_iterations, usize::MAX, "pivot budget off");
         assert_eq!(mip.threads, 1, "serial by default");
+        assert!(!mip.portfolio, "racing is opt-in");
         assert!(
             lp.faults.is_none() && lp.budget.is_none(),
             "inert by default"

@@ -1,35 +1,44 @@
-//! Multi-worker branch and bound over a shared node pool.
+//! Multi-worker branch and bound on a work-stealing scheduler.
 //!
 //! Entered from [`BranchAndBound::solve`](crate::BranchAndBound::solve) when
 //! [`MipOptions::threads`](crate::MipOptions::threads) resolves above one.
-//! Built on `std::thread` only:
+//! Built on `std::thread` only. The search layer is contention-free on its
+//! hot path — a worker dispatching its own node and warm-starting from its
+//! parent touches no global lock:
 //!
-//! * **Shared node pool** — a mutex-protected deque kept ordered by parent
-//!   LP bound (best bound at the front). Workers dive depth-first on the
-//!   branching rule's preferred child locally and publish the sibling to
-//!   the pool, so an idle worker always steals the globally most promising
-//!   open subproblem while busy workers keep the serial solver's dive
-//!   locality (and with it the dual warm-start hit rate).
-//! * **Warm starts** — each published node carries an
-//!   `Arc<BasisSnapshot>` of its parent's optimal basis; the stealing
-//!   worker dual-warm-starts its own [`CoreLp`] scratch bounds from it,
-//!   exactly as the serial solver does, falling back to a cold two-phase
-//!   primal on numerical trouble.
-//! * **Shared incumbent** — the incumbent point lives behind a mutex, but
-//!   its objective is mirrored into an `AtomicU64` (monotone order-preserving
-//!   encoding of the `f64`), so the hot bound-pruning path never takes a
-//!   lock.
+//! * **Per-worker work-stealing deques** — every worker owns a
+//!   [`WorkDeque`]: it dives depth-first on the branching rule's preferred
+//!   child through a *private* buffer (no synchronization at all) and
+//!   publishes the sibling to its own deque with an uncontended `try_lock`
+//!   (misses count as `lock_waits`). Idle workers steal from the *front*
+//!   of a victim's deque — the root-most, typically best-bound node it has
+//!   on offer — so global search order stays close to the old best-bound
+//!   pool without any shared queue. Exhaustion is detected by an atomic
+//!   `outstanding` count; truly idle workers park on a condvar that
+//!   publishers only touch when a sleeper is registered.
+//! * **Copy-on-write warm starts** — a branched node's optimal basis is
+//!   wrapped once in an `Arc<BasisSnapshot>` and shared by both children;
+//!   nothing is deep-cloned at dispatch. The snapshot is materialized into
+//!   a solver working basis only when a child actually solves — the
+//!   copy-on-first-mutation point, counted as `cow_clones` while the
+//!   sibling still shares the `Arc`.
+//! * **Seqlock incumbent exchange** — the incumbent objective lives in an
+//!   `AtomicU64` ([`bound_key`] encoding) read wait-free by the pruning
+//!   path; the solution vector sits in an [`IncumbentCell`] slot that
+//!   writers claim with a CAS (retries counted as `incumbent_retries`).
+//!   No mutex anywhere on the incumbent path, and improvements publish
+//!   promptly — stale-incumbent node blowup is bounded by tests.
 //! * **Cooperative cancellation** — deadline and node-limit breaches set an
 //!   `AtomicBool` *and* raise the shared [`Budget`]'s stop flag, which the
 //!   simplex pivot loop samples: a worker stuck in one long LP abandons it
-//!   mid-solve instead of finishing the node. Workers drain their in-flight
-//!   nodes back into the pool so the reported `best_bound` stays a valid
-//!   lower bound, then exit.
+//!   mid-solve instead of finishing the node. Workers fold their in-flight
+//!   bounds into the shared open-bound so the reported `best_bound` stays
+//!   a valid lower bound, then exit.
 //! * **Panic isolation** — each node solve runs under `catch_unwind`; a
 //!   panicking solve is logged, its node requeued once, and the search
 //!   continues. A node that panics twice is abandoned and the final
 //!   `Optimal` claim degraded to `NodeLimit` (its bound still counts
-//!   toward `best_bound`). All shared locks are poison-proof.
+//!   toward `best_bound`). All locks are poison-proof.
 //!
 //! ## Determinism contract
 //!
@@ -39,10 +48,9 @@
 //! only at `threads == 1`; limit-terminated runs may also differ in their
 //! reported gap.
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::branch::{
@@ -53,72 +61,33 @@ use crate::faults::{Budget, FaultSite};
 use crate::internal::CoreLp;
 use crate::options::MipOptions;
 use crate::problem::{LpError, Problem, VarKind};
-use crate::profile::SimplexProfile;
+use crate::profile::{ContentionProfile, SimplexProfile};
 use crate::simplex::{solve_node_resilient, BasisSnapshot};
 use crate::status::{LpStatus, MipStatus};
-
-/// Poison-proof lock. A worker panic between a lock's acquisition and
-/// release would poison it for every peer; all critical sections here are
-/// short and leave the guarded state consistent (and node solves — the
-/// only code that can panic — run outside them), so the inner data is
-/// always safe to take.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Order-preserving encoding of an `f64` into a `u64`: `a < b` iff
-/// `key(a) < key(b)` (for non-NaN values), so an atomic minimum objective
-/// can be kept in an `AtomicU64`.
-fn bound_key(v: f64) -> u64 {
-    let b = v.to_bits();
-    if b >> 63 == 1 {
-        !b
-    } else {
-        b | (1 << 63)
-    }
-}
-
-fn key_bound(k: u64) -> f64 {
-    if k >> 63 == 1 {
-        f64::from_bits(k & !(1u64 << 63))
-    } else {
-        f64::from_bits(!k)
-    }
-}
-
-/// Root and requeued nodes have no producing worker.
-const UNOWNED: usize = usize::MAX;
+use crate::worksteal::{lock, IncumbentCell, StealFail, WorkDeque};
 
 struct ParNode {
     overlay: BoundOverlay,
+    /// Parent basis, shared copy-on-write with the sibling.
     warm: Option<Arc<BasisSnapshot>>,
     parent_bound: f64,
-    /// Worker that produced the node (for steal accounting).
-    owner: usize,
     /// Whether a panicking solve already requeued this node once; a second
     /// panic abandons it instead of looping forever.
     requeued: bool,
 }
 
-struct Pool {
-    /// Open nodes, ordered by `parent_bound` ascending (best bound first).
-    queue: VecDeque<ParNode>,
-    /// Open nodes anywhere: in `queue`, in a worker's local dive buffer, or
-    /// in flight. Zero means the tree is exhausted.
-    outstanding: usize,
-    /// Set on exhaustion or cancellation; workers exit when they see it.
-    done: bool,
-}
-
 /// Per-worker tallies, merged into [`MipStats`] after the join.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct WorkerStats {
     nodes: usize,
     lp_iterations: usize,
     pruned_by_bound: usize,
     pruned_infeasible: usize,
     incumbent_updates: usize,
-    steals: usize,
+    /// Wall-clock seconds spent processing nodes (everything except
+    /// hunting for work), for the per-worker bench metrics.
+    busy_secs: f64,
+    contention: ContentionProfile,
     simplex: SimplexProfile,
 }
 
@@ -128,13 +97,25 @@ struct Shared<'a> {
     rule: &'a (dyn BranchingRule + Sync),
     opts: &'a MipOptions,
     start: Instant,
-    // lock-order: 1
-    pool: Mutex<Pool>,
-    work_available: Condvar,
-    /// `bound_key` of the incumbent objective (`+∞` before the first).
-    incumbent_key: AtomicU64,
+    /// One work-stealing deque per worker (its internal lock is
+    /// `lock-order: 1`; a thief holds at most one deque lock at a time and
+    /// never another lock with it).
+    deques: Vec<WorkDeque<ParNode>>,
+    /// Open nodes anywhere: in a deque, in a worker's private dive buffer,
+    /// or in flight. The worker that decrements it to zero ends the search.
+    outstanding: AtomicUsize,
+    /// Workers parked in [`Shared::find_work`]'s sleep loop. Publishers
+    /// skip the idle mutex entirely while this is zero.
+    sleepers: AtomicUsize,
+    /// Set on exhaustion or cancellation; workers exit when they see it.
+    done: AtomicBool,
+    /// Guards only the sleep/wake rendezvous — never held while taking any
+    /// other lock, and never touched by a busy worker.
     // lock-order: 2
-    incumbent: Mutex<Option<(Vec<f64>, f64)>>,
+    idle: Mutex<()>,
+    work_available: Condvar,
+    /// Seqlock incumbent slot + wait-free objective bound.
+    incumbent: IncumbentCell,
     /// Whole-solve budget: node count (node-limit enforcement), wall-clock
     /// deadline, and LP-iteration cap, shared with every node LP so the
     /// pivot loop honours it mid-solve.
@@ -143,10 +124,13 @@ struct Shared<'a> {
     /// A node's subtree was abandoned (repeated panic or a crashed
     /// worker), so a final `Optimal` must degrade to `NodeLimit`.
     proof_incomplete: AtomicBool,
-    /// Weakest parent bound among abandoned nodes (`+∞` when none); folded
-    /// into `best_bound` so it stays a valid lower bound.
+    /// Weakest parent bound among nodes that left the search unexplored —
+    /// abandoned panic subtrees, in-flight nodes and dive buffers folded
+    /// in at a limit abort, and a crashed worker's lost work (folded as
+    /// `-∞`). Combined with the deque leftovers in the epilogue so the
+    /// reported `best_bound` stays a valid lower bound.
     // lock-order: 3
-    abandoned_bound: Mutex<f64>,
+    open_bound: Mutex<f64>,
     // lock-order: 4
     status: Mutex<MipStatus>,
     // lock-order: 5
@@ -154,111 +138,129 @@ struct Shared<'a> {
 }
 
 impl Shared<'_> {
-    /// Lock-free read of the incumbent objective (`+∞` if none yet).
-    fn incumbent_bound(&self) -> f64 {
-        key_bound(self.incumbent_key.load(Ordering::Acquire))
-    }
-
-    /// Installs a better incumbent; returns whether it was accepted.
-    fn offer_incumbent(&self, x: &[f64], obj: f64) -> bool {
-        let mut inc = lock(&self.incumbent);
-        let better = inc
-            .as_ref()
-            .is_none_or(|(_, b)| obj < b - self.opts.abs_gap);
-        if better {
-            *inc = Some((x.to_vec(), obj));
-            // Monotone under the lock: only ever decreases.
-            self.incumbent_key.store(bound_key(obj), Ordering::Release);
-        }
-        better
-    }
-
-    /// Takes the best-bound node from the pool, blocking while other
-    /// workers might still publish work. `None` means the search is over
-    /// (exhausted or cancelled); the bool reports a steal.
-    fn acquire(&self, id: usize) -> Option<(ParNode, bool)> {
-        let mut pool = lock(&self.pool);
-        loop {
-            if pool.done {
-                return None;
-            }
-            if let Some(n) = pool.queue.pop_front() {
-                let stolen = n.owner != UNOWNED && n.owner != id;
-                return Some((n, stolen));
-            }
-            if pool.outstanding == 0 {
-                pool.done = true;
-                self.work_available.notify_all();
-                return None;
-            }
-            pool = self
-                .work_available
-                .wait(pool)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-    }
-
-    /// Closes out one node: `sibling` (if any) goes to the pool,
-    /// `kept_local` says whether a preferred child stayed in the worker's
-    /// dive buffer. Updates the outstanding count and wakes waiters.
-    fn complete(&self, sibling: Option<ParNode>, kept_local: bool) {
-        let mut pool = lock(&self.pool);
-        let published = sibling.is_some();
-        let children = usize::from(published) + usize::from(kept_local);
-        if let Some(n) = sibling {
-            let at = pool
-                .queue
-                .partition_point(|q| q.parent_bound <= n.parent_bound);
-            pool.queue.insert(at, n);
-        }
-        pool.outstanding += children;
-        pool.outstanding -= 1;
-        if pool.outstanding == 0 {
-            pool.done = true;
+    /// Publishes a node to `id`'s own deque and wakes a sleeper if any.
+    fn publish(&self, id: usize, node: ParNode, contention: &mut ContentionProfile) {
+        self.deques[id].push(node, &mut contention.lock_waits);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = lock(&self.idle);
             self.work_available.notify_all();
-        } else if published {
-            // A node went to the pool (a branch sibling or a panic
-            // requeue): one waiter can take it.
-            self.work_available.notify_one();
         }
     }
 
-    /// Gives a node whose solve panicked back to the pool for one more try.
-    fn requeue(&self, mut node: ParNode) {
+    /// Finds work for an empty-handed worker: own deque first (newest —
+    /// the deepest sibling, best warm-start locality), then a steal sweep
+    /// over the other workers' deques (oldest — their best bound on
+    /// offer), then a parked sleep until someone publishes or the search
+    /// ends. `None` means the search is over (exhausted or cancelled).
+    fn find_work(&self, id: usize, contention: &mut ContentionProfile) -> Option<ParNode> {
+        let w = self.deques.len();
+        loop {
+            if self.done.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(n) = self.deques[id].pop(&mut contention.lock_waits) {
+                return Some(n);
+            }
+            let mut saw_busy = false;
+            for k in 1..w {
+                match self.deques[(id + k) % w].steal() {
+                    Ok(n) => {
+                        contention.steals += 1;
+                        return Some(n);
+                    }
+                    Err(StealFail::Busy) => {
+                        contention.steal_failures += 1;
+                        saw_busy = true;
+                    }
+                    Err(StealFail::Empty) => {}
+                }
+            }
+            if saw_busy {
+                // Someone holds a deque lock right now; spin once rather
+                // than parking just to be woken immediately.
+                std::hint::spin_loop();
+                continue;
+            }
+            // Genuinely idle. Register as a sleeper *before* re-checking
+            // the hints: publishers store hints before loading `sleepers`
+            // (both SeqCst), so either we see their node or they see us.
+            let mut g = lock(&self.idle);
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            while !self.done.load(Ordering::SeqCst)
+                && self.deques.iter().all(WorkDeque::is_empty_hint)
+            {
+                g = self
+                    .work_available
+                    .wait(g)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Registers `n` new open nodes (called *before* the producing node's
+    /// [`Shared::node_done`], so the count never dips to zero early).
+    fn open_children(&self, n: usize) {
+        self.outstanding.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Closes one node; the closer of the last open node ends the search.
+    fn node_done(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.finish();
+        }
+    }
+
+    /// Ends the search and wakes every parked worker.
+    fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        let _g = lock(&self.idle);
+        self.work_available.notify_all();
+    }
+
+    /// Folds the bound of a node that leaves the search unexplored.
+    fn fold_open_bound(&self, bound: f64) {
+        let mut b = lock(&self.open_bound);
+        *b = b.min(bound);
+    }
+
+    /// Gives a node whose solve panicked back to the scheduler for one
+    /// more try (any worker may pick it up).
+    fn requeue(&self, id: usize, mut node: ParNode, contention: &mut ContentionProfile) {
         node.requeued = true;
-        node.owner = UNOWNED;
-        self.complete(Some(node), false);
+        self.publish(id, node, contention);
     }
 
     /// Abandons a node's subtree (second panic): its bound still counts
     /// toward `best_bound` and the final status degrades from `Optimal`.
     fn abandon(&self, node: ParNode) {
         self.proof_incomplete.store(true, Ordering::Release);
-        {
-            let mut b = lock(&self.abandoned_bound);
-            *b = b.min(node.parent_bound);
-        }
-        self.complete(None, false);
+        self.fold_open_bound(node.parent_bound);
+        self.node_done();
     }
 
-    /// Cancellation exit: returns the in-flight node and the local dive
-    /// buffer to the pool (keeping `best_bound` valid) and stops everyone.
+    /// Cancellation exit: folds the in-flight node and the private dive
+    /// buffer into the open bound (keeping `best_bound` valid) and stops
+    /// everyone.
     fn abort(&self, inflight: Option<ParNode>, local: &mut Vec<ParNode>) {
-        let mut pool = lock(&self.pool);
-        if let Some(n) = inflight {
-            pool.queue.push_back(n);
+        {
+            let mut b = lock(&self.open_bound);
+            for n in inflight.iter().chain(local.iter()) {
+                *b = b.min(n.parent_bound);
+            }
         }
-        pool.queue.extend(local.drain(..));
-        pool.done = true;
-        self.work_available.notify_all();
+        local.clear();
+        self.finish();
     }
 
     /// Records a limit termination (first flag wins) and cancels, raising
     /// the budget stop flag so peers mid-LP abandon their solves too.
     fn flag_limit(&self, s: MipStatus) {
-        let mut st = lock(&self.status);
-        if *st == MipStatus::Optimal {
-            *st = s;
+        {
+            let mut st = lock(&self.status);
+            if *st == MipStatus::Optimal {
+                *st = s;
+            }
         }
         self.cancel.store(true, Ordering::Release);
         self.budget.request_stop();
@@ -266,24 +268,25 @@ impl Shared<'_> {
 
     /// Records a hard error (first error wins) and cancels.
     fn flag_error(&self, e: LpError) {
-        let mut err = lock(&self.error);
-        if err.is_none() {
-            *err = Some(e);
+        {
+            let mut err = lock(&self.error);
+            if err.is_none() {
+                *err = Some(e);
+            }
         }
         self.cancel.store(true, Ordering::Release);
         self.budget.request_stop();
     }
 
-    /// Last-resort cleanup when a worker dies outside a node solve: wake
-    /// every waiter so nobody blocks on work the dead worker owed, and
-    /// make the final status honest about the lost subtrees.
+    /// Last-resort cleanup when a worker dies outside a node solve: its
+    /// private dive buffer is lost, so the proven bound collapses to `-∞`
+    /// and the final status honestly degrades.
     fn worker_crashed(&self) {
         self.proof_incomplete.store(true, Ordering::Release);
+        self.fold_open_bound(f64::NEG_INFINITY);
         self.cancel.store(true, Ordering::Release);
         self.budget.request_stop();
-        let mut pool = lock(&self.pool);
-        pool.done = true;
-        self.work_available.notify_all();
+        self.finish();
     }
 }
 
@@ -299,47 +302,45 @@ pub(crate) fn solve_parallel(
     // reported runtime; branching decisions never read it.
     let start = Instant::now();
     let core = CoreLp::from_problem(problem);
-    let ns = core.num_structs;
 
-    let seeded = validate_incumbent(problem, opts, ns);
-    let incumbent_key = AtomicU64::new(bound_key(
-        seeded.as_ref().map_or(f64::INFINITY, |(_, obj)| *obj),
-    ));
+    let seeded = validate_incumbent(problem, opts, core.num_structs);
     let seeded_updates = usize::from(seeded.is_some());
 
-    let root = ParNode {
-        overlay: BoundOverlay::default(),
-        warm: None,
-        parent_bound: f64::NEG_INFINITY,
-        owner: UNOWNED,
-        requeued: false,
-    };
     let budget = Arc::new(Budget::new(
         opts.time_limit_secs,
         opts.max_nodes,
         opts.max_lp_iterations,
     ));
-    let shared = Shared {
+    let mut shared = Shared {
         core: &core,
         problem,
         rule,
         opts,
         start,
-        pool: Mutex::new(Pool {
-            queue: VecDeque::from([root]),
-            outstanding: 1,
-            done: false,
-        }),
+        deques: (0..workers).map(|_| WorkDeque::new()).collect(),
+        outstanding: AtomicUsize::new(1),
+        sleepers: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+        idle: Mutex::new(()),
         work_available: Condvar::new(),
-        incumbent_key,
-        incumbent: Mutex::new(seeded),
+        incumbent: IncumbentCell::new(seeded),
         budget,
         cancel: AtomicBool::new(false),
         proof_incomplete: AtomicBool::new(false),
-        abandoned_bound: Mutex::new(f64::INFINITY),
+        open_bound: Mutex::new(f64::INFINITY),
         status: Mutex::new(MipStatus::Optimal),
         error: Mutex::new(None),
     };
+    // Seed worker 0's deque with the root; a faster peer may steal it.
+    shared.deques[0].push(
+        ParNode {
+            overlay: BoundOverlay::default(),
+            warm: None,
+            parent_bound: f64::NEG_INFINITY,
+            requeued: false,
+        },
+        &mut 0,
+    );
 
     let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -375,12 +376,13 @@ pub(crate) fn solve_parallel(
         // the incumbent stands but the optimality proof does not.
         status = MipStatus::NodeLimit;
     }
-    let incumbent = lock(&shared.incumbent).take();
+    let incumbent = shared.incumbent.take();
 
     let mut stats = MipStats {
         seconds: start.elapsed().as_secs_f64(),
         incumbent_updates: seeded_updates,
         per_worker_nodes: worker_stats.iter().map(|w| w.nodes).collect(),
+        per_worker_busy_secs: worker_stats.iter().map(|w| w.busy_secs).collect(),
         ..MipStats::default()
     };
     for w in &worker_stats {
@@ -389,7 +391,7 @@ pub(crate) fn solve_parallel(
         stats.pruned_by_bound += w.pruned_by_bound;
         stats.pruned_infeasible += w.pruned_infeasible;
         stats.incumbent_updates += w.incumbent_updates;
-        stats.steals += w.steals;
+        stats.contention.absorb(&w.contention);
         stats.simplex.absorb(&w.simplex);
     }
 
@@ -415,11 +417,12 @@ pub(crate) fn solve_parallel(
         MipStatus::Optimal => objective,
         MipStatus::Infeasible => f64::INFINITY,
         MipStatus::Unbounded => f64::NEG_INFINITY,
-        _ => lock(&shared.pool)
-            .queue
+        _ => shared
+            .deques
             .iter()
+            .flat_map(WorkDeque::drain)
             .map(|n| n.parent_bound)
-            .fold(*lock(&shared.abandoned_bound), f64::min),
+            .fold(*lock(&shared.open_bound), f64::min),
     };
     Ok(MipSolution {
         status,
@@ -432,13 +435,18 @@ pub(crate) fn solve_parallel(
 
 fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
     let mut ws = WorkerStats::default();
-    // Preferred child of the last expansion: the worker dives on it without
-    // touching the pool, preserving the serial solver's warm-start locality.
+    // Preferred child of the last expansion: the worker dives on it with no
+    // synchronization at all, preserving the serial solver's warm-start
+    // locality.
     let mut local: Vec<ParNode> = Vec::new();
     let mut lower = shared.core.lower.clone();
     let mut upper = shared.core.upper.clone();
     let opts = shared.opts;
     let ns = shared.core.num_structs;
+    // audit: allow(nondet) — wall-clock accounting for the per-worker busy
+    // time reported in the bench metrics; scheduling never reads it.
+    let loop_start = Instant::now();
+    let mut hunt_secs = 0.0;
 
     loop {
         if shared.cancel.load(Ordering::Acquire) {
@@ -447,13 +455,17 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         }
         let node = match local.pop() {
             Some(n) => n,
-            None => match shared.acquire(id) {
-                Some((n, stolen)) => {
-                    ws.steals += usize::from(stolen);
-                    n
+            None => {
+                // audit: allow(nondet) — timing the work hunt so busy time
+                // excludes it; see loop_start above.
+                let hunt = Instant::now();
+                let found = shared.find_work(id, &mut ws.contention);
+                hunt_secs += hunt.elapsed().as_secs_f64();
+                match found {
+                    Some(n) => n,
+                    None => break,
                 }
-                None => break,
-            },
+            }
         };
         // Limit checks, mirroring the serial loop (the global node count is
         // approximate by up to one node per worker).
@@ -475,17 +487,27 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
             shared.abort(Some(node), &mut local);
             break;
         }
-        // Pre-prune on the parent bound against the shared incumbent.
-        let inc_obj = shared.incumbent_bound();
+        // Pre-prune on the parent bound against the shared incumbent
+        // (wait-free read of the seqlock's objective mirror).
+        let inc_obj = shared.incumbent.bound();
         if inc_obj.is_finite() && prune_bound(node.parent_bound, inc_obj, opts) {
             ws.pruned_by_bound += 1;
-            shared.complete(None, false);
+            shared.node_done();
             continue;
         }
         node.overlay.apply(shared.core, &mut lower, &mut upper);
         let mut lp_opts = opts.lp.clone();
         lp_opts.time_limit_secs = lp_opts.time_limit_secs.min(remaining);
         lp_opts.budget = Some(Arc::clone(&shared.budget));
+        // Copy-on-write materialization point: the parent snapshot is
+        // deep-copied into a working basis only here, and only counted
+        // when the sibling still shares it (a uniquely held snapshot is
+        // the last user of that basis).
+        if let Some(w) = &node.warm {
+            if Arc::strong_count(w) > 1 {
+                ws.contention.cow_clones += 1;
+            }
+        }
         // The solve (and the scripted panic site) runs under catch_unwind
         // so a panicking node is contained: requeued once, then abandoned.
         let solved = catch_unwind(AssertUnwindSafe(|| {
@@ -511,7 +533,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                     shared.abandon(node);
                 } else {
                     eprintln!("tempart-lp: worker {id}: node solve panicked; requeueing once");
-                    shared.requeue(node);
+                    shared.requeue(id, node, &mut ws.contention);
                 }
                 continue;
             }
@@ -545,7 +567,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         match outcome.status {
             LpStatus::Infeasible => {
                 ws.pruned_infeasible += 1;
-                shared.complete(None, false);
+                shared.node_done();
                 continue;
             }
             LpStatus::Unbounded => {
@@ -557,10 +579,10 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
             }
             LpStatus::Optimal => {}
         }
-        let inc_obj = shared.incumbent_bound();
+        let inc_obj = shared.incumbent.bound();
         if inc_obj.is_finite() && prune_bound(outcome.objective, inc_obj, opts) {
             ws.pruned_by_bound += 1;
-            shared.complete(None, false);
+            shared.node_done();
             continue;
         }
         let x = &outcome.x[..ns];
@@ -573,19 +595,25 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                     }),
                     "branching rule returned None on a fractional solution"
                 );
-                if shared.offer_incumbent(x, outcome.objective) {
+                if shared.incumbent.offer(
+                    x,
+                    outcome.objective,
+                    opts.abs_gap,
+                    &mut ws.contention.incumbent_retries,
+                ) {
                     ws.incumbent_updates += 1;
                 }
-                shared.complete(None, false);
+                shared.node_done();
             }
             Some((v, dir)) => {
+                // One Arc for both children: dispatch shares, the solve
+                // clones (copy-on-write).
                 let warm = Arc::new(outcome.snapshot);
                 let fix = |val: f64| -> ParNode {
                     ParNode {
                         overlay: node.overlay.child(v, val, val),
                         warm: Some(Arc::clone(&warm)),
                         parent_bound: outcome.objective,
-                        owner: id,
                         requeued: false,
                     }
                 };
@@ -593,11 +621,16 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                     BranchDirection::Up => (fix(1.0), fix(0.0)),
                     BranchDirection::Down => (fix(0.0), fix(1.0)),
                 };
-                shared.complete(Some(sibling), true);
+                // Register the children before closing the parent so the
+                // outstanding count never dips to zero early.
+                shared.open_children(2);
+                shared.publish(id, sibling, &mut ws.contention);
                 local.push(preferred);
+                shared.node_done();
             }
         }
     }
+    ws.busy_secs = (loop_start.elapsed().as_secs_f64() - hunt_secs).max(0.0);
     ws
 }
 
@@ -641,6 +674,16 @@ mod tests {
             o.lp.faults = Some(Arc::new(FaultPlan::parse(plan).unwrap()));
         }
         o
+    }
+
+    /// Worker count for the generic scheduler tests; the CI smoke job
+    /// overrides it via `TEMPART_TEST_THREADS`.
+    fn test_threads() -> usize {
+        std::env::var("TEMPART_TEST_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&t| t >= 2)
+            .unwrap_or(2)
     }
 
     #[test]
@@ -697,22 +740,110 @@ mod tests {
     }
 
     #[test]
-    fn bound_key_is_order_preserving() {
-        let vals = [
-            f64::NEG_INFINITY,
-            -1e300,
-            -2.5,
-            -0.0,
-            0.0,
-            1e-9,
-            42.0,
-            f64::INFINITY,
-        ];
-        for w in vals.windows(2) {
-            assert!(bound_key(w[0]) <= bound_key(w[1]), "{} vs {}", w[0], w[1]);
+    fn single_node_search_stays_off_the_locks() {
+        // The root LP is already integral, so exactly one node is solved:
+        // the busy worker must never block on a lock and nothing is
+        // copy-on-write cloned. (The root itself may be stolen by the
+        // other worker — at most one steal.)
+        let mut p = Problem::new("one");
+        let x = p.add_var("x", VarKind::Binary, -1.0).unwrap();
+        p.add_constraint("c", [(x, 1.0)], Sense::Le, 1.0).unwrap();
+        let out = BranchAndBound::new(&p)
+            .options(opts(2, ""))
+            .solve()
+            .unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-1.0)).abs() < 1e-9);
+        let c = &out.stats.contention;
+        assert!(c.steals <= 1, "only the root can move: {c:?}");
+        assert_eq!(c.lock_waits, 0, "owner path must not block: {c:?}");
+        assert_eq!(c.cow_clones, 0, "no branch, no snapshot sharing: {c:?}");
+        assert_eq!(c.incumbent_retries, 0, "single writer never retries");
+    }
+
+    #[test]
+    fn per_worker_tallies_are_reported() {
+        let p = knapsack();
+        let t = test_threads();
+        let out = BranchAndBound::new(&p)
+            .options(opts(t, ""))
+            .solve()
+            .unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+        assert_eq!(out.stats.per_worker_nodes.len(), t);
+        assert_eq!(out.stats.per_worker_busy_secs.len(), t);
+        assert_eq!(
+            out.stats.per_worker_nodes.iter().sum::<usize>(),
+            out.stats.nodes
+        );
+        assert!(out.stats.per_worker_busy_secs.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn random_mips_prove_serial_objective_at_any_thread_count() {
+        // Pseudo-random 0-1 MIPs: every thread count must prove the same
+        // objective (or the same infeasibility) as the serial solver.
+        let mut seed = 0x5eed5eedu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for trial in 0..8 {
+            let n = 5 + trial % 3;
+            let mut p = Problem::new("rnd");
+            let vars: Vec<_> = (0..n)
+                .map(|i| {
+                    p.add_var(format!("x{i}"), VarKind::Binary, next() * 5.0)
+                        .unwrap()
+                })
+                .collect();
+            for r in 0..3 {
+                let coeffs: Vec<_> = vars.iter().map(|&v| (v, next() * 3.0)).collect();
+                let sense = if r % 2 == 0 { Sense::Le } else { Sense::Ge };
+                let rhs = next() * 2.0 + if sense == Sense::Le { 1.5 } else { -1.5 };
+                p.add_constraint(format!("r{r}"), coeffs, sense, rhs)
+                    .unwrap();
+            }
+            let serial = BranchAndBound::new(&p).solve().unwrap();
+            for t in [test_threads(), test_threads() + 1] {
+                let par = BranchAndBound::new(&p)
+                    .options(opts(t, ""))
+                    .solve()
+                    .unwrap();
+                assert_eq!(par.status, serial.status, "trial {trial} x{t}");
+                if serial.status == MipStatus::Optimal {
+                    assert!(
+                        (par.objective - serial.objective).abs() < 1e-6,
+                        "trial {trial} x{t}: {} vs {}",
+                        par.objective,
+                        serial.objective
+                    );
+                }
+            }
         }
-        for &v in &vals {
-            assert_eq!(key_bound(bound_key(v)), v);
+    }
+
+    #[test]
+    fn parallel_node_counts_stay_bounded_on_knapsack() {
+        // The prompt seqlock incumbent keeps speculative exploration in
+        // check: the parallel tree may not dwarf the serial one.
+        let p = knapsack();
+        let serial = BranchAndBound::new(&p).solve().unwrap();
+        for t in [2, 4] {
+            let par = BranchAndBound::new(&p)
+                .options(opts(t, ""))
+                .solve()
+                .unwrap();
+            assert_eq!(par.status, MipStatus::Optimal);
+            assert!(
+                par.stats.nodes <= serial.stats.nodes * 3 + t,
+                "x{t}: {} nodes vs serial {}",
+                par.stats.nodes,
+                serial.stats.nodes
+            );
         }
     }
 }

@@ -1,0 +1,427 @@
+//! Portfolio racing: independent solver configurations, first finisher wins.
+//!
+//! Entered from [`BranchAndBound::solve`](crate::BranchAndBound::solve) when
+//! [`MipOptions::portfolio`](crate::MipOptions) is set. Where the
+//! work-stealing scheduler (`parallel` module) parallelizes *one* tree
+//! search, a portfolio races *several complete searches* — the caller's
+//! branching rule and the built-in unguided/diving rules, crossed with
+//! Dantzig and devex pricing — each as the exact serial algorithm on its
+//! own thread. The arms share nothing but a winner flag: no deques, no
+//! incumbent exchange, no warm-start sharing — embarrassingly parallel and
+//! immune to search-tree nondeterminism.
+//!
+//! ## Cancellation
+//!
+//! Each arm runs under its own cooperative [`Budget`]. The first arm to
+//! finish *conclusively* (`Optimal` / `Infeasible` / `Unbounded`) claims the
+//! winner slot with a compare-and-swap and calls
+//! [`Budget::request_stop`] on every peer. Losers observe the flag at their
+//! next between-node check (or mid-LP through the pivot loop's budget
+//! sampling) and stop with a truthful [`MipStatus::TimeLimit`] — exactly
+//! the status an external limit would have produced, because that is what a
+//! lost race is.
+//!
+//! ## Determinism and resilience
+//!
+//! Every conclusive arm proves the same optimal objective (each is the
+//! serial solver), so the racing answer is deterministic even though the
+//! winning *arm* is a wall-clock race; only the reported argmin of
+//! objective-tied optima and the winner's name can vary. Each arm runs
+//! under `catch_unwind` (with a scripted
+//! [`FaultSite::WorkerPanic`] injection point for tests): a panicking arm
+//! is dropped from the race and the remaining arms decide it. If no arm is
+//! conclusive (every arm limited, errored, or panicked), the best incumbent
+//! across arms is reported with the tightest cross-arm `best_bound` — each
+//! arm's bound is valid for the same problem, so the max is too.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::branch::{
+    solve_serial, BranchingRule, FirstIndexRule, MipSolution, MipStats, MostFractionalRule,
+};
+use crate::faults::{Budget, FaultSite};
+use crate::options::{MipOptions, Pricing};
+use crate::problem::{LpError, Problem};
+use crate::status::MipStatus;
+
+/// One racing configuration.
+struct Arm<'a> {
+    name: String,
+    rule: &'a (dyn BranchingRule + Sync),
+    pricing: Pricing,
+}
+
+/// Sentinel for "no winner yet".
+const NO_WINNER: usize = usize::MAX;
+
+fn conclusive(status: MipStatus) -> bool {
+    matches!(
+        status,
+        MipStatus::Optimal | MipStatus::Infeasible | MipStatus::Unbounded
+    )
+}
+
+/// Builds the arm list for a caller rule: the rule itself under both
+/// pricing engines, plus the unguided (first-index, Dantzig) and diving
+/// (most-fractional, devex) built-ins, deduplicated by configuration name.
+fn build_arms<'a>(
+    rule: &'a (dyn BranchingRule + Sync),
+    unguided: &'a FirstIndexRule,
+    diving: &'a MostFractionalRule,
+) -> Vec<Arm<'a>> {
+    let mut arms: Vec<Arm<'a>> = Vec::new();
+    let mut push = |name: String, rule: &'a (dyn BranchingRule + Sync), pricing: Pricing| {
+        if arms.iter().all(|a| a.name != name) {
+            arms.push(Arm {
+                name,
+                rule,
+                pricing,
+            });
+        }
+    };
+    push(format!("{}-dantzig", rule.name()), rule, Pricing::Dantzig);
+    push(format!("{}-devex", rule.name()), rule, Pricing::Devex);
+    push(
+        format!("{}-dantzig", unguided.name()),
+        unguided,
+        Pricing::Dantzig,
+    );
+    push(format!("{}-devex", diving.name()), diving, Pricing::Devex);
+    arms
+}
+
+/// Races the portfolio; see the module docs.
+pub(crate) fn solve_portfolio(
+    problem: &Problem,
+    opts: &MipOptions,
+    rule: &(dyn BranchingRule + Sync),
+) -> Result<MipSolution, LpError> {
+    // audit: allow(nondet) — wall-clock start for the reported runtime; the
+    // race's *answer* does not depend on it.
+    let start = Instant::now();
+    let unguided = FirstIndexRule;
+    let diving = MostFractionalRule;
+    let arms = build_arms(rule, &unguided, &diving);
+    let budgets: Vec<Arc<Budget>> = arms
+        .iter()
+        .map(|_| {
+            Arc::new(Budget::new(
+                opts.time_limit_secs,
+                opts.max_nodes,
+                opts.max_lp_iterations,
+            ))
+        })
+        .collect();
+    let winner = AtomicUsize::new(NO_WINNER);
+
+    let results: Vec<Option<Result<MipSolution, LpError>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = arms
+            .iter()
+            .enumerate()
+            .map(|(idx, arm)| {
+                let budgets = &budgets;
+                let winner = &winner;
+                let mut arm_opts = opts.clone();
+                arm_opts.threads = 1;
+                arm_opts.portfolio = false;
+                arm_opts.lp.pricing = arm.pricing;
+                scope.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(plan) = &arm_opts.lp.faults {
+                            if plan.trip(FaultSite::WorkerPanic) {
+                                // audit: allow(no-panic) — deliberate scripted
+                                // fault: the injection site the per-arm
+                                // catch_unwind exists to contain; never fires
+                                // without a FaultPlan.
+                                panic!("injected portfolio-arm panic (fault plan)");
+                            }
+                        }
+                        solve_serial(problem, &arm_opts, arm.rule, Arc::clone(&budgets[idx]))
+                    }));
+                    match &result {
+                        Ok(Ok(sol)) if conclusive(sol.status) => {
+                            // First conclusive finisher wins and cancels the
+                            // rest through their cooperative budgets.
+                            if winner
+                                .compare_exchange(
+                                    NO_WINNER,
+                                    idx,
+                                    Ordering::SeqCst,
+                                    Ordering::SeqCst,
+                                )
+                                .is_ok()
+                            {
+                                for (j, b) in budgets.iter().enumerate() {
+                                    if j != idx {
+                                        b.request_stop();
+                                    }
+                                }
+                            }
+                        }
+                        Ok(_) => {}
+                        Err(_) => {
+                            eprintln!("tempart-lp: portfolio arm panicked; dropped from the race");
+                        }
+                    }
+                    result.ok()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    merge(arms, results, winner.load(Ordering::SeqCst), start)
+}
+
+/// Folds the per-arm results into one solution (winner's answer, summed
+/// work counters, per-arm node/time vectors).
+fn merge(
+    arms: Vec<Arm<'_>>,
+    results: Vec<Option<Result<MipSolution, LpError>>>,
+    winner: usize,
+    start: Instant,
+) -> Result<MipSolution, LpError> {
+    let mut stats = MipStats::default();
+    let mut solutions: Vec<(usize, MipSolution)> = Vec::new();
+    let mut first_error: Option<LpError> = None;
+    for (idx, res) in results.into_iter().enumerate() {
+        match res {
+            Some(Ok(sol)) => {
+                stats.nodes += sol.stats.nodes;
+                stats.lp_iterations += sol.stats.lp_iterations;
+                stats.pruned_by_bound += sol.stats.pruned_by_bound;
+                stats.pruned_infeasible += sol.stats.pruned_infeasible;
+                stats.per_worker_nodes.push(sol.stats.nodes);
+                stats.per_worker_busy_secs.push(sol.stats.seconds);
+                stats.simplex.absorb(&sol.stats.simplex);
+                solutions.push((idx, sol));
+            }
+            Some(Err(e)) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+                stats.per_worker_nodes.push(0);
+                stats.per_worker_busy_secs.push(0.0);
+            }
+            None => {
+                // Panicked arm: its work counters died with it.
+                stats.per_worker_nodes.push(0);
+                stats.per_worker_busy_secs.push(0.0);
+            }
+        }
+    }
+    stats.seconds = start.elapsed().as_secs_f64();
+
+    // Pick the reported arm: the race winner if there is one, else the
+    // loser with the best incumbent (they all stopped at limits).
+    let chosen = if winner != NO_WINNER {
+        solutions.iter().position(|(idx, _)| *idx == winner)
+    } else {
+        solutions
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, s))| s.status.may_have_solution() && !s.x.is_empty())
+            .min_by(|(_, (_, a)), (_, (_, b))| a.objective.total_cmp(&b.objective))
+            .map(|(pos, _)| pos)
+            .or_else(|| solutions.first().map(|_| 0))
+    };
+    let Some(pos) = chosen else {
+        // Nothing came back at all: a hard error if any arm raised one,
+        // otherwise every arm panicked — degrade honestly.
+        return match first_error {
+            Some(e) => Err(e),
+            None => Ok(MipSolution {
+                status: MipStatus::NodeLimit,
+                x: Vec::new(),
+                objective: f64::INFINITY,
+                best_bound: f64::NEG_INFINITY,
+                stats,
+            }),
+        };
+    };
+    // Every arm's bound is valid for the same problem, so the losers can
+    // tighten the chosen arm's proven bound (relevant only when nobody won).
+    let cross_arm_bound = solutions
+        .iter()
+        .map(|(_, s)| s.best_bound)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let (idx, sol) = solutions.swap_remove(pos);
+    stats.incumbent_updates = sol.stats.incumbent_updates;
+    stats.portfolio_winner = Some(arms[idx].name.clone());
+    Ok(MipSolution {
+        status: sol.status,
+        x: sol.x,
+        objective: sol.objective,
+        best_bound: if conclusive(sol.status) {
+            sol.best_bound
+        } else {
+            cross_arm_bound.min(sol.objective)
+        },
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchAndBound;
+    use crate::faults::FaultPlan;
+    use crate::problem::{Sense, VarKind};
+
+    /// 4-item knapsack: optimum -23 at x = [1, 1, 0, 0].
+    fn knapsack() -> Problem {
+        let mut p = Problem::new("knap");
+        let values = [10.0, 13.0, 7.0, 8.0];
+        let weights = [3.0, 4.0, 2.0, 3.0];
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| p.add_var(format!("x{i}"), VarKind::Binary, -v).unwrap())
+            .collect();
+        p.add_constraint(
+            "cap",
+            vars.iter()
+                .zip(weights)
+                .map(|(&v, w)| (v, w))
+                .collect::<Vec<_>>(),
+            Sense::Le,
+            7.0,
+        )
+        .unwrap();
+        p
+    }
+
+    fn portfolio_opts() -> MipOptions {
+        MipOptions {
+            portfolio: true,
+            ..MipOptions::default()
+        }
+    }
+
+    #[test]
+    fn race_proves_the_optimum_and_names_a_winner() {
+        let p = knapsack();
+        let out = BranchAndBound::new(&p)
+            .options(portfolio_opts())
+            .solve()
+            .unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+        assert!((out.best_bound - out.objective).abs() < 1e-9);
+        let winner = out.stats.portfolio_winner.as_deref().expect("winner named");
+        assert!(
+            [
+                "most-fractional-dantzig",
+                "most-fractional-devex",
+                "first-index-dantzig",
+            ]
+            .contains(&winner),
+            "unexpected arm {winner}"
+        );
+        // One per-arm entry each (default rule dedups to 3 arms).
+        assert_eq!(out.stats.per_worker_nodes.len(), 3);
+        assert_eq!(out.stats.per_worker_busy_secs.len(), 3);
+    }
+
+    #[test]
+    fn arms_deduplicate_by_configuration() {
+        let fi = FirstIndexRule;
+        let mf = MostFractionalRule;
+        let arms = build_arms(&fi, &fi, &mf);
+        let names: Vec<_> = arms.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "first-index-dantzig",
+                "first-index-devex",
+                "most-fractional-devex"
+            ],
+            "caller's first-index-dantzig must absorb the unguided arm"
+        );
+        let prio = crate::branch::PriorityRule::new("prio", Vec::new());
+        let arms = build_arms(&prio, &fi, &mf);
+        assert_eq!(arms.len(), 4, "a distinct caller rule keeps all four arms");
+    }
+
+    #[test]
+    fn infeasible_race_is_conclusive() {
+        let mut p = Problem::new("inf");
+        let a = p.add_var("a", VarKind::Binary, 1.0).unwrap();
+        p.add_constraint("c", [(a, 2.0)], Sense::Eq, 1.0).unwrap();
+        let out = BranchAndBound::new(&p)
+            .options(portfolio_opts())
+            .solve()
+            .unwrap();
+        assert_eq!(out.status, MipStatus::Infeasible);
+        assert!(out.x.is_empty());
+        assert!(out.stats.portfolio_winner.is_some());
+    }
+
+    #[test]
+    fn cancelled_arm_reports_a_truthful_time_limit() {
+        // A loser observes its stopped budget at the next between-node
+        // check and exits exactly like an external limit: seed kept,
+        // `TimeLimit` status, valid bound.
+        let p = knapsack();
+        let opts = MipOptions {
+            initial_incumbent: Some(vec![0.0, 1.0, 0.0, 1.0]),
+            ..MipOptions::default()
+        };
+        let budget = Arc::new(Budget::new(
+            opts.time_limit_secs,
+            opts.max_nodes,
+            opts.max_lp_iterations,
+        ));
+        budget.request_stop();
+        let rule = MostFractionalRule;
+        let out = solve_serial(&p, &opts, &rule, budget).unwrap();
+        assert_eq!(out.status, MipStatus::TimeLimit);
+        assert_eq!(out.x, vec![0.0, 1.0, 0.0, 1.0], "seed kept");
+        assert!(out.best_bound <= out.objective + 1e-9);
+    }
+
+    #[test]
+    fn faults_panic_in_one_arm_still_completes_the_race() {
+        // The first arm to reach the injection site panics; the remaining
+        // arms decide the race and still prove the optimum.
+        let p = knapsack();
+        let mut opts = portfolio_opts();
+        opts.lp.faults = Some(Arc::new(FaultPlan::parse("panic@1").unwrap()));
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+        assert!(out.stats.portfolio_winner.is_some());
+        assert!(
+            out.stats
+                .per_worker_nodes
+                .iter()
+                .filter(|&&n| n == 0)
+                .count()
+                >= 1,
+            "the panicked arm contributes no nodes"
+        );
+    }
+
+    #[test]
+    fn portfolio_takes_precedence_over_threads() {
+        let p = knapsack();
+        let opts = MipOptions {
+            portfolio: true,
+            threads: 4,
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!(
+            out.stats.portfolio_winner.is_some(),
+            "raced, not tree-parallel"
+        );
+        assert_eq!(out.stats.contention, Default::default());
+    }
+}

@@ -115,6 +115,55 @@ impl SimplexProfile {
     }
 }
 
+/// Contention counters of the parallel search layer.
+///
+/// All zeros for the serial solver. For the parallel solver these expose
+/// how often the work-stealing scheduler left the uncontended fast path:
+/// the hot path (a worker dispatching its own node and warm-starting from
+/// its parent) takes no global lock, so on a tree deep enough to keep every
+/// worker busy these counters stay near zero relative to `nodes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionProfile {
+    /// Nodes a worker took from another worker's deque.
+    pub steals: usize,
+    /// Steal attempts that found the victim's deque momentarily locked by
+    /// its owner or another thief (the thief moved on to the next victim).
+    pub steal_failures: usize,
+    /// Node solves that materialized a working basis from a parent snapshot
+    /// still shared with an unexplored sibling — the copy-on-write clone
+    /// point. Dispatch itself never deep-clones a snapshot.
+    pub cow_clones: usize,
+    /// Seqlock acquisition retries while installing a new incumbent
+    /// (two workers raced to publish improvements at the same instant).
+    pub incumbent_retries: usize,
+    /// Times a worker's own-deque `try_lock` missed (a thief held the lock)
+    /// and the owner had to block — the only blocking a busy worker can do.
+    pub lock_waits: usize,
+}
+
+impl ContentionProfile {
+    /// Merges another contention profile into this one.
+    pub fn absorb(&mut self, other: &ContentionProfile) {
+        self.steals += other.steals;
+        self.steal_failures += other.steal_failures;
+        self.cow_clones += other.cow_clones;
+        self.incumbent_retries += other.incumbent_retries;
+        self.lock_waits += other.lock_waits;
+    }
+
+    /// One-line human-readable summary (the CLI's parallel stats line).
+    pub fn report(&self) -> String {
+        format!(
+            "{} steals ({} failed), {} cow clones, {} lock waits, {} incumbent retries",
+            self.steals,
+            self.steal_failures,
+            self.cow_clones,
+            self.lock_waits,
+            self.incumbent_retries,
+        )
+    }
+}
+
 /// Starts a section timer when profiling is enabled (else free).
 pub(crate) fn tick(enabled: bool) -> Option<Instant> {
     if enabled {
@@ -174,6 +223,25 @@ mod tests {
         p.ftran_secs = 0.25;
         assert!(p.report().contains("breakdown"));
         assert!(p.report().contains("ftran 250.0 ms"));
+    }
+
+    #[test]
+    fn contention_absorb_and_report() {
+        let mut a = ContentionProfile {
+            steals: 2,
+            steal_failures: 1,
+            cow_clones: 5,
+            incumbent_retries: 0,
+            lock_waits: 1,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.steals, 4);
+        assert_eq!(a.cow_clones, 10);
+        assert_eq!(a.lock_waits, 2);
+        let r = a.report();
+        assert!(r.contains("4 steals (2 failed)"), "{r}");
+        assert!(r.contains("10 cow clones"), "{r}");
     }
 
     #[test]

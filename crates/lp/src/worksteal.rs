@@ -1,0 +1,366 @@
+//! Contention-free building blocks for the parallel branch-and-bound
+//! search: per-worker work-stealing deques and the seqlock incumbent cell.
+//!
+//! ## Locking discipline
+//!
+//! The parallel scheduler's hot path — a worker dispatching its own node
+//! and warm-starting from its parent's basis — must take no global lock.
+//! The two structures here make that possible:
+//!
+//! * [`WorkDeque`] is a *steal-side-locked* deque. Each worker owns one;
+//!   the owner pushes and pops at the back (LIFO, preserving the serial
+//!   solver's dive locality) and thieves take from the front (the node
+//!   closest to the root, whose bound is typically the best on offer).
+//!   The only lock is per-deque, so the owner's `try_lock` contends only
+//!   with a thief that is stealing from *this worker at this instant*;
+//!   misses are counted as `lock_waits` and stay near zero whenever the
+//!   tree is deep enough to keep workers busy. An atomic length hint lets
+//!   both idle thieves and the owner skip the lock entirely when a deque
+//!   is empty.
+//! * [`IncumbentCell`] replaces the old `Mutex<Option<(Vec<f64>, f64)>>`
+//!   with a seqlock: the incumbent *objective* lives in an `AtomicU64`
+//!   (order-preserving [`bound_key`] encoding) so the pruning path reads
+//!   it wait-free, and the solution vector lives in a slot guarded by an
+//!   atomic sequence word that writers CAS to odd before touching it.
+//!   Readers of the full vector exist only after the worker join (the
+//!   epilogue takes `&mut self`), so no reader ever races a writer.
+//!
+//! Neither structure acquires another lock while holding its own, so they
+//! sit at the bottom of the crate's lock order (see the `// lock-order`
+//! declarations and `tempart-audit`'s lock-order lint). The atomics
+//! (`len` hints, `outstanding` counters, the seqlock word) are exempt
+//! from that lint by design: they are not blocking locks, and their
+//! invariants are documented here instead.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
+
+/// Poison-proof lock. A worker panic between a lock's acquisition and
+/// release would poison it for every peer; all critical sections in this
+/// crate's search layer are short and leave the guarded state consistent
+/// (node solves — the only code that can panic — run outside them), so the
+/// inner data is always safe to take.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-proof `try_lock`: `None` means another thread holds the lock.
+fn try_lock<T>(m: &Mutex<T>) -> Option<MutexGuard<'_, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+/// Order-preserving encoding of an `f64` into a `u64`: `a < b` iff
+/// `key(a) < key(b)` (for non-NaN values), so an atomic minimum objective
+/// can be kept in an `AtomicU64`.
+pub(crate) fn bound_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`bound_key`].
+pub(crate) fn key_bound(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & !(1u64 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// Why a steal attempt returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StealFail {
+    /// The victim's deque was empty (not a contention event).
+    Empty,
+    /// The victim's deque was momentarily locked by its owner or another
+    /// thief; the caller should try the next victim and retry later.
+    Busy,
+}
+
+/// A steal-side-locked work deque owned by one worker.
+///
+/// The owner pushes/pops at the back; thieves steal from the front. All
+/// deques share one lock-order class because no worker ever holds two
+/// deque locks at once (the steal sweep locks one victim at a time).
+pub(crate) struct WorkDeque<T> {
+    // lock-order: 1
+    jobs: Mutex<VecDeque<T>>,
+    /// Length hint, maintained while holding `jobs`. Readers use it only
+    /// to skip the lock on empty deques; a stale nonzero value is
+    /// re-checked under the lock, and a stale zero is corrected by the
+    /// sleep/wake protocol (publishers store the hint before checking for
+    /// sleepers, sleepers register before reading the hints — both with
+    /// `SeqCst`, so one side always sees the other).
+    len: AtomicUsize,
+}
+
+impl<T> WorkDeque<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            jobs: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether the deque is empty per the atomic hint (no lock taken).
+    pub(crate) fn is_empty_hint(&self) -> bool {
+        self.len.load(Ordering::SeqCst) == 0
+    }
+
+    /// Owner-side push at the back. Uncontended unless a thief holds the
+    /// lock at this instant; a miss is counted into `lock_waits`.
+    pub(crate) fn push(&self, item: T, lock_waits: &mut usize) {
+        let mut q = match try_lock(&self.jobs) {
+            Some(g) => g,
+            None => {
+                *lock_waits += 1;
+                lock(&self.jobs)
+            }
+        };
+        q.push_back(item);
+        self.len.store(q.len(), Ordering::SeqCst);
+    }
+
+    /// Owner-side pop from the back (most recently published sibling —
+    /// the deepest node, maximizing warm-start locality).
+    pub(crate) fn pop(&self, lock_waits: &mut usize) -> Option<T> {
+        if self.is_empty_hint() {
+            return None;
+        }
+        let mut q = match try_lock(&self.jobs) {
+            Some(g) => g,
+            None => {
+                *lock_waits += 1;
+                lock(&self.jobs)
+            }
+        };
+        let item = q.pop_back();
+        self.len.store(q.len(), Ordering::SeqCst);
+        item
+    }
+
+    /// Thief-side steal from the front (the victim's root-most open node,
+    /// typically the best bound it has on offer). Never blocks: a held
+    /// lock reports [`StealFail::Busy`] so the thief can sweep on.
+    pub(crate) fn steal(&self) -> Result<T, StealFail> {
+        if self.is_empty_hint() {
+            return Err(StealFail::Empty);
+        }
+        let mut q = match try_lock(&self.jobs) {
+            Some(g) => g,
+            None => return Err(StealFail::Busy),
+        };
+        let item = q.pop_front();
+        self.len.store(q.len(), Ordering::SeqCst);
+        item.ok_or(StealFail::Empty)
+    }
+
+    /// Drains every remaining node (epilogue only, after the worker join).
+    pub(crate) fn drain(&self) -> Vec<T> {
+        let mut q = lock(&self.jobs);
+        self.len.store(0, Ordering::SeqCst);
+        q.drain(..).collect()
+    }
+}
+
+/// Seqlock incumbent exchange: wait-free objective reads, lock-free
+/// monotone installation.
+///
+/// The slot behind the [`UnsafeCell`] is touched only by a writer that won
+/// the seqlock CAS (making writers mutually exclusive) and by the epilogue
+/// through `&mut self` (after every worker joined), so the full solution
+/// vector is never read concurrently with a write. The objective mirror in
+/// `key` is monotone non-increasing and only ever stored by the current
+/// seqlock holder.
+pub(crate) struct IncumbentCell {
+    /// [`bound_key`] of the best objective so far (`+∞` when none).
+    key: AtomicU64,
+    /// Seqlock word: even = idle, odd = a writer owns the slot.
+    seq: AtomicU64,
+    slot: UnsafeCell<Option<(Vec<f64>, f64)>>,
+}
+
+// SAFETY: `slot` is only accessed by the unique thread holding the seqlock
+// (odd `seq`, won by CAS) or through `&mut self`; `key` and `seq` are
+// atomics. See the struct docs for the full protocol.
+unsafe impl Sync for IncumbentCell {}
+
+impl IncumbentCell {
+    pub(crate) fn new(seed: Option<(Vec<f64>, f64)>) -> Self {
+        let key = bound_key(seed.as_ref().map_or(f64::INFINITY, |(_, obj)| *obj));
+        Self {
+            key: AtomicU64::new(key),
+            seq: AtomicU64::new(0),
+            slot: UnsafeCell::new(seed),
+        }
+    }
+
+    /// Wait-free read of the incumbent objective (`+∞` if none yet).
+    pub(crate) fn bound(&self) -> f64 {
+        key_bound(self.key.load(Ordering::Acquire))
+    }
+
+    /// Installs a better incumbent; returns whether it was accepted.
+    /// CAS retries (another writer racing) are counted into `retries`.
+    pub(crate) fn offer(&self, x: &[f64], obj: f64, abs_gap: f64, retries: &mut usize) -> bool {
+        loop {
+            // Fast reject without touching the seqlock: the key is
+            // monotone, so a stale read can only under-reject, and the
+            // winner re-checks under the seqlock below.
+            if obj >= self.bound() - abs_gap {
+                return false;
+            }
+            let s = self.seq.load(Ordering::Acquire);
+            if s & 1 == 1
+                || self
+                    .seq
+                    .compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+            {
+                *retries += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            // We hold the seqlock: re-check monotonically and install.
+            let accept = obj < self.bound() - abs_gap;
+            if accept {
+                // SAFETY: unique writer — the CAS above made `seq` odd.
+                unsafe { *self.slot.get() = Some((x.to_vec(), obj)) };
+                self.key.store(bound_key(obj), Ordering::Release);
+            }
+            self.seq.store(s + 2, Ordering::Release);
+            return accept;
+        }
+    }
+
+    /// Takes the incumbent out (epilogue only: `&mut self` proves every
+    /// worker has joined, so no writer can hold the seqlock).
+    pub(crate) fn take(&mut self) -> Option<(Vec<f64>, f64)> {
+        self.slot.get_mut().take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn deque_owner_lifo_thief_fifo() {
+        let d: WorkDeque<u32> = WorkDeque::new();
+        let mut waits = 0;
+        assert!(d.is_empty_hint());
+        assert_eq!(d.pop(&mut waits), None, "empty pop skips the lock");
+        d.push(1, &mut waits);
+        d.push(2, &mut waits);
+        d.push(3, &mut waits);
+        assert!(!d.is_empty_hint());
+        assert_eq!(d.steal(), Ok(1), "thief takes the oldest");
+        assert_eq!(d.pop(&mut waits), Some(3), "owner takes the newest");
+        assert_eq!(d.pop(&mut waits), Some(2));
+        assert_eq!(d.steal(), Err(StealFail::Empty));
+        assert_eq!(waits, 0, "single-threaded use never blocks");
+    }
+
+    #[test]
+    fn deque_steal_reports_busy_not_blocks() {
+        let d: WorkDeque<u32> = WorkDeque::new();
+        let mut waits = 0;
+        d.push(7, &mut waits);
+        let _held = d.jobs.lock().unwrap();
+        assert_eq!(d.steal(), Err(StealFail::Busy));
+    }
+
+    #[test]
+    fn deque_drain_returns_everything() {
+        let d: WorkDeque<u32> = WorkDeque::new();
+        let mut waits = 0;
+        for v in 0..5 {
+            d.push(v, &mut waits);
+        }
+        assert_eq!(d.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(d.is_empty_hint());
+    }
+
+    #[test]
+    fn incumbent_monotone_and_gap_respecting() {
+        let mut retries = 0;
+        let mut cell = IncumbentCell::new(None);
+        assert_eq!(cell.bound(), f64::INFINITY);
+        assert!(cell.offer(&[1.0], -5.0, 1e-9, &mut retries));
+        assert_eq!(cell.bound(), -5.0);
+        assert!(
+            !cell.offer(&[2.0], -5.0, 1e-9, &mut retries),
+            "tie rejected"
+        );
+        assert!(
+            !cell.offer(&[2.0], -4.0, 1e-9, &mut retries),
+            "worse rejected"
+        );
+        assert!(cell.offer(&[3.0], -6.0, 1e-9, &mut retries));
+        assert_eq!(cell.take(), Some((vec![3.0], -6.0)));
+        assert_eq!(retries, 0, "uncontended offers never retry");
+    }
+
+    #[test]
+    fn incumbent_seeded_start() {
+        let mut cell = IncumbentCell::new(Some((vec![0.0, 1.0], -21.0)));
+        assert_eq!(cell.bound(), -21.0);
+        let mut retries = 0;
+        assert!(!cell.offer(&[9.0], -20.0, 1e-9, &mut retries));
+        assert_eq!(cell.take(), Some((vec![0.0, 1.0], -21.0)));
+    }
+
+    #[test]
+    fn incumbent_concurrent_offers_keep_minimum() {
+        let cell = IncumbentCell::new(None);
+        let retries = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cell = &cell;
+                let retries = &retries;
+                s.spawn(move || {
+                    let mut r = 0;
+                    for i in 0..500 {
+                        let obj = -((t * 500 + i) as f64);
+                        cell.offer(&[obj], obj, 1e-9, &mut r);
+                    }
+                    retries.fetch_add(r, Ordering::SeqCst);
+                });
+            }
+        });
+        let mut cell = cell;
+        let (x, obj) = cell.take().expect("some offer won");
+        assert_eq!(obj, -1999.0, "global minimum installed");
+        assert_eq!(x, vec![-1999.0], "vector matches its objective");
+    }
+
+    #[test]
+    fn bound_key_is_order_preserving() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-9,
+            42.0,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(bound_key(w[0]) <= bound_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for &v in &vals {
+            assert_eq!(key_bound(bound_key(v)), v);
+        }
+    }
+}

@@ -156,7 +156,7 @@ proptest! {
                 if threads == 1 { 1 } else { threads });
             prop_assert_eq!(out.stats.per_worker_nodes.iter().sum::<usize>(), out.stats.nodes);
             if threads == 1 {
-                prop_assert_eq!(out.stats.steals, 0);
+                prop_assert_eq!(out.stats.contention, Default::default());
             }
         }
     }
