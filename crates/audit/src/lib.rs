@@ -14,7 +14,7 @@
 //! | `no-panic` | `crates/lp/src`, `crates/core/src` | no `unwrap`/`expect`/`panic!`/`todo!` in non-test code |
 //! | `float-eq` | `crates/lp/src`, `crates/core/src` | no exact float `==`/`!=` outside `crates/lp/src/tol.rs` |
 //! | `nondet` | `crates/lp/src` except `faults.rs`, `profile.rs` | no `Instant::now`/`SystemTime`/`HashMap` in solver decision paths |
-//! | `lock-order` | `crates/lp/src/{parallel,worksteal,portfolio}.rs` | `lock(…)` acquisitions follow the `// lock-order: N` declarations |
+//! | `lock-order` | `crates/lp/src/{parallel,worksteal,portfolio,pseudocost}.rs` | `lock(…)` acquisitions follow the `// lock-order: N` declarations |
 //!
 //! L4 deliberately does not track atomics: the work-stealing scheduler's
 //! lock-free structures (the seqlock incumbent exchange, the deques' `len`
@@ -60,6 +60,7 @@ pub fn lints_for_path(path: &str) -> FileLints {
             "crates/lp/src/parallel.rs"
                 | "crates/lp/src/worksteal.rs"
                 | "crates/lp/src/portfolio.rs"
+                | "crates/lp/src/pseudocost.rs"
         ),
     }
 }
@@ -138,6 +139,15 @@ mod tests {
         assert!(ws.lock_order, "the deque locks are L4-ordered");
         let pf = lints_for_path("crates/lp/src/portfolio.rs");
         assert!(pf.lock_order);
+        let pc = lints_for_path("crates/lp/src/pseudocost.rs");
+        assert!(
+            pc.lock_order && pc.no_panic && pc.float_eq && pc.nondet,
+            "the shared pseudo-cost engine is the L6 leaf lock"
+        );
+        let cuts = lints_for_path("crates/lp/src/cuts.rs");
+        assert!(cuts.no_panic && cuts.float_eq && cuts.nondet && !cuts.lock_order);
+        let prop = lints_for_path("crates/lp/src/propagate.rs");
+        assert!(prop.no_panic && prop.float_eq && prop.nondet && !prop.lock_order);
 
         let core = lints_for_path("crates/core/src/model.rs");
         assert!(core.no_panic && core.float_eq && !core.nondet);

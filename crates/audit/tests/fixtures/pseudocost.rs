@@ -1,0 +1,31 @@
+//! Fixture: the pseudo-cost engine's leaf-lock contract (`lock-order: 6`
+//! is a leaf — acquired with nothing else held). Never compiled — lexed by
+//! `lint_golden.rs`.
+
+struct Shared {
+    // lock-order: 2
+    incumbent: u32,
+    // lock-order: 6
+    pseudo: u32,
+}
+
+fn lock(x: &u32) -> u32 {
+    *x
+}
+
+fn leaf_acquired_alone(s: &Shared) {
+    let g = lock(&s.pseudo);
+    drop(g);
+}
+
+fn in_order_observe(s: &Shared) {
+    let a = lock(&s.incumbent);
+    let b = lock(&s.pseudo);
+    drop((a, b));
+}
+
+fn leaf_before_lower_is_an_inversion(s: &Shared) {
+    let a = lock(&s.pseudo);
+    let b = lock(&s.incumbent);
+    drop((a, b));
+}

@@ -110,6 +110,22 @@ fn worksteal_fixture_golden() {
 }
 
 #[test]
+fn pseudocost_fixture_golden() {
+    let got = run(
+        include_str!("fixtures/pseudocost.rs"),
+        "crates/lp/src/pseudocost.rs",
+    );
+    assert_eq!(
+        got,
+        vec![
+            (Lint::LockOrder, 29, false), // incumbent (2) acquired holding the leaf (6)
+        ],
+        "the L6 engine lock is a leaf: alone and after lower orders is \
+         fine, anything acquired while holding it fires"
+    );
+}
+
+#[test]
 fn fixtures_out_of_scope_paths_produce_nothing() {
     for src in [
         include_str!("fixtures/panics.rs"),

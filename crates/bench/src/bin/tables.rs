@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Experiments: `table1`, `table2`, `table3`, `table4`, `ablation`,
-//! `simulate`, `parallel`, `portfolio`, `simplex`, `resilience`, `all`.
+//! `simulate`, `parallel`, `portfolio`, `simplex`, `resilience`, `scale`,
+//! `all` (plus `scale-smoke`, the budgeted CI variant of `scale`).
 //! The default
 //! per-row time limit is 600 s (the paper cut Table 1 off at 7200 s on a
 //! 175 MHz UltraSparc; modern hardware needs far less to show the same
@@ -28,7 +29,7 @@
 use tempart_bench::report::{format_markdown, format_table};
 use tempart_bench::{date98_device, date98_instance, run_row, ExperimentRow, RowConfig};
 use tempart_core::{CutSet, IlpModel, Linearization, ModelConfig, RuleKind, SolveOptions, WForm};
-use tempart_lp::{MipOptions, Pricing};
+use tempart_lp::{Branching, MipOptions, Pricing};
 use tempart_sim::{execute, naive_partitioning};
 
 fn main() {
@@ -67,6 +68,8 @@ fn main() {
             "portfolio" => portfolio(limit),
             "simplex" => simplex(limit),
             "resilience" => resilience(limit),
+            "scale" => scale(limit, false),
+            "scale-smoke" => scale(limit, true),
             "all" => {
                 table1(limit, threads);
                 table2(limit, threads);
@@ -78,9 +81,10 @@ fn main() {
                 portfolio(limit);
                 simplex(limit);
                 resilience(limit);
+                scale(limit, false);
             }
             other => eprintln!(
-                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, portfolio, simplex, resilience, all)"
+                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, portfolio, simplex, resilience, scale, scale-smoke, all)"
             ),
         }
     }
@@ -123,6 +127,10 @@ fn table1(limit: f64, threads: usize) {
         portfolio: false,
         pricing: Pricing::Dantzig,
         profile: false,
+        cuts: false,
+        rins: false,
+        propagate: false,
+        branching: Branching::Rule,
     })
     .collect();
     run_and_print(
@@ -154,6 +162,10 @@ fn table2(limit: f64, threads: usize) {
         portfolio: false,
         pricing: Pricing::Dantzig,
         profile: false,
+        cuts: false,
+        rins: false,
+        propagate: false,
+        branching: Branching::Rule,
     })
     .collect();
     run_and_print(
@@ -180,6 +192,10 @@ fn table3(limit: f64, threads: usize) {
             portfolio: false,
             pricing: Pricing::Dantzig,
             profile: false,
+            cuts: false,
+            rins: false,
+            propagate: false,
+            branching: Branching::Rule,
         })
         .collect();
     run_and_print(
@@ -221,6 +237,10 @@ fn table4(limit: f64, threads: usize) {
         portfolio: false,
         pricing: Pricing::Dantzig,
         profile: false,
+        cuts: false,
+        rins: false,
+        propagate: false,
+        branching: Branching::Rule,
     })
     .collect();
     run_and_print(
@@ -326,6 +346,10 @@ fn ablation(limit: f64, threads: usize) {
             portfolio: false,
             pricing: Pricing::Dantzig,
             profile: false,
+            cuts: false,
+            rins: false,
+            propagate: false,
+            branching: Branching::Rule,
         };
         match run_row(&cfg) {
             Ok(r) => println!(
@@ -491,6 +515,10 @@ fn parallel(limit: f64) {
                 portfolio: false,
                 pricing: Pricing::Dantzig,
                 profile: false,
+                cuts: false,
+                rins: false,
+                propagate: false,
+                branching: Branching::Rule,
             };
             let mut best: Option<ExperimentRow> = None;
             for _ in 0..REPS {
@@ -640,6 +668,10 @@ fn portfolio(limit: f64) {
         portfolio,
         pricing,
         profile: false,
+        cuts: false,
+        rins: false,
+        propagate: false,
+        branching: Branching::Rule,
     };
     let mut json_rows: Vec<String> = Vec::new();
     let mut worst_single: Option<(f64, &'static str)> = None;
@@ -776,6 +808,10 @@ fn simplex(limit: f64) {
                 portfolio: false,
                 pricing,
                 profile: true,
+                cuts: false,
+                rins: false,
+                propagate: false,
+                branching: Branching::Rule,
             };
             let mut best: Option<ExperimentRow> = None;
             for _ in 0..REPS {
@@ -945,6 +981,161 @@ fn resilience(limit: f64) {
     match std::fs::write("BENCH_resilience.json", &json) {
         Ok(()) => println!("wrote BENCH_resilience.json ({} rows)", json_rows.len()),
         Err(e) => eprintln!("cannot write BENCH_resilience.json: {e}"),
+    }
+    println!();
+}
+
+/// Scale-layer study: the flagship unguided row (graph 1, N=3, L=1,
+/// first-index rule, unseeded — the ~10.7k-node tree the cut-and-heuristic
+/// layer exists to shrink) re-solved under each scale feature alone and
+/// under the full stack. Every variant must prove the same optimum
+/// (cost 13); the headline acceptance bar is the full stack exploring at
+/// most 70% of the baseline's nodes. `smoke` runs only the baseline and
+/// the full stack (the budgeted CI variant). Results go to stdout and
+/// `BENCH_scale.json` (written via `BENCH_scale.json.tmp` and renamed, so
+/// an interrupted run never leaves a truncated artifact).
+fn scale(limit: f64, smoke: bool) {
+    type Variant = (&'static str, bool, bool, bool, Branching);
+    let all: [Variant; 6] = [
+        ("baseline", false, false, false, Branching::Rule),
+        ("cuts", true, false, false, Branching::Rule),
+        ("propagate", false, false, true, Branching::Rule),
+        ("rins", false, true, false, Branching::Rule),
+        ("pseudocost", false, false, false, Branching::Pseudocost),
+        ("full-stack", true, true, true, Branching::Pseudocost),
+    ];
+    let variants: Vec<Variant> = if smoke {
+        all.iter()
+            .copied()
+            .filter(|&(name, ..)| name == "baseline" || name == "full-stack")
+            .collect()
+    } else {
+        all.to_vec()
+    };
+    println!(
+        "Scale layer: g1-N3-L1 unguided under the cut-and-heuristic stack{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<12} {:>9} {:>7} {:>9} {:>5} {:>6} {:>5} {:>5} {:>5} {:>7}",
+        "variant", "wall(ms)", "nodes", "lp-iters", "cost", "cuts", "prop", "rins", "sb", "vs-base"
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut baseline: Option<(usize, Option<u64>)> = None;
+    let mut full: Option<(usize, Option<u64>)> = None;
+    for (name, cuts, rins, propagate, branching) in variants {
+        let cfg = RowConfig {
+            graph_no: 1,
+            ams: (2, 2, 1),
+            config: ModelConfig::tightened(3, 1),
+            rule: RuleKind::FirstIndex,
+            time_limit_secs: limit,
+            device: date98_device(),
+            seed_incumbent: false,
+            threads: 1,
+            portfolio: false,
+            pricing: Pricing::Dantzig,
+            profile: false,
+            cuts,
+            rins,
+            propagate,
+            branching,
+        };
+        let row = match run_row(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("scale {name} failed: {e}");
+                continue;
+            }
+        };
+        let wall_ms = row.seconds * 1e3;
+        if name == "baseline" {
+            baseline = Some((row.nodes, row.cost));
+        }
+        if name == "full-stack" {
+            full = Some((row.nodes, row.cost));
+        }
+        let vs_base = baseline
+            .filter(|&(b, _)| b > 0)
+            .map(|(b, _)| row.nodes as f64 / b as f64);
+        let s = row.stats.scale;
+        println!(
+            "{:<12} {:>9.1} {:>7} {:>9} {:>5} {:>6} {:>5} {:>5} {:>5} {:>7}",
+            name,
+            wall_ms,
+            row.nodes,
+            row.lp_iterations,
+            row.cost.map_or("-".to_string(), |c| c.to_string()),
+            s.cuts_applied,
+            s.propagation_fixings + s.propagation_infeasible,
+            s.rins_incumbents,
+            s.strong_branch_solves,
+            vs_base.map_or("-".to_string(), |r| format!("{:.0}%", r * 100.0)),
+        );
+        json_rows.push(format!(
+            "  {{\"variant\": \"{name}\", \"instance\": \"g1-N3-L1-unguided\", \
+             \"cuts\": {cuts}, \"rins\": {rins}, \"propagate\": {propagate}, \
+             \"branching\": \"{}\", \"wall_ms\": {:.3}, \"nodes\": {}, \
+             \"lp_iterations\": {}, \"cost\": {}, \
+             \"cuts_separated\": {}, \"cuts_applied\": {}, \"cut_rounds\": {}, \
+             \"propagation_fixings\": {}, \"propagation_infeasible\": {}, \
+             \"rins_runs\": {}, \"rins_incumbents\": {}, \"rins_nodes\": {}, \
+             \"pseudocost_updates\": {}, \"strong_branch_solves\": {}, \
+             \"nodes_vs_baseline\": {}}}",
+            branching.as_str(),
+            wall_ms,
+            row.nodes,
+            row.lp_iterations,
+            row.cost.map_or("null".to_string(), |c| c.to_string()),
+            s.cuts_separated,
+            s.cuts_applied,
+            s.cut_rounds,
+            s.propagation_fixings,
+            s.propagation_infeasible,
+            s.rins_runs,
+            s.rins_incumbents,
+            s.rins_nodes,
+            s.pseudocost_updates,
+            s.strong_branch_solves,
+            vs_base.map_or("null".to_string(), |r| format!("{r:.4}")),
+        ));
+    }
+    // Pinned acceptance bar: the full stack proves the same optimum
+    // (cost 13) in at most 70% of the baseline's nodes.
+    let bar = match (baseline, full) {
+        (Some((base_nodes, base_cost)), Some((full_nodes, full_cost))) if base_nodes > 0 => {
+            let ratio = full_nodes as f64 / base_nodes as f64;
+            let pass = base_cost == Some(13) && full_cost == Some(13) && ratio <= 0.70;
+            println!(
+                "acceptance [{}]: full stack {} nodes vs baseline {} ({:.0}% — bar ≤70%), \
+                 cost {} vs {}",
+                if pass { "PASS" } else { "FAIL" },
+                full_nodes,
+                base_nodes,
+                ratio * 100.0,
+                full_cost.map_or("-".to_string(), |c| c.to_string()),
+                base_cost.map_or("-".to_string(), |c| c.to_string()),
+            );
+            format!(
+                "  {{\"acceptance\": \"full_stack_nodes_le_0.70_of_baseline_at_cost_13\", \
+                 \"instance\": \"g1-N3-L1-unguided\", \"baseline_nodes\": {base_nodes}, \
+                 \"full_stack_nodes\": {full_nodes}, \"node_ratio\": {ratio:.4}, \
+                 \"baseline_cost\": {}, \"full_stack_cost\": {}, \"pass\": {pass}}}",
+                base_cost.map_or("null".to_string(), |c| c.to_string()),
+                full_cost.map_or("null".to_string(), |c| c.to_string()),
+            )
+        }
+        _ => "  {\"acceptance\": \"missing-scale-rows\", \"pass\": false}".to_string(),
+    };
+    json_rows.push(bar);
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    // Write-then-rename: the .tmp path is gitignored, and a crash mid-write
+    // cannot corrupt the committed artifact.
+    let write = std::fs::write("BENCH_scale.json.tmp", &json)
+        .and_then(|()| std::fs::rename("BENCH_scale.json.tmp", "BENCH_scale.json"));
+    match write {
+        Ok(()) => println!("wrote BENCH_scale.json ({} rows)", json_rows.len()),
+        Err(e) => eprintln!("cannot write BENCH_scale.json: {e}"),
     }
     println!();
 }

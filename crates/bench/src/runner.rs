@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use tempart_core::{CoreError, IlpModel, ModelConfig, RuleKind, SolveOptions};
 use tempart_graph::FpgaDevice;
-use tempart_lp::{MipOptions, MipStats, MipStatus, Pricing};
+use tempart_lp::{Branching, MipOptions, MipStats, MipStatus, Pricing};
 
 use crate::graphs::{date98_instance, paper_graph_size};
 
@@ -42,6 +42,19 @@ pub struct RowConfig {
     /// Enable the per-phase simplex section timers (the `simplex` experiment
     /// sets this; counters are collected regardless).
     pub profile: bool,
+    /// Root cover/clique cut separation (cut-and-branch). Off for the
+    /// faithful table reproductions — the golden node counts depend on it;
+    /// the `scale` experiment sets this.
+    pub cuts: bool,
+    /// Scheduler-driven RINS primal heuristic (Figure-2 list schedule as the
+    /// reference solution). Off for the faithful tables; `scale` sets it.
+    pub rins: bool,
+    /// Node bound propagation before each LP solve. Off for the faithful
+    /// tables; `scale` sets it.
+    pub propagate: bool,
+    /// Variable-selection engine: the static rule (pinned default) or
+    /// pseudo-cost branching with reliability initialization.
+    pub branching: Branching,
 }
 
 /// Result of one experiment row, mirroring the paper's table columns.
@@ -142,6 +155,10 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
         time_limit_secs: cfg.time_limit_secs,
         threads: cfg.threads,
         portfolio: cfg.portfolio,
+        cuts: cfg.cuts,
+        rins: cfg.rins,
+        propagate: cfg.propagate,
+        branching: cfg.branching,
         ..MipOptions::default()
     };
     mip.lp.pricing = cfg.pricing;
@@ -215,6 +232,10 @@ mod tests {
             portfolio: false,
             pricing: Pricing::Dantzig,
             profile: false,
+            cuts: false,
+            rins: false,
+            propagate: false,
+            branching: Branching::Rule,
         })
         .unwrap();
         assert_eq!(row.tasks, 5);

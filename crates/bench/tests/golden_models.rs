@@ -95,6 +95,41 @@ fn serial_search_node_counts_pinned() {
 }
 
 #[test]
+fn serial_cuts_on_node_counts_pinned() {
+    // The same Table 3 rows under the scale layer's root cuts and node
+    // propagation (serial Dantzig, so the search stays deterministic): its
+    // own pins beside the features-off ones above. Same optima, far fewer
+    // nodes — the flagship N3 L1 row shrinks 585 → 41. The N3 L0 row is
+    // proven infeasible by propagation at the root before any node LP is
+    // solved (0 nodes; the 135 iterations are the cut loop's root LP).
+    // Movement here means the cut separator, the propagator, or the root
+    // loop changed — update together with BENCH_scale.json.
+    type Pin = ((u32, u32), MipStatus, usize, usize, Option<u64>);
+    let expected: [Pin; 4] = [
+        ((3, 0), MipStatus::Infeasible, 0, 135, None),
+        ((3, 1), MipStatus::Optimal, 41, 3_639, Some(13)),
+        ((2, 2), MipStatus::Optimal, 139, 5_559, Some(5)),
+        ((2, 3), MipStatus::Optimal, 1, 1_842, Some(0)),
+    ];
+    for ((n, l), status, nodes, lp_iters, cost) in expected {
+        let inst = date98_instance(1, 2, 2, 1, date98_device()).unwrap();
+        let model = IlpModel::build(inst, ModelConfig::tightened(n, l)).unwrap();
+        let mut opts = SolveOptions::default();
+        opts.mip.cuts = true;
+        opts.mip.propagate = true;
+        let out = model.solve(&opts).unwrap();
+        assert_eq!(out.status, status, "N{n} L{l} status");
+        assert_eq!(out.stats.nodes, nodes, "N{n} L{l} nodes");
+        assert_eq!(out.stats.lp_iterations, lp_iters, "N{n} L{l} lp iterations");
+        assert_eq!(
+            out.solution.as_ref().map(|s| s.communication_cost()),
+            cost,
+            "N{n} L{l} objective"
+        );
+    }
+}
+
+#[test]
 fn devex_search_node_counts_pinned() {
     // The devex/bound-flipping engine follows its own pivot sequence, so it
     // gets its own pins on the same rows: equal optima (the determinism
@@ -184,8 +219,9 @@ fn parallel_node_counts_stay_bounded_on_paper_rows() {
 fn portfolio_race_agrees_on_paper_rows() {
     // Racing the configuration portfolio decides each row exactly as the
     // serial pins above — including proving infeasibility — and names the
-    // winning arm. The Paper-rule caller races four arms (guided ×
-    // Dantzig/devex, unguided Dantzig, most-fractional devex).
+    // winning arm. The Paper-rule caller races five arms (guided ×
+    // Dantzig/devex, unguided Dantzig, most-fractional devex, and the
+    // guided Dantzig arm again under the scale layer's root cuts).
     type Pin = ((u32, u32), MipStatus, Option<u64>);
     let rows: [Pin; 3] = [
         ((3, 0), MipStatus::Infeasible, None),
@@ -208,7 +244,7 @@ fn portfolio_race_agrees_on_paper_rows() {
             out.stats.portfolio_winner.is_some(),
             "N{n} L{l}: race must name a winner"
         );
-        assert_eq!(out.stats.per_worker_nodes.len(), 4, "N{n} L{l} arm count");
+        assert_eq!(out.stats.per_worker_nodes.len(), 5, "N{n} L{l} arm count");
     }
 }
 

@@ -4,6 +4,7 @@
 //! tempart solve <spec.json> [--partitions N] [--latency L] [--time-limit SECS]
 //!               [--node-limit N] [--threads T] [--portfolio]
 //!               [--pricing dantzig|devex|bland]
+//!               [--cuts] [--rins] [--propagate] [--branching rule|pseudocost]
 //!               [--faults PLAN] [--stats] [--certify] [--json]
 //! tempart estimate <spec.json>
 //! tempart simulate <spec.json> [--partitions N] [--latency L] [--threads T]
@@ -49,6 +50,16 @@
 //! optimum. `--stats` enables the solver profiling layer and prints a
 //! per-phase simplex time/count breakdown after the solve.
 //!
+//! The scale layer is opt-in and off by default (the defaults preserve the
+//! pinned node counts bit for bit): `--cuts` runs root cover/clique cut
+//! separation (cut-and-branch), `--propagate` turns on node bound
+//! propagation, `--rins` seeds and runs the scheduler-driven RINS primal
+//! heuristic, and `--branching pseudocost` switches variable selection to
+//! pseudo-cost branching with strong-branching reliability initialization.
+//! Every combination proves the same optimum; `--stats` prints the scale
+//! counters (cuts, fixings, RINS runs, pseudo-cost updates) when any
+//! feature fired.
+//!
 //! * `solve` — run the full Figure-2 pipeline and print the optimal
 //!   partitioning, schedule, and solver statistics.
 //! * `estimate` — print the mobility analysis and the heuristic
@@ -68,7 +79,7 @@ use tempart_core::{
 };
 use tempart_graph::task_graph_to_dot;
 use tempart_hls::{estimate_partitions, render_gantt, Mobility};
-use tempart_lp::{FaultPlan, MipOptions, MipStatus, Pricing};
+use tempart_lp::{Branching, FaultPlan, MipOptions, MipStatus, Pricing};
 use tempart_sim::execute;
 
 struct Args {
@@ -86,6 +97,10 @@ struct Args {
     pricing: Pricing,
     stats: bool,
     certify: bool,
+    cuts: bool,
+    rins: bool,
+    propagate: bool,
+    branching: Branching,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -106,6 +121,10 @@ fn parse_args() -> Result<Args, String> {
         pricing: Pricing::default(),
         stats: false,
         certify: false,
+        cuts: false,
+        rins: false,
+        propagate: false,
+        branching: Branching::default(),
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -158,6 +177,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stats" => args.stats = true,
             "--certify" => args.certify = true,
+            "--cuts" => args.cuts = true,
+            "--rins" => args.rins = true,
+            "--propagate" => args.propagate = true,
+            "--branching" => {
+                args.branching = it
+                    .next()
+                    .as_deref()
+                    .and_then(Branching::parse)
+                    .ok_or("--branching takes rule or pseudocost")?
+            }
             other if args.spec_path.is_none() && !other.starts_with('-') => {
                 args.spec_path = Some(other.to_string())
             }
@@ -186,13 +215,36 @@ fn json_summary(
     } else {
         "null".to_string()
     };
+    // The scale block only appears when a scale feature fired, so the
+    // features-off summary stays byte-identical to the pinned shape.
+    let scale = if stats.scale.is_empty() {
+        String::new()
+    } else {
+        let s = &stats.scale;
+        format!(
+            ",\"scale\":{{\"cuts_separated\":{},\"cuts_applied\":{},\"cut_rounds\":{},\
+             \"propagation_fixings\":{},\"propagation_infeasible\":{},\
+             \"rins_runs\":{},\"rins_incumbents\":{},\
+             \"pseudocost_updates\":{},\"strong_branch_solves\":{}}}",
+            s.cuts_separated,
+            s.cuts_applied,
+            s.cut_rounds,
+            s.propagation_fixings,
+            s.propagation_infeasible,
+            s.rins_runs,
+            s.rins_incumbents,
+            s.pseudocost_updates,
+            s.strong_branch_solves,
+        )
+    };
     format!(
-        "{{\"status\":\"{}\",\"gap\":{},\"source\":\"{}\",\"objective\":{},\"nodes\":{}}}",
+        "{{\"status\":\"{}\",\"gap\":{},\"source\":\"{}\",\"objective\":{},\"nodes\":{}{}}}",
         status.as_str(),
         gap,
         source.as_str(),
         objective,
-        stats.nodes
+        stats.nodes,
+        scale
     )
 }
 
@@ -296,6 +348,10 @@ fn run() -> Result<(), String> {
                 max_nodes: args.node_limit,
                 threads: args.threads,
                 portfolio: args.portfolio,
+                cuts: args.cuts,
+                rins: args.rins,
+                propagate: args.propagate,
+                branching: args.branching,
                 ..MipOptions::default()
             };
             mip.lp.pricing = args.pricing;
@@ -382,6 +438,9 @@ fn run() -> Result<(), String> {
                     }
                     if args.stats {
                         println!("{}", out.stats.simplex.report());
+                        if !out.stats.scale.is_empty() {
+                            println!("{}", out.stats.scale.report());
+                        }
                     }
                     (out.solution.ok_or("no feasible partitioning")?, config)
                 }
@@ -449,6 +508,9 @@ fn run() -> Result<(), String> {
                     }
                     if args.stats {
                         println!("{}", result.mip_stats().simplex.report());
+                        if !result.mip_stats().scale.is_empty() {
+                            println!("{}", result.mip_stats().scale.report());
+                        }
                     }
                     let cfg = result.config().clone();
                     (result.solution().clone(), cfg)
@@ -509,7 +571,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--portfolio] [--pricing dantzig|devex|bland] [--faults PLAN] [--stats] [--certify] [--json]");
+            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--portfolio] [--pricing dantzig|devex|bland] [--cuts] [--rins] [--propagate] [--branching rule|pseudocost] [--faults PLAN] [--stats] [--certify] [--json]");
             ExitCode::FAILURE
         }
     }

@@ -104,6 +104,52 @@ fn solve_faulted_expired_limit_still_reports_answer() {
 }
 
 #[test]
+fn solve_scale_flags_prove_the_same_optimum() {
+    // Every scale feature on at once: the answer must match the default
+    // features-off run (same status, same objective).
+    let spec = example_spec_path();
+    let out = tempart()
+        .arg("solve")
+        .arg(&spec)
+        .args([
+            "--partitions",
+            "2",
+            "--latency",
+            "1",
+            "--cuts",
+            "--rins",
+            "--propagate",
+            "--branching",
+            "pseudocost",
+            "--json",
+        ])
+        .output()
+        .expect("run solve with scale flags");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.contains("\"status\":\"optimal\""), "{line}");
+    assert!(line.contains("\"objective\":0"), "{line}");
+
+    let out = tempart()
+        .arg("solve")
+        .arg(&spec)
+        .args(["--partitions", "2", "--branching", "strongest"])
+        .output()
+        .expect("run solve with bad branching");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--branching takes rule or pseudocost"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn estimate_reports_segments() {
     let spec = example_spec_path();
     let out = tempart().arg("estimate").arg(&spec).output().expect("run");

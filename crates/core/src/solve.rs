@@ -271,8 +271,10 @@ mod tests {
         // racing solver: same answer as the serial pipeline, plus a named
         // winning arm and per-arm node tallies.
         let inst = tiny_instance();
-        let mut mip = MipOptions::default();
-        mip.portfolio = true;
+        let mip = MipOptions {
+            portfolio: true,
+            ..Default::default()
+        };
         let result = TemporalPartitioner::new(
             inst.graph().clone(),
             inst.fus().clone(),

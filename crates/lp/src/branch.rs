@@ -8,11 +8,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::cuts;
 use crate::faults::Budget;
 use crate::internal::CoreLp;
-use crate::options::MipOptions;
+use crate::options::{Branching, MipOptions};
 use crate::problem::{LpError, Problem, VarId, VarKind};
-use crate::profile::{ContentionProfile, SimplexProfile};
+use crate::profile::{ContentionProfile, ScaleProfile, SimplexProfile};
+use crate::propagate::{Propagation, Propagator};
+use crate::pseudocost::{reliability_init, PseudoCost};
 use crate::simplex::{solve_node_resilient, BasisSnapshot};
 use crate::status::{LpStatus, MipStatus};
 
@@ -164,6 +167,17 @@ pub(crate) fn is_fractional(v: f64, tol: f64) -> bool {
     (v - v.round()).abs() > tol
 }
 
+/// Observations per direction before a pseudo-cost estimate is trusted.
+pub(crate) const PSEUDOCOST_RELIABILITY: usize = 8;
+/// Strong-branching candidates bootstrapped at the root.
+const STRONG_BRANCH_TOP_K: usize = 8;
+/// Node cap on the RINS sub-MIP.
+const RINS_NODE_CAP: usize = 2_000;
+/// Pivot cap on the RINS sub-MIP.
+const RINS_ITER_CAP: usize = 50_000;
+/// Wall-clock cap (seconds) on the RINS sub-MIP.
+const RINS_TIME_CAP: f64 = 5.0;
+
 /// Statistics of a branch-and-bound run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MipStats {
@@ -198,6 +212,10 @@ pub struct MipStats {
     /// (counters always; section timers only with
     /// [`LpOptions::profile`](crate::LpOptions::profile)).
     pub simplex: SimplexProfile,
+    /// Counters of the cut-and-heuristic scale layer (cut separation, node
+    /// propagation, RINS, pseudo-cost branching); all zero with the
+    /// features off. See [`ScaleProfile`].
+    pub scale: ScaleProfile,
 }
 
 /// Result of a branch-and-bound solve.
@@ -258,6 +276,11 @@ struct Node {
     warm: Option<BasisSnapshot>,
     /// Parent LP bound (for cheap pre-pruning).
     parent_bound: f64,
+    /// The branching that created this node: `(variable, direction,
+    /// fractional part at the parent)` — the pseudo-cost engine's
+    /// observation context. `None` at the root. Carried unconditionally
+    /// (it is memory-only, so the features-off path is unchanged).
+    branched: Option<(VarId, BranchDirection, f64)>,
 }
 
 /// Depth-first 0-1 branch and bound over a [`Problem`].
@@ -335,12 +358,33 @@ impl<'a> BranchAndBound<'a> {
         }
         let workers = resolve_threads(self.options.threads);
         if workers > 1 {
-            return crate::parallel::solve_parallel(
-                self.problem,
-                &self.options,
-                self.rule.as_ref(),
-                workers,
-            );
+            // Root preparation (cut loop + RINS) runs serially before the
+            // worker team spawns; the workers then search the strengthened
+            // problem. A no-op (features off) dispatches directly.
+            let budget = Arc::new(Budget::new(
+                self.options.time_limit_secs,
+                self.options.max_nodes,
+                self.options.max_lp_iterations,
+            ));
+            return match prepare_root(self.problem, &self.options, &budget)? {
+                None => crate::parallel::solve_parallel(
+                    self.problem,
+                    &self.options,
+                    self.rule.as_ref(),
+                    workers,
+                ),
+                Some(prep) => {
+                    let mut sol = crate::parallel::solve_parallel(
+                        &prep.problem,
+                        &prep.opts,
+                        self.rule.as_ref(),
+                        workers,
+                    )?;
+                    sol.stats.lp_iterations += prep.lp_iterations;
+                    sol.stats.scale.absorb(&prep.scale);
+                    Ok(sol)
+                }
+            };
         }
         // One budget for the whole search: the wall-clock deadline and the
         // LP-iteration cap are also checked *inside* the simplex pivot loop
@@ -351,7 +395,7 @@ impl<'a> BranchAndBound<'a> {
             self.options.max_nodes,
             self.options.max_lp_iterations,
         ));
-        solve_serial(self.problem, &self.options, self.rule.as_ref(), budget)
+        solve_serial_prepared(self.problem, &self.options, self.rule.as_ref(), budget)
     }
 }
 
@@ -385,11 +429,21 @@ pub(crate) fn solve_serial(
             overlay: BoundOverlay::default(),
             warm: None,
             parent_bound: f64::NEG_INFINITY,
+            branched: None,
         }];
         let mut status = MipStatus::Optimal;
 
         let mut lower = core.lower.clone();
         let mut upper = core.upper.clone();
+
+        // Optional scale-layer engines: a shared propagator (immutable after
+        // build) and a pseudo-cost history. Both are `None` with the
+        // features off, leaving the golden serial path untouched.
+        let propagator = opts
+            .propagate
+            .then(|| Propagator::build(problem, opts.lp.feas_tol));
+        let mut pseudo = (opts.branching == Branching::Pseudocost)
+            .then(|| PseudoCost::new(problem.num_vars(), PSEUDOCOST_RELIABILITY));
 
         while let Some(node) = stack.pop() {
             // Limit breaks push the in-flight node back so the epilogue's
@@ -430,6 +484,19 @@ pub(crate) fn solve_serial(
             }
             // Apply node bounds.
             node.overlay.apply(&core, &mut lower, &mut upper);
+            // Node presolve: bound propagation on the structural slices can
+            // fix binaries (tightening the child LP) or prove the node
+            // infeasible before any simplex work.
+            if let Some(prop) = &propagator {
+                match prop.propagate(&mut lower[..ns], &mut upper[..ns]) {
+                    Propagation::Infeasible => {
+                        stats.scale.propagation_infeasible += 1;
+                        stats.pruned_infeasible += 1;
+                        continue;
+                    }
+                    Propagation::Fixed(n) => stats.scale.propagation_fixings += n,
+                }
+            }
             // Solve the node LP (warm dual first, cold fallback with the
             // numerical retry ladder), bounded by the remaining wall-clock
             // budget so one long LP cannot blow through the global limit.
@@ -484,6 +551,37 @@ pub(crate) fn solve_serial(
                 }
                 LpStatus::Optimal => {}
             }
+            // Pseudo-cost learning: the solved child reports the objective
+            // degradation of the branching that created it. Root nodes with
+            // no history bootstrap via strong-branching probes.
+            if let Some(pc) = &mut pseudo {
+                if let Some((v, dir, frac)) = node.branched {
+                    if node.parent_bound.is_finite() {
+                        let dist = match dir {
+                            BranchDirection::Up => 1.0 - frac,
+                            BranchDirection::Down => frac,
+                        };
+                        pc.observe(v, dir, dist, outcome.objective - node.parent_bound);
+                    }
+                } else if node.overlay.entries.is_empty() && !pc.has_data() {
+                    let (solves, iters) = reliability_init(
+                        &core,
+                        problem,
+                        &outcome.x[..ns],
+                        outcome.objective,
+                        &outcome.snapshot,
+                        &lower,
+                        &upper,
+                        &lp_opts,
+                        opts.int_tol,
+                        STRONG_BRANCH_TOP_K,
+                        pc,
+                    );
+                    stats.scale.strong_branch_solves += solves;
+                    stats.lp_iterations += iters;
+                    budget.add_lp_iterations(iters);
+                }
+            }
             // Prune by bound.
             if let Some((_, inc_obj)) = &incumbent {
                 if prune_bound(outcome.objective, *inc_obj, opts) {
@@ -492,7 +590,14 @@ pub(crate) fn solve_serial(
                 }
             }
             let x = &outcome.x[..ns];
-            match rule.select(problem, x, opts.int_tol) {
+            // Pseudo-cost selection once history exists; the static rule is
+            // the cold-start fallback (and the only path with the feature
+            // off).
+            let selected = match &pseudo {
+                Some(pc) if pc.has_data() => pc.select(problem, x, opts.int_tol),
+                _ => rule.select(problem, x, opts.int_tol),
+            };
+            match selected {
                 None => {
                     // The rule sees no fractional binary; verify.
                     debug_assert!(
@@ -512,16 +617,24 @@ pub(crate) fn solve_serial(
                     }
                 }
                 Some((v, dir)) => {
-                    let fix = |val: f64| -> Node {
+                    let frac = x[v.index()].clamp(0.0, 1.0).fract();
+                    let fix = |val: f64, child_dir: BranchDirection| -> Node {
                         Node {
                             overlay: node.overlay.child(v, val, val),
                             warm: Some(outcome.snapshot.clone()),
                             parent_bound: outcome.objective,
+                            branched: Some((v, child_dir, frac)),
                         }
                     };
                     let (first, second) = match dir {
-                        BranchDirection::Up => (fix(1.0), fix(0.0)),
-                        BranchDirection::Down => (fix(0.0), fix(1.0)),
+                        BranchDirection::Up => (
+                            fix(1.0, BranchDirection::Up),
+                            fix(0.0, BranchDirection::Down),
+                        ),
+                        BranchDirection::Down => (
+                            fix(0.0, BranchDirection::Down),
+                            fix(1.0, BranchDirection::Up),
+                        ),
                     };
                     // LIFO: push the second child first so the preferred
                     // direction is explored first.
@@ -533,6 +646,9 @@ pub(crate) fn solve_serial(
         stats.seconds = start.elapsed().as_secs_f64();
         stats.per_worker_nodes = vec![stats.nodes];
         stats.per_worker_busy_secs = vec![stats.seconds];
+        if let Some(pc) = &pseudo {
+            stats.scale.pseudocost_updates = pc.updates();
+        }
         let (x, objective, status) = if status == MipStatus::Unbounded {
             // An unbounded relaxation makes the model's optimum −∞; an
             // incumbent objective is meaningless as a bound, so none is
@@ -614,6 +730,179 @@ pub(crate) fn validate_incumbent(
         Some((x0.clone(), obj))
     } else {
         None
+    }
+}
+
+/// Root preparation artifacts: the (possibly cut-strengthened) problem and
+/// the options to search it with (possibly carrying a RINS incumbent), plus
+/// the accounting the caller must absorb into its stats.
+pub(crate) struct Prepared {
+    pub(crate) problem: Problem,
+    pub(crate) opts: MipOptions,
+    pub(crate) scale: ScaleProfile,
+    pub(crate) lp_iterations: usize,
+}
+
+/// Runs the root scale layer: the cutting-plane loop strengthens the
+/// relaxation (extra `≤` rows only — the variable space is unchanged, so
+/// solution vectors and incumbents keep their meaning), and the RINS
+/// heuristic turns the scheduler reference into a seeded incumbent via a
+/// budgeted sub-MIP.
+///
+/// Returns `None` fast when both features are off: the golden features-off
+/// path never even clones the problem.
+pub(crate) fn prepare_root(
+    problem: &Problem,
+    opts: &MipOptions,
+    budget: &Arc<Budget>,
+) -> Result<Option<Prepared>, LpError> {
+    if !opts.cuts && !opts.rins {
+        return Ok(None);
+    }
+    let mut scale = ScaleProfile::default();
+    let mut lp_iterations = 0usize;
+    let mut root_x: Option<Vec<f64>> = None;
+    let mut prepared = problem.clone();
+    if opts.cuts {
+        let res = cuts::root_cut_loop(problem, &opts.lp, opts.int_tol, budget, &mut scale)?;
+        prepared = res.problem;
+        root_x = res.root_x;
+        lp_iterations += res.lp_iterations;
+    }
+    let mut prep_opts = opts.clone();
+    if opts.rins {
+        lp_iterations += rins(&prepared, opts, &mut prep_opts, root_x, budget, &mut scale)?;
+    }
+    // Root work counts against the same global pivot budget as the search.
+    budget.add_lp_iterations(lp_iterations);
+    Ok(Some(Prepared {
+        problem: prepared,
+        opts: prep_opts,
+        scale,
+        lp_iterations,
+    }))
+}
+
+/// RINS: relaxation-induced neighborhood search driven by an external
+/// reference solution (the Figure-2 list schedule, encoded by the caller
+/// into [`MipOptions::rins_reference`]). Binaries where the root LP is
+/// integral *and* agrees with the reference are fixed; the remaining
+/// neighborhood is searched by a budgeted features-off sub-MIP seeded with
+/// the reference. The best point found becomes the main search's initial
+/// incumbent. Returns the LP iterations spent.
+fn rins(
+    prepared: &Problem,
+    opts: &MipOptions,
+    prep_opts: &mut MipOptions,
+    root_x: Option<Vec<f64>>,
+    budget: &Arc<Budget>,
+    scale: &mut ScaleProfile,
+) -> Result<usize, LpError> {
+    let mut iters = 0usize;
+    // Validate the reference exactly as the search validates an incumbent
+    // (against the *strengthened* problem: cuts keep every integer point).
+    let reference_opts = MipOptions {
+        initial_incumbent: opts.rins_reference.clone(),
+        ..opts.clone()
+    };
+    let Some((ref_x, ref_obj)) = validate_incumbent(prepared, &reference_opts, prepared.num_vars())
+    else {
+        return Ok(0); // no usable reference: RINS is a no-op
+    };
+    scale.rins_runs += 1;
+    // Root LP point: reuse the cut loop's, else solve one fresh.
+    let root = match root_x {
+        Some(x) => Some(x),
+        None => {
+            let mut lp_opts = opts.lp.clone();
+            lp_opts.budget = Some(Arc::clone(budget));
+            match crate::simplex::solve_lp(prepared, &lp_opts) {
+                Ok(out) => {
+                    iters += out.iterations;
+                    (out.status == LpStatus::Optimal).then_some(out.x)
+                }
+                Err(_) => None,
+            }
+        }
+    };
+    // Fix binaries where LP relaxation and reference agree on an integer.
+    let mut sub = prepared.clone();
+    let mut fixed = 0usize;
+    if let Some(root) = &root {
+        for v in prepared.var_ids() {
+            if prepared.var_kind(v) != VarKind::Binary {
+                continue;
+            }
+            let lp_val = root[v.index()];
+            if !is_fractional(lp_val, opts.int_tol)
+                && (lp_val.round() - ref_x[v.index()].round()).abs() < 0.5
+            {
+                let val = ref_x[v.index()].round();
+                sub.set_bounds(v, val, val)?;
+                fixed += 1;
+            }
+        }
+    }
+    let mut best = (ref_x.clone(), ref_obj);
+    if fixed > 0 {
+        let sub_opts = MipOptions {
+            cuts: false,
+            propagate: false,
+            rins: false,
+            rins_reference: None,
+            branching: Branching::Rule,
+            portfolio: false,
+            threads: 1,
+            initial_incumbent: Some(ref_x.clone()),
+            max_nodes: RINS_NODE_CAP,
+            max_lp_iterations: RINS_ITER_CAP,
+            time_limit_secs: RINS_TIME_CAP.min(budget.remaining_secs()),
+            ..opts.clone()
+        };
+        let sub_budget = Arc::new(Budget::new(
+            sub_opts.time_limit_secs,
+            sub_opts.max_nodes,
+            sub_opts.max_lp_iterations,
+        ));
+        if let Ok(sol) = solve_serial(&sub, &sub_opts, &MostFractionalRule, sub_budget) {
+            scale.rins_nodes += sol.stats.nodes;
+            iters += sol.stats.lp_iterations;
+            if sol.status.may_have_solution()
+                && !sol.x.is_empty()
+                && sol.objective < best.1 - opts.abs_gap
+            {
+                scale.rins_incumbents += 1;
+                best = (sol.x, sol.objective);
+            }
+        }
+    }
+    // Seed the main search, unless the caller's own incumbent already beats
+    // everything RINS produced.
+    let existing = validate_incumbent(prepared, opts, prepared.num_vars());
+    if existing.as_ref().is_none_or(|(_, obj)| best.1 < *obj) {
+        prep_opts.initial_incumbent = Some(best.0);
+    }
+    Ok(iters)
+}
+
+/// Serial solve behind root preparation: the cut loop and RINS run first
+/// (when enabled), then the exact serial search runs on the prepared
+/// problem. With the features off this is the unmodified [`solve_serial`] —
+/// the golden node/iteration pins are bit-identical.
+pub(crate) fn solve_serial_prepared(
+    problem: &Problem,
+    opts: &MipOptions,
+    rule: &(dyn BranchingRule + Sync),
+    budget: Arc<Budget>,
+) -> Result<MipSolution, LpError> {
+    match prepare_root(problem, opts, &budget)? {
+        None => solve_serial(problem, opts, rule, budget),
+        Some(prep) => {
+            let mut sol = solve_serial(&prep.problem, &prep.opts, rule, budget)?;
+            sol.stats.lp_iterations += prep.lp_iterations;
+            sol.stats.scale.absorb(&prep.scale);
+            Ok(sol)
+        }
     }
 }
 
@@ -944,6 +1233,174 @@ mod tests {
         assert_eq!(out.status, MipStatus::TimeLimit);
         assert!((out.objective - (-21.0)).abs() < 1e-6, "seed kept");
         assert!(out.best_bound <= out.objective + 1e-9, "bound stays valid");
+    }
+
+    #[test]
+    fn full_scale_stack_proves_the_same_optimum() {
+        // Cuts + propagation + RINS + pseudo-cost together must agree with
+        // the features-off solver and surface their work in the counters.
+        let p = knapsack(
+            &[6.0, 5.0, 9.0, 7.0, 3.0, 4.0],
+            &[2.0, 3.0, 4.0, 3.0, 1.0, 2.0],
+            8.0,
+        );
+        let base = BranchAndBound::new(&p).solve().unwrap();
+        assert!(base.stats.scale.is_empty(), "features-off runs stay clean");
+        let opts = MipOptions {
+            cuts: true,
+            propagate: true,
+            rins: true,
+            rins_reference: Some(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]),
+            branching: Branching::Pseudocost,
+            objective_is_integral: true,
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!(
+            (out.objective - base.objective).abs() < 1e-6,
+            "{} vs {}",
+            out.objective,
+            base.objective
+        );
+        assert!(out.stats.scale.rins_runs >= 1, "{:?}", out.stats.scale);
+    }
+
+    #[test]
+    fn cuts_alone_preserve_optimum_and_count_rounds() {
+        let p = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        let base = BranchAndBound::new(&p).solve().unwrap();
+        let opts = MipOptions {
+            cuts: true,
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - base.objective).abs() < 1e-6);
+        // The fractional knapsack root must trigger at least one round.
+        assert!(out.stats.scale.cut_rounds >= 1, "{:?}", out.stats.scale);
+        assert!(out.stats.scale.cuts_applied >= 1, "{:?}", out.stats.scale);
+    }
+
+    #[test]
+    fn rins_adopts_the_reference_as_incumbent() {
+        // Reference = the true optimum: RINS must install it, so the search
+        // starts with a seeded incumbent (visible as an extra update).
+        let p = knapsack(&[10.0, 13.0, 7.0, 8.0], &[3.0, 4.0, 2.0, 3.0], 7.0);
+        let opts = MipOptions {
+            rins: true,
+            rins_reference: Some(vec![1.0, 1.0, 0.0, 0.0]),
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+        assert_eq!(out.stats.scale.rins_runs, 1);
+        // An infeasible reference is ignored (weight 12 > 7): no crash, no
+        // bogus incumbent.
+        let opts = MipOptions {
+            rins: true,
+            rins_reference: Some(vec![1.0, 1.0, 1.0, 1.0]),
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+        assert_eq!(out.stats.scale.rins_runs, 0, "unusable reference skipped");
+    }
+
+    #[test]
+    fn propagation_prunes_forced_infeasibility_without_lp() {
+        // x0 + x1 ≥ 2 with x0 + x1 ≤ 1 at the binaries: branching x0 either
+        // way forces contradictions that propagation catches LP-free.
+        let mut p = Problem::new("prop");
+        let a = p.add_var("a", VarKind::Binary, 1.0).unwrap();
+        let b = p.add_var("b", VarKind::Binary, 1.0).unwrap();
+        p.add_constraint("ge", [(a, 1.0), (b, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
+        p.add_constraint("le", [(a, 1.0), (b, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        let opts = MipOptions {
+            propagate: true,
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Infeasible);
+        assert!(
+            out.stats.scale.propagation_infeasible >= 1,
+            "{:?}",
+            out.stats.scale
+        );
+        assert!(out.stats.nodes == 0, "no LP should ever run");
+    }
+
+    #[test]
+    fn pseudocost_branching_matches_brute_force() {
+        let p = knapsack(
+            &[6.0, 5.0, 9.0, 7.0, 3.0, 4.0],
+            &[2.0, 3.0, 4.0, 3.0, 1.0, 2.0],
+            8.0,
+        );
+        let (_, bobj) = brute_force(&p).unwrap();
+        let opts = MipOptions {
+            branching: Branching::Pseudocost,
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - bobj).abs() < 1e-6);
+        // The root bootstrap runs strong-branching probes, and the search
+        // records observations from solved children.
+        assert!(
+            out.stats.scale.strong_branch_solves > 0,
+            "{:?}",
+            out.stats.scale
+        );
+        assert!(
+            out.stats.scale.pseudocost_updates > 0,
+            "{:?}",
+            out.stats.scale
+        );
+    }
+
+    #[test]
+    fn scale_features_agree_across_drivers() {
+        // Serial, work-stealing parallel, and portfolio must all prove the
+        // same optimum with the scale stack enabled.
+        let p = knapsack(
+            &[6.0, 5.0, 9.0, 7.0, 3.0, 4.0],
+            &[2.0, 3.0, 4.0, 3.0, 1.0, 2.0],
+            8.0,
+        );
+        let (_, bobj) = brute_force(&p).unwrap();
+        let base = MipOptions {
+            cuts: true,
+            propagate: true,
+            branching: Branching::Pseudocost,
+            ..MipOptions::default()
+        };
+        let serial = BranchAndBound::new(&p)
+            .options(base.clone())
+            .solve()
+            .unwrap();
+        let par = BranchAndBound::new(&p)
+            .options(MipOptions {
+                threads: 2,
+                ..base.clone()
+            })
+            .solve()
+            .unwrap();
+        let race = BranchAndBound::new(&p)
+            .options(MipOptions {
+                portfolio: true,
+                ..base
+            })
+            .solve()
+            .unwrap();
+        for out in [&serial, &par, &race] {
+            assert_eq!(out.status, MipStatus::Optimal);
+            assert!((out.objective - bobj).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! ```
 
 mod branch;
+mod cuts;
 mod faults;
 mod internal;
 mod lu;
@@ -55,6 +56,8 @@ mod portfolio;
 mod presolve;
 mod problem;
 mod profile;
+mod propagate;
+mod pseudocost;
 mod simplex;
 mod sparse;
 mod status;
@@ -66,12 +69,17 @@ pub use branch::{
     BranchAndBound, BranchDirection, BranchingRule, FirstIndexRule, MipSolution, MipStats,
     MostFractionalRule, PriorityRule,
 };
+pub use cuts::{
+    apply_pool, separate_clique_cuts, separate_cover_cuts, separate_cuts, Cut, CutPool,
+};
 pub use faults::{Budget, BudgetExceeded, FaultPlan, FaultSite};
 pub use mps::write_mps;
-pub use options::{LpOptions, MipOptions, Pricing};
+pub use options::{Branching, LpOptions, MipOptions, Pricing};
 pub use presolve::{presolve, PresolveResult, Presolved};
 pub use problem::{LpError, Problem, RowId, RowView, Sense, VarId, VarKind};
-pub use profile::{ContentionProfile, SimplexProfile};
+pub use profile::{ContentionProfile, ScaleProfile, SimplexProfile};
+pub use propagate::{Propagation, Propagator};
+pub use pseudocost::PseudoCost;
 pub use simplex::{solve_lp, LpOutcome};
 pub use sparse::CscMatrix;
 pub use status::{LpStatus, MipStatus};

@@ -50,6 +50,48 @@ impl std::fmt::Display for Pricing {
     }
 }
 
+/// Branching-variable selection strategy for branch and bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Branching {
+    /// The caller-supplied static rule (the paper's §8 guided rule, the
+    /// unguided first-index rule, or most-fractional diving). This is the
+    /// pinned legacy path: its node sequence is golden-tested, so it is the
+    /// default.
+    #[default]
+    Rule,
+    /// Pseudo-cost branching with reliability initialization: per-variable
+    /// up/down objective-degradation estimates learned from the search,
+    /// bootstrapped by strong-branching probes at the root until a variable
+    /// has enough observations to be trusted. Falls back to the static rule
+    /// while no history exists. See `crates/lp/src/pseudocost.rs`.
+    Pseudocost,
+}
+
+impl Branching {
+    /// Stable lower-case name (CLI flag values, JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Branching::Rule => "rule",
+            Branching::Pseudocost => "pseudocost",
+        }
+    }
+
+    /// Parses a CLI-style name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "rule" => Some(Branching::Rule),
+            "pseudocost" => Some(Branching::Pseudocost),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Branching {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Options for a single LP solve.
 #[derive(Debug, Clone)]
 pub struct LpOptions {
@@ -150,6 +192,29 @@ pub struct MipOptions {
     /// the proven optimum is deterministic even though the winning arm is
     /// a wall-clock race. Takes precedence over [`MipOptions::threads`].
     pub portfolio: bool,
+    /// Cut-and-branch: separate lifted cover and clique cuts from fractional
+    /// LP points at the root (multi-round, with shallow probe dives) and
+    /// solve the search over the cut-strengthened problem. Off by default —
+    /// the features-off path is bit-identical to the golden pins.
+    pub cuts: bool,
+    /// Node presolve: min-activity bound propagation before each node LP,
+    /// fixing binaries and detecting infeasibility without a simplex solve.
+    /// Off by default.
+    pub propagate: bool,
+    /// RINS-style primal heuristic at the root: fix the binaries on which
+    /// the root LP relaxation and [`MipOptions::rins_reference`] agree,
+    /// solve the restricted sub-MIP under a small budget, and adopt an
+    /// improved incumbent. Off by default; a no-op without a reference.
+    pub rins: bool,
+    /// Integer-feasible reference point for RINS (full variable assignment
+    /// in problem order). The caller supplies it — for the temporal
+    /// partitioner this is the encoded Figure-2 list schedule, which lets
+    /// the scheduler *drive* incumbents even on unseeded runs. Validated
+    /// like [`MipOptions::initial_incumbent`]; an invalid point is ignored.
+    pub rins_reference: Option<Vec<f64>>,
+    /// Branching-variable selection (see [`Branching`]). The default
+    /// [`Branching::Rule`] is the pinned static-rule path.
+    pub branching: Branching,
 }
 
 impl Default for MipOptions {
@@ -165,6 +230,11 @@ impl Default for MipOptions {
             initial_incumbent: None,
             threads: 1,
             portfolio: false,
+            cuts: false,
+            propagate: false,
+            rins: false,
+            rins_reference: None,
+            branching: Branching::Rule,
         }
     }
 }
@@ -188,6 +258,12 @@ mod tests {
         assert_eq!(mip.threads, 1, "serial by default");
         assert!(!mip.portfolio, "racing is opt-in");
         assert!(
+            !mip.cuts && !mip.propagate && !mip.rins,
+            "the scale features are opt-in — the pins depend on it"
+        );
+        assert!(mip.rins_reference.is_none());
+        assert_eq!(mip.branching, Branching::Rule, "pinned static rule");
+        assert!(
             lp.faults.is_none() && lp.budget.is_none(),
             "inert by default"
         );
@@ -201,5 +277,15 @@ mod tests {
             assert_eq!(format!("{p}"), p.as_str());
         }
         assert_eq!(Pricing::parse("steepest"), None);
+    }
+
+    #[test]
+    fn branching_names_roundtrip() {
+        for b in [Branching::Rule, Branching::Pseudocost] {
+            assert_eq!(Branching::parse(b.as_str()), Some(b));
+            assert_eq!(Branching::parse(&b.as_str().to_uppercase()), Some(b));
+            assert_eq!(format!("{b}"), b.as_str());
+        }
+        assert_eq!(Branching::parse("strong"), None);
     }
 }

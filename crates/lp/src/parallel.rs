@@ -55,13 +55,15 @@ use std::time::Instant;
 
 use crate::branch::{
     is_fractional, prune_bound, validate_incumbent, BoundOverlay, BranchDirection, BranchingRule,
-    MipSolution, MipStats,
+    MipSolution, MipStats, PSEUDOCOST_RELIABILITY,
 };
 use crate::faults::{Budget, FaultSite};
 use crate::internal::CoreLp;
-use crate::options::MipOptions;
-use crate::problem::{LpError, Problem, VarKind};
-use crate::profile::{ContentionProfile, SimplexProfile};
+use crate::options::{Branching, MipOptions};
+use crate::problem::{LpError, Problem, VarId, VarKind};
+use crate::profile::{ContentionProfile, ScaleProfile, SimplexProfile};
+use crate::propagate::{Propagation, Propagator};
+use crate::pseudocost::PseudoCost;
 use crate::simplex::{solve_node_resilient, BasisSnapshot};
 use crate::status::{LpStatus, MipStatus};
 use crate::worksteal::{lock, IncumbentCell, StealFail, WorkDeque};
@@ -74,6 +76,9 @@ struct ParNode {
     /// Whether a panicking solve already requeued this node once; a second
     /// panic abandons it instead of looping forever.
     requeued: bool,
+    /// The branching that created this node (see the serial `Node`);
+    /// context for the shared pseudo-cost engine.
+    branched: Option<(VarId, BranchDirection, f64)>,
 }
 
 /// Per-worker tallies, merged into [`MipStats`] after the join.
@@ -89,6 +94,7 @@ struct WorkerStats {
     busy_secs: f64,
     contention: ContentionProfile,
     simplex: SimplexProfile,
+    scale: ScaleProfile,
 }
 
 struct Shared<'a> {
@@ -135,6 +141,16 @@ struct Shared<'a> {
     status: Mutex<MipStatus>,
     // lock-order: 5
     error: Mutex<Option<LpError>>,
+    /// Shared node-presolve engine (immutable after build; `None` with the
+    /// feature off, so the default path never touches it).
+    propagator: Option<Propagator>,
+    /// Shared pseudo-cost history; `None` unless pseudo-cost branching is
+    /// selected. A leaf lock: taken with no other lock held and released
+    /// before any publish or incumbent call, so it cannot participate in a
+    /// cycle. Observation order varies run to run — exactly the
+    /// determinism contract the parallel search already has.
+    // lock-order: 6
+    pseudo: Option<Mutex<PseudoCost>>,
 }
 
 impl Shared<'_> {
@@ -330,6 +346,11 @@ pub(crate) fn solve_parallel(
         open_bound: Mutex::new(f64::INFINITY),
         status: Mutex::new(MipStatus::Optimal),
         error: Mutex::new(None),
+        propagator: opts
+            .propagate
+            .then(|| Propagator::build(problem, opts.lp.feas_tol)),
+        pseudo: (opts.branching == Branching::Pseudocost)
+            .then(|| Mutex::new(PseudoCost::new(problem.num_vars(), PSEUDOCOST_RELIABILITY))),
     };
     // Seed worker 0's deque with the root; a faster peer may steal it.
     shared.deques[0].push(
@@ -338,6 +359,7 @@ pub(crate) fn solve_parallel(
             warm: None,
             parent_bound: f64::NEG_INFINITY,
             requeued: false,
+            branched: None,
         },
         &mut 0,
     );
@@ -393,6 +415,10 @@ pub(crate) fn solve_parallel(
         stats.incumbent_updates += w.incumbent_updates;
         stats.contention.absorb(&w.contention);
         stats.simplex.absorb(&w.simplex);
+        stats.scale.absorb(&w.scale);
+    }
+    if let Some(pc) = &shared.pseudo {
+        stats.scale.pseudocost_updates = lock(pc).updates();
     }
 
     let (x, objective, status) = if status == MipStatus::Unbounded {
@@ -496,6 +522,19 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
             continue;
         }
         node.overlay.apply(shared.core, &mut lower, &mut upper);
+        // Node presolve on the structural slices (shared immutable engine:
+        // no lock, no contention).
+        if let Some(prop) = &shared.propagator {
+            match prop.propagate(&mut lower[..ns], &mut upper[..ns]) {
+                Propagation::Infeasible => {
+                    ws.scale.propagation_infeasible += 1;
+                    ws.pruned_infeasible += 1;
+                    shared.node_done();
+                    continue;
+                }
+                Propagation::Fixed(n) => ws.scale.propagation_fixings += n,
+            }
+        }
         let mut lp_opts = opts.lp.clone();
         lp_opts.time_limit_secs = lp_opts.time_limit_secs.min(remaining);
         lp_opts.budget = Some(Arc::clone(&shared.budget));
@@ -579,6 +618,20 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
             }
             LpStatus::Optimal => {}
         }
+        // Pseudo-cost learning from the solved child. The engine lock is a
+        // leaf (lock-order: 6): held only for the observation, nothing else
+        // acquired under it.
+        if let Some(pc) = &shared.pseudo {
+            if let Some((v, dir, frac)) = node.branched {
+                if node.parent_bound.is_finite() {
+                    let dist = match dir {
+                        BranchDirection::Up => 1.0 - frac,
+                        BranchDirection::Down => frac,
+                    };
+                    lock(pc).observe(v, dir, dist, outcome.objective - node.parent_bound);
+                }
+            }
+        }
         let inc_obj = shared.incumbent.bound();
         if inc_obj.is_finite() && prune_bound(outcome.objective, inc_obj, opts) {
             ws.pruned_by_bound += 1;
@@ -586,7 +639,21 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
             continue;
         }
         let x = &outcome.x[..ns];
-        match shared.rule.select(shared.problem, x, opts.int_tol) {
+        // Pseudo-cost selection once history exists (lock released before
+        // any publish); static rule as the cold-start fallback.
+        let selected = match &shared.pseudo {
+            Some(pc) => {
+                let g = lock(pc);
+                if g.has_data() {
+                    g.select(shared.problem, x, opts.int_tol)
+                } else {
+                    drop(g);
+                    shared.rule.select(shared.problem, x, opts.int_tol)
+                }
+            }
+            None => shared.rule.select(shared.problem, x, opts.int_tol),
+        };
+        match selected {
             None => {
                 debug_assert!(
                     shared.problem.var_ids().all(|v| {
@@ -609,17 +676,25 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                 // One Arc for both children: dispatch shares, the solve
                 // clones (copy-on-write).
                 let warm = Arc::new(outcome.snapshot);
-                let fix = |val: f64| -> ParNode {
+                let frac = x[v.index()].clamp(0.0, 1.0).fract();
+                let fix = |val: f64, child_dir: BranchDirection| -> ParNode {
                     ParNode {
                         overlay: node.overlay.child(v, val, val),
                         warm: Some(Arc::clone(&warm)),
                         parent_bound: outcome.objective,
                         requeued: false,
+                        branched: Some((v, child_dir, frac)),
                     }
                 };
                 let (preferred, sibling) = match dir {
-                    BranchDirection::Up => (fix(1.0), fix(0.0)),
-                    BranchDirection::Down => (fix(0.0), fix(1.0)),
+                    BranchDirection::Up => (
+                        fix(1.0, BranchDirection::Up),
+                        fix(0.0, BranchDirection::Down),
+                    ),
+                    BranchDirection::Down => (
+                        fix(0.0, BranchDirection::Down),
+                        fix(1.0, BranchDirection::Up),
+                    ),
                 };
                 // Register the children before closing the parent so the
                 // outstanding count never dips to zero early.

@@ -40,7 +40,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::branch::{
-    solve_serial, BranchingRule, FirstIndexRule, MipSolution, MipStats, MostFractionalRule,
+    solve_serial, solve_serial_prepared, BranchingRule, FirstIndexRule, MipSolution, MipStats,
+    MostFractionalRule,
 };
 use crate::faults::{Budget, FaultSite};
 use crate::options::{MipOptions, Pricing};
@@ -52,6 +53,9 @@ struct Arm<'a> {
     name: String,
     rule: &'a (dyn BranchingRule + Sync),
     pricing: Pricing,
+    /// Whether this arm runs the scale layer (root cuts + node
+    /// propagation); the other arms race with the features off.
+    scale: bool,
 }
 
 /// Sentinel for "no winner yet".
@@ -66,30 +70,56 @@ fn conclusive(status: MipStatus) -> bool {
 
 /// Builds the arm list for a caller rule: the rule itself under both
 /// pricing engines, plus the unguided (first-index, Dantzig) and diving
-/// (most-fractional, devex) built-ins, deduplicated by configuration name.
+/// (most-fractional, devex) built-ins, plus a cut-and-propagate arm racing
+/// the caller's rule on the strengthened relaxation — all deduplicated by
+/// configuration name.
 fn build_arms<'a>(
     rule: &'a (dyn BranchingRule + Sync),
     unguided: &'a FirstIndexRule,
     diving: &'a MostFractionalRule,
 ) -> Vec<Arm<'a>> {
     let mut arms: Vec<Arm<'a>> = Vec::new();
-    let mut push = |name: String, rule: &'a (dyn BranchingRule + Sync), pricing: Pricing| {
-        if arms.iter().all(|a| a.name != name) {
-            arms.push(Arm {
-                name,
-                rule,
-                pricing,
-            });
-        }
-    };
-    push(format!("{}-dantzig", rule.name()), rule, Pricing::Dantzig);
-    push(format!("{}-devex", rule.name()), rule, Pricing::Devex);
+    let mut push =
+        |name: String, rule: &'a (dyn BranchingRule + Sync), pricing: Pricing, scale: bool| {
+            if arms.iter().all(|a| a.name != name) {
+                arms.push(Arm {
+                    name,
+                    rule,
+                    pricing,
+                    scale,
+                });
+            }
+        };
+    push(
+        format!("{}-dantzig", rule.name()),
+        rule,
+        Pricing::Dantzig,
+        false,
+    );
+    push(
+        format!("{}-devex", rule.name()),
+        rule,
+        Pricing::Devex,
+        false,
+    );
     push(
         format!("{}-dantzig", unguided.name()),
         unguided,
         Pricing::Dantzig,
+        false,
     );
-    push(format!("{}-devex", diving.name()), diving, Pricing::Devex);
+    push(
+        format!("{}-devex", diving.name()),
+        diving,
+        Pricing::Devex,
+        false,
+    );
+    push(
+        format!("{}-dantzig-cuts", rule.name()),
+        rule,
+        Pricing::Dantzig,
+        true,
+    );
     arms
 }
 
@@ -128,6 +158,13 @@ pub(crate) fn solve_portfolio(
                 arm_opts.threads = 1;
                 arm_opts.portfolio = false;
                 arm_opts.lp.pricing = arm.pricing;
+                // Exactly one arm runs the scale layer (root cuts + node
+                // propagation, with RINS passed through from the caller);
+                // the rest race features-off so the golden serial pins
+                // stay comparable.
+                arm_opts.cuts = arm.scale;
+                arm_opts.propagate = arm.scale;
+                arm_opts.rins = arm.scale && opts.rins;
                 scope.spawn(move || {
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         if let Some(plan) = &arm_opts.lp.faults {
@@ -139,7 +176,16 @@ pub(crate) fn solve_portfolio(
                                 panic!("injected portfolio-arm panic (fault plan)");
                             }
                         }
-                        solve_serial(problem, &arm_opts, arm.rule, Arc::clone(&budgets[idx]))
+                        if arm.scale {
+                            solve_serial_prepared(
+                                problem,
+                                &arm_opts,
+                                arm.rule,
+                                Arc::clone(&budgets[idx]),
+                            )
+                        } else {
+                            solve_serial(problem, &arm_opts, arm.rule, Arc::clone(&budgets[idx]))
+                        }
                     }));
                     match &result {
                         Ok(Ok(sol)) if conclusive(sol.status) => {
@@ -200,6 +246,7 @@ fn merge(
                 stats.per_worker_nodes.push(sol.stats.nodes);
                 stats.per_worker_busy_secs.push(sol.stats.seconds);
                 stats.simplex.absorb(&sol.stats.simplex);
+                stats.scale.absorb(&sol.stats.scale);
                 solutions.push((idx, sol));
             }
             Some(Err(e)) => {
@@ -320,13 +367,14 @@ mod tests {
                 "most-fractional-dantzig",
                 "most-fractional-devex",
                 "first-index-dantzig",
+                "most-fractional-dantzig-cuts",
             ]
             .contains(&winner),
             "unexpected arm {winner}"
         );
-        // One per-arm entry each (default rule dedups to 3 arms).
-        assert_eq!(out.stats.per_worker_nodes.len(), 3);
-        assert_eq!(out.stats.per_worker_busy_secs.len(), 3);
+        // One per-arm entry each (default rule dedups to 4 arms).
+        assert_eq!(out.stats.per_worker_nodes.len(), 4);
+        assert_eq!(out.stats.per_worker_busy_secs.len(), 4);
     }
 
     #[test]
@@ -340,13 +388,19 @@ mod tests {
             [
                 "first-index-dantzig",
                 "first-index-devex",
-                "most-fractional-devex"
+                "most-fractional-devex",
+                "first-index-dantzig-cuts"
             ],
             "caller's first-index-dantzig must absorb the unguided arm"
         );
         let prio = crate::branch::PriorityRule::new("prio", Vec::new());
         let arms = build_arms(&prio, &fi, &mf);
-        assert_eq!(arms.len(), 4, "a distinct caller rule keeps all four arms");
+        assert_eq!(arms.len(), 5, "a distinct caller rule keeps all five arms");
+        assert_eq!(
+            arms.iter().filter(|a| a.scale).count(),
+            1,
+            "exactly one scale arm"
+        );
     }
 
     #[test]

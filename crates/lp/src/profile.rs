@@ -164,6 +164,83 @@ impl ContentionProfile {
     }
 }
 
+/// Counters of the cut-and-heuristic scale layer (cut separation, node
+/// propagation, the RINS primal heuristic, and pseudo-cost branching).
+///
+/// All zeros when the features are off — the features-off search leaves
+/// this untouched, which the golden pins rely on. Merged into
+/// [`MipStats`](crate::MipStats) like the other profiles and rendered by
+/// the CLI's `--stats`/`--json` output and `tables -- scale`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScaleProfile {
+    /// Cuts separated (violated cover/clique inequalities generated).
+    pub cuts_separated: usize,
+    /// Cuts applied to the working problem (in the pool at the final round).
+    pub cuts_applied: usize,
+    /// Cuts evicted from the pool for inactivity (eligible to re-separate).
+    pub cuts_evicted: usize,
+    /// Separation rounds run (root rounds plus shallow probe dives).
+    pub cut_rounds: usize,
+    /// Binary variables fixed by node bound propagation.
+    pub propagation_fixings: usize,
+    /// Nodes proven infeasible by propagation alone (no LP solved).
+    pub propagation_infeasible: usize,
+    /// RINS sub-MIP runs attempted.
+    pub rins_runs: usize,
+    /// RINS runs that produced/improved an incumbent.
+    pub rins_incumbents: usize,
+    /// Branch-and-bound nodes spent inside RINS sub-searches (not counted
+    /// in the main `nodes` total).
+    pub rins_nodes: usize,
+    /// Pseudo-cost observations recorded (child-LP objective gains).
+    pub pseudocost_updates: usize,
+    /// Strong-branching probe LPs solved for reliability initialization.
+    pub strong_branch_solves: usize,
+}
+
+impl ScaleProfile {
+    /// Merges another scale profile into this one.
+    pub fn absorb(&mut self, other: &ScaleProfile) {
+        self.cuts_separated += other.cuts_separated;
+        self.cuts_applied += other.cuts_applied;
+        self.cuts_evicted += other.cuts_evicted;
+        self.cut_rounds += other.cut_rounds;
+        self.propagation_fixings += other.propagation_fixings;
+        self.propagation_infeasible += other.propagation_infeasible;
+        self.rins_runs += other.rins_runs;
+        self.rins_incumbents += other.rins_incumbents;
+        self.rins_nodes += other.rins_nodes;
+        self.pseudocost_updates += other.pseudocost_updates;
+        self.strong_branch_solves += other.strong_branch_solves;
+    }
+
+    /// True when every counter is zero (nothing to report).
+    pub fn is_empty(&self) -> bool {
+        *self == ScaleProfile::default()
+    }
+
+    /// Multi-line human-readable report (the CLI's `--stats` block).
+    pub fn report(&self) -> String {
+        let mut s = format!(
+            "cuts: {} separated over {} rounds, {} applied, {} evicted",
+            self.cuts_separated, self.cut_rounds, self.cuts_applied, self.cuts_evicted,
+        );
+        s.push_str(&format!(
+            "\npropagation: {} fixings, {} nodes cut infeasible pre-LP",
+            self.propagation_fixings, self.propagation_infeasible,
+        ));
+        s.push_str(&format!(
+            "\nrins: {} runs, {} incumbents, {} sub-search nodes",
+            self.rins_runs, self.rins_incumbents, self.rins_nodes,
+        ));
+        s.push_str(&format!(
+            "\npseudo-cost: {} updates, {} strong-branch probes",
+            self.pseudocost_updates, self.strong_branch_solves,
+        ));
+        s
+    }
+}
+
 /// Starts a section timer when profiling is enabled (else free).
 pub(crate) fn tick(enabled: bool) -> Option<Instant> {
     if enabled {
@@ -242,6 +319,35 @@ mod tests {
         let r = a.report();
         assert!(r.contains("4 steals (2 failed)"), "{r}");
         assert!(r.contains("10 cow clones"), "{r}");
+    }
+
+    #[test]
+    fn scale_absorb_and_report() {
+        let mut a = ScaleProfile {
+            cuts_separated: 3,
+            cuts_applied: 2,
+            cuts_evicted: 1,
+            cut_rounds: 2,
+            propagation_fixings: 7,
+            propagation_infeasible: 1,
+            rins_runs: 1,
+            rins_incumbents: 1,
+            rins_nodes: 40,
+            pseudocost_updates: 9,
+            strong_branch_solves: 4,
+        };
+        assert!(!a.is_empty());
+        assert!(ScaleProfile::default().is_empty());
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.cuts_separated, 6);
+        assert_eq!(a.propagation_fixings, 14);
+        assert_eq!(a.rins_nodes, 80);
+        assert_eq!(a.strong_branch_solves, 8);
+        let r = a.report();
+        assert!(r.contains("6 separated over 4 rounds"), "{r}");
+        assert!(r.contains("14 fixings"), "{r}");
+        assert!(r.contains("18 updates"), "{r}");
     }
 
     #[test]

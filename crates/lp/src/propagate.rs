@@ -1,0 +1,253 @@
+//! Node presolve: minimum-activity bound propagation.
+//!
+//! Before a node pays for an LP solve, the [`Propagator`] sweeps the rows
+//! against the node's current bounds: a row whose *minimum* activity
+//! already exceeds its right-hand side proves the node infeasible with no
+//! simplex work at all, and a binary whose participation would push the
+//! minimum activity over the right-hand side is fixed to its only feasible
+//! value, tightening the child LP (and often unlocking further fixings —
+//! the sweep runs to a pass-capped fixpoint).
+//!
+//! Rows are normalized to `≤` once at construction (`≥` negated, `=` split
+//! into both faces), and only the structural bound slices are touched — the
+//! slack/artificial bounds that encode row senses in the computational form
+//! are never modified.
+
+use crate::problem::{Problem, Sense, VarKind};
+
+/// Outcome of one node propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Propagation {
+    /// Bounds tightened (this many binaries were fixed; zero is a no-op).
+    Fixed(usize),
+    /// A row's minimum activity exceeds its rhs: the node is infeasible.
+    Infeasible,
+}
+
+/// One `≤`-normalized row.
+#[derive(Debug, Clone)]
+struct NormRow {
+    /// `(variable index, coefficient)` terms.
+    coeffs: Vec<(usize, f64)>,
+    rhs: f64,
+}
+
+/// Reusable bound-propagation engine, built once per problem and shared by
+/// every node (and every parallel worker — it is immutable after build).
+#[derive(Debug)]
+pub struct Propagator {
+    rows: Vec<NormRow>,
+    /// Whether each structural variable is binary (only binaries are fixed).
+    binary: Vec<bool>,
+    /// Feasibility tolerance for the activity comparisons.
+    tol: f64,
+}
+
+/// Fixpoint pass cap: each pass is O(nonzeros), and on 0-1 models the
+/// fixing chains are short; a cap keeps the worst case linear.
+const MAX_PASSES: usize = 10;
+
+impl Propagator {
+    /// Builds the normalized row set for `problem`.
+    pub fn build(problem: &Problem, tol: f64) -> Self {
+        let mut rows = Vec::with_capacity(problem.num_rows());
+        for row in &problem.rows {
+            let le: Vec<(usize, f64)> = row.coeffs.iter().map(|&(v, c)| (v.index(), c)).collect();
+            match row.sense {
+                Sense::Le => rows.push(NormRow {
+                    coeffs: le,
+                    rhs: row.rhs,
+                }),
+                Sense::Ge => rows.push(NormRow {
+                    coeffs: le.iter().map(|&(j, c)| (j, -c)).collect(),
+                    rhs: -row.rhs,
+                }),
+                Sense::Eq => {
+                    rows.push(NormRow {
+                        coeffs: le.iter().map(|&(j, c)| (j, -c)).collect(),
+                        rhs: -row.rhs,
+                    });
+                    rows.push(NormRow {
+                        coeffs: le,
+                        rhs: row.rhs,
+                    });
+                }
+            }
+        }
+        let binary = problem
+            .vars
+            .iter()
+            .map(|v| v.kind == VarKind::Binary)
+            .collect();
+        Self { rows, binary, tol }
+    }
+
+    /// Propagates the structural bound slices in place
+    /// (`lower.len() == upper.len() == problem.num_vars()`).
+    ///
+    /// Fixes binaries only; continuous bounds participate in the activity
+    /// sums but are never moved (the LP handles them exactly).
+    pub fn propagate(&self, lower: &mut [f64], upper: &mut [f64]) -> Propagation {
+        let mut fixed = 0usize;
+        for _ in 0..MAX_PASSES {
+            let mut changed = false;
+            for row in &self.rows {
+                // Minimum activity with every variable at its cheapest bound.
+                let mut min_act = 0.0f64;
+                for &(j, a) in &row.coeffs {
+                    min_act += if a > 0.0 { a * lower[j] } else { a * upper[j] };
+                }
+                if min_act > row.rhs + self.tol {
+                    return Propagation::Infeasible;
+                }
+                if !min_act.is_finite() {
+                    continue; // an unbounded term dominates: nothing to learn
+                }
+                for &(j, a) in &row.coeffs {
+                    if !self.binary[j] || upper[j] - lower[j] <= self.tol {
+                        continue; // continuous, or already fixed
+                    }
+                    if a > 0.0 {
+                        // Raising x_j from its lower bound to 1 adds
+                        // a·(1 − lo): if that breaks the row, x_j must be 0.
+                        if min_act + a * (1.0 - lower[j]) > row.rhs + self.tol {
+                            upper[j] = lower[j];
+                            fixed += 1;
+                            changed = true;
+                        }
+                    } else {
+                        // Dropping x_j from its upper bound to 0 removes
+                        // a·hi (a < 0, so the activity *rises* by −a·hi):
+                        // if that breaks the row, x_j must be 1.
+                        if min_act - a * upper[j] > row.rhs + self.tol {
+                            lower[j] = upper[j];
+                            fixed += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Propagation::Fixed(fixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::VarKind;
+
+    fn bounds(p: &Problem) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for v in p.var_ids() {
+            let (l, h) = p.var_bounds(v);
+            lo.push(l);
+            hi.push(h);
+        }
+        (lo, hi)
+    }
+
+    #[test]
+    fn detects_infeasibility_without_lp() {
+        // x0 + x1 ≥ 3 is impossible for two binaries.
+        let mut p = Problem::new("inf");
+        let a = p.add_var("a", VarKind::Binary, 0.0).unwrap();
+        let b = p.add_var("b", VarKind::Binary, 0.0).unwrap();
+        p.add_constraint("r", [(a, 1.0), (b, 1.0)], Sense::Ge, 3.0)
+            .unwrap();
+        let prop = Propagator::build(&p, 1e-7);
+        let (mut lo, mut hi) = bounds(&p);
+        assert_eq!(prop.propagate(&mut lo, &mut hi), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn fixes_forced_binaries_both_directions() {
+        // 2x0 + x1 ≤ 1 forces x0 = 0; −2x2 + x3 ≤ −1 (i.e. 2x2 ≥ 1 + x3)
+        // forces x2 = 1.
+        let mut p = Problem::new("fix");
+        let v: Vec<_> = (0..4)
+            .map(|i| p.add_var(format!("x{i}"), VarKind::Binary, 0.0).unwrap())
+            .collect();
+        p.add_constraint("r0", [(v[0], 2.0), (v[1], 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        p.add_constraint("r1", [(v[2], -2.0), (v[3], 1.0)], Sense::Le, -1.0)
+            .unwrap();
+        let prop = Propagator::build(&p, 1e-7);
+        let (mut lo, mut hi) = bounds(&p);
+        assert_eq!(prop.propagate(&mut lo, &mut hi), Propagation::Fixed(2));
+        assert_eq!((lo[0], hi[0]), (0.0, 0.0), "x0 fixed to 0");
+        assert_eq!((lo[2], hi[2]), (1.0, 1.0), "x2 fixed to 1");
+        // x1 and x3 stay free.
+        assert_eq!((lo[1], hi[1]), (0.0, 1.0));
+        assert_eq!((lo[3], hi[3]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn fixing_chains_run_to_fixpoint() {
+        // Fixing x0 = 1 via the node bounds makes x0 + x1 ≤ 1 force x1 = 0,
+        // and then x1 + x2 ≥ 1 (as ≤ of the negation) forces x2 = 1.
+        let mut p = Problem::new("chain");
+        let v: Vec<_> = (0..3)
+            .map(|i| p.add_var(format!("x{i}"), VarKind::Binary, 0.0).unwrap())
+            .collect();
+        p.add_constraint("r0", [(v[0], 1.0), (v[1], 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        p.add_constraint("r1", [(v[1], 1.0), (v[2], 1.0)], Sense::Ge, 1.0)
+            .unwrap();
+        let prop = Propagator::build(&p, 1e-7);
+        let (mut lo, mut hi) = bounds(&p);
+        lo[0] = 1.0; // the node branched x0 up
+        assert_eq!(prop.propagate(&mut lo, &mut hi), Propagation::Fixed(2));
+        assert_eq!((lo[1], hi[1]), (0.0, 0.0));
+        assert_eq!((lo[2], hi[2]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn equality_rows_propagate_both_faces() {
+        // x0 + x1 = 2 forces both to 1 (via the ≥ face).
+        let mut p = Problem::new("eq");
+        let a = p.add_var("a", VarKind::Binary, 0.0).unwrap();
+        let b = p.add_var("b", VarKind::Binary, 0.0).unwrap();
+        p.add_constraint("r", [(a, 1.0), (b, 1.0)], Sense::Eq, 2.0)
+            .unwrap();
+        let prop = Propagator::build(&p, 1e-7);
+        let (mut lo, mut hi) = bounds(&p);
+        assert_eq!(prop.propagate(&mut lo, &mut hi), Propagation::Fixed(2));
+        assert_eq!((lo[0], lo[1]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn continuous_variables_are_left_alone() {
+        // c ∈ [0, 10] with c + x0 ≤ 1: x0 is not forced (c can be 0), and
+        // c's bounds must not move.
+        let mut p = Problem::new("cont");
+        let c = p.add_var("c", VarKind::Continuous, 0.0).unwrap();
+        p.set_bounds(c, 0.0, 10.0).unwrap();
+        let x0 = p.add_var("x0", VarKind::Binary, 0.0).unwrap();
+        p.add_constraint("r", [(c, 1.0), (x0, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        let prop = Propagator::build(&p, 1e-7);
+        let (mut lo, mut hi) = bounds(&p);
+        assert_eq!(prop.propagate(&mut lo, &mut hi), Propagation::Fixed(0));
+        assert_eq!((lo[0], hi[0]), (0.0, 10.0));
+        assert_eq!((lo[1], hi[1]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn unbounded_continuous_terms_disable_the_row() {
+        // free c with c + x0 ≤ 1: min activity is −∞, nothing provable.
+        let mut p = Problem::new("free");
+        let c = p.add_var("c", VarKind::Continuous, 0.0).unwrap();
+        p.set_bounds(c, f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        let x0 = p.add_var("x0", VarKind::Binary, 0.0).unwrap();
+        p.add_constraint("r", [(c, 1.0), (x0, 5.0)], Sense::Le, 1.0)
+            .unwrap();
+        let prop = Propagator::build(&p, 1e-7);
+        let (mut lo, mut hi) = bounds(&p);
+        assert_eq!(prop.propagate(&mut lo, &mut hi), Propagation::Fixed(0));
+    }
+}

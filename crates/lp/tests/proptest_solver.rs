@@ -3,8 +3,9 @@
 
 use proptest::prelude::*;
 use tempart_lp::{
-    presolve, solve_lp, BranchAndBound, FirstIndexRule, LpOptions, LpStatus, MipOptions, MipStatus,
-    MostFractionalRule, Presolved, Pricing, Problem, Sense, VarKind,
+    presolve, separate_cuts, solve_lp, BranchAndBound, Branching, FirstIndexRule, LpOptions,
+    LpStatus, MipOptions, MipStatus, MostFractionalRule, Presolved, Pricing, Problem, Sense,
+    VarKind,
 };
 
 /// Exhaustive 0-1 reference optimum.
@@ -203,6 +204,66 @@ proptest! {
                 }
                 None => prop_assert_eq!(out.status, MipStatus::Infeasible, "pricing {}", pricing),
             }
+        }
+    }
+
+    /// Every separated cut is globally valid: it may slice off the
+    /// fractional LP point it was generated from, but it must never cut a
+    /// feasible 0-1 point — the instances are small enough to check every
+    /// one of them, not just the optimum.
+    #[test]
+    fn separated_cuts_never_cut_feasible_integer_points(mip in random_mip()) {
+        let p = build(&mip);
+        let lp = solve_lp(&p, &LpOptions::default()).expect("lp solve");
+        if lp.status == LpStatus::Optimal {
+            let cuts = separate_cuts(&p, &lp.x, 1e-4);
+            for cut in &cuts {
+                // A cut is only worth emitting if it actually cuts the
+                // fractional point.
+                prop_assert!(cut.violation(&lp.x) > 0.0,
+                    "{} cut not violated at its own separation point", cut.family);
+            }
+            for mask in 0..(1u32 << mip.n) {
+                let x: Vec<f64> = (0..mip.n)
+                    .map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect();
+                if p.first_violated(&x, 1e-9).is_none() {
+                    for cut in &cuts {
+                        prop_assert!(cut.violation(&x) <= 1e-6,
+                            "{} cut slices feasible point {:?} by {}",
+                            cut.family, x, cut.violation(&x));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The full scale stack — root cuts, node propagation, the RINS
+    /// neighborhood search, and pseudo-cost branching — still proves
+    /// exactly the brute-force optimum (or the same infeasibility).
+    #[test]
+    fn scale_stack_matches_brute_force(mip in random_mip()) {
+        let p = build(&mip);
+        let reference = brute_force(&p);
+        let opts = MipOptions {
+            cuts: true,
+            propagate: true,
+            rins: true,
+            branching: Branching::Pseudocost,
+            ..MipOptions::default()
+        };
+        let out = BranchAndBound::new(&p)
+            .options(opts)
+            .solve()
+            .expect("solver must not error");
+        match reference {
+            Some(bobj) => {
+                prop_assert_eq!(out.status, MipStatus::Optimal);
+                prop_assert!((out.objective - bobj).abs() < 1e-5,
+                    "scale stack: got {} want {}", out.objective, bobj);
+                prop_assert!(p.first_violated(&out.x, 1e-5).is_none());
+            }
+            None => prop_assert_eq!(out.status, MipStatus::Infeasible),
         }
     }
 
