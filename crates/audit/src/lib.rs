@@ -50,10 +50,22 @@ use lints::{FileLints, Finding};
 pub fn lints_for_path(path: &str) -> FileLints {
     let in_lp = path.starts_with("crates/lp/src/");
     let in_core = path.starts_with("crates/core/src/");
+    // The service layer holds the same no-panic bar as the solver (a panic
+    // in a worker is an isolated fault, never a design choice) plus the
+    // float-eq discipline for the objective comparisons it relays. Its
+    // wall-clock nature (Instant-based deadlines, socket timing) makes the
+    // nondeterminism lint a non-goal there. Process entry points
+    // (`src/bin/`) stay out of scope: they report failures through exit
+    // codes, not recovery paths.
+    let in_server =
+        path.starts_with("crates/server/src/") && !path.starts_with("crates/server/src/bin/");
+    // The hand-rolled JSON layer feeds the wire protocol: hostile input
+    // must never panic the parser.
+    let in_cli_json = path == "crates/cli/src/json.rs";
     let nondet_exempt = matches!(path, "crates/lp/src/faults.rs" | "crates/lp/src/profile.rs");
     FileLints {
-        no_panic: in_lp || in_core,
-        float_eq: (in_lp || in_core) && path != "crates/lp/src/tol.rs",
+        no_panic: in_lp || in_core || in_server || in_cli_json,
+        float_eq: (in_lp || in_core || in_server) && path != "crates/lp/src/tol.rs",
         nondet: in_lp && !nondet_exempt,
         lock_order: matches!(
             path,
@@ -61,6 +73,9 @@ pub fn lints_for_path(path: &str) -> FileLints {
                 | "crates/lp/src/worksteal.rs"
                 | "crates/lp/src/portfolio.rs"
                 | "crates/lp/src/pseudocost.rs"
+                | "crates/server/src/lib.rs"
+                | "crates/server/src/queue.rs"
+                | "crates/server/src/cache.rs"
         ),
     }
 }
@@ -153,6 +168,39 @@ mod tests {
         assert!(core.no_panic && core.float_eq && !core.nondet);
 
         let cli = lints_for_path("crates/cli/src/json.rs");
-        assert!(!(cli.no_panic || cli.float_eq || cli.nondet || cli.lock_order));
+        assert!(
+            cli.no_panic && !(cli.float_eq || cli.nondet || cli.lock_order),
+            "the wire-facing JSON parser must never panic on hostile input"
+        );
+        let cli_other = lints_for_path("crates/cli/src/proto.rs");
+        assert!(
+            !(cli_other.no_panic || cli_other.float_eq || cli_other.nondet || cli_other.lock_order),
+            "the rest of the CLI stays out of scope"
+        );
+
+        let srv = lints_for_path("crates/server/src/worker.rs");
+        assert!(
+            srv.no_panic && srv.float_eq && !srv.nondet,
+            "the service layer holds the solver's panic bar but is wall-clock by design"
+        );
+        for locked in [
+            "crates/server/src/lib.rs",
+            "crates/server/src/queue.rs",
+            "crates/server/src/cache.rs",
+        ] {
+            assert!(
+                lints_for_path(locked).lock_order,
+                "{locked} declares ordered locks"
+            );
+        }
+        assert!(
+            !lints_for_path("crates/server/src/conn.rs").lock_order,
+            "lock-free service files skip the ordering lint"
+        );
+        let srv_bin = lints_for_path("crates/server/src/bin/tempart-server.rs");
+        assert!(
+            !(srv_bin.no_panic || srv_bin.float_eq || srv_bin.nondet || srv_bin.lock_order),
+            "process entry points are out of scope"
+        );
     }
 }

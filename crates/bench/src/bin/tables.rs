@@ -6,7 +6,10 @@
 //!
 //! Experiments: `table1`, `table2`, `table3`, `table4`, `ablation`,
 //! `simulate`, `parallel`, `portfolio`, `simplex`, `resilience`, `scale`,
-//! `all` (plus `scale-smoke`, the budgeted CI variant of `scale`).
+//! `service`, `all` (plus `scale-smoke`, the budgeted CI variant of
+//! `scale`). The `service` experiment drives the solve server's
+//! load-generator sweep (`service-bench` in the server crate) and writes
+//! `BENCH_service.json`.
 //! The default
 //! per-row time limit is 600 s (the paper cut Table 1 off at 7200 s on a
 //! 175 MHz UltraSparc; modern hardware needs far less to show the same
@@ -70,6 +73,7 @@ fn main() {
             "resilience" => resilience(limit),
             "scale" => scale(limit, false),
             "scale-smoke" => scale(limit, true),
+            "service" => service(limit),
             "all" => {
                 table1(limit, threads);
                 table2(limit, threads);
@@ -82,9 +86,10 @@ fn main() {
                 simplex(limit);
                 resilience(limit);
                 scale(limit, false);
+                service(limit);
             }
             other => eprintln!(
-                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, portfolio, simplex, resilience, scale, scale-smoke, all)"
+                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, portfolio, simplex, resilience, scale, scale-smoke, service, all)"
             ),
         }
     }
@@ -1136,6 +1141,37 @@ fn scale(limit: f64, smoke: bool) {
     match write {
         Ok(()) => println!("wrote BENCH_scale.json ({} rows)", json_rows.len()),
         Err(e) => eprintln!("cannot write BENCH_scale.json: {e}"),
+    }
+    println!();
+}
+
+/// Service-layer study: delegates to the `service-bench` load generator in
+/// the server crate, which sweeps concurrent clients over a live
+/// `tempart-server` (mixed warm/deadline workload, shed probe) and writes
+/// `BENCH_service.json` with pinned acceptance bars. It runs as a
+/// subprocess because the audit tool's default feature already closes the
+/// package chain audit → bench, so this crate can depend on neither cli
+/// nor server.
+fn service(limit: f64) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = std::process::Command::new(cargo)
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "tempart-server",
+            "--bin",
+            "service-bench",
+            "--",
+            "--limit",
+        ])
+        .arg(limit.to_string())
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("service-bench failed: {s}"),
+        Err(e) => eprintln!("cannot launch service-bench: {e}"),
     }
     println!();
 }

@@ -82,6 +82,56 @@ use tempart_hls::{estimate_partitions, render_gantt, Mobility};
 use tempart_lp::{Branching, FaultPlan, MipOptions, MipStatus, Pricing};
 use tempart_sim::execute;
 
+/// Graceful Ctrl-C (`solve`/`simulate` only): the first SIGINT trips the
+/// solve [`Budget`](tempart_lp::Budget)'s cooperative stop flag, so the
+/// search stops at its next check and reports the best incumbent + valid
+/// bound with a truthful `time-limit` status; a second SIGINT restores the
+/// default disposition (terminate). The handler itself only stores a flag
+/// (async-signal-safe); a monitor thread does the talking.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use tempart_lp::Budget;
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        // libc is always linked; declaring `signal` directly avoids a
+        // dependency the offline build could not fetch anyway.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install(budget: Arc<Budget>) {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+        std::thread::spawn(move || loop {
+            if INTERRUPTED.load(Ordering::SeqCst) {
+                eprintln!(
+                    "interrupted: stopping cooperatively — reporting the best \
+                     incumbent and proven bound (Ctrl-C again to abort hard)"
+                );
+                budget.request_stop();
+                unsafe {
+                    signal(SIGINT, SIG_DFL);
+                }
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+}
+
 struct Args {
     command: String,
     spec_path: Option<String>,
@@ -359,6 +409,22 @@ fn run() -> Result<(), String> {
             if let Some(plan) = &args.faults {
                 mip.lp.faults = Some(std::sync::Arc::new(FaultPlan::parse(plan)?));
             }
+            // Pre-build the whole-command budget and attach it so every
+            // search layer (serial, work-stealing, portfolio arms) shares
+            // its cooperative stop flag; Ctrl-C trips it for a graceful
+            // anytime exit. On an automatic latency sweep the budget — and
+            // hence `--time-limit` — now covers the whole sweep rather
+            // than each attempt separately.
+            let budget = std::sync::Arc::new(tempart_lp::Budget::new(
+                args.limit,
+                args.node_limit,
+                usize::MAX,
+            ));
+            mip.lp.budget = Some(std::sync::Arc::clone(&budget));
+            #[cfg(unix)]
+            sigint::install(budget);
+            #[cfg(not(unix))]
+            drop(budget);
             let solve = SolveOptions {
                 mip,
                 rule: RuleKind::Paper,

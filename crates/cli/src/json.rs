@@ -1,12 +1,28 @@
-//! Minimal JSON reader/writer for specification files.
+//! Minimal JSON reader/writer for specification files and the
+//! `tempart-server` wire protocol.
 //!
 //! The build environment pins the workspace to vendored dependency shims,
 //! so the CLI parses its (small, fixed-shape) specification format with a
 //! hand-rolled recursive-descent parser instead of serde. Covers the full
 //! JSON grammar except that numbers are held as `f64` — exact for every
 //! magnitude a spec file can contain.
+//!
+//! The parser is hardened for adversarial input (it also decodes frames
+//! arriving over the server's TCP socket): nesting is capped at
+//! [`MAX_DEPTH`] so `[[[[…` cannot overflow the stack, inputs larger than
+//! [`MAX_INPUT_BYTES`] are rejected up front, and every malformed byte
+//! sequence returns a truthful `Err` — no input panics.
 
 use std::fmt::Write as _;
+
+/// Maximum nesting depth (arrays + objects combined) the parser accepts.
+/// Recursion is one stack frame per level, so this bounds stack use on
+/// adversarial `[[[[…` input to a few hundred KiB.
+pub const MAX_DEPTH: usize = 128;
+
+/// Maximum input size the parser accepts (16 MiB) — far above any real
+/// specification or protocol frame, far below memory exhaustion.
+pub const MAX_INPUT_BYTES: usize = 16 * 1024 * 1024;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,9 +88,16 @@ impl Value {
 
 /// Parses one JSON document (trailing garbage is an error).
 pub fn parse(text: &str) -> Result<Value, String> {
+    if text.len() > MAX_INPUT_BYTES {
+        return Err(format!(
+            "input too large: {} bytes (limit {MAX_INPUT_BYTES})",
+            text.len()
+        ));
+    }
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -88,6 +111,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -105,7 +129,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    fn eat(&mut self, c: u8) -> Result<(), String> {
         if self.peek() == Some(c) {
             self.pos += 1;
             Ok(())
@@ -136,19 +160,31 @@ impl Parser<'_> {
         }
     }
 
+    /// Guards one level of object/array recursion; the matching decrement
+    /// happens in the container parsers' exits.
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.descend()?;
+        self.eat(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(fields));
         }
         loop {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             self.skip_ws();
             let val = self.value()?;
             fields.push((key, val));
@@ -157,6 +193,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -165,11 +202,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.descend()?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -180,6 +219,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -188,7 +228,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -214,8 +254,8 @@ impl Parser<'_> {
                             let hi = self.hex4()?;
                             let code = if (0xD800..0xDC00).contains(&hi) {
                                 // Surrogate pair: require the low half.
-                                self.expect(b'\\')?;
-                                self.expect(b'u')?;
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
                                 let lo = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
@@ -284,7 +324,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.err("invalid number"))
@@ -318,6 +359,48 @@ pub fn write_f64(out: &mut String, v: f64) {
     } else {
         let _ = write!(out, "{v}");
     }
+}
+
+/// Appends `v` to `out` as compact JSON. Non-finite numbers serialize as
+/// `null` (JSON has no NaN/∞ tokens), matching the CLI's `--json` output
+/// convention.
+pub fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) if n.is_finite() => write_f64(out, *n),
+        Value::Num(_) => out.push_str("null"),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value to a compact JSON string (see [`write_value`]).
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
 }
 
 #[cfg(test)]
@@ -362,5 +445,48 @@ mod tests {
         write_escaped(&mut out, "a\"b\\c\nd\u{1}");
         let back = parse(&out).unwrap();
         assert_eq!(back.as_str(), Some("a\"b\\c\nd\u{1}"));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // One past the cap fails truthfully…
+        let deep = "[".repeat(MAX_DEPTH + 1);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting too deep"), "{err}");
+        // …mixed containers too…
+        let mixed = "{\"k\":[".repeat(MAX_DEPTH);
+        assert!(parse(&mixed).unwrap_err().contains("nesting too deep"));
+        // …and exactly at the cap still parses.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_up_front() {
+        let big = " ".repeat(MAX_INPUT_BYTES + 1);
+        let err = parse(&big).unwrap_err();
+        assert!(err.contains("input too large"), "{err}");
+    }
+
+    #[test]
+    fn value_writer_round_trips() {
+        let v = Value::Obj(vec![
+            ("s".into(), Value::Str("x\n\"😀".into())),
+            (
+                "a".into(),
+                Value::Arr(vec![Value::Num(1.0), Value::Num(-2.5), Value::Null]),
+            ),
+            ("b".into(), Value::Bool(true)),
+            ("nan".into(), Value::Num(f64::NAN)),
+        ]);
+        let text = to_string(&v);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.get("s").unwrap().as_str(), Some("x\n\"😀"));
+        assert_eq!(
+            back.get("a").unwrap().as_arr().unwrap()[1].as_f64(),
+            Some(-2.5)
+        );
+        assert_eq!(back.get("b"), Some(&Value::Bool(true)));
+        assert_eq!(back.get("nan"), Some(&Value::Null), "NaN degrades to null");
     }
 }

@@ -39,7 +39,8 @@ use tempart_graph::{
     Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, OpKind, TaskGraphBuilder,
 };
 
-mod json;
+pub mod json;
+pub mod proto;
 
 use json::Value;
 
@@ -291,10 +292,20 @@ impl SpecFile {
     /// [`LoadError::Json`] on malformed input.
     pub fn from_json(text: &str) -> Result<Self, LoadError> {
         let v = json::parse(text).map_err(LoadError::Json)?;
+        Self::from_value(&v)
+    }
+
+    /// Parses a specification from an already-parsed JSON value (e.g. a
+    /// `spec` field embedded in a `tempart-server` protocol frame).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Json`] on shape errors.
+    pub fn from_value(v: &Value) -> Result<Self, LoadError> {
         if !matches!(v, Value::Obj(_)) {
             return Err(jerr("specification must be a JSON object"));
         }
-        let tasks = arr_field(&v, "tasks", "specification")?
+        let tasks = arr_field(v, "tasks", "specification")?
             .iter()
             .map(TaskSpec::from_value)
             .collect::<Result<_, _>>()?;
@@ -307,16 +318,16 @@ impl SpecFile {
                 .map(EdgeSpec::from_value)
                 .collect::<Result<_, _>>()?,
         };
-        let fus = arr_field(&v, "fus", "specification")?
+        let fus = arr_field(v, "fus", "specification")?
             .iter()
             .map(FuSpec::from_value)
             .collect::<Result<_, _>>()?;
         Ok(SpecFile {
-            name: str_field(&v, "name", "specification")?,
+            name: str_field(v, "name", "specification")?,
             tasks,
             edges,
             fus,
-            device: DeviceSpec::from_value(field(&v, "device", "specification")?)?,
+            device: DeviceSpec::from_value(field(v, "device", "specification")?)?,
         })
     }
 

@@ -361,11 +361,7 @@ impl<'a> BranchAndBound<'a> {
             // Root preparation (cut loop + RINS) runs serially before the
             // worker team spawns; the workers then search the strengthened
             // problem. A no-op (features off) dispatches directly.
-            let budget = Arc::new(Budget::new(
-                self.options.time_limit_secs,
-                self.options.max_nodes,
-                self.options.max_lp_iterations,
-            ));
+            let budget = external_or_new_budget(&self.options);
             return match prepare_root(self.problem, &self.options, &budget)? {
                 None => crate::parallel::solve_parallel(
                     self.problem,
@@ -390,12 +386,25 @@ impl<'a> BranchAndBound<'a> {
         // LP-iteration cap are also checked *inside* the simplex pivot loop
         // (via `LpOptions::budget`), so a single long node LP cannot blow
         // through the global limits.
-        let budget = Arc::new(Budget::new(
-            self.options.time_limit_secs,
-            self.options.max_nodes,
-            self.options.max_lp_iterations,
-        ));
+        let budget = external_or_new_budget(&self.options);
         solve_serial_prepared(self.problem, &self.options, self.rule.as_ref(), budget)
+    }
+}
+
+/// The whole-search [`Budget`]: a caller-supplied one
+/// ([`LpOptions::budget`]) when present — so an outside owner (the
+/// `tempart-server` drain path, the CLI's Ctrl-C handler) can
+/// [`Budget::request_stop`] the search — otherwise a fresh budget built
+/// from the [`MipOptions`] limits, which nothing else holds, keeping the
+/// stop check dead and the serial search bit-identical to the pins.
+pub(crate) fn external_or_new_budget(opts: &MipOptions) -> Arc<Budget> {
+    match &opts.lp.budget {
+        Some(b) => Arc::clone(b),
+        None => Arc::new(Budget::new(
+            opts.time_limit_secs,
+            opts.max_nodes,
+            opts.max_lp_iterations,
+        )),
     }
 }
 
@@ -424,6 +433,12 @@ pub(crate) fn solve_serial(
         let mut incumbent = validate_incumbent(problem, opts, ns);
         if incumbent.is_some() {
             stats.incumbent_updates += 1;
+        }
+        // Live-progress board: publication sites are dead without one, so
+        // the default path stays bit-identical to the golden pins.
+        let progress = opts.progress.as_deref();
+        if let (Some(p), Some((_, obj))) = (progress, &incumbent) {
+            p.note_incumbent(*obj);
         }
         let mut stack: Vec<Node> = vec![Node {
             overlay: BoundOverlay::default(),
@@ -549,7 +564,15 @@ pub(crate) fn solve_serial(
                     status = MipStatus::Unbounded;
                     break;
                 }
-                LpStatus::Optimal => {}
+                LpStatus::Optimal => {
+                    // The root relaxation objective is a valid global lower
+                    // bound; publish it for pollers.
+                    if stats.nodes == 1 {
+                        if let Some(p) = progress {
+                            p.note_bound(outcome.objective);
+                        }
+                    }
+                }
             }
             // Pseudo-cost learning: the solved child reports the objective
             // degradation of the branching that created it. Root nodes with
@@ -614,6 +637,9 @@ pub(crate) fn solve_serial(
                     {
                         incumbent = Some((x.to_vec(), obj));
                         stats.incumbent_updates += 1;
+                        if let Some(p) = progress {
+                            p.note_incumbent(obj);
+                        }
                     }
                 }
                 Some((v, dir)) => {
@@ -679,6 +705,16 @@ pub(crate) fn solve_serial(
                 .map(|n| n.parent_bound)
                 .fold(f64::INFINITY, f64::min),
         };
+        // Fold the exact terminal values into the board so a poller's last
+        // read agrees with the returned solution.
+        if let Some(p) = progress {
+            if objective.is_finite() {
+                p.note_incumbent(objective);
+            }
+            if best_bound.is_finite() {
+                p.note_bound(best_bound);
+            }
+        }
         Ok(MipSolution {
             status,
             x,

@@ -23,20 +23,30 @@
 //! singular@2,itercap@1,panic@1,skew@3
 //! ```
 //!
-//! Sites: `singular` (a basis refactorization reports
+//! Solver sites: `singular` (a basis refactorization reports
 //! [`LpError::SingularBasis`](crate::LpError)), `itercap` (an LP solve
 //! attempt reports [`LpError::IterationLimit`](crate::LpError) on entry),
 //! `panic` (a parallel worker panics right before solving a node), `skew`
 //! (a pivot-loop deadline sample behaves as if the wall clock jumped past
-//! the deadline). Occurrences are 1-based and counted per site across the
+//! the deadline). Service sites, consulted only by `tempart-server`:
+//! `slowclient` (the event writer stalls), `tornframe` (a frame truncates
+//! mid-payload), `disconnect` (the client connection drops mid-job),
+//! `cachepoison` (a warm-start cache entry is corrupted at store time).
+//! Occurrences are 1-based and counted per site across the
 //! whole solve: `singular@2` trips the second refactorization and no
 //! other. The same site may appear multiple times (`panic@1,panic@2`).
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// An injection site recognised by [`FaultPlan`].
+///
+/// The first four sites live inside the solver; the service-level sites
+/// (`SlowClient` and later) are consulted by `tempart-server`'s connection
+/// and cache layers — the solver itself never trips them, so a plan that
+/// scripts only service sites leaves every solve untouched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultSite {
     /// Basis refactorization reports a singular basis.
@@ -44,21 +54,39 @@ pub enum FaultSite {
     /// An LP solve attempt reports an iteration limit on entry.
     IterationCap,
     /// A parallel worker panics before solving a node (serial search never
-    /// consults this site).
+    /// consults this site). `tempart-server` consults the same site before
+    /// a pool worker starts a job, exercising its requeue-once recovery.
     WorkerPanic,
     /// A deadline sample in the pivot loop reports expiry regardless of
     /// the actual clock — a deterministic stand-in for clock skew or a
     /// suspended machine.
     ClockSkew,
+    /// Service: the connection's event writer stalls before a frame write —
+    /// a deterministic stand-in for a client draining its socket slowly.
+    SlowClient,
+    /// Service: a frame arrives truncated mid-payload (the read path must
+    /// report a truthful protocol error, never block or panic).
+    TornFrame,
+    /// Service: the client connection drops while its job is still running
+    /// (the job must still reach exactly one terminal status).
+    Disconnect,
+    /// Service: a warm-start cache entry is corrupted at store time
+    /// (validation-on-hit must degrade to a cold solve, never a wrong
+    /// answer).
+    CachePoison,
 }
 
-const NUM_SITES: usize = 4;
+const NUM_SITES: usize = 8;
 
 const ALL_SITES: [FaultSite; NUM_SITES] = [
     FaultSite::SingularBasis,
     FaultSite::IterationCap,
     FaultSite::WorkerPanic,
     FaultSite::ClockSkew,
+    FaultSite::SlowClient,
+    FaultSite::TornFrame,
+    FaultSite::Disconnect,
+    FaultSite::CachePoison,
 ];
 
 impl FaultSite {
@@ -68,6 +96,10 @@ impl FaultSite {
             FaultSite::IterationCap => 1,
             FaultSite::WorkerPanic => 2,
             FaultSite::ClockSkew => 3,
+            FaultSite::SlowClient => 4,
+            FaultSite::TornFrame => 5,
+            FaultSite::Disconnect => 6,
+            FaultSite::CachePoison => 7,
         }
     }
 
@@ -78,6 +110,10 @@ impl FaultSite {
             FaultSite::IterationCap => "itercap",
             FaultSite::WorkerPanic => "panic",
             FaultSite::ClockSkew => "skew",
+            FaultSite::SlowClient => "slowclient",
+            FaultSite::TornFrame => "tornframe",
+            FaultSite::Disconnect => "disconnect",
+            FaultSite::CachePoison => "cachepoison",
         }
     }
 
@@ -87,6 +123,10 @@ impl FaultSite {
             "itercap" => Some(FaultSite::IterationCap),
             "panic" => Some(FaultSite::WorkerPanic),
             "skew" => Some(FaultSite::ClockSkew),
+            "slowclient" => Some(FaultSite::SlowClient),
+            "tornframe" => Some(FaultSite::TornFrame),
+            "disconnect" => Some(FaultSite::Disconnect),
+            "cachepoison" => Some(FaultSite::CachePoison),
             _ => None,
         }
     }
@@ -131,7 +171,10 @@ impl FaultPlan {
                 .split_once('@')
                 .ok_or_else(|| format!("fault term `{term}` is not `site@occurrence`"))?;
             let site = FaultSite::parse(name.trim()).ok_or_else(|| {
-                format!("unknown fault site `{name}` (expected singular|itercap|panic|skew)")
+                format!(
+                    "unknown fault site `{name}` (expected singular|itercap|panic|skew|\
+                     slowclient|tornframe|disconnect|cachepoison)"
+                )
             })?;
             let occ: usize = occ
                 .trim()
@@ -213,13 +256,34 @@ pub struct Budget {
     max_lp_iterations: usize,
     nodes: AtomicUsize,
     lp_iterations: AtomicUsize,
-    stop: AtomicBool,
+    /// Shared so sibling budgets (the portfolio's per-arm budgets under one
+    /// caller budget) cancel together: tripping any of them trips all.
+    stop: Arc<AtomicBool>,
 }
 
 impl Budget {
     /// Starts a budget now. `time_limit_secs` may be infinite and the
     /// counts `usize::MAX` to disable the respective dimension.
     pub fn new(time_limit_secs: f64, max_nodes: usize, max_lp_iterations: usize) -> Budget {
+        Budget::with_stop_flag(
+            time_limit_secs,
+            max_nodes,
+            max_lp_iterations,
+            Arc::new(AtomicBool::new(false)),
+        )
+    }
+
+    /// Starts a budget now whose stop flag is the caller-supplied `stop` —
+    /// several budgets built over one flag cancel as a group
+    /// ([`Budget::request_stop`] on any of them stops them all). The
+    /// portfolio driver uses this to keep its per-arm budgets cancellable
+    /// by an outer caller budget (a server draining, a Ctrl-C handler).
+    pub fn with_stop_flag(
+        time_limit_secs: f64,
+        max_nodes: usize,
+        max_lp_iterations: usize,
+        stop: Arc<AtomicBool>,
+    ) -> Budget {
         let deadline = if time_limit_secs.is_finite() {
             Some(Instant::now() + Duration::from_secs_f64(time_limit_secs.max(0.0)))
         } else {
@@ -231,8 +295,13 @@ impl Budget {
             max_lp_iterations,
             nodes: AtomicUsize::new(0),
             lp_iterations: AtomicUsize::new(0),
-            stop: AtomicBool::new(false),
+            stop,
         }
+    }
+
+    /// The shared stop flag (see [`Budget::with_stop_flag`]).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
     }
 
     /// A budget with every dimension disabled.
@@ -483,6 +552,46 @@ mod tests {
         let expired = Budget::new(0.0, usize::MAX, usize::MAX);
         assert_eq!(expired.exceeded(0), Some(BudgetExceeded::Time));
         assert_eq!(expired.remaining_secs(), 0.0);
+    }
+
+    #[test]
+    fn faults_service_sites_roundtrip_and_stay_inert_in_solver() {
+        // The service-level sites parse, print, and count like any other —
+        // but nothing in the solver stack consults them, so a plan
+        // scripting only service faults changes nothing about a solve.
+        let plan = FaultPlan::parse("slowclient@1,tornframe@2,disconnect@1,cachepoison@3").unwrap();
+        assert_eq!(
+            plan.to_string(),
+            "slowclient@1,tornframe@2,disconnect@1,cachepoison@3"
+        );
+        assert!(plan.trip(FaultSite::SlowClient));
+        assert!(!plan.trip(FaultSite::TornFrame)); // occurrence 1
+        assert!(plan.trip(FaultSite::TornFrame)); // occurrence 2: scripted
+        assert!(plan.trip(FaultSite::Disconnect));
+        assert!(!plan.trip(FaultSite::CachePoison));
+
+        let p = knapsack();
+        let mut opts = MipOptions::default();
+        opts.lp.faults = Some(Arc::new(
+            FaultPlan::parse("slowclient@1,tornframe@1,disconnect@1,cachepoison@1").unwrap(),
+        ));
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::Optimal);
+        assert!((out.objective - (-23.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faults_budgets_sharing_a_stop_flag_cancel_together() {
+        let outer = Budget::unlimited();
+        let inner = Budget::with_stop_flag(f64::INFINITY, 7, usize::MAX, outer.stop_flag());
+        assert!(!inner.stop_requested());
+        outer.request_stop();
+        assert!(inner.stop_requested(), "flag is shared");
+        assert_eq!(inner.exceeded(0), Some(BudgetExceeded::Time));
+        // Counters stay per-budget: only the flag is shared.
+        inner.note_node();
+        assert_eq!(outer.nodes(), 0);
+        assert_eq!(inner.max_nodes(), 7);
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod portfolio;
 mod presolve;
 mod problem;
 mod profile;
+mod progress;
 mod propagate;
 mod pseudocost;
 mod simplex;
@@ -78,6 +79,7 @@ pub use options::{Branching, LpOptions, MipOptions, Pricing};
 pub use presolve::{presolve, PresolveResult, Presolved};
 pub use problem::{LpError, Problem, RowId, RowView, Sense, VarId, VarKind};
 pub use profile::{ContentionProfile, ScaleProfile, SimplexProfile};
+pub use progress::Progress;
 pub use propagate::{Propagation, Propagator};
 pub use pseudocost::PseudoCost;
 pub use simplex::{solve_lp, LpOutcome};

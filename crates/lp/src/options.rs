@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use crate::faults::{Budget, FaultPlan};
+use crate::progress::Progress;
 
 /// Entering-variable pricing strategy for the simplex.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -215,6 +216,12 @@ pub struct MipOptions {
     /// Branching-variable selection (see [`Branching`]). The default
     /// [`Branching::Rule`] is the pinned static-rule path.
     pub branching: Branching,
+    /// Live-progress board (see [`Progress`]): the search publishes
+    /// validated incumbents and the root-relaxation bound so an external
+    /// observer (the `tempart-server` event streamer) can poll a running
+    /// solve lock-free. `None` (the default) keeps every publication site
+    /// dead — required for the bit-identical golden pins.
+    pub progress: Option<Arc<Progress>>,
 }
 
 impl Default for MipOptions {
@@ -235,6 +242,7 @@ impl Default for MipOptions {
             rins: false,
             rins_reference: None,
             branching: Branching::Rule,
+            progress: None,
         }
     }
 }
@@ -264,7 +272,7 @@ mod tests {
         assert!(mip.rins_reference.is_none());
         assert_eq!(mip.branching, Branching::Rule, "pinned static rule");
         assert!(
-            lp.faults.is_none() && lp.budget.is_none(),
+            lp.faults.is_none() && lp.budget.is_none() && mip.progress.is_none(),
             "inert by default"
         );
     }

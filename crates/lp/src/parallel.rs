@@ -321,12 +321,11 @@ pub(crate) fn solve_parallel(
 
     let seeded = validate_incumbent(problem, opts, core.num_structs);
     let seeded_updates = usize::from(seeded.is_some());
+    if let (Some(p), Some((_, obj))) = (opts.progress.as_deref(), &seeded) {
+        p.note_incumbent(*obj);
+    }
 
-    let budget = Arc::new(Budget::new(
-        opts.time_limit_secs,
-        opts.max_nodes,
-        opts.max_lp_iterations,
-    ));
+    let budget = crate::branch::external_or_new_budget(opts);
     let mut shared = Shared {
         core: &core,
         problem,
@@ -450,6 +449,16 @@ pub(crate) fn solve_parallel(
             .map(|n| n.parent_bound)
             .fold(*lock(&shared.open_bound), f64::min),
     };
+    // Fold the exact terminal values into the live-progress board so a
+    // poller's last read agrees with the returned solution.
+    if let Some(p) = opts.progress.as_deref() {
+        if objective.is_finite() {
+            p.note_incumbent(objective);
+        }
+        if best_bound.is_finite() {
+            p.note_bound(best_bound);
+        }
+    }
     Ok(MipSolution {
         status,
         x,
@@ -669,6 +678,9 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                     &mut ws.contention.incumbent_retries,
                 ) {
                     ws.incumbent_updates += 1;
+                    if let Some(p) = opts.progress.as_deref() {
+                        p.note_incumbent(outcome.objective);
+                    }
                 }
                 shared.node_done();
             }

@@ -135,14 +135,32 @@ pub(crate) fn solve_portfolio(
     let unguided = FirstIndexRule;
     let diving = MostFractionalRule;
     let arms = build_arms(rule, &unguided, &diving);
+    // Per-arm budgets keep separate work counters (node/pivot caps are per
+    // arm), but when the caller attached an external budget
+    // ([`crate::LpOptions::budget`] — the server's drain path, the CLI's
+    // Ctrl-C handler) every arm shares its stop flag, so one outside
+    // `request_stop` cancels the whole race at the next cooperative check.
+    // The caller budget's *deadline* is inherited too: its clock may have
+    // started before this solve (the server admits jobs with the queue wait
+    // already ticking), so each arm's deadline is the tighter of the
+    // options' limit and whatever the caller budget has left.
+    let caller = opts.lp.budget.as_deref();
+    let caller_stop = caller.map(Budget::stop_flag);
+    let time_limit = caller.map_or(opts.time_limit_secs, |b| {
+        b.remaining_secs().min(opts.time_limit_secs)
+    });
     let budgets: Vec<Arc<Budget>> = arms
         .iter()
         .map(|_| {
-            Arc::new(Budget::new(
-                opts.time_limit_secs,
-                opts.max_nodes,
-                opts.max_lp_iterations,
-            ))
+            Arc::new(match &caller_stop {
+                Some(flag) => Budget::with_stop_flag(
+                    time_limit,
+                    opts.max_nodes,
+                    opts.max_lp_iterations,
+                    Arc::clone(flag),
+                ),
+                None => Budget::new(time_limit, opts.max_nodes, opts.max_lp_iterations),
+            })
         })
         .collect();
     let winner = AtomicUsize::new(NO_WINNER);
@@ -460,6 +478,24 @@ mod tests {
                 >= 1,
             "the panicked arm contributes no nodes"
         );
+    }
+
+    #[test]
+    fn external_budget_stop_cancels_every_arm() {
+        // An outside owner (server drain, Ctrl-C) trips the caller budget's
+        // stop flag; every arm shares it, so the whole race stops at the
+        // next cooperative check with the truthful limit status and the
+        // seeded anytime incumbent.
+        let p = knapsack();
+        let mut opts = portfolio_opts();
+        opts.initial_incumbent = Some(vec![0.0, 1.0, 0.0, 1.0]);
+        let outer = Arc::new(Budget::new(f64::INFINITY, usize::MAX, usize::MAX));
+        outer.request_stop();
+        opts.lp.budget = Some(Arc::clone(&outer));
+        let out = BranchAndBound::new(&p).options(opts).solve().unwrap();
+        assert_eq!(out.status, MipStatus::TimeLimit);
+        assert_eq!(out.x, vec![0.0, 1.0, 0.0, 1.0], "anytime seed kept");
+        assert!(out.best_bound <= out.objective + 1e-9, "bound stays valid");
     }
 
     #[test]

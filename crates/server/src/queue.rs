@@ -1,0 +1,181 @@
+//! Bounded job queue with explicit load shedding.
+//!
+//! Admission pushes through [`JobQueue::try_push`], which refuses (returns
+//! the job) when the queue is at capacity or the server is draining — the
+//! caller turns that into an immediate, truthful `rejected` response.
+//! Requeues after a caught worker panic use [`JobQueue::push_front`]: the
+//! job was already admitted, so it bypasses the capacity check and jumps
+//! the line (its budget is already burning).
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use tempart_cli::proto::{Response, SolveParams};
+use tempart_cli::SpecFile;
+use tempart_lp::{Branching, Budget, Progress};
+
+use crate::{lock, wait};
+
+/// One admitted solve job. The clamped budget values are decided at
+/// admission (policy lives there); workers only consume them.
+pub(crate) struct Job {
+    pub id: u64,
+    pub spec: SpecFile,
+    pub params: SolveParams,
+    /// Warm-start cache key (`None` for auto-sweep jobs).
+    pub fingerprint: Option<String>,
+    /// Lock-free progress board the connection thread polls.
+    pub progress: Arc<Progress>,
+    /// The admitted budget; attached to the solve via `LpOptions::budget`
+    /// and stopped by a drain.
+    pub budget: Arc<Budget>,
+    /// Terminal-result channel back to the connection thread.
+    pub tx: mpsc::Sender<Response>,
+    /// True once the job survived a caught worker panic.
+    pub requeued: bool,
+    /// Admission time; `seconds` in the summary measures from here.
+    pub submitted: Instant,
+    /// Server-clamped wall-clock budget (seconds).
+    pub time_limit_secs: f64,
+    /// Server-clamped node budget.
+    pub node_limit: usize,
+    /// Server-clamped pivot budget.
+    pub pivot_limit: usize,
+    /// Server-clamped solver thread count.
+    pub threads: usize,
+    /// Parsed branching strategy.
+    pub branching: Branching,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded queue. One mutex, one condvar; never held across any other
+/// lock acquisition.
+pub(crate) struct JobQueue {
+    // lock-order: 1
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    pub fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admission push: sheds (returns the job) when full or closed.
+    // The Err variant hands the caller its own job back so the shed
+    // response can reuse it — a move of an already-owned value, not the
+    // per-call copy cost the lint guards against.
+    #[allow(clippy::result_large_err)]
+    pub fn try_push(&self, job: Job, capacity: usize) -> Result<(), Job> {
+        let mut g = lock(&self.state);
+        if g.closed || g.jobs.len() >= capacity {
+            return Err(job);
+        }
+        g.jobs.push_back(job);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Requeue push for an already-admitted job: always succeeds (even
+    /// mid-drain — the job still owes its client a terminal status) and
+    /// jumps the line.
+    pub fn push_front(&self, job: Job) {
+        let mut g = lock(&self.state);
+        g.jobs.push_front(job);
+        drop(g);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and empty
+    /// (a closed queue still drains its backlog first).
+    pub fn pop(&self) -> Option<Job> {
+        let mut g = lock(&self.state);
+        loop {
+            if let Some(job) = g.jobs.pop_front() {
+                return Some(job);
+            }
+            if g.closed {
+                return None;
+            }
+            g = wait(&self.ready, g);
+        }
+    }
+
+    /// Closes the queue: no further admissions; workers drain the backlog
+    /// and then exit.
+    pub fn close(&self) {
+        let mut g = lock(&self.state);
+        g.closed = true;
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    /// Current backlog depth.
+    #[cfg(test)]
+    pub fn depth(&self) -> usize {
+        lock(&self.state).jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64) -> Job {
+        // The receiver is dropped immediately: queue tests never deliver.
+        let (tx, _rx) = mpsc::channel();
+        Job {
+            id,
+            spec: SpecFile::example(),
+            params: SolveParams::default(),
+            fingerprint: None,
+            progress: Arc::new(Progress::new()),
+            budget: Arc::new(Budget::unlimited()),
+            tx,
+            requeued: false,
+            submitted: Instant::now(),
+            time_limit_secs: f64::INFINITY,
+            node_limit: usize::MAX,
+            pivot_limit: usize::MAX,
+            threads: 1,
+            branching: Branching::default(),
+        }
+    }
+
+    #[test]
+    fn sheds_at_capacity_and_keeps_fifo_order() {
+        let q = JobQueue::new();
+        assert!(q.try_push(job(1), 2).is_ok());
+        assert!(q.try_push(job(2), 2).is_ok());
+        let shed = q.try_push(job(3), 2);
+        assert_eq!(shed.err().map(|j| j.id), Some(3), "third push sheds");
+        assert_eq!(q.pop().map(|j| j.id), Some(1));
+        assert_eq!(q.pop().map(|j| j.id), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn requeue_jumps_the_line_and_survives_close() {
+        let q = JobQueue::new();
+        assert!(q.try_push(job(1), 4).is_ok());
+        q.close();
+        assert!(q.try_push(job(2), 4).is_err(), "closed queue sheds");
+        q.push_front(job(9)); // requeue bypasses the closed check
+        assert_eq!(q.pop().map(|j| j.id), Some(9), "requeue is served first");
+        assert_eq!(q.pop().map(|j| j.id), Some(1), "backlog still drains");
+        assert!(q.pop().is_none(), "closed and empty");
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared helpers for the service and chaos suites.
+
+#![allow(dead_code)]
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use tempart_cli::proto::{read_frame, write_frame, Request, Response, SolveParams, SolveSummary};
+use tempart_cli::SpecFile;
+use tempart_server::{start, ServerConfig, ServerHandle, StatsSnapshot};
+
+/// Boots a single-worker server (deterministic fault-occurrence ordering)
+/// with the given config tweaks.
+pub fn server(tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    tweak(&mut config);
+    start(config).expect("server starts")
+}
+
+pub fn connect(handle: &ServerHandle) -> TcpStream {
+    TcpStream::connect(handle.addr()).expect("connect")
+}
+
+pub fn send(stream: &mut TcpStream, request: &Request) {
+    write_frame(stream, &request.to_json()).expect("send frame");
+}
+
+/// Reads one response frame; `None` when the server closed the stream.
+pub fn recv(stream: &mut TcpStream) -> Option<Response> {
+    read_frame(stream)
+        .expect("read frame")
+        .map(|p| Response::from_json(&p).expect("parse response"))
+}
+
+/// Sends one request and collects every frame up to and including the
+/// terminal one (result / rejected / pong / draining / error). A closed
+/// stream ends collection early.
+pub fn rpc(stream: &mut TcpStream, request: &Request) -> Vec<Response> {
+    send(stream, request);
+    let mut frames = Vec::new();
+    loop {
+        let Some(resp) = recv(stream) else {
+            return frames;
+        };
+        let terminal = matches!(
+            resp,
+            Response::Result { .. }
+                | Response::Rejected { .. }
+                | Response::Pong
+                | Response::Draining
+                | Response::Error { .. }
+        );
+        frames.push(resp);
+        if terminal {
+            return frames;
+        }
+    }
+}
+
+/// A solve request for the example spec with an explicit `(2, 1)` config
+/// (the same configuration the CLI suite pins as feasible).
+pub fn solve_request(tweak: impl FnOnce(&mut SolveParams)) -> Request {
+    let mut params = SolveParams {
+        config: Some((2, 1)),
+        ..SolveParams::default()
+    };
+    tweak(&mut params);
+    Request::Solve {
+        spec: SpecFile::example(),
+        params,
+    }
+}
+
+/// The terminal summary out of an `rpc` frame list.
+pub fn summary(frames: &[Response]) -> &SolveSummary {
+    frames
+        .iter()
+        .find_map(|f| match f {
+            Response::Result { summary, .. } => Some(summary),
+            _ => None,
+        })
+        .expect("terminal result frame")
+}
+
+/// Polls the server stats until `done` passes or the deadline expires.
+pub fn wait_for(handle: &ServerHandle, done: impl Fn(&StatsSnapshot) -> bool) -> StatsSnapshot {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let snap = handle.stats();
+        if done(&snap) || Instant::now() > deadline {
+            return snap;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

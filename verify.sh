@@ -36,6 +36,13 @@ cargo test -q -p tempart-lp faults
 echo "== smoke: tables harness (Table 2, 60 s rows) =="
 cargo run --release -p tempart-bench --bin tables -- table2 --limit 60
 
+echo "== smoke: solve service (client sweep, shed probe, acceptance bars) =="
+cargo run --release -q -p tempart-server --bin service-bench
+if grep -q '"pass": false' BENCH_service.json; then
+  echo "service acceptance bar failed" >&2
+  exit 1
+fi
+
 echo "== audit: workspace lints (deny unsuppressed) =="
 cargo run --release -p tempart-audit -- lint --deny
 
