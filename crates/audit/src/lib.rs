@@ -6,7 +6,7 @@
 //!
 //! ## Lint engine
 //!
-//! A dependency-free hand-rolled Rust lexer ([`lexer`]) feeds four
+//! A dependency-free hand-rolled Rust lexer ([`lexer`]) feeds five
 //! solver-specific lints ([`lints`]):
 //!
 //! | lint | scope | invariant |
@@ -15,6 +15,7 @@
 //! | `float-eq` | `crates/lp/src`, `crates/core/src` | no exact float `==`/`!=` outside `crates/lp/src/tol.rs` |
 //! | `nondet` | `crates/lp/src` except `faults.rs`, `profile.rs` | no `Instant::now`/`SystemTime`/`HashMap` in solver decision paths |
 //! | `lock-order` | `crates/lp/src/{parallel,worksteal,portfolio,pseudocost}.rs` | `lock(…)` acquisitions follow the `// lock-order: N` declarations |
+//! | `atomic-ordering` | `crates/{lp,server,cli}/src` (bins included) | every atomic `Ordering` site matches a file-scoped `// hb:` declaration |
 //!
 //! L4 deliberately does not track atomics: the work-stealing scheduler's
 //! lock-free structures (the seqlock incumbent exchange, the deques' `len`
@@ -63,8 +64,13 @@ pub fn lints_for_path(path: &str) -> FileLints {
     // must never panic the parser.
     let in_cli_json = path == "crates/cli/src/json.rs";
     let nondet_exempt = matches!(path, "crates/lp/src/faults.rs" | "crates/lp/src/profile.rs");
+    // The model-checker scenarios assert their invariants by panicking —
+    // that *is* the violation signal the explorer catches and replays —
+    // so the no-panic bar cannot apply to them. They still carry the
+    // atomic-ordering contract.
+    let model_harness = path.ends_with("/race_models.rs");
     FileLints {
-        no_panic: in_lp || in_core || in_server || in_cli_json,
+        no_panic: (in_lp || in_core || in_server || in_cli_json) && !model_harness,
         float_eq: (in_lp || in_core || in_server) && path != "crates/lp/src/tol.rs",
         nondet: in_lp && !nondet_exempt,
         lock_order: matches!(
@@ -77,6 +83,13 @@ pub fn lints_for_path(path: &str) -> FileLints {
                 | "crates/server/src/queue.rs"
                 | "crates/server/src/cache.rs"
         ),
+        // Every atomic in the solver, the service (its bins included), and
+        // the CLI must carry a reviewed happens-before contract. The race
+        // crate itself is exempt: its `SeqCst` internals *implement* the
+        // model checker, they are not claims about production orderings.
+        atomic_ordering: in_lp
+            || path.starts_with("crates/server/src/")
+            || path.starts_with("crates/cli/src/"),
     }
 }
 
@@ -103,7 +116,12 @@ pub fn run_lints(root: &Path) -> std::io::Result<Vec<Finding>> {
             .to_string_lossy()
             .replace('\\', "/");
         let which = lints_for_path(&rel);
-        if !(which.no_panic || which.float_eq || which.nondet || which.lock_order) {
+        if !(which.no_panic
+            || which.float_eq
+            || which.nondet
+            || which.lock_order
+            || which.atomic_ordering)
+        {
             continue;
         }
         let src = std::fs::read_to_string(&file)?;
@@ -175,8 +193,34 @@ mod tests {
         let cli_other = lints_for_path("crates/cli/src/proto.rs");
         assert!(
             !(cli_other.no_panic || cli_other.float_eq || cli_other.nondet || cli_other.lock_order),
-            "the rest of the CLI stays out of scope"
+            "the rest of the CLI stays outside the panic/float/lock scopes"
         );
+
+        // L5 covers every atomic in lp, server (bins too), and cli; the
+        // race crate and the model harnesses keep only the parts that
+        // make sense for them.
+        for covered in [
+            "crates/lp/src/worksteal.rs",
+            "crates/server/src/stats.rs",
+            "crates/server/src/bin/tempart-server.rs",
+            "crates/cli/src/bin/tempart.rs",
+        ] {
+            assert!(
+                lints_for_path(covered).atomic_ordering,
+                "{covered} carries the hb contract"
+            );
+        }
+        assert!(
+            !lints_for_path("crates/race/src/sync.rs").atomic_ordering,
+            "the checker's own internals are not production ordering claims"
+        );
+        let lp_models = lints_for_path("crates/lp/src/race_models.rs");
+        assert!(
+            lp_models.atomic_ordering && !lp_models.no_panic,
+            "model scenarios assert by panicking but still declare orderings"
+        );
+        let srv_models = lints_for_path("crates/server/src/race_models.rs");
+        assert!(srv_models.atomic_ordering && !srv_models.no_panic);
 
         let srv = lints_for_path("crates/server/src/worker.rs");
         assert!(

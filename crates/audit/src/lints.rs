@@ -1,4 +1,4 @@
-//! The four solver-invariant lints and the suppression grammar.
+//! The five solver-invariant lints and the suppression grammar.
 //!
 //! Every lint operates on the token stream of one file (see
 //! [`crate::lexer`]); scoping (which files each lint applies to) lives in
@@ -34,6 +34,8 @@ pub enum Lint {
     Nondet,
     /// L4: lock acquisitions must follow the declared `// lock-order: N`.
     LockOrder,
+    /// L5: every atomic `Ordering` site must match a `// hb:` declaration.
+    AtomicOrdering,
     /// Malformed or reasonless suppression comments.
     BadSuppression,
 }
@@ -46,6 +48,7 @@ impl Lint {
             Lint::FloatEq => "float-eq",
             Lint::Nondet => "nondet",
             Lint::LockOrder => "lock-order",
+            Lint::AtomicOrdering => "atomic-ordering",
             Lint::BadSuppression => "bad-suppression",
         }
     }
@@ -57,6 +60,7 @@ impl Lint {
             "float-eq" => Some(Lint::FloatEq),
             "nondet" => Some(Lint::Nondet),
             "lock-order" => Some(Lint::LockOrder),
+            "atomic-ordering" => Some(Lint::AtomicOrdering),
             _ => None,
         }
     }
@@ -162,6 +166,259 @@ fn parse_lock_orders(lexed: &Lexed) -> BTreeMap<String, u32> {
     out
 }
 
+/// One `<ord>-<opclass>` leg of an `// hb:` declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HbSpec {
+    ord: &'static str,
+    opclass: &'static str,
+}
+
+const ORD_NAMES: [(&str, &str); 5] = [
+    ("Relaxed", "relaxed"),
+    ("Acquire", "acquire"),
+    ("Release", "release"),
+    ("AcqRel", "acqrel"),
+    ("SeqCst", "seqcst"),
+];
+
+fn ord_keyword(variant: &str) -> Option<&'static str> {
+    ORD_NAMES
+        .iter()
+        .find(|(v, _)| *v == variant)
+        .map(|(_, k)| *k)
+}
+
+const OPCLASSES: [&str; 5] = ["load", "store", "rmw", "cas", "cas-fail"];
+
+/// Parses one `<ord>-<opclass>` token (e.g. `release-store`, `relaxed-cas-fail`).
+fn parse_hb_spec(s: &str) -> Option<HbSpec> {
+    let (ord_part, op_part) = s.split_once('-')?;
+    let ord = ORD_NAMES.iter().find(|(_, k)| *k == ord_part)?.1;
+    let opclass = OPCLASSES.iter().find(|&&o| o == op_part)?;
+    Some(HbSpec { ord, opclass })
+}
+
+/// File-scoped happens-before declarations:
+///
+/// ```text
+/// // hb: <ord>-<opclass> [-> <ord>-<opclass>]* (<field>) — <reason>
+/// ```
+///
+/// binding by the atomic's receiver identifier. Returns the map
+/// `receiver → declared (ord, opclass) legs` plus any malformed
+/// declarations (reported as findings: a half-written contract is worse
+/// than none).
+type HbDecls = BTreeMap<String, Vec<HbSpec>>;
+
+fn parse_hb_decls(lexed: &Lexed) -> (HbDecls, Vec<(u32, String)>) {
+    let mut decls: HbDecls = BTreeMap::new();
+    let mut malformed = Vec::new();
+    for c in &lexed.comments {
+        let Some(rest) = c.text.trim().strip_prefix("hb:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(open) = rest.find('(') else {
+            malformed.push((c.line, "hb declaration missing `(<field>)`".to_string()));
+            continue;
+        };
+        let Some(close) = rest[open..].find(')').map(|p| open + p) else {
+            malformed.push((c.line, "hb declaration missing `)`".to_string()));
+            continue;
+        };
+        let field = rest[open + 1..close].trim();
+        if field.is_empty() {
+            malformed.push((c.line, "hb declaration names no field".to_string()));
+            continue;
+        }
+        let reason = rest[close + 1..].trim_start();
+        let has_reason = ["—", "–", "--", "-"]
+            .iter()
+            .find_map(|sep| reason.strip_prefix(sep))
+            .is_some_and(|r| !r.trim().is_empty());
+        if !has_reason {
+            malformed.push((
+                c.line,
+                format!("hb declaration for `{field}` has no reason (use `— <why>`)"),
+            ));
+            continue;
+        }
+        let mut specs = Vec::new();
+        let mut bad = false;
+        for leg in rest[..open].split("->") {
+            match parse_hb_spec(leg.trim()) {
+                Some(s) => specs.push(s),
+                None => {
+                    malformed.push((
+                        c.line,
+                        format!(
+                            "hb declaration for `{field}` has malformed leg `{}` \
+                             (want `<ord>-<opclass>`)",
+                            leg.trim()
+                        ),
+                    ));
+                    bad = true;
+                    break;
+                }
+            }
+        }
+        if bad || specs.is_empty() {
+            if specs.is_empty() && !bad {
+                malformed.push((c.line, format!("hb declaration for `{field}` is empty")));
+            }
+            continue;
+        }
+        decls.entry(field.to_string()).or_default().extend(specs);
+    }
+    (decls, malformed)
+}
+
+/// Atomic method names with a memory-`Ordering` parameter, mapped to the
+/// op class of each ordering argument in positional order.
+fn atomic_opclasses(method: &str) -> Option<&'static [&'static str]> {
+    Some(match method {
+        "load" => &["load"],
+        "store" => &["store"],
+        "swap" | "fetch_add" | "fetch_sub" | "fetch_and" | "fetch_or" | "fetch_xor"
+        | "fetch_nand" | "fetch_max" | "fetch_min" => &["rmw"],
+        "compare_exchange" | "compare_exchange_weak" | "fetch_update" => &["cas", "cas-fail"],
+        _ => return None,
+    })
+}
+
+/// The receiver identifier of the atomic call whose method name sits at
+/// `t[m]`: the last plain identifier in the `.`-chain before the method
+/// (`self.draining.load` → `draining`; `counters[i].fetch_add` →
+/// `counters`, skipping the index group). `None` when the receiver is not
+/// nameable (a call result, a macro metavariable).
+fn receiver_ident(t: &[Tok], m: usize) -> Option<String> {
+    // t[m-1] is the `.`; walk left over at most one index group.
+    let mut i = m.checked_sub(2)?;
+    if t[i].text == "]" {
+        let mut d = 0i32;
+        loop {
+            match t[i].text.as_str() {
+                "]" => d += 1,
+                "[" => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i = i.checked_sub(1)?;
+        }
+        i = i.checked_sub(1)?;
+    }
+    if t[i].kind != TokKind::Ident {
+        return None;
+    }
+    // A macro metavariable (`self.$field.…`) is not a bindable name.
+    if i >= 1 && t[i - 1].text == "$" {
+        return None;
+    }
+    Some(t[i].text.clone())
+}
+
+/// L5: every atomic operation that takes a memory `Ordering` must be
+/// covered by an `// hb:` declaration for its receiver, with the exact
+/// `(ordering, op-class)` pair declared. Declarations are the reviewed
+/// contract; the model checker's scenarios verify the contract holds, and
+/// this lint keeps the code from drifting away from it silently.
+fn lint_atomic_ordering(t: &[Tok], decls: &HbDecls, emit: &mut dyn FnMut(u32, String)) {
+    for (m, tok) in t.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(classes) = atomic_opclasses(&tok.text) else {
+            continue;
+        };
+        if m == 0 || t[m - 1].text != "." || t.get(m + 1).map(|n| n.text.as_str()) != Some("(") {
+            continue;
+        }
+        // Collect `::<Variant>` ordering arguments inside the call parens
+        // (any path prefix: `Ordering::`, aliased, or fully qualified).
+        let mut d = 0i32;
+        let mut j = m + 1;
+        let mut ords: Vec<(&'static str, u32)> = Vec::new();
+        while j < t.len() {
+            match t[j].text.as_str() {
+                "(" => d += 1,
+                ")" => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if d == 1 && t[j].kind == TokKind::Ident && t[j - 1].text == "::" {
+                        if let Some(k) = ord_keyword(&t[j].text) {
+                            ords.push((k, t[j].line));
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        if ords.is_empty() {
+            continue; // not an atomic call (e.g. `Vec::load`-alikes without orderings)
+        }
+        let receiver = receiver_ident(t, m);
+        for (pos, &(ord, line)) in ords.iter().enumerate() {
+            let opclass = classes[pos.min(classes.len() - 1)];
+            match receiver.as_deref().and_then(|r| decls.get(r)) {
+                None => {
+                    let who = receiver.as_deref().unwrap_or("<unnamed receiver>");
+                    emit(
+                        line,
+                        format!(
+                            "atomic `{ord}-{opclass}` on `{who}` has no `// hb:` \
+                             declaration in this file"
+                        ),
+                    );
+                }
+                Some(specs) => {
+                    if !specs.iter().any(|s| s.ord == ord && s.opclass == opclass) {
+                        let declared: Vec<String> = specs
+                            .iter()
+                            .map(|s| format!("{}-{}", s.ord, s.opclass))
+                            .collect();
+                        emit(
+                            line,
+                            format!(
+                                "atomic `{ord}-{opclass}` on `{}` is not covered by its \
+                                 hb declaration (declared: {})",
+                                receiver.as_deref().unwrap_or("?"),
+                                declared.join(", ")
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The parsed `// hb:` contract of one source file: receiver → declared
+/// `<ord>-<opclass>` legs, receivers in sorted order. Parsing is shared
+/// with the `atomic-ordering` lint, so the golden hb-table test pins
+/// exactly what the lint enforces.
+pub fn hb_table(src: &str) -> Vec<(String, Vec<String>)> {
+    let lexed = crate::lexer::lex(src);
+    let (decls, _) = parse_hb_decls(&lexed);
+    decls
+        .into_iter()
+        .map(|(recv, specs)| {
+            let legs = specs
+                .iter()
+                .map(|s| format!("{}-{}", s.ord, s.opclass))
+                .collect();
+            (recv, legs)
+        })
+        .collect()
+}
+
 /// Options controlling one file's lint pass.
 #[derive(Debug, Clone, Default)]
 pub struct FileLints {
@@ -173,6 +430,8 @@ pub struct FileLints {
     pub nondet: bool,
     /// Run L4 `lock-order`.
     pub lock_order: bool,
+    /// Run L5 `atomic-ordering`.
+    pub atomic_ordering: bool,
 }
 
 /// Lints one file's source under the given rule set. `path` is only used to
@@ -294,6 +553,16 @@ pub fn lint_file(path: &str, src: &str, which: &FileLints) -> Vec<Finding> {
         let orders = parse_lock_orders(&lexed);
         lint_lock_order(t, &orders, &mut |line, msg| {
             push(Lint::LockOrder, line, msg, &mut findings)
+        });
+    }
+
+    if which.atomic_ordering {
+        let (decls, malformed) = parse_hb_decls(&lexed);
+        for (line, msg) in malformed {
+            push(Lint::AtomicOrdering, line, msg, &mut findings);
+        }
+        lint_atomic_ordering(t, &decls, &mut |line, msg| {
+            push(Lint::AtomicOrdering, line, msg, &mut findings)
         });
     }
 
@@ -507,6 +776,7 @@ mod tests {
             float_eq: true,
             nondet: true,
             lock_order: true,
+            atomic_ordering: true,
         }
     }
 
@@ -679,6 +949,133 @@ fn scrutinee_held_in_body(s: &S) {
             lines,
             [18],
             "only the acquisition inside the scrutinee's body fires"
+        );
+    }
+
+    #[test]
+    fn atomic_ordering_matches_declarations() {
+        let src = "\
+struct S {
+    // hb: release-store -> acquire-load (ready) — publishes the payload.
+    ready: AtomicBool,
+    // hb: relaxed-rmw (hits) — monotone tally, nothing published.
+    hits: AtomicU64,
+}
+fn good(s: &S) {
+    s.ready.store(true, Ordering::Release);
+    if s.ready.load(Ordering::Acquire) {}
+    s.hits.fetch_add(1, Ordering::Relaxed);
+}
+fn too_weak(s: &S) {
+    s.ready.store(true, Ordering::Relaxed);
+}
+fn undeclared(x: &AtomicU64) {
+    x.load(Ordering::SeqCst);
+}
+";
+        let f = run(src, all());
+        let hits: Vec<(u32, bool)> = f
+            .iter()
+            .filter(|f| f.lint == Lint::AtomicOrdering)
+            .map(|f| (f.line, f.suppressed))
+            .collect();
+        assert_eq!(
+            hits,
+            [(13, false), (16, false)],
+            "declared sites are silent; the weak store and the undeclared \
+             receiver fire: {f:?}"
+        );
+        assert!(f
+            .iter()
+            .any(|f| f.line == 13 && f.message.contains("relaxed-store")));
+        assert!(f
+            .iter()
+            .any(|f| f.line == 16 && f.message.contains("no `// hb:`")));
+    }
+
+    #[test]
+    fn atomic_ordering_cas_and_indexed_receivers() {
+        let src = "\
+struct S {
+    // hb: acqrel-cas -> relaxed-cas-fail -> acquire-load (seq) — seqlock word.
+    seq: AtomicU64,
+    // hb: relaxed-rmw (counters) — per-site tallies.
+    counters: [AtomicU64; 4],
+}
+fn f(s: &S, i: usize) {
+    let _ = s.seq.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed);
+    let _ = s.seq.load(Ordering::Acquire);
+    s.counters[i].fetch_add(1, Ordering::Relaxed);
+}
+fn wrong(s: &S) {
+    let _ = s.seq.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed);
+}
+";
+        let f = run(src, all());
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.lint == Lint::AtomicOrdering)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(
+            lines,
+            [13],
+            "both cas legs and the indexed receiver bind; only the \
+             strengthened success ordering fires: {f:?}"
+        );
+    }
+
+    #[test]
+    fn atomic_ordering_suppression_and_malformed_decl() {
+        let src = "\
+// hb: release-store (flag)
+fn f(flag: &AtomicBool, other: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+    // audit: allow(atomic-ordering) — macro-bound receiver, see expansion.
+    other.store(true, Ordering::Relaxed);
+}
+";
+        let f = run(src, all());
+        assert!(
+            f.iter().any(|f| f.lint == Lint::AtomicOrdering
+                && f.line == 1
+                && f.message.contains("no reason")),
+            "reasonless hb declaration is itself a finding: {f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.lint == Lint::AtomicOrdering && f.line == 3 && !f.suppressed),
+            "the declaration was malformed, so the store is undeclared"
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.lint == Lint::AtomicOrdering && f.line == 5 && f.suppressed),
+            "allow(atomic-ordering) suppresses a site: {f:?}"
+        );
+    }
+
+    #[test]
+    fn hb_table_extracts_declarations() {
+        let src = "\
+// hb: release-store -> acquire-load (ready) — publish edge.
+// hb: relaxed-rmw (ready) — additional tally leg.
+// hb: seqcst-rmw (latch) — claim once.
+fn f() {}
+";
+        let t = hb_table(src);
+        assert_eq!(
+            t,
+            vec![
+                ("latch".to_string(), vec!["seqcst-rmw".to_string()],),
+                (
+                    "ready".to_string(),
+                    vec![
+                        "release-store".to_string(),
+                        "acquire-load".to_string(),
+                        "relaxed-rmw".to_string(),
+                    ],
+                ),
+            ]
         );
     }
 

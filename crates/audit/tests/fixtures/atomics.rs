@@ -1,0 +1,58 @@
+//! L5 fixture: atomic `Ordering` sites against `// hb:` declarations.
+//! Never compiled — lexed by the golden test under a fake lp path.
+
+struct Board {
+    // hb: release-store -> acquire-load (published) — the store publishes
+    // the payload written before it; the load joins that edge.
+    published: AtomicBool,
+    // hb: acqrel-cas -> relaxed-cas-fail -> acquire-load (seq) — seqlock
+    // word: the winning CAS claims and publishes, failures retry blind.
+    seq: AtomicU64,
+    // hb: relaxed-rmw -> relaxed-load (tallies) — monotone counters,
+    // nothing is published through a count.
+    tallies: [AtomicU64; 3],
+}
+
+fn declared_ok(b: &Board, i: usize) {
+    b.published.store(true, Ordering::Release);
+    if b.published.load(Ordering::Acquire) {}
+    let _ = b
+        .seq
+        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed);
+    let _ = b.seq.load(Ordering::Acquire);
+    b.tallies[i].fetch_add(1, Ordering::Relaxed);
+    let _ = b.tallies[i].load(Ordering::Relaxed);
+}
+
+fn too_weak(b: &Board) {
+    b.published.store(true, Ordering::Relaxed);
+}
+
+fn too_strong(b: &Board) {
+    let _ = b
+        .seq
+        .compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed);
+}
+
+fn undeclared(stray: &AtomicUsize) {
+    stray.fetch_add(1, Ordering::SeqCst);
+}
+
+fn justified(stray: &AtomicUsize) {
+    // audit: allow(atomic-ordering) — fixture stand-in for a macro-bound
+    // receiver the textual lint cannot name.
+    stray.store(7, Ordering::SeqCst);
+}
+
+fn not_atomics() {
+    // b.published.store(true, Ordering::Relaxed) in a comment is invisible
+    let _ = "published.store(true, Ordering::Relaxed) in a string too";
+    let map = Loader::load(Ordering::default()); // no ordering variant
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_only(b: &super::Board) {
+        b.published.store(true, Ordering::Relaxed);
+    }
+}

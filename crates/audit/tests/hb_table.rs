@@ -1,0 +1,66 @@
+//! Golden inventory of every `// hb:` declaration in the workspace.
+//!
+//! The atomic-ordering lint enforces that each `Ordering` site matches a
+//! declaration; this test pins the declarations themselves, so adding,
+//! strengthening, or weakening a happens-before contract anywhere in the
+//! lock-free core shows up as a reviewed diff to
+//! `tests/fixtures/hb_table.golden`. Regenerate with
+//! `BLESS=1 cargo test -p tempart-audit --test hb_table`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use tempart_audit::lints::hb_table;
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn build_table(root: &Path) -> String {
+    let mut files = Vec::new();
+    for scope in ["crates/lp/src", "crates/server/src", "crates/cli/src"] {
+        collect_rs(&root.join(scope), &mut files);
+    }
+    let mut table =
+        String::from("# file receiver declared-legs — every `// hb:` contract in lint scope\n");
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&f).unwrap();
+        for (recv, legs) in hb_table(&src) {
+            writeln!(table, "{rel} {recv} {}", legs.join(" -> ")).unwrap();
+        }
+    }
+    table
+}
+
+#[test]
+fn hb_declarations_match_golden() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let got = build_table(&root);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/hb_table.golden");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_default();
+    assert_eq!(
+        got, want,
+        "the hb contract inventory drifted; review the diff and rerun with \
+         BLESS=1 to accept"
+    );
+}

@@ -126,6 +126,25 @@ fn pseudocost_fixture_golden() {
 }
 
 #[test]
+fn atomics_fixture_golden() {
+    let got = run(
+        include_str!("fixtures/atomics.rs"),
+        "crates/lp/src/fixture.rs",
+    );
+    assert_eq!(
+        got,
+        vec![
+            (Lint::AtomicOrdering, 28, false), // store weakened to Relaxed
+            (Lint::AtomicOrdering, 34, false), // CAS strengthened to SeqCst
+            (Lint::AtomicOrdering, 38, false), // undeclared receiver
+            (Lint::AtomicOrdering, 44, true),  // justified allow above the site
+        ],
+        "declared sites (both CAS legs, indexed receivers), comments, \
+         strings, non-atomic `load`s, and test code must not fire"
+    );
+}
+
+#[test]
 fn fixtures_out_of_scope_paths_produce_nothing() {
     for src in [
         include_str!("fixtures/panics.rs"),

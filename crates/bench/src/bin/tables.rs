@@ -9,7 +9,9 @@
 //! `service`, `all` (plus `scale-smoke`, the budgeted CI variant of
 //! `scale`). The `service` experiment drives the solve server's
 //! load-generator sweep (`service-bench` in the server crate) and writes
-//! `BENCH_service.json`.
+//! `BENCH_service.json`. The `race` experiment (requires `--features
+//! race`) explores the lock-free-core models under full DPOR and writes
+//! `BENCH_race.json`; it is not part of `all`.
 //! The default
 //! per-row time limit is 600 s (the paper cut Table 1 off at 7200 s on a
 //! 175 MHz UltraSparc; modern hardware needs far less to show the same
@@ -74,6 +76,7 @@ fn main() {
             "scale" => scale(limit, false),
             "scale-smoke" => scale(limit, true),
             "service" => service(limit),
+            "race" => race(),
             "all" => {
                 table1(limit, threads);
                 table2(limit, threads);
@@ -89,7 +92,7 @@ fn main() {
                 service(limit);
             }
             other => eprintln!(
-                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, portfolio, simplex, resilience, scale, scale-smoke, service, all)"
+                "unknown experiment `{other}` (try table1..4, ablation, simulate, parallel, portfolio, simplex, resilience, scale, scale-smoke, service, race, all)"
             ),
         }
     }
@@ -1174,6 +1177,86 @@ fn service(limit: f64) {
         Err(e) => eprintln!("cannot launch service-bench: {e}"),
     }
     println!();
+}
+
+/// Model-checker exploration statistics: run every lp scenario under full
+/// DPOR, print the per-primitive schedule/prune/depth numbers, and write
+/// `BENCH_race.json`. The pinned acceptance bar — the reason this is a
+/// bench experiment and not only a test — is that full DPOR on the
+/// seqlock incumbent model *terminates* within the schedule budget with
+/// zero truncated runs: the state space of the production primitive stays
+/// finite and coverable as the code evolves.
+#[cfg(feature = "race")]
+fn race() {
+    use tempart_lp::race_models;
+    use tempart_race::explore::{Config, Report};
+
+    let scenarios: [(&str, fn(Config) -> Report); 5] = [
+        ("deque_no_lost_items", race_models::deque_no_lost_items),
+        ("seqlock_keeps_minimum", race_models::seqlock_keeps_minimum),
+        ("rendezvous_terminates", race_models::rendezvous_terminates),
+        (
+            "stopflag_single_winner",
+            race_models::stopflag_single_winner,
+        ),
+        (
+            "proof_incomplete_join_edge",
+            race_models::proof_incomplete_join_edge,
+        ),
+    ];
+    println!("race: full-DPOR exploration of the lock-free core models");
+    println!(
+        "{:<28} {:>10} {:>8} {:>9} {:>12} {:>9}  verdict",
+        "model", "schedules", "pruned", "truncated", "transitions", "max-depth"
+    );
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for (name, f) in scenarios {
+        let start = std::time::Instant::now();
+        let r = f(Config::full());
+        let secs = start.elapsed().as_secs_f64();
+        let clean = r.violation.is_none() && r.truncated == 0 && !r.exhausted;
+        let verdict = match &r.violation {
+            Some(v) => format!("VIOLATION: {v}"),
+            None if r.exhausted => "EXHAUSTED (budget too small)".to_string(),
+            None if r.truncated > 0 => "TRUNCATED (step cap hit)".to_string(),
+            None => "ok".to_string(),
+        };
+        println!(
+            "{:<28} {:>10} {:>8} {:>9} {:>12} {:>9}  {}",
+            name, r.schedules, r.pruned, r.truncated, r.transitions, r.max_depth, verdict
+        );
+        rows.push(format!(
+            "    {{\"model\": \"{name}\", \"schedules\": {}, \"pruned\": {}, \
+             \"truncated\": {}, \"transitions\": {}, \"max_depth\": {}, \
+             \"seconds\": {secs:.3}, \"clean\": {clean}}}",
+            r.schedules, r.pruned, r.truncated, r.transitions, r.max_depth
+        ));
+        if !clean {
+            failed = true;
+        }
+    }
+    let json = format!(
+        "{{\n  \"mode\": \"full-dpor\",\n  \"models\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    match std::fs::write("BENCH_race.json", &json) {
+        Ok(()) => println!("wrote BENCH_race.json ({} models)", scenarios.len()),
+        Err(e) => eprintln!("cannot write BENCH_race.json: {e}"),
+    }
+    println!();
+    if failed {
+        eprintln!("race: a model missed the full-coverage acceptance bar");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(feature = "race"))]
+fn race() {
+    eprintln!(
+        "the `race` experiment needs the model-checker build:\n  \
+         cargo run --release -p tempart-bench --features race --bin tables -- race"
+    );
 }
 
 // The WForm import is used indirectly through ModelConfig::basic; keep the

@@ -96,6 +96,9 @@ mod sigint {
 
     use tempart_lp::Budget;
 
+    // hb: seqcst-store -> seqcst-load (INTERRUPTED) — set from an async
+    // signal handler, polled by the watcher thread; the strongest ordering
+    // is the conservative choice for the one flag a handler may touch.
     static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;

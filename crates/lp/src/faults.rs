@@ -37,9 +37,10 @@
 //! other. The same site may appear multiple times (`panic@1,panic@2`).
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use tempart_race::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// An injection site recognised by [`FaultPlan`].
 ///
@@ -143,6 +144,9 @@ pub struct FaultPlan {
     /// Per-site sorted list of 1-based occurrence numbers to trip.
     triggers: [Vec<usize>; NUM_SITES],
     /// Per-site count of occurrences seen so far.
+    // hb: relaxed-rmw (counters) — independent per-site tallies; each trip
+    // cares only about its own atomically-returned occurrence number.
+    // hb: relaxed-load (counters) — monotone count, no payload published.
     counters: [AtomicUsize; NUM_SITES],
 }
 
@@ -254,10 +258,18 @@ pub struct Budget {
     deadline: Option<Instant>,
     max_nodes: usize,
     max_lp_iterations: usize,
+    // hb: relaxed-rmw -> relaxed-load (nodes) — monotone work tally; limit
+    // checks tolerate staleness by up to one node per worker (documented in
+    // the parallel driver) and publish nothing through it.
     nodes: AtomicUsize,
+    // hb: relaxed-rmw -> relaxed-load (lp_iterations) — same monotone-tally
+    // contract as `nodes`, sampled inside the pivot loop.
     lp_iterations: AtomicUsize,
     /// Shared so sibling budgets (the portfolio's per-arm budgets under one
     /// caller budget) cancel together: tripping any of them trips all.
+    // hb: relaxed-store -> relaxed-load (stop) — pure latch: observers act
+    // on the flag itself (stop searching) and consume no data published
+    // before it; terminal state is read after thread joins.
     stop: Arc<AtomicBool>,
 }
 

@@ -59,6 +59,9 @@ mod profile;
 mod progress;
 mod propagate;
 mod pseudocost;
+#[cfg(feature = "race-model")]
+pub mod race_models;
+mod rendezvous;
 mod simplex;
 mod sparse;
 mod status;

@@ -49,9 +49,11 @@
 //! reported gap.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::Instant;
+
+use tempart_race::sync::atomic::{AtomicBool, Ordering};
+use tempart_race::sync::Mutex;
 
 use crate::branch::{
     is_fractional, prune_bound, validate_incumbent, BoundOverlay, BranchDirection, BranchingRule,
@@ -64,6 +66,7 @@ use crate::problem::{LpError, Problem, VarId, VarKind};
 use crate::profile::{ContentionProfile, ScaleProfile, SimplexProfile};
 use crate::propagate::{Propagation, Propagator};
 use crate::pseudocost::PseudoCost;
+use crate::rendezvous::Rendezvous;
 use crate::simplex::{solve_node_resilient, BasisSnapshot};
 use crate::status::{LpStatus, MipStatus};
 use crate::worksteal::{lock, IncumbentCell, StealFail, WorkDeque};
@@ -107,28 +110,32 @@ struct Shared<'a> {
     /// `lock-order: 1`; a thief holds at most one deque lock at a time and
     /// never another lock with it).
     deques: Vec<WorkDeque<ParNode>>,
-    /// Open nodes anywhere: in a deque, in a worker's private dive buffer,
-    /// or in flight. The worker that decrements it to zero ends the search.
-    outstanding: AtomicUsize,
-    /// Workers parked in [`Shared::find_work`]'s sleep loop. Publishers
-    /// skip the idle mutex entirely while this is zero.
-    sleepers: AtomicUsize,
-    /// Set on exhaustion or cancellation; workers exit when they see it.
-    done: AtomicBool,
-    /// Guards only the sleep/wake rendezvous — never held while taking any
-    /// other lock, and never touched by a busy worker.
-    // lock-order: 2
-    idle: Mutex<()>,
-    work_available: Condvar,
+    /// Open-node accounting and the sleep/wake rendezvous (owns the idle
+    /// mutex, `lock-order: 2`, and the `work_available` condvar). The
+    /// model scenario `race_models::rendezvous_terminates` checks this
+    /// protocol exhaustively.
+    rv: Rendezvous,
     /// Seqlock incumbent slot + wait-free objective bound.
     incumbent: IncumbentCell,
     /// Whole-solve budget: node count (node-limit enforcement), wall-clock
     /// deadline, and LP-iteration cap, shared with every node LP so the
     /// pivot loop honours it mid-solve.
     budget: Arc<Budget>,
+    // hb: release-store -> acquire-load (cancel) — a worker observing the
+    // flag may rely on the flagger's status/error mutex write being
+    // visible before it folds bounds and exits; the mutexes would cover
+    // it, but the acquire edge keeps the exit path self-contained.
     cancel: AtomicBool,
     /// A node's subtree was abandoned (repeated panic or a crashed
     /// worker), so a final `Optimal` must degrade to `NodeLimit`.
+    ///
+    /// Pure boolean verdict: stored by workers, read once in the epilogue
+    /// *after* `thread::scope` joined every worker — the join edge is the
+    /// synchronisation, so `Relaxed` suffices on both sides (the previous
+    /// `Release`/`Acquire` pair published nothing anyone consumed before
+    /// the join). Pinned by `race_models::proof_incomplete_join_edge`.
+    // hb: relaxed-store -> relaxed-load (proof_incomplete) — verdict flag
+    // read only after the worker join; the join is the hb edge.
     proof_incomplete: AtomicBool,
     /// Weakest parent bound among nodes that left the search unexplored —
     /// abandoned panic subtrees, in-flight nodes and dive buffers folded
@@ -157,10 +164,7 @@ impl Shared<'_> {
     /// Publishes a node to `id`'s own deque and wakes a sleeper if any.
     fn publish(&self, id: usize, node: ParNode, contention: &mut ContentionProfile) {
         self.deques[id].push(node, &mut contention.lock_waits);
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _g = lock(&self.idle);
-            self.work_available.notify_all();
-        }
+        self.rv.wake_if_sleepers();
     }
 
     /// Finds work for an empty-handed worker: own deque first (newest —
@@ -171,7 +175,7 @@ impl Shared<'_> {
     fn find_work(&self, id: usize, contention: &mut ContentionProfile) -> Option<ParNode> {
         let w = self.deques.len();
         loop {
-            if self.done.load(Ordering::SeqCst) {
+            if self.rv.is_done() {
                 return None;
             }
             if let Some(n) = self.deques[id].pop(&mut contention.lock_waits) {
@@ -194,44 +198,15 @@ impl Shared<'_> {
             if saw_busy {
                 // Someone holds a deque lock right now; spin once rather
                 // than parking just to be woken immediately.
-                std::hint::spin_loop();
+                tempart_race::hint::spin_loop();
                 continue;
             }
-            // Genuinely idle. Register as a sleeper *before* re-checking
-            // the hints: publishers store hints before loading `sleepers`
-            // (both SeqCst), so either we see their node or they see us.
-            let mut g = lock(&self.idle);
-            self.sleepers.fetch_add(1, Ordering::SeqCst);
-            while !self.done.load(Ordering::SeqCst)
-                && self.deques.iter().all(WorkDeque::is_empty_hint)
-            {
-                g = self
-                    .work_available
-                    .wait(g)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            // Genuinely idle: park on the rendezvous until someone
+            // publishes or the search ends (the registration/hint
+            // handshake lives in [`Rendezvous::park_while`]).
+            self.rv
+                .park_while(|| self.deques.iter().all(WorkDeque::is_empty_hint));
         }
-    }
-
-    /// Registers `n` new open nodes (called *before* the producing node's
-    /// [`Shared::node_done`], so the count never dips to zero early).
-    fn open_children(&self, n: usize) {
-        self.outstanding.fetch_add(n, Ordering::SeqCst);
-    }
-
-    /// Closes one node; the closer of the last open node ends the search.
-    fn node_done(&self) {
-        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
-            self.finish();
-        }
-    }
-
-    /// Ends the search and wakes every parked worker.
-    fn finish(&self) {
-        self.done.store(true, Ordering::SeqCst);
-        let _g = lock(&self.idle);
-        self.work_available.notify_all();
     }
 
     /// Folds the bound of a node that leaves the search unexplored.
@@ -250,9 +225,9 @@ impl Shared<'_> {
     /// Abandons a node's subtree (second panic): its bound still counts
     /// toward `best_bound` and the final status degrades from `Optimal`.
     fn abandon(&self, node: ParNode) {
-        self.proof_incomplete.store(true, Ordering::Release);
+        self.proof_incomplete.store(true, Ordering::Relaxed);
         self.fold_open_bound(node.parent_bound);
-        self.node_done();
+        self.rv.node_done();
     }
 
     /// Cancellation exit: folds the in-flight node and the private dive
@@ -266,7 +241,7 @@ impl Shared<'_> {
             }
         }
         local.clear();
-        self.finish();
+        self.rv.finish();
     }
 
     /// Records a limit termination (first flag wins) and cancels, raising
@@ -298,11 +273,11 @@ impl Shared<'_> {
     /// private dive buffer is lost, so the proven bound collapses to `-∞`
     /// and the final status honestly degrades.
     fn worker_crashed(&self) {
-        self.proof_incomplete.store(true, Ordering::Release);
+        self.proof_incomplete.store(true, Ordering::Relaxed);
         self.fold_open_bound(f64::NEG_INFINITY);
         self.cancel.store(true, Ordering::Release);
         self.budget.request_stop();
-        self.finish();
+        self.rv.finish();
     }
 }
 
@@ -333,11 +308,7 @@ pub(crate) fn solve_parallel(
         opts,
         start,
         deques: (0..workers).map(|_| WorkDeque::new()).collect(),
-        outstanding: AtomicUsize::new(1),
-        sleepers: AtomicUsize::new(0),
-        done: AtomicBool::new(false),
-        idle: Mutex::new(()),
-        work_available: Condvar::new(),
+        rv: Rendezvous::new(1),
         incumbent: IncumbentCell::new(seeded),
         budget,
         cancel: AtomicBool::new(false),
@@ -392,7 +363,7 @@ pub(crate) fn solve_parallel(
         return Err(e);
     }
     let mut status = *lock(&shared.status);
-    if status == MipStatus::Optimal && shared.proof_incomplete.load(Ordering::Acquire) {
+    if status == MipStatus::Optimal && shared.proof_incomplete.load(Ordering::Relaxed) {
         // A subtree was abandoned (repeated panic or a crashed worker):
         // the incumbent stands but the optimality proof does not.
         status = MipStatus::NodeLimit;
@@ -527,7 +498,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         let inc_obj = shared.incumbent.bound();
         if inc_obj.is_finite() && prune_bound(node.parent_bound, inc_obj, opts) {
             ws.pruned_by_bound += 1;
-            shared.node_done();
+            shared.rv.node_done();
             continue;
         }
         node.overlay.apply(shared.core, &mut lower, &mut upper);
@@ -538,7 +509,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                 Propagation::Infeasible => {
                     ws.scale.propagation_infeasible += 1;
                     ws.pruned_infeasible += 1;
-                    shared.node_done();
+                    shared.rv.node_done();
                     continue;
                 }
                 Propagation::Fixed(n) => ws.scale.propagation_fixings += n,
@@ -615,7 +586,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         match outcome.status {
             LpStatus::Infeasible => {
                 ws.pruned_infeasible += 1;
-                shared.node_done();
+                shared.rv.node_done();
                 continue;
             }
             LpStatus::Unbounded => {
@@ -644,7 +615,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
         let inc_obj = shared.incumbent.bound();
         if inc_obj.is_finite() && prune_bound(outcome.objective, inc_obj, opts) {
             ws.pruned_by_bound += 1;
-            shared.node_done();
+            shared.rv.node_done();
             continue;
         }
         let x = &outcome.x[..ns];
@@ -682,7 +653,7 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                         p.note_incumbent(outcome.objective);
                     }
                 }
-                shared.node_done();
+                shared.rv.node_done();
             }
             Some((v, dir)) => {
                 // One Arc for both children: dispatch shares, the solve
@@ -710,10 +681,10 @@ fn worker_loop(id: usize, shared: &Shared<'_>) -> WorkerStats {
                 };
                 // Register the children before closing the parent so the
                 // outstanding count never dips to zero early.
-                shared.open_children(2);
+                shared.rv.open_children(2);
                 shared.publish(id, sibling, &mut ws.contention);
                 local.push(preferred);
-                shared.node_done();
+                shared.rv.node_done();
             }
         }
     }

@@ -35,9 +35,10 @@
 //! arm's bound is valid for the same problem, so the max is too.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use tempart_race::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::branch::{
     solve_serial, solve_serial_prepared, BranchingRule, FirstIndexRule, MipSolution, MipStats,
@@ -163,6 +164,15 @@ pub(crate) fn solve_portfolio(
             })
         })
         .collect();
+    // Claim-once token: the CAS's *atomicity* alone guarantees a single
+    // winner runs the peer cancellation; losers never read this word (they
+    // observe their budget's stop flag, which synchronises on its own),
+    // and the final read sits after the scope join. The previous
+    // `SeqCst`/`SeqCst` pair ordered nothing anyone consumed — pinned by
+    // `race_models::stopflag_single_winner`.
+    // hb: relaxed-cas -> relaxed-cas-fail (winner) — claim-once exclusivity
+    // needs atomicity only; the failure load learns nothing either.
+    // hb: relaxed-load (winner) — read in merge() after the scope join edge.
     let winner = AtomicUsize::new(NO_WINNER);
 
     let results: Vec<Option<Result<MipSolution, LpError>>> = std::thread::scope(|scope| {
@@ -213,8 +223,8 @@ pub(crate) fn solve_portfolio(
                                 .compare_exchange(
                                     NO_WINNER,
                                     idx,
-                                    Ordering::SeqCst,
-                                    Ordering::SeqCst,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
                                 )
                                 .is_ok()
                             {
@@ -240,7 +250,7 @@ pub(crate) fn solve_portfolio(
             .collect()
     });
 
-    merge(arms, results, winner.load(Ordering::SeqCst), start)
+    merge(arms, results, winner.load(Ordering::Relaxed), start)
 }
 
 /// Folds the per-arm results into one solution (winner's answer, summed

@@ -21,18 +21,23 @@
 //! All orderings are relaxed: the board is monotone in both directions, so
 //! a stale read is merely an older truth.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use tempart_race::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Shared live-progress board; see the module docs.
 #[derive(Debug)]
 pub struct Progress {
     /// Bit pattern of the best published incumbent objective
     /// (`f64::INFINITY` until one exists).
+    // hb: relaxed-load -> relaxed-cas (incumbent) — monotone CAS board: a
+    // stale read is an older truth, nothing is published through it.
     incumbent: AtomicU64,
     /// Bit pattern of the best published global lower bound
     /// (`f64::NEG_INFINITY` until the root LP is solved).
+    // hb: relaxed-load -> relaxed-cas (bound) — same monotone-board
+    // contract as `incumbent`, increasing instead of decreasing.
     bound: AtomicU64,
     /// Incumbent publications (seed included).
+    // hb: relaxed-rmw -> relaxed-load (updates) — monotone tally.
     updates: AtomicUsize,
 }
 
@@ -95,6 +100,8 @@ impl Progress {
 
 /// CAS loop updating `cell` (an `f64` bit pattern) to `new` while `better`
 /// holds against the current value; returns whether `new` was stored.
+// hb: relaxed-load -> relaxed-cas -> relaxed-cas-fail (cell) — the `incumbent`/`bound` board
+// words flow through this helper; see their declarations above.
 fn monotone(cell: &AtomicU64, new: f64, better: impl Fn(f64, f64) -> bool) -> bool {
     if new.is_nan() {
         return false;

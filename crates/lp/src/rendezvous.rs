@@ -1,0 +1,167 @@
+//! Termination and sleep/wake rendezvous for the parallel search.
+//!
+//! Extracted from the `Shared` scheduler state so the protocol is a
+//! primitive of its own: a counted set of open nodes, a `done` latch, and
+//! a parked-worker rendezvous where publishers only touch the idle mutex
+//! when a sleeper is actually registered. The model scenario
+//! `race_models::rendezvous_terminates` explores every interleaving of
+//! the two-flag publish/park handshake and proves no schedule can strand
+//! a sleeper after the last node closes.
+//!
+//! ## The two-flag handshake
+//!
+//! A publisher stores work *hints* (the deque length counters) and then
+//! loads `sleepers`; a would-be sleeper registers in `sleepers` and then
+//! re-checks the hints — both sides under `SeqCst`, so the two stores and
+//! two loads have a single total order and at least one side observes the
+//! other. Either the publisher sees the sleeper and takes the idle lock
+//! to notify, or the sleeper sees the fresh hint and never parks. The
+//! registration itself happens while *holding* the idle lock, closing
+//! the window between the hint re-check and the `Condvar::wait` park.
+
+use tempart_race::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use tempart_race::sync::{Condvar, Mutex, PoisonError};
+
+use crate::worksteal::lock;
+
+/// Open-node accounting plus the sleep/wake rendezvous. Owns the only
+/// lock in the scheduler's idle path; it is never held while taking any
+/// other lock, and busy workers never touch it.
+pub(crate) struct Rendezvous {
+    /// Open nodes anywhere: in a deque, in a worker's private dive
+    /// buffer, or in flight. The worker that decrements it to zero ends
+    /// the search.
+    // hb: seqcst-rmw (outstanding) — children are registered before the
+    // parent closes, so the count never dips to zero early; the final
+    // decrement must be globally ordered against the sleepers handshake
+    // so the `finish` wakeup cannot be lost.
+    outstanding: AtomicUsize,
+    /// Workers parked (or about to park) in [`Rendezvous::park_while`].
+    /// Publishers skip the idle mutex entirely while this is zero.
+    // hb: seqcst-rmw -> seqcst-load (sleepers) — the two-flag handshake:
+    // registration must be totally ordered against the publisher's hint
+    // store + sleepers load (see module docs); acq/rel cannot order the
+    // two independent store/load pairs.
+    sleepers: AtomicUsize,
+    /// Set on exhaustion or cancellation; workers exit when they see it.
+    // hb: seqcst-store -> seqcst-load (done) — the latch participates in
+    // the same park re-check loop as the hints; a `Relaxed` latch could
+    // reorder past the sleeper registration and strand a parked worker.
+    done: AtomicBool,
+    /// Guards only the sleep/wake rendezvous — never held while taking
+    /// any other lock, and never touched by a busy worker.
+    // lock-order: 2
+    idle: Mutex<()>,
+    work_available: Condvar,
+}
+
+impl Rendezvous {
+    /// A rendezvous with `open` nodes initially outstanding.
+    pub(crate) fn new(open: usize) -> Self {
+        Self {
+            outstanding: AtomicUsize::new(open),
+            sleepers: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            work_available: Condvar::new(),
+        }
+    }
+
+    /// Whether the search has ended (exhausted or cancelled).
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// Registers `n` new open nodes (called *before* the producing node's
+    /// [`Rendezvous::node_done`], so the count never dips to zero early).
+    pub(crate) fn open_children(&self, n: usize) {
+        self.outstanding.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Closes one node; the closer of the last open node ends the search.
+    pub(crate) fn node_done(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.finish();
+        }
+    }
+
+    /// Ends the search and wakes every parked worker.
+    pub(crate) fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        let _g = lock(&self.idle);
+        self.work_available.notify_all();
+    }
+
+    /// Publisher-side half of the handshake: wakes the parked workers iff
+    /// a sleeper is registered. The caller must have already published
+    /// its work hint (the deque `len` store) — the `SeqCst` pairing with
+    /// [`Rendezvous::park_while`]'s registration is what makes the skip
+    /// safe.
+    pub(crate) fn wake_if_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = lock(&self.idle);
+            self.work_available.notify_all();
+        }
+    }
+
+    /// Sleeper-side half: parks the caller until the search ends or
+    /// `empty()` turns false (work became visible). Registers as a
+    /// sleeper *before* re-checking the hints, under the idle lock, so a
+    /// publisher either sees the registration or the sleeper sees its
+    /// hint.
+    pub(crate) fn park_while(&self, empty: impl Fn() -> bool) {
+        let mut g = lock(&self.idle);
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        while !self.is_done() && empty() {
+            g = self
+                .work_available
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_close_latches_done() {
+        let rv = Rendezvous::new(1);
+        assert!(!rv.is_done());
+        rv.open_children(2);
+        rv.node_done();
+        assert!(!rv.is_done(), "two children still open");
+        rv.node_done();
+        rv.node_done();
+        assert!(rv.is_done(), "last close ends the search");
+    }
+
+    #[test]
+    fn park_returns_when_work_appears() {
+        use std::sync::atomic::{AtomicBool as StdBool, Ordering as StdOrd};
+        let rv = Rendezvous::new(1);
+        let hint = StdBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Publisher order: hint first, then the sleepers check.
+                hint.store(true, StdOrd::SeqCst);
+                rv.wake_if_sleepers();
+            });
+            rv.park_while(|| !hint.load(StdOrd::SeqCst));
+        });
+        assert!(hint.load(StdOrd::SeqCst));
+    }
+
+    #[test]
+    fn finish_releases_parked_worker() {
+        let rv = Rendezvous::new(1);
+        std::thread::scope(|s| {
+            s.spawn(|| rv.node_done());
+            rv.park_while(|| true);
+        });
+        assert!(rv.is_done());
+    }
+}

@@ -32,10 +32,11 @@
 //! from that lint by design: they are not blocking locks, and their
 //! invariants are documented here instead.
 
-use std::cell::UnsafeCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
+
+use tempart_race::cell::UnsafeCell;
+use tempart_race::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use tempart_race::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
 
 /// Poison-proof lock. A worker panic between a lock's acquisition and
 /// release would poison it for every peer; all critical sections in this
@@ -100,6 +101,10 @@ pub(crate) struct WorkDeque<T> {
     /// sleep/wake protocol (publishers store the hint before checking for
     /// sleepers, sleepers register before reading the hints — both with
     /// `SeqCst`, so one side always sees the other).
+    // hb: seqcst-store -> seqcst-load (len) — sleep/wake hint: the publisher's
+    // hint store and the sleeper's registration need a single total order so
+    // one side always observes the other (see Rendezvous); plain acq/rel is
+    // not enough for the two-flag pattern.
     len: AtomicUsize,
 }
 
@@ -183,8 +188,23 @@ impl<T> WorkDeque<T> {
 /// seqlock holder.
 pub(crate) struct IncumbentCell {
     /// [`bound_key`] of the best objective so far (`+∞` when none).
+    ///
+    /// Value-only monotone mirror: no reader derives slot-access rights
+    /// from it (pruning reads the objective, the epilogue takes `&mut
+    /// self`), so `Relaxed` suffices — the previous `Acquire`/`Release`
+    /// pair implied a publication edge nothing consumes. The model test
+    /// `race_models::seqlock_keeps_minimum` pins that the minimum
+    /// survives every interleaving under `Relaxed`.
+    // hb: relaxed-store -> relaxed-load (key) — monotone value mirror; slot
+    // exclusivity comes from the seq word, never from key.
     key: AtomicU64,
     /// Seqlock word: even = idle, odd = a writer owns the slot.
+    // hb: release-store -> acqrel-cas (seq) — writer N+1's winning claim
+    // acquires writer N's slot publication, ordering their plain-memory
+    // writes; the failure path learns nothing.
+    // hb: acquire-load -> relaxed-cas-fail (seq) — pre-read of the word the
+    // CAS re-validates; acquire pairs with the publish store on the bail
+    // path too.
     seq: AtomicU64,
     slot: UnsafeCell<Option<(Vec<f64>, f64)>>,
 }
@@ -206,7 +226,7 @@ impl IncumbentCell {
 
     /// Wait-free read of the incumbent objective (`+∞` if none yet).
     pub(crate) fn bound(&self) -> f64 {
-        key_bound(self.key.load(Ordering::Acquire))
+        key_bound(self.key.load(Ordering::Relaxed))
     }
 
     /// Installs a better incumbent; returns whether it was accepted.
@@ -227,7 +247,7 @@ impl IncumbentCell {
                     .is_err()
             {
                 *retries += 1;
-                std::hint::spin_loop();
+                tempart_race::hint::spin_loop();
                 continue;
             }
             // We hold the seqlock: re-check monotonically and install.
@@ -235,7 +255,7 @@ impl IncumbentCell {
             if accept {
                 // SAFETY: unique writer — the CAS above made `seq` odd.
                 unsafe { *self.slot.get() = Some((x.to_vec(), obj)) };
-                self.key.store(bound_key(obj), Ordering::Release);
+                self.key.store(bound_key(obj), Ordering::Relaxed);
             }
             self.seq.store(s + 2, Ordering::Release);
             return accept;

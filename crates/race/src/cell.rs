@@ -1,0 +1,62 @@
+//! The cell facade: `std::cell::UnsafeCell` (feature off) or a tracked
+//! cell whose raw accesses feed the explorer's data-race detector
+//! (feature `race` on).
+//!
+//! The seqlock in `tempart-lp` keeps its payload in an `UnsafeCell` and
+//! relies on the surrounding atomics' orderings for exclusion; tracking
+//! every `get()` as a write-sized access is exactly what lets the model
+//! checker prove (or refute) that those orderings establish the needed
+//! happens-before edges.
+
+#[cfg(not(feature = "race"))]
+pub use std::cell::UnsafeCell;
+
+#[cfg(feature = "race")]
+pub use instrumented::UnsafeCell;
+
+#[cfg(feature = "race")]
+mod instrumented {
+    use crate::runtime::{ctx, ObjKind, ObjRef};
+
+    /// Tracked `UnsafeCell`. Each `get()` inside a model run is a
+    /// scheduling point checked as a write-sized plain-memory access
+    /// (the raw pointer it returns can write); `get_mut` needs `&mut
+    /// self` and is therefore exclusion-by-borrow — no check needed.
+    pub struct UnsafeCell<T> {
+        meta: ObjRef,
+        inner: std::cell::UnsafeCell<T>,
+    }
+
+    impl<T> std::fmt::Debug for UnsafeCell<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("UnsafeCell").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> UnsafeCell<T> {
+        pub fn new(t: T) -> UnsafeCell<T> {
+            let meta = ObjRef::new();
+            meta.register_eagerly(ObjKind::Cell);
+            UnsafeCell {
+                meta,
+                inner: std::cell::UnsafeCell::new(t),
+            }
+        }
+
+        pub fn get(&self) -> *mut T {
+            if let Some(c) = ctx() {
+                let obj = self.meta.id(&c.rt, ObjKind::Cell);
+                c.rt.cell_access(c.tid, obj);
+            }
+            self.inner.get()
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Vector clocks for the model-time happens-before relation.
+//!
+//! Clocks are indexed by model-thread id and grow on demand; a missing
+//! entry reads as zero. The runtime ticks the acting thread's own entry
+//! once per scheduled operation, so `(tid, clock[tid])` is a unique epoch
+//! for every transition — the FastTrack-style access checks in the cell
+//! tracker compare those epochs against the reader/writer's full clock.
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// The component for thread `t` (zero when never ticked).
+    pub fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advances this thread's own component.
+    pub fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Pointwise maximum: everything `other` has seen, we have now seen.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_get() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        a.tick(2);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (2, 0, 1));
+        let mut b = VClock::new();
+        b.tick(1);
+        b.join(&a);
+        assert_eq!((b.get(0), b.get(1), b.get(2)), (2, 1, 1));
+        a.join(&b);
+        assert_eq!(a.get(1), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Exploration driver: exhaustive (sleep-set pruned) or bounded-preemption
+//! enumeration of model schedules, plus deterministic replay.
+//!
+//! A *model* is a closure that builds its shared state, spawns model
+//! threads with [`crate::thread::spawn`], drives the primitives under
+//! test through the `race::sync` facade, and asserts its invariants with
+//! ordinary `assert!`. [`check`] runs the closure once per schedule until
+//! the space is exhausted (or a violation is found); every violation
+//! carries a schedule string like `"0.0.1.0.2"` — the thread chosen at
+//! each scheduling point — which [`replay`] re-executes deterministically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::runtime::{ctx, set_ctx, AbortToken, Ctx, Runtime, Tid};
+
+/// How aggressively to cover the schedule space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Every interleaving, pruned soundly by sleep sets (DPOR).
+    Full,
+    /// Only schedules with at most N preemptions (a context switch away
+    /// from a thread that could have continued). Catches the vast
+    /// majority of real concurrency bugs at a tiny fraction of the cost;
+    /// the CI smoke tier runs with `Bounded(2)`.
+    Bounded(usize),
+}
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    pub mode: Mode,
+    /// Stop after this many runs (explored + pruned + truncated) and
+    /// report `exhausted = true`. A finite-state model under `Full` mode
+    /// should finish well under its budget — that is the acceptance bar
+    /// `tables -- race` pins for the seqlock model.
+    pub max_schedules: usize,
+    /// Per-run step cap; a run cut here counts as `truncated`, never as
+    /// covered. Guards against unbounded model loops.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            mode: Mode::Full,
+            max_schedules: 1_000_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Config {
+    pub fn full() -> Config {
+        Config::default()
+    }
+
+    pub fn bounded(preemptions: usize) -> Config {
+        Config {
+            mode: Mode::Bounded(preemptions),
+            ..Config::default()
+        }
+    }
+
+    /// The tier CI wants: bounded-preemption smoke by default, full DPOR
+    /// when `TEMPART_RACE_FULL=1` (the nightly job sets it).
+    pub fn ci_default() -> Config {
+        if std::env::var("TEMPART_RACE_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            Config::full()
+        } else {
+            Config::bounded(2)
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Unordered concurrent accesses to tracked plain memory: the
+    /// declared atomic orderings do not establish the happens-before
+    /// edge the code relies on.
+    DataRace,
+    /// No enabled thread while unfinished threads remain (includes lost
+    /// wakeups and rendezvous hangs).
+    Deadlock,
+    /// A model `assert!` failed (lost update, torn read, broken ledger…).
+    Assert,
+    /// The model behaved differently on a re-run of the same prefix, or
+    /// a replay diverged from its recorded schedule.
+    Nondeterminism,
+}
+
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    /// Replayable schedule: pass to [`replay`] to reproduce.
+    pub schedule: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: {} [replay schedule: {}]",
+            self.kind, self.message, self.schedule
+        )
+    }
+}
+
+/// What an exploration did and found.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub mode: Mode,
+    /// Fully-executed schedules.
+    pub schedules: usize,
+    /// Runs cut off by the sleep-set check (covered by a sibling).
+    pub pruned: usize,
+    /// Runs cut off by the per-run step cap.
+    pub truncated: usize,
+    /// Total scheduling transitions across all runs.
+    pub transitions: usize,
+    /// Length of the longest schedule.
+    pub max_depth: usize,
+    /// True when the schedule budget ran out before the space did.
+    pub exhausted: bool,
+    pub violation: Option<Violation>,
+}
+
+pub(crate) fn format_schedule(s: &[Tid]) -> String {
+    s.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn parse_schedule(s: &str) -> Option<Vec<Tid>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split('.').map(|p| p.parse::<Tid>().ok()).collect()
+}
+
+/// Explores `f` under `config` until the space is exhausted, the budget
+/// runs out, or a violation is found. The closure runs once per schedule
+/// and must be deterministic given a schedule (no wall-clock, no OS
+/// randomness); nondeterminism is detected and reported as a violation.
+pub fn check(config: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    explore(config, None, f)
+}
+
+/// Re-runs `f` under exactly the given schedule string (as printed in a
+/// [`Violation`]); returns the single-run report. A divergent replay —
+/// wrong model, wrong schedule — reports `Nondeterminism`.
+pub fn replay(config: Config, schedule: &str, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let sched = parse_schedule(schedule).unwrap_or_default();
+    explore(config, Some(sched), f)
+}
+
+/// Like [`check`], but panics with the violation (kind, message, replay
+/// schedule) so a failing model test prints everything needed to
+/// reproduce. Returns the report for stats assertions.
+pub fn check_ok(config: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let report = check(config, f);
+    if let Some(v) = &report.violation {
+        panic!("model violation: {v}");
+    }
+    assert_eq!(
+        report.truncated, 0,
+        "model runs hit the step cap: coverage incomplete"
+    );
+    report
+}
+
+fn explore(
+    config: Config,
+    forced: Option<Vec<Tid>>,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Report {
+    assert!(
+        ctx().is_none(),
+        "race::check cannot be nested inside a model run"
+    );
+    let rt = Arc::new(Runtime::new(config, forced));
+    loop {
+        rt.begin_run();
+        set_ctx(Some(Ctx {
+            rt: Arc::clone(&rt),
+            tid: 0,
+        }));
+        rt.start_run();
+        let body = catch_unwind(AssertUnwindSafe(|| {
+            if rt.enter(0) {
+                f();
+                rt.finish(0);
+            }
+        }));
+        if let Err(payload) = body {
+            if payload.downcast_ref::<AbortToken>().is_none() {
+                rt.report_assert(panic_message(payload.as_ref()));
+            }
+            rt.finish_abnormal(0);
+        }
+        set_ctx(None);
+        rt.join_run_handles();
+        if rt.end_run() {
+            break;
+        }
+    }
+    let stats = rt.take_stats();
+    Report {
+        mode: config.mode,
+        schedules: stats.schedules,
+        pruned: stats.pruned,
+        truncated: stats.truncated,
+        transitions: stats.transitions,
+        max_depth: stats.max_depth,
+        exhausted: stats.exhausted,
+        violation: stats.violation,
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}

@@ -1,0 +1,19 @@
+//! Spin-loop hint facade.
+//!
+//! Production code in retry loops calls [`spin_loop`] exactly where it
+//! would call `std::hint::spin_loop`. With the `race` feature off that is
+//! all it is. Inside a model run it becomes a *yield*: the spinner is
+//! descheduled until some other thread executes a step, which bounds the
+//! schedule tree of an otherwise unbounded retry loop (the spinner can
+//! re-check at most once per step of the thread it waits on).
+
+#[cfg(not(feature = "race"))]
+pub use std::hint::spin_loop;
+
+#[cfg(feature = "race")]
+pub fn spin_loop() {
+    match crate::runtime::ctx() {
+        None => std::hint::spin_loop(),
+        Some(c) => c.rt.yield_now(c.tid),
+    }
+}

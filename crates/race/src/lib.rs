@@ -1,0 +1,51 @@
+//! tempart-race: a deterministic concurrency model checker for the
+//! lock-free core, in the style of `loom`, hand-rolled on `std` only.
+//!
+//! The crate has two faces:
+//!
+//! * **The facade** ([`sync`], [`cell`]): drop-in replacements for the
+//!   handful of `std::sync` / `std::cell` types the hot concurrency
+//!   modules use. With the `race` feature **off** (every tier-1 build)
+//!   these are literal `pub use std::…` re-exports — the same types, zero
+//!   overhead, golden pins bit-identical. With `race` **on** they become
+//!   instrumented types that interpose on every operation when a model
+//!   run is active on the current thread, and fall back to plain `std`
+//!   behaviour otherwise (so mixed test binaries keep working).
+//!
+//! * **The explorer** ([`explore`], [`thread`], `race` feature only): a
+//!   cooperative scheduler that runs N model threads one at a time and
+//!   enumerates their interleavings by depth-first search over scheduling
+//!   choices, with DPOR-style sleep-set pruning and an optional bounded-
+//!   preemption mode for CI smoke tiers. Vector clocks track the
+//!   happens-before relation implied by the *declared* memory orderings,
+//!   so too-weak orderings surface as data races on the guarded plain
+//!   memory, lost updates surface as assertion failures in model
+//!   invariants, and deadlocks surface as "no enabled thread" states.
+//!   Every violation carries a replayable schedule string.
+//!
+//! Entry points: [`explore::check`] (exhaustive or bounded exploration),
+//! [`explore::replay`] (re-run one printed schedule), and
+//! [`thread::spawn`] / [`thread::JoinHandle`] inside a model closure.
+//!
+//! See `DESIGN.md` §5g for the architecture and the `// hb:` declaration
+//! grammar the companion `atomic-ordering` audit lint enforces.
+
+pub mod cell;
+pub mod hint;
+pub mod sync;
+
+#[cfg(feature = "race")]
+mod clock;
+#[cfg(feature = "race")]
+pub mod explore;
+#[cfg(feature = "race")]
+mod runtime;
+#[cfg(feature = "race")]
+pub mod thread;
+
+#[cfg(not(feature = "race"))]
+pub mod thread {
+    //! With the `race` feature off, model-thread spawns are plain
+    //! `std::thread` spawns so shared scenario code still compiles.
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}

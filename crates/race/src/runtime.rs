@@ -1,0 +1,1106 @@
+//! The cooperative scheduling runtime behind the explorer.
+//!
+//! A model run executes real OS threads, but strictly one at a time: every
+//! instrumented operation first *announces* itself, yields control, and
+//! waits until the scheduler selects it. Selection points are exactly the
+//! sync-visible operations (atomic ops, mutex ops, condvar ops, tracked
+//! cell accesses, spawn/join/finish), so the set of schedules enumerated
+//! by the DFS in [`crate::explore`] covers every interleaving of the
+//! visible operations. Between two selection points a thread runs plain
+//! uninstrumented code, which is invisible to other threads by
+//! construction and therefore safe to treat as atomic.
+//!
+//! Memory-model fidelity: the *values* of atomics are sequentially
+//! consistent under serialization, but the happens-before relation is
+//! tracked from the **declared** orderings via vector clocks — a
+//! `Relaxed` store does not publish the writer's clock, so a reader that
+//! then touches plain memory guarded only by that store trips the
+//! FastTrack-style race check exactly as a weak-memory machine could
+//! reorder it. `notify_one` wakes the longest-waiting thread (FIFO) and
+//! spurious wakeups are not modelled; model closures must be
+//! deterministic given a schedule (the runtime detects divergence and
+//! reports it rather than exploring garbage).
+
+use std::collections::BTreeSet;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::clock::VClock;
+use crate::explore::{Config, Mode, Violation, ViolationKind};
+
+pub(crate) type Tid = usize;
+pub(crate) type ObjId = usize;
+
+/// Payload used to unwind model threads when a run is torn down early
+/// (violation found, sleep-set prune, step cap). Never reported as a
+/// failure; the process-wide panic-hook filter suppresses its printout.
+pub(crate) struct AbortToken;
+
+pub(crate) fn abort_unwind() -> ! {
+    panic::panic_any(AbortToken);
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for any
+/// panic raised on a thread currently inside a model run: aborts are
+/// control flow, and model assertion failures are reported as violations
+/// with a replay schedule instead of a raw backtrace.
+pub(crate) fn install_panic_filter() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !in_model() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local model context
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub rt: Arc<Runtime>,
+    pub tid: Tid,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(c: Option<Ctx>) {
+    CTX.with(|slot| *slot.borrow_mut() = c);
+}
+
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+
+/// Kind tag for object registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ObjKind {
+    Atomic,
+    Mutex,
+    Condvar,
+    Cell,
+}
+
+/// An announced operation: what a thread will do when next selected.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    /// First scheduling of a thread (spawn barrier); no effect.
+    Begin,
+    AtomicLoad {
+        obj: ObjId,
+    },
+    AtomicStore {
+        obj: ObjId,
+    },
+    AtomicRmw {
+        obj: ObjId,
+    },
+    MutexLock {
+        obj: ObjId,
+    },
+    MutexTryLock {
+        obj: ObjId,
+    },
+    MutexUnlock {
+        obj: ObjId,
+    },
+    /// Phase 1 of a condvar wait: atomically release the mutex and park.
+    CondWait {
+        cv: ObjId,
+        mutex: ObjId,
+    },
+    CondNotify {
+        cv: ObjId,
+    },
+    CellAccess {
+        obj: ObjId,
+    },
+    Yield,
+    Join {
+        target: Tid,
+    },
+    Finish,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Read,
+    Write,
+}
+
+impl Op {
+    /// (touched objects, access class) — the footprint used by the
+    /// sleep-set independence check. Conservative: anything that can
+    /// affect another thread's enabledness or data counts as a write on
+    /// the shared object(s).
+    fn footprint(&self) -> ([Option<ObjId>; 2], OpClass) {
+        use Op::*;
+        match *self {
+            Begin | Yield | Join { .. } | Finish => ([None, None], OpClass::Read),
+            AtomicLoad { obj } => ([Some(obj), None], OpClass::Read),
+            AtomicStore { obj } | AtomicRmw { obj } => ([Some(obj), None], OpClass::Write),
+            MutexLock { obj } | MutexTryLock { obj } | MutexUnlock { obj } => {
+                ([Some(obj), None], OpClass::Write)
+            }
+            CondWait { cv, mutex } => ([Some(cv), Some(mutex)], OpClass::Write),
+            CondNotify { cv } => ([Some(cv), None], OpClass::Write),
+            CellAccess { obj } => ([Some(obj), None], OpClass::Write),
+        }
+    }
+}
+
+/// Two announced operations are independent (commute) when neither can
+/// influence the other: disjoint footprints, or a shared footprint touched
+/// read-only by both.
+pub(crate) fn independent(a: &Op, b: &Op) -> bool {
+    let (fa, ca) = a.footprint();
+    let (fb, cb) = b.footprint();
+    if ca == OpClass::Read && cb == OpClass::Read {
+        return true;
+    }
+    for x in fa.iter().flatten() {
+        for y in fb.iter().flatten() {
+            if x == y {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Per-run state
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum BlockState {
+    /// Runnable (subject to the announced op's own gate, e.g. mutex free).
+    Ready,
+    /// Parked in a condvar; only a notify can move it on.
+    CvWaiting {
+        cv: ObjId,
+        mutex: ObjId,
+        arrived: u64,
+    },
+    /// Notified; runnable once the mutex is free (reacquire step).
+    CvWaking {
+        mutex: ObjId,
+    },
+    Finished,
+}
+
+struct ThreadState {
+    pending: Option<Op>,
+    block: BlockState,
+    clock: VClock,
+    /// Clock of the notifier that woke us; joined at reacquire.
+    wake_msg: Option<VClock>,
+    /// Clock at `Finish`; joined by `Join`.
+    final_clock: Option<VClock>,
+    /// Set by an executed `Yield` (a `spin_loop`/`yield_now` hint): the
+    /// thread is descheduled until any other thread runs one step. This is
+    /// what keeps real spin loops (CAS retry, lock back-off) finite under
+    /// exploration — a spinner can re-check at most once per step of the
+    /// thread it is waiting on, exactly loom's yield semantics.
+    yielded: bool,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> ThreadState {
+        ThreadState {
+            pending: Some(Op::Begin),
+            block: BlockState::Ready,
+            clock,
+            wake_msg: None,
+            final_clock: None,
+            yielded: false,
+        }
+    }
+}
+
+enum ObjState {
+    /// `msg` is the release-sequence clock: published by release-or-stronger
+    /// stores, preserved (and joined) by RMWs, destroyed by relaxed stores.
+    Atomic {
+        msg: Option<VClock>,
+    },
+    Mutex {
+        owner: Option<Tid>,
+        msg: Option<VClock>,
+    },
+    Condvar,
+    /// FastTrack-style epochs for plain (non-atomic) memory.
+    Cell {
+        last_write: Option<(Tid, u64)>,
+        reads: Vec<(Tid, u64)>,
+    },
+}
+
+struct RunState {
+    threads: Vec<ThreadState>,
+    objs: Vec<ObjState>,
+    active: Option<Tid>,
+    schedule: Vec<Tid>,
+    violation: Option<Violation>,
+    abort: bool,
+    /// Sleep set carried along the current path (full-DPOR mode only).
+    cur_sleep: BTreeSet<Tid>,
+    preemptions: usize,
+    last_running: Option<Tid>,
+    wait_seq: u64,
+    pruned: bool,
+    truncated: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RunState {
+    fn new() -> RunState {
+        RunState {
+            threads: Vec::new(),
+            objs: Vec::new(),
+            active: None,
+            schedule: Vec::new(),
+            violation: None,
+            abort: false,
+            cur_sleep: BTreeSet::new(),
+            preemptions: 0,
+            last_running: None,
+            wait_seq: 0,
+            pruned: false,
+            truncated: false,
+            handles: Vec::new(),
+        }
+    }
+
+    fn mutex_free(&self, obj: ObjId) -> bool {
+        matches!(self.objs[obj], ObjState::Mutex { owner: None, .. })
+    }
+
+    /// The op thread `t` will perform if selected (reacquire for notified
+    /// waiters). Only meaningful for unfinished, announced threads.
+    fn announced(&self, t: Tid) -> Op {
+        match self.threads[t].block {
+            BlockState::CvWaking { mutex } => Op::MutexLock { obj: mutex },
+            _ => self.threads[t]
+                .pending
+                .expect("announced op queried for a thread with none"),
+        }
+    }
+
+    fn executable(&self, t: Tid) -> bool {
+        let th = &self.threads[t];
+        match th.block {
+            BlockState::Finished | BlockState::CvWaiting { .. } => false,
+            BlockState::CvWaking { mutex } => self.mutex_free(mutex),
+            BlockState::Ready => match th.pending {
+                None => false,
+                Some(Op::MutexLock { obj }) => self.mutex_free(obj),
+                Some(Op::Join { target }) => {
+                    matches!(self.threads[target].block, BlockState::Finished)
+                }
+                Some(_) => true,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration state (persists across runs)
+
+struct ChoicePoint {
+    /// Candidate threads at this point, in exploration order.
+    options: Vec<Tid>,
+    /// Index of the option currently being explored.
+    next: usize,
+    /// Sleep set on entry (empty in bounded mode).
+    sleep: BTreeSet<Tid>,
+    /// Options already fully explored from this point.
+    done: BTreeSet<Tid>,
+    /// Announced op of every *enabled* thread at this point.
+    ops: Vec<(Tid, Op)>,
+    /// The previously running thread (for preemption accounting).
+    was_running: Option<Tid>,
+}
+
+pub(crate) struct ExploreStats {
+    pub schedules: usize,
+    pub pruned: usize,
+    pub truncated: usize,
+    pub transitions: usize,
+    pub max_depth: usize,
+    pub exhausted: bool,
+    pub violation: Option<Violation>,
+}
+
+struct Explorer {
+    stack: Vec<ChoicePoint>,
+    /// Cursor into `stack` during the current run.
+    depth: usize,
+    /// Forced schedule (replay mode); bypasses the DFS stack.
+    replay: Option<Vec<Tid>>,
+    stats: ExploreStats,
+}
+
+struct Inner {
+    run: RunState,
+    exp: Explorer,
+}
+
+pub(crate) struct Runtime {
+    config: Config,
+    inner: StdMutex<Inner>,
+    cv: StdCondvar,
+    next_obj_hint: AtomicUsize,
+}
+
+fn lock_inner(rt: &Runtime) -> StdMutexGuard<'_, Inner> {
+    // The runtime lock is never held across a panic point except via
+    // abort_unwind, where every other thread is about to unwind too.
+    match rt.inner.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl Runtime {
+    pub fn new(config: Config, replay: Option<Vec<Tid>>) -> Runtime {
+        install_panic_filter();
+        Runtime {
+            config,
+            inner: StdMutex::new(Inner {
+                run: RunState::new(),
+                exp: Explorer {
+                    stack: Vec::new(),
+                    depth: 0,
+                    replay,
+                    stats: ExploreStats {
+                        schedules: 0,
+                        pruned: 0,
+                        truncated: 0,
+                        transitions: 0,
+                        max_depth: 0,
+                        exhausted: false,
+                        violation: None,
+                    },
+                },
+            }),
+            cv: StdCondvar::new(),
+            next_obj_hint: AtomicUsize::new(0),
+        }
+    }
+
+    // -- object & thread registration ---------------------------------------
+
+    pub fn register_obj(&self, kind: ObjKind) -> ObjId {
+        let mut g = lock_inner(self);
+        let id = g.run.objs.len();
+        g.run.objs.push(match kind {
+            ObjKind::Atomic => ObjState::Atomic { msg: None },
+            ObjKind::Mutex => ObjState::Mutex {
+                owner: None,
+                msg: None,
+            },
+            ObjKind::Condvar => ObjState::Condvar,
+            ObjKind::Cell => ObjState::Cell {
+                last_write: None,
+                reads: Vec::new(),
+            },
+        });
+        self.next_obj_hint.store(id + 1, AOrd::Relaxed);
+        id
+    }
+
+    /// Registers a child thread (called by the spawning thread, which
+    /// holds control): the child starts with the parent's clock joined in
+    /// — the spawn edge — and a pending `Begin` so it is schedulable
+    /// immediately.
+    pub fn register_thread(&self, parent: Option<Tid>) -> Tid {
+        let mut g = lock_inner(self);
+        if g.run.abort {
+            drop(g);
+            abort_unwind();
+        }
+        let tid = g.run.threads.len();
+        let mut clock = VClock::new();
+        if let Some(p) = parent {
+            g.run.threads[p].clock.tick(p);
+            clock.join(&g.run.threads[p].clock);
+        }
+        clock.tick(tid);
+        g.run.threads.push(ThreadState::new(clock));
+        tid
+    }
+
+    pub fn store_handle(&self, h: std::thread::JoinHandle<()>) {
+        lock_inner(self).run.handles.push(h);
+    }
+
+    // -- violations ---------------------------------------------------------
+
+    fn report(&self, g: &mut StdMutexGuard<'_, Inner>, kind: ViolationKind, message: String) {
+        if g.run.violation.is_none() {
+            g.run.violation = Some(Violation {
+                kind,
+                schedule: crate::explore::format_schedule(&g.run.schedule),
+                message,
+            });
+        }
+        g.run.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Records an assertion failure (a model-thread panic that is not an
+    /// abort token) and tears the run down.
+    pub fn report_assert(&self, message: String) {
+        let mut g = lock_inner(self);
+        self.report(&mut g, ViolationKind::Assert, message);
+    }
+
+    /// Marks a thread finished outside normal scheduling (panic path).
+    pub fn finish_abnormal(&self, me: Tid) {
+        let mut g = lock_inner(self);
+        g.run.threads[me].pending = None;
+        g.run.threads[me].block = BlockState::Finished;
+        if g.run.active == Some(me) {
+            g.run.active = None;
+            if !g.run.abort {
+                self.pick_next(&mut g);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    // -- the scheduler ------------------------------------------------------
+
+    /// Announce `op`, hand control to the scheduler, and block until this
+    /// thread is selected again. Returns with the runtime lock held, the
+    /// thread's clock ticked, and `pending` cleared: the caller commits
+    /// the op's effect under the guard, drops it, and resumes model code
+    /// as the (sole) running thread.
+    fn step(&self, me: Tid, op: Op) -> StdMutexGuard<'_, Inner> {
+        let mut g = lock_inner(self);
+        if g.run.abort {
+            drop(g);
+            abort_unwind();
+        }
+        debug_assert_eq!(
+            g.run.active,
+            Some(me),
+            "only the active thread may announce"
+        );
+        g.run.threads[me].pending = Some(op);
+        g.run.active = None;
+        self.pick_next(&mut g);
+        g = self.wait_selected(g, me);
+        g.run.threads[me].pending = None;
+        g.run.threads[me].clock.tick(me);
+        g
+    }
+
+    /// Parks until `active == me` (or the run aborts, which unwinds).
+    fn wait_selected<'a>(
+        &'a self,
+        mut g: StdMutexGuard<'a, Inner>,
+        me: Tid,
+    ) -> StdMutexGuard<'a, Inner> {
+        loop {
+            if g.run.abort {
+                drop(g);
+                abort_unwind();
+            }
+            if g.run.active == Some(me) {
+                return g;
+            }
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// The initial kick for a fresh run: schedules thread 0's `Begin`.
+    pub fn start_run(&self) {
+        let mut g = lock_inner(self);
+        debug_assert!(g.run.active.is_none());
+        self.pick_next(&mut g);
+    }
+
+    /// Core scheduling decision. Called with `active == None`; selects the
+    /// next thread per the DFS stack / replay vector / preemption bound,
+    /// or detects completion, deadlock, prune, and step-cap cutoffs.
+    fn pick_next(&self, g: &mut StdMutexGuard<'_, Inner>) {
+        if g.run.abort {
+            return;
+        }
+        let enabled: Vec<Tid> = (0..g.run.threads.len())
+            .filter(|&t| g.run.executable(t))
+            .collect();
+        // Yielded threads are choosable only when nothing else is: a
+        // spinner waits for someone else's step before re-checking.
+        let mut choosable: Vec<Tid> = enabled
+            .iter()
+            .copied()
+            .filter(|&t| !g.run.threads[t].yielded)
+            .collect();
+        if choosable.is_empty() {
+            choosable = enabled.clone();
+        }
+        let unfinished = g
+            .run
+            .threads
+            .iter()
+            .any(|t| t.block != BlockState::Finished);
+        if !unfinished {
+            self.cv.notify_all();
+            return; // run complete
+        }
+        if enabled.is_empty() {
+            let stuck: Vec<String> = (0..g.run.threads.len())
+                .filter(|&t| g.run.threads[t].block != BlockState::Finished)
+                .map(|t| match &g.run.threads[t].block {
+                    BlockState::CvWaiting { cv, .. } => format!("t{t} waits on condvar #{cv}"),
+                    BlockState::CvWaking { mutex } => format!("t{t} reacquires mutex #{mutex}"),
+                    _ => match g.run.threads[t].pending {
+                        Some(Op::MutexLock { obj }) => format!("t{t} blocks on mutex #{obj}"),
+                        Some(Op::Join { target }) => format!("t{t} joins t{target}"),
+                        _ => format!("t{t} blocked"),
+                    },
+                })
+                .collect();
+            self.report(
+                g,
+                ViolationKind::Deadlock,
+                format!("no enabled thread: {}", stuck.join(", ")),
+            );
+            return;
+        }
+        if g.run.schedule.len() >= self.config.max_steps {
+            g.run.truncated = true;
+            g.run.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+
+        // Replay mode: follow the forced schedule verbatim.
+        if let Some(replay) = g.exp.replay.clone() {
+            let i = g.run.schedule.len();
+            let chosen = match replay.get(i) {
+                Some(&t) if enabled.contains(&t) => t,
+                got => {
+                    self.report(
+                        g,
+                        ViolationKind::Nondeterminism,
+                        format!(
+                            "replay diverged at step {i}: schedule says {:?}, enabled {:?}",
+                            got, enabled
+                        ),
+                    );
+                    return;
+                }
+            };
+            self.select(g, chosen, None);
+            return;
+        }
+
+        let depth = g.exp.depth;
+        if depth >= g.exp.stack.len() {
+            // New frontier: build a choice point.
+            let sleep = match self.config.mode {
+                Mode::Full => g.run.cur_sleep.clone(),
+                Mode::Bounded(_) => BTreeSet::new(),
+            };
+            let ops: Vec<(Tid, Op)> = choosable.iter().map(|&t| (t, g.run.announced(t))).collect();
+            let mut options: Vec<Tid> = choosable
+                .iter()
+                .copied()
+                .filter(|t| !sleep.contains(t))
+                .collect();
+            if options.is_empty() {
+                // Every enabled thread sleeps: this trace is covered by a
+                // sibling already explored — prune the whole run.
+                g.run.pruned = true;
+                g.run.abort = true;
+                self.cv.notify_all();
+                return;
+            }
+            // Prefer continuing the running thread (fewest context
+            // switches first — also what the preemption bound wants).
+            if let Some(lr) = g.run.last_running {
+                if let Some(pos) = options.iter().position(|&t| t == lr) {
+                    options.swap(0, pos);
+                }
+                if let Mode::Bounded(k) = self.config.mode {
+                    if g.run.preemptions >= k && options.contains(&lr) {
+                        options = vec![lr];
+                    }
+                }
+            }
+            let was_running = g.run.last_running;
+            g.exp.stack.push(ChoicePoint {
+                options,
+                next: 0,
+                sleep,
+                done: BTreeSet::new(),
+                ops,
+                was_running,
+            });
+        } else {
+            // Replaying the DFS prefix: the run must re-announce exactly
+            // what it announced last time (models must be deterministic).
+            let expected: Vec<Tid> = g.exp.stack[depth].ops.iter().map(|&(t, _)| t).collect();
+            if expected != choosable {
+                self.report(
+                    g,
+                    ViolationKind::Nondeterminism,
+                    format!(
+                        "model is not deterministic: enabled set changed across runs \
+                         at step {depth} (was {:?}, now {:?})",
+                        expected, enabled
+                    ),
+                );
+                return;
+            }
+        }
+        let cp = &g.exp.stack[depth];
+        let chosen = cp.options[cp.next];
+        self.select(g, chosen, Some(depth));
+    }
+
+    /// Commits the scheduling decision: sleep-set propagation, preemption
+    /// accounting, schedule recording, and the wake-up of `chosen`.
+    fn select(&self, g: &mut StdMutexGuard<'_, Inner>, chosen: Tid, depth: Option<usize>) {
+        if let Some(d) = depth {
+            let chosen_op = g.run.announced(chosen);
+            let cp = &g.exp.stack[d];
+            let candidates: Vec<Tid> = cp.sleep.iter().chain(cp.done.iter()).copied().collect();
+            let ops = cp.ops.clone();
+            let was_running = cp.was_running;
+            let mut next_sleep = BTreeSet::new();
+            for s in candidates {
+                if let Some(&(_, op)) = ops.iter().find(|&&(t, _)| t == s) {
+                    if independent(&op, &chosen_op) {
+                        next_sleep.insert(s);
+                    }
+                }
+            }
+            if let Some(lr) = was_running {
+                if chosen != lr && ops.iter().any(|&(t, _)| t == lr) {
+                    g.run.preemptions += 1;
+                }
+            }
+            g.run.cur_sleep = next_sleep;
+            g.exp.depth = d + 1;
+        }
+        g.run.schedule.push(chosen);
+        g.exp.stats.transitions += 1;
+        g.run.last_running = Some(chosen);
+        // Any selection is "another thread ran" from every spinner's
+        // point of view (including the chosen thread's own stale flag).
+        for th in &mut g.run.threads {
+            th.yielded = false;
+        }
+        g.run.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    // -- op implementations (called by the facade with control held) --------
+
+    fn acquire_join(g: &mut StdMutexGuard<'_, Inner>, me: Tid, obj: ObjId) {
+        if let ObjState::Atomic { msg: Some(m) } = &g.run.objs[obj] {
+            let m = m.clone();
+            g.run.threads[me].clock.join(&m);
+        }
+    }
+
+    pub fn atomic_load<R>(&self, me: Tid, obj: ObjId, ord: AOrd, read: impl FnOnce() -> R) -> R {
+        let mut g = self.step(me, Op::AtomicLoad { obj });
+        if matches!(ord, AOrd::Acquire | AOrd::AcqRel | AOrd::SeqCst) {
+            Self::acquire_join(&mut g, me, obj);
+        }
+        read()
+    }
+
+    pub fn atomic_store(&self, me: Tid, obj: ObjId, ord: AOrd, write: impl FnOnce()) {
+        let mut g = self.step(me, Op::AtomicStore { obj });
+        let release = matches!(ord, AOrd::Release | AOrd::AcqRel | AOrd::SeqCst);
+        let msg = release.then(|| g.run.threads[me].clock.clone());
+        if let ObjState::Atomic { msg: slot } = &mut g.run.objs[obj] {
+            // A relaxed store breaks the release sequence: later acquire
+            // loads learn nothing from it.
+            *slot = msg;
+        }
+        write();
+    }
+
+    /// Read-modify-write. `op` performs the real operation and reports
+    /// whether it succeeded (always true except failed compare-exchange);
+    /// `ord` is the success ordering, `fail` the failure ordering.
+    pub fn atomic_rmw<R>(
+        &self,
+        me: Tid,
+        obj: ObjId,
+        ord: AOrd,
+        fail: Option<AOrd>,
+        op: impl FnOnce() -> (R, bool),
+    ) -> R {
+        let mut g = self.step(me, Op::AtomicRmw { obj });
+        let (out, success) = op();
+        let eff = if success {
+            ord
+        } else {
+            fail.unwrap_or(AOrd::Relaxed)
+        };
+        if matches!(eff, AOrd::Acquire | AOrd::AcqRel | AOrd::SeqCst) {
+            Self::acquire_join(&mut g, me, obj);
+        }
+        if success && matches!(ord, AOrd::Release | AOrd::AcqRel | AOrd::SeqCst) {
+            // An RMW extends the release sequence: its publication joins
+            // whatever message was already there.
+            let mut msg = g.run.threads[me].clock.clone();
+            if let ObjState::Atomic { msg: Some(prev) } = &g.run.objs[obj] {
+                msg.join(prev);
+            }
+            if let ObjState::Atomic { msg: slot } = &mut g.run.objs[obj] {
+                *slot = Some(msg);
+            }
+        }
+        out
+    }
+
+    pub fn mutex_lock(&self, me: Tid, obj: ObjId) {
+        let mut g = self.step(me, Op::MutexLock { obj });
+        let msg = match &mut g.run.objs[obj] {
+            ObjState::Mutex { owner, msg } => {
+                debug_assert!(owner.is_none(), "scheduler granted a held mutex");
+                *owner = Some(me);
+                msg.clone()
+            }
+            _ => unreachable!("mutex op on non-mutex object"),
+        };
+        if let Some(m) = msg {
+            g.run.threads[me].clock.join(&m);
+        }
+    }
+
+    pub fn mutex_try_lock(&self, me: Tid, obj: ObjId) -> bool {
+        let mut g = self.step(me, Op::MutexTryLock { obj });
+        let msg = match &mut g.run.objs[obj] {
+            ObjState::Mutex {
+                owner: owner @ None,
+                msg,
+            } => {
+                *owner = Some(me);
+                msg.clone()
+            }
+            ObjState::Mutex { .. } => return false,
+            _ => unreachable!("mutex op on non-mutex object"),
+        };
+        if let Some(m) = msg {
+            g.run.threads[me].clock.join(&m);
+        }
+        true
+    }
+
+    pub fn mutex_unlock(&self, me: Tid, obj: ObjId) {
+        let mut g = self.step(me, Op::MutexUnlock { obj });
+        let clock = g.run.threads[me].clock.clone();
+        match &mut g.run.objs[obj] {
+            ObjState::Mutex { owner, msg } => {
+                debug_assert_eq!(*owner, Some(me), "unlock by non-owner");
+                *owner = None;
+                *msg = Some(clock);
+            }
+            _ => unreachable!("mutex op on non-mutex object"),
+        }
+    }
+
+    pub fn cond_wait(&self, me: Tid, cv: ObjId, mutex: ObjId) {
+        // Phase 1: atomically release the mutex and park.
+        let mut g = self.step(me, Op::CondWait { cv, mutex });
+        let clock = g.run.threads[me].clock.clone();
+        match &mut g.run.objs[mutex] {
+            ObjState::Mutex { owner, msg } => {
+                debug_assert_eq!(*owner, Some(me), "condvar wait without the mutex");
+                *owner = None;
+                *msg = Some(clock);
+            }
+            _ => unreachable!("condvar wait on non-mutex object"),
+        }
+        let arrived = g.run.wait_seq;
+        g.run.wait_seq += 1;
+        g.run.threads[me].block = BlockState::CvWaiting { cv, mutex, arrived };
+        // Hand control away mid-op and park until notified + reacquired.
+        g.run.active = None;
+        self.pick_next(&mut g);
+        g = self.wait_selected(g, me);
+        // Phase 2: the scheduler only selects us when the mutex is free.
+        g.run.threads[me].block = BlockState::Ready;
+        g.run.threads[me].clock.tick(me);
+        let wake = g.run.threads[me].wake_msg.take();
+        let msg = match &mut g.run.objs[mutex] {
+            ObjState::Mutex { owner, msg } => {
+                *owner = Some(me);
+                msg.clone()
+            }
+            _ => unreachable!(),
+        };
+        if let Some(m) = msg {
+            g.run.threads[me].clock.join(&m);
+        }
+        if let Some(m) = wake {
+            g.run.threads[me].clock.join(&m);
+        }
+    }
+
+    pub fn cond_notify(&self, me: Tid, cv: ObjId, all: bool) {
+        let mut g = self.step(me, Op::CondNotify { cv });
+        let clock = g.run.threads[me].clock.clone();
+        // FIFO wake order: deterministic and what a fair OS does.
+        let mut waiters: Vec<(u64, Tid)> = g
+            .run
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(t, th)| match th.block {
+                BlockState::CvWaiting { cv: c, arrived, .. } if c == cv => Some((arrived, t)),
+                _ => None,
+            })
+            .collect();
+        waiters.sort_unstable();
+        let n = if all {
+            waiters.len()
+        } else {
+            waiters.len().min(1)
+        };
+        for &(_, t) in waiters.iter().take(n) {
+            let mutex = match g.run.threads[t].block {
+                BlockState::CvWaiting { mutex, .. } => mutex,
+                _ => unreachable!(),
+            };
+            g.run.threads[t].block = BlockState::CvWaking { mutex };
+            match &mut g.run.threads[t].wake_msg {
+                Some(m) => m.join(&clock),
+                slot => *slot = Some(clock.clone()),
+            }
+        }
+    }
+
+    /// A tracked plain-memory access (write-classed: `UnsafeCell::get`
+    /// hands out a raw mutable pointer). Trips the race check when a
+    /// concurrent access is not ordered by the declared-ordering
+    /// happens-before relation.
+    pub fn cell_access(&self, me: Tid, obj: ObjId) {
+        let mut g = self.step(me, Op::CellAccess { obj });
+        let my_clock = g.run.threads[me].clock.clone();
+        let conflict = match &g.run.objs[obj] {
+            ObjState::Cell { last_write, reads } => {
+                let w = last_write
+                    .filter(|&(t, c)| t != me && my_clock.get(t) < c)
+                    .map(|(t, _)| t);
+                w.or(reads
+                    .iter()
+                    .find(|&&(t, c)| t != me && my_clock.get(t) < c)
+                    .map(|&(t, _)| t))
+            }
+            _ => unreachable!("cell op on non-cell object"),
+        };
+        if let Some(other) = conflict {
+            self.report(
+                &mut g,
+                ViolationKind::DataRace,
+                format!(
+                    "data race on cell #{obj}: t{me} accesses it concurrently with t{other} \
+                     (no happens-before edge from the declared orderings)"
+                ),
+            );
+            drop(g);
+            abort_unwind();
+        }
+        let epoch = my_clock.get(me);
+        if let ObjState::Cell { last_write, reads } = &mut g.run.objs[obj] {
+            *last_write = Some((me, epoch));
+            reads.clear();
+        }
+    }
+
+    pub fn yield_now(&self, me: Tid) {
+        let mut g = self.step(me, Op::Yield);
+        g.run.threads[me].yielded = true;
+    }
+
+    pub fn join_thread(&self, me: Tid, target: Tid) {
+        let mut g = self.step(me, Op::Join { target });
+        let fc = g.run.threads[target]
+            .final_clock
+            .clone()
+            .expect("join granted before target finished");
+        g.run.threads[me].clock.join(&fc);
+    }
+
+    /// Normal completion of a model thread: a real scheduling step, so
+    /// `Join`ers and the completion check see it in order.
+    pub fn finish(&self, me: Tid) {
+        let mut g = self.step(me, Op::Finish);
+        g.run.threads[me].block = BlockState::Finished;
+        let clock = g.run.threads[me].clock.clone();
+        g.run.threads[me].final_clock = Some(clock);
+        g.run.active = None;
+        self.pick_next(&mut g);
+        self.cv.notify_all();
+    }
+
+    /// First scheduling barrier of a thread: parks until the scheduler
+    /// runs its `Begin`. Returns false when the run aborted before the
+    /// thread ever got control (the body must not run).
+    pub fn enter(&self, me: Tid) -> bool {
+        let mut g = lock_inner(self);
+        loop {
+            if g.run.abort {
+                g.run.threads[me].pending = None;
+                g.run.threads[me].block = BlockState::Finished;
+                self.cv.notify_all();
+                return false;
+            }
+            if g.run.active == Some(me) {
+                g.run.threads[me].pending = None;
+                g.run.threads[me].clock.tick(me);
+                return true;
+            }
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    // -- run lifecycle (driver side) ----------------------------------------
+
+    /// Resets per-run state and registers thread 0 (the driver).
+    pub fn begin_run(&self) {
+        let mut g = lock_inner(self);
+        g.run = RunState::new();
+        g.exp.depth = 0;
+        drop(g);
+        self.register_thread(None);
+    }
+
+    /// Joins every OS thread spawned during the run; returns once the
+    /// model is single-threaded again.
+    pub fn join_run_handles(&self) {
+        loop {
+            let handles = std::mem::take(&mut lock_inner(self).run.handles);
+            if handles.is_empty() {
+                return;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Accounts the finished run and advances the DFS. Returns true when
+    /// exploration must stop (violation, budget, replay done, or space
+    /// exhausted).
+    pub fn end_run(&self) -> bool {
+        let mut g = lock_inner(self);
+        let Inner { run, exp } = &mut *g;
+        exp.stats.max_depth = exp.stats.max_depth.max(run.schedule.len());
+        if run.pruned {
+            exp.stats.pruned += 1;
+        } else if run.truncated {
+            exp.stats.truncated += 1;
+        } else {
+            exp.stats.schedules += 1;
+        }
+        if let Some(v) = run.violation.take() {
+            exp.stats.violation = Some(v);
+            return true;
+        }
+        if exp.replay.is_some() {
+            return true;
+        }
+        let total = exp.stats.schedules + exp.stats.pruned + exp.stats.truncated;
+        if total >= self.config.max_schedules {
+            exp.stats.exhausted = true;
+            return true;
+        }
+        // Backtrack to the deepest choice point with an unexplored option.
+        while let Some(cp) = exp.stack.last_mut() {
+            let explored = cp.options[cp.next];
+            cp.done.insert(explored);
+            cp.next += 1;
+            if cp.next < cp.options.len() {
+                return false;
+            }
+            exp.stack.pop();
+        }
+        true // whole space explored
+    }
+
+    pub fn take_stats(&self) -> ExploreStats {
+        let mut g = lock_inner(self);
+        std::mem::replace(
+            &mut g.exp.stats,
+            ExploreStats {
+                schedules: 0,
+                pruned: 0,
+                truncated: 0,
+                transitions: 0,
+                max_depth: 0,
+                exhausted: false,
+                violation: None,
+            },
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lazily-registered object identity used by the facade types.
+
+/// Holds `id + 1` (0 = unregistered). Objects constructed inside a model
+/// run register eagerly, so ids are deterministic by construction order;
+/// objects constructed outside register on first model use.
+#[derive(Default)]
+pub(crate) struct ObjRef(AtomicUsize);
+
+impl ObjRef {
+    pub fn new() -> ObjRef {
+        ObjRef(AtomicUsize::new(0))
+    }
+
+    pub fn register_eagerly(&self, kind: ObjKind) {
+        if let Some(c) = ctx() {
+            let id = c.rt.register_obj(kind);
+            self.0.store(id + 1, AOrd::Relaxed);
+        }
+    }
+
+    pub fn id(&self, rt: &Runtime, kind: ObjKind) -> ObjId {
+        let v = self.0.load(AOrd::Relaxed);
+        if v != 0 {
+            return v - 1;
+        }
+        let id = rt.register_obj(kind);
+        self.0.store(id + 1, AOrd::Relaxed);
+        id
+    }
+}
+
+impl std::fmt::Debug for ObjRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjRef({})", self.0.load(AOrd::Relaxed))
+    }
+}

@@ -1,0 +1,435 @@
+//! The sync facade: `std::sync` re-exports (feature off) or instrumented
+//! equivalents (feature `race` on).
+//!
+//! Downstream concurrency modules import these types instead of
+//! `std::sync` ones. With the feature off — every production and tier-1
+//! build — the re-exports *are* the `std` types: zero cost, zero
+//! behavioural difference, golden pins bit-identical. With the feature
+//! on, each operation first checks for an active model run on the
+//! current thread: inside a run it becomes a scheduling point tracked by
+//! the explorer; outside it falls back to plain `std` behaviour, so test
+//! binaries that mix model tests with ordinary threaded tests stay
+//! correct.
+
+#[cfg(not(feature = "race"))]
+pub use std::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, TryLockError, TryLockResult, Weak,
+};
+
+#[cfg(not(feature = "race"))]
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+#[cfg(feature = "race")]
+pub use instrumented::{Condvar, Mutex, MutexGuard};
+#[cfg(feature = "race")]
+pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult, Weak};
+
+#[cfg(feature = "race")]
+pub mod atomic {
+    pub use super::instrumented::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+#[cfg(feature = "race")]
+mod instrumented {
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::Ordering;
+    use std::sync::{
+        Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+        PoisonError, TryLockError, TryLockResult,
+    };
+
+    use crate::runtime::{ctx, Ctx, ObjKind, ObjRef};
+
+    // -- atomics ------------------------------------------------------------
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $prim:ty, $std:ty) => {
+            /// Instrumented atomic: the value lives in a real `std`
+            /// atomic (serialized model execution keeps it coherent); the
+            /// *declared* ordering drives the explorer's happens-before
+            /// clocks instead of the hardware.
+            pub struct $name {
+                meta: ObjRef,
+                inner: $std,
+            }
+
+            impl $name {
+                pub fn new(v: $prim) -> $name {
+                    let meta = ObjRef::new();
+                    meta.register_eagerly(ObjKind::Atomic);
+                    $name {
+                        meta,
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                fn obj(&self, c: &Ctx) -> usize {
+                    self.meta.id(&c.rt, ObjKind::Atomic)
+                }
+
+                pub fn load(&self, ord: Ordering) -> $prim {
+                    match ctx() {
+                        None => self.inner.load(ord),
+                        Some(c) => {
+                            let obj = self.obj(&c);
+                            c.rt.atomic_load(c.tid, obj, ord, || self.inner.load(Ordering::SeqCst))
+                        }
+                    }
+                }
+
+                pub fn store(&self, v: $prim, ord: Ordering) {
+                    match ctx() {
+                        None => self.inner.store(v, ord),
+                        Some(c) => {
+                            let obj = self.obj(&c);
+                            c.rt.atomic_store(c.tid, obj, ord, || {
+                                self.inner.store(v, Ordering::SeqCst)
+                            })
+                        }
+                    }
+                }
+
+                pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                    match ctx() {
+                        None => self.inner.swap(v, ord),
+                        Some(c) => {
+                            let obj = self.obj(&c);
+                            c.rt.atomic_rmw(c.tid, obj, ord, None, || {
+                                (self.inner.swap(v, Ordering::SeqCst), true)
+                            })
+                        }
+                    }
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    ok: Ordering,
+                    fail: Ordering,
+                ) -> Result<$prim, $prim> {
+                    match ctx() {
+                        None => self.inner.compare_exchange(cur, new, ok, fail),
+                        Some(c) => {
+                            let obj = self.obj(&c);
+                            c.rt.atomic_rmw(c.tid, obj, ok, Some(fail), || {
+                                let r = self.inner.compare_exchange(
+                                    cur,
+                                    new,
+                                    Ordering::SeqCst,
+                                    Ordering::SeqCst,
+                                );
+                                let success = r.is_ok();
+                                (r, success)
+                            })
+                        }
+                    }
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    ok: Ordering,
+                    fail: Ordering,
+                ) -> Result<$prim, $prim> {
+                    // Spurious failure is a scheduling artefact the
+                    // explorer covers via interleavings; model it as the
+                    // strong variant for determinism.
+                    self.compare_exchange(cur, new, ok, fail)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    // Diagnostic read outside the model: not a
+                    // scheduling point.
+                    write!(
+                        f,
+                        concat!(stringify!($name), "({:?})"),
+                        self.inner.load(Ordering::SeqCst)
+                    )
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> $name {
+                    $name::new(<$prim>::default())
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicBool, bool, std::sync::atomic::AtomicBool);
+    instrumented_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+    instrumented_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+
+    macro_rules! instrumented_fetch {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                    match ctx() {
+                        None => self.inner.fetch_add(v, ord),
+                        Some(c) => {
+                            let obj = self.obj(&c);
+                            c.rt.atomic_rmw(c.tid, obj, ord, None, || {
+                                (self.inner.fetch_add(v, Ordering::SeqCst), true)
+                            })
+                        }
+                    }
+                }
+
+                pub fn fetch_sub(&self, v: $prim, ord: Ordering) -> $prim {
+                    match ctx() {
+                        None => self.inner.fetch_sub(v, ord),
+                        Some(c) => {
+                            let obj = self.obj(&c);
+                            c.rt.atomic_rmw(c.tid, obj, ord, None, || {
+                                (self.inner.fetch_sub(v, Ordering::SeqCst), true)
+                            })
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    instrumented_fetch!(AtomicU64, u64);
+    instrumented_fetch!(AtomicUsize, usize);
+
+    // -- mutex --------------------------------------------------------------
+
+    /// Instrumented mutex. Inside a model run the scheduler *is* the
+    /// exclusion (only one model thread executes at a time and the
+    /// runtime tracks ownership), so the data sits in an `UnsafeCell`
+    /// and lock/unlock are pure scheduling points; outside a run a real
+    /// `std` mutex around unit guards the same cell.
+    pub struct Mutex<T> {
+        meta: ObjRef,
+        fallback: StdMutex<()>,
+        data: UnsafeCell<T>,
+    }
+
+    // Safety: in-model access is serialized by the scheduler's ownership
+    // tracking; out-of-model access is serialized by `fallback`. Mixing
+    // model and non-model threads on one mutex is unsupported (and
+    // cannot happen: model data is created and dropped inside the model
+    // closure).
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        model: Option<Ctx>,
+        std_guard: Option<StdMutexGuard<'a, ()>>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(t: T) -> Mutex<T> {
+            let meta = ObjRef::new();
+            meta.register_eagerly(ObjKind::Mutex);
+            Mutex {
+                meta,
+                fallback: StdMutex::new(()),
+                data: UnsafeCell::new(t),
+            }
+        }
+
+        fn obj(&self, c: &Ctx) -> usize {
+            self.meta.id(&c.rt, ObjKind::Mutex)
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match ctx() {
+                Some(c) => {
+                    let obj = self.obj(&c);
+                    c.rt.mutex_lock(c.tid, obj);
+                    Ok(MutexGuard {
+                        lock: self,
+                        model: Some(c),
+                        std_guard: None,
+                    })
+                }
+                None => match self.fallback.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: self,
+                        model: None,
+                        std_guard: Some(g),
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock: self,
+                        model: None,
+                        std_guard: Some(p.into_inner()),
+                    })),
+                },
+            }
+        }
+
+        pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+            match ctx() {
+                Some(c) => {
+                    let obj = self.obj(&c);
+                    if c.rt.mutex_try_lock(c.tid, obj) {
+                        Ok(MutexGuard {
+                            lock: self,
+                            model: Some(c),
+                            std_guard: None,
+                        })
+                    } else {
+                        Err(TryLockError::WouldBlock)
+                    }
+                }
+                None => match self.fallback.try_lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: self,
+                        model: None,
+                        std_guard: Some(g),
+                    }),
+                    Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                    Err(TryLockError::Poisoned(p)) => {
+                        Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                            lock: self,
+                            model: None,
+                            std_guard: Some(p.into_inner()),
+                        })))
+                    }
+                },
+            }
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            Ok(self.data.into_inner())
+        }
+
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            Ok(self.data.get_mut())
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: guard existence implies exclusion (see Mutex).
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // Safety: as in `deref`.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<'a, T> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            if let Some(c) = self.model.take() {
+                // Unwinding means the run is being torn down (abort or a
+                // reported assertion): scheduling another step here would
+                // panic-within-panic. The run state is discarded anyway.
+                if std::thread::panicking() {
+                    return;
+                }
+                let obj = self.lock.obj(&c);
+                c.rt.mutex_unlock(c.tid, obj);
+            }
+        }
+    }
+
+    // -- condvar ------------------------------------------------------------
+
+    pub struct Condvar {
+        meta: ObjRef,
+        std_cv: StdCondvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Condvar {
+            let meta = ObjRef::new();
+            meta.register_eagerly(ObjKind::Condvar);
+            Condvar {
+                meta,
+                std_cv: StdCondvar::new(),
+            }
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let mut guard = guard;
+            match guard.model.take() {
+                Some(c) => {
+                    let cv = self.meta.id(&c.rt, ObjKind::Condvar);
+                    let mutex = guard.lock.obj(&c);
+                    let lock = guard.lock;
+                    // The runtime releases and reacquires the mutex as
+                    // part of the wait; the guard must not run its
+                    // unlock Drop.
+                    std::mem::forget(guard);
+                    c.rt.cond_wait(c.tid, cv, mutex);
+                    Ok(MutexGuard {
+                        lock,
+                        model: Some(c),
+                        std_guard: None,
+                    })
+                }
+                None => {
+                    let lock = guard.lock;
+                    let sg = guard.std_guard.take().expect("fallback guard without lock");
+                    std::mem::forget(guard);
+                    match self.std_cv.wait(sg) {
+                        Ok(g) => Ok(MutexGuard {
+                            lock,
+                            model: None,
+                            std_guard: Some(g),
+                        }),
+                        Err(p) => Err(PoisonError::new(MutexGuard {
+                            lock,
+                            model: None,
+                            std_guard: Some(p.into_inner()),
+                        })),
+                    }
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            match ctx() {
+                Some(c) => {
+                    let cv = self.meta.id(&c.rt, ObjKind::Condvar);
+                    c.rt.cond_notify(c.tid, cv, false);
+                }
+                None => self.std_cv.notify_one(),
+            }
+        }
+
+        pub fn notify_all(&self) {
+            match ctx() {
+                Some(c) => {
+                    let cv = self.meta.id(&c.rt, ObjKind::Condvar);
+                    c.rt.cond_notify(c.tid, cv, true);
+                }
+                None => self.std_cv.notify_all(),
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Model-thread spawn/join (race feature on).
+//!
+//! Inside a model run, [`spawn`] creates a real OS thread that is
+//! immediately parked by the scheduler and only ever runs when selected;
+//! the spawn edge joins the parent's clock into the child and
+//! [`JoinHandle::join`] joins the child's final clock back, so
+//! spawn/join ordering participates in the happens-before relation.
+//! Outside a model run both fall back to `std::thread`, so scenario code
+//! shared between model tests and ordinary tests keeps working.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::explore::panic_message;
+use crate::runtime::{ctx, set_ctx, AbortToken, Ctx, Tid};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: Tid,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. In a model
+    /// run this is a scheduling point: it blocks (at model time) until
+    /// the target's `Finish` step has been scheduled.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, result } => {
+                let c = ctx().expect("model JoinHandle joined outside its model run");
+                c.rt.join_thread(c.tid, tid);
+                match result.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    // The child panicked: the run is aborting; unwind with
+                    // it rather than fabricate a result.
+                    None => std::panic::panic_any(AbortToken),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a model thread (or a plain `std` thread outside a model run).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(c) = ctx() else {
+        return JoinHandle(Inner::Std(std::thread::spawn(f)));
+    };
+    let tid = c.rt.register_thread(Some(c.tid));
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let rt = Arc::clone(&c.rt);
+    let handle = std::thread::Builder::new()
+        .name(format!("race-model-{tid}"))
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                rt: Arc::clone(&rt),
+                tid,
+            }));
+            let body = catch_unwind(AssertUnwindSafe(|| {
+                if rt.enter(tid) {
+                    let v = f();
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+                    rt.finish(tid);
+                }
+            }));
+            if let Err(payload) = body {
+                if payload.downcast_ref::<AbortToken>().is_none() {
+                    rt.report_assert(panic_message(payload.as_ref()));
+                }
+                rt.finish_abnormal(tid);
+            }
+            set_ctx(None);
+        })
+        .expect("failed to spawn model thread");
+    c.rt.store_handle(handle);
+    JoinHandle(Inner::Model { tid, result })
+}
+
+/// A pure scheduling point: lets the explorer consider running someone
+/// else here. Plain `std::thread::yield_now` outside a model run.
+pub fn yield_now() {
+    match ctx() {
+        Some(c) => c.rt.yield_now(c.tid),
+        None => std::thread::yield_now(),
+    }
+}

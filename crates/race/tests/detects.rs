@@ -1,0 +1,216 @@
+//! Planted-bug detectors: seeded broken primitives modelled on the real
+//! ones in `tempart-lp`, each caught by the explorer with a replayable
+//! schedule string that reproduces the exact failure deterministically.
+//! These are the acceptance tests that the checker actually checks.
+#![cfg(feature = "race")]
+
+use tempart_race::cell::UnsafeCell;
+use tempart_race::explore::{check, replay, Config, Report, ViolationKind};
+use tempart_race::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use tempart_race::sync::{Arc, Mutex};
+use tempart_race::thread;
+
+/// Runs a buggy model, asserts the explorer catches it with the expected
+/// violation kind, then replays the printed schedule and asserts the
+/// identical failure reproduces.
+fn assert_caught_and_replayable(
+    model: impl Fn() + Send + Sync + Clone + 'static,
+    kind: ViolationKind,
+) -> Report {
+    let report = check(Config::full(), model.clone());
+    let v = report
+        .violation
+        .clone()
+        .unwrap_or_else(|| panic!("planted bug not caught: {report:?}"));
+    assert_eq!(v.kind, kind, "wrong violation kind: {v}");
+    assert!(!v.schedule.is_empty(), "violation must carry a schedule");
+    let again = replay(Config::full(), &v.schedule, model);
+    let v2 = again
+        .violation
+        .unwrap_or_else(|| panic!("replay of `{}` did not reproduce", v.schedule));
+    assert_eq!(v2.kind, v.kind, "replay reproduced a different failure");
+    assert_eq!(
+        v2.schedule, v.schedule,
+        "replay must fail at the same schedule point"
+    );
+    report
+}
+
+/// A work deque that drops an item on a specific steal race: `pop`
+/// re-checks a stale length hint after releasing the lock, so a
+/// concurrent steal between the hint read and the re-pop makes the owner
+/// believe the deque is empty while the item it pushed was never handed
+/// to anyone — the model invariant (every pushed item is consumed
+/// exactly once) trips.
+mod buggy_deque {
+    use super::*;
+
+    pub struct LossyDeque {
+        jobs: Mutex<Vec<u32>>,
+        len: AtomicUsize,
+    }
+
+    impl LossyDeque {
+        pub fn new() -> LossyDeque {
+            LossyDeque {
+                jobs: Mutex::new(Vec::new()),
+                len: AtomicUsize::new(0),
+            }
+        }
+
+        pub fn push(&self, v: u32) {
+            let mut g = self.jobs.lock().unwrap();
+            g.push(v);
+            // BUG (planted): the hint is published *before* more work can
+            // be observed, but pop trusts it after dropping the lock.
+            self.len.store(g.len(), Ordering::SeqCst);
+        }
+
+        pub fn pop(&self) -> Option<u32> {
+            // BUG (planted): consult the hint outside the lock, then
+            // blindly trust it. A steal that lands in between makes the
+            // owner drop a real item on the floor.
+            if self.len.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            let mut g = self.jobs.lock().unwrap();
+            let v = g.pop();
+            self.len.store(g.len(), Ordering::SeqCst);
+            // If the thief emptied the deque between the hint read and
+            // the lock, the owner treats "None" as "hint said non-empty,
+            // so the item must have been consumed" — and loses it.
+            v.or(Some(u32::MAX))
+        }
+
+        pub fn steal(&self) -> Option<u32> {
+            let mut g = self.jobs.lock().unwrap();
+            let v = if g.is_empty() {
+                None
+            } else {
+                Some(g.remove(0))
+            };
+            self.len.store(g.len(), Ordering::SeqCst);
+            v
+        }
+    }
+}
+
+#[test]
+fn detects_deque_losing_item_on_steal_race() {
+    use buggy_deque::LossyDeque;
+    let model = || {
+        let d = Arc::new(LossyDeque::new());
+        d.push(7);
+        let thief = {
+            let d = Arc::clone(&d);
+            thread::spawn(move || d.steal())
+        };
+        let mine = d.pop();
+        let stolen = thief.join().unwrap();
+        let got: Vec<u32> = [mine, stolen].into_iter().flatten().collect();
+        assert_eq!(got, vec![7], "item 7 must be consumed exactly once");
+    };
+    let report = assert_caught_and_replayable(model, ViolationKind::Assert);
+    assert!(report.schedules >= 1);
+}
+
+/// A seqlock with `Relaxed` claim/publication, shaped like the real
+/// `IncumbentCell`: writers claim the sequence word with a CAS
+/// (even → odd), write the payload cell, then publish (odd → even).
+/// With `Relaxed` orderings the second writer's successful claim does
+/// not *acquire* the first writer's publication, so there is no
+/// happens-before edge between their payload writes — the tracked
+/// `UnsafeCell` access trips the data-race detector. The real cell
+/// avoids exactly this with its `AcqRel` claim / `Release` publish.
+mod seqlock {
+    use super::*;
+
+    pub struct Seqlock {
+        pub seq: AtomicU64,
+        pub slot: UnsafeCell<(f64, u64)>,
+    }
+
+    // The whole point: the seqlock claims to synchronise its own payload.
+    unsafe impl Sync for Seqlock {}
+
+    impl Seqlock {
+        pub fn new() -> Seqlock {
+            Seqlock {
+                seq: AtomicU64::new(0),
+                slot: UnsafeCell::new((f64::INFINITY, 0)),
+            }
+        }
+
+        /// One write attempt; bails (false) when another writer holds or
+        /// steals the claim. `claim`/`publish` are the orderings under
+        /// test.
+        pub fn write(&self, obj: f64, tag: u64, claim: Ordering, publish: Ordering) -> bool {
+            let s = self.seq.load(Ordering::Relaxed);
+            if s % 2 != 0 {
+                return false;
+            }
+            if self
+                .seq
+                .compare_exchange(s, s + 1, claim, Ordering::Relaxed)
+                .is_err()
+            {
+                return false;
+            }
+            unsafe { *self.slot.get() = (obj, tag) };
+            self.seq.store(s + 2, publish);
+            true
+        }
+    }
+}
+
+fn seqlock_model(claim: Ordering, publish: Ordering) -> impl Fn() + Send + Sync + Clone + 'static {
+    use seqlock::Seqlock;
+    move || {
+        let mut cell = Arc::new(Seqlock::new());
+        let writers: Vec<_> = [(10.0, 1), (13.0, 2)]
+            .into_iter()
+            .map(|(obj, tag)| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || cell.write(obj, tag, claim, publish))
+            })
+            .collect();
+        let wrote: Vec<bool> = writers.into_iter().map(|t| t.join().unwrap()).collect();
+        // Exclusive post-join view: no concurrency left to race with.
+        let cell = Arc::get_mut(&mut cell).expect("writers have exited");
+        let seq = cell.seq.load(Ordering::Relaxed);
+        let (obj, tag) = *cell.slot.get_mut();
+        let succeeded = wrote.iter().filter(|&&w| w).count() as u64;
+        assert_eq!(seq, 2 * succeeded, "claims must balance publications");
+        if succeeded > 0 {
+            assert!(
+                (obj, tag) == (10.0, 1) || (obj, tag) == (13.0, 2),
+                "torn or phantom payload: ({obj}, {tag})"
+            );
+        }
+    }
+}
+
+#[test]
+fn detects_seqlock_with_relaxed_publication() {
+    assert_caught_and_replayable(
+        seqlock_model(Ordering::Relaxed, Ordering::Relaxed),
+        ViolationKind::DataRace,
+    );
+}
+
+/// The fixed variant — the real `IncumbentCell` protocol (`AcqRel`
+/// claim, `Release` publish) — passes the identical scenario,
+/// establishing that the detector reacts to the bug, not the shape.
+#[test]
+fn fixed_seqlock_acqrel_claim_release_publish_is_clean() {
+    let report = check(
+        Config::full(),
+        seqlock_model(Ordering::AcqRel, Ordering::Release),
+    );
+    assert!(
+        report.violation.is_none(),
+        "correct seqlock flagged: {:?}",
+        report.violation
+    );
+    assert!(report.schedules > 1, "both claim orders explored");
+}

@@ -1,0 +1,205 @@
+//! Explorer self-tests: scheduling soundness, completeness on tiny
+//! models, pruning accounting, deadlock detection, replay determinism.
+#![cfg(feature = "race")]
+
+use std::sync::atomic::{AtomicUsize as PlainUsize, Ordering as POrd};
+
+use tempart_race::explore::{check, check_ok, replay, Config, ViolationKind};
+use tempart_race::sync::atomic::{AtomicUsize, Ordering};
+use tempart_race::sync::{Arc, Condvar, Mutex};
+use tempart_race::thread;
+
+#[test]
+fn single_thread_runs_once() {
+    let report = check_ok(Config::full(), || {
+        let a = AtomicUsize::new(0);
+        a.store(3, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 3);
+    });
+    assert_eq!(report.schedules, 1, "no concurrency, no branching");
+    assert!(!report.exhausted);
+}
+
+#[test]
+fn lost_update_is_found_and_replayable() {
+    // Classic racy increment via load+store: some schedule loses one.
+    let model = || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let a = Arc::clone(&a);
+            thread::spawn(move || {
+                let v = a.load(Ordering::Relaxed);
+                a.store(v + 1, Ordering::Relaxed);
+            })
+        };
+        let v = a.load(Ordering::Relaxed);
+        a.store(v + 1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::Relaxed), 2, "lost update");
+    };
+    let report = check(Config::full(), model);
+    let v = report
+        .violation
+        .expect("explorer must find the lost update");
+    assert_eq!(v.kind, ViolationKind::Assert);
+    // The printed schedule reproduces the same failure deterministically.
+    let again = replay(Config::full(), &v.schedule, model);
+    let v2 = again.violation.expect("replay reproduces");
+    assert_eq!(v2.kind, ViolationKind::Assert);
+    assert_eq!(v2.schedule, v.schedule);
+}
+
+#[test]
+fn atomic_increments_never_lose() {
+    check_ok(Config::full(), || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let a = Arc::clone(&a);
+            thread::spawn(move || {
+                a.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        a.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::Relaxed), 2);
+    });
+}
+
+#[test]
+fn mutex_excludes_and_orders() {
+    check_ok(Config::full(), || {
+        let m = Arc::new(Mutex::new(0u32));
+        let t = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                let mut g = m.lock().unwrap();
+                *g += 1;
+            })
+        };
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn deadlock_is_detected() {
+    // A waiter with no notifier in sight: every schedule deadlocks.
+    let report = check(Config::full(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = pair.0.lock().unwrap();
+        let mut g = g;
+        while !*g {
+            g = pair.1.wait(g).unwrap();
+        }
+    });
+    let v = report.violation.expect("deadlock must be reported");
+    assert_eq!(v.kind, ViolationKind::Deadlock);
+}
+
+#[test]
+fn condvar_handoff_terminates_under_full_dpor() {
+    let report = check_ok(Config::full(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let t = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let mut g = pair.0.lock().unwrap();
+                *g = true;
+                drop(g);
+                pair.1.notify_one();
+            })
+        };
+        let mut g = pair.0.lock().unwrap();
+        while !*g {
+            g = pair.1.wait(g).unwrap();
+        }
+        drop(g);
+        t.join().unwrap();
+    });
+    assert!(report.schedules >= 2, "both wait/no-wait paths covered");
+}
+
+#[test]
+fn sleep_sets_prune_independent_interleavings() {
+    // Two threads on two unrelated atomics: every interleaving is
+    // equivalent, so full DPOR should prune most of the tree.
+    let report = check_ok(Config::full(), || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+            a2.store(2, Ordering::Relaxed);
+        });
+        b.store(1, Ordering::Relaxed);
+        b.store(2, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::Relaxed), 2);
+    });
+    assert!(
+        report.pruned > 0,
+        "independent ops must produce sleep-set prunes, got {report:?}"
+    );
+}
+
+#[test]
+fn bounded_mode_covers_fewer_schedules_than_full() {
+    let model = |counter: Arc<PlainUsize>| {
+        move || {
+            counter.fetch_add(1, POrd::SeqCst);
+            let a = Arc::new(AtomicUsize::new(0));
+            let mut ts = Vec::new();
+            for _ in 0..2 {
+                let a = Arc::clone(&a);
+                ts.push(thread::spawn(move || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    a.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            for t in ts {
+                t.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 4);
+        }
+    };
+    let full_runs = Arc::new(PlainUsize::new(0));
+    let full = check_ok(Config::full(), model(Arc::clone(&full_runs)));
+    let bounded_runs = Arc::new(PlainUsize::new(0));
+    let bounded = check_ok(Config::bounded(1), model(Arc::clone(&bounded_runs)));
+    assert!(!full.exhausted && !bounded.exhausted);
+    assert!(
+        bounded.schedules < full.schedules + full.pruned,
+        "bounded tier must be cheaper: bounded={} full={}+{}",
+        bounded.schedules,
+        full.schedules,
+        full.pruned
+    );
+    assert_eq!(full.schedules + full.pruned, full_runs.load(POrd::SeqCst));
+}
+
+#[test]
+fn budget_exhaustion_is_reported_not_hung() {
+    let cfg = Config {
+        max_schedules: 3,
+        ..Config::full()
+    };
+    let report = check(cfg, || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let mut ts = Vec::new();
+        for _ in 0..3 {
+            let a = Arc::clone(&a);
+            ts.push(thread::spawn(move || {
+                a.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for t in ts {
+            t.join().unwrap();
+        }
+    });
+    assert!(report.exhausted, "tiny budget must exhaust: {report:?}");
+    assert!(report.violation.is_none());
+}

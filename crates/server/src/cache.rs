@@ -9,7 +9,7 @@
 //! cold solve and is evicted, and can never produce a wrong answer.
 
 use crate::lock;
-use std::sync::Mutex;
+use tempart_race::sync::Mutex;
 
 /// One cached warm start.
 #[derive(Debug, Clone)]

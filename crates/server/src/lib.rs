@@ -48,11 +48,16 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+
+// Sync primitives come from the facade: `std::sync` re-exports in every
+// normal build, instrumented shims when the `race-model` feature hands
+// the queue to the model checker (see `race_models`).
 use std::thread;
 use std::time::Instant;
+use tempart_race::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tempart_race::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use tempart_cli::proto::{self, Response, SolveParams};
 use tempart_cli::SpecFile;
@@ -61,6 +66,8 @@ use tempart_lp::{Branching, Budget, FaultPlan, FaultSite, Progress};
 mod cache;
 mod conn;
 mod queue;
+#[cfg(feature = "race-model")]
+pub mod race_models;
 mod stats;
 mod worker;
 
@@ -129,7 +136,14 @@ pub(crate) struct Inner {
     pub(crate) queue: JobQueue,
     pub(crate) cache: WarmCache,
     pub(crate) stats: Stats,
+    // hb: seqcst-rmw -> seqcst-load (draining) — the drain latch must be
+    // totally ordered against every admission check: once `begin_drain`'s
+    // claim-once swap lands, admission's load and `register`'s re-check
+    // cannot both miss it, so no budget escapes the drain sweep (model:
+    // `race_models::drain_refuses_admission`).
     pub(crate) draining: AtomicBool,
+    // hb: relaxed-rmw (next_job) — a pure unique-id ticket: each admission
+    // needs a distinct number, nothing is published through it.
     next_job: AtomicU64,
     /// Budgets of every admitted-but-not-terminal job, so `begin_drain`
     /// can cooperatively stop them all.

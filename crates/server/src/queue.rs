@@ -9,12 +9,13 @@
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use tempart_cli::proto::{Response, SolveParams};
 use tempart_cli::SpecFile;
 use tempart_lp::{Branching, Budget, Progress};
+use tempart_race::sync::{Condvar, Mutex};
 
 use crate::{lock, wait};
 
@@ -49,21 +50,25 @@ pub(crate) struct Job {
     pub branching: Branching,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
+struct QueueState<T> {
+    jobs: VecDeque<T>,
     closed: bool,
 }
 
 /// The bounded queue. One mutex, one condvar; never held across any other
 /// lock acquisition.
-pub(crate) struct JobQueue {
+///
+/// Generic over the payload so the `race_models` scenarios can drive the
+/// exact production drain/requeue logic with small integer jobs; the
+/// service instantiates it as `JobQueue<Job>` (the default).
+pub(crate) struct JobQueue<T = Job> {
     // lock-order: 1
-    state: Mutex<QueueState>,
+    state: Mutex<QueueState<T>>,
     ready: Condvar,
 }
 
-impl JobQueue {
-    pub fn new() -> JobQueue {
+impl<T> JobQueue<T> {
+    pub fn new() -> JobQueue<T> {
         JobQueue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -78,7 +83,7 @@ impl JobQueue {
     // response can reuse it — a move of an already-owned value, not the
     // per-call copy cost the lint guards against.
     #[allow(clippy::result_large_err)]
-    pub fn try_push(&self, job: Job, capacity: usize) -> Result<(), Job> {
+    pub fn try_push(&self, job: T, capacity: usize) -> Result<(), T> {
         let mut g = lock(&self.state);
         if g.closed || g.jobs.len() >= capacity {
             return Err(job);
@@ -92,7 +97,7 @@ impl JobQueue {
     /// Requeue push for an already-admitted job: always succeeds (even
     /// mid-drain — the job still owes its client a terminal status) and
     /// jumps the line.
-    pub fn push_front(&self, job: Job) {
+    pub fn push_front(&self, job: T) {
         let mut g = lock(&self.state);
         g.jobs.push_front(job);
         drop(g);
@@ -101,7 +106,7 @@ impl JobQueue {
 
     /// Blocks for the next job; `None` once the queue is closed and empty
     /// (a closed queue still drains its backlog first).
-    pub fn pop(&self) -> Option<Job> {
+    pub fn pop(&self) -> Option<T> {
         let mut g = lock(&self.state);
         loop {
             if let Some(job) = g.jobs.pop_front() {
@@ -124,7 +129,7 @@ impl JobQueue {
     }
 
     /// Current backlog depth.
-    #[cfg(test)]
+    #[cfg(any(test, feature = "race-model"))]
     pub fn depth(&self) -> usize {
         lock(&self.state).jobs.len()
     }

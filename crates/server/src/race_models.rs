@@ -1,0 +1,125 @@
+//! Model-checked scenarios over the service's queue and ledger.
+//!
+//! Compiled only under the `race-model` feature. Each scenario closes a
+//! small model around the production [`JobQueue`] (instantiated with
+//! integer payloads — the drain/requeue logic is payload-agnostic) and
+//! the real [`Stats`] ledger, then hands it to the `tempart-race`
+//! explorer. The headline invariant is the service's **zero-orphan
+//! ledger**: every accepted job reaches exactly one terminal status, so
+//! `StatsSnapshot::orphaned() == 0` after a drain — in *every*
+//! interleaving, not just the ones the chaos suite happened to hit.
+
+use tempart_race::explore::{check, Config, Report};
+use tempart_race::sync::atomic::{AtomicBool, Ordering};
+use tempart_race::sync::Arc;
+use tempart_race::thread;
+
+use crate::queue::JobQueue;
+use crate::stats::Stats;
+
+/// The panic-recovery requeue racing a graceful drain: a worker pops the
+/// only job, "crashes", and requeues it with [`JobQueue::push_front`]
+/// while another thread closes the queue. `push_front` deliberately
+/// bypasses the closed check — the job was already admitted and still
+/// owes its client a terminal status — so no interleaving may orphan it:
+/// the worker must be able to re-pop and complete it even when the close
+/// lands between the crash and the requeue, and its final blocking `pop`
+/// must return `None` (the close's wakeup cannot be lost).
+pub fn requeue_drain_no_orphans(cfg: Config) -> Report {
+    check(cfg, || {
+        let q = Arc::new(JobQueue::<u32>::new());
+        let stats = Arc::new(Stats::default());
+        stats.note_accepted();
+        q.try_push(1u32, 4).expect("open queue admits");
+
+        let worker = {
+            let q = Arc::clone(&q);
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || {
+                let mut crashed_once = false;
+                while let Some(job) = q.pop() {
+                    if !crashed_once {
+                        // Caught worker panic: requeue the admitted job.
+                        crashed_once = true;
+                        stats.note_panic();
+                        stats.note_requeue();
+                        q.push_front(job);
+                        continue;
+                    }
+                    stats.note_completed();
+                }
+            })
+        };
+        let drainer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.close())
+        };
+        worker.join().unwrap();
+        drainer.join().unwrap();
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.orphaned(), 0, "requeued job reached a terminal status");
+        assert_eq!(snap.requeues, 1, "the crash requeued exactly once");
+        assert_eq!(q.pop(), None, "closed queue drained");
+    })
+}
+
+/// Admission racing `begin_drain`'s latch: the admitter checks the
+/// `draining` flag and then pushes; the drainer swaps the flag and closes
+/// the queue. Whatever the interleaving, the outcome must be truthful —
+/// either the job is accepted *and* drained to a terminal status, or it
+/// is shed; it can never be accepted into a queue nobody will ever pop
+/// again. This is the model cited by the `seqcst` declaration on
+/// `Inner::draining`.
+// hb: seqcst-load -> seqcst-rmw (draining) — the model's copy of
+// `Inner::draining`, at the same strength as production.
+pub fn drain_refuses_admission(cfg: Config) -> Report {
+    check(cfg, || {
+        let q = Arc::new(JobQueue::<u32>::new());
+        let stats = Arc::new(Stats::default());
+        let draining = Arc::new(AtomicBool::new(false));
+
+        let admitter = {
+            let q = Arc::clone(&q);
+            let stats = Arc::clone(&stats);
+            let draining = Arc::clone(&draining);
+            thread::spawn(move || {
+                // The admission dance from `Inner::admit`, reduced to the
+                // queue-visible steps: flag check, then bounded push.
+                if draining.load(Ordering::SeqCst) {
+                    stats.note_rejected();
+                    return;
+                }
+                match q.try_push(7u32, 4) {
+                    Ok(()) => stats.note_accepted(),
+                    Err(_) => stats.note_shed(),
+                }
+            })
+        };
+        let drainer = {
+            let q = Arc::clone(&q);
+            let stats = Arc::clone(&stats);
+            let draining = Arc::clone(&draining);
+            thread::spawn(move || {
+                if !draining.swap(true, Ordering::SeqCst) {
+                    q.close();
+                }
+                // The worker pool drains the backlog after the close.
+                while q.pop().is_some() {
+                    stats.note_completed();
+                }
+            })
+        };
+        admitter.join().unwrap();
+        drainer.join().unwrap();
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.orphaned(), 0, "accepted implies drained");
+        assert_eq!(
+            snap.accepted + snap.rejected + snap.shed,
+            1,
+            "exactly one truthful admission outcome"
+        );
+        assert_eq!(q.depth(), 0, "nothing left stranded in the queue");
+    })
+}

@@ -1,0 +1,40 @@
+//! Model-checker verification of the service queue (feature-gated).
+//!
+//! Runs the `race_models` scenarios under the tier selected by
+//! `Config::ci_default()`: preemption-bounded by default (the CI smoke
+//! job), full DPOR when `TEMPART_RACE_FULL=1` (the nightly job). These
+//! are the exhaustive counterparts of the chaos suite's probabilistic
+//! orphan checks: `truncated == 0` plus a clean verdict means *no
+//! interleaving in the explored tier* can orphan an admitted job.
+#![cfg(feature = "race-model")]
+
+use tempart_race::explore::{Config, Report};
+use tempart_server::race_models;
+
+fn assert_clean(name: &str, report: &Report) {
+    assert!(
+        report.violation.is_none(),
+        "{name}: violation found: {}",
+        report.violation.as_ref().unwrap()
+    );
+    assert_eq!(
+        report.truncated, 0,
+        "{name}: step-cap truncation: {report:?}"
+    );
+    assert!(!report.exhausted, "{name}: schedule budget exhausted");
+    assert!(report.schedules >= 1, "{name}: nothing explored");
+}
+
+#[test]
+fn requeue_drain_no_orphans_all_interleavings() {
+    let r = race_models::requeue_drain_no_orphans(Config::ci_default());
+    assert_clean("requeue_drain_no_orphans", &r);
+    assert!(r.schedules > 1, "requeue/close races must branch: {r:?}");
+}
+
+#[test]
+fn drain_refuses_admission_all_interleavings() {
+    let r = race_models::drain_refuses_admission(Config::ci_default());
+    assert_clean("drain_refuses_admission", &r);
+    assert!(r.schedules > 1, "admit/drain races must branch: {r:?}");
+}

@@ -43,6 +43,11 @@ if grep -q '"pass": false' BENCH_service.json; then
   exit 1
 fi
 
+echo "== race: model checker smoke (bounded tier; planted bugs + core models) =="
+cargo test -q -p tempart-race --features race
+cargo test -q -p tempart-lp --features race-model --test race_models
+cargo test -q -p tempart-server --features race-model --test race_queue
+
 echo "== audit: workspace lints (deny unsuppressed) =="
 cargo run --release -p tempart-audit -- lint --deny
 
