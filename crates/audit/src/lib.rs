@@ -11,9 +11,9 @@
 //!
 //! | lint | scope | invariant |
 //! |------|-------|-----------|
-//! | `no-panic` | `crates/lp/src`, `crates/core/src` | no `unwrap`/`expect`/`panic!`/`todo!` in non-test code |
+//! | `no-panic` | `crates/lp/src`, `crates/core/src`, `crates/graph/src/scale.rs` | no `unwrap`/`expect`/`panic!`/`todo!` in non-test code |
 //! | `float-eq` | `crates/lp/src`, `crates/core/src` | no exact float `==`/`!=` outside `crates/lp/src/tol.rs` |
-//! | `nondet` | `crates/lp/src` except `faults.rs`, `profile.rs` | no `Instant::now`/`SystemTime`/`HashMap` in solver decision paths |
+//! | `nondet` | `crates/lp/src` except `faults.rs`, `profile.rs`; `crates/graph/src/scale.rs` | no `Instant::now`/`SystemTime`/`HashMap` in solver decision paths |
 //! | `lock-order` | `crates/lp/src/{parallel,worksteal,portfolio,pseudocost}.rs` | `lock(…)` acquisitions follow the `// lock-order: N` declarations |
 //! | `atomic-ordering` | `crates/{lp,server,cli}/src` (bins included) | every atomic `Ordering` site matches a file-scoped `// hb:` declaration |
 //!
@@ -69,10 +69,16 @@ pub fn lints_for_path(path: &str) -> FileLints {
     // so the no-panic bar cannot apply to them. They still carry the
     // atomic-ordering contract.
     let model_harness = path.ends_with("/race_models.rs");
+    // The scaled-instance generator underwrites the kernel benchmark's
+    // reproducibility claim ("same (graph, k), same instance on every
+    // host"), so it holds the solver's determinism bar — no clocks, no
+    // hash-order iteration, no RNG-adjacent types — and the no-panic bar
+    // (it feeds Result-returning builders).
+    let in_scale = path == "crates/graph/src/scale.rs";
     FileLints {
-        no_panic: (in_lp || in_core || in_server || in_cli_json) && !model_harness,
+        no_panic: (in_lp || in_core || in_server || in_cli_json || in_scale) && !model_harness,
         float_eq: (in_lp || in_core || in_server) && path != "crates/lp/src/tol.rs",
-        nondet: in_lp && !nondet_exempt,
+        nondet: (in_lp && !nondet_exempt) || in_scale,
         lock_order: matches!(
             path,
             "crates/lp/src/parallel.rs"
@@ -181,6 +187,21 @@ mod tests {
         assert!(cuts.no_panic && cuts.float_eq && cuts.nondet && !cuts.lock_order);
         let prop = lints_for_path("crates/lp/src/propagate.rs");
         assert!(prop.no_panic && prop.float_eq && prop.nondet && !prop.lock_order);
+        let ft = lints_for_path("crates/lp/src/ft.rs");
+        assert!(
+            ft.no_panic && ft.float_eq && ft.nondet && !ft.lock_order,
+            "the Forrest–Tomlin kernel holds every solver bar"
+        );
+        let scale = lints_for_path("crates/graph/src/scale.rs");
+        assert!(
+            scale.no_panic && scale.nondet && !scale.float_eq && !scale.lock_order,
+            "the scaled-instance generator holds the determinism and panic bars"
+        );
+        let graph_other = lints_for_path("crates/graph/src/builder.rs");
+        assert!(
+            !(graph_other.no_panic || graph_other.nondet),
+            "the rest of the graph crate stays out of scope"
+        );
 
         let core = lints_for_path("crates/core/src/model.rs");
         assert!(core.no_panic && core.float_eq && !core.nondet);

@@ -12,8 +12,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tempart_core::Instance;
 use tempart_graph::{
-    Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, GraphError, OpKind, TaskGraph,
-    TaskGraphBuilder,
+    scale_task_graph, Bandwidth, ComponentLibrary, FpgaDevice, FunctionGenerators, GraphError,
+    OpKind, TaskGraph, TaskGraphBuilder,
 };
 
 /// Shape parameters of a generated specification.
@@ -202,6 +202,33 @@ pub fn date98_instance(
     Instance::new(graph, fus, device)
 }
 
+/// Builds the scaled-tier instance: paper graph `no` replicated and chained
+/// `scale` times ([`tempart_graph::scale_task_graph`]) under the same
+/// `A+M+S` exploration set. Deterministic — same `(no, scale)`, same
+/// instance — so kernel-benchmark rows are reproducible across hosts.
+///
+/// # Errors
+///
+/// Propagates library/coverage and graph-construction errors (cannot happen
+/// for the built-in graphs and positive counts).
+pub fn date98_scaled_instance(
+    no: usize,
+    scale: usize,
+    adders: u32,
+    multipliers: u32,
+    subtracters: u32,
+    device: FpgaDevice,
+) -> Result<Instance, GraphError> {
+    let graph = scale_task_graph(&paper_graph(no), scale)?;
+    let lib = ComponentLibrary::date98_default();
+    let fus = lib.exploration_set(&[
+        ("add16", adders),
+        ("mul8", multipliers),
+        ("sub16", subtracters),
+    ])?;
+    Instance::new(graph, fus, device)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +293,21 @@ mod tests {
     #[should_panic(expected = "graphs 1..=6")]
     fn out_of_range_graph_panics() {
         let _ = paper_graph(7);
+    }
+
+    #[test]
+    fn scaled_instance_replicates_the_paper_graph() {
+        let inst = date98_scaled_instance(1, 4, 2, 2, 1, date98_device()).unwrap();
+        assert_eq!(inst.graph().num_tasks(), 4 * 5);
+        assert_eq!(inst.graph().num_ops(), 4 * 22);
+        assert_eq!(inst.fus().num_instances(), 5);
+        inst.graph().validate().unwrap();
+        // The ≥500-op kernel tier exists at scale 23 of graph 1.
+        let big = date98_scaled_instance(1, 23, 2, 2, 1, date98_device()).unwrap();
+        assert!(
+            big.graph().num_ops() >= 500,
+            "{} ops",
+            big.graph().num_ops()
+        );
     }
 }

@@ -19,5 +19,5 @@ pub mod kernels;
 pub mod report;
 pub mod runner;
 
-pub use graphs::{date98_device, date98_instance, paper_graph, GraphSpec};
+pub use graphs::{date98_device, date98_instance, date98_scaled_instance, paper_graph, GraphSpec};
 pub use runner::{run_row, ExperimentRow, RowConfig};

@@ -88,6 +88,7 @@ mod tests {
             l: 1,
             vars: 230,
             consts: 656,
+            nnz: 2816,
             seconds: 8.96,
             timed_out: false,
             feasible: Some(true),

@@ -4,9 +4,11 @@ use std::time::Instant;
 
 use tempart_core::{CoreError, IlpModel, ModelConfig, RuleKind, SolveOptions};
 use tempart_graph::FpgaDevice;
-use tempart_lp::{Branching, MipOptions, MipStats, MipStatus, Pricing};
+use tempart_lp::{
+    BasisUpdate, Branching, MipOptions, MipStats, MipStatus, Pricing, RefactorSchedule,
+};
 
-use crate::graphs::{date98_instance, paper_graph_size};
+use crate::graphs::{date98_instance, date98_scaled_instance};
 
 /// Configuration of one experiment row.
 #[derive(Debug, Clone)]
@@ -55,6 +57,18 @@ pub struct RowConfig {
     /// Variable-selection engine: the static rule (pinned default) or
     /// pseudo-cost branching with reliability initialization.
     pub branching: Branching,
+    /// Simplex basis-maintenance kernel. The faithful table reproductions
+    /// run the pinned legacy eta file; the `kernel` experiment sweeps the
+    /// Forrest–Tomlin representations.
+    pub basis_update: BasisUpdate,
+    /// Refactorization schedule (fixed legacy interval or the dynamic
+    /// fill-in/stability trigger); swept by the `kernel` experiment.
+    pub refactor: RefactorSchedule,
+    /// Instance replication factor: `1` solves the paper graph itself, `k >
+    /// 1` the deterministic replicate-and-chain scaled instance
+    /// ([`date98_scaled_instance`]) — the kernel tier where basis
+    /// maintenance dominates.
+    pub scale: usize,
 }
 
 /// Result of one experiment row, mirroring the paper's table columns.
@@ -76,6 +90,9 @@ pub struct ExperimentRow {
     pub vars: usize,
     /// Constraint count (paper column `Const`).
     pub consts: usize,
+    /// Constraint-matrix nonzeros — the size axis the kernel study's
+    /// per-iteration costs scale with.
+    pub nnz: usize,
     /// Wall-clock seconds for the solve.
     pub seconds: f64,
     /// Whether the time limit cut the run short.
@@ -148,9 +165,19 @@ impl ExperimentRow {
 /// error (reported via [`ExperimentRow::timed_out`]).
 pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
     let (a, m, s) = cfg.ams;
-    let instance = date98_instance(cfg.graph_no, a, m, s, cfg.device.clone())?;
+    let instance = if cfg.scale > 1 {
+        date98_scaled_instance(cfg.graph_no, cfg.scale, a, m, s, cfg.device.clone())?
+    } else {
+        date98_instance(cfg.graph_no, a, m, s, cfg.device.clone())?
+    };
+    let (tasks, opers) = (instance.graph().num_tasks(), instance.graph().num_ops());
     let model = IlpModel::build(instance, cfg.config.clone())?;
     let stats = model.stats().clone();
+    let nnz = model
+        .problem()
+        .rows_for_export()
+        .map(|r| r.coeffs.len())
+        .sum();
     let mut mip = MipOptions {
         time_limit_secs: cfg.time_limit_secs,
         threads: cfg.threads,
@@ -163,6 +190,8 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
     };
     mip.lp.pricing = cfg.pricing;
     mip.lp.profile = cfg.profile;
+    mip.lp.basis_update = cfg.basis_update;
+    mip.lp.refactor = cfg.refactor;
     let started = Instant::now();
     let out = model.solve(&SolveOptions {
         mip,
@@ -188,7 +217,6 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
         ),
     };
     let partitions_used = out.solution.as_ref().map(|s| s.partitions_used());
-    let (tasks, opers) = paper_graph_size(cfg.graph_no);
     Ok(ExperimentRow {
         graph_no: cfg.graph_no,
         tasks,
@@ -198,6 +226,7 @@ pub fn run_row(cfg: &RowConfig) -> Result<ExperimentRow, CoreError> {
         l: cfg.config.latency_relaxation,
         vars: stats.num_vars,
         consts: stats.num_constraints,
+        nnz,
         seconds,
         timed_out,
         feasible,
@@ -236,6 +265,9 @@ mod tests {
             rins: false,
             propagate: false,
             branching: Branching::Rule,
+            basis_update: BasisUpdate::Eta,
+            refactor: RefactorSchedule::Fixed,
+            scale: 1,
         })
         .unwrap();
         assert_eq!(row.tasks, 5);

@@ -4,11 +4,12 @@
 //! tempart solve <spec.json> [--partitions N] [--latency L] [--time-limit SECS]
 //!               [--node-limit N] [--threads T] [--portfolio]
 //!               [--pricing dantzig|devex|bland]
+//!               [--basis-update eta|ft|ft-markowitz] [--refactor fixed|dynamic]
 //!               [--cuts] [--rins] [--propagate] [--branching rule|pseudocost]
-//!               [--faults PLAN] [--stats] [--certify] [--json]
+//!               [--scale K] [--faults PLAN] [--stats] [--certify] [--json]
 //! tempart estimate <spec.json>
 //! tempart simulate <spec.json> [--partitions N] [--latency L] [--threads T]
-//! tempart dot <spec.json>
+//! tempart dot <spec.json> [--scale K]
 //! tempart export <spec.json> [--partitions N] [--latency L] [--format lp|mps]
 //! tempart example
 //! ```
@@ -50,6 +51,19 @@
 //! optimum. `--stats` enables the solver profiling layer and prints a
 //! per-phase simplex time/count breakdown after the solve.
 //!
+//! `--basis-update` selects the simplex basis-maintenance kernel (`eta` is
+//! the pinned legacy product-form eta file, `ft` Forrest–Tomlin updates
+//! applied directly to the `U` factor, `ft-markowitz` the same updates over
+//! a Markowitz-ordered refactorization) and `--refactor` the
+//! refactorization schedule (`fixed` legacy interval or the `dynamic`
+//! fill-in/stability trigger); every combination proves the same optimum.
+//!
+//! `--scale K` replicates the specification's task graph `K` times,
+//! chaining each copy's sink tasks to the next copy's sources
+//! (deterministic — no randomness), before solving. This grows a small
+//! specification into a kernel-sized stress instance; see the `kernel`
+//! bench experiment.
+//!
 //! The scale layer is opt-in and off by default (the defaults preserve the
 //! pinned node counts bit for bit): `--cuts` runs root cover/clique cut
 //! separation (cut-and-branch), `--propagate` turns on node bound
@@ -77,9 +91,11 @@ use tempart_core::{
     IlpModel, ModelConfig, PartitionerOptions, RuleKind, SolutionSource, SolveOptions,
     TemporalPartitioner,
 };
-use tempart_graph::task_graph_to_dot;
+use tempart_graph::{scale_task_graph, task_graph_to_dot};
 use tempart_hls::{estimate_partitions, render_gantt, Mobility};
-use tempart_lp::{Branching, FaultPlan, MipOptions, MipStatus, Pricing};
+use tempart_lp::{
+    BasisUpdate, Branching, FaultPlan, MipOptions, MipStatus, Pricing, RefactorSchedule,
+};
 use tempart_sim::execute;
 
 /// Graceful Ctrl-C (`solve`/`simulate` only): the first SIGINT trips the
@@ -154,6 +170,9 @@ struct Args {
     rins: bool,
     propagate: bool,
     branching: Branching,
+    basis_update: BasisUpdate,
+    refactor: RefactorSchedule,
+    scale: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -178,6 +197,9 @@ fn parse_args() -> Result<Args, String> {
         rins: false,
         propagate: false,
         branching: Branching::default(),
+        basis_update: BasisUpdate::default(),
+        refactor: RefactorSchedule::default(),
+        scale: 1,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -239,6 +261,27 @@ fn parse_args() -> Result<Args, String> {
                     .as_deref()
                     .and_then(Branching::parse)
                     .ok_or("--branching takes rule or pseudocost")?
+            }
+            "--basis-update" => {
+                args.basis_update = it
+                    .next()
+                    .as_deref()
+                    .and_then(BasisUpdate::parse)
+                    .ok_or("--basis-update takes eta, ft, or ft-markowitz")?
+            }
+            "--refactor" => {
+                args.refactor = it
+                    .next()
+                    .as_deref()
+                    .and_then(RefactorSchedule::parse)
+                    .ok_or("--refactor takes fixed or dynamic")?
+            }
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .ok_or("--scale takes a replication factor >= 1")?
             }
             other if args.spec_path.is_none() && !other.starts_with('-') => {
                 args.spec_path = Some(other.to_string())
@@ -336,6 +379,20 @@ fn load(path: &Option<String>) -> Result<SpecFile, String> {
     SpecFile::from_json(&text).map_err(|e| e.to_string())
 }
 
+/// Applies `--scale K`: replicate-and-chain the instance's task graph `K`
+/// times (deterministic; `K = 1` is the identity).
+fn apply_scale(
+    inst: tempart_core::Instance,
+    scale: usize,
+) -> Result<tempart_core::Instance, String> {
+    if scale <= 1 {
+        return Ok(inst);
+    }
+    let graph = scale_task_graph(inst.graph(), scale).map_err(|e| e.to_string())?;
+    tempart_core::Instance::new(graph, inst.fus().clone(), inst.device().clone())
+        .map_err(|e| e.to_string())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     match args.command.as_str() {
@@ -345,7 +402,10 @@ fn run() -> Result<(), String> {
         }
         "dot" => {
             let spec = load(&args.spec_path)?;
-            let inst = spec.build_instance().map_err(|e| e.to_string())?;
+            let inst = apply_scale(
+                spec.build_instance().map_err(|e| e.to_string())?,
+                args.scale,
+            )?;
             println!("{}", task_graph_to_dot(inst.graph()));
             Ok(())
         }
@@ -395,7 +455,10 @@ fn run() -> Result<(), String> {
         }
         "solve" | "simulate" => {
             let spec = load(&args.spec_path)?;
-            let inst = spec.build_instance().map_err(|e| e.to_string())?;
+            let inst = apply_scale(
+                spec.build_instance().map_err(|e| e.to_string())?,
+                args.scale,
+            )?;
             let mut mip = MipOptions {
                 time_limit_secs: args.limit,
                 max_nodes: args.node_limit,
@@ -409,6 +472,8 @@ fn run() -> Result<(), String> {
             };
             mip.lp.pricing = args.pricing;
             mip.lp.profile = args.stats;
+            mip.lp.basis_update = args.basis_update;
+            mip.lp.refactor = args.refactor;
             if let Some(plan) = &args.faults {
                 mip.lp.faults = Some(std::sync::Arc::new(FaultPlan::parse(plan)?));
             }
@@ -640,7 +705,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--portfolio] [--pricing dantzig|devex|bland] [--cuts] [--rins] [--propagate] [--branching rule|pseudocost] [--faults PLAN] [--stats] [--certify] [--json]");
+            eprintln!("usage: tempart <solve|estimate|simulate|dot|example> [spec.json] [--partitions N] [--latency L] [--time-limit SECS] [--node-limit N] [--threads T] [--portfolio] [--pricing dantzig|devex|bland] [--basis-update eta|ft|ft-markowitz] [--refactor fixed|dynamic] [--cuts] [--rins] [--propagate] [--branching rule|pseudocost] [--scale K] [--faults PLAN] [--stats] [--certify] [--json]");
             ExitCode::FAILURE
         }
     }

@@ -48,6 +48,7 @@ mod ids;
 mod library;
 mod op;
 mod op_graph;
+mod scale;
 mod task;
 mod task_graph;
 
@@ -61,5 +62,6 @@ pub use library::{
 };
 pub use op::{OpKind, Operation};
 pub use op_graph::OpGraph;
+pub use scale::scale_task_graph;
 pub use task::Task;
 pub use task_graph::{GraphStats, TaskEdge, TaskGraph};

@@ -1,0 +1,169 @@
+//! Deterministic scaled-instance generation: replicate-and-chain a base
+//! [`TaskGraph`] into an instance `k` times its size.
+//!
+//! The paper's six benchmark graphs top out at a few dozen operations —
+//! enough to validate optimality, too small to exercise kernel-level solver
+//! performance. [`scale_task_graph`] grows them without randomness: the
+//! base graph is copied `k` times (tasks, operations, intra-task edges and
+//! inter-task edges all preserved per copy), and each copy's sink tasks
+//! are chained to the next copy's source tasks so the result is one
+//! connected DAG whose critical path grows linearly in `k`. Scaling the
+//! same base with the same `k` always yields the identical graph, so
+//! benchmark rows are reproducible across hosts and runs.
+
+use crate::{Bandwidth, GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Replicates `base` `k` times and chains the copies into one DAG.
+///
+/// Copy `c`'s sink tasks (no outgoing inter-task edge in `base`) feed copy
+/// `c + 1`'s source tasks (no incoming edge), each chain edge carrying the
+/// smallest nonzero bandwidth of the base graph (or one data unit when the
+/// base has no edges) — heavy enough to matter for scratch-memory
+/// feasibility, light enough not to dwarf the copied edges. `k` is clamped
+/// to at least 1; `scale_task_graph(g, 1)` is structurally identical to
+/// `g`.
+///
+/// # Errors
+///
+/// Returns the underlying [`GraphError`] if `base` violates a builder
+/// invariant (impossible for a graph that came out of
+/// [`TaskGraphBuilder::build`]).
+pub fn scale_task_graph(base: &TaskGraph, k: usize) -> Result<TaskGraph, GraphError> {
+    let k = k.max(1);
+    let mut b = TaskGraphBuilder::new(format!("{}-x{}", base.name(), k));
+    let chain_bw = base
+        .task_edges()
+        .iter()
+        .map(|e| e.bandwidth.units())
+        .filter(|&u| u > 0)
+        .min()
+        .unwrap_or(1);
+    let sinks: Vec<TaskId> = base
+        .tasks()
+        .iter()
+        .map(|t| t.id())
+        .filter(|&t| base.edges_out_of(t).next().is_none())
+        .collect();
+    let sources: Vec<TaskId> = base
+        .tasks()
+        .iter()
+        .map(|t| t.id())
+        .filter(|&t| base.edges_into(t).next().is_none())
+        .collect();
+    let mut prev_sinks: Vec<TaskId> = Vec::new();
+    for c in 0..k {
+        // Tasks and operations of this copy, in base id order so the
+        // paper's §8 topological branching priorities stay meaningful.
+        let mut task_map = Vec::with_capacity(base.num_tasks());
+        for task in base.tasks() {
+            task_map.push(b.task(format!("{}_c{c}", task.name())));
+        }
+        let mut op_map = Vec::with_capacity(base.num_ops());
+        for op in base.ops() {
+            let new_task = task_map[op.task().index()];
+            op_map.push(b.named_op(new_task, op.kind(), format!("{}_c{c}", op.name()))?);
+        }
+        for task in base.tasks() {
+            for &(from, to) in task.op_graph().edges() {
+                b.op_edge(op_map[from.index()], op_map[to.index()])?;
+            }
+        }
+        for edge in base.task_edges() {
+            b.task_edge(
+                task_map[edge.from.index()],
+                task_map[edge.to.index()],
+                edge.bandwidth,
+            )?;
+        }
+        // Chain: previous copy's sinks feed this copy's sources.
+        for &sink in &prev_sinks {
+            for &src in &sources {
+                b.task_edge(sink, task_map[src.index()], Bandwidth::new(chain_bw))?;
+            }
+        }
+        prev_sinks = sinks.iter().map(|&t| task_map[t.index()]).collect();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    fn two_task_base() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("base");
+        let t0 = b.task("t0");
+        let a = b.op(t0, OpKind::Add).unwrap();
+        let m = b.op(t0, OpKind::Mul).unwrap();
+        b.op_edge(a, m).unwrap();
+        let t1 = b.task("t1");
+        b.op(t1, OpKind::Sub).unwrap();
+        b.task_edge(t0, t1, Bandwidth::new(8)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scale_one_preserves_structure() {
+        let base = two_task_base();
+        let g = scale_task_graph(&base, 1).unwrap();
+        assert_eq!(g.num_tasks(), base.num_tasks());
+        assert_eq!(g.num_ops(), base.num_ops());
+        assert_eq!(g.task_edges().len(), base.task_edges().len());
+        assert_eq!(g.total_edge_bandwidth(), base.total_edge_bandwidth());
+        assert_eq!(g.name(), "base-x1");
+    }
+
+    #[test]
+    fn scale_replicates_and_chains() {
+        let base = two_task_base();
+        let k = 5;
+        let g = scale_task_graph(&base, k).unwrap();
+        assert_eq!(g.num_tasks(), k * base.num_tasks());
+        assert_eq!(g.num_ops(), k * base.num_ops());
+        // k copies of the base edge plus one chain edge per copy boundary
+        // (one sink × one source).
+        assert_eq!(g.task_edges().len(), k + (k - 1));
+        // Chain bandwidth is the smallest base edge bandwidth (8).
+        assert_eq!(
+            g.total_edge_bandwidth(),
+            (k as u64) * 8 + (k as u64 - 1) * 8
+        );
+        // Still a DAG over all copies.
+        assert_eq!(g.task_topo_order().len(), k * base.num_tasks());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn scale_is_deterministic() {
+        let base = two_task_base();
+        let a = scale_task_graph(&base, 7).unwrap();
+        let b = scale_task_graph(&base, 7).unwrap();
+        assert_eq!(a.num_ops(), b.num_ops());
+        assert_eq!(a.task_edges(), b.task_edges());
+        assert_eq!(
+            crate::task_graph_to_dot(&a),
+            crate::task_graph_to_dot(&b),
+            "byte-identical replication"
+        );
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        let base = two_task_base();
+        let g = scale_task_graph(&base, 0).unwrap();
+        assert_eq!(g.num_ops(), base.num_ops());
+    }
+
+    #[test]
+    fn edgeless_base_chains_with_unit_bandwidth() {
+        let mut b = TaskGraphBuilder::new("lone");
+        let t = b.task("t");
+        b.op(t, OpKind::Add).unwrap();
+        let base = b.build().unwrap();
+        let g = scale_task_graph(&base, 3).unwrap();
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(g.task_edges().len(), 2);
+        assert_eq!(g.total_edge_bandwidth(), 2);
+    }
+}

@@ -47,6 +47,7 @@
 mod branch;
 mod cuts;
 mod faults;
+mod ft;
 mod internal;
 mod lu;
 mod mps;
@@ -78,7 +79,7 @@ pub use cuts::{
 };
 pub use faults::{Budget, BudgetExceeded, FaultPlan, FaultSite};
 pub use mps::write_mps;
-pub use options::{Branching, LpOptions, MipOptions, Pricing};
+pub use options::{BasisUpdate, Branching, LpOptions, MipOptions, Pricing, RefactorSchedule};
 pub use presolve::{presolve, PresolveResult, Presolved};
 pub use problem::{LpError, Problem, RowId, RowView, Sense, VarId, VarKind};
 pub use profile::{ContentionProfile, ScaleProfile, SimplexProfile};

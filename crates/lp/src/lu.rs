@@ -18,42 +18,65 @@ use crate::LpError;
 /// pivot.
 #[derive(Debug, Clone)]
 pub struct LuFactors {
-    m: usize,
+    pub(crate) m: usize,
     /// `pivot_row[j]` = original row index of pivot `j`.
-    pivot_row: Vec<usize>,
+    pub(crate) pivot_row: Vec<usize>,
     /// `pivot_pos[r]` = pivot position of original row `r`.
-    pivot_pos: Vec<usize>,
+    pub(crate) pivot_pos: Vec<usize>,
     /// Column `j` of `L` below the diagonal: `(original_row, multiplier)`.
-    l_cols: Vec<Vec<(usize, f64)>>,
+    pub(crate) l_cols: Vec<Vec<(usize, f64)>>,
     /// Column `j` of `U` above the diagonal: `(pivot_pos k < j, value)`.
-    u_cols: Vec<Vec<(usize, f64)>>,
+    pub(crate) u_cols: Vec<Vec<(usize, f64)>>,
     /// Diagonal of `U`.
-    u_diag: Vec<f64>,
+    pub(crate) u_diag: Vec<f64>,
     /// Row-wise adjacency of `U`: pivot `k` → columns `j > k` with
     /// `u_kj ≠ 0`. Drives hypersparse BTRAN pattern propagation.
-    u_rows: Vec<Vec<usize>>,
+    pub(crate) u_rows: Vec<Vec<usize>>,
     /// Reverse adjacency of `Lᵀ`: pivot `k` → pivots `j < k` whose `L`
     /// column touches a row pivoted at `k`. Drives hypersparse BTRAN.
-    l_deps: Vec<Vec<usize>>,
+    pub(crate) l_deps: Vec<Vec<usize>>,
 }
 
 /// Reusable workspace for the hypersparse (pattern-tracked) triangular
 /// solves, owned by the caller so repeated solves allocate nothing.
 #[derive(Debug, Clone, Default)]
 pub struct LuScratch {
-    min_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>>,
-    max_heap: std::collections::BinaryHeap<usize>,
-    queued: Vec<bool>,
-    z: Vec<f64>,
-    stage: Vec<usize>,
-    pops: Vec<usize>,
+    pub(crate) min_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>>,
+    pub(crate) max_heap: std::collections::BinaryHeap<usize>,
+    pub(crate) queued: Vec<bool>,
+    pub(crate) z: Vec<f64>,
+    pub(crate) stage: Vec<usize>,
+    pub(crate) pops: Vec<usize>,
 }
 
 impl LuScratch {
-    fn ensure(&mut self, m: usize) {
+    /// Once the retained capacity exceeds this multiple of the current
+    /// problem dimension (and the dimension is non-trivial), the workspace
+    /// is compacted: a scratch that served a large instance must not pin
+    /// its memory for the lifetime of a solver now working on small ones.
+    const SHRINK_FACTOR: usize = 8;
+
+    /// Prepares the workspace for a solve of dimension `m`: grows the
+    /// dense arrays when `m` grew, compacts everything (including the heap
+    /// buffers, which `BinaryHeap` never shrinks on its own) when `m`
+    /// shrank far below the retained capacity, and asserts — in debug
+    /// builds — that the previous caller left the workspace clean. Every
+    /// hypersparse solve, legacy or Forrest–Tomlin, enters through here.
+    pub(crate) fn ensure(&mut self, m: usize) {
         if self.queued.len() < m {
             self.queued.resize(m, false);
             self.z.resize(m, 0.0);
+        } else if self.queued.len() > Self::SHRINK_FACTOR * m.max(64) {
+            self.queued.truncate(m);
+            self.queued.shrink_to_fit();
+            self.z.truncate(m);
+            self.z.shrink_to_fit();
+            self.min_heap.shrink_to(m);
+            self.max_heap.shrink_to(m);
+            self.stage.truncate(0);
+            self.stage.shrink_to(m);
+            self.pops.truncate(0);
+            self.pops.shrink_to(m);
         }
         debug_assert!(self.min_heap.is_empty() && self.max_heap.is_empty());
         debug_assert!(self.queued.iter().all(|&q| !q), "scratch left dirty");
@@ -189,6 +212,15 @@ impl LuFactors {
     #[allow(dead_code)] // part of the module's natural API surface
     pub fn dim(&self) -> usize {
         self.m
+    }
+
+    /// Stored nonzeros across both factors (`L` off-diagonals, `U`
+    /// off-diagonals, and the `U` diagonal) — the baseline the dynamic
+    /// refactorization trigger measures update fill-in against.
+    pub fn nnz(&self) -> usize {
+        self.m
+            + self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
     }
 
     /// Solves `B w = b` in place: on entry `buf` holds `b` (indexed by
@@ -625,6 +657,43 @@ mod tests {
             ],
         );
         check_sparse_solves(&p, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scratch_reuses_and_compacts_across_dimensions() {
+        // A scratch that served a large solve must keep working — and give
+        // its memory back — when reused for much smaller systems.
+        let mut scratch = LuScratch::default();
+        scratch.ensure(10_000);
+        assert_eq!(scratch.queued.len(), 10_000);
+        let small = CscMatrix::from_triplets(2, 2, vec![(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0)]);
+        let lu = LuFactors::factorize(&small, &[0, 1], 1e-10).unwrap();
+        let mut buf = vec![0.0; 2];
+        buf[0] = 4.0;
+        let mut pattern = vec![0];
+        lu.ftran_sparse(&mut buf, &mut pattern, &mut scratch);
+        assert!(
+            scratch.queued.len() <= LuScratch::SHRINK_FACTOR * 64,
+            "oversized scratch was not compacted: {}",
+            scratch.queued.len()
+        );
+        // Still correct after the compaction, and clean for the next call.
+        assert!((buf[0] - 2.0).abs() < 1e-12 && (buf[1] + 2.0 / 3.0).abs() < 1e-12);
+        lu.btran_sparse(&mut buf, &mut pattern, &mut scratch);
+        assert!(scratch.queued.iter().all(|&q| !q));
+        assert!(scratch.z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lu_nnz_counts_all_stored_entries() {
+        let a = CscMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 2.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 3.0)],
+        );
+        let lu = LuFactors::factorize(&a, &[0, 1], 1e-10).unwrap();
+        // Dense 2x2: 1 L off-diagonal + 1 U off-diagonal + 2 diagonals.
+        assert_eq!(lu.nnz(), 4);
     }
 
     #[test]

@@ -51,6 +51,95 @@ impl std::fmt::Display for Pricing {
     }
 }
 
+/// Basis-maintenance strategy between refactorizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BasisUpdate {
+    /// Product-form eta file: every pivot appends an eta matrix that FTRAN/
+    /// BTRAN apply on top of the last LU factorization. This is the *legacy
+    /// engine* — its arithmetic is part of the pinned golden pivot
+    /// sequence, so it is the default.
+    #[default]
+    Eta,
+    /// Forrest–Tomlin updates applied directly to the `U` factor: each pivot
+    /// replaces a `U` column with the spike and eliminates the spiked row
+    /// into a short row eta, so solve cost tracks the (slowly growing) `U`
+    /// fill instead of the eta-file length. Same optima, different float
+    /// rounding, hence opt-in.
+    Ft,
+    /// Forrest–Tomlin updates over a Markowitz-ordered refactorization
+    /// (pivots chosen by fill-in × stability instead of pure partial
+    /// pivoting), minimizing the `U` fill the updates have to drag along.
+    FtMarkowitz,
+}
+
+impl BasisUpdate {
+    /// Stable lower-case name (CLI flag values, JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BasisUpdate::Eta => "eta",
+            BasisUpdate::Ft => "ft",
+            BasisUpdate::FtMarkowitz => "ft-markowitz",
+        }
+    }
+
+    /// Parses a CLI-style name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "eta" => Some(BasisUpdate::Eta),
+            "ft" => Some(BasisUpdate::Ft),
+            "ft-markowitz" => Some(BasisUpdate::FtMarkowitz),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BasisUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// When to refactorize the basis from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefactorSchedule {
+    /// Refactorize after exactly [`LpOptions::refactor_every`] updates —
+    /// the legacy fixed schedule. Its refactorization points are part of
+    /// the pinned golden arithmetic, so it is the default.
+    #[default]
+    Fixed,
+    /// Refactorize when the measured update fill-in has grown past a
+    /// multiple of the factored nonzeros, when an update reports a
+    /// stability concern, or at a hard update cap — whichever comes first.
+    /// Cheap bases run much longer between refactorizations; ill-behaved
+    /// ones refactorize sooner than the fixed schedule would.
+    Dynamic,
+}
+
+impl RefactorSchedule {
+    /// Stable lower-case name (CLI flag values, JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RefactorSchedule::Fixed => "fixed",
+            RefactorSchedule::Dynamic => "dynamic",
+        }
+    }
+
+    /// Parses a CLI-style name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fixed" => Some(RefactorSchedule::Fixed),
+            "dynamic" => Some(RefactorSchedule::Dynamic),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RefactorSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Branching-variable selection strategy for branch and bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Branching {
@@ -104,8 +193,16 @@ pub struct LpOptions {
     pub pivot_tol: f64,
     /// Hard iteration cap across both phases.
     pub max_iterations: usize,
-    /// Refactorize the basis after this many eta updates.
+    /// Refactorize the basis after this many eta updates (the
+    /// [`RefactorSchedule::Fixed`] interval; the dynamic schedule uses it
+    /// only as a scale for its hard cap).
     pub refactor_every: usize,
+    /// Basis-maintenance strategy between refactorizations (see
+    /// [`BasisUpdate`]). The default eta file is the pinned legacy engine.
+    pub basis_update: BasisUpdate,
+    /// Refactorization schedule (see [`RefactorSchedule`]). The default
+    /// fixed interval is part of the pinned legacy arithmetic.
+    pub refactor: RefactorSchedule,
     /// Wall-clock limit in seconds for one solve (`f64::INFINITY` to
     /// disable); exceeding it raises [`LpError::Timeout`](crate::LpError).
     pub time_limit_secs: f64,
@@ -139,6 +236,8 @@ impl Default for LpOptions {
             pivot_tol: 1e-8,
             max_iterations: 200_000,
             refactor_every: 64,
+            basis_update: BasisUpdate::Eta,
+            refactor: RefactorSchedule::Fixed,
             time_limit_secs: f64::INFINITY,
             dual_iteration_cap: 2_000,
             pricing: Pricing::Dantzig,
@@ -257,6 +356,16 @@ mod tests {
         assert!(lp.feas_tol > 0.0 && lp.feas_tol < 1e-4);
         assert!(lp.refactor_every >= 8);
         assert_eq!(lp.pricing, Pricing::Dantzig, "legacy engine by default");
+        assert_eq!(
+            lp.basis_update,
+            BasisUpdate::Eta,
+            "legacy eta file by default — the pins depend on it"
+        );
+        assert_eq!(
+            lp.refactor,
+            RefactorSchedule::Fixed,
+            "legacy fixed schedule by default — the pins depend on it"
+        );
         assert!(!lp.profile, "timers are opt-in");
         let mip = MipOptions::default();
         assert!(mip.int_tol >= lp.feas_tol);
@@ -285,6 +394,26 @@ mod tests {
             assert_eq!(format!("{p}"), p.as_str());
         }
         assert_eq!(Pricing::parse("steepest"), None);
+    }
+
+    #[test]
+    fn basis_update_names_roundtrip() {
+        for b in [BasisUpdate::Eta, BasisUpdate::Ft, BasisUpdate::FtMarkowitz] {
+            assert_eq!(BasisUpdate::parse(b.as_str()), Some(b));
+            assert_eq!(BasisUpdate::parse(&b.as_str().to_uppercase()), Some(b));
+            assert_eq!(format!("{b}"), b.as_str());
+        }
+        assert_eq!(BasisUpdate::parse("bartels-golub"), None);
+    }
+
+    #[test]
+    fn refactor_schedule_names_roundtrip() {
+        for r in [RefactorSchedule::Fixed, RefactorSchedule::Dynamic] {
+            assert_eq!(RefactorSchedule::parse(r.as_str()), Some(r));
+            assert_eq!(RefactorSchedule::parse(&r.as_str().to_uppercase()), Some(r));
+            assert_eq!(format!("{r}"), r.as_str());
+        }
+        assert_eq!(RefactorSchedule::parse("never"), None);
     }
 
     #[test]

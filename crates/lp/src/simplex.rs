@@ -1,9 +1,13 @@
 //! Bounded-variable revised simplex: primal (two-phase, artificial cold
 //! start) and dual (warm restarts after bound changes in branch-and-bound).
 //!
-//! The basis is maintained as a sparse LU factorization
-//! ([`crate::lu::LuFactors`]) plus a product-form eta file; the factorization
-//! is rebuilt every [`LpOptions::refactor_every`] pivots.
+//! The basis is maintained behind [`BasisRepr`]: either a sparse LU
+//! factorization ([`crate::lu::LuFactors`]) plus a product-form eta file
+//! (the pinned legacy default), or Forrest–Tomlin-updated factors
+//! ([`crate::ft::FtFactors`], [`BasisUpdate::Ft`]/[`BasisUpdate::FtMarkowitz`]).
+//! The factorization is rebuilt every [`LpOptions::refactor_every`] pivots
+//! under the fixed schedule, or when measured fill-in growth crosses a
+//! threshold under [`RefactorSchedule::Dynamic`].
 //!
 //! Style note: the numerical kernels iterate dense work arrays by index on
 //! purpose (several arrays are updated in lockstep); the iterator forms
@@ -12,9 +16,10 @@
 
 use std::time::Instant;
 
+use crate::ft::FtFactors;
 use crate::internal::CoreLp;
 use crate::lu::{LuFactors, LuScratch};
-use crate::options::{LpOptions, Pricing};
+use crate::options::{BasisUpdate, LpOptions, Pricing, RefactorSchedule};
 use crate::problem::{LpError, Problem};
 use crate::profile::{tick, tock, SimplexProfile};
 use crate::status::LpStatus;
@@ -71,6 +76,77 @@ struct Eta {
     /// Pivot element `w[r]`.
     wr: f64,
 }
+
+/// The maintained representation of the basis inverse, selected by
+/// [`LpOptions::basis_update`].
+///
+/// The `Eta` variant is the legacy product-form scheme whose pivot
+/// sequence the golden tests pin; its code paths are byte-identical to the
+/// pre-[`FtFactors`] solver. The `Ft` variant applies Forrest–Tomlin
+/// updates directly to the U factor instead of appending etas, which keeps
+/// FTRAN/BTRAN cost flat as pivots accumulate.
+// One instance lives per solve (never in a collection), so the size gap
+// between variants costs nothing; boxing would tax every FTRAN/BTRAN.
+#[allow(clippy::large_enum_variant)]
+enum BasisRepr {
+    Eta { lu: LuFactors, etas: Vec<Eta> },
+    Ft(FtFactors),
+}
+
+impl BasisRepr {
+    /// Basis changes recorded since the last (re)factorization.
+    fn updates_len(&self) -> usize {
+        match self {
+            BasisRepr::Eta { etas, .. } => etas.len(),
+            BasisRepr::Ft(ft) => ft.updates_len(),
+        }
+    }
+
+    /// Stored nonzeros now relative to the factorization baseline — the
+    /// dynamic refactorization trigger's fill-growth measure (`1.0` right
+    /// after a refactorization).
+    fn fill_ratio(&self) -> f64 {
+        match self {
+            BasisRepr::Eta { lu, etas } => {
+                let base = lu.nnz();
+                let eta_nnz: usize = etas.iter().map(|e| e.entries.len() + 1).sum();
+                (base + eta_nnz) as f64 / base.max(1) as f64
+            }
+            BasisRepr::Ft(ft) => ft.fill_ratio(),
+        }
+    }
+}
+
+/// Builds the configured basis representation from a factorization of the
+/// basis columns.
+fn build_basis(core: &CoreLp, basic: &[usize], opts: &LpOptions) -> Result<BasisRepr, LpError> {
+    Ok(match opts.basis_update {
+        BasisUpdate::Eta => BasisRepr::Eta {
+            lu: LuFactors::factorize(&core.a, basic, opts.pivot_tol)?,
+            etas: Vec::new(),
+        },
+        BasisUpdate::Ft => BasisRepr::Ft(FtFactors::from_lu(LuFactors::factorize(
+            &core.a,
+            basic,
+            opts.pivot_tol,
+        )?)),
+        BasisUpdate::FtMarkowitz => BasisRepr::Ft(FtFactors::factorize_markowitz(
+            &core.a,
+            basic,
+            opts.pivot_tol,
+        )?),
+    })
+}
+
+/// Dynamic refactorization: rebuild once the factors hold this many times
+/// the nonzeros they started with. Below it, an aging factorization is
+/// still cheaper to apply than a rebuild is to run.
+const DYNAMIC_FILL_LIMIT: f64 = 2.0;
+
+/// Dynamic refactorization: hard cap on recorded updates, as a multiple of
+/// [`LpOptions::refactor_every`], so slowly-filling factorizations still
+/// retire before roundoff accumulates.
+const DYNAMIC_UPDATE_CAP: usize = 4;
 
 /// Preallocated per-solve work vectors, so no simplex iteration allocates.
 ///
@@ -130,8 +206,7 @@ struct Simplex<'a> {
     upper: Vec<f64>,
     stat: Vec<VStat>,
     basic: Vec<usize>,
-    lu: LuFactors,
-    etas: Vec<Eta>,
+    basis: BasisRepr,
     /// Values of basic variables, indexed by basis position.
     xb: Vec<f64>,
     iterations: usize,
@@ -206,12 +281,28 @@ impl<'a> Simplex<'a> {
         lu.btran(buf);
     }
 
+    /// `B w = b` against the maintained basis representation.
+    fn basis_ftran(basis: &BasisRepr, buf: &mut [f64]) {
+        match basis {
+            BasisRepr::Eta { lu, etas } => Self::apply_ftran(lu, etas, buf),
+            BasisRepr::Ft(ft) => ft.ftran(buf),
+        }
+    }
+
+    /// `Bᵀ y = c` against the maintained basis representation.
+    fn basis_btran(basis: &BasisRepr, buf: &mut [f64]) {
+        match basis {
+            BasisRepr::Eta { lu, etas } => Self::apply_btran(lu, etas, buf),
+            BasisRepr::Ft(ft) => ft.btran(buf),
+        }
+    }
+
     fn ftran(&self, buf: &mut [f64]) {
-        Self::apply_ftran(&self.lu, &self.etas, buf);
+        Self::basis_ftran(&self.basis, buf);
     }
 
     fn btran(&self, buf: &mut [f64]) {
-        Self::apply_btran(&self.lu, &self.etas, buf);
+        Self::basis_btran(&self.basis, buf);
     }
 
     /// Hypersparse FTRAN: `pattern` holds the nonzeros of `buf` on entry and
@@ -300,6 +391,59 @@ impl<'a> Simplex<'a> {
         lu.btran_sparse(buf, pattern, lsc);
     }
 
+    /// Hypersparse FTRAN dispatch: the legacy pairing of
+    /// [`apply_ftran_sparse`](Self::apply_ftran_sparse), or the FT kernel
+    /// with the same dense-ish fallback heuristic.
+    fn basis_ftran_sparse(
+        basis: &BasisRepr,
+        buf: &mut [f64],
+        pattern: &mut Vec<usize>,
+        mask: &mut [bool],
+        lsc: &mut LuScratch,
+    ) {
+        match basis {
+            BasisRepr::Eta { lu, etas } => {
+                Self::apply_ftran_sparse(lu, etas, buf, pattern, mask, lsc);
+            }
+            BasisRepr::Ft(ft) => {
+                let m = buf.len();
+                if pattern.len() * 4 > m {
+                    ft.ftran(buf);
+                    pattern.clear();
+                    pattern.extend((0..m).filter(|&i| is_nonzero(buf[i])));
+                } else {
+                    ft.ftran_sparse(buf, pattern, lsc);
+                }
+            }
+        }
+    }
+
+    /// Hypersparse BTRAN dispatch, mirror of
+    /// [`basis_ftran_sparse`](Self::basis_ftran_sparse).
+    fn basis_btran_sparse(
+        basis: &BasisRepr,
+        buf: &mut [f64],
+        pattern: &mut Vec<usize>,
+        mask: &mut [bool],
+        lsc: &mut LuScratch,
+    ) {
+        match basis {
+            BasisRepr::Eta { lu, etas } => {
+                Self::apply_btran_sparse(lu, etas, buf, pattern, mask, lsc);
+            }
+            BasisRepr::Ft(ft) => {
+                let m = buf.len();
+                if pattern.len() * 4 > m {
+                    ft.btran(buf);
+                    pattern.clear();
+                    pattern.extend((0..m).filter(|&i| is_nonzero(buf[i])));
+                } else {
+                    ft.btran_sparse(buf, pattern, lsc);
+                }
+            }
+        }
+    }
+
     /// Recomputes `xb` from scratch: `x_B = B⁻¹ (b − N x_N)`.
     fn recompute_xb(&mut self) {
         let m = self.core.m;
@@ -313,7 +457,7 @@ impl<'a> Simplex<'a> {
             }
         }
         debug_assert_eq!(self.scratch.rhs.len(), m);
-        Self::apply_ftran(&self.lu, &self.etas, &mut self.scratch.rhs);
+        Self::basis_ftran(&self.basis, &mut self.scratch.rhs);
         self.xb.copy_from_slice(&self.scratch.rhs);
         self.scratch.rhs.fill(0.0);
     }
@@ -321,16 +465,34 @@ impl<'a> Simplex<'a> {
     fn refactor(&mut self) -> Result<(), LpError> {
         let t = tick(self.timers);
         inject_singular(self.opts)?;
-        self.lu = LuFactors::factorize(&self.core.a, &self.basic, self.opts.pivot_tol)?;
-        self.etas.clear();
+        self.basis = build_basis(self.core, &self.basic, self.opts)?;
         self.recompute_xb();
         self.profile.refactors += 1;
         tock(t, &mut self.profile.refactor_secs);
         Ok(())
     }
 
+    /// Whether the basis representation is due for a rebuild.
+    ///
+    /// [`RefactorSchedule::Fixed`] reproduces the legacy schedule exactly:
+    /// rebuild after [`LpOptions::refactor_every`] recorded updates.
+    /// [`RefactorSchedule::Dynamic`] rebuilds on measured fill-in growth
+    /// ([`DYNAMIC_FILL_LIMIT`]) with an update-count backstop
+    /// ([`DYNAMIC_UPDATE_CAP`]); the stability half of the trigger is the
+    /// Forrest–Tomlin pivot test itself, whose rejection refactorizes
+    /// immediately in [`update_basis`](Self::update_basis).
+    fn should_refactor(&self) -> bool {
+        match self.opts.refactor {
+            RefactorSchedule::Fixed => self.basis.updates_len() >= self.opts.refactor_every,
+            RefactorSchedule::Dynamic => {
+                self.basis.fill_ratio() > DYNAMIC_FILL_LIMIT
+                    || self.basis.updates_len() >= DYNAMIC_UPDATE_CAP * self.opts.refactor_every
+            }
+        }
+    }
+
     fn maybe_refactor(&mut self) -> Result<(), LpError> {
-        if self.etas.len() >= self.opts.refactor_every {
+        if self.should_refactor() {
             self.refactor()?;
         }
         Ok(())
@@ -346,7 +508,7 @@ impl<'a> Simplex<'a> {
         for (pos, &col) in self.basic.iter().enumerate() {
             self.scratch.y[pos] = costs[col];
         }
-        Self::apply_btran(&self.lu, &self.etas, &mut self.scratch.y);
+        Self::basis_btran(&self.basis, &mut self.scratch.y);
         tock(t, &mut self.profile.btran_secs);
         let t = tick(self.timers);
         for j in 0..self.core.n {
@@ -435,7 +597,10 @@ impl<'a> Simplex<'a> {
             }
             self.maybe_refactor()?;
             if let Some(target) = stop_at {
-                if self.current_objective(costs) <= target + self.opts.feas_tol {
+                let t = tick(self.timers);
+                let reached = self.current_objective(costs) <= target + self.opts.feas_tol;
+                tock(t, &mut self.profile.other_secs);
+                if reached {
                     return Ok(LpStatus::Optimal);
                 }
             }
@@ -562,38 +727,64 @@ impl<'a> Simplex<'a> {
                     self.stat[q] = VStat::Basic;
                     self.basic[r] = q;
                     self.xb[r] = entering_value;
-                    self.push_eta(r, &w);
+                    self.update_basis(r, &w, None)?;
                 }
             }
             self.scratch.w = w;
         }
     }
 
-    fn push_eta(&mut self, r: usize, w: &[f64]) {
+    /// Records the pivot at basis position `r` (FTRAN column `w`, optional
+    /// nonzero pattern) in the basis representation: the legacy path
+    /// appends a product-form eta, the FT path updates the U factor in
+    /// place. A Forrest–Tomlin update rejected as numerically unsafe
+    /// refactorizes immediately — `basic[r]`/`stat`/`xb` must already
+    /// describe the post-pivot basis when this is called.
+    fn update_basis(&mut self, r: usize, w: &[f64], wpat: Option<&[usize]>) -> Result<(), LpError> {
+        let t = tick(self.timers);
+        let ptol = self.opts.pivot_tol;
+        let rejected = match &mut self.basis {
+            BasisRepr::Eta { etas, .. } => {
+                etas.push(match wpat {
+                    Some(pat) => Self::make_eta_pattern(r, w, pat, ptol),
+                    None => Self::make_eta(r, w, ptol),
+                });
+                false
+            }
+            BasisRepr::Ft(ft) => !ft.update(r, w, wpat, ptol),
+        };
+        tock(t, &mut self.profile.update_secs);
+        if rejected {
+            self.refactor()?;
+        }
+        Ok(())
+    }
+
+    fn make_eta(r: usize, w: &[f64], ptol: f64) -> Eta {
         let wr = w[r];
-        debug_assert!(wr.abs() > self.opts.pivot_tol / 10.0, "tiny pivot in eta");
+        debug_assert!(wr.abs() > ptol / 10.0, "tiny pivot in eta");
         let entries: Vec<(usize, f64)> = w
             .iter()
             .enumerate()
             .filter(|&(i, &v)| i != r && is_nonzero(v))
             .map(|(i, &v)| (i, v))
             .collect();
-        self.etas.push(Eta { r, entries, wr });
+        Eta { r, entries, wr }
     }
 
-    /// [`push_eta`](Self::push_eta) from a sparse column: `pat` must be a
+    /// [`make_eta`](Self::make_eta) from a sparse column: `pat` must be a
     /// duplicate-free superset of the nonzeros of `w`, sorted ascending (eta
     /// entry order is part of the arithmetic in [`apply_btran`](Self::apply_btran)).
-    fn push_eta_pattern(&mut self, r: usize, w: &[f64], pat: &[usize]) {
+    fn make_eta_pattern(r: usize, w: &[f64], pat: &[usize], ptol: f64) -> Eta {
         let wr = w[r];
-        debug_assert!(wr.abs() > self.opts.pivot_tol / 10.0, "tiny pivot in eta");
+        debug_assert!(wr.abs() > ptol / 10.0, "tiny pivot in eta");
         debug_assert!(pat.windows(2).all(|p| p[0] < p[1]), "pattern not sorted");
         let entries: Vec<(usize, f64)> = pat
             .iter()
             .filter(|&&i| i != r && is_nonzero(w[i]))
             .map(|&i| (i, w[i]))
             .collect();
-        self.etas.push(Eta { r, entries, wr });
+        Eta { r, entries, wr }
     }
 
     /// Devex (max `d_j²/w_j`) or Bland (smallest index) pricing over
@@ -666,13 +857,16 @@ impl<'a> Simplex<'a> {
             if self.hit_deadline() {
                 return Err(LpError::Timeout);
             }
-            if self.etas.len() >= self.opts.refactor_every {
+            if self.should_refactor() {
                 self.refactor()?;
                 self.reduced_costs_into(costs, d);
                 fresh = true;
             }
             if let Some(target) = stop_at {
-                if self.current_objective(costs) <= target + self.opts.feas_tol {
+                let t = tick(self.timers);
+                let reached = self.current_objective(costs) <= target + self.opts.feas_tol;
+                tock(t, &mut self.profile.other_secs);
+                if reached {
                     return Ok(LpStatus::Optimal);
                 }
             }
@@ -709,9 +903,8 @@ impl<'a> Simplex<'a> {
                 wpat.push(r);
             }
             let tf = tick(self.timers);
-            Self::apply_ftran_sparse(
-                &self.lu,
-                &self.etas,
+            Self::basis_ftran_sparse(
+                &self.basis,
                 &mut w,
                 &mut wpat,
                 &mut self.scratch.mask,
@@ -800,9 +993,8 @@ impl<'a> Simplex<'a> {
                     self.scratch.rho[r] = 1.0;
                     self.scratch.rpat.clear();
                     self.scratch.rpat.push(r);
-                    Self::apply_btran_sparse(
-                        &self.lu,
-                        &self.etas,
+                    Self::basis_btran_sparse(
+                        &self.basis,
                         &mut self.scratch.rho,
                         &mut self.scratch.rpat,
                         &mut self.scratch.mask,
@@ -825,7 +1017,7 @@ impl<'a> Simplex<'a> {
                     self.stat[q] = VStat::Basic;
                     self.basic[r] = q;
                     self.xb[r] = entering_value;
-                    self.push_eta_pattern(r, &w, &wpat);
+                    self.update_basis(r, &w, Some(&wpat))?;
                     let tp2 = tick(self.timers);
                     if alpha_q.abs() <= ptol {
                         // FTRAN and BTRAN disagree about the pivot; a full
@@ -946,11 +1138,12 @@ impl<'a> Simplex<'a> {
             if self.hit_deadline() {
                 return Err(WarmFail::Error(LpError::Timeout));
             }
-            if self.etas.len() >= self.opts.refactor_every {
+            if self.should_refactor() {
                 self.refactor().map_err(WarmFail::Error)?;
                 self.reduced_costs_into(costs, d);
             }
             // Leaving: most violated basic.
+            let tl = tick(self.timers);
             let ftol = self.opts.feas_tol;
             let mut leave: Option<(usize, f64, bool)> = None; // (pos, viol, at_lower_violation)
             for i in 0..self.core.m {
@@ -964,6 +1157,7 @@ impl<'a> Simplex<'a> {
                     leave = Some((i, above, false));
                 }
             }
+            tock(tl, &mut self.profile.pricing_secs);
             let Some((r, _viol, low_viol)) = leave else {
                 return Ok(LpStatus::Optimal);
             };
@@ -1038,7 +1232,7 @@ impl<'a> Simplex<'a> {
                 self.scratch.w = w;
                 // Numerical disagreement between rho·a_q and the FTRAN column;
                 // refactor once and retry, else give up to the cold path.
-                if self.etas.is_empty() {
+                if self.basis.updates_len() == 0 {
                     return Err(WarmFail::NotDualFeasible);
                 }
                 self.refactor().map_err(WarmFail::Error)?;
@@ -1068,7 +1262,7 @@ impl<'a> Simplex<'a> {
             self.stat[q] = VStat::Basic;
             self.basic[r] = q;
             self.xb[r] = entering_value;
-            self.push_eta(r, &w);
+            self.update_basis(r, &w, None).map_err(WarmFail::Error)?;
             self.scratch.w = w;
             // Incremental reduced-cost update: d'_j = d_j − θ·α_j, with the
             // leaving column picking up d = −θ and the entering one 0.
@@ -1115,11 +1309,12 @@ impl<'a> Simplex<'a> {
             if self.hit_deadline() {
                 return Err(WarmFail::Error(LpError::Timeout));
             }
-            if self.etas.len() >= self.opts.refactor_every {
+            if self.should_refactor() {
                 self.refactor().map_err(WarmFail::Error)?;
                 self.reduced_costs_into(costs, d);
             }
             // Leaving: most violated basic (same rule as the legacy engine).
+            let tl = tick(self.timers);
             let mut leave: Option<(usize, f64, bool)> = None;
             for i in 0..self.core.m {
                 let col = self.basic[i];
@@ -1134,6 +1329,7 @@ impl<'a> Simplex<'a> {
                     leave = Some((i, viol, low));
                 }
             }
+            tock(tl, &mut self.profile.pricing_secs);
             let Some((r, viol, low_viol)) = leave else {
                 return Ok(LpStatus::Optimal);
             };
@@ -1142,9 +1338,8 @@ impl<'a> Simplex<'a> {
             self.scratch.rho[r] = 1.0;
             self.scratch.rpat.clear();
             self.scratch.rpat.push(r);
-            Self::apply_btran_sparse(
-                &self.lu,
-                &self.etas,
+            Self::basis_btran_sparse(
+                &self.basis,
                 &mut self.scratch.rho,
                 &mut self.scratch.rpat,
                 &mut self.scratch.mask,
@@ -1268,9 +1463,8 @@ impl<'a> Simplex<'a> {
                 wpat.push(row);
             }
             let tf = tick(self.timers);
-            Self::apply_ftran_sparse(
-                &self.lu,
-                &self.etas,
+            Self::basis_ftran_sparse(
+                &self.basis,
                 &mut w,
                 &mut wpat,
                 &mut self.scratch.mask,
@@ -1286,7 +1480,7 @@ impl<'a> Simplex<'a> {
                 self.scratch.w = w;
                 self.scratch.wpat = wpat;
                 self.clear_alpha();
-                if self.etas.is_empty() {
+                if self.basis.updates_len() == 0 {
                     return Err(WarmFail::NotDualFeasible);
                 }
                 self.refactor().map_err(WarmFail::Error)?;
@@ -1323,9 +1517,8 @@ impl<'a> Simplex<'a> {
                         s.mask[row] = false;
                     }
                 }
-                Self::apply_ftran_sparse(
-                    &self.lu,
-                    &self.etas,
+                Self::basis_ftran_sparse(
+                    &self.basis,
                     &mut self.scratch.rhs,
                     &mut self.scratch.rhs_pat,
                     &mut self.scratch.mask,
@@ -1368,7 +1561,8 @@ impl<'a> Simplex<'a> {
             self.stat[q] = VStat::Basic;
             self.basic[r] = q;
             self.xb[r] = entering_value;
-            self.push_eta_pattern(r, &w, &wpat);
+            self.update_basis(r, &w, Some(&wpat))
+                .map_err(WarmFail::Error)?;
             for &i in &wpat {
                 w[i] = 0.0;
             }
@@ -1435,12 +1629,15 @@ impl<'a> Simplex<'a> {
     /// Dual values `y = B⁻ᵀ c_B` in original row space, computed in
     /// `scratch.y` and cloned once for the outcome.
     fn duals(&mut self, costs: &[f64]) -> Vec<f64> {
+        let t = tick(self.timers);
         self.scratch.y.fill(0.0);
         for (pos, &col) in self.basic.iter().enumerate() {
             self.scratch.y[pos] = costs[col];
         }
-        Self::apply_btran(&self.lu, &self.etas, &mut self.scratch.y);
-        self.scratch.y.clone()
+        Self::basis_btran(&self.basis, &mut self.scratch.y);
+        let y = self.scratch.y.clone();
+        tock(t, &mut self.profile.btran_secs);
+        y
     }
 
     /// Extracts the full solution vector.
@@ -1606,6 +1803,7 @@ fn solve_core_cold_once(
     inject_itercap(opts)?;
     // audit: allow(nondet) — profiling timer only (reported in SimplexProfile).
     let t0 = Instant::now();
+    let tsetup = tick(opts.profile);
     let m = core.m;
     let n = core.n;
     let mut lower = lower.to_vec();
@@ -1679,8 +1877,13 @@ fn solve_core_cold_once(
             xb0.push(rem);
         }
     }
+    let mut setup_secs = 0.0;
+    tock(tsetup, &mut setup_secs);
     inject_singular(opts)?;
-    let lu = LuFactors::factorize(&core.a, &basic, opts.pivot_tol)?;
+    let tfac = tick(opts.profile);
+    let basis = build_basis(core, &basic, opts)?;
+    let mut initial_factorize_secs = 0.0;
+    tock(tfac, &mut initial_factorize_secs);
     let mut scratch = Scratch::default();
     scratch.ensure(m, n);
     let mut sx = Simplex {
@@ -1690,8 +1893,7 @@ fn solve_core_cold_once(
         upper,
         stat,
         basic,
-        lu,
-        etas: Vec::new(),
+        basis,
         xb: xb0,
         iterations: 0,
         degen_streak: 0,
@@ -1700,6 +1902,8 @@ fn solve_core_cold_once(
         profile: SimplexProfile::default(),
         timers: opts.profile,
     };
+    sx.profile.other_secs += setup_secs;
+    sx.profile.refactor_secs += initial_factorize_secs;
     // Phase 1: drive the total artificial infeasibility to zero, stopping
     // the moment it reaches zero (degenerate pivots at the optimum would
     // otherwise stall).
@@ -1738,6 +1942,7 @@ fn solve_core_cold_once(
         });
     }
     // Fix artificials at zero for phase 2.
+    let tmid = tick(sx.timers);
     for r in 0..m {
         let col = core.artificial_col(r);
         sx.lower[col] = 0.0;
@@ -1747,9 +1952,12 @@ fn solve_core_cold_once(
         }
     }
     sx.recompute_xb();
+    tock(tmid, &mut sx.profile.other_secs);
     let status = sx.primal(&core.c, None)?;
+    let tout = tick(sx.timers);
     let x = sx.extract_x();
     let objective = core.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+    tock(tout, &mut sx.profile.other_secs);
     let duals = sx.duals(&core.c);
     let mut profile = sx.profile;
     profile.solves = 1;
@@ -1799,8 +2007,10 @@ pub(crate) fn solve_core_warm(
     let t0 = Instant::now();
     inject_itercap(opts).map_err(WarmFail::Error)?;
     inject_singular(opts).map_err(WarmFail::Error)?;
-    let lu =
-        LuFactors::factorize(&core.a, &snapshot.basic, opts.pivot_tol).map_err(WarmFail::Error)?;
+    let tfac = tick(opts.profile);
+    let basis = build_basis(core, &snapshot.basic, opts).map_err(WarmFail::Error)?;
+    let mut initial_factorize_secs = 0.0;
+    tock(tfac, &mut initial_factorize_secs);
     let mut scratch = Scratch::default();
     scratch.ensure(core.m, core.n);
     let mut sx = Simplex {
@@ -1810,8 +2020,7 @@ pub(crate) fn solve_core_warm(
         upper: upper.to_vec(),
         stat,
         basic: snapshot.basic.clone(),
-        lu,
-        etas: Vec::new(),
+        basis,
         xb: vec![0.0; core.m],
         iterations: 0,
         degen_streak: 0,
@@ -1820,10 +2029,15 @@ pub(crate) fn solve_core_warm(
         profile: SimplexProfile::default(),
         timers: opts.profile,
     };
+    sx.profile.refactor_secs += initial_factorize_secs;
+    let tmid = tick(sx.timers);
     sx.recompute_xb();
+    tock(tmid, &mut sx.profile.other_secs);
     let status = sx.dual(&core.c)?;
+    let tout = tick(sx.timers);
     let x = sx.extract_x();
     let objective = core.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+    tock(tout, &mut sx.profile.other_secs);
     let duals = sx.duals(&core.c);
     let mut profile = sx.profile;
     profile.solves = 1;

@@ -35,6 +35,22 @@ pub(crate) fn is_nonzero(v: f64) -> bool {
     v != 0.0
 }
 
+/// Relative stability floor for a Forrest–Tomlin replacement diagonal:
+/// the transformed pivot must not be smaller than this fraction of the
+/// largest spike entry, or the update is rejected and the caller
+/// refactorizes instead. Deliberately loose — FT updates that pass it are
+/// cheap, and the dynamic refactorization schedule bounds how long a
+/// marginal factorization can live.
+pub(crate) const FT_PIVOT_REL: f64 = 1e-9;
+
+/// Whether a Forrest–Tomlin replacement diagonal `d` is numerically safe
+/// to commit, given the largest spike magnitude `spike_max` and the
+/// absolute pivot tolerance the factorization itself uses.
+#[inline(always)]
+pub(crate) fn ft_pivot_ok(d: f64, spike_max: f64, pivot_tol: f64) -> bool {
+    d.abs() > pivot_tol && d.abs() >= FT_PIVOT_REL * spike_max
+}
+
 /// Whether a lower bound is absent (exactly `-∞`).
 #[inline(always)]
 pub(crate) fn is_neg_infinite(v: f64) -> bool {
@@ -63,5 +79,16 @@ mod tests {
         assert!(is_pos_infinite(f64::INFINITY));
         assert!(!is_pos_infinite(f64::MAX));
         assert!(!is_zero(f64::NAN) && !is_nonzero(f64::NAN) || is_nonzero(f64::NAN));
+    }
+
+    #[test]
+    fn ft_pivot_acceptance() {
+        // Comfortably large pivot passes; an exactly-zero or relatively
+        // tiny one is rejected.
+        assert!(ft_pivot_ok(1.0, 1.0, 1e-10));
+        assert!(ft_pivot_ok(-0.5, 10.0, 1e-10));
+        assert!(!ft_pivot_ok(0.0, 1.0, 1e-10));
+        assert!(!ft_pivot_ok(1e-12, 1.0, 1e-10));
+        assert!(!ft_pivot_ok(1e-8, 1e3, 1e-10), "below the relative floor");
     }
 }

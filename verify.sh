@@ -36,6 +36,14 @@ cargo test -q -p tempart-lp faults
 echo "== smoke: tables harness (Table 2, 60 s rows) =="
 cargo run --release -p tempart-bench --bin tables -- table2 --limit 60
 
+echo "== smoke: kernel study (basis engines; budgeted tiers) =="
+cargo run --release -q -p tempart-bench --bin tables -- kernel-smoke --limit 300
+grep -q '"pass": true' BENCH_kernel_smoke.json
+if grep -q '"pass": false' BENCH_kernel_smoke.json; then
+  echo "kernel acceptance bar failed" >&2
+  exit 1
+fi
+
 echo "== smoke: solve service (client sweep, shed probe, acceptance bars) =="
 cargo run --release -q -p tempart-server --bin service-bench
 if grep -q '"pass": false' BENCH_service.json; then
